@@ -1,0 +1,1 @@
+bench/experiments.ml: Exo_blis Exo_codegen Exo_ir Exo_isa Exo_sim Exo_ukr_gen Exo_workloads Fmt Hashtbl List Option String

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Exo_blis Exo_codegen Exo_isa Exo_sim Exo_ukr_gen Exo_workloads Experiments Fmt Hashtbl List Measure Random Staged String Sys Test Time Toolkit

@@ -1,0 +1,377 @@
+(** The paper's evaluation, experiment by experiment.
+
+    Each [figNN]/[tabN] function regenerates one table or figure of the
+    CGO'24 paper on the modeled Carmel machine and prints it in the same
+    rows/series the paper reports. EXPERIMENTS.md records the paper-vs-
+    reproduced comparison for each. *)
+
+module KM = Exo_sim.Kernel_model
+module T = Exo_sim.Trace
+module M = Exo_isa.Machine
+module D = Exo_blis.Driver
+module R = Exo_blis.Registry
+module A = Exo_blis.Analytical
+module W = Exo_workloads.Models
+module Family = Exo_ukr_gen.Family
+module Kits = Exo_ukr_gen.Kits
+
+let machine = M.carmel
+let kc_solo = 512 (* the BLIS packing depth on this machine (Section IV-A) *)
+
+let hr () = Fmt.pr "%s@." (String.make 78 '-')
+
+let section title =
+  hr ();
+  Fmt.pr "%s@." title;
+  hr ()
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 12 — the generated code and its k-loop instruction census      *)
+
+let fig12 () =
+  section
+    "Fig. 12 — generated 8x12 kernel: emitted C and k-loop census (gcc -S \
+     equivalent)";
+  let k = Family.generate ~mr:8 ~nr:12 () in
+  Fmt.pr "%s@." (Exo_codegen.C_emit.compilation_unit [ k.Family.proc ]);
+  let t = T.of_proc k.Family.proc in
+  Fmt.pr "k-loop census (paper: 5 x 128-bit loads + 24 fmla, no spills):@.";
+  Fmt.pr "  per iteration : %a@." T.pp t.T.steady;
+  Fmt.pr "  prologue      : %a@." T.pp t.T.prologue;
+  Fmt.pr "  vector registers resident: %d of %d (%s)@." t.T.vregs_used
+    machine.M.vec.Exo_isa.Memories.num_regs
+    (if t.T.vregs_used <= machine.M.vec.Exo_isa.Memories.num_regs then "no spills"
+     else "SPILLS");
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 13 — solo-mode micro-kernels                                   *)
+
+let solo_impls () =
+  let base = R.base_8x12 () in
+  (KM.neon_intrinsics_8x12 base, KM.blis_asm_8x12 base)
+
+let fig13 () =
+  section
+    (Fmt.str
+       "Fig. 13 — solo-mode micro-kernel GFLOPS (Kc = %d, FP32, Carmel @@ 2.3 \
+        GHz, peak %.1f)"
+       kc_solo
+       (M.peak_gflops machine Exo_ir.Dtype.F32));
+  let neon, blis = solo_impls () in
+  Fmt.pr "%8s %10s %10s %10s   %s@." "size" "NEON" "BLIS" "EXO" "best";
+  List.iter
+    (fun (mu, nu) ->
+      let exo = R.exo_impl ~mr:mu ~nr:nu () in
+      let gn = KM.solo_gflops machine neon ~mu ~nu ~kc:kc_solo in
+      let gb = KM.solo_gflops machine blis ~mu ~nu ~kc:kc_solo in
+      let ge = KM.solo_gflops machine exo ~mu ~nu ~kc:kc_solo in
+      let best = if ge >= gb && ge >= gn then "EXO" else if gb >= gn then "BLIS" else "NEON" in
+      Fmt.pr "%8s %10.2f %10.2f %10.2f   %s@." (Fmt.str "%dx%d" mu nu) gn gb ge best)
+    Family.paper_shapes;
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 14 — squarish GEMM                                             *)
+
+let squarish_sizes = [ 1000; 2000; 4000; 5000 ]
+
+let fig14 () =
+  section "Fig. 14 — squarish GEMM GFLOPS (m = n = k)";
+  let setups = D.all_setups () in
+  Fmt.pr "%6s" "size";
+  List.iter (fun s -> Fmt.pr " %14s" (D.name_of s)) setups;
+  Fmt.pr "   EXO kernel@.";
+  List.iter
+    (fun sz ->
+      Fmt.pr "%6d" sz;
+      List.iter (fun s -> Fmt.pr " %14.2f" (D.gflops machine s ~m:sz ~n:sz ~k:sz)) setups;
+      Fmt.pr "   %s@." (D.selected_kernel machine (D.alg_exo ()) ~m:sz ~n:sz ~k:sz))
+    squarish_sizes;
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* Tables I and II — IM2ROW GEMM dimensions                            *)
+
+let print_table name (layers : W.layer list) expected =
+  section (name ^ " (recomputed from the conv layer shapes via IM2ROW)");
+  Fmt.pr "%4s %-28s %8s %6s %6s   %s@." "id" "layer numbers" "m" "n" "k" "paper";
+  List.iter2
+    (fun (l : W.layer) (em, en, ek) ->
+      let m, n, k = W.gemm_dims l in
+      Fmt.pr "%4d %-28s %8d %6d %6d   %s@." l.W.id l.W.layer_numbers m n k
+        (if (m, n, k) = (em, en, ek) then "match"
+         else Fmt.str "paper prints (%d, %d, %d)" em en ek))
+    layers expected;
+  Fmt.pr "@."
+
+let tab1 () = print_table "Table I — ResNet50 v1.5" W.resnet50 W.table1_expected
+let tab2 () = print_table "Table II — VGG16" W.vgg16 W.table2_expected
+
+(* ------------------------------------------------------------------ *)
+(* Figs. 15/17 — per-layer GFLOPS; Figs. 16/18 — aggregated time       *)
+
+let per_layer_figure ~(fig : string) ~(model : string) (layers : W.layer list) =
+  section (Fmt.str "%s — %s per-layer GFLOPS" fig model);
+  let setups = D.all_setups () in
+  Fmt.pr "%4s %18s" "id" "(m, n, k)";
+  List.iter (fun s -> Fmt.pr " %9s" (D.name_of s)) setups;
+  Fmt.pr "   best@.";
+  let winners = Hashtbl.create 8 in
+  List.iter
+    (fun (l : W.layer) ->
+      let m, n, k = W.gemm_dims l in
+      let results =
+        List.map (fun s -> (D.name_of s, D.gflops machine s ~m ~n ~k)) setups
+      in
+      let best, _ =
+        List.fold_left (fun (bn, bg) (nm, g) -> if g > bg then (nm, g) else (bn, bg))
+          ("", 0.0) results
+      in
+      Hashtbl.replace winners best (1 + Option.value ~default:0 (Hashtbl.find_opt winners best));
+      Fmt.pr "%4d %18s" l.W.id (Fmt.str "(%d, %d, %d)" m n k);
+      List.iter (fun (_, g) -> Fmt.pr " %9.2f" g) results;
+      Fmt.pr "   %s@." best)
+    layers;
+  Fmt.pr "winners:";
+  List.iter
+    (fun s ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt winners (D.name_of s)) in
+      Fmt.pr " %s %d/%d;" (D.name_of s) n (List.length layers))
+    setups;
+  Fmt.pr "@.@."
+
+let aggregated_figure ~(fig : string) ~(model : string) (layers : W.layer list) =
+  section (Fmt.str "%s — %s aggregated inference time (all conv layers, batch 1)" fig model);
+  let setups = D.all_setups () in
+  let totals =
+    List.map
+      (fun s ->
+        let t =
+          List.fold_left
+            (fun acc (l : W.layer) ->
+              let m, n, k = W.gemm_dims l in
+              acc +. (float_of_int l.W.count *. fst (D.time machine s ~m ~n ~k)))
+            0.0 layers
+        in
+        (D.name_of s, t))
+      setups
+  in
+  let sorted = List.sort (fun (_, a) (_, b) -> compare a b) totals in
+  List.iter (fun (nm, t) -> Fmt.pr "%10s : %8.2f ms@." nm (t *. 1e3)) totals;
+  Fmt.pr "ranking (fastest first): %s@.@."
+    (String.concat " < " (List.map fst sorted))
+
+let fig15 () = per_layer_figure ~fig:"Fig. 15" ~model:"ResNet50 v1.5" W.resnet50
+let fig16 () = aggregated_figure ~fig:"Fig. 16" ~model:"ResNet50 v1.5" W.resnet50
+let fig17 () = per_layer_figure ~fig:"Fig. 17" ~model:"VGG16" W.vgg16
+let fig18 () = aggregated_figure ~fig:"Fig. 18" ~model:"VGG16" W.vgg16
+
+(* ------------------------------------------------------------------ *)
+(* Ablations — the design choices DESIGN.md calls out                  *)
+
+let ablation_unroll () =
+  section "Ablation — operand-load unrolling (the Fig. 11 step)";
+  (* rebuild the 8x12 kernel without the final unroll step *)
+  let tr = Exo_ukr_gen.Steps.packed ~kit:Kits.neon_f32 ~mr:8 ~nr:12 in
+  let unrolled = Exo_ukr_gen.Steps.final tr in
+  let rolled = (List.nth tr (List.length tr - 2)).Exo_ukr_gen.Steps.proc in
+  let show name p =
+    let impl = KM.of_proc ~name ~mr:8 ~nr:12 p in
+    Fmt.pr "%12s: %6.2f GFLOPS solo (census: %a)@." name
+      (KM.solo_gflops machine impl ~mu:8 ~nu:12 ~kc:kc_solo)
+      T.pp (T.of_proc p).T.steady
+  in
+  show "rolled" rolled;
+  show "unrolled" unrolled;
+  Fmt.pr
+    "(the census is identical — unrolling matters for real front-ends, not for\n\
+    \ the steady-state model; the paper's gcc output is fully unrolled)@.@."
+
+let ablation_prefetch () =
+  section "Ablation — C-tile prefetch in the BLIS library kernel (Fig. 14 driver)";
+  List.iter
+    (fun sz ->
+      let on = D.gflops machine (D.blis_lib ()) ~m:sz ~n:sz ~k:sz in
+      let off = D.gflops machine (D.alg_blis ()) ~m:sz ~n:sz ~k:sz in
+      Fmt.pr "%6d: prefetch on %6.2f | off %6.2f  (+%.1f%%)@." sz on off
+        ((on /. off -. 1.0) *. 100.0))
+    squarish_sizes;
+  Fmt.pr "@."
+
+let ablation_blocking () =
+  section "Ablation — analytical blocking vs naive blocking (Low et al. model)";
+  let b_model = A.compute machine ~mr:8 ~nr:12 ~dtype_bytes:4 in
+  Fmt.pr "analytical: %a@." A.pp b_model;
+  List.iter
+    (fun (name, b) ->
+      Fmt.pr "%24s (%a): fits L1/L2/L3 = %b@." name A.pp b
+        (A.fits machine ~mr:8 ~nr:12 ~dtype_bytes:4 b))
+    [
+      ("analytical", b_model);
+      ("naive (256,256,256)", { A.mc = 256; kc = 256; nc = 252 });
+      ("oversized kc", { A.mc = 896; kc = 4096; nc = 1020 });
+    ];
+  Fmt.pr "@."
+
+let ablation_selection () =
+  section "Ablation — EXO kernel-selection policy (fixed 8x12 vs best-of-family)";
+  let fixed_8x12 ~m ~n ~k =
+    (* the EXO family restricted to 8x12 for the main region *)
+    let kit = Kits.neon_f32 in
+    let blocking = A.compute machine ~mr:8 ~nr:12 ~dtype_bytes:4 in
+    let regions = D.regions_family ~kit ~mr:8 ~nr:12 ~m ~n in
+    let t = D.time_of_regions machine ~regions ~prefetch:false ~m ~n ~k ~blocking in
+    2.0 *. float_of_int m *. float_of_int n *. float_of_int k /. t /. 1e9
+  in
+  Fmt.pr "%22s %12s %12s %10s@." "(m, n, k)" "fixed 8x12" "best" "kernel";
+  List.iter
+    (fun (m, n, k) ->
+      Fmt.pr "%22s %12.2f %12.2f %10s@."
+        (Fmt.str "(%d, %d, %d)" m n k)
+        (fixed_8x12 ~m ~n ~k)
+        (D.gflops machine (D.alg_exo ()) ~m ~n ~k)
+        (D.selected_kernel machine (D.alg_exo ()) ~m ~n ~k))
+    [ (3136, 64, 64); (49, 2048, 512); (196, 256, 2304); (2000, 2000, 2000) ];
+  Fmt.pr "@."
+
+let ablation_f16 () =
+  section "Ablation — FP16 kernels (Section III-D, the paper's Exo contribution)";
+  (* shapes chosen to keep the register tile within the 32-register file in
+     both precisions (an f16 register holds 8 lanes, so the same tile costs
+     half the registers) *)
+  let shapes = [ (8, 16); (16, 8); (8, 24) ] in
+  List.iter
+    (fun (mr, nr) ->
+      let k32 = Family.generate ~kit:Kits.neon_f32 ~mr ~nr () in
+      let k16 = Family.generate ~kit:Kits.neon_f16 ~mr ~nr () in
+      let i32 = KM.of_proc ~name:"f32" ~mr ~nr k32.Family.proc in
+      let i16 = KM.of_proc ~name:"f16" ~mr ~nr k16.Family.proc in
+      Fmt.pr "%2dx%-2d: f32 %6.2f GFLOPS | f16 %6.2f GFLOPS (f16 peak %.1f)@." mr nr
+        (KM.solo_gflops machine i32 ~mu:mr ~nu:nr ~kc:kc_solo)
+        (KM.solo_gflops M.carmel_fp16 i16 ~mu:mr ~nu:nr ~kc:kc_solo)
+        (M.peak_gflops M.carmel_fp16 Exo_ir.Dtype.F16))
+    shapes;
+  Fmt.pr "@."
+
+let ablation_portability () =
+  section "Ablation — one schedule, three ISAs (Section III-C)";
+  List.iter
+    (fun ((kit : Kits.t), mr, nr, mach) ->
+      let k = Family.generate ~kit ~mr ~nr () in
+      let impl = KM.of_proc ~name:kit.Kits.name ~mr ~nr k.Family.proc in
+      let t = T.of_proc k.Family.proc in
+      Fmt.pr "%12s %3dx%-3d [%s]: %6.2f GFLOPS of %6.2f peak; census %a@."
+        kit.Kits.name mr nr (Family.style_name k.Family.style)
+        (KM.solo_gflops mach impl ~mu:mr ~nu:nr ~kc:256)
+        (M.peak_gflops mach kit.Kits.dt)
+        T.pp t.T.steady)
+    [
+      (Kits.neon_f32, 8, 12, machine);
+      (Kits.avx512_f32, 32, 6, M.avx512_server);
+      (Kits.rvv_f32, 8, 12, M.rvv_core);
+      (Kits.neon_f16, 16, 24, M.carmel_fp16);
+    ];
+  Fmt.pr "@."
+
+let ablation_scoreboard () =
+  section
+    "Ablation — closed-form model vs instruction-level scoreboard (cycles per \
+     k iteration)";
+  Fmt.pr "%8s %12s %12s@." "size" "closed-form" "scoreboard";
+  List.iter
+    (fun (mr, nr) ->
+      let k = Family.generate ~mr ~nr () in
+      let impl = KM.of_proc ~name:"x" ~mr ~nr k.Family.proc in
+      Fmt.pr "%8s %12.2f %12.2f@."
+        (Fmt.str "%dx%d" mr nr)
+        (KM.cycles_per_iter machine impl)
+        (Exo_sim.Scoreboard.cycles_per_iter machine k.Family.proc))
+    Family.paper_shapes;
+  Fmt.pr "@."
+
+let ablation_cache () =
+  section
+    "Ablation — analytical blocking on a real LRU cache simulator (toy \
+     hierarchy: 8K/64K/256K, 288x288x288 GEMM)";
+  let toy =
+    {
+      machine with
+      M.l1 = { M.size_kib = 8; assoc = 4; line_bytes = 64 };
+      l2 = { M.size_kib = 64; assoc = 8; line_bytes = 64 };
+      l3 = { M.size_kib = 256; assoc = 8; line_bytes = 64 };
+    }
+  in
+  let run name ~mc ~kc ~nc =
+    let s =
+      Exo_sim.Cache_sim.gemm_trace toy ~mc ~kc ~nc ~mr:8 ~nr:12 ~m:288 ~n:288 ~k:288
+    in
+    Fmt.pr "%-26s %a@." name Exo_sim.Cache_sim.pp_stats s
+  in
+  let b = A.compute toy ~mr:8 ~nr:12 ~dtype_bytes:4 in
+  run
+    (Fmt.str "analytical (%d,%d,%d)" b.A.mc b.A.kc b.A.nc)
+    ~mc:b.A.mc ~kc:b.A.kc ~nc:b.A.nc;
+  run "no blocking" ~mc:288 ~kc:288 ~nc:288;
+  run "tiny blocks (24,16,24)" ~mc:24 ~kc:16 ~nc:24;
+  Fmt.pr "@."
+
+let ablation_variants () =
+  section "Ablation — kernel variants (full alpha/beta, beta = 0, non-packed A)";
+  let show name p =
+    let t = T.of_proc p in
+    Fmt.pr "%-34s steady[%a]@.%36s prologue[%a], %d vregs@." name T.pp
+      t.T.steady "" T.pp t.T.prologue t.T.vregs_used
+  in
+  show "packed 8x12 (alpha = beta = 1)"
+    (Family.generate ~mr:8 ~nr:12 ()).Family.proc;
+  show "packed_full 8x12 (any alpha/beta)"
+    (Exo_ukr_gen.Variants.packed_full ~mr:8 ~nr:12 ());
+  show "packed_beta0 8x12 (C = A*B)"
+    (Exo_ukr_gen.Variants.packed_beta0 ~mr:8 ~nr:12 ());
+  show "nopack 8x12 (A unpacked)"
+    (Exo_ukr_gen.Variants.nopack ~mr:8 ~nr:12 ());
+  Fmt.pr
+    "(beta0 trades the 24-load C prologue for 24 register zeroes — the\n\
+    \ common DL case; the full kernel adds the scale prologues of Fig. 4)@.@."
+
+let ablation_f16_gemm () =
+  section
+    "Ablation — end-to-end FP16 GEMM (ALG+EXO with the f16 kit vs f32, full \
+     driver)";
+  let f16 = D.Exo_family Kits.neon_f16 in
+  let f32 = D.alg_exo () in
+  List.iter
+    (fun (m, n, k) ->
+      let g32 = D.gflops machine f32 ~m ~n ~k in
+      let g16 = D.gflops M.carmel_fp16 f16 ~m ~n ~k in
+      Fmt.pr "%22s: f32 %6.2f | f16 %6.2f GFLOPS (%.2fx, kernel %s)@."
+        (Fmt.str "(%d, %d, %d)" m n k)
+        g32 g16 (g16 /. g32)
+        (D.selected_kernel M.carmel_fp16 f16 ~m ~n ~k))
+    [ (2000, 2000, 2000); (784, 512, 128); (196, 256, 2304); (49, 2048, 512) ];
+  Fmt.pr "@."
+
+let ablation () =
+  ablation_unroll ();
+  ablation_prefetch ();
+  ablation_blocking ();
+  ablation_selection ();
+  ablation_f16 ();
+  ablation_f16_gemm ();
+  ablation_portability ();
+  ablation_scoreboard ();
+  ablation_cache ();
+  ablation_variants ()
+
+let all () =
+  fig12 ();
+  fig13 ();
+  fig14 ();
+  tab1 ();
+  tab2 ();
+  fig15 ();
+  fig16 ();
+  fig17 ();
+  fig18 ();
+  ablation ()

@@ -1,0 +1,1 @@
+examples/autotune.ml: Exo_blis Exo_codegen Exo_isa Exo_sim Exo_ukr_gen Fmt List

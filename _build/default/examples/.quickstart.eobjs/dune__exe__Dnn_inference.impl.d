@@ -1,0 +1,1 @@
+examples/dnn_inference.ml: Exo_blis Exo_isa Exo_workloads Float Fmt Hashtbl List Option Random

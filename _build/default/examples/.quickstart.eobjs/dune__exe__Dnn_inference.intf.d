@@ -1,0 +1,1 @@
+examples/dnn_inference.mli:

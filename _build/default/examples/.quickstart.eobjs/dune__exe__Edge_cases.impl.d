@@ -1,0 +1,1 @@
+examples/edge_cases.ml: Exo_blis Exo_codegen Exo_interp Exo_ir Exo_isa Exo_sim Exo_ukr_gen Filename Fmt List Random String

@@ -1,0 +1,1 @@
+examples/portability.ml: Exo_codegen Exo_interp Exo_ukr_gen Fmt Random

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Exo_codegen Exo_interp Exo_ir Exo_sim Exo_ukr_gen Fmt List Random

@@ -1,0 +1,62 @@
+(* Architectural portability and data types (Sections III-C and III-D).
+
+   The paper's claim: retargeting the generator is "changing the third
+   argument in the replace statements" — the hardware is a library, not a
+   compiler backend. This example generates kernels for four targets from
+   the same schedule machinery:
+
+   - ARM Neon FP32 (the paper's target);
+   - ARM Neon FP16 (the feature this paper contributed to Exo);
+   - Intel AVX-512 (no lane-indexed FMA: the broadcast pipeline kicks in);
+   - RISC-V RVV (the paper's future work; vfmacc.vf needs no broadcast).
+
+   Each kernel is verified against the reference interpreter and emitted
+   as C with the ISA's own intrinsics.
+
+   Run with: dune exec examples/portability.exe *)
+
+module Family = Exo_ukr_gen.Family
+module Kits = Exo_ukr_gen.Kits
+module B = Exo_interp.Buffer
+module I = Exo_interp.Interp
+
+let verify (k : Family.kernel) : bool =
+  let kc = 8 in
+  let dt = k.Family.kit.Kits.dt in
+  let st = Random.State.make [| k.Family.mr; k.Family.nr; 3 |] in
+  let mk dims =
+    let b = B.create ~init:0.0 dt dims in
+    B.fill b (fun _ -> float_of_int (Random.State.int st 5 - 2));
+    b
+  in
+  let ac = mk [ kc; k.Family.mr ] and bc = mk [ kc; k.Family.nr ] in
+  let c1 = mk [ k.Family.nr; k.Family.mr ] in
+  let c2 = B.copy c1 in
+  let one = B.of_array dt [ 1 ] [| 1.0 |] in
+  I.run
+    (Exo_ukr_gen.Source.ukernel_ref_simple ~dt ())
+    [
+      I.VInt k.Family.mr; I.VInt k.Family.nr; I.VInt kc; I.VBuf one; I.VBuf ac;
+      I.VBuf bc; I.VBuf one; I.VBuf c1;
+    ];
+  I.run k.Family.proc [ I.VInt kc; I.VBuf one; I.VBuf ac; I.VBuf bc; I.VBuf one; I.VBuf c2 ];
+  B.equal c1 c2
+
+let show (kit : Kits.t) ~mr ~nr =
+  let k = Family.generate ~kit ~mr ~nr () in
+  Fmt.pr "=== %s, %dx%d (%s schedule) — verified: %s ===@." kit.Kits.name mr nr
+    (Family.style_name k.Family.style)
+    (if verify k then "ok" else "MISMATCH");
+  Fmt.pr "%s@." (Exo_codegen.C_emit.compilation_unit [ k.Family.proc ])
+
+let () =
+  show Kits.neon_f32 ~mr:8 ~nr:12;
+  show Kits.neon_f16 ~mr:16 ~nr:24;
+  show Kits.neon_i32 ~mr:8 ~nr:12;
+  show Kits.avx512_f32 ~mr:32 ~nr:6;
+  show Kits.avx2_f32 ~mr:16 ~nr:6;
+  show Kits.rvv_f32 ~mr:8 ~nr:12;
+  Fmt.pr
+    "All six targets came from the same schedule templates; only the\n\
+     instruction library (the kit) changed — Section III-C's portability\n\
+     story, plus Section III-D's data-type support (f16, i32).@."

@@ -1,0 +1,1 @@
+lib/blis/analytical.ml: Exo_isa Fmt

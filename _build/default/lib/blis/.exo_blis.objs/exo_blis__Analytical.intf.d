@@ -1,0 +1,1 @@
+lib/blis/analytical.mli: Exo_isa Format

@@ -1,0 +1,1 @@
+lib/blis/driver.ml: Analytical Exo_ir Exo_isa Exo_sim Exo_ukr_gen Float Fmt List Machine Registry

@@ -1,0 +1,1 @@
+lib/blis/driver.mli: Analytical Exo_isa Exo_sim Exo_ukr_gen

@@ -1,0 +1,1 @@
+lib/blis/gemm.ml: Analytical Array Float Int32 Matrix Packing

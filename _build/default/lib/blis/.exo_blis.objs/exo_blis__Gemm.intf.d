@@ -1,0 +1,1 @@
+lib/blis/gemm.mli: Analytical Matrix

@@ -1,0 +1,1 @@
+lib/blis/matrix.ml: Array Float Fmt Random

@@ -1,0 +1,1 @@
+lib/blis/matrix.mli: Format Random

@@ -1,0 +1,1 @@
+lib/blis/packing.mli: Matrix

@@ -1,0 +1,1 @@
+lib/blis/registry.ml: Exo_interp Exo_ir Exo_sim Exo_ukr_gen Family Fmt Gemm Hashtbl Kits Lazy

@@ -1,0 +1,1 @@
+lib/blis/registry.mli: Exo_ir Exo_sim Exo_ukr_gen Gemm

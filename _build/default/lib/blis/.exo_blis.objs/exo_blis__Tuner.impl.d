@@ -1,0 +1,1 @@
+lib/blis/tuner.ml: Analytical Driver Exo_isa Exo_ukr_gen Hashtbl List

@@ -1,0 +1,1 @@
+lib/blis/tuner.mli: Analytical Exo_isa Exo_ukr_gen

@@ -1,0 +1,66 @@
+(** The analytical cache-blocking model of Low et al. (ACM TOMS 2016),
+    "Analytical Modeling is Enough for High-Performance BLIS" — the paper
+    uses it (its reference [9]) to choose the packing parameters
+    (mc, kc, nc) for the ALG+ GEMM realizations, so the micro-kernel is the
+    only difference between them.
+
+    The model fills each cache level with the operand that should live
+    there, reserving associativity ways for the streams that pass through:
+
+    - L1 holds the kc×nr sliver of Bc plus streams of Ar and C;
+      [kc = C_Ar · N_L1 · C_L1 / (mr · S)] with
+      [C_Ar = ⌊(W_L1 − 1) / (1 + nr/mr)⌋];
+    - L2 holds the mc×kc block of Ac; ways for the Br stream are subtracted:
+      [mc = (W_L2 − 1 − W_Br) · N_L2 · C_L2 / (kc · S)];
+    - L3 holds the kc×nc panel of Bc, minus the Ac stream's ways.
+
+    On the Carmel cache geometry with the 8×12 FP32 kernel this yields
+    kc = 512 — exactly the value the paper reports BLIS using on this
+    machine ("we have set the Kc to 512, which is the value of BLIS packing
+    for this ARM architecture"). *)
+
+open Exo_isa.Machine
+
+type blocking = { mc : int; kc : int; nc : int }
+
+let cache_sets (c : cache) = c.size_kib * 1024 / (c.assoc * c.line_bytes)
+
+(** Round down to a positive multiple of [q]. *)
+let floor_mult x q = max q (x / q * q)
+
+let compute (m : t) ~(mr : int) ~(nr : int) ~(dtype_bytes : int) : blocking =
+  let s = dtype_bytes in
+  (* kc from L1 *)
+  let n_l1 = cache_sets m.l1 in
+  let c_ar =
+    let ratio = float_of_int nr /. float_of_int mr in
+    max 1 (int_of_float (floor (float_of_int (m.l1.assoc - 1) /. (1.0 +. ratio))))
+  in
+  let kc = max 1 (c_ar * n_l1 * m.l1.line_bytes / (mr * s)) in
+  (* mc from L2, reserving ways for the Br stream *)
+  let n_l2 = cache_sets m.l2 in
+  let w_br =
+    max 1 ((kc * nr * s + (n_l2 * m.l2.line_bytes) - 1) / (n_l2 * m.l2.line_bytes))
+  in
+  let ways_ac = max 1 (m.l2.assoc - 1 - w_br) in
+  let mc = max mr (ways_ac * n_l2 * m.l2.line_bytes / (kc * s)) in
+  let mc = floor_mult mc mr in
+  (* nc from L3, reserving ways for the Ac stream *)
+  let n_l3 = cache_sets m.l3 in
+  let w_ac =
+    max 1 ((mc * kc * s + (n_l3 * m.l3.line_bytes) - 1) / (n_l3 * m.l3.line_bytes))
+  in
+  let ways_bc = max 1 (m.l3.assoc - 1 - w_ac) in
+  let nc = max nr (ways_bc * n_l3 * m.l3.line_bytes / (kc * s)) in
+  let nc = floor_mult nc nr in
+  { mc; kc; nc }
+
+(** Working-set sanity: the blocks the model places in each level fit. *)
+let fits (m : t) ~(mr : int) ~(nr : int) ~(dtype_bytes : int) (b : blocking) : bool =
+  let s = dtype_bytes in
+  b.kc * nr * s <= cache_bytes m.l1
+  && b.mc * b.kc * s <= cache_bytes m.l2
+  && b.kc * b.nc * s <= cache_bytes m.l3
+  && b.mc mod mr = 0 && b.nc mod nr = 0
+
+let pp ppf (b : blocking) = Fmt.pf ppf "mc=%d kc=%d nc=%d" b.mc b.kc b.nc

@@ -1,0 +1,21 @@
+(** The analytical cache-blocking model of Low et al. (ACM TOMS 2016) — the
+    paper's reference [9], used to choose (mc, kc, nc) for the ALG+
+    realizations so that the micro-kernel is the only difference between
+    them. On the Carmel geometry with the 8×12 FP32 kernel it derives
+    kc = 512, the exact BLIS packing value the paper reports. *)
+
+type blocking = { mc : int; kc : int; nc : int }
+
+val cache_sets : Exo_isa.Machine.cache -> int
+
+(** Derive the blocking for an mr×nr kernel on a machine: kc from L1 (the
+    Bc sliver plus Ar/C streams), mc from L2 (the Ac block minus the Br
+    stream's ways), nc from L3 — rounded to kernel multiples. *)
+val compute : Exo_isa.Machine.t -> mr:int -> nr:int -> dtype_bytes:int -> blocking
+
+(** Working-set sanity: the blocks the model places in each level fit, and
+    mc/nc are kernel multiples. *)
+val fits :
+  Exo_isa.Machine.t -> mr:int -> nr:int -> dtype_bytes:int -> blocking -> bool
+
+val pp : Format.formatter -> blocking -> unit

@@ -1,0 +1,200 @@
+(** Simulated full-GEMM performance (the paper's Section IV-B/IV-C
+    experiments).
+
+    The driver prices a complete BLIS-like GEMM run on the modeled machine:
+    micro-kernel steady-state and prologue cycles (from each kernel's own
+    trace), operand bandwidth (Ac streams from L2, Bc slivers from L1),
+    C-tile traffic from beyond the LLC (hidden when the kernel prefetches —
+    the BLIS-library advantage of Fig. 14), packing traffic, and fringe
+    handling:
+
+    - a monolithic kernel computes a *full* mr×nr tile on every fringe call
+      (utilization loss — the paper's edge-case penalty);
+    - the Exo family dispatches a specialized kernel per fringe shape.
+
+    Four configurations reproduce the paper's legends: [BLIS] (library:
+    monolithic assembly kernel + prefetch), [ALG+BLIS], [ALG+NEON] and
+    [ALG+EXO] (all on the same analytically-blocked algorithm). *)
+
+open Exo_isa
+module KM = Exo_sim.Kernel_model
+
+type setup =
+  | Monolithic of { impl : KM.impl; prefetch : bool }
+  | Exo_family of Exo_ukr_gen.Kits.t
+
+let name_of = function
+  | Monolithic { impl; prefetch } ->
+      if prefetch then impl.KM.name else "ALG+" ^ impl.KM.name
+  | Exo_family _ -> "ALG+EXO"
+
+(** The four configurations of Figs. 14–18. *)
+let blis_lib () = Monolithic { impl = Registry.blis_impl (); prefetch = true }
+
+let alg_blis () = Monolithic { impl = Registry.blis_impl (); prefetch = false }
+let alg_neon () = Monolithic { impl = Registry.neon_impl (); prefetch = false }
+let alg_exo () = Exo_family Exo_ukr_gen.Kits.neon_f32
+
+let all_setups () = [ alg_neon (); alg_blis (); alg_exo (); blis_lib () ]
+
+(* ------------------------------------------------------------------ *)
+
+(** Element size of a setup: the Exo family inherits its kit's dtype;
+    the monolithic library kernels are FP32. *)
+let dtype_bytes_of = function
+  | Monolithic _ -> 4
+  | Exo_family kit -> Exo_ir.Dtype.size_bytes kit.Exo_ukr_gen.Kits.dt
+
+(** Per-iteration cycles including operand-bandwidth bounds (Ac from L2,
+    Bc from L1). *)
+let iter_cycles ?(dbytes = 4) (m : Machine.t) (impl : KM.impl) : float =
+  let s = float_of_int dbytes in
+  let a_bw = float_of_int impl.KM.mr *. s /. m.l2_bw in
+  let b_bw = float_of_int impl.KM.nr *. s /. m.l1_bw in
+  List.fold_left max (KM.cycles_per_iter m impl) [ a_bw; b_bw ]
+
+(** Cycles for one micro-kernel call at depth [kc] within a large GEMM:
+    compute plus the C-tile cost — streaming the tile in and out (read +
+    write bandwidth) and the exposed load-to-use miss latency of the first
+    accumulator loads. A prefetching kernel (the BLIS library's assembly
+    kernel, Fig. 14) issues the next tile's prefetches during the k-loop and
+    overlaps both. *)
+let call_cycles_gemm ?(dbytes = 4) (m : Machine.t) (impl : KM.impl)
+    ~(prefetch : bool) ~(kc : int) ~(c_bw : float) ~(c_lat : float) : float =
+  let compute =
+    KM.prologue_cycles m impl
+    +. (float_of_int kc *. iter_cycles ~dbytes m impl)
+    +. KM.call_overhead
+    +. (if impl.KM.edge_logic then KM.edge_logic_overhead else 0.0)
+  in
+  let c_bytes = float_of_int (impl.KM.mr * impl.KM.nr * dbytes * 2) in
+  let traffic = c_bytes /. c_bw in
+  if prefetch then Float.max compute traffic else compute +. traffic +. c_lat
+
+(** A rectangular region covered with one kernel shape. [useful] counts the
+    real flops; a monolithic kernel always executes full tiles. *)
+type region = { rm : int; rn : int; impl : KM.impl; full_tile : bool }
+
+(** Decompose m×n for a monolithic mr×nr kernel: every call is a full tile
+    (ceil counts). *)
+let regions_monolithic (impl : KM.impl) ~(m : int) ~(n : int) : region list =
+  [ { rm = m; rn = n; impl; full_tile = true } ]
+
+(** Decompose m×n for the Exo family with main kernel (mr, nr): main region
+    plus fringe strips, each with its own specialized kernel. *)
+let regions_family ~(kit : Exo_ukr_gen.Kits.t) ~(mr : int) ~(nr : int) ~(m : int)
+    ~(n : int) : region list =
+  let mm = m / mr * mr and nm = n / nr * nr in
+  let fm = m - mm and fn = n - nm in
+  let mk rm rn mr nr =
+    if rm = 0 || rn = 0 then []
+    else [ { rm; rn; impl = Registry.exo_impl ~kit ~mr ~nr (); full_tile = false } ]
+  in
+  mk mm nm mr nr
+  @ (if fm > 0 then mk fm nm fm nr else [])
+  @ (if fn > 0 then mk mm fn mr fn else [])
+  @ if fm > 0 && fn > 0 then mk fm fn fm fn else []
+
+(** Simulated seconds for C += A·B with the given setup. *)
+let time_of_regions ?(dbytes = 4) (machine : Machine.t) ~(regions : region list)
+    ~(prefetch : bool) ~(m : int) ~(n : int) ~(k : int)
+    ~(blocking : Analytical.blocking) : float =
+  let { Analytical.mc = _; kc; nc } = blocking in
+  let c_in_llc = m * n * dbytes <= Machine.cache_bytes machine.Machine.l3 in
+  let c_bw = if c_in_llc then machine.Machine.l3_bw else machine.Machine.dram_bw in
+  let c_lat =
+    float_of_int
+      (if c_in_llc then machine.Machine.l3_lat else machine.Machine.dram_lat)
+  in
+  (* kernel cycles: sum over pc blocks (depth kc or remainder) and regions *)
+  let k_blocks =
+    let full = k / kc in
+    List.init full (fun _ -> kc) @ if k mod kc = 0 then [] else [ k mod kc ]
+  in
+  let kernel_cycles =
+    List.fold_left
+      (fun acc kcb ->
+        acc
+        +. List.fold_left
+             (fun acc r ->
+               let calls =
+                 float_of_int
+                   ((r.rm + r.impl.KM.mr - 1) / r.impl.KM.mr
+                   * ((r.rn + r.impl.KM.nr - 1) / r.impl.KM.nr))
+               in
+               acc
+               +. calls
+                  *. call_cycles_gemm ~dbytes machine r.impl ~prefetch ~kc:kcb ~c_bw
+                       ~c_lat)
+             0.0 regions)
+      0.0 k_blocks
+  in
+  (* packing traffic: Bc once per (jc, pc): k·n elements total; Ac once per
+     (jc, pc, ic): m·k elements per jc pass *)
+  let s = float_of_int dbytes in
+  let jc_passes = float_of_int ((n + nc - 1) / nc) in
+  let pack_b = float_of_int k *. float_of_int n *. s *. 2.0 /. machine.Machine.dram_bw in
+  let pack_a =
+    jc_passes *. float_of_int m *. float_of_int k *. s
+    *. ((1.0 /. machine.Machine.dram_bw) +. (1.0 /. machine.Machine.l2_bw))
+  in
+  (kernel_cycles +. pack_a +. pack_b) /. (machine.Machine.freq_ghz *. 1e9)
+
+(** Pick the Exo family's main kernel for a problem: the candidate shape
+    minimizing modeled time (the paper's "matching the size of the
+    micro-kernel to the problem"). *)
+let candidate_shapes = [ (8, 12); (8, 8); (8, 4); (4, 12); (4, 8); (4, 4) ]
+
+let time (machine : Machine.t) (setup : setup) ~(m : int) ~(n : int) ~(k : int) :
+    float * string =
+  let dtype_bytes = dtype_bytes_of setup in
+  match setup with
+  | Monolithic { impl; prefetch } ->
+      let blocking =
+        Analytical.compute machine ~mr:impl.KM.mr ~nr:impl.KM.nr ~dtype_bytes
+      in
+      let regions = regions_monolithic impl ~m ~n in
+      ( time_of_regions ~dbytes:dtype_bytes machine ~regions ~prefetch ~m ~n ~k
+          ~blocking,
+        Fmt.str "%dx%d" impl.KM.mr impl.KM.nr )
+  | Exo_family kit ->
+      let lanes = kit.Exo_ukr_gen.Kits.lanes in
+      let shapes =
+        (* candidate main shapes scale with the vector length so wider-lane
+           kits (f16) consider register-feasible tiles *)
+        List.filter_map
+          (fun (mr, nr) ->
+            let mr = mr * lanes / 4 in
+            let c_regs = mr / lanes * nr and b_regs = (nr + lanes - 1) / lanes in
+            if c_regs + (mr / lanes) + b_regs
+               <= machine.Machine.vec.Exo_isa.Memories.num_regs
+            then Some (mr, nr)
+            else None)
+          candidate_shapes
+      in
+      let best =
+        List.map
+          (fun (mr, nr) ->
+            let blocking = Analytical.compute machine ~mr ~nr ~dtype_bytes in
+            let regions = regions_family ~kit ~mr ~nr ~m ~n in
+            let t =
+              time_of_regions ~dbytes:dtype_bytes machine ~regions ~prefetch:false
+                ~m ~n ~k ~blocking
+            in
+            (t, Fmt.str "%dx%d" mr nr))
+          shapes
+      in
+      List.fold_left
+        (fun (bt, bn) (t, nm) -> if t < bt then (t, nm) else (bt, bn))
+        (List.hd best) (List.tl best)
+
+(** GFLOPS for C += A·B (2·m·n·k flops). *)
+let gflops (machine : Machine.t) (setup : setup) ~m ~n ~k : float =
+  let t, _ = time machine setup ~m ~n ~k in
+  2.0 *. float_of_int m *. float_of_int n *. float_of_int k /. t /. 1e9
+
+(** The full-tile utilization correction for monolithic kernels on fringe
+    work is already in the call counts (ceil): useful flops are 2mnk while
+    the kernel executes ceil-sized tiles. *)
+let selected_kernel (machine : Machine.t) (setup : setup) ~m ~n ~k : string =
+  snd (time machine setup ~m ~n ~k)

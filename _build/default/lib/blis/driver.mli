@@ -1,0 +1,65 @@
+(** Simulated full-GEMM performance — the engine behind the paper's
+    Section IV-B/IV-C experiments (Figs. 14–18).
+
+    Prices a complete BLIS-like GEMM run on the modeled machine: micro-kernel
+    steady-state and prologue cycles (from each kernel's own instruction
+    trace), operand bandwidth, C-tile traffic and miss latency (hidden when
+    the kernel prefetches — the BLIS-library advantage), packing traffic, and
+    fringe handling (full-tile waste for monolithic kernels vs specialized
+    fringe kernels for the Exo family). *)
+
+type setup =
+  | Monolithic of { impl : Exo_sim.Kernel_model.impl; prefetch : bool }
+  | Exo_family of Exo_ukr_gen.Kits.t
+        (** the family inherits the kit's dtype — pass [Kits.neon_f16] and
+            [Machine.carmel_fp16] for an end-to-end half-precision GEMM *)
+
+(** Legend name as in the paper: "BLIS", "ALG+BLIS", "ALG+NEON", "ALG+EXO". *)
+val name_of : setup -> string
+
+(** The four configurations of Figs. 14–18. *)
+
+val blis_lib : unit -> setup
+(** The BLIS library: monolithic assembly kernel with in-kernel prefetch. *)
+
+val alg_blis : unit -> setup
+val alg_neon : unit -> setup
+val alg_exo : unit -> setup
+
+(** In the paper's legend order: ALG+NEON, ALG+BLIS, ALG+EXO, BLIS. *)
+val all_setups : unit -> setup list
+
+(** A rectangular sub-problem covered by one kernel shape. *)
+type region = {
+  rm : int;
+  rn : int;
+  impl : Exo_sim.Kernel_model.impl;
+  full_tile : bool;
+}
+
+(** Region decomposition for the Exo family: main region plus fringe strips,
+    each with its own specialized kernel. *)
+val regions_family :
+  kit:Exo_ukr_gen.Kits.t -> mr:int -> nr:int -> m:int -> n:int -> region list
+
+(** Price a region decomposition (exposed for the tuner and ablations).
+    [dbytes] is the element size (default 4; 2 for f16). *)
+val time_of_regions :
+  ?dbytes:int ->
+  Exo_isa.Machine.t ->
+  regions:region list ->
+  prefetch:bool ->
+  m:int -> n:int -> k:int ->
+  blocking:Analytical.blocking ->
+  float
+
+(** Candidate main-kernel shapes the ALG+EXO selection considers. *)
+val candidate_shapes : (int * int) list
+
+(** Simulated seconds for C += A·B, and the kernel shape used. *)
+val time : Exo_isa.Machine.t -> setup -> m:int -> n:int -> k:int -> float * string
+
+val gflops : Exo_isa.Machine.t -> setup -> m:int -> n:int -> k:int -> float
+
+(** The main kernel shape a setup uses on a problem (e.g. ["8x12"]). *)
+val selected_kernel : Exo_isa.Machine.t -> setup -> m:int -> n:int -> k:int -> string

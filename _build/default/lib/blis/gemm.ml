@@ -1,0 +1,117 @@
+(** GEMM: the BLIS/GotoBLAS macro-kernel (Fig. 1 of the paper) plus a naive
+    reference.
+
+    The macro-kernel runs the canonical five loops around a micro-kernel:
+    jc over n (nc), pc over k (kc, packing Bc), ic over m (mc, packing Ac),
+    jr over nc (nr), ir over mc (mr). The micro-kernel is a callback so the
+    same macro code runs the interpreted Exo-generated kernels, the
+    reference kernel, or anything else — mirroring how the paper swaps
+    micro-kernels under one ALG+ implementation. *)
+
+type ukr = kc:int -> mr:int -> nr:int -> ac:float array -> bc:float array ->
+  c:float array -> unit
+(** Compute [c += acᵀ · bc] on a tile: [ac] is kc×mr (k-major), [bc] is
+    kc×nr (k-major), [c] is the *transposed* tile, nr×mr row-major — the
+    layout conventions of the generated kernels (Section III-A). *)
+
+(** Reference micro-kernel: the same arithmetic in plain OCaml, with
+    binary32 rounding to match the interpreted kernels bit for bit. *)
+let reference_ukr : ukr =
+ fun ~kc ~mr ~nr ~ac ~bc ~c ->
+  let r32 v = Int32.float_of_bits (Int32.bits_of_float v) in
+  for k = 0 to kc - 1 do
+    for j = 0 to nr - 1 do
+      for i = 0 to mr - 1 do
+        let idx = (j * mr) + i in
+        c.(idx) <- r32 (c.(idx) +. r32 (ac.((k * mr) + i) *. bc.((k * nr) + j)))
+      done
+    done
+  done
+
+(** C := alpha·A·B + beta·C, naive triple loop (f64 accumulation). *)
+let naive ?(alpha = 1.0) ?(beta = 1.0) (a : Matrix.t) (b : Matrix.t) (c : Matrix.t) :
+    unit =
+  let m = a.Matrix.rows and k = a.Matrix.cols and n = b.Matrix.cols in
+  if b.Matrix.rows <> k || c.Matrix.rows <> m || c.Matrix.cols <> n then
+    invalid_arg "Gemm.naive: dimension mismatch";
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for l = 0 to k - 1 do
+        acc := !acc +. (Matrix.get a i l *. Matrix.get b l j)
+      done;
+      Matrix.set c i j ((alpha *. !acc) +. (beta *. Matrix.get c i j))
+    done
+  done
+
+(** Naive with binary32 rounding after every operation, in the blocked
+    k-order, usable for exact comparisons against the macro-kernel when
+    inputs are small integers. *)
+let naive_f32 ?(alpha = 1.0) ?(beta = 1.0) (a : Matrix.t) (b : Matrix.t)
+    (c : Matrix.t) : unit =
+  let r32 v = Int32.float_of_bits (Int32.bits_of_float v) in
+  let m = a.Matrix.rows and k = a.Matrix.cols and n = b.Matrix.cols in
+  if b.Matrix.rows <> k || c.Matrix.rows <> m || c.Matrix.cols <> n then
+    invalid_arg "Gemm.naive_f32: dimension mismatch";
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref (r32 (beta *. Matrix.get c i j)) in
+      for l = 0 to k - 1 do
+        acc := r32 (!acc +. r32 (alpha *. r32 (Matrix.get a i l *. Matrix.get b l j)))
+      done;
+      Matrix.set c i j !acc
+    done
+  done
+
+(** The BLIS-like GEMM: C := alpha·A·B + beta·C with the five-loop blocked
+    algorithm, packing, and [ukr] as the micro-kernel. *)
+let blis ?(alpha = 1.0) ?(beta = 1.0) ~(blocking : Analytical.blocking) ~(mr : int)
+    ~(nr : int) ~(ukr : ukr) (a : Matrix.t) (b : Matrix.t) (c : Matrix.t) : unit =
+  let m = a.Matrix.rows and k = a.Matrix.cols and n = b.Matrix.cols in
+  if b.Matrix.rows <> k || c.Matrix.rows <> m || c.Matrix.cols <> n then
+    invalid_arg "Gemm.blis: dimension mismatch";
+  let { Analytical.mc; kc; nc } = blocking in
+  if mc < mr || nc < nr || kc < 1 then invalid_arg "Gemm.blis: degenerate blocking";
+  let r32 v = Int32.float_of_bits (Int32.bits_of_float v) in
+  (* beta scaling once up front (the macro-kernel form of Fig. 4's Cb) *)
+  if not (Float.equal beta 1.0) then
+    Array.iteri (fun i v -> c.Matrix.data.(i) <- r32 (beta *. v)) c.Matrix.data;
+  let tile = Array.make (mr * nr) 0.0 in
+  for jc = 0 to ((n + nc - 1) / nc) - 1 do
+    let jc0 = jc * nc in
+    let ncb = min nc (n - jc0) in
+    for pc = 0 to ((k + kc - 1) / kc) - 1 do
+      let pc0 = pc * kc in
+      let kcb = min kc (k - pc0) in
+      (* Pack B (applying alpha) *)
+      let bp = Packing.pack_b ~alpha b ~pc:pc0 ~jc:jc0 ~kcb ~ncb ~nr in
+      for ic = 0 to ((m + mc - 1) / mc) - 1 do
+        let ic0 = ic * mc in
+        let mcb = min mc (m - ic0) in
+        (* Pack A *)
+        let ap = Packing.pack_a a ~ic:ic0 ~pc:pc0 ~mcb ~kcb ~mr in
+        for jr = 0 to bp.Packing.num_panels - 1 do
+          let nrb = bp.Packing.panel_width jr in
+          for ir = 0 to ap.Packing.num_panels - 1 do
+            let mrb = ap.Packing.panel_width ir in
+            (* gather the transposed C tile *)
+            for j = 0 to nrb - 1 do
+              for i = 0 to mrb - 1 do
+                tile.((j * mrb) + i) <-
+                  Matrix.get c (ic0 + (ir * mr) + i) (jc0 + (jr * nr) + j)
+              done
+            done;
+            ukr ~kc:kcb ~mr:mrb ~nr:nrb ~ac:(ap.Packing.panel ir)
+              ~bc:(bp.Packing.panel jr) ~c:tile;
+            (* scatter back *)
+            for j = 0 to nrb - 1 do
+              for i = 0 to mrb - 1 do
+                Matrix.set c (ic0 + (ir * mr) + i) (jc0 + (jr * nr) + j)
+                  tile.((j * mrb) + i)
+              done
+            done
+          done
+        done
+      done
+    done
+  done

@@ -1,0 +1,32 @@
+(** GEMM: the BLIS/GotoBLAS five-loop macro-kernel (Fig. 1 of the paper)
+    plus naive references, over {!Matrix} values. *)
+
+type ukr =
+  kc:int -> mr:int -> nr:int -> ac:float array -> bc:float array ->
+  c:float array -> unit
+(** A micro-kernel callback: [c += acᵀ·bc] on one tile. [ac] is kc×mr
+    (k-major), [bc] kc×nr (k-major), [c] the *transposed* tile (nr×mr,
+    row-major) — the layout conventions of Section III-A. *)
+
+(** The same arithmetic in plain OCaml with binary32 rounding — matches the
+    interpreted generated kernels bit for bit. *)
+val reference_ukr : ukr
+
+(** C := alpha·A·B + beta·C, naive triple loop (f64 accumulation). *)
+val naive : ?alpha:float -> ?beta:float -> Matrix.t -> Matrix.t -> Matrix.t -> unit
+
+(** Naive with binary32 rounding after every operation — exact comparisons
+    against the macro-kernel when inputs are small integers. *)
+val naive_f32 :
+  ?alpha:float -> ?beta:float -> Matrix.t -> Matrix.t -> Matrix.t -> unit
+
+(** The BLIS-like GEMM: jc/pc/ic/jr/ir blocking, packing (alpha folded into
+    Bc, beta applied up front), [ukr] on every tile including fringes. *)
+val blis :
+  ?alpha:float ->
+  ?beta:float ->
+  blocking:Analytical.blocking ->
+  mr:int ->
+  nr:int ->
+  ukr:ukr ->
+  Matrix.t -> Matrix.t -> Matrix.t -> unit

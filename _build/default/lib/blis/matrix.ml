@@ -1,0 +1,59 @@
+(** Dense row-major matrices over [float array] — the numeric substrate the
+    macro-kernel, packing routines and DNN workloads compute with. *)
+
+type t = { rows : int; cols : int; data : float array }
+
+let create ?(init = 0.0) rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Matrix.create: negative dims";
+  { rows; cols; data = Array.make (max 1 (rows * cols)) init }
+
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j v = m.data.((i * m.cols) + j) <- v
+
+let init rows cols f =
+  let m = create rows cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      set m i j (f i j)
+    done
+  done;
+  m
+
+let copy m = { m with data = Array.copy m.data }
+
+(** Random matrix of small integer values: sums of products stay exactly
+    representable in binary32, so differently-blocked GEMMs compare for
+    exact equality in tests. *)
+let random_int ?(bound = 3) rows cols (st : Random.State.t) =
+  init rows cols (fun _ _ -> float_of_int (Random.State.int st (2 * bound + 1) - bound))
+
+let random rows cols (st : Random.State.t) =
+  init rows cols (fun _ _ -> Random.State.float st 2.0 -. 1.0)
+
+let equal a b =
+  a.rows = b.rows && a.cols = b.cols
+  && Array.for_all2 (fun x y -> Float.equal x y) a.data b.data
+
+let max_abs_diff a b =
+  if a.rows <> b.rows || a.cols <> b.cols then infinity
+  else
+    let m = ref 0.0 in
+    Array.iteri
+      (fun i x ->
+        let d = Float.abs (x -. b.data.(i)) in
+        if d > !m then m := d)
+      a.data;
+    !m
+
+let frobenius m =
+  sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 m.data)
+
+let pp ppf m =
+  Fmt.pf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      Fmt.pf ppf "%8.3f " (get m i j)
+    done;
+    Fmt.pf ppf "@,"
+  done;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,20 @@
+(** Dense row-major matrices over [float array] — the numeric substrate for
+    the macro-kernel, packing, and DNN workloads. *)
+
+type t = { rows : int; cols : int; data : float array }
+
+val create : ?init:float -> int -> int -> t
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val init : int -> int -> (int -> int -> float) -> t
+val copy : t -> t
+
+(** Small-integer random matrix: sums of products stay exactly representable
+    in binary32, so differently-blocked GEMMs compare for exact equality. *)
+val random_int : ?bound:int -> int -> int -> Random.State.t -> t
+
+val random : int -> int -> Random.State.t -> t
+val equal : t -> t -> bool
+val max_abs_diff : t -> t -> float
+val frobenius : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,70 @@
+(** BLIS packing routines.
+
+    [pack_a] re-lays an mc×kc block of A into micro-panels of [mr] rows,
+    each panel k-major ([kc × mr], unit stride across the rows) — exactly
+    the layout the generated micro-kernels' [Ac: f32[KC, MR]] argument
+    assumes. [pack_b] does the same for kc×nc blocks of B in [nr]-column
+    panels ([kc × nr]). Edge panels are packed at their true width (the
+    Exo approach: a dedicated kernel per fringe shape) — [panel_width]
+    reports it.
+
+    Packing is also where alpha is applied ([Ba = alpha · Bc], the paper's
+    Fig. 4), so the micro-kernels run the simplified alpha = beta = 1 code. *)
+
+type panels = {
+  panel : int -> float array;  (** [panel i] — the i-th packed micro-panel *)
+  panel_width : int -> int;  (** rows (A) or columns (B) in panel i *)
+  num_panels : int;
+  depth : int;  (** kc of this packing *)
+}
+
+(** Pack A(ic .. ic+mcb-1, pc .. pc+kcb-1) into mr-row panels. *)
+let pack_a (a : Matrix.t) ~(ic : int) ~(pc : int) ~(mcb : int) ~(kcb : int)
+    ~(mr : int) : panels =
+  if mcb < 0 || kcb < 0 || ic < 0 || pc < 0 || ic + mcb > a.Matrix.rows
+     || pc + kcb > a.Matrix.cols
+  then invalid_arg "pack_a: block out of range";
+  let num_panels = (mcb + mr - 1) / mr in
+  let store =
+    Array.init num_panels (fun ir ->
+        let w = min mr (mcb - (ir * mr)) in
+        let buf = Array.make (max 1 (kcb * w)) 0.0 in
+        for kk = 0 to kcb - 1 do
+          for i = 0 to w - 1 do
+            buf.((kk * w) + i) <- Matrix.get a (ic + (ir * mr) + i) (pc + kk)
+          done
+        done;
+        buf)
+  in
+  {
+    panel = (fun i -> store.(i));
+    panel_width = (fun i -> min mr (mcb - (i * mr)));
+    num_panels;
+    depth = kcb;
+  }
+
+(** Pack B(pc .. pc+kcb-1, jc .. jc+ncb-1) into nr-column panels, scaled by
+    [alpha]. *)
+let pack_b ?(alpha = 1.0) (b : Matrix.t) ~(pc : int) ~(jc : int) ~(kcb : int)
+    ~(ncb : int) ~(nr : int) : panels =
+  if ncb < 0 || kcb < 0 || pc < 0 || jc < 0 || pc + kcb > b.Matrix.rows
+     || jc + ncb > b.Matrix.cols
+  then invalid_arg "pack_b: block out of range";
+  let num_panels = (ncb + nr - 1) / nr in
+  let store =
+    Array.init num_panels (fun jr ->
+        let w = min nr (ncb - (jr * nr)) in
+        let buf = Array.make (max 1 (kcb * w)) 0.0 in
+        for kk = 0 to kcb - 1 do
+          for j = 0 to w - 1 do
+            buf.((kk * w) + j) <- alpha *. Matrix.get b (pc + kk) (jc + (jr * nr) + j)
+          done
+        done;
+        buf)
+  in
+  {
+    panel = (fun i -> store.(i));
+    panel_width = (fun i -> min nr (ncb - (i * nr)));
+    num_panels;
+    depth = kcb;
+  }

@@ -1,0 +1,19 @@
+(** BLIS packing routines: A blocks into mr-row k-major panels, B blocks
+    into nr-column panels (the layouts the generated kernels' [Ac]/[Bc]
+    arguments assume); alpha is folded into the B packing (Fig. 4). Edge
+    panels pack at their true width — the Exo approach of a dedicated kernel
+    per fringe shape. *)
+
+type panels = {
+  panel : int -> float array;
+  panel_width : int -> int;  (** rows (A) / columns (B) of panel i *)
+  num_panels : int;
+  depth : int;  (** kc of this packing *)
+}
+
+val pack_a :
+  Matrix.t -> ic:int -> pc:int -> mcb:int -> kcb:int -> mr:int -> panels
+
+val pack_b :
+  ?alpha:float ->
+  Matrix.t -> pc:int -> jc:int -> kcb:int -> ncb:int -> nr:int -> panels

@@ -1,0 +1,60 @@
+(** The micro-kernel registry: the three competitors of Section IV, in both
+    numeric form (a {!Gemm.ukr} for running real GEMMs) and model form
+    (a {!Exo_sim.Kernel_model.impl} for the performance simulation).
+
+    - [EXO]: the generated family — one specialized kernel per (mr, nr),
+      produced on demand by {!Exo_ukr_gen.Family} and cached; numerics run
+      the scheduled IR through the reference interpreter.
+    - [BLIS]: the monolithic 8×12 assembly kernel model (fringe logic,
+      prefetch-capable).
+    - [NEON]: the monolithic 8×12 hand-written-intrinsics kernel model
+      (fringe logic, compiler-scheduled). *)
+
+open Exo_ukr_gen
+module KM = Exo_sim.Kernel_model
+module B = Exo_interp.Buffer
+module I = Exo_interp.Interp
+
+(* ------------------------------------------------------------------ *)
+(* Generated-kernel cache                                              *)
+
+let cache : (string * int * int, Family.kernel) Hashtbl.t = Hashtbl.create 32
+
+let exo_kernel ?(kit = Kits.neon_f32) ~(mr : int) ~(nr : int) () : Family.kernel =
+  let key = (kit.Kits.name, mr, nr) in
+  match Hashtbl.find_opt cache key with
+  | Some k -> k
+  | None ->
+      let k = Family.generate ~kit ~mr ~nr () in
+      Hashtbl.replace cache key k;
+      k
+
+(** Model impl for a generated kernel. *)
+let exo_impl ?(kit = Kits.neon_f32) ~(mr : int) ~(nr : int) () : KM.impl =
+  let k = exo_kernel ~kit ~mr ~nr () in
+  KM.of_proc ~name:(Fmt.str "EXO %dx%d" mr nr) ~mr ~nr k.Family.proc
+
+let base_8x12 ?(kit = Kits.neon_f32) () = (exo_kernel ~kit ~mr:8 ~nr:12 ()).Family.proc
+
+let blis_impl ?kit () : KM.impl = KM.blis_asm_8x12 (base_8x12 ?kit ())
+let neon_impl ?kit () : KM.impl = KM.neon_intrinsics_8x12 (base_8x12 ?kit ())
+
+(* ------------------------------------------------------------------ *)
+(* Numeric micro-kernels                                               *)
+
+let ones_buf = lazy (B.of_array Exo_ir.Dtype.F32 [ 1 ] [| 1.0 |])
+
+(** Run a generated kernel (through the interpreter) on a packed tile. *)
+let exo_ukr ?(kit = Kits.neon_f32) () : Gemm.ukr =
+ fun ~kc ~mr ~nr ~ac ~bc ~c ->
+  let k = exo_kernel ~kit ~mr ~nr () in
+  let one = Lazy.force ones_buf in
+  let acb = B.of_array kit.Kits.dt [ kc; mr ] ac in
+  let bcb = B.of_array kit.Kits.dt [ kc; nr ] bc in
+  let cb = B.of_array kit.Kits.dt [ nr; mr ] c in
+  I.run k.Family.proc
+    [ I.VInt kc; I.VBuf one; I.VBuf acb; I.VBuf bcb; I.VBuf one; I.VBuf cb ]
+
+(** The monolithic kernels' numeric behaviour (identical arithmetic; their
+    differences are micro-architectural and live in the model impls). *)
+let monolithic_ukr : Gemm.ukr = Gemm.reference_ukr

@@ -1,0 +1,24 @@
+(** The micro-kernel registry: Section IV's three competitors, in numeric
+    form (a {!Gemm.ukr}) and model form (a {!Exo_sim.Kernel_model.impl}).
+    Generated kernels are produced on demand and cached. *)
+
+(** Generate (or fetch) a specialized kernel. *)
+val exo_kernel :
+  ?kit:Exo_ukr_gen.Kits.t -> mr:int -> nr:int -> unit -> Exo_ukr_gen.Family.kernel
+
+(** Model impl for a generated kernel. *)
+val exo_impl :
+  ?kit:Exo_ukr_gen.Kits.t -> mr:int -> nr:int -> unit -> Exo_sim.Kernel_model.impl
+
+(** The 8×12 base kernel proc (whose trace the monolithic models share). *)
+val base_8x12 : ?kit:Exo_ukr_gen.Kits.t -> unit -> Exo_ir.Ir.proc
+
+val blis_impl : ?kit:Exo_ukr_gen.Kits.t -> unit -> Exo_sim.Kernel_model.impl
+val neon_impl : ?kit:Exo_ukr_gen.Kits.t -> unit -> Exo_sim.Kernel_model.impl
+
+(** Numeric micro-kernel running the generated IR through the interpreter. *)
+val exo_ukr : ?kit:Exo_ukr_gen.Kits.t -> unit -> Gemm.ukr
+
+(** The monolithic kernels' numerics (identical arithmetic; their differences
+    are micro-architectural and live in the model impls). *)
+val monolithic_ukr : Gemm.ukr

@@ -1,0 +1,69 @@
+(** Micro-kernel auto-selection by exhaustive evaluation.
+
+    The paper's advantage #4: "the optimization process for each problem is
+    greatly reduced, boiling down to evaluating a number of generated
+    micro-kernels". This module is that evaluator: it generates every
+    candidate kernel shape, prices each on the modeled machine (full-GEMM
+    cost including fringe regions, packing, and the per-shape analytical
+    blocking), and returns the ranking. Results are memoized per problem, so
+    a driver can call {!best} per GEMM the way the paper's ALG+EXO does. *)
+
+
+type result = {
+  mr : int;
+  nr : int;
+  gflops : float;
+  blocking : Analytical.blocking;
+}
+
+let default_shapes =
+  [ (4, 4); (4, 8); (4, 12); (4, 16); (8, 4); (8, 8); (8, 12); (8, 16); (12, 8); (16, 4) ]
+
+let dtype_bytes = 4
+
+(** Register-file feasibility: the accumulator tile plus one A panel and one
+    B panel must fit the architectural registers. *)
+let feasible (machine : Exo_isa.Machine.t) ~(lanes : int) ~(mr : int) ~(nr : int) :
+    bool =
+  mr mod lanes = 0 && nr >= 1
+  &&
+  let c_regs = mr / lanes * nr in
+  let a_regs = mr / lanes and b_regs = (nr + lanes - 1) / lanes in
+  c_regs + a_regs + b_regs <= machine.Exo_isa.Machine.vec.Exo_isa.Memories.num_regs
+
+(** Evaluate one candidate shape on one problem. *)
+let evaluate ?(kit = Exo_ukr_gen.Kits.neon_f32) (machine : Exo_isa.Machine.t)
+    ~(mr : int) ~(nr : int) ~(m : int) ~(n : int) ~(k : int) : result =
+  let blocking = Analytical.compute machine ~mr ~nr ~dtype_bytes in
+  let regions = Driver.regions_family ~kit ~mr ~nr ~m ~n in
+  let t = Driver.time_of_regions machine ~regions ~prefetch:false ~m ~n ~k ~blocking in
+  {
+    mr;
+    nr;
+    gflops = 2.0 *. float_of_int m *. float_of_int n *. float_of_int k /. t /. 1e9;
+    blocking;
+  }
+
+let cache : (string * int * int * int, result list) Hashtbl.t = Hashtbl.create 32
+
+(** Rank every feasible candidate for one GEMM, best first (memoized). *)
+let sweep ?(kit = Exo_ukr_gen.Kits.neon_f32) ?(shapes = default_shapes)
+    (machine : Exo_isa.Machine.t) ~(m : int) ~(n : int) ~(k : int) : result list =
+  let key = (machine.Exo_isa.Machine.name ^ kit.Exo_ukr_gen.Kits.name, m, n, k) in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+      let lanes = kit.Exo_ukr_gen.Kits.lanes in
+      let results =
+        shapes
+        |> List.filter (fun (mr, nr) -> feasible machine ~lanes ~mr ~nr)
+        |> List.map (fun (mr, nr) -> evaluate ~kit machine ~mr ~nr ~m ~n ~k)
+        |> List.sort (fun a b -> compare b.gflops a.gflops)
+      in
+      if results = [] then invalid_arg "Tuner.sweep: no feasible kernel shape";
+      Hashtbl.replace cache key results;
+      results
+
+(** The winning shape for one GEMM. *)
+let best ?kit ?shapes (machine : Exo_isa.Machine.t) ~m ~n ~k : result =
+  List.hd (sweep ?kit ?shapes machine ~m ~n ~k)

@@ -1,0 +1,33 @@
+(** Micro-kernel auto-selection by exhaustive evaluation — the paper's
+    "the optimization process ... boil[s] down to evaluating a number of
+    generated micro-kernels". Candidates are priced on the modeled machine
+    (full-GEMM cost including fringes, packing, per-shape blocking) and
+    ranked; results are memoized per problem. *)
+
+type result = {
+  mr : int;
+  nr : int;
+  gflops : float;
+  blocking : Analytical.blocking;
+}
+
+val default_shapes : (int * int) list
+
+(** Register-file feasibility: accumulator tile + one A panel + one B panel
+    must fit the architectural registers, and [lanes | mr]. *)
+val feasible : Exo_isa.Machine.t -> lanes:int -> mr:int -> nr:int -> bool
+
+val evaluate :
+  ?kit:Exo_ukr_gen.Kits.t ->
+  Exo_isa.Machine.t -> mr:int -> nr:int -> m:int -> n:int -> k:int -> result
+
+(** Rank every feasible candidate for one GEMM, best first (memoized). *)
+val sweep :
+  ?kit:Exo_ukr_gen.Kits.t ->
+  ?shapes:(int * int) list ->
+  Exo_isa.Machine.t -> m:int -> n:int -> k:int -> result list
+
+val best :
+  ?kit:Exo_ukr_gen.Kits.t ->
+  ?shapes:(int * int) list ->
+  Exo_isa.Machine.t -> m:int -> n:int -> k:int -> result

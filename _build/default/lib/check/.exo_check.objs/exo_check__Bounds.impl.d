@@ -1,0 +1,1 @@
+lib/check/bounds.ml: Affine Dtype Exo_ir Fmt Ir List Option Pp Sym

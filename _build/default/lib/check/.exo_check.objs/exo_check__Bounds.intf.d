@@ -1,0 +1,1 @@
+lib/check/bounds.mli: Exo_ir Format

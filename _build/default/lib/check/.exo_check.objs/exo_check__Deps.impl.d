@@ -1,0 +1,1 @@
+lib/check/deps.ml: Affine Exo_ir Fmt Hashtbl Ir List Sym

@@ -1,0 +1,1 @@
+lib/check/deps.mli: Exo_ir

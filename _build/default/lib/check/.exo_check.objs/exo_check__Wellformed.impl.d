@@ -1,0 +1,1 @@
+lib/check/wellformed.ml: Dtype Exo_ir Fmt Ir List Mem Pp Sym

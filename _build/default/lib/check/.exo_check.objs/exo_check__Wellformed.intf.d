@@ -1,0 +1,1 @@
+lib/check/wellformed.mli: Exo_ir

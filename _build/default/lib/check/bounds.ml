@@ -1,0 +1,257 @@
+(** Symbolic bounds checking.
+
+    Verifies that every buffer access lies within the buffer's extents, with
+    loop variables abstracted to their (affine) ranges and size parameters
+    treated as symbolic values ≥ 1. The analysis is sound and incomplete:
+    each access is [Proved], [Violated] (a counterexample exists for every
+    size valuation), or [Unknown]. The generated micro-kernels are entirely
+    affine, so tests demand [Proved] across the board. *)
+
+open Exo_ir
+open Ir
+
+type verdict = Proved | Unknown | Violated
+
+(** Affine forms over size parameters (and index arguments) only. *)
+type interval = { lo : Affine.t option; hi : Affine.t option }
+(** Inclusive endpoints; [None] = unbounded on that side. *)
+
+type env = {
+  sizes : Sym.Set.t;  (** symbols that stand for values ≥ 1 *)
+  ranges : interval Sym.Map.t;  (** loop variables and bounded index args *)
+  dims : (Dtype.t * expr list) Sym.Map.t;  (** buffer extents *)
+}
+
+let add_bound a b =
+  match (a, b) with Some x, Some y -> Some (Affine.add x y) | _ -> None
+
+let scale_bound k = Option.map (Affine.scale k)
+
+(** Range of an affine expression under [env]: substitute each loop var by
+    its endpoints according to its coefficient's sign. Size symbols remain
+    symbolic. *)
+let range_of_affine (env : env) (a : Affine.t) : interval =
+  let base = Affine.const a.Affine.const in
+  List.fold_left
+    (fun acc (s, c) ->
+      match Sym.Map.find_opt s env.ranges with
+      | Some r ->
+          let lo_c, hi_c = if c >= 0 then (r.lo, r.hi) else (r.hi, r.lo) in
+          {
+            lo = add_bound acc.lo (scale_bound c lo_c);
+            hi = add_bound acc.hi (scale_bound c hi_c);
+          }
+      | None ->
+          (* a size parameter or other free symbol: keep symbolic *)
+          let t = Some (Affine.var ~coeff:c s) in
+          { lo = add_bound acc.lo t; hi = add_bound acc.hi t })
+    { lo = Some base; hi = Some base }
+    a.Affine.terms
+
+let range_of_expr env (e : expr) : interval option =
+  Option.map (range_of_affine env) (Affine.of_expr e)
+
+(** Is the affine form [a] provably ≥ 0 for every valuation with sizes ≥ 1?
+    [`Yes] / [`No] (provably negative somewhere) / [`Maybe]. *)
+let nonneg (env : env) (a : Affine.t) : [ `Yes | `No | `Maybe ] =
+  let min_val =
+    List.fold_left
+      (fun acc (s, c) ->
+        match acc with
+        | None -> None
+        | Some m ->
+            if Sym.Set.mem s env.sizes then
+              if c >= 0 then Some (m + c) (* size ≥ 1 *) else None (* unbounded above *)
+            else None)
+      (Some a.Affine.const) a.Affine.terms
+  in
+  match min_val with
+  | Some m when m >= 0 -> `Yes
+  | Some _ -> `No
+  | None ->
+      (* Some coefficient unbounded: provably violated only if *every*
+         valuation fails, which we cannot establish here. *)
+      if a.Affine.terms = [] then if a.Affine.const >= 0 then `Yes else `No else `Maybe
+
+(** [nonneg_with_sizes sizes a] — non-negativity of [a] knowing only that
+    the given symbols are ≥ 1 (used by scheduling trip-count proofs). *)
+let nonneg_with_sizes (sizes : Sym.Set.t) (a : Affine.t) =
+  nonneg { sizes; ranges = Sym.Map.empty; dims = Sym.Map.empty } a
+
+(** [le env a b] — is a ≤ b provable? *)
+let le env (a : Affine.t) (b : Affine.t) : [ `Yes | `No | `Maybe ] =
+  nonneg env (Affine.sub b a)
+
+let check_le env (a : Affine.t option) (b : Affine.t option) : verdict =
+  match (a, b) with
+  | Some a, Some b -> (
+      match le env a b with `Yes -> Proved | `No -> Violated | `Maybe -> Unknown)
+  | _ -> Unknown
+
+type failure = { access : string; reason : string; verdict : verdict }
+
+let failures : failure list ref = ref []
+
+let record access reason verdict = failures := { access; reason; verdict } :: !failures
+
+(** Check one subscript [idx] against extent [dim]: 0 ≤ idx and idx ≤ dim-1. *)
+let check_subscript env ~(what : string) (idx : expr) (dim : expr) : unit =
+  match (Affine.of_expr idx, Affine.of_expr dim) with
+  | Some ia, Some da ->
+      let r = range_of_affine env ia in
+      (match check_le env (Some Affine.zero) r.lo with
+      | Proved -> ()
+      | v -> record what (Fmt.str "lower bound of %s" (Pp.expr_to_string idx)) v);
+      let dminus1 = Affine.sub da (Affine.const 1) in
+      (match check_le env r.hi (Some dminus1) with
+      | Proved -> ()
+      | v ->
+          record what
+            (Fmt.str "upper bound: %s vs extent %s" (Pp.expr_to_string idx)
+               (Pp.expr_to_string dim))
+            v)
+  | _ -> record what (Fmt.str "non-affine subscript %s" (Pp.expr_to_string idx)) Unknown
+
+let check_access env (b : Sym.t) (idx : expr list) : unit =
+  match Sym.Map.find_opt b env.dims with
+  | None -> () (* unknown buffer: well-formedness catches this separately *)
+  | Some (_, dims) ->
+      if List.length dims = List.length idx then
+        List.iteri
+          (fun d (i, dim) ->
+            check_subscript env
+              ~what:(Fmt.str "%s[...] dim %d" (Sym.name b) d)
+              i dim)
+          (List.combine idx dims)
+
+let check_window env (w : window) : unit =
+  match Sym.Map.find_opt w.wbuf env.dims with
+  | None -> ()
+  | Some (_, dims) when List.length dims = List.length w.widx ->
+      List.iteri
+        (fun d (wa, dim) ->
+          let what = Fmt.str "%s[...window...] dim %d" (Sym.name w.wbuf) d in
+          match wa with
+          | Pt e -> check_subscript env ~what e dim
+          | Iv (lo, hi) -> (
+              check_subscript env ~what lo dim;
+              (* hi is exclusive: hi ≤ dim and lo ≤ hi *)
+              match (Affine.of_expr hi, Affine.of_expr dim, Affine.of_expr lo) with
+              | Some ha, Some da, Some la ->
+                  let rh = range_of_affine env ha in
+                  (match check_le env rh.hi (Some da) with
+                  | Proved -> ()
+                  | v -> record what "window upper end exceeds extent" v);
+                  let diff = Affine.sub ha la in
+                  (match nonneg env diff with
+                  | `Yes -> ()
+                  | `No -> record what "empty or negative window" Violated
+                  | `Maybe -> record what "window extent not provably non-negative" Unknown)
+              | _ -> record what "non-affine window bound" Unknown))
+        (List.combine w.widx dims)
+  | Some _ -> ()
+
+let rec check_stmts env (body : stmt list) : env =
+  List.fold_left
+    (fun env s ->
+      match s with
+      | SAssign (b, idx, e) | SReduce (b, idx, e) ->
+          check_access env b idx;
+          check_expr env e;
+          env
+      | SFor (v, lo, hi, inner) ->
+          check_expr env lo;
+          check_expr env hi;
+          let range =
+            match (range_of_expr env lo, range_of_expr env hi) with
+            | Some rlo, Some rhi ->
+                { lo = rlo.lo; hi = add_bound rhi.hi (Some (Affine.const (-1))) }
+            | _ -> { lo = None; hi = None }
+          in
+          ignore (check_stmts { env with ranges = Sym.Map.add v range env.ranges } inner);
+          env
+      | SAlloc (b, dt, dims, _) ->
+          List.iter (check_expr env) dims;
+          { env with dims = Sym.Map.add b (dt, dims) env.dims }
+      | SCall (_, args) ->
+          List.iter
+            (function
+              | AExpr e -> check_expr env e
+              | AWin w -> check_window env w)
+            args;
+          env
+      | SIf (c, t, e) ->
+          check_expr env c;
+          ignore (check_stmts env t);
+          ignore (check_stmts env e);
+          env)
+    env body
+
+and check_expr env (e : expr) : unit =
+  (* Recursively check buffer reads inside expressions. *)
+  ignore
+    (map_expr
+       (function
+         | Read (b, idx) as e ->
+             check_access env b idx;
+             e
+         | e -> e)
+       e)
+
+type report = { violations : failure list; unknowns : failure list }
+
+(** Bounds-check a whole procedure. Index-argument ranges are recovered from
+    the procedure's [assert] predicates of the shapes [v >= e] / [v < e] /
+    [v <= e] (as in the fmla lane-index contract). *)
+let check_proc (p : proc) : report =
+  failures := [];
+  let sizes =
+    List.fold_left
+      (fun acc a -> match a.a_typ with TSize -> Sym.Set.add a.a_name acc | _ -> acc)
+      Sym.Set.empty p.p_args
+  in
+  let dims =
+    List.fold_left
+      (fun acc a ->
+        match a.a_typ with
+        | TTensor (dt, ds) -> Sym.Map.add a.a_name (dt, ds) acc
+        | TScalar dt -> Sym.Map.add a.a_name (dt, []) acc
+        | _ -> acc)
+      Sym.Map.empty p.p_args
+  in
+  let ranges =
+    (* Mine predicates for index-argument ranges. *)
+    let rec mine acc (e : expr) =
+      match e with
+      | And (a, b) -> mine (mine acc a) b
+      | Cmp (Ge, Var v, e') -> update acc v ~lo:(Affine.of_expr e') ~hi:None
+      | Cmp (Le, Var v, e') -> update acc v ~lo:None ~hi:(Affine.of_expr e')
+      | Cmp (Lt, Var v, e') ->
+          update acc v ~lo:None
+            ~hi:(Option.map (fun a -> Affine.sub a (Affine.const 1)) (Affine.of_expr e'))
+      | Cmp (Gt, Var v, e') ->
+          update acc v
+            ~lo:(Option.map (fun a -> Affine.add a (Affine.const 1)) (Affine.of_expr e'))
+            ~hi:None
+      | _ -> acc
+    and update acc v ~lo ~hi =
+      let cur =
+        match Sym.Map.find_opt v acc with
+        | Some r -> r
+        | None -> { lo = None; hi = None }
+      in
+      let pick fresh old = match fresh with Some _ -> fresh | None -> old in
+      Sym.Map.add v { lo = pick lo cur.lo; hi = pick hi cur.hi } acc
+    in
+    List.fold_left mine Sym.Map.empty p.p_preds
+  in
+  ignore (check_stmts { sizes; ranges; dims } p.p_body);
+  let all = List.rev !failures in
+  {
+    violations = List.filter (fun f -> f.verdict = Violated) all;
+    unknowns = List.filter (fun f -> f.verdict = Unknown) all;
+  }
+
+let pp_failure ppf f =
+  Fmt.pf ppf "%s: %s (%s)" f.access f.reason
+    (match f.verdict with Violated -> "violated" | Unknown -> "unknown" | Proved -> "ok")

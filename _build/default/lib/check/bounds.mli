@@ -1,0 +1,37 @@
+(** Symbolic bounds checking: every buffer access within its extents, loop
+    variables abstracted to affine ranges, size parameters symbolic (≥ 1).
+    Sound and incomplete: each access is proved, provably violated, or
+    unknown; the generated kernels are entirely affine, so tests demand
+    [Proved] across the board. *)
+
+type verdict = Proved | Unknown | Violated
+
+(** Inclusive affine endpoints over size parameters; [None] = unbounded. *)
+type interval = { lo : Exo_ir.Affine.t option; hi : Exo_ir.Affine.t option }
+
+type env = {
+  sizes : Exo_ir.Sym.Set.t;  (** symbols standing for values ≥ 1 *)
+  ranges : interval Exo_ir.Sym.Map.t;  (** loop vars, pred-bounded indices *)
+  dims : (Exo_ir.Dtype.t * Exo_ir.Ir.expr list) Exo_ir.Sym.Map.t;
+}
+
+(** Range of an affine form: loop variables replaced by their endpoints,
+    sizes kept symbolic. *)
+val range_of_affine : env -> Exo_ir.Affine.t -> interval
+
+(** Provable non-negativity under sizes ≥ 1. *)
+val nonneg : env -> Exo_ir.Affine.t -> [ `Yes | `No | `Maybe ]
+
+(** Non-negativity knowing only that the given symbols are ≥ 1 (trip-count
+    proofs in [remove_loop]). *)
+val nonneg_with_sizes :
+  Exo_ir.Sym.Set.t -> Exo_ir.Affine.t -> [ `Yes | `No | `Maybe ]
+
+type failure = { access : string; reason : string; verdict : verdict }
+type report = { violations : failure list; unknowns : failure list }
+
+(** Bounds-check a procedure; index-argument ranges are mined from its
+    [assert] predicates (the fmla lane contract). Not re-entrant. *)
+val check_proc : Exo_ir.Ir.proc -> report
+
+val pp_failure : Format.formatter -> failure -> unit

@@ -1,0 +1,274 @@
+(** Conservative loop dependence analysis.
+
+    [reorder_loops] and loop fission are only semantics-preserving in the
+    absence of certain loop-carried dependences. Exo discharges these
+    obligations with its effect system; we implement a conservative affine
+    analysis with the same user-facing behaviour: legal schedules in the
+    paper's pipeline pass, while illegal requests (e.g. reordering loops
+    around a recurrence) raise a scheduling error.
+
+    The analysis answers [Ok ()] only when legality is *proved*; any
+    imprecision yields [Error reason]. Reductions ([+=]) are treated as
+    reorderable amongst themselves, following Exo (floating-point reduction
+    reassociation is an accepted part of the scheduling contract). *)
+
+open Exo_ir
+open Ir
+
+type kind = KRead | KAssign | KReduce
+
+type access = { buf : Sym.t; kind : kind; idx : Affine.t option list }
+(** Subscripts in affine normal form; [None] = non-affine or windowed. *)
+
+let affine_of e = Affine.of_expr e
+
+let rec collect_expr acc (e : expr) =
+  match e with
+  | Read (b, idx) ->
+      let acc = List.fold_left collect_expr acc idx in
+      { buf = b; kind = KRead; idx = List.map affine_of idx } :: acc
+  | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+      collect_expr (collect_expr acc a) b
+  | Neg a | Not a -> collect_expr acc a
+  | Int _ | Float _ | Var _ | Stride _ -> acc
+
+(** All accesses in a statement list. Call windows are conservatively
+    treated as writes with unanalyzable ([None]) subscripts on [Iv] dims. *)
+let rec collect_stmts acc (body : stmt list) =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | SAssign (b, idx, e) ->
+          let acc = collect_expr acc e in
+          { buf = b; kind = KAssign; idx = List.map affine_of idx } :: acc
+      | SReduce (b, idx, e) ->
+          let acc = collect_expr acc e in
+          { buf = b; kind = KReduce; idx = List.map affine_of idx } :: acc
+      | SFor (_, lo, hi, inner) ->
+          collect_stmts (collect_expr (collect_expr acc lo) hi) inner
+      | SAlloc (_, _, dims, _) -> List.fold_left collect_expr acc dims
+      | SCall (_, args) ->
+          List.fold_left
+            (fun acc -> function
+              | AExpr e -> collect_expr acc e
+              | AWin w ->
+                  {
+                    buf = w.wbuf;
+                    kind = KAssign;
+                    idx =
+                      List.map
+                        (function Pt e -> affine_of e | Iv _ -> None)
+                        w.widx;
+                  }
+                  :: acc)
+            acc args
+      | SIf (c, t, e) -> collect_stmts (collect_stmts (collect_expr acc c) t) e)
+    acc body
+
+let is_write a = a.kind <> KRead
+
+(** Vars bound by loops inside a statement list. *)
+let inner_binders (body : stmt list) : Sym.Set.t =
+  let acc = ref Sym.Set.empty in
+  iter_stmts (function SFor (v, _, _, _) -> acc := Sym.Set.add v !acc | _ -> ()) body;
+  !acc
+
+let coeff (a : Affine.t) (v : Sym.t) : int =
+  match List.find_opt (fun (s, _) -> Sym.equal s v) a.Affine.terms with
+  | Some (_, c) -> c
+  | None -> 0
+
+let vars_of (a : Affine.t) : Sym.Set.t =
+  List.fold_left (fun s (v, _) -> Sym.Set.add v s) Sym.Set.empty a.Affine.terms
+
+let drop_var (a : Affine.t) (v : Sym.t) : Affine.t =
+  { a with Affine.terms = List.filter (fun (s, _) -> not (Sym.equal s v)) a.Affine.terms }
+
+(** Do two accesses (to the same buffer) provably touch distinct cells
+    whenever the fission/reorder variable [v] differs?
+
+    The two access *instances* being compared come from different iterations:
+    [v] and every variable in [volatile] (deeper binders) may take different
+    values on each side; everything else (outer loop variables, sizes) is
+    common. A dimension proves disjointness when neither subscript mentions
+    any volatile variable besides [v], and either
+
+    - both have the same nonzero coefficient [c] on [v] with identical
+      remainders — indices then differ by [c·(i−j) ≠ 0]; or
+    - neither mentions [v] and the remainders differ by a nonzero constant
+      (the accesses never alias at all). *)
+let disjoint_when_var_differs ~(v : Sym.t) ~(volatile : Sym.Set.t) (a : access)
+    (b : access) : bool =
+  let others = Sym.Set.remove v volatile in
+  let has_volatile (x : Affine.t) =
+    not (Sym.Set.is_empty (Sym.Set.inter (vars_of x) others))
+  in
+  List.length a.idx = List.length b.idx
+  && List.exists2
+       (fun ia ib ->
+         match (ia, ib) with
+         | Some ia, Some ib when (not (has_volatile ia)) && not (has_volatile ib) ->
+             let ca = coeff ia v and cb = coeff ib v in
+             let d = Affine.sub (drop_var ia v) (drop_var ib v) in
+             if ca = cb && ca <> 0 then Affine.equal d Affine.zero
+             else if ca = 0 && cb = 0 then d.Affine.terms = [] && d.Affine.const <> 0
+             else false
+         | _ -> false)
+       a.idx b.idx
+
+let buf_groups (accs : access list) : (Sym.t * access list) list =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      let cur = try Hashtbl.find tbl (Sym.id a.buf) with Not_found -> [] in
+      Hashtbl.replace tbl (Sym.id a.buf) (a :: cur))
+    accs;
+  List.sort_uniq (fun a b -> Sym.compare a b)
+    (List.map (fun a -> a.buf) accs)
+  |> List.map (fun b -> (b, Hashtbl.find tbl (Sym.id b)))
+
+(** Is executing [body] twice in a row the same as once? Sufficient: only
+    plain assignments whose right-hand sides read nothing the body writes,
+    and no instruction calls or reductions. *)
+let idempotent (body : stmt list) : bool =
+  let written = ref Sym.Set.empty in
+  let reads = ref Sym.Set.empty in
+  let ok = ref true in
+  iter_stmts
+    (fun s ->
+      match s with
+      | SAssign (b, idx, e) ->
+          written := Sym.Set.add b !written;
+          List.iter (fun i -> reads := expr_bufs !reads i) idx;
+          reads := expr_bufs !reads e
+      | SReduce _ | SCall _ -> ok := false
+      | SFor (_, lo, hi, _) -> reads := expr_bufs (expr_bufs !reads lo) hi
+      | SAlloc _ -> ()
+      | SIf (c, _, _) -> reads := expr_bufs !reads c)
+    body;
+  !ok && Sym.Set.is_empty (Sym.Set.inter !written !reads)
+
+let written_bufs (body : stmt list) : Sym.Set.t =
+  let acc = ref Sym.Set.empty in
+  List.iter
+    (fun a -> if is_write a then acc := Sym.Set.add a.buf !acc)
+    (collect_stmts [] body);
+  !acc
+
+(** The loop-invariant staging rule: [for v: pre; post ≡ (for v: pre);
+    (for v: post)] when [pre] does not depend on [v], is idempotent, and
+    nothing [post] writes feeds back into [pre]. Every iteration of the
+    fissioned first loop then recomputes the same state [pre] had
+    established before each original iteration. This is what lets operand
+    loads staged by [bind_expr] fission out through loops whose variable
+    they do not use (Fig. 9 of the paper). *)
+let invariant_pre_rule ~(v : Sym.t) ~(pre : stmt list) ~(post : stmt list) : bool =
+  (not (Sym.Set.mem v (stmts_free_vars pre)))
+  && idempotent pre
+  && Sym.Set.is_empty (Sym.Set.inter (written_bufs post) (stmts_bufs pre))
+
+(** Legality of fissioning [for v: pre; post] into [for v: pre; for v: post].
+
+    Requirement: no dependence from [post] at iteration [i] to [pre] at
+    iteration [j > i] (the fissioned second loop runs strictly after the
+    whole first loop). For each buffer with a write on one side and any
+    access on the other, we prove cross-iteration disjointness, or fall back
+    to the reduce-reduce commutation rule; failing both, the whole split may
+    still be justified by {!invariant_pre_rule}. *)
+let fission_legal ~(v : Sym.t) ~(pre : stmt list) ~(post : stmt list) :
+    (unit, string) result =
+  let pre_accs = collect_stmts [] pre and post_accs = collect_stmts [] post in
+  let volatile =
+    Sym.Set.add v (Sym.Set.union (inner_binders pre) (inner_binders post))
+  in
+  let shared =
+    List.filter_map
+      (fun (b, post_g) ->
+        match List.filter (fun a -> Sym.equal a.buf b) pre_accs with
+        | [] -> None
+        | pre_g -> Some (b, pre_g, post_g))
+      (buf_groups post_accs)
+  in
+  let check_pair (b : Sym.t) (p : access) (q : access) =
+    if (not (is_write p)) && not (is_write q) then Ok ()
+    else if p.kind = KReduce && q.kind = KReduce then Ok ()
+    else if disjoint_when_var_differs ~v ~volatile p q then Ok ()
+    else
+      Error
+        (Fmt.str
+           "cannot prove fission over %a safe: conflicting accesses to %a"
+           Sym.pp v Sym.pp b)
+  in
+  let pairwise =
+    List.fold_left
+      (fun acc (b, pre_g, post_g) ->
+        List.fold_left
+          (fun acc q ->
+            List.fold_left
+              (fun acc p -> match acc with Error _ -> acc | Ok () -> check_pair b p q)
+              acc pre_g)
+          acc post_g)
+      (Ok ()) shared
+  in
+  match pairwise with
+  | Ok () -> Ok ()
+  | Error _ when invariant_pre_rule ~v ~pre ~post -> Ok ()
+  | Error _ as e -> e
+
+(** Legality of swapping two perfectly nested loops [for v1: for v2: body].
+
+    Sufficient conditions per buffer written in [body]: either every access
+    is a reduction (reductions commute), or every pair of accesses with a
+    write provably touches distinct cells when [v1] differs and when [v2]
+    differs (iteration-private cells), with reads of the written buffer
+    confined to the written cell. *)
+let reorder_legal ~(outer : Sym.t) ~(inner : Sym.t) ~(body : stmt list) :
+    (unit, string) result =
+  let accs = collect_stmts [] body in
+  let volatile = Sym.Set.add outer (Sym.Set.add inner (inner_binders body)) in
+  let check_group (b, group) =
+    if List.for_all (fun a -> not (is_write a)) group then Ok ()
+    else if List.for_all (fun a -> a.kind = KReduce || a.kind = KRead) group
+            && List.for_all
+                 (fun a ->
+                   a.kind = KReduce
+                   ||
+                   (* reads of a reduced buffer must match a reduce cell *)
+                   List.exists
+                     (fun w ->
+                       w.kind = KReduce
+                       && List.length w.idx = List.length a.idx
+                       && List.for_all2
+                            (fun x y ->
+                              match (x, y) with
+                              | Some x, Some y -> Affine.equal x y
+                              | _ -> false)
+                            w.idx a.idx)
+                     group)
+                 group
+    then Ok ()
+    else
+      let writes = List.filter is_write group in
+      (* Every (write, access) pair — including a write against itself, which
+         compares two distinct iterations — must be provably disjoint under
+         both reordered variables. *)
+      let ok =
+        List.for_all
+          (fun w ->
+            List.for_all
+              (fun a ->
+                disjoint_when_var_differs ~v:outer ~volatile w a
+                && disjoint_when_var_differs ~v:inner ~volatile w a)
+              group)
+          writes
+      in
+      if ok then Ok ()
+      else
+        Error
+          (Fmt.str "cannot prove reordering %a/%a safe: accesses to %a" Sym.pp outer
+             Sym.pp inner Sym.pp b)
+  in
+  List.fold_left
+    (fun acc g -> match acc with Error _ -> acc | Ok () -> check_group g)
+    (Ok ())
+    (buf_groups accs)

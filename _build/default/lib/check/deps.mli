@@ -1,0 +1,41 @@
+(** Conservative loop dependence analysis — the legality oracle behind
+    [reorder_loops] and [autofission]. Answers [Ok ()] only when legality is
+    *proved*; imprecision yields [Error]. Reductions are treated as
+    reorderable amongst themselves, following Exo's scheduling contract. *)
+
+type kind = KRead | KAssign | KReduce
+
+type access = {
+  buf : Exo_ir.Sym.t;
+  kind : kind;
+  idx : Exo_ir.Affine.t option list;
+}
+
+val collect_stmts : access list -> Exo_ir.Ir.stmt list -> access list
+val coeff : Exo_ir.Affine.t -> Exo_ir.Sym.t -> int
+val drop_var : Exo_ir.Affine.t -> Exo_ir.Sym.t -> Exo_ir.Affine.t
+
+(** Is executing the block twice the same as once? (assign-only, no
+    read-after-write). *)
+val idempotent : Exo_ir.Ir.stmt list -> bool
+
+(** The loop-invariant staging rule justifying operand-load fission through
+    loops the load does not use (Fig. 9). *)
+val invariant_pre_rule :
+  v:Exo_ir.Sym.t -> pre:Exo_ir.Ir.stmt list -> post:Exo_ir.Ir.stmt list -> bool
+
+(** Legality of [for v: pre; post ⇒ (for v: pre); (for v: post)]: no
+    dependence from [post]@i to [pre]@j for j > i, via cross-iteration
+    disjointness, reduce-reduce commutation, or the invariant-pre rule. *)
+val fission_legal :
+  v:Exo_ir.Sym.t ->
+  pre:Exo_ir.Ir.stmt list ->
+  post:Exo_ir.Ir.stmt list ->
+  (unit, string) result
+
+(** Legality of swapping two perfectly nested loops. *)
+val reorder_legal :
+  outer:Exo_ir.Sym.t ->
+  inner:Exo_ir.Sym.t ->
+  body:Exo_ir.Ir.stmt list ->
+  (unit, string) result

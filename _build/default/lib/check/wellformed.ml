@@ -1,0 +1,240 @@
+(** Well-formedness and type checking.
+
+    Every scheduling primitive re-checks its result, so a rewrite that would
+    produce out-of-scope symbols, rank-mismatched accesses, or ill-kinded
+    expressions fails loudly at scheduling time — the discipline Exo gets
+    from construction-by-typed-cursors. *)
+
+open Exo_ir
+open Ir
+
+exception Type_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
+
+(** Expression sorts. [EData None] is a polymorphic numeric literal. *)
+type ety = EInt | EBool | EData of Dtype.t option
+
+type binding =
+  | BInt  (** size, index or loop variable *)
+  | BBool
+  | BBuf of Dtype.t * int * Mem.t  (** dtype, rank, memory *)
+
+type env = binding Sym.Map.t
+
+let pp_ety ppf = function
+  | EInt -> Fmt.string ppf "int"
+  | EBool -> Fmt.string ppf "bool"
+  | EData None -> Fmt.string ppf "num"
+  | EData (Some dt) -> Dtype.pp ppf dt
+
+let unify_data a b ~ctx =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some d1, Some d2 ->
+      if Dtype.equal d1 d2 then Some d1
+      else err "%s: mixed data types %a and %a" ctx Dtype.pp d1 Dtype.pp d2
+
+let env_of_args (args : arg list) : env =
+  List.fold_left
+    (fun env a ->
+      let b =
+        match a.a_typ with
+        | TSize | TIndex -> BInt
+        | TBool -> BBool
+        | TScalar dt -> BBuf (dt, 0, a.a_mem)
+        | TTensor (dt, dims) -> BBuf (dt, List.length dims, a.a_mem)
+      in
+      Sym.Map.add a.a_name b env)
+    Sym.Map.empty args
+
+let lookup env v =
+  match Sym.Map.find_opt v env with
+  | Some b -> b
+  | None -> err "unbound symbol %a" Sym.pp_debug v
+
+let rec infer (env : env) (e : expr) : ety =
+  match e with
+  | Int _ -> EInt
+  | Float _ -> EData None
+  | Var v -> (
+      match lookup env v with
+      | BInt -> EInt
+      | BBool -> EBool
+      | BBuf _ -> err "buffer %a used as a scalar variable (read it with [])" Sym.pp v)
+  | Read (b, idx) -> (
+      match lookup env b with
+      | BBuf (dt, rank, _) ->
+          (* Scalar arguments such as [alpha: f32[1]] are rank-1 tensors read
+             as [alpha[0]]; rank-0 scalars are read with no subscripts. *)
+          if List.length idx <> rank then
+            err "%a has rank %d but is subscripted with %d indices" Sym.pp b rank
+              (List.length idx);
+          List.iter (fun i -> expect_int env i) idx;
+          EData (Some dt)
+      | BInt | BBool -> err "%a is not a buffer" Sym.pp b)
+  | Binop (op, a, b) -> (
+      match (infer env a, infer env b) with
+      | EInt, EInt -> EInt
+      | EData x, EData y ->
+          if op = Mod then err "%% is not defined on data values";
+          EData (unify_data x y ~ctx:(binop_name op))
+      | EData x, EInt | EInt, EData x ->
+          (* Integer literals flow into data positions only via Float. *)
+          err "cannot mix int and data operands of %s (data side: %a)" (binop_name op)
+            pp_ety (EData x)
+      | t1, t2 -> err "bad operands of %s: %a, %a" (binop_name op) pp_ety t1 pp_ety t2)
+  | Neg a -> (
+      match infer env a with
+      | EInt -> EInt
+      | EData d -> EData d
+      | EBool -> err "cannot negate a bool")
+  | Cmp (op, a, b) -> (
+      match (infer env a, infer env b) with
+      | EInt, EInt -> EBool
+      | EData x, EData y ->
+          ignore (unify_data x y ~ctx:(cmpop_name op));
+          EBool
+      | t1, t2 -> err "bad comparison operands: %a, %a" pp_ety t1 pp_ety t2)
+  | And (a, b) | Or (a, b) ->
+      expect_bool env a;
+      expect_bool env b;
+      EBool
+  | Not a ->
+      expect_bool env a;
+      EBool
+  | Stride (b, d) -> (
+      match lookup env b with
+      | BBuf (_, rank, _) ->
+          if d < 0 || d >= rank then
+            err "stride(%a, %d): dimension out of range (rank %d)" Sym.pp b d rank;
+          EInt
+      | _ -> err "stride of non-buffer %a" Sym.pp b)
+
+and expect_int env e =
+  match infer env e with
+  | EInt -> ()
+  | t -> err "expected an integer index expression, got %a in %s" pp_ety t
+           (Pp.expr_to_string e)
+
+and expect_bool env e =
+  match infer env e with
+  | EBool -> ()
+  | t -> err "expected a boolean expression, got %a in %s" pp_ety t
+           (Pp.expr_to_string e)
+
+let expect_data env e ~dt =
+  match infer env e with
+  | EData None -> ()
+  | EData (Some d) when Dtype.equal d dt -> ()
+  | t -> err "expected %a data, got %a in %s" Dtype.pp dt pp_ety t (Pp.expr_to_string e)
+
+(** Rank and dtype of a window against the buffer it views. *)
+let check_window env (w : window) : Dtype.t * int * Mem.t =
+  match lookup env w.wbuf with
+  | BBuf (dt, rank, mem) ->
+      if List.length w.widx <> rank then
+        err "window on %a: %d accessors for rank-%d buffer" Sym.pp w.wbuf
+          (List.length w.widx) rank;
+      List.iter
+        (function
+          | Pt e -> expect_int env e
+          | Iv (lo, hi) ->
+              expect_int env lo;
+              expect_int env hi)
+        w.widx;
+      (dt, window_rank w, mem)
+  | _ -> err "window on non-buffer %a" Sym.pp w.wbuf
+
+let rec check_stmts (env : env) (body : stmt list) : unit =
+  match body with
+  | [] -> ()
+  | s :: rest -> (
+      match s with
+      | SAssign (b, idx, e) | SReduce (b, idx, e) ->
+          (match lookup env b with
+          | BBuf (dt, rank, _) ->
+              if List.length idx <> rank then
+                err "%a has rank %d but is written with %d indices" Sym.pp b rank
+                  (List.length idx);
+              List.iter (expect_int env) idx;
+              expect_data env e ~dt
+          | _ -> err "%a is not a buffer" Sym.pp b);
+          check_stmts env rest
+      | SFor (v, lo, hi, inner) ->
+          expect_int env lo;
+          expect_int env hi;
+          if Sym.Map.mem v env then
+            err "loop variable %a shadows an existing symbol" Sym.pp_debug v;
+          check_stmts (Sym.Map.add v BInt env) inner;
+          check_stmts env rest
+      | SAlloc (b, dt, dims, mem) ->
+          List.iter (expect_int env) dims;
+          if Sym.Map.mem b env then
+            err "allocation %a shadows an existing symbol" Sym.pp_debug b;
+          check_stmts (Sym.Map.add b (BBuf (dt, List.length dims, mem)) env) rest
+      | SCall (p, args) ->
+          check_call env p args;
+          check_stmts env rest
+      | SIf (c, t, e) ->
+          expect_bool env c;
+          check_stmts env t;
+          check_stmts env e;
+          check_stmts env rest)
+
+and check_call env (p : proc) (args : call_arg list) : unit =
+  if List.length args <> List.length p.p_args then
+    err "call to %s: %d arguments for %d parameters" p.p_name (List.length args)
+      (List.length p.p_args);
+  List.iter2
+    (fun (param : arg) (a : call_arg) ->
+      match (param.a_typ, a) with
+      | (TSize | TIndex), AExpr e -> expect_int env e
+      | TBool, AExpr e -> expect_bool env e
+      | TScalar dt, AExpr e -> expect_data env e ~dt
+      | TScalar dt, AWin w ->
+          let dt', rank, mem = check_window env w in
+          if rank <> 0 then err "call to %s: scalar parameter %a given a rank-%d window"
+              p.p_name Sym.pp param.a_name rank;
+          if not (Dtype.equal dt dt') then
+            err "call to %s: parameter %a expects %a, window has %a" p.p_name Sym.pp
+              param.a_name Dtype.pp dt Dtype.pp dt';
+          if not (Mem.equal param.a_mem mem || Mem.is_dram mem) then
+            err "call to %s: parameter %a lives in %a but the window is in %a"
+              p.p_name Sym.pp param.a_name Mem.pp param.a_mem Mem.pp mem
+      | TTensor (dt, dims), AWin w ->
+          let dt', rank, mem = check_window env w in
+          if rank <> List.length dims then
+            err "call to %s: parameter %a expects rank %d, window has rank %d"
+              p.p_name Sym.pp param.a_name (List.length dims) rank;
+          if not (Dtype.equal dt dt') then
+            err "call to %s: parameter %a expects %a, window has %a" p.p_name Sym.pp
+              param.a_name Dtype.pp dt Dtype.pp dt';
+          (* The memory-consistency half of the @instr contract. A DRAM
+             window may flow into a register parameter *during scheduling* —
+             the paper's pipeline calls [replace] before [set_memory] — and
+             the code emitter enforces final strictness; a *register* window
+             must match the parameter's memory exactly (Neon8f data cannot
+             feed a Neon operand). *)
+          if not (Mem.equal param.a_mem mem || Mem.is_dram mem) then
+            err "call to %s: parameter %a lives in %a but the window is in %a"
+              p.p_name Sym.pp param.a_name Mem.pp param.a_mem Mem.pp mem
+      | TTensor _, AExpr _ ->
+          err "call to %s: tensor parameter %a needs a window argument" p.p_name Sym.pp
+            param.a_name
+      | (TSize | TIndex | TBool), AWin _ ->
+          err "call to %s: parameter %a expects a scalar expression" p.p_name Sym.pp
+            param.a_name)
+    p.p_args args
+
+(** Check a whole procedure (and, recursively, the signature use of every
+    instruction it calls — instruction bodies are checked when defined). *)
+let check_proc (p : proc) : unit =
+  let env = env_of_args p.p_args in
+  List.iter (expect_bool env) p.p_preds;
+  check_stmts env p.p_body
+
+let check_proc_result ~(ctx : string) (p : proc) : proc =
+  (try check_proc p
+   with Type_error m -> err "%s produced an ill-formed procedure: %s" ctx m);
+  p

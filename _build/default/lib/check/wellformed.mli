@@ -1,0 +1,30 @@
+(** Well-formedness and type checking. Every scheduling primitive re-checks
+    its result, so a rewrite that would produce out-of-scope symbols,
+    rank-mismatched accesses, ill-kinded expressions, or memory-inconsistent
+    instruction calls fails loudly at scheduling time. *)
+
+exception Type_error of string
+
+(** Expression sorts; [EData None] is a polymorphic numeric literal. *)
+type ety = EInt | EBool | EData of Exo_ir.Dtype.t option
+
+type binding =
+  | BInt
+  | BBool
+  | BBuf of Exo_ir.Dtype.t * int * Exo_ir.Mem.t  (** dtype, rank, memory *)
+
+type env = binding Exo_ir.Sym.Map.t
+
+val env_of_args : Exo_ir.Ir.arg list -> env
+val infer : env -> Exo_ir.Ir.expr -> ety
+val expect_int : env -> Exo_ir.Ir.expr -> unit
+val expect_bool : env -> Exo_ir.Ir.expr -> unit
+val expect_data : env -> Exo_ir.Ir.expr -> dt:Exo_ir.Dtype.t -> unit
+
+(** dtype, window rank, and memory of a window against its buffer. *)
+val check_window : env -> Exo_ir.Ir.window -> Exo_ir.Dtype.t * int * Exo_ir.Mem.t
+
+val check_stmts : env -> Exo_ir.Ir.stmt list -> unit
+val check_call : env -> Exo_ir.Ir.proc -> Exo_ir.Ir.call_arg list -> unit
+val check_proc : Exo_ir.Ir.proc -> unit
+val check_proc_result : ctx:string -> Exo_ir.Ir.proc -> Exo_ir.Ir.proc

@@ -1,0 +1,1 @@
+lib/codegen/c_emit.ml: Buffer Dtype Exo_ir Exo_isa Filename Float Fmt Hashtbl Ir List Mem Pp Simplify String Sym

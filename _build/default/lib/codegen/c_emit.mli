@@ -1,0 +1,23 @@
+(** C code emission — "plain C code with intrinsic instructions" that any
+    toolchain compiles, the compiler-independence the paper counts among
+    Exo's advantages.
+
+    Tensor arguments become flat pointers with linearized row-major indexing;
+    DRAM allocations become stack arrays; register-memory allocations become
+    arrays of the ISA's vector type (the lane dimension folds into the type);
+    instruction calls render through their [@instr] format strings. Direct
+    element access to a register-memory buffer — a kernel that was never
+    fully vectorized — is rejected, as is a register parameter still fed by
+    a DRAM window (missing [set_memory]). *)
+
+exception Codegen_error of string
+
+(** One procedure as a C definition. *)
+val proc_to_c : Exo_ir.Ir.proc -> string
+
+(** A full compilation unit: includes (collected from the instructions used)
+    plus the procedures. *)
+val compilation_unit : ?header_comment:string -> Exo_ir.Ir.proc list -> string
+
+(** The matching header file with prototypes. *)
+val header : ?guard:string -> Exo_ir.Ir.proc list -> string

@@ -1,0 +1,1 @@
+lib/interp/buffer.ml: Array Dtype Exo_ir F16 Float Fmt Int32 List

@@ -1,0 +1,1 @@
+lib/interp/buffer.mli: Exo_ir Format

@@ -1,0 +1,1 @@
+lib/interp/f16.mli:

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Buffer Exo_ir Fmt Ir List Pp Sym

@@ -1,0 +1,59 @@
+(** IEEE 754 binary16 emulation.
+
+    The paper contributed fp16 support to Exo's ARM backend; to test
+    f16-scheduled kernels numerically we model half precision exactly:
+    values round through the 16-bit format (round-to-nearest-even, with
+    subnormals, infinities and NaN) on every store. *)
+
+(** Convert a float (viewed as binary32) to binary16 bits. *)
+let to_bits (f : float) : int =
+  let b32 = Int32.bits_of_float f in
+  let sign = Int32.to_int (Int32.shift_right_logical b32 16) land 0x8000 in
+  let exp32 = Int32.to_int (Int32.shift_right_logical b32 23) land 0xff in
+  let mant32 = Int32.to_int (Int32.logand b32 0x7fffffl) in
+  if exp32 = 0xff then
+    (* Inf / NaN: preserve NaN-ness with a quiet-NaN payload bit. *)
+    if mant32 = 0 then sign lor 0x7c00 else sign lor 0x7e00
+  else
+    let exp = exp32 - 127 + 15 in
+    if exp >= 0x1f then sign lor 0x7c00 (* overflow to inf *)
+    else if exp <= 0 then
+      if exp < -10 then sign (* underflow to zero *)
+      else begin
+        (* subnormal half *)
+        let mant = mant32 lor 0x800000 in
+        let shift = 14 - exp in
+        let halfway = 1 lsl (shift - 1) in
+        let rounded =
+          let low = mant land ((1 lsl shift) - 1) in
+          let hi = mant lsr shift in
+          if low > halfway || (low = halfway && hi land 1 = 1) then hi + 1 else hi
+        in
+        sign lor rounded
+      end
+    else begin
+      (* normal: round 23-bit mantissa to 10 bits, nearest even *)
+      let low = mant32 land 0x1fff in
+      let hi = mant32 lsr 13 in
+      let rounded =
+        if low > 0x1000 || (low = 0x1000 && hi land 1 = 1) then hi + 1 else hi
+      in
+      let v = (exp lsl 10) + rounded in
+      (* mantissa carry may bump the exponent; overflow becomes inf *)
+      if v >= 0x7c00 then sign lor 0x7c00 else sign lor v
+    end
+
+(** Convert binary16 bits back to a float. *)
+let of_bits (h : int) : float =
+  let sign = if h land 0x8000 <> 0 then -1.0 else 1.0 in
+  let exp = (h lsr 10) land 0x1f in
+  let mant = h land 0x3ff in
+  if exp = 0 then sign *. (float_of_int mant *. 0x1p-24)
+  else if exp = 0x1f then if mant = 0 then sign *. infinity else Float.nan
+  else sign *. ((1.0 +. (float_of_int mant *. 0x1p-10)) *. Float.ldexp 1.0 (exp - 15))
+
+(** Round a float through binary16. *)
+let round (f : float) : float = of_bits (to_bits f)
+
+let max_value = 65504.0
+let epsilon = 0x1p-10

@@ -1,0 +1,15 @@
+(** IEEE 754 binary16 emulation (round-to-nearest-even, subnormals,
+    infinities, NaN) — exact numerics for the f16 kernels the paper
+    contributed to Exo. *)
+
+(** Float (viewed as binary32) → binary16 bits. *)
+val to_bits : float -> int
+
+(** Binary16 bits → float. *)
+val of_bits : int -> float
+
+(** Round a float through binary16. *)
+val round : float -> float
+
+val max_value : float
+val epsilon : float

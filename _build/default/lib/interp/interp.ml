@@ -1,0 +1,186 @@
+(** Reference interpreter.
+
+    Executes procedures over {!Buffer} values, including instruction calls
+    (run through their semantic bodies — the definitional semantics of the
+    [@instr] contract). This is the oracle behind the repository's central
+    property: every scheduling primitive preserves the input/output behaviour
+    of the procedure it rewrites. *)
+
+open Exo_ir
+open Ir
+
+exception Runtime_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+type value = VInt of int | VBuf of Buffer.t
+
+type env = value Sym.Map.t
+
+let lookup env v =
+  match Sym.Map.find_opt v env with
+  | Some x -> x
+  | None -> err "unbound symbol %a at runtime" Sym.pp_debug v
+
+let as_buf = function VBuf b -> b | VInt _ -> err "expected a buffer"
+
+(* Numeric results of expressions: ints stay exact. *)
+type num = NInt of int | NFloat of float
+
+let to_float = function NInt n -> float_of_int n | NFloat f -> f
+
+let rec eval (env : env) (e : expr) : num =
+  match e with
+  | Int n -> NInt n
+  | Float f -> NFloat f
+  | Var v -> (
+      match lookup env v with
+      | VInt n -> NInt n
+      | VBuf _ -> err "buffer %a used as a scalar" Sym.pp v)
+  | Read (b, idx) ->
+      let buf = as_buf (lookup env b) in
+      let idx = Array.of_list (List.map (fun i -> eval_int env i) idx) in
+      NFloat (Buffer.get buf idx)
+  | Binop (op, a, b) -> (
+      match (eval env a, eval env b) with
+      | NInt x, NInt y -> (
+          match op with
+          | Add -> NInt (x + y)
+          | Sub -> NInt (x - y)
+          | Mul -> NInt (x * y)
+          | Div ->
+              if y = 0 then err "division by zero";
+              NInt (x / y)
+          | Mod ->
+              if y = 0 then err "modulo by zero";
+              NInt (x mod y))
+      | x, y -> (
+          let x = to_float x and y = to_float y in
+          match op with
+          | Add -> NFloat (x +. y)
+          | Sub -> NFloat (x -. y)
+          | Mul -> NFloat (x *. y)
+          | Div -> NFloat (x /. y)
+          | Mod -> err "%% on data values"))
+  | Neg a -> (
+      match eval env a with NInt n -> NInt (-n) | NFloat f -> NFloat (-.f))
+  | Cmp (op, a, b) ->
+      let r =
+        let va = eval env a and vb = eval env b in
+        let c =
+          match (va, vb) with
+          | NInt x, NInt y -> compare x y
+          | x, y -> compare (to_float x) (to_float y)
+        in
+        match op with
+        | Lt -> c < 0
+        | Le -> c <= 0
+        | Gt -> c > 0
+        | Ge -> c >= 0
+        | Eq -> c = 0
+        | Ne -> c <> 0
+      in
+      NInt (if r then 1 else 0)
+  | And (a, b) -> NInt (if eval_bool env a && eval_bool env b then 1 else 0)
+  | Or (a, b) -> NInt (if eval_bool env a || eval_bool env b then 1 else 0)
+  | Not a -> NInt (if eval_bool env a then 0 else 1)
+  | Stride (b, d) ->
+      let buf = as_buf (lookup env b) in
+      let n = Buffer.rank buf in
+      if d < 0 || d >= n then err "stride dimension %d out of range" d;
+      NInt buf.Buffer.strides.(d)
+
+and eval_int env e =
+  match eval env e with
+  | NInt n -> n
+  | NFloat _ -> err "expected an integer, got a float in %s" (Pp.expr_to_string e)
+
+and eval_bool env e = eval_int env e <> 0
+
+let eval_waccess env = function
+  | Pt e -> `Pt (eval_int env e)
+  | Iv (lo, hi) ->
+      let lo = eval_int env lo and hi = eval_int env hi in
+      `Iv (lo, hi - lo)
+
+let rec exec_stmts (env : env) (body : stmt list) : env =
+  List.fold_left exec_stmt env body
+
+and exec_stmt (env : env) (s : stmt) : env =
+  match s with
+  | SAssign (b, idx, e) ->
+      let buf = as_buf (lookup env b) in
+      let idx = Array.of_list (List.map (eval_int env) idx) in
+      Buffer.set buf idx (to_float (eval env e));
+      env
+  | SReduce (b, idx, e) ->
+      let buf = as_buf (lookup env b) in
+      let idx = Array.of_list (List.map (eval_int env) idx) in
+      Buffer.reduce buf idx (to_float (eval env e));
+      env
+  | SFor (v, lo, hi, inner) ->
+      let lo = eval_int env lo and hi = eval_int env hi in
+      for i = lo to hi - 1 do
+        ignore (exec_stmts (Sym.Map.add v (VInt i) env) inner)
+      done;
+      env
+  | SAlloc (b, dt, dims, _) ->
+      let dims = List.map (eval_int env) dims in
+      Sym.Map.add b (VBuf (Buffer.create dt dims)) env
+  | SCall (instr, args) -> (
+      call env instr args;
+      env)
+  | SIf (c, t, e) ->
+      if eval_bool env c then ignore (exec_stmts env t) else ignore (exec_stmts env e);
+      env
+
+and call (env : env) (p : proc) (args : call_arg list) : unit =
+  if List.length args <> List.length p.p_args then
+    err "call to %s: arity mismatch" p.p_name;
+  let callee_env =
+    List.fold_left2
+      (fun acc (param : arg) (a : call_arg) ->
+        match a with
+        | AExpr e -> (
+            match param.a_typ with
+            | TSize | TIndex | TBool -> Sym.Map.add param.a_name (VInt (eval_int env e)) acc
+            | TScalar _ | TTensor _ ->
+                err "call to %s: scalar expression for tensor parameter" p.p_name)
+        | AWin w ->
+            let buf = as_buf (lookup env w.wbuf) in
+            let spec = List.map (eval_waccess env) w.widx in
+            Sym.Map.add param.a_name (VBuf (Buffer.view buf spec)) acc)
+      Sym.Map.empty p.p_args args
+  in
+  (* Check the callee's preconditions — the runtime half of the @instr
+     contract (strides, lane ranges). *)
+  List.iter
+    (fun pred ->
+      if not (eval_bool callee_env pred) then
+        err "call to %s: precondition %s does not hold" p.p_name
+          (Pp.expr_to_string pred))
+    p.p_preds;
+  ignore (exec_stmts callee_env p.p_body)
+
+(** Run a whole procedure on the given arguments ([VInt] for sizes/indices,
+    [VBuf] for tensors — buffers are mutated in place). *)
+let run (p : proc) (args : value list) : unit =
+  if List.length args <> List.length p.p_args then
+    err "run %s: expected %d arguments, got %d" p.p_name (List.length p.p_args)
+      (List.length args);
+  let env =
+    List.fold_left2
+      (fun acc (param : arg) v ->
+        (match (param.a_typ, v) with
+        | (TSize | TIndex | TBool), VInt _ -> ()
+        | (TScalar _ | TTensor _), VBuf _ -> ()
+        | _ -> err "run %s: argument %a has the wrong kind" p.p_name Sym.pp param.a_name);
+        Sym.Map.add param.a_name v acc)
+      Sym.Map.empty p.p_args args
+  in
+  List.iter
+    (fun pred ->
+      if not (eval_bool env pred) then
+        err "run %s: precondition %s does not hold" p.p_name (Pp.expr_to_string pred))
+    p.p_preds;
+  ignore (exec_stmts env p.p_body)

@@ -1,0 +1,14 @@
+(** Reference interpreter — the oracle behind the repository's central
+    property: every scheduling rewrite preserves input/output behaviour.
+
+    Executes procedures over {!Buffer} values; instruction calls run their
+    semantic bodies (the definitional semantics of the [@instr] contract)
+    after checking their preconditions at runtime. *)
+
+exception Runtime_error of string
+
+type value = VInt of int | VBuf of Buffer.t
+
+(** Run a procedure: [VInt] for size/index arguments, [VBuf] for tensors
+    (mutated in place). Preconditions are checked; violations raise. *)
+val run : Exo_ir.Ir.proc -> value list -> unit

@@ -1,0 +1,1 @@
+lib/ir/affine.ml: Fmt Ir List Option Sym

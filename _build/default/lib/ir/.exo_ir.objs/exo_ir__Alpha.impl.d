@@ -1,0 +1,1 @@
+lib/ir/alpha.ml: Affine Dtype Float Ir List Mem String Sym

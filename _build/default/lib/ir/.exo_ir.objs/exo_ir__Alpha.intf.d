@@ -1,0 +1,1 @@
+lib/ir/alpha.mli: Ir Sym

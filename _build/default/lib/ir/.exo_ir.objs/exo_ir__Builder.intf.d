@@ -1,0 +1,1 @@
+lib/ir/builder.mli: Dtype Ir Mem Sym

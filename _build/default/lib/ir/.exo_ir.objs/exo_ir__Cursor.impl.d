@@ -1,0 +1,1 @@
+lib/ir/cursor.ml: Fmt Ir List

@@ -1,0 +1,1 @@
+lib/ir/cursor.mli: Format Ir

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Dtype List Mem Option Sym

@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Dtype Float Fmt Ir List Mem String Sym

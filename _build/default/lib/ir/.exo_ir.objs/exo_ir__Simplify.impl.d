@@ -1,0 +1,1 @@
+lib/ir/simplify.ml: Affine Ir List Sym

@@ -1,0 +1,1 @@
+lib/ir/subst.ml: Ir List Sym

@@ -1,0 +1,1 @@
+lib/ir/sym.ml: Fmt Hashtbl Int Map Set

@@ -1,0 +1,1 @@
+lib/ir/sym.mli: Format Hashtbl Map Set

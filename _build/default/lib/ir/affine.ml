@@ -1,0 +1,128 @@
+(** Affine normal form for index expressions.
+
+    Scheduling rewrites (notably {!Exo_sched.replace} unification and
+    {!Exo_check.Deps}) must decide equality of index expressions such as
+    [4 * jt + jtt] vs [jtt + jt * 4]. We normalize the affine fragment of
+    {!Ir.expr} to [const + Σ coeff·sym] with sorted, nonzero terms, giving a
+    canonical form with decidable equality. Non-affine expressions (products
+    of variables, division by non-divisible constants) normalize to [None]
+    and are treated opaquely by clients. *)
+
+type t = { const : int; terms : (Sym.t * int) list }
+(** [terms] sorted by symbol id, all coefficients nonzero. *)
+
+let const c = { const = c; terms = [] }
+let var ?(coeff = 1) s = if coeff = 0 then const 0 else { const = 0; terms = [ (s, coeff) ] }
+let zero = const 0
+
+let is_const t = match t.terms with [] -> Some t.const | _ -> None
+
+let rec merge xs ys =
+  match (xs, ys) with
+  | [], l | l, [] -> l
+  | (sx, cx) :: xs', (sy, cy) :: ys' ->
+      let c = Sym.compare sx sy in
+      if c < 0 then (sx, cx) :: merge xs' ys
+      else if c > 0 then (sy, cy) :: merge xs ys'
+      else
+        let sum = cx + cy in
+        if sum = 0 then merge xs' ys' else (sx, sum) :: merge xs' ys'
+
+let add a b = { const = a.const + b.const; terms = merge a.terms b.terms }
+
+let scale k a =
+  if k = 0 then zero
+  else { const = k * a.const; terms = List.map (fun (s, c) -> (s, k * c)) a.terms }
+
+let neg a = scale (-1) a
+let sub a b = add a (neg b)
+
+let equal a b =
+  a.const = b.const
+  && List.length a.terms = List.length b.terms
+  && List.for_all2
+       (fun (s1, c1) (s2, c2) -> Sym.equal s1 s2 && c1 = c2)
+       a.terms b.terms
+
+(** Exact division by a constant; defined only when every coefficient and the
+    constant are divisible. *)
+let div_exact a k =
+  if k = 0 then None
+  else if a.const mod k <> 0 then None
+  else if List.exists (fun (_, c) -> c mod k <> 0) a.terms then None
+  else Some { const = a.const / k; terms = List.map (fun (s, c) -> (s, c / k)) a.terms }
+
+(** [of_expr e] is the affine view of [e], or [None] when [e] leaves the
+    affine fragment. [Div]/[Mod] are handled only when they fold away. *)
+let rec of_expr (e : Ir.expr) : t option =
+  let open Ir in
+  match e with
+  | Int n -> Some (const n)
+  | Var v -> Some (var v)
+  | Neg a -> Option.map neg (of_expr a)
+  | Binop (Add, a, b) -> map2 add a b
+  | Binop (Sub, a, b) -> map2 sub a b
+  | Binop (Mul, a, b) -> (
+      match (of_expr a, of_expr b) with
+      | Some x, Some y -> (
+          match (is_const x, is_const y) with
+          | Some k, _ -> Some (scale k y)
+          | _, Some k -> Some (scale k x)
+          | None, None -> None)
+      | _ -> None)
+  | Binop (Div, a, b) -> (
+      match (of_expr a, of_expr b) with
+      | Some x, Some y -> (
+          match is_const y with Some k when k <> 0 -> div_exact x k | _ -> None)
+      | _ -> None)
+  | Binop (Mod, a, b) -> (
+      match (of_expr a, of_expr b) with
+      | Some x, Some y -> (
+          match (is_const x, is_const y) with
+          | Some n, Some k when k <> 0 ->
+              (* OCaml mod is truncated; loop indices are non-negative, and
+                 constants we fold are too, so this matches C semantics. *)
+              Some (const (n mod k))
+          | _ -> None)
+      | _ -> None)
+  | Float _ | Read _ | Cmp _ | And _ | Or _ | Not _ | Stride _ -> None
+
+and map2 f a b =
+  match (of_expr a, of_expr b) with
+  | Some x, Some y -> Some (f x y)
+  | _ -> None
+
+(** Canonical expression: constant last, terms in symbol order, coefficient-1
+    terms printed bare, producing forms like [4 * jt + jtt + 1]. *)
+let to_expr (t : t) : Ir.expr =
+  let open Ir in
+  let term (s, c) =
+    if c = 1 then Var s
+    else if c = -1 then Neg (Var s)
+    else Binop (Mul, Int c, Var s)
+  in
+  match t.terms with
+  | [] -> Int t.const
+  | t0 :: rest ->
+      let e =
+        List.fold_left (fun acc tc -> Binop (Add, acc, term tc)) (term t0) rest
+      in
+      if t.const = 0 then e
+      else if t.const > 0 then Binop (Add, e, Int t.const)
+      else Binop (Sub, e, Int (-t.const))
+
+(** Decide [e1 = e2] within the affine fragment; [None] when undecidable. *)
+let expr_equal e1 e2 =
+  match (of_expr e1, of_expr e2) with
+  | Some a, Some b -> Some (equal a b)
+  | _ -> None
+
+let pp ppf t =
+  let pp_term ppf (s, c) =
+    if c = 1 then Sym.pp ppf s else Fmt.pf ppf "%d*%a" c Sym.pp s
+  in
+  match t.terms with
+  | [] -> Fmt.int ppf t.const
+  | _ ->
+      Fmt.(list ~sep:(any " + ") pp_term) ppf t.terms;
+      if t.const <> 0 then Fmt.pf ppf " + %d" t.const

@@ -1,0 +1,38 @@
+(** Affine normal form for index expressions.
+
+    Normalizes the affine fragment of {!Ir.expr} to [const + Σ coeff·sym]
+    with sorted, nonzero terms — a canonical form with decidable equality,
+    used by {!Exo_sched}'s [replace] unifier, the dependence analysis and
+    the bounds checker. Non-affine expressions normalize to [None]. *)
+
+type t = { const : int; terms : (Sym.t * int) list }
+(** [terms] sorted by symbol id, all coefficients nonzero. *)
+
+val const : int -> t
+val var : ?coeff:int -> Sym.t -> t
+val zero : t
+
+(** [Some c] iff the form is the constant [c]. *)
+val is_const : t -> int option
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : int -> t -> t
+val neg : t -> t
+val equal : t -> t -> bool
+
+(** Exact division by a constant; [None] unless every coefficient and the
+    constant divide. *)
+val div_exact : t -> int -> t option
+
+(** The affine view of an expression, or [None] outside the fragment.
+    [Div]/[Mod] are handled only when they fold away. *)
+val of_expr : Ir.expr -> t option
+
+(** Canonical expression ([4 * jt + jtt + 1]-shaped). *)
+val to_expr : t -> Ir.expr
+
+(** Decide [e1 = e2] within the affine fragment; [None] when undecidable. *)
+val expr_equal : Ir.expr -> Ir.expr -> bool option
+
+val pp : Format.formatter -> t -> unit

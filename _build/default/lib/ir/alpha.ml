@@ -1,0 +1,129 @@
+(** Alpha-equivalence of IR fragments.
+
+    Two fragments are alpha-equivalent when they differ only in the names of
+    bound symbols (loop variables, allocations) and in the spelling of affine
+    index expressions ([4*jt + jtt] vs [jtt + jt*4]). This is the equality
+    used by golden tests over Section III's intermediate codes and by
+    {!Exo_sched.replace}'s unifier when it checks a candidate loop nest
+    against an instruction's semantic body. *)
+
+open Ir
+
+type env = Sym.t Sym.Map.t
+(** Maps left-hand binders to right-hand binders. *)
+
+let lookup (env : env) v = match Sym.Map.find_opt v env with Some v' -> v' | None -> v
+
+(** Rename left-hand symbols into the right-hand namespace. *)
+let rename_expr env e =
+  map_expr
+    (function
+      | Var v -> Var (lookup env v)
+      | Read (b, idx) -> Read (lookup env b, idx)
+      | Stride (b, d) -> Stride (lookup env b, d)
+      | e -> e)
+    e
+
+let rec expr_eq (env : env) (e1 : expr) (e2 : expr) : bool =
+  let e1 = rename_expr env e1 in
+  match Affine.expr_equal e1 e2 with
+  | Some b -> b
+  | None -> structural env e1 e2
+
+and structural env e1 e2 =
+  match (e1, e2) with
+  | Int a, Int b -> a = b
+  | Float a, Float b -> Float.equal a b
+  | Var a, Var b -> Sym.equal a b
+  | Read (b1, i1), Read (b2, i2) ->
+      Sym.equal b1 b2
+      && List.length i1 = List.length i2
+      && List.for_all2 (expr_eq env) i1 i2
+  | Binop (o1, a1, b1), Binop (o2, a2, b2) ->
+      o1 = o2 && expr_eq env a1 a2 && expr_eq env b1 b2
+  | Neg a, Neg b | Not a, Not b -> expr_eq env a b
+  | Cmp (o1, a1, b1), Cmp (o2, a2, b2) ->
+      o1 = o2 && expr_eq env a1 a2 && expr_eq env b1 b2
+  | And (a1, b1), And (a2, b2) | Or (a1, b1), Or (a2, b2) ->
+      expr_eq env a1 a2 && expr_eq env b1 b2
+  | Stride (b1, d1), Stride (b2, d2) -> Sym.equal b1 b2 && d1 = d2
+  | _ -> false
+
+let waccess_eq env w1 w2 =
+  match (w1, w2) with
+  | Pt a, Pt b -> expr_eq env a b
+  | Iv (l1, h1), Iv (l2, h2) -> expr_eq env l1 l2 && expr_eq env h1 h2
+  | _ -> false
+
+let window_eq env (w1 : window) (w2 : window) =
+  Sym.equal (lookup env w1.wbuf) w2.wbuf
+  && List.length w1.widx = List.length w2.widx
+  && List.for_all2 (waccess_eq env) w1.widx w2.widx
+
+let rec stmts_eq (env : env) (b1 : stmt list) (b2 : stmt list) : bool =
+  List.length b1 = List.length b2 && stmts_eq' env b1 b2
+
+and stmts_eq' env b1 b2 =
+  match (b1, b2) with
+  | [], [] -> true
+  | s1 :: r1, s2 :: r2 -> (
+      match (s1, s2) with
+      | SAssign (n1, i1, e1), SAssign (n2, i2, e2)
+      | SReduce (n1, i1, e1), SReduce (n2, i2, e2) ->
+          Sym.equal (lookup env n1) n2
+          && List.length i1 = List.length i2
+          && List.for_all2 (expr_eq env) i1 i2
+          && expr_eq env e1 e2
+          && stmts_eq' env r1 r2
+      | SFor (v1, lo1, hi1, body1), SFor (v2, lo2, hi2, body2) ->
+          expr_eq env lo1 lo2 && expr_eq env hi1 hi2
+          && stmts_eq (Sym.Map.add v1 v2 env) body1 body2
+          && stmts_eq' env r1 r2
+      | SAlloc (n1, dt1, d1, m1), SAlloc (n2, dt2, d2, m2) ->
+          Dtype.equal dt1 dt2 && Mem.equal m1 m2
+          && List.length d1 = List.length d2
+          && List.for_all2 (expr_eq env) d1 d2
+          && stmts_eq' (Sym.Map.add n1 n2 env) r1 r2
+      | SCall (p1, a1), SCall (p2, a2) ->
+          String.equal p1.p_name p2.p_name
+          && List.length a1 = List.length a2
+          && List.for_all2
+               (fun x y ->
+                 match (x, y) with
+                 | AExpr e1, AExpr e2 -> expr_eq env e1 e2
+                 | AWin w1, AWin w2 -> window_eq env w1 w2
+                 | _ -> false)
+               a1 a2
+          && stmts_eq' env r1 r2
+      | SIf (c1, t1, e1), SIf (c2, t2, e2) ->
+          expr_eq env c1 c2 && stmts_eq env t1 t2 && stmts_eq env e1 e2
+          && stmts_eq' env r1 r2
+      | _ -> false)
+  | _ -> false
+
+(** Whole-procedure alpha-equivalence: same arity, argument types, predicate
+    list and body, modulo renaming of arguments and binders. *)
+let proc_eq (p1 : proc) (p2 : proc) : bool =
+  let typ_eq env t1 t2 =
+    match (t1, t2) with
+    | TSize, TSize | TIndex, TIndex | TBool, TBool -> true
+    | TScalar d1, TScalar d2 -> Dtype.equal d1 d2
+    | TTensor (d1, dm1), TTensor (d2, dm2) ->
+        Dtype.equal d1 d2
+        && List.length dm1 = List.length dm2
+        && List.for_all2 (expr_eq env) dm1 dm2
+    | _ -> false
+  in
+  List.length p1.p_args = List.length p2.p_args
+  &&
+  let env =
+    List.fold_left2
+      (fun env a1 a2 -> Sym.Map.add a1.a_name a2.a_name env)
+      Sym.Map.empty p1.p_args p2.p_args
+  in
+  List.for_all2
+    (fun a1 a2 -> typ_eq env a1.a_typ a2.a_typ && Mem.equal a1.a_mem a2.a_mem)
+    p1.p_args p2.p_args
+  && List.length p1.p_preds = List.length p2.p_preds
+  && List.for_all2 (expr_eq env) p1.p_preds p2.p_preds
+  && stmts_eq env p1.p_body p2.p_body

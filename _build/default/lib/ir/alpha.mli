@@ -1,0 +1,13 @@
+(** Alpha-equivalence of IR fragments: equality modulo bound-symbol names
+    and affine index spelling ([4*jt + jtt] vs [jtt + jt*4]). Used by golden
+    tests and by the [replace] unifier. *)
+
+type env = Sym.t Sym.Map.t
+(** Maps left-hand binders to right-hand binders. *)
+
+val expr_eq : env -> Ir.expr -> Ir.expr -> bool
+val window_eq : env -> Ir.window -> Ir.window -> bool
+val stmts_eq : env -> Ir.stmt list -> Ir.stmt list -> bool
+
+(** Whole-procedure alpha-equivalence (arguments mapped pairwise). *)
+val proc_eq : Ir.proc -> Ir.proc -> bool

@@ -1,0 +1,63 @@
+(** Construction helpers: a thin DSL for writing IR terms by hand.
+
+    Used by the ISA instruction libraries and by {!Exo_ukr.Source} to write
+    the reference micro-kernel (the paper's Fig. 4/5) in a form that reads
+    close to the Exo original. *)
+
+open Ir
+
+let int n = Int n
+let flt x = Float x
+let var s = Var s
+let rd b idx = Read (b, idx)
+let rd0 b = Read (b, [])
+let add a b = Binop (Add, a, b)
+let sub a b = Binop (Sub, a, b)
+let mul a b = Binop (Mul, a, b)
+let div a b = Binop (Div, a, b)
+let md a b = Binop (Mod, a, b)
+let neg a = Neg a
+let lt a b = Cmp (Lt, a, b)
+let le a b = Cmp (Le, a, b)
+let gt a b = Cmp (Gt, a, b)
+let ge a b = Cmp (Ge, a, b)
+let eq a b = Cmp (Eq, a, b)
+let ne a b = Cmp (Ne, a, b)
+let and_ a b = And (a, b)
+let stride b d = Stride (b, d)
+
+module Infix = struct
+  let ( +! ) = add
+  let ( -! ) = sub
+  let ( *! ) = mul
+  let ( /! ) = div
+  let ( %! ) = md
+  let ( <! ) = lt
+  let ( <=! ) = le
+  let ( =! ) = eq
+end
+
+let assign b idx e = SAssign (b, idx, e)
+let reduce b idx e = SReduce (b, idx, e)
+let loop v lo hi body = SFor (v, lo, hi, body)
+
+(** [loopn v n body] — the common [for v in seq(0, n)] case. *)
+let loopn v n body = SFor (v, Int 0, n, body)
+
+let alloc ?(mem = Mem.dram) b dt dims = SAlloc (b, dt, dims, mem)
+let call p args = SCall (p, args)
+let if_ c t e = SIf (c, t, e)
+let pt e = Pt e
+let iv lo hi = Iv (lo, hi)
+
+(** [ivn lo n] — interval of extent [n] starting at [lo]. *)
+let ivn lo n = Iv (lo, add lo n)
+
+let win b widx = AWin { wbuf = b; widx }
+let earg e = AExpr e
+
+(** Declare arguments. *)
+let size_arg s = arg s TSize
+let index_arg s = arg s TIndex
+let scalar_arg ?mem s dt = arg ?mem s (TScalar dt)
+let tensor_arg ?mem s dt dims = arg ?mem s (TTensor (dt, dims))

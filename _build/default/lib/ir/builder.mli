@@ -1,0 +1,57 @@
+(** Construction helpers: a thin DSL for writing IR terms by hand — used by
+    the ISA instruction libraries and the reference kernel sources, reading
+    close to the Exo originals. *)
+
+val int : int -> Ir.expr
+val flt : float -> Ir.expr
+val var : Sym.t -> Ir.expr
+val rd : Sym.t -> Ir.expr list -> Ir.expr
+val rd0 : Sym.t -> Ir.expr
+val add : Ir.expr -> Ir.expr -> Ir.expr
+val sub : Ir.expr -> Ir.expr -> Ir.expr
+val mul : Ir.expr -> Ir.expr -> Ir.expr
+val div : Ir.expr -> Ir.expr -> Ir.expr
+val md : Ir.expr -> Ir.expr -> Ir.expr
+val neg : Ir.expr -> Ir.expr
+val lt : Ir.expr -> Ir.expr -> Ir.expr
+val le : Ir.expr -> Ir.expr -> Ir.expr
+val gt : Ir.expr -> Ir.expr -> Ir.expr
+val ge : Ir.expr -> Ir.expr -> Ir.expr
+val eq : Ir.expr -> Ir.expr -> Ir.expr
+val ne : Ir.expr -> Ir.expr -> Ir.expr
+val and_ : Ir.expr -> Ir.expr -> Ir.expr
+val stride : Sym.t -> int -> Ir.expr
+
+module Infix : sig
+  val ( +! ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( -! ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( *! ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( /! ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( %! ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( <! ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( <=! ) : Ir.expr -> Ir.expr -> Ir.expr
+  val ( =! ) : Ir.expr -> Ir.expr -> Ir.expr
+end
+
+val assign : Sym.t -> Ir.expr list -> Ir.expr -> Ir.stmt
+val reduce : Sym.t -> Ir.expr list -> Ir.expr -> Ir.stmt
+val loop : Sym.t -> Ir.expr -> Ir.expr -> Ir.stmt list -> Ir.stmt
+
+(** [loopn v n body] — the common [for v in seq(0, n)]. *)
+val loopn : Sym.t -> Ir.expr -> Ir.stmt list -> Ir.stmt
+
+val alloc : ?mem:Mem.t -> Sym.t -> Dtype.t -> Ir.expr list -> Ir.stmt
+val call : Ir.proc -> Ir.call_arg list -> Ir.stmt
+val if_ : Ir.expr -> Ir.stmt list -> Ir.stmt list -> Ir.stmt
+val pt : Ir.expr -> Ir.waccess
+val iv : Ir.expr -> Ir.expr -> Ir.waccess
+
+(** Interval of extent [n] starting at [lo]. *)
+val ivn : Ir.expr -> Ir.expr -> Ir.waccess
+
+val win : Sym.t -> Ir.waccess list -> Ir.call_arg
+val earg : Ir.expr -> Ir.call_arg
+val size_arg : Sym.t -> Ir.arg
+val index_arg : Sym.t -> Ir.arg
+val scalar_arg : ?mem:Mem.t -> Sym.t -> Dtype.t -> Ir.arg
+val tensor_arg : ?mem:Mem.t -> Sym.t -> Dtype.t -> Ir.expr list -> Ir.arg

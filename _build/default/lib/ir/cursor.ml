@@ -1,0 +1,111 @@
+(** Cursors: stable addresses of statements inside a procedure body.
+
+    A cursor is a path through the block tree: a list of [(stmt index,
+    sub-block index)] descents followed by a final statement index. Sub-block
+    0 is a [for] body or an [if] then-branch; sub-block 1 is an else-branch.
+    Scheduling primitives locate their targets with {!Exo_pattern} (which
+    yields cursors) and edit the tree through {!splice} / {!set_block}. *)
+
+open Ir
+
+type dir = { idx : int; blk : int }
+type t = { dirs : dir list; last : int }
+
+exception Invalid_cursor of string
+
+let invalid fmt = Fmt.kstr (fun s -> raise (Invalid_cursor s)) fmt
+let root n = { dirs = []; last = n }
+
+(** Descend from the statement a cursor points at into its [blk]-th
+    sub-block, selecting statement [idx] there. *)
+let push (c : t) ~blk ~idx = { dirs = c.dirs @ [ { idx = c.last; blk } ]; last = idx }
+
+let parent (c : t) : t option =
+  match List.rev c.dirs with
+  | [] -> None
+  | d :: rev -> Some { dirs = List.rev rev; last = d.idx }
+
+(** All enclosing-statement cursors, innermost first. *)
+let rec ancestors (c : t) : t list =
+  match parent c with None -> [] | Some p -> p :: ancestors p
+
+let with_last (c : t) last = { c with last }
+let depth (c : t) = List.length c.dirs
+
+let pp ppf (c : t) =
+  List.iter (fun d -> Fmt.pf ppf "%d.%d/" d.idx d.blk) c.dirs;
+  Fmt.int ppf c.last
+
+let sub_block (s : stmt) (blk : int) : stmt list =
+  match (s, blk) with
+  | SFor (_, _, _, b), 0 -> b
+  | SIf (_, t, _), 0 -> t
+  | SIf (_, _, e), 1 -> e
+  | _ -> invalid "statement has no sub-block %d" blk
+
+let with_sub_block (s : stmt) (blk : int) (b : stmt list) : stmt =
+  match (s, blk) with
+  | SFor (v, lo, hi, _), 0 -> SFor (v, lo, hi, b)
+  | SIf (c, _, e), 0 -> SIf (c, b, e)
+  | SIf (c, t, _), 1 -> SIf (c, t, b)
+  | _ -> invalid "statement has no sub-block %d" blk
+
+let nth_stmt (block : stmt list) i =
+  match List.nth_opt block i with
+  | Some s -> s
+  | None -> invalid "statement index %d out of range (block has %d)" i (List.length block)
+
+let rec get_block (body : stmt list) (dirs : dir list) : stmt list =
+  match dirs with
+  | [] -> body
+  | d :: rest -> get_block (sub_block (nth_stmt body d.idx) d.blk) rest
+
+let rec set_block (body : stmt list) (dirs : dir list) (b : stmt list) : stmt list =
+  match dirs with
+  | [] -> b
+  | d :: rest ->
+      List.mapi
+        (fun i s ->
+          if i = d.idx then with_sub_block s d.blk (set_block (sub_block s d.blk) rest b)
+          else s)
+        body
+
+let get (body : stmt list) (c : t) : stmt = nth_stmt (get_block body c.dirs) c.last
+
+(** Replace the statement at [c] by [repl] (possibly empty or several). *)
+let splice (body : stmt list) (c : t) (repl : stmt list) : stmt list =
+  let block = get_block body c.dirs in
+  if c.last < 0 || c.last >= List.length block then
+    invalid "splice: index %d out of range" c.last;
+  let block' =
+    List.concat (List.mapi (fun i s -> if i = c.last then repl else [ s ]) block)
+  in
+  set_block body c.dirs block'
+
+(** Rewrite the statement at [c] with [f]. *)
+let update (body : stmt list) (c : t) (f : stmt -> stmt list) : stmt list =
+  splice body c (f (get body c))
+
+let insert_before (body : stmt list) (c : t) (stmts : stmt list) : stmt list =
+  update body c (fun s -> stmts @ [ s ])
+
+let insert_after (body : stmt list) (c : t) (stmts : stmt list) : stmt list =
+  update body c (fun s -> (s :: stmts))
+
+(** Cursors of all statements, in program (outer-first, textual) order. *)
+let all_stmts (body : stmt list) : (t * stmt) list =
+  let out = ref [] in
+  let rec go (prefix : dir list) block =
+    List.iteri
+      (fun i s ->
+        out := ({ dirs = prefix; last = i }, s) :: !out;
+        match s with
+        | SFor (_, _, _, b) -> go (prefix @ [ { idx = i; blk = 0 } ]) b
+        | SIf (_, t, e) ->
+            go (prefix @ [ { idx = i; blk = 0 } ]) t;
+            go (prefix @ [ { idx = i; blk = 1 } ]) e
+        | SAssign _ | SReduce _ | SAlloc _ | SCall _ -> ())
+      block
+  in
+  go [] body;
+  List.rev !out

@@ -1,0 +1,53 @@
+(** Cursors: stable addresses of statements inside a procedure body.
+
+    A cursor is a path through the block tree: [(statement index, sub-block
+    index)] descents followed by a final statement index. Sub-block 0 is a
+    [for] body or an [if] then-branch; sub-block 1 an else-branch.
+    Scheduling primitives locate targets via {!Exo_pattern} (which yields
+    cursors) and edit through {!splice} / {!set_block}. *)
+
+type dir = { idx : int; blk : int }
+type t = { dirs : dir list; last : int }
+
+exception Invalid_cursor of string
+
+(** Cursor to the [n]-th top-level statement. *)
+val root : int -> t
+
+(** Descend from the statement at the cursor into its [blk]-th sub-block,
+    selecting statement [idx] there. *)
+val push : t -> blk:int -> idx:int -> t
+
+(** Cursor of the enclosing statement, if any. *)
+val parent : t -> t option
+
+(** All enclosing-statement cursors, innermost first. *)
+val ancestors : t -> t list
+
+val with_last : t -> int -> t
+
+(** Number of enclosing blocks. *)
+val depth : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+(** The [blk]-th sub-block of a statement ([for] body, [if] branches). *)
+val sub_block : Ir.stmt -> int -> Ir.stmt list
+
+val with_sub_block : Ir.stmt -> int -> Ir.stmt list -> Ir.stmt
+val nth_stmt : Ir.stmt list -> int -> Ir.stmt
+val get_block : Ir.stmt list -> dir list -> Ir.stmt list
+val set_block : Ir.stmt list -> dir list -> Ir.stmt list -> Ir.stmt list
+val get : Ir.stmt list -> t -> Ir.stmt
+
+(** Replace the statement at the cursor by a (possibly empty) list. *)
+val splice : Ir.stmt list -> t -> Ir.stmt list -> Ir.stmt list
+
+(** Rewrite the statement at the cursor. *)
+val update : Ir.stmt list -> t -> (Ir.stmt -> Ir.stmt list) -> Ir.stmt list
+
+val insert_before : Ir.stmt list -> t -> Ir.stmt list -> Ir.stmt list
+val insert_after : Ir.stmt list -> t -> Ir.stmt list -> Ir.stmt list
+
+(** Cursors of all statements, in program (outer-first, textual) order. *)
+val all_stmts : Ir.stmt list -> (t * Ir.stmt) list

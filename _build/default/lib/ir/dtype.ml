@@ -1,0 +1,46 @@
+(** Scalar data types supported by the generator.
+
+    The paper's kernels use IEEE binary32 ([F32]); Section III-D extends the
+    generator to binary16 ([F16]) — a feature this work contributed to Exo —
+    and integer types appear in the limitations discussion, so we carry them
+    end-to-end (codegen, interpreter rounding, vector lanes). *)
+
+type t = F16 | F32 | F64 | I8 | I32
+
+let equal = ( = )
+let compare = compare
+
+let size_bytes = function
+  | F16 -> 2
+  | F32 -> 4
+  | F64 -> 8
+  | I8 -> 1
+  | I32 -> 4
+
+(** Name used in Exo-style source dumps (e.g. [f32] in [C: f32[12, 8]]). *)
+let exo_name = function
+  | F16 -> "f16"
+  | F32 -> "f32"
+  | F64 -> "f64"
+  | I8 -> "i8"
+  | I32 -> "i32"
+
+(** Type name used by the C emitter. [float16_t] follows arm_neon.h. *)
+let c_name = function
+  | F16 -> "float16_t"
+  | F32 -> "float"
+  | F64 -> "double"
+  | I8 -> "int8_t"
+  | I32 -> "int32_t"
+
+let is_float = function F16 | F32 | F64 -> true | I8 | I32 -> false
+
+let pp ppf t = Fmt.string ppf (exo_name t)
+
+let of_string = function
+  | "f16" -> Some F16
+  | "f32" -> Some F32
+  | "f64" -> Some F64
+  | "i8" -> Some I8
+  | "i32" -> Some I32
+  | _ -> None

@@ -1,0 +1,20 @@
+(** Scalar data types supported by the generator: the paper's FP32, the
+    contributed FP16 (Section III-D), and the integer types its limitations
+    discussion motivates. Carried end-to-end through codegen, interpreter
+    rounding and vector-lane computation. *)
+
+type t = F16 | F32 | F64 | I8 | I32
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val size_bytes : t -> int
+
+(** Name in Exo-style dumps (e.g. [f32]). *)
+val exo_name : t -> string
+
+(** Name the C emitter uses ([float16_t] follows arm_neon.h). *)
+val c_name : t -> string
+
+val is_float : t -> bool
+val pp : Format.formatter -> t -> unit
+val of_string : string -> t option

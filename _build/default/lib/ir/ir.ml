@@ -1,0 +1,284 @@
+(** Core intermediate representation.
+
+    A deliberately small loop-nest IR mirroring the fragment of Exo's object
+    language that the CGO'24 micro-kernel generator exercises: perfect and
+    imperfect [seq] loop nests, buffer assignment and reduction, local
+    allocations annotated with a memory space, instruction calls (procedures
+    carrying an [@instr] annotation), and guards for edge cases.
+
+    Index expressions and scalar data expressions share one [expr] type; the
+    checker ({!Exo_check}) enforces the sorting discipline (loop bounds and
+    subscripts are integer-typed, right-hand sides are data-typed). *)
+
+type binop = Add | Sub | Mul | Div | Mod
+type cmpop = Lt | Le | Gt | Ge | Eq | Ne
+
+type expr =
+  | Int of int
+  | Float of float
+  | Var of Sym.t  (** size parameter, loop variable, or scalar argument *)
+  | Read of Sym.t * expr list  (** [buf\[i0, …\]]; scalars read with [[]] *)
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Cmp of cmpop * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Stride of Sym.t * int
+      (** [stride(buf, dim)] — occurs only in instruction preconditions *)
+
+(** One dimension of a window: either a single point (reducing rank) or a
+    half-open interval [lo:hi] (keeping the dimension, extent [hi - lo]). *)
+type waccess = Pt of expr | Iv of expr * expr
+
+(** A window into a buffer, used as a tensor argument of an instruction call,
+    e.g. [C_reg\[jt, it, 0:4\]]. *)
+type window = { wbuf : Sym.t; widx : waccess list }
+
+type typ =
+  | TSize  (** positive runtime-constant extent, e.g. [KC: size] *)
+  | TIndex  (** integer index argument, e.g. the lane selector of an fmla *)
+  | TBool
+  | TScalar of Dtype.t
+  | TTensor of Dtype.t * expr list
+      (** dims may mention size parameters, e.g. [f32\[KC, 8\]] *)
+
+type arg = { a_name : Sym.t; a_typ : typ; a_mem : Mem.t }
+
+type stmt =
+  | SAssign of Sym.t * expr list * expr  (** [buf\[idx\] = e] *)
+  | SReduce of Sym.t * expr list * expr  (** [buf\[idx\] += e] *)
+  | SFor of Sym.t * expr * expr * stmt list  (** [for v in seq(lo, hi)] *)
+  | SAlloc of Sym.t * Dtype.t * expr list * Mem.t
+  | SCall of proc * call_arg list
+  | SIf of expr * stmt list * stmt list
+
+and call_arg = AExpr of expr | AWin of window
+
+and proc = {
+  p_name : string;
+  p_args : arg list;
+  p_preds : expr list;  (** [assert]s on arguments *)
+  p_body : stmt list;
+  p_instr : instr_info option;
+      (** present iff this proc is a hardware instruction definition *)
+}
+
+(** The externalized hardware-library half of an [@instr] definition: a C
+    template whose [{name_data}] / [{name}] holes are filled by the code
+    emitter, headers the emitted file must include, and a coarse op class
+    consumed by the performance simulator's trace census. *)
+and instr_info = { ci_fmt : string; ci_includes : string list; ci_kind : op_kind }
+
+and op_kind =
+  | KLoad  (** vector load from addressable memory *)
+  | KStore  (** vector store to addressable memory *)
+  | KFma  (** fused multiply-accumulate *)
+  | KBcast  (** broadcast / dup *)
+  | KArith  (** other vector arithmetic *)
+  | KOther
+
+(* ------------------------------------------------------------------ *)
+(* Constructors and small helpers                                      *)
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+
+let cmpop_name = function
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+
+let mk_proc ?(preds = []) ?instr ~name ~args body =
+  { p_name = name; p_args = args; p_preds = preds; p_body = body; p_instr = instr }
+
+let is_instr p = Option.is_some p.p_instr
+
+let arg ?(mem = Mem.dram) name typ = { a_name = name; a_typ = typ; a_mem = mem }
+
+(** Extent of a window access: [None] for a point (rank-reducing). *)
+let waccess_extent = function Pt _ -> None | Iv (lo, hi) -> Some (Binop (Sub, hi, lo))
+
+let window_rank w =
+  List.length (List.filter (function Iv _ -> true | Pt _ -> false) w.widx)
+
+(* ------------------------------------------------------------------ *)
+(* Structural traversal                                                *)
+
+(** [map_expr f e] applies [f] bottom-up to every sub-expression. *)
+let rec map_expr f e =
+  let r = map_expr f in
+  let e' =
+    match e with
+    | Int _ | Float _ | Var _ | Stride _ -> e
+    | Read (b, idx) -> Read (b, List.map r idx)
+    | Binop (op, a, b) -> Binop (op, r a, r b)
+    | Neg a -> Neg (r a)
+    | Cmp (op, a, b) -> Cmp (op, r a, r b)
+    | And (a, b) -> And (r a, r b)
+    | Or (a, b) -> Or (r a, r b)
+    | Not a -> Not (r a)
+  in
+  f e'
+
+let map_waccess f = function
+  | Pt e -> Pt (f e)
+  | Iv (lo, hi) -> Iv (f lo, f hi)
+
+let map_window f w = { w with widx = List.map (map_waccess f) w.widx }
+
+let map_call_arg f = function
+  | AExpr e -> AExpr (f e)
+  | AWin w -> AWin (map_window f w)
+
+(** [map_stmt_exprs f s] applies [f] to every expression contained in [s]
+    (recursively through nested statements). Binders are untouched. *)
+let rec map_stmt_exprs f s =
+  match s with
+  | SAssign (b, idx, e) -> SAssign (b, List.map f idx, f e)
+  | SReduce (b, idx, e) -> SReduce (b, List.map f idx, f e)
+  | SFor (v, lo, hi, body) -> SFor (v, f lo, f hi, List.map (map_stmt_exprs f) body)
+  | SAlloc (b, dt, dims, mem) -> SAlloc (b, dt, List.map f dims, mem)
+  | SCall (p, args) -> SCall (p, List.map (map_call_arg f) args)
+  | SIf (c, t, e) ->
+      SIf (f c, List.map (map_stmt_exprs f) t, List.map (map_stmt_exprs f) e)
+
+let map_body_exprs f body = List.map (map_stmt_exprs f) body
+
+(** [iter_stmts f body] calls [f] on every statement, outer-first. *)
+let rec iter_stmts f body =
+  List.iter
+    (fun s ->
+      f s;
+      match s with
+      | SFor (_, _, _, b) -> iter_stmts f b
+      | SIf (_, t, e) ->
+          iter_stmts f t;
+          iter_stmts f e
+      | SAssign _ | SReduce _ | SAlloc _ | SCall _ -> ())
+    body
+
+(** Fold over every expression occurring in a statement list (subscripts,
+    bounds, rhs, alloc dims, call arguments, guards). *)
+let fold_exprs f acc body =
+  let acc = ref acc in
+  let visit e = acc := f !acc e in
+  let visit_ca = function
+    | AExpr e -> visit e
+    | AWin w ->
+        List.iter (function Pt e -> visit e | Iv (a, b) -> visit a; visit b) w.widx
+  in
+  iter_stmts
+    (fun s ->
+      match s with
+      | SAssign (_, idx, e) | SReduce (_, idx, e) ->
+          List.iter visit idx;
+          visit e
+      | SFor (_, lo, hi, _) ->
+          visit lo;
+          visit hi
+      | SAlloc (_, _, dims, _) -> List.iter visit dims
+      | SCall (_, args) -> List.iter visit_ca args
+      | SIf (c, _, _) -> visit c)
+    body;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+
+(** Variables read by an expression (excluding buffer names). *)
+let rec expr_vars acc = function
+  | Int _ | Float _ -> acc
+  | Var v -> Sym.Set.add v acc
+  | Read (_, idx) -> List.fold_left expr_vars acc idx
+  | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+      expr_vars (expr_vars acc a) b
+  | Neg a | Not a -> expr_vars acc a
+  | Stride _ -> acc
+
+(** Buffer symbols read by an expression. *)
+let rec expr_bufs acc = function
+  | Int _ | Float _ | Var _ -> acc
+  | Read (b, idx) -> List.fold_left expr_bufs (Sym.Set.add b acc) idx
+  | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+      expr_bufs (expr_bufs acc a) b
+  | Neg a | Not a -> expr_bufs acc a
+  | Stride (b, _) -> Sym.Set.add b acc
+
+(** All buffers a statement list reads or writes (including via windows). *)
+let stmts_bufs body =
+  let acc = ref Sym.Set.empty in
+  iter_stmts
+    (fun s ->
+      match s with
+      | SAssign (b, idx, e) | SReduce (b, idx, e) ->
+          acc := Sym.Set.add b !acc;
+          List.iter (fun i -> acc := expr_bufs !acc i) idx;
+          acc := expr_bufs !acc e
+      | SCall (_, args) ->
+          List.iter
+            (function
+              | AExpr e -> acc := expr_bufs !acc e
+              | AWin w -> acc := Sym.Set.add w.wbuf !acc)
+            args
+      | SFor _ | SAlloc _ | SIf _ -> ())
+    body;
+  !acc
+
+(** Free index/size variables of a statement list: variables used in
+    expressions minus loop binders. Proc arguments count as free. *)
+let stmts_free_vars body =
+  let rec go bound acc stmts = List.fold_left (go_stmt bound) acc stmts
+  and go_stmt bound acc s =
+    let ev acc e =
+      Sym.Set.union acc (Sym.Set.diff (expr_vars Sym.Set.empty e) bound)
+    in
+    match s with
+    | SAssign (_, idx, e) | SReduce (_, idx, e) -> ev (List.fold_left ev acc idx) e
+    | SFor (v, lo, hi, b) ->
+        let acc = ev (ev acc lo) hi in
+        go (Sym.Set.add v bound) acc b
+    | SAlloc (_, _, dims, _) -> List.fold_left ev acc dims
+    | SCall (_, args) ->
+        List.fold_left
+          (fun acc -> function
+            | AExpr e -> ev acc e
+            | AWin w ->
+                List.fold_left
+                  (fun acc -> function
+                    | Pt e -> ev acc e
+                    | Iv (a, b) -> ev (ev acc a) b)
+                  acc w.widx)
+          acc args
+    | SIf (c, t, e) -> go bound (go bound (ev acc c) t) e
+  in
+  go Sym.Set.empty Sym.Set.empty body
+
+(** The dtype of a buffer visible at the top of [p]: argument or top-level
+    alloc. Scheduling keeps allocations it reasons about at proc top-level. *)
+let find_buffer_typ (p : proc) (b : Sym.t) : (Dtype.t * expr list * Mem.t) option =
+  let from_arg a =
+    match a.a_typ with
+    | TTensor (dt, dims) -> Some (dt, dims, a.a_mem)
+    | TScalar dt -> Some (dt, [], a.a_mem)
+    | _ -> None
+  in
+  match List.find_opt (fun a -> Sym.equal a.a_name b) p.p_args with
+  | Some a -> from_arg a
+  | None ->
+      let found = ref None in
+      iter_stmts
+        (fun s ->
+          match s with
+          | SAlloc (b', dt, dims, mem) when Sym.equal b b' && !found = None ->
+              found := Some (dt, dims, mem)
+          | _ -> ())
+        p.p_body;
+      !found

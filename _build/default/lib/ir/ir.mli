@@ -1,0 +1,122 @@
+(** Core intermediate representation.
+
+    A deliberately small loop-nest IR mirroring the fragment of Exo's object
+    language the CGO'24 micro-kernel generator exercises: [seq] loop nests,
+    buffer assignment and reduction, memory-annotated allocations,
+    instruction calls (procedures carrying an [@instr] annotation), and
+    guards. Index and data expressions share one type; {!Exo_check} enforces
+    the sorting discipline. *)
+
+type binop = Add | Sub | Mul | Div | Mod
+type cmpop = Lt | Le | Gt | Ge | Eq | Ne
+
+type expr =
+  | Int of int
+  | Float of float
+  | Var of Sym.t  (** size parameter, loop variable, or index argument *)
+  | Read of Sym.t * expr list  (** [buf[i0, …]]; rank-0 scalars read with [[]] *)
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Cmp of cmpop * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Stride of Sym.t * int
+      (** [stride(buf, dim)] — occurs only in instruction preconditions *)
+
+(** One dimension of a window: a point (rank-reducing) or a half-open
+    interval [lo:hi]. *)
+type waccess = Pt of expr | Iv of expr * expr
+
+(** A window into a buffer, e.g. [C_reg[jt, it, 0:4]]. *)
+type window = { wbuf : Sym.t; widx : waccess list }
+
+type typ =
+  | TSize  (** positive runtime-constant extent, e.g. [KC: size] *)
+  | TIndex  (** integer argument, e.g. an fmla lane selector *)
+  | TBool
+  | TScalar of Dtype.t
+  | TTensor of Dtype.t * expr list  (** dims may mention size parameters *)
+
+type arg = { a_name : Sym.t; a_typ : typ; a_mem : Mem.t }
+
+type stmt =
+  | SAssign of Sym.t * expr list * expr  (** [buf[idx] = e] *)
+  | SReduce of Sym.t * expr list * expr  (** [buf[idx] += e] *)
+  | SFor of Sym.t * expr * expr * stmt list  (** [for v in seq(lo, hi)] *)
+  | SAlloc of Sym.t * Dtype.t * expr list * Mem.t
+  | SCall of proc * call_arg list
+  | SIf of expr * stmt list * stmt list
+
+and call_arg = AExpr of expr | AWin of window
+
+and proc = {
+  p_name : string;
+  p_args : arg list;
+  p_preds : expr list;  (** [assert]s on arguments *)
+  p_body : stmt list;
+  p_instr : instr_info option;  (** present iff this proc is an instruction *)
+}
+
+(** The externalized hardware-library half of an [@instr] definition: the C
+    template ([{name_data}]/[{name}] holes), required headers, and a coarse
+    op class for the simulator's census. *)
+and instr_info = { ci_fmt : string; ci_includes : string list; ci_kind : op_kind }
+
+and op_kind = KLoad | KStore | KFma | KBcast | KArith | KOther
+
+(** {1 Constructors and small helpers} *)
+
+val binop_name : binop -> string
+val cmpop_name : cmpop -> string
+
+val mk_proc :
+  ?preds:expr list -> ?instr:instr_info -> name:string -> args:arg list ->
+  stmt list -> proc
+
+val is_instr : proc -> bool
+val arg : ?mem:Mem.t -> Sym.t -> typ -> arg
+
+(** Extent of a window access; [None] for a point. *)
+val waccess_extent : waccess -> expr option
+
+(** Number of interval dimensions. *)
+val window_rank : window -> int
+
+(** {1 Structural traversal} *)
+
+(** Bottom-up map over every sub-expression. *)
+val map_expr : (expr -> expr) -> expr -> expr
+
+val map_waccess : (expr -> expr) -> waccess -> waccess
+val map_window : (expr -> expr) -> window -> window
+val map_call_arg : (expr -> expr) -> call_arg -> call_arg
+
+(** Apply a function to every expression in a statement (recursively);
+    binders untouched. *)
+val map_stmt_exprs : (expr -> expr) -> stmt -> stmt
+
+val map_body_exprs : (expr -> expr) -> stmt list -> stmt list
+
+(** Visit every statement, outer-first. *)
+val iter_stmts : (stmt -> unit) -> stmt list -> unit
+
+(** Fold over every expression occurring in a statement list. *)
+val fold_exprs : ('a -> expr -> 'a) -> 'a -> stmt list -> 'a
+
+(** {1 Queries} *)
+
+(** Variables read (excluding buffer names). *)
+val expr_vars : Sym.Set.t -> expr -> Sym.Set.t
+
+(** Buffer symbols read. *)
+val expr_bufs : Sym.Set.t -> expr -> Sym.Set.t
+
+(** All buffers read or written (including via call windows). *)
+val stmts_bufs : stmt list -> Sym.Set.t
+
+(** Free index/size variables: uses minus loop binders. *)
+val stmts_free_vars : stmt list -> Sym.Set.t
+
+(** Type of a buffer visible at the top of a proc (argument or alloc). *)
+val find_buffer_typ : proc -> Sym.t -> (Dtype.t * expr list * Mem.t) option

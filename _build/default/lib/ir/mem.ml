@@ -1,0 +1,22 @@
+(** Memory spaces.
+
+    Exo externalizes the memory hierarchy as user-defined memory annotations:
+    buffers live [@ DRAM] by default and scheduling moves staged tiles into
+    register memories such as [@ Neon]. The IR only needs the identity of a
+    memory; its properties (vector lanes, C declaration syntax, register-file
+    budget) are metadata registered by the ISA library ({!Exo_isa.Machine}),
+    keeping this module free of hardware knowledge. *)
+
+type t = { name : string }
+
+let make name = { name }
+let name t = t.name
+let equal a b = String.equal a.name b.name
+let compare a b = String.compare a.name b.name
+let pp ppf t = Fmt.string ppf t.name
+
+(** Plain addressable memory; the default placement for proc arguments and
+    the only memory the macro-kernel touches directly. *)
+let dram = make "DRAM"
+
+let is_dram t = equal t dram

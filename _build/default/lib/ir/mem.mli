@@ -1,0 +1,19 @@
+(** Memory spaces.
+
+    Exo externalizes the memory hierarchy as user-defined annotations:
+    buffers live [@ DRAM] by default and scheduling moves staged tiles into
+    register memories such as [@ Neon]. The IR carries only the identity;
+    hardware metadata lives in {!Exo_isa.Memories}. *)
+
+type t
+
+val make : string -> t
+val name : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Plain addressable memory — the default placement. *)
+val dram : t
+
+val is_dram : t -> bool

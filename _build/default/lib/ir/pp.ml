@@ -1,0 +1,131 @@
+(** Exo-style pretty printer.
+
+    Prints procedures in the surface syntax used throughout the paper's
+    figures, e.g.:
+    {v
+    def uk_8x12(KC: size, alpha: f32[1] @ DRAM, ...):
+        C_reg: f32[12, 2, 4] @ Neon
+        for k in seq(0, KC):
+            neon_vld_4xf32(A_reg[0, 0:4], Ac[k, 0:4])
+    v}
+    Golden tests pin these dumps for every step of Section III. *)
+
+open Ir
+
+(* Precedence levels, loosest to tightest. *)
+let prec_or = 1
+let prec_and = 2
+let prec_not = 3
+let prec_cmp = 4
+let prec_add = 5
+let prec_mul = 6
+let prec_neg = 7
+let prec_atom = 8
+
+let binop_prec = function Add | Sub -> prec_add | Mul | Div | Mod -> prec_mul
+let pp_list pp ppf l = Fmt.(list ~sep:(any ", ") pp) ppf l
+
+let rec pp_expr_prec (ctx : int) ppf (e : expr) =
+  let paren p body =
+    if p < ctx then Fmt.pf ppf "(%t)" body else body ppf
+  in
+  match e with
+  | Int n ->
+      if n < 0 then paren prec_neg (fun ppf -> Fmt.pf ppf "%d" n)
+      else Fmt.int ppf n
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e16 then Fmt.pf ppf "%.1f" f
+      else Fmt.pf ppf "%g" f
+  | Var v -> Sym.pp ppf v
+  | Read (b, []) -> Fmt.pf ppf "%a[0]" Sym.pp b
+  | Read (b, idx) -> Fmt.pf ppf "%a[%a]" Sym.pp b (pp_list pp_expr) idx
+  | Binop (op, a, b) ->
+      let p = binop_prec op in
+      paren p (fun ppf ->
+          Fmt.pf ppf "%a %s %a" (pp_expr_prec p) a (binop_name op)
+            (pp_expr_prec (p + 1)) b)
+  | Neg a -> paren prec_neg (fun ppf -> Fmt.pf ppf "-%a" (pp_expr_prec prec_atom) a)
+  | Cmp (op, a, b) ->
+      paren prec_cmp (fun ppf ->
+          Fmt.pf ppf "%a %s %a" (pp_expr_prec prec_cmp) a (cmpop_name op)
+            (pp_expr_prec (prec_cmp + 1)) b)
+  | And (a, b) ->
+      paren prec_and (fun ppf ->
+          Fmt.pf ppf "%a and %a" (pp_expr_prec prec_and) a (pp_expr_prec (prec_and + 1)) b)
+  | Or (a, b) ->
+      paren prec_or (fun ppf ->
+          Fmt.pf ppf "%a or %a" (pp_expr_prec prec_or) a (pp_expr_prec (prec_or + 1)) b)
+  | Not a -> paren prec_not (fun ppf -> Fmt.pf ppf "not %a" (pp_expr_prec prec_not) a)
+  | Stride (b, d) -> Fmt.pf ppf "stride(%a, %d)" Sym.pp b d
+
+and pp_expr ppf e = pp_expr_prec 0 ppf e
+
+let pp_waccess ppf = function
+  | Pt e -> pp_expr ppf e
+  | Iv (lo, hi) -> Fmt.pf ppf "%a:%a" pp_expr lo pp_expr hi
+
+let pp_window ppf (w : window) =
+  Fmt.pf ppf "%a[%a]" Sym.pp w.wbuf (pp_list pp_waccess) w.widx
+
+let pp_call_arg ppf = function
+  | AExpr e -> pp_expr ppf e
+  | AWin w -> pp_window ppf w
+
+let pp_typ ppf = function
+  | TSize -> Fmt.string ppf "size"
+  | TIndex -> Fmt.string ppf "index"
+  | TBool -> Fmt.string ppf "bool"
+  | TScalar dt -> Dtype.pp ppf dt
+  | TTensor (dt, dims) -> Fmt.pf ppf "%a[%a]" Dtype.pp dt (pp_list pp_expr) dims
+
+let pp_arg ppf (a : arg) =
+  match a.a_typ with
+  | TSize | TIndex | TBool -> Fmt.pf ppf "%a: %a" Sym.pp a.a_name pp_typ a.a_typ
+  | TScalar _ | TTensor _ ->
+      Fmt.pf ppf "%a: %a @@ %a" Sym.pp a.a_name pp_typ a.a_typ Mem.pp a.a_mem
+
+let rec pp_stmt ~indent ppf (s : stmt) =
+  let pad ppf = Fmt.pf ppf "%s" (String.make indent ' ') in
+  match s with
+  | SAssign (b, [], e) -> Fmt.pf ppf "%t%a[0] = %a" pad Sym.pp b pp_expr e
+  | SAssign (b, idx, e) ->
+      Fmt.pf ppf "%t%a[%a] = %a" pad Sym.pp b (pp_list pp_expr) idx pp_expr e
+  | SReduce (b, [], e) -> Fmt.pf ppf "%t%a[0] += %a" pad Sym.pp b pp_expr e
+  | SReduce (b, idx, e) ->
+      Fmt.pf ppf "%t%a[%a] += %a" pad Sym.pp b (pp_list pp_expr) idx pp_expr e
+  | SFor (v, lo, hi, body) ->
+      Fmt.pf ppf "%tfor %a in seq(%a, %a):@,%a" pad Sym.pp v pp_expr lo pp_expr hi
+        (pp_block ~indent:(indent + 4)) body
+  | SAlloc (b, dt, [], mem) ->
+      Fmt.pf ppf "%t%a: %a @@ %a" pad Sym.pp b Dtype.pp dt Mem.pp mem
+  | SAlloc (b, dt, dims, mem) ->
+      Fmt.pf ppf "%t%a: %a[%a] @@ %a" pad Sym.pp b Dtype.pp dt (pp_list pp_expr) dims
+        Mem.pp mem
+  | SCall (p, args) ->
+      Fmt.pf ppf "%t%s(%a)" pad p.p_name (pp_list pp_call_arg) args
+  | SIf (c, t, []) ->
+      Fmt.pf ppf "%tif %a:@,%a" pad pp_expr c (pp_block ~indent:(indent + 4)) t
+  | SIf (c, t, e) ->
+      Fmt.pf ppf "%tif %a:@,%a@,%telse:@,%a" pad pp_expr c
+        (pp_block ~indent:(indent + 4))
+        t pad
+        (pp_block ~indent:(indent + 4))
+        e
+
+and pp_block ~indent ppf (body : stmt list) =
+  if body = [] then Fmt.pf ppf "%spass" (String.make indent ' ')
+  else Fmt.(list ~sep:(any "@,") (pp_stmt ~indent)) ppf body
+
+let pp_proc ppf (p : proc) =
+  Fmt.pf ppf "@[<v>";
+  (match p.p_instr with
+  | Some info -> Fmt.pf ppf "@@instr(\"%s\")@," info.ci_fmt
+  | None -> Fmt.pf ppf "@@proc@,");
+  Fmt.pf ppf "def %s(%a):@," p.p_name (pp_list pp_arg) p.p_args;
+  List.iter (fun pred -> Fmt.pf ppf "    assert %a@," pp_expr pred) p.p_preds;
+  pp_block ~indent:4 ppf p.p_body;
+  Fmt.pf ppf "@]"
+
+let proc_to_string (p : proc) = Fmt.str "%a" pp_proc p
+let stmt_to_string (s : stmt) = Fmt.str "@[<v>%a@]" (pp_stmt ~indent:0) s
+let expr_to_string (e : expr) = Fmt.str "%a" pp_expr e

@@ -1,0 +1,16 @@
+(** Exo-style pretty printer: procedures in the surface syntax of the
+    paper's figures ([def uk_8x12(...)], [for k in seq(0, KC):],
+    [neon_vld_4xf32(...)]). Golden tests pin these dumps. *)
+
+val pp_expr : Format.formatter -> Ir.expr -> unit
+val pp_waccess : Format.formatter -> Ir.waccess -> unit
+val pp_window : Format.formatter -> Ir.window -> unit
+val pp_call_arg : Format.formatter -> Ir.call_arg -> unit
+val pp_typ : Format.formatter -> Ir.typ -> unit
+val pp_arg : Format.formatter -> Ir.arg -> unit
+val pp_stmt : indent:int -> Format.formatter -> Ir.stmt -> unit
+val pp_block : indent:int -> Format.formatter -> Ir.stmt list -> unit
+val pp_proc : Format.formatter -> Ir.proc -> unit
+val proc_to_string : Ir.proc -> string
+val stmt_to_string : Ir.stmt -> string
+val expr_to_string : Ir.expr -> string

@@ -1,0 +1,95 @@
+(** Expression simplification.
+
+    Rewrites such as [divide_loop] and [partial_eval] leave residue like
+    [itt + 4 * it] with [it] further substituted by constants, or bounds like
+    [12 / 4]. [expr] folds constants, normalizes the affine fragment via
+    {!Affine}, and simplifies trivial boolean structure; [proc] maps it over
+    a whole procedure. This mirrors Exo's [simplify] scheduling op. *)
+
+open Ir
+
+let rec expr (e : expr) : expr =
+  match Affine.of_expr e with
+  | Some a -> Affine.to_expr a
+  | None -> (
+      let e = map_children e in
+      match e with
+      | Binop (Mul, Int 1, x) | Binop (Mul, x, Int 1) -> x
+      | Binop (Mul, Int 0, _) | Binop (Mul, _, Int 0) -> Int 0
+      | Binop (Add, Int 0, x) | Binop (Add, x, Int 0) -> x
+      | Binop (Sub, x, Int 0) -> x
+      | Binop (Div, x, Int 1) -> x
+      | Binop (op, Int a, Int b) -> fold_int op a b
+      | Binop (op, Float a, Float b) -> fold_float op a b
+      | Cmp (op, Int a, Int b) -> fold_cmp op a b
+      | And (x, Int 1) | And (Int 1, x) -> x
+      | And (_, Int 0) | And (Int 0, _) -> Int 0
+      | Or (_, Int 1) | Or (Int 1, _) -> Int 1
+      | Or (x, Int 0) | Or (Int 0, x) -> x
+      | Not (Int 0) -> Int 1
+      | Not (Int 1) -> Int 0
+      | Neg (Int n) -> Int (-n)
+      | Neg (Float f) -> Float (-.f)
+      | e -> e)
+
+and map_children e =
+  match e with
+  | Int _ | Float _ | Var _ | Stride _ -> e
+  | Read (b, idx) -> Read (b, List.map expr idx)
+  | Binop (op, a, b) -> Binop (op, expr a, expr b)
+  | Neg a -> Neg (expr a)
+  | Cmp (op, a, b) -> Cmp (op, expr a, expr b)
+  | And (a, b) -> And (expr a, expr b)
+  | Or (a, b) -> Or (expr a, expr b)
+  | Not a -> Not (expr a)
+
+and fold_int op a b =
+  match op with
+  | Add -> Int (a + b)
+  | Sub -> Int (a - b)
+  | Mul -> Int (a * b)
+  | Div -> if b = 0 then Binop (Div, Int a, Int b) else Int (a / b)
+  | Mod -> if b = 0 then Binop (Mod, Int a, Int b) else Int (a mod b)
+
+and fold_float op a b =
+  match op with
+  | Add -> Float (a +. b)
+  | Sub -> Float (a -. b)
+  | Mul -> Float (a *. b)
+  | Div -> Float (a /. b)
+  | Mod -> Binop (Mod, Float a, Float b)
+
+and fold_cmp op a b =
+  let r =
+    match op with
+    | Lt -> a < b
+    | Le -> a <= b
+    | Gt -> a > b
+    | Ge -> a >= b
+    | Eq -> a = b
+    | Ne -> a <> b
+  in
+  Int (if r then 1 else 0)
+
+(** Simplify every expression in a statement list; additionally drop loops
+    with statically empty ranges, inline single-iteration loops, and resolve
+    [SIf] with constant conditions. *)
+let rec stmts (body : stmt list) : stmt list =
+  List.concat_map
+    (fun s ->
+      match map_stmt_exprs expr s with
+      | SFor (_, Int lo, Int hi, _) when hi <= lo -> []
+      | SFor (v, Int lo, Int hi, b) when hi = lo + 1 ->
+          stmts (List.map (map_stmt_exprs (subst1 v lo)) b)
+      | SFor (v, lo, hi, b) -> [ SFor (v, lo, hi, stmts b) ]
+      | SIf (Int 1, t, _) -> stmts t
+      | SIf (Int 0, _, e) -> stmts e
+      | SIf (c, t, e) -> [ SIf (c, stmts t, stmts e) ]
+      | s -> [ s ])
+    body
+
+and subst1 v n e =
+  expr (map_expr (function Var v' when Sym.equal v v' -> Int n | e -> e) e)
+
+let proc (p : proc) : proc =
+  { p with p_body = stmts p.p_body; p_preds = List.map expr p.p_preds }

@@ -1,0 +1,9 @@
+(** Expression and statement simplification — Exo's [simplify] op.
+
+    Folds constants, normalizes the affine fragment through {!Affine},
+    drops statically empty loops, inlines single-iteration loops, and
+    resolves constant conditionals. *)
+
+val expr : Ir.expr -> Ir.expr
+val stmts : Ir.stmt list -> Ir.stmt list
+val proc : Ir.proc -> Ir.proc

@@ -1,0 +1,95 @@
+(** Substitution and binder-freshening.
+
+    Substitutions map symbols to expressions and apply only to [Var]
+    occurrences; buffer names in [Read]/[SAssign]/windows are renamed by the
+    separate {!rename_buffers}. Rewrites that duplicate code (unrolling,
+    divide_loop tails) must freshen binders with {!freshen_stmts} so the
+    no-capture invariant of {!Sym} is preserved. *)
+
+open Ir
+
+type t = expr Sym.Map.t
+
+let empty : t = Sym.Map.empty
+let single v e : t = Sym.Map.singleton v e
+let of_list l : t = List.fold_left (fun m (v, e) -> Sym.Map.add v e m) empty l
+
+let apply_expr (s : t) (e : expr) : expr =
+  map_expr (function Var v as e -> (match Sym.Map.find_opt v s with Some e' -> e' | None -> e) | e -> e) e
+
+let apply_stmts (s : t) (body : stmt list) : stmt list =
+  map_body_exprs (apply_expr s) body
+
+(** Rename buffer symbols (allocation names / tensor arguments) throughout. *)
+let rename_buffers (m : Sym.t Sym.Map.t) (body : stmt list) : stmt list =
+  let rb b = match Sym.Map.find_opt b m with Some b' -> b' | None -> b in
+  let rec re e =
+    map_expr (function Read (b, idx) -> Read (rb b, idx) | Stride (b, d) -> Stride (rb b, d) | e -> e) e
+  and rs s =
+    match s with
+    | SAssign (b, idx, e) -> SAssign (rb b, List.map re idx, re e)
+    | SReduce (b, idx, e) -> SReduce (rb b, List.map re idx, re e)
+    | SFor (v, lo, hi, body) -> SFor (v, re lo, re hi, List.map rs body)
+    | SAlloc (b, dt, dims, mem) -> SAlloc (rb b, dt, List.map re dims, mem)
+    | SCall (p, args) ->
+        SCall
+          ( p,
+            List.map
+              (function
+                | AExpr e -> AExpr (re e)
+                | AWin w -> AWin { (map_window re w) with wbuf = rb w.wbuf })
+              args )
+    | SIf (c, t, e) -> SIf (re c, List.map rs t, List.map rs e)
+  in
+  List.map rs body
+
+(** Freshen every binder (loop variables and allocations) in [body],
+    consistently renaming uses. Safe to splice the result anywhere. *)
+let freshen_stmts (body : stmt list) : stmt list =
+  let rec go (vsub : t) (bsub : Sym.t Sym.Map.t) stmts =
+    List.map (go_stmt vsub bsub) stmts
+  and go_stmt vsub bsub s =
+    let re e =
+      apply_expr vsub e
+      |> map_expr (function
+           | Read (b, idx) -> (
+               match Sym.Map.find_opt b bsub with
+               | Some b' -> Read (b', idx)
+               | None -> Read (b, idx))
+           | Stride (b, d) -> (
+               match Sym.Map.find_opt b bsub with
+               | Some b' -> Stride (b', d)
+               | None -> Stride (b, d))
+           | e -> e)
+    in
+    let rb b = match Sym.Map.find_opt b bsub with Some b' -> b' | None -> b in
+    match s with
+    | SAssign (b, idx, e) -> SAssign (rb b, List.map re idx, re e)
+    | SReduce (b, idx, e) -> SReduce (rb b, List.map re idx, re e)
+    | SFor (v, lo, hi, body) ->
+        let v' = Sym.clone v in
+        SFor (v', re lo, re hi, go (Sym.Map.add v (Var v') vsub) bsub body)
+    | SAlloc (b, dt, dims, mem) ->
+        (* The new name must be visible to the *following* statements of the
+           same block, so allocs are handled by [go_block] below. *)
+        SAlloc (rb b, dt, List.map re dims, mem)
+    | SCall (p, args) ->
+        SCall
+          ( p,
+            List.map
+              (function
+                | AExpr e -> AExpr (re e)
+                | AWin w -> AWin { (map_window re w) with wbuf = rb w.wbuf })
+              args )
+    | SIf (c, t, e) -> SIf (re c, go vsub bsub t, go vsub bsub e)
+  in
+  (* Two passes: first collect fresh names for every alloc (allocation scopes
+     extend to the end of the enclosing block, so a map suffices), then
+     rename with binders freshened structurally. *)
+  let bsub = ref Sym.Map.empty in
+  iter_stmts
+    (function
+      | SAlloc (b, _, _, _) -> bsub := Sym.Map.add b (Sym.clone b) !bsub
+      | _ -> ())
+    body;
+  go empty !bsub body

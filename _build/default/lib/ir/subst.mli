@@ -1,0 +1,21 @@
+(** Substitution and binder-freshening.
+
+    Substitutions map symbols to expressions and touch only [Var]
+    occurrences; buffer names are renamed separately. Rewrites that
+    duplicate code (unrolling, divide_loop tails, fission) freshen binders
+    with {!freshen_stmts} so {!Sym}'s no-capture invariant holds. *)
+
+type t = Ir.expr Sym.Map.t
+
+val empty : t
+val single : Sym.t -> Ir.expr -> t
+val of_list : (Sym.t * Ir.expr) list -> t
+val apply_expr : t -> Ir.expr -> Ir.expr
+val apply_stmts : t -> Ir.stmt list -> Ir.stmt list
+
+(** Rename buffer symbols (allocations / tensor arguments) throughout. *)
+val rename_buffers : Sym.t Sym.Map.t -> Ir.stmt list -> Ir.stmt list
+
+(** Freshen every binder (loop variables and allocations), consistently
+    renaming uses; the result can be spliced anywhere. *)
+val freshen_stmts : Ir.stmt list -> Ir.stmt list

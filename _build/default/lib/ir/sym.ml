@@ -1,0 +1,48 @@
+(** Unique symbols.
+
+    Every binder in the IR (procedure arguments, loop variables, allocations)
+    is a [Sym.t]: a human-readable name paired with a globally unique id.
+    Scheduling rewrites freely duplicate and move code, so name capture must
+    be impossible by construction; comparing symbols compares ids only. *)
+
+type t = { name : string; id : int }
+
+let counter = ref 0
+
+let fresh name =
+  incr counter;
+  { name; id = !counter }
+
+(** [clone s] makes a fresh symbol with the same display name. *)
+let clone s = fresh s.name
+
+let name s = s.name
+let id s = s.id
+let equal a b = Int.equal a.id b.id
+let compare a b = Int.compare a.id b.id
+let hash s = s.id
+
+(** Display name only; ids are shown by {!pp_debug}. *)
+let pp ppf s = Fmt.string ppf s.name
+
+let pp_debug ppf s = Fmt.pf ppf "%s#%d" s.name s.id
+let to_string s = s.name
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,32 @@
+(** Unique symbols.
+
+    Every binder in the IR (procedure arguments, loop variables, allocations)
+    is a [Sym.t]: a human-readable name paired with a globally unique id.
+    Scheduling rewrites freely duplicate and move code, so name capture must
+    be impossible by construction; comparing symbols compares ids only. *)
+
+type t
+
+(** [fresh name] — a new symbol with a new id. *)
+val fresh : string -> t
+
+(** [clone s] — a fresh symbol with the same display name. *)
+val clone : t -> t
+
+val name : t -> string
+val id : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** Display name only. *)
+val pp : Format.formatter -> t -> unit
+
+(** [name#id], for debugging shadowing/capture issues. *)
+val pp_debug : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,1 @@
+lib/isa/avx2.ml: Exo_ir Instr_def Memories

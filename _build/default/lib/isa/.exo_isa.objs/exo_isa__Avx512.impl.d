@@ -1,0 +1,1 @@
+lib/isa/avx512.ml: Exo_ir Instr_def Memories

@@ -1,0 +1,1 @@
+lib/isa/instr_def.ml: Builder Exo_check Exo_ir Ir Sym

@@ -1,0 +1,1 @@
+lib/isa/instr_def.mli: Exo_ir

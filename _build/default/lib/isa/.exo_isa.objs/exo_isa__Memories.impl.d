@@ -1,0 +1,1 @@
+lib/isa/memories.ml: Dtype Exo_ir Fmt List Mem Option

@@ -1,0 +1,1 @@
+lib/isa/memories.mli: Exo_ir

@@ -1,0 +1,1 @@
+lib/isa/neon.ml: Exo_ir Instr_def Memories

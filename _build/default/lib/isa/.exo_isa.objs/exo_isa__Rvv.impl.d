@@ -1,0 +1,1 @@
+lib/isa/rvv.ml: Exo_ir Instr_def Memories

@@ -1,0 +1,37 @@
+(** Intel AVX2 hardware library (256-bit, 8 × f32).
+
+    A second x86 target alongside AVX-512, showing the retargeting story at
+    a different vector width and with the smaller 16-entry register file
+    (which the tuner's feasibility check must respect). Like AVX-512 there
+    is no lane-indexed FMA, so schedules use [broadcast] + element-wise FMA. *)
+
+let mem = Memories.avx2_mem
+let header = Memories.avx2.Memories.header
+let dt = Exo_ir.Dtype.F32
+let lanes = 8
+
+let loadu_8xf32 =
+  Instr_def.load ~name:"mm256_loadu_8xf32" ~header ~mem ~dt ~lanes
+    ~fmt:"{dst_data} = _mm256_loadu_ps(&{src_data});"
+
+let storeu_8xf32 =
+  Instr_def.store ~name:"mm256_storeu_8xf32" ~header ~mem ~dt ~lanes
+    ~fmt:"_mm256_storeu_ps(&{dst_data}, {src_data});"
+
+let fmadd_8xf32 =
+  Instr_def.fma_vv ~name:"mm256_fmadd_8xf32" ~header ~mem ~dt ~lanes
+    ~fmt:"{dst_data} = _mm256_fmadd_ps({lhs_data}, {rhs_data}, {dst_data});"
+
+let broadcast_8xf32 =
+  Instr_def.bcast ~name:"mm256_broadcast_8xf32" ~header ~mem ~dt ~lanes
+    ~fmt:"{dst_data} = _mm256_broadcast_ss(&{src_data});"
+
+let setzero_8xf32 =
+  Instr_def.zero ~name:"mm256_setzero_8xf32" ~header ~mem ~dt ~lanes
+    ~fmt:"{dst_data} = _mm256_setzero_ps();"
+
+let mul_8xf32 =
+  Instr_def.mul_vv ~name:"mm256_mul_8xf32" ~header ~mem ~dt ~lanes
+    ~fmt:"{dst_data} = _mm256_mul_ps({lhs_data}, {rhs_data});"
+
+let all = [ loadu_8xf32; storeu_8xf32; fmadd_8xf32; broadcast_8xf32; setzero_8xf32; mul_8xf32 ]

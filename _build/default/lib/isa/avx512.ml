@@ -1,0 +1,38 @@
+(** Intel AVX-512 hardware library.
+
+    Section III-C: retargeting the generator is "changing the third argument
+    in the replace statements" — these definitions are that argument for an
+    AVX-512 target. AVX-512 has no lane-indexed FMA, so the generator's
+    broadcast-style pipeline (Section III-B) pairs [_mm512_set1_ps] with
+    [_mm512_fmadd_ps]. *)
+
+let mem = Memories.avx512_mem
+let header = Memories.avx512.Memories.header
+let dt = Exo_ir.Dtype.F32
+let lanes = 16
+
+let loadu_16xf32 =
+  Instr_def.load ~name:"mm512_loadu_16xf32" ~header ~mem ~dt ~lanes
+    ~fmt:"{dst_data} = _mm512_loadu_ps(&{src_data});"
+
+let storeu_16xf32 =
+  Instr_def.store ~name:"mm512_storeu_16xf32" ~header ~mem ~dt ~lanes
+    ~fmt:"_mm512_storeu_ps(&{dst_data}, {src_data});"
+
+let fmadd_16xf32 =
+  Instr_def.fma_vv ~name:"mm512_fmadd_16xf32" ~header ~mem ~dt ~lanes
+    ~fmt:"{dst_data} = _mm512_fmadd_ps({lhs_data}, {rhs_data}, {dst_data});"
+
+let set1_16xf32 =
+  Instr_def.bcast ~name:"mm512_set1_16xf32" ~header ~mem ~dt ~lanes
+    ~fmt:"{dst_data} = _mm512_set1_ps({src_data});"
+
+let setzero_16xf32 =
+  Instr_def.zero ~name:"mm512_setzero_16xf32" ~header ~mem ~dt ~lanes
+    ~fmt:"{dst_data} = _mm512_setzero_ps();"
+
+let mul_16xf32 =
+  Instr_def.mul_vv ~name:"mm512_mul_16xf32" ~header ~mem ~dt ~lanes
+    ~fmt:"{dst_data} = _mm512_mul_ps({lhs_data}, {rhs_data});"
+
+let all = [ loadu_16xf32; storeu_16xf32; fmadd_16xf32; set1_16xf32; setzero_16xf32; mul_16xf32 ]

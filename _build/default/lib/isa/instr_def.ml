@@ -1,0 +1,206 @@
+(** Combinators for defining hardware instructions.
+
+    An Exo instruction is an ordinary procedure whose body gives its
+    semantics and whose [@instr] annotation gives the C to emit — the
+    "library-based description" of the target that the paper identifies as
+    Exo's key portability mechanism (Fig. 3). The combinators below build the
+    handful of shapes GEMM micro-kernels need: contiguous vector load/store,
+    lane-indexed FMA, element-wise FMA, scalar-broadcast FMA, broadcast,
+    zeroing, and element-wise/scalar multiply.
+
+    Every definition is type-checked at construction time, so a typo in a
+    hardware library fails at startup rather than mid-schedule. *)
+
+open Exo_ir
+open Ir
+open Builder
+
+type spec =
+  name:string ->
+  fmt:string ->
+  header:string ->
+  mem:Exo_ir.Mem.t ->
+  dt:Exo_ir.Dtype.t ->
+  lanes:int ->
+  Exo_ir.Ir.proc
+
+let check p =
+  Exo_check.Wellformed.check_proc p;
+  p
+
+let mk ~name ~fmt ~kind ~header ~preds ~args body =
+  check
+    (mk_proc ~name ~args ~preds
+       ~instr:{ ci_fmt = fmt; ci_includes = [ header ]; ci_kind = kind }
+       body)
+
+let unit_stride b = eq (stride b 0) (int 1)
+
+(** [dst @ reg ← src @ DRAM], contiguous. *)
+let load ~name ~fmt ~header ~mem ~dt ~lanes =
+  let dst = Sym.fresh "dst" and src = Sym.fresh "src" and i = Sym.fresh "i" in
+  mk ~name ~fmt ~kind:KLoad ~header
+    ~preds:[ unit_stride src; unit_stride dst ]
+    ~args:
+      [
+        tensor_arg ~mem dst dt [ int lanes ];
+        tensor_arg src dt [ int lanes ];
+      ]
+    [ loopn i (int lanes) [ assign dst [ var i ] (rd src [ var i ]) ] ]
+
+(** [dst @ DRAM ← src @ reg], contiguous. *)
+let store ~name ~fmt ~header ~mem ~dt ~lanes =
+  let dst = Sym.fresh "dst" and src = Sym.fresh "src" and i = Sym.fresh "i" in
+  mk ~name ~fmt ~kind:KStore ~header
+    ~preds:[ unit_stride src; unit_stride dst ]
+    ~args:
+      [
+        tensor_arg dst dt [ int lanes ];
+        tensor_arg ~mem src dt [ int lanes ];
+      ]
+    [ loopn i (int lanes) [ assign dst [ var i ] (rd src [ var i ]) ] ]
+
+(** [dst\[i\] += lhs\[i\] * rhs\[l\]] — the Neon [vfmaq_laneq] shape
+    (Fig. 3 of the paper). *)
+let fma_lane ~name ~fmt ~header ~mem ~dt ~lanes =
+  let dst = Sym.fresh "dst"
+  and lhs = Sym.fresh "lhs"
+  and rhs = Sym.fresh "rhs"
+  and l = Sym.fresh "l"
+  and i = Sym.fresh "i" in
+  mk ~name ~fmt ~kind:KFma ~header
+    ~preds:
+      [
+        unit_stride dst;
+        unit_stride lhs;
+        unit_stride rhs;
+        ge (var l) (int 0);
+        lt (var l) (int lanes);
+      ]
+    ~args:
+      [
+        tensor_arg ~mem dst dt [ int lanes ];
+        tensor_arg ~mem lhs dt [ int lanes ];
+        tensor_arg ~mem rhs dt [ int lanes ];
+        index_arg l;
+      ]
+    [ loopn i (int lanes) [ reduce dst [ var i ] (mul (rd lhs [ var i ]) (rd rhs [ var l ])) ] ]
+
+(** [dst\[i\] += lhs\[i\] * rhs\[i\]] — element-wise FMA
+    ([vfmaq_f32] / [_mm512_fmadd_ps]). *)
+let fma_vv ~name ~fmt ~header ~mem ~dt ~lanes =
+  let dst = Sym.fresh "dst"
+  and lhs = Sym.fresh "lhs"
+  and rhs = Sym.fresh "rhs"
+  and i = Sym.fresh "i" in
+  mk ~name ~fmt ~kind:KFma ~header
+    ~preds:[ unit_stride dst; unit_stride lhs; unit_stride rhs ]
+    ~args:
+      [
+        tensor_arg ~mem dst dt [ int lanes ];
+        tensor_arg ~mem lhs dt [ int lanes ];
+        tensor_arg ~mem rhs dt [ int lanes ];
+      ]
+    [ loopn i (int lanes) [ reduce dst [ var i ] (mul (rd lhs [ var i ]) (rd rhs [ var i ])) ] ]
+
+(** [dst\[i\] += s\[0\] * rhs\[i\]] — scalar-broadcast FMA (RVV [vfmacc.vf]),
+    used by the non-packed variant of Section III-B. *)
+let fma_scalar ~name ~fmt ~header ~mem ~dt ~lanes =
+  let dst = Sym.fresh "dst"
+  and s = Sym.fresh "s"
+  and rhs = Sym.fresh "rhs"
+  and i = Sym.fresh "i" in
+  mk ~name ~fmt ~kind:KFma ~header
+    ~preds:[ unit_stride dst; unit_stride rhs ]
+    ~args:
+      [
+        tensor_arg ~mem dst dt [ int lanes ];
+        tensor_arg s dt [ int 1 ];
+        tensor_arg ~mem rhs dt [ int lanes ];
+      ]
+    [ loopn i (int lanes) [ reduce dst [ var i ] (mul (rd s [ int 0 ]) (rd rhs [ var i ])) ] ]
+
+(** [dst\[i\] += lhs\[i\] * s\[0\]] — scalar-broadcast FMA with the scalar as
+    the second factor; same hardware op as {!fma_scalar}, matching the
+    commuted source shape [C += A * b]. *)
+let fma_scalar_r ~name ~fmt ~header ~mem ~dt ~lanes =
+  let dst = Sym.fresh "dst"
+  and lhs = Sym.fresh "lhs"
+  and s = Sym.fresh "s"
+  and i = Sym.fresh "i" in
+  mk ~name ~fmt ~kind:KFma ~header
+    ~preds:[ unit_stride dst; unit_stride lhs ]
+    ~args:
+      [
+        tensor_arg ~mem dst dt [ int lanes ];
+        tensor_arg ~mem lhs dt [ int lanes ];
+        tensor_arg s dt [ int 1 ];
+      ]
+    [ loopn i (int lanes) [ reduce dst [ var i ] (mul (rd lhs [ var i ]) (rd s [ int 0 ])) ] ]
+
+(** [dst\[i\] = src\[0\]] — broadcast a scalar from memory into all lanes. *)
+let bcast ~name ~fmt ~header ~mem ~dt ~lanes =
+  let dst = Sym.fresh "dst" and src = Sym.fresh "src" and i = Sym.fresh "i" in
+  mk ~name ~fmt ~kind:KBcast ~header
+    ~preds:[ unit_stride dst ]
+    ~args:[ tensor_arg ~mem dst dt [ int lanes ]; tensor_arg src dt [ int 1 ] ]
+    [ loopn i (int lanes) [ assign dst [ var i ] (rd src [ int 0 ]) ] ]
+
+(** [dst\[i\] = 0] — zero a register (the beta = 0 specialization). *)
+let zero ~name ~fmt ~header ~mem ~dt ~lanes =
+  let dst = Sym.fresh "dst" and i = Sym.fresh "i" in
+  mk ~name ~fmt ~kind:KArith ~header
+    ~preds:[ unit_stride dst ]
+    ~args:[ tensor_arg ~mem dst dt [ int lanes ] ]
+    [ loopn i (int lanes) [ assign dst [ var i ] (flt 0.0) ] ]
+
+(** [dst\[i\] = lhs\[i\] * rhs\[i\]]. *)
+let mul_vv ~name ~fmt ~header ~mem ~dt ~lanes =
+  let dst = Sym.fresh "dst"
+  and lhs = Sym.fresh "lhs"
+  and rhs = Sym.fresh "rhs"
+  and i = Sym.fresh "i" in
+  mk ~name ~fmt ~kind:KArith ~header
+    ~preds:[ unit_stride dst; unit_stride lhs; unit_stride rhs ]
+    ~args:
+      [
+        tensor_arg ~mem dst dt [ int lanes ];
+        tensor_arg ~mem lhs dt [ int lanes ];
+        tensor_arg ~mem rhs dt [ int lanes ];
+      ]
+    [ loopn i (int lanes) [ assign dst [ var i ] (mul (rd lhs [ var i ]) (rd rhs [ var i ])) ] ]
+
+(** [dst\[i\] = lhs\[i\] * s\[0\]] with [dst] back in addressable memory —
+    a fused scale-and-store ([vst1q(vmulq_n(...))]); the alpha/beta scaling
+    nests of the full kernel (Fig. 4) compile to this. *)
+let store_mul_vs ~name ~fmt ~header ~mem ~dt ~lanes =
+  let dst = Sym.fresh "dst"
+  and lhs = Sym.fresh "lhs"
+  and s = Sym.fresh "s"
+  and i = Sym.fresh "i" in
+  mk ~name ~fmt ~kind:KStore ~header
+    ~preds:[ unit_stride dst; unit_stride lhs ]
+    ~args:
+      [
+        tensor_arg dst dt [ int lanes ];
+        tensor_arg ~mem lhs dt [ int lanes ];
+        tensor_arg s dt [ int 1 ];
+      ]
+    [ loopn i (int lanes) [ assign dst [ var i ] (mul (rd lhs [ var i ]) (rd s [ int 0 ])) ] ]
+
+(** [dst\[i\] = lhs\[i\] * s\[0\]] — multiply by a scalar from memory
+    (the alpha scaling). *)
+let mul_vs ~name ~fmt ~header ~mem ~dt ~lanes =
+  let dst = Sym.fresh "dst"
+  and lhs = Sym.fresh "lhs"
+  and s = Sym.fresh "s"
+  and i = Sym.fresh "i" in
+  mk ~name ~fmt ~kind:KArith ~header
+    ~preds:[ unit_stride dst; unit_stride lhs ]
+    ~args:
+      [
+        tensor_arg ~mem dst dt [ int lanes ];
+        tensor_arg ~mem lhs dt [ int lanes ];
+        tensor_arg s dt [ int 1 ];
+      ]
+    [ loopn i (int lanes) [ assign dst [ var i ] (mul (rd lhs [ var i ]) (rd s [ int 0 ])) ] ]

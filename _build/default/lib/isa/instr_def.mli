@@ -1,0 +1,54 @@
+(** Combinators for defining hardware instructions — the user-facing API for
+    adding a new target, mirroring Exo's [@instr] (Fig. 3 of the paper): each
+    instruction is an ordinary procedure whose body is its semantics and
+    whose annotation is the C to emit. Every definition is type-checked at
+    construction, so a typo in a hardware library fails at startup.
+
+    All combinators take the instruction [name], the C [fmt] template
+    ([{param_data}]/[{param}] holes), the intrinsics [header], the register
+    memory [mem], the element type [dt] and the lane count [lanes]. *)
+
+type spec =
+  name:string ->
+  fmt:string ->
+  header:string ->
+  mem:Exo_ir.Mem.t ->
+  dt:Exo_ir.Dtype.t ->
+  lanes:int ->
+  Exo_ir.Ir.proc
+
+(** [dst @ reg ← src @ DRAM], contiguous. *)
+val load : spec
+
+(** [dst @ DRAM ← src @ reg], contiguous. *)
+val store : spec
+
+(** [dst[i] += lhs[i] * rhs[l]] — the Neon [vfmaq_laneq] shape. *)
+val fma_lane : spec
+
+(** [dst[i] += lhs[i] * rhs[i]] — element-wise FMA. *)
+val fma_vv : spec
+
+(** [dst[i] += s[0] * rhs[i]] — scalar-broadcast FMA (RVV [vfmacc.vf],
+    Neon [vfmaq_n]). *)
+val fma_scalar : spec
+
+(** [dst[i] += lhs[i] * s[0]] — the commuted scalar FMA, matching
+    [C += A * b]-shaped sources. *)
+val fma_scalar_r : spec
+
+(** [dst[i] = src[0]] — broadcast a scalar from memory. *)
+val bcast : spec
+
+(** [dst[i] = 0] — zero a register (the beta = 0 specialization). *)
+val zero : spec
+
+(** [dst[i] = lhs[i] * rhs[i]]. *)
+val mul_vv : spec
+
+(** [dst @ DRAM ← lhs[i] * s[0]] — fused scale-and-store (the alpha/beta
+    nests of the full kernel). *)
+val store_mul_vs : spec
+
+(** [dst[i] = lhs[i] * s[0]]. *)
+val mul_vs : spec

@@ -1,0 +1,113 @@
+(** Machine descriptions for the performance simulator.
+
+    The paper's testbed is one core of the NVIDIA Carmel (ARM v8.2) in a
+    Jetson AGX Xavier at 2.3 GHz; we encode a Carmel-class core here and use
+    it everywhere the paper reports GFLOPS. All parameters are ordinary
+    micro-architecture numbers (pipe counts, latencies, cache geometry,
+    per-level bandwidths) — the simulator derives every figure from these
+    plus the kernel's own instruction trace; nothing is fitted per-figure. *)
+
+type cache = { size_kib : int; assoc : int; line_bytes : int }
+
+type t = {
+  name : string;
+  freq_ghz : float;
+  issue_width : int;  (** total micro-ops issued per cycle *)
+  vec : Memories.info;  (** register class micro-kernels are scheduled onto *)
+  fma_pipes : int;  (** vector FMA units *)
+  load_ports : int;
+  store_ports : int;
+  fma_lat : int;  (** accumulate-to-accumulate forwarding latency, cycles *)
+  l1 : cache;
+  l2 : cache;
+  l3 : cache;
+  l1_bw : float;  (** sustained bytes/cycle from L1 to registers *)
+  l2_bw : float;
+  l3_bw : float;
+  dram_bw : float;
+  l3_lat : int;  (** load-to-use latency from L3, cycles *)
+  dram_lat : int;
+}
+
+let cache_bytes c = c.size_kib * 1024
+let cache_sets c = cache_bytes c / (c.assoc * c.line_bytes)
+
+(** Peak vector FLOP/s for a dtype: lanes × 2 (fused mul-add) × pipes × f. *)
+let peak_gflops (m : t) dt =
+  let lanes = Memories.lanes_of m.vec dt in
+  float_of_int (lanes * 2 * m.fma_pipes) *. m.freq_ghz
+
+(** NVIDIA Carmel-class core (Jetson AGX Xavier), the paper's testbed:
+    2×128-bit FMA pipes → 36.8 GFLOPS FP32 peak at 2.3 GHz; 64 KiB L1D,
+    2 MiB shared L2, 4 MiB L3. *)
+let carmel =
+  {
+    name = "Carmel @ 2.3 GHz";
+    freq_ghz = 2.3;
+    issue_width = 6;
+    vec = Memories.neon;
+    fma_pipes = 2;
+    load_ports = 2;
+    store_ports = 1;
+    fma_lat = 5;
+    l1 = { size_kib = 64; assoc = 4; line_bytes = 64 };
+    l2 = { size_kib = 2048; assoc = 16; line_bytes = 64 };
+    l3 = { size_kib = 4096; assoc = 16; line_bytes = 64 };
+    l1_bw = 32.0;
+    l2_bw = 32.0;
+    l3_bw = 16.0;
+    dram_bw = 8.0;
+    l3_lat = 40;
+    dram_lat = 130;
+  }
+
+(** Carmel with the half-precision register view (ARMv8.2-FP16): same core,
+    8 lanes per 128-bit register. *)
+let carmel_fp16 = { carmel with vec = Memories.neon8f }
+
+(** A generic AVX-512 server core, used by the Section III-C portability
+    example (the paper leaves Intel to future work, so this stands in for
+    any 2-FMA-pipe AVX-512 part). *)
+let avx512_server =
+  {
+    name = "AVX-512 server core @ 2.5 GHz";
+    freq_ghz = 2.5;
+    issue_width = 6;
+    vec = Memories.avx512;
+    fma_pipes = 2;
+    load_ports = 2;
+    store_ports = 1;
+    fma_lat = 4;
+    l1 = { size_kib = 32; assoc = 8; line_bytes = 64 };
+    l2 = { size_kib = 1024; assoc = 16; line_bytes = 64 };
+    l3 = { size_kib = 16384; assoc = 11; line_bytes = 64 };
+    l1_bw = 128.0;
+    l2_bw = 64.0;
+    l3_bw = 32.0;
+    dram_bw = 10.0;
+    l3_lat = 44;
+    dram_lat = 160;
+  }
+
+(** A small in-order RISC-V vector core (VLEN=128), for the future-work
+    retargeting example. *)
+let rvv_core =
+  {
+    name = "RVV core (VLEN=128) @ 1.5 GHz";
+    freq_ghz = 1.5;
+    issue_width = 2;
+    vec = Memories.rvv;
+    fma_pipes = 1;
+    load_ports = 1;
+    store_ports = 1;
+    fma_lat = 4;
+    l1 = { size_kib = 32; assoc = 8; line_bytes = 64 };
+    l2 = { size_kib = 512; assoc = 8; line_bytes = 64 };
+    l3 = { size_kib = 2048; assoc = 16; line_bytes = 64 };
+    l1_bw = 16.0;
+    l2_bw = 16.0;
+    l3_bw = 8.0;
+    dram_bw = 4.0;
+    l3_lat = 30;
+    dram_lat = 100;
+  }

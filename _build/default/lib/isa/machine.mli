@@ -1,0 +1,48 @@
+(** Machine descriptions for the performance simulators.
+
+    The paper's testbed is one core of the NVIDIA Carmel (ARM v8.2) at
+    2.3 GHz; {!carmel} encodes a Carmel-class core. All parameters are
+    ordinary micro-architecture numbers — the simulators derive every figure
+    from these plus each kernel's own instruction trace; nothing is fitted
+    per-figure. *)
+
+type cache = { size_kib : int; assoc : int; line_bytes : int }
+
+type t = {
+  name : string;
+  freq_ghz : float;
+  issue_width : int;
+  vec : Memories.info;  (** register class kernels are scheduled onto *)
+  fma_pipes : int;
+  load_ports : int;
+  store_ports : int;
+  fma_lat : int;  (** accumulate-to-accumulate forwarding latency, cycles *)
+  l1 : cache;
+  l2 : cache;
+  l3 : cache;
+  l1_bw : float;  (** sustained bytes/cycle *)
+  l2_bw : float;
+  l3_bw : float;
+  dram_bw : float;
+  l3_lat : int;  (** load-to-use latency, cycles *)
+  dram_lat : int;
+}
+
+val cache_bytes : cache -> int
+val cache_sets : cache -> int
+
+(** Peak vector FLOP/s: lanes × 2 × pipes × f. *)
+val peak_gflops : t -> Exo_ir.Dtype.t -> float
+
+(** NVIDIA Carmel-class core (Jetson AGX Xavier): 2×128-bit FMA pipes,
+    36.8 GFLOPS FP32 peak at 2.3 GHz, 64K/2M/4M caches. *)
+val carmel : t
+
+(** Carmel with the 8-lane half-precision register view (ARMv8.2-FP16). *)
+val carmel_fp16 : t
+
+(** A generic 2-FMA-pipe AVX-512 server core (the Section III-C stand-in). *)
+val avx512_server : t
+
+(** A small in-order RISC-V vector core (VLEN = 128). *)
+val rvv_core : t

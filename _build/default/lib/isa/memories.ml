@@ -1,0 +1,116 @@
+(** Register memory spaces and their codegen metadata.
+
+    Exo models each level of the memory hierarchy as a user-defined memory.
+    The IR carries only the memory's name ({!Exo_ir.Mem}); this module owns
+    the hardware-facing metadata: register width, the C vector type used to
+    declare an allocation of a given dtype, the intrinsics header, and the
+    architectural register-file budget used by the simulator's
+    register-pressure model. *)
+
+open Exo_ir
+
+type info = {
+  mem : Mem.t;
+  reg_bits : int;  (** width of one register in bits *)
+  num_regs : int;  (** architectural registers of this class *)
+  c_vec_type : Dtype.t -> string option;
+      (** C type declaring one register holding lanes of the dtype *)
+  header : string;  (** intrinsics header *)
+}
+
+let lanes_of info dt = info.reg_bits / (8 * Dtype.size_bytes dt)
+
+(* --- ARM Neon (128-bit) ------------------------------------------- *)
+
+let neon_mem = Mem.make "Neon"
+
+(** 8-lane half-precision register class; the paper's [Neon8f]. Physically
+    the same 128-bit register file as [Neon] — a separate Exo memory so that
+    [set_memory] retargets declarations exactly as in Section III-D. *)
+let neon8f_mem = Mem.make "Neon8f"
+
+let neon =
+  {
+    mem = neon_mem;
+    reg_bits = 128;
+    num_regs = 32;
+    c_vec_type =
+      (function
+      | Dtype.F32 -> Some "float32x4_t"
+      | Dtype.F16 -> Some "float16x8_t"
+      | Dtype.F64 -> Some "float64x2_t"
+      | Dtype.I32 -> Some "int32x4_t"
+      | Dtype.I8 -> Some "int8x16_t");
+    header = "arm_neon.h";
+  }
+
+let neon8f = { neon with mem = neon8f_mem }
+
+(* --- Intel AVX-512 (512-bit) --------------------------------------- *)
+
+let avx512_mem = Mem.make "AVX512"
+
+let avx512 =
+  {
+    mem = avx512_mem;
+    reg_bits = 512;
+    num_regs = 32;
+    c_vec_type =
+      (function
+      | Dtype.F32 -> Some "__m512"
+      | Dtype.F64 -> Some "__m512d"
+      | Dtype.I32 | Dtype.I8 -> Some "__m512i"
+      | Dtype.F16 -> Some "__m512h");
+    header = "immintrin.h";
+  }
+
+(* --- Intel AVX2 (256-bit) ------------------------------------------- *)
+
+let avx2_mem = Mem.make "AVX2"
+
+let avx2 =
+  {
+    mem = avx2_mem;
+    reg_bits = 256;
+    num_regs = 16;
+    c_vec_type =
+      (function
+      | Dtype.F32 -> Some "__m256"
+      | Dtype.F64 -> Some "__m256d"
+      | Dtype.I32 | Dtype.I8 -> Some "__m256i"
+      | Dtype.F16 -> None);
+    header = "immintrin.h";
+  }
+
+(* --- RISC-V Vector (VLEN = 128 configuration) ---------------------- *)
+
+let rvv_mem = Mem.make "RVV"
+
+let rvv =
+  {
+    mem = rvv_mem;
+    reg_bits = 128;
+    num_regs = 32;
+    c_vec_type =
+      (function
+      | Dtype.F32 -> Some "vfloat32m1_t"
+      | Dtype.F64 -> Some "vfloat64m1_t"
+      | Dtype.F16 -> Some "vfloat16m1_t"
+      | Dtype.I32 -> Some "vint32m1_t"
+      | Dtype.I8 -> Some "vint8m1_t");
+    header = "riscv_vector.h";
+  }
+
+(* --- Registry ------------------------------------------------------- *)
+
+let all = [ neon; neon8f; avx512; avx2; rvv ]
+
+let lookup (m : Mem.t) : info option =
+  List.find_opt (fun i -> Mem.equal i.mem m) all
+
+let lookup_exn (m : Mem.t) : info =
+  match lookup m with
+  | Some i -> i
+  | None -> Fmt.invalid_arg "unknown register memory %a" Mem.pp m
+
+let is_register_mem (m : Mem.t) : bool = Option.is_some (lookup m)

@@ -1,0 +1,33 @@
+(** Register memory spaces and their codegen metadata: register width, the
+    C vector type per dtype, the intrinsics header, and the architectural
+    register-file budget the simulator's pressure model uses. The IR carries
+    only the memory's name; this module owns the hardware facts. *)
+
+type info = {
+  mem : Exo_ir.Mem.t;
+  reg_bits : int;
+  num_regs : int;
+  c_vec_type : Exo_ir.Dtype.t -> string option;
+  header : string;
+}
+
+(** Lanes of one register for a dtype. *)
+val lanes_of : info -> Exo_ir.Dtype.t -> int
+
+val neon_mem : Exo_ir.Mem.t
+
+(** The paper's [Neon8f]: the same 128-bit file viewed as 8 × f16. *)
+val neon8f_mem : Exo_ir.Mem.t
+
+val avx512_mem : Exo_ir.Mem.t
+val avx2_mem : Exo_ir.Mem.t
+val rvv_mem : Exo_ir.Mem.t
+val neon : info
+val neon8f : info
+val avx512 : info
+val avx2 : info
+val rvv : info
+val all : info list
+val lookup : Exo_ir.Mem.t -> info option
+val lookup_exn : Exo_ir.Mem.t -> info
+val is_register_mem : Exo_ir.Mem.t -> bool

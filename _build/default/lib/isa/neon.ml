@@ -1,0 +1,147 @@
+(** ARM Neon hardware library.
+
+    The f32 definitions mirror the paper's Fig. 3 ([neon_vst_4xf32],
+    [neon_vfmla_4xf32_4xf32]) and the generator's needs (loads, broadcast,
+    element-wise FMA for the non-packed variant, multiplies for alpha/beta).
+    The f16 definitions are the ARMv8.2-FP16 8-lane counterparts the paper
+    contributed to Exo (Section III-D, memory [Neon8f]). *)
+
+let mem = Memories.neon_mem
+let mem8f = Memories.neon8f_mem
+let header = Memories.neon.Memories.header
+
+(* --- 32-bit float, 4 lanes ----------------------------------------- *)
+
+let vld_4xf32 =
+  Instr_def.load ~name:"neon_vld_4xf32" ~header ~mem ~dt:Exo_ir.Dtype.F32 ~lanes:4
+    ~fmt:"{dst_data} = vld1q_f32(&{src_data});"
+
+let vst_4xf32 =
+  Instr_def.store ~name:"neon_vst_4xf32" ~header ~mem ~dt:Exo_ir.Dtype.F32 ~lanes:4
+    ~fmt:"vst1q_f32(&{dst_data}, {src_data});"
+
+let vfmla_4xf32_4xf32 =
+  Instr_def.fma_lane ~name:"neon_vfmla_4xf32_4xf32" ~header ~mem ~dt:Exo_ir.Dtype.F32
+    ~lanes:4 ~fmt:"{dst_data} = vfmaq_laneq_f32({dst_data}, {lhs_data}, {rhs_data}, {l});"
+
+let vfmadd_4xf32_4xf32 =
+  Instr_def.fma_vv ~name:"neon_vfmadd_4xf32_4xf32" ~header ~mem ~dt:Exo_ir.Dtype.F32
+    ~lanes:4 ~fmt:"{dst_data} = vfmaq_f32({dst_data}, {lhs_data}, {rhs_data});"
+
+let vfmacc_scalar_4xf32 =
+  Instr_def.fma_scalar ~name:"neon_vfmacc_scalar_4xf32" ~header ~mem
+    ~dt:Exo_ir.Dtype.F32 ~lanes:4
+    ~fmt:"{dst_data} = vfmaq_n_f32({dst_data}, {rhs_data}, {s_data});"
+
+let vfmacc_scalar_r_4xf32 =
+  Instr_def.fma_scalar_r ~name:"neon_vfmacc_scalar_r_4xf32" ~header ~mem
+    ~dt:Exo_ir.Dtype.F32 ~lanes:4
+    ~fmt:"{dst_data} = vfmaq_n_f32({dst_data}, {lhs_data}, {s_data});"
+
+let vdup_4xf32 =
+  Instr_def.bcast ~name:"neon_vdup_4xf32" ~header ~mem ~dt:Exo_ir.Dtype.F32 ~lanes:4
+    ~fmt:"{dst_data} = vdupq_n_f32({src_data});"
+
+let vzero_4xf32 =
+  Instr_def.zero ~name:"neon_vzero_4xf32" ~header ~mem ~dt:Exo_ir.Dtype.F32 ~lanes:4
+    ~fmt:"{dst_data} = vmovq_n_f32(0.0f);"
+
+let vmul_4xf32 =
+  Instr_def.mul_vv ~name:"neon_vmul_4xf32" ~header ~mem ~dt:Exo_ir.Dtype.F32 ~lanes:4
+    ~fmt:"{dst_data} = vmulq_f32({lhs_data}, {rhs_data});"
+
+let vmul_scalar_4xf32 =
+  Instr_def.mul_vs ~name:"neon_vmul_scalar_4xf32" ~header ~mem ~dt:Exo_ir.Dtype.F32
+    ~lanes:4 ~fmt:"{dst_data} = vmulq_n_f32({lhs_data}, {s_data});"
+
+let vst_mul_scalar_4xf32 =
+  Instr_def.store_mul_vs ~name:"neon_vst_mul_scalar_4xf32" ~header ~mem
+    ~dt:Exo_ir.Dtype.F32 ~lanes:4
+    ~fmt:"vst1q_f32(&{dst_data}, vmulq_n_f32({lhs_data}, {s_data}));"
+
+(* --- 32-bit integer, 4 lanes ---------------------------------------- *)
+(* The paper's limitations discussion (point 5) calls out missing integer
+   arithmetic in the HPC libraries; the generator covers it with the same
+   schedule machinery. *)
+
+let vld_4xi32 =
+  Instr_def.load ~name:"neon_vld_4xi32" ~header ~mem ~dt:Exo_ir.Dtype.I32 ~lanes:4
+    ~fmt:"{dst_data} = vld1q_s32(&{src_data});"
+
+let vst_4xi32 =
+  Instr_def.store ~name:"neon_vst_4xi32" ~header ~mem ~dt:Exo_ir.Dtype.I32 ~lanes:4
+    ~fmt:"vst1q_s32(&{dst_data}, {src_data});"
+
+let vmla_4xi32_4xi32 =
+  Instr_def.fma_lane ~name:"neon_vmla_4xi32_4xi32" ~header ~mem ~dt:Exo_ir.Dtype.I32
+    ~lanes:4 ~fmt:"{dst_data} = vmlaq_laneq_s32({dst_data}, {lhs_data}, {rhs_data}, {l});"
+
+let vmlad_4xi32_4xi32 =
+  Instr_def.fma_vv ~name:"neon_vmlad_4xi32_4xi32" ~header ~mem ~dt:Exo_ir.Dtype.I32
+    ~lanes:4 ~fmt:"{dst_data} = vmlaq_s32({dst_data}, {lhs_data}, {rhs_data});"
+
+let vdup_4xi32 =
+  Instr_def.bcast ~name:"neon_vdup_4xi32" ~header ~mem ~dt:Exo_ir.Dtype.I32 ~lanes:4
+    ~fmt:"{dst_data} = vdupq_n_s32({src_data});"
+
+let i32_instrs = [ vld_4xi32; vst_4xi32; vmla_4xi32_4xi32; vmlad_4xi32_4xi32; vdup_4xi32 ]
+
+(* --- 16-bit float, 8 lanes (ARMv8.2-FP16) --------------------------- *)
+
+let vld_8xf16 =
+  Instr_def.load ~name:"neon_vld_8xf16" ~header ~mem:mem8f ~dt:Exo_ir.Dtype.F16
+    ~lanes:8 ~fmt:"{dst_data} = vld1q_f16(&{src_data});"
+
+let vst_8xf16 =
+  Instr_def.store ~name:"neon_vst_8xf16" ~header ~mem:mem8f ~dt:Exo_ir.Dtype.F16
+    ~lanes:8 ~fmt:"vst1q_f16(&{dst_data}, {src_data});"
+
+let vfmla_8xf16_8xf16 =
+  Instr_def.fma_lane ~name:"neon_vfmla_8xf16_8xf16" ~header ~mem:mem8f
+    ~dt:Exo_ir.Dtype.F16 ~lanes:8
+    ~fmt:"{dst_data} = vfmaq_laneq_f16({dst_data}, {lhs_data}, {rhs_data}, {l});"
+
+let vfmadd_8xf16_8xf16 =
+  Instr_def.fma_vv ~name:"neon_vfmadd_8xf16_8xf16" ~header ~mem:mem8f
+    ~dt:Exo_ir.Dtype.F16 ~lanes:8
+    ~fmt:"{dst_data} = vfmaq_f16({dst_data}, {lhs_data}, {rhs_data});"
+
+let vdup_8xf16 =
+  Instr_def.bcast ~name:"neon_vdup_8xf16" ~header ~mem:mem8f ~dt:Exo_ir.Dtype.F16
+    ~lanes:8 ~fmt:"{dst_data} = vdupq_n_f16({src_data});"
+
+let vzero_8xf16 =
+  Instr_def.zero ~name:"neon_vzero_8xf16" ~header ~mem:mem8f ~dt:Exo_ir.Dtype.F16
+    ~lanes:8 ~fmt:"{dst_data} = vmovq_n_f16(0.0f16);"
+
+let vmul_8xf16 =
+  Instr_def.mul_vv ~name:"neon_vmul_8xf16" ~header ~mem:mem8f ~dt:Exo_ir.Dtype.F16
+    ~lanes:8 ~fmt:"{dst_data} = vmulq_f16({lhs_data}, {rhs_data});"
+
+let f32_instrs =
+  [
+    vld_4xf32;
+    vst_4xf32;
+    vfmla_4xf32_4xf32;
+    vfmadd_4xf32_4xf32;
+    vfmacc_scalar_4xf32;
+    vfmacc_scalar_r_4xf32;
+    vdup_4xf32;
+    vzero_4xf32;
+    vmul_4xf32;
+    vmul_scalar_4xf32;
+    vst_mul_scalar_4xf32;
+  ]
+
+let f16_instrs =
+  [
+    vld_8xf16;
+    vst_8xf16;
+    vfmla_8xf16_8xf16;
+    vfmadd_8xf16_8xf16;
+    vdup_8xf16;
+    vzero_8xf16;
+    vmul_8xf16;
+  ]
+
+let all = f32_instrs @ i32_instrs @ f16_instrs

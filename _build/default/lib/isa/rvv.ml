@@ -1,0 +1,50 @@
+(** RISC-V Vector hardware library (VLEN = 128, LMUL = 1).
+
+    The paper's future work names RISC-V as the next retargeting goal; this
+    library demonstrates it. RVV's [vfmacc.vf] multiplies a *scalar* register
+    by a vector, which matches the broadcast-free variant of the generator
+    directly (no dup instruction needed on the A side). *)
+
+let mem = Memories.rvv_mem
+let header = Memories.rvv.Memories.header
+let dt = Exo_ir.Dtype.F32
+let lanes = 4
+
+let vle_4xf32 =
+  Instr_def.load ~name:"rvv_vle_4xf32" ~header ~mem ~dt ~lanes
+    ~fmt:"{dst_data} = __riscv_vle32_v_f32m1(&{src_data}, 4);"
+
+let vse_4xf32 =
+  Instr_def.store ~name:"rvv_vse_4xf32" ~header ~mem ~dt ~lanes
+    ~fmt:"__riscv_vse32_v_f32m1(&{dst_data}, {src_data}, 4);"
+
+let vfmacc_vv_4xf32 =
+  Instr_def.fma_vv ~name:"rvv_vfmacc_vv_4xf32" ~header ~mem ~dt ~lanes
+    ~fmt:"{dst_data} = __riscv_vfmacc_vv_f32m1({dst_data}, {lhs_data}, {rhs_data}, 4);"
+
+let vfmacc_vf_4xf32 =
+  Instr_def.fma_scalar ~name:"rvv_vfmacc_vf_4xf32" ~header ~mem ~dt ~lanes
+    ~fmt:"{dst_data} = __riscv_vfmacc_vf_f32m1({dst_data}, {s_data}, {rhs_data}, 4);"
+
+let vfmacc_vf_r_4xf32 =
+  Instr_def.fma_scalar_r ~name:"rvv_vfmacc_vf_r_4xf32" ~header ~mem ~dt ~lanes
+    ~fmt:"{dst_data} = __riscv_vfmacc_vf_f32m1({dst_data}, {s_data}, {lhs_data}, 4);"
+
+let vfmv_4xf32 =
+  Instr_def.bcast ~name:"rvv_vfmv_4xf32" ~header ~mem ~dt ~lanes
+    ~fmt:"{dst_data} = __riscv_vfmv_v_f_f32m1({src_data}, 4);"
+
+let vzero_4xf32 =
+  Instr_def.zero ~name:"rvv_vzero_4xf32" ~header ~mem ~dt ~lanes
+    ~fmt:"{dst_data} = __riscv_vfmv_v_f_f32m1(0.0f, 4);"
+
+let all =
+  [
+    vle_4xf32;
+    vse_4xf32;
+    vfmacc_vv_4xf32;
+    vfmacc_vf_4xf32;
+    vfmacc_vf_r_4xf32;
+    vfmv_4xf32;
+    vzero_4xf32;
+  ]

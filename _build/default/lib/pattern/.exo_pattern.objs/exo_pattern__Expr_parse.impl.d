@@ -1,0 +1,1 @@
+lib/pattern/expr_parse.ml: Exo_ir Fmt Ir List String Sym

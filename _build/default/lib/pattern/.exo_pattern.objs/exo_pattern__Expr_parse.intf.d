@@ -1,0 +1,1 @@
+lib/pattern/expr_parse.mli: Exo_ir

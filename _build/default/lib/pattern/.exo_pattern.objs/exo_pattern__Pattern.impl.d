@@ -1,0 +1,1 @@
+lib/pattern/pattern.ml: Cursor Exo_ir Fmt Ir List String Sym

@@ -1,0 +1,192 @@
+(** Parser for the small expression strings scheduling calls pass around.
+
+    Exo user code writes windows and index expressions as strings —
+    [stage_mem(p, 'C[_] += _', 'C[4 * jt + jtt, 4 * it + itt]', 'C_reg')],
+    [expand_dim(p, 'C_reg', NR, 'jt*4+jtt')] — whose names refer to loop
+    variables in scope *at the target site*. This module parses such strings
+    into {!Exo_ir.Ir.expr} against a name-resolution environment supplied by
+    the scheduling primitive.
+
+    Grammar (precedence low→high): sums of terms ([+], [-]); terms of unary
+    factors ([*], [/], [%]); unary minus; atoms are integer literals, names,
+    subscripted accesses [name\[e, …\]] and parenthesized expressions. *)
+
+open Exo_ir
+
+exception Parse_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+type env = (string -> Sym.t option)
+
+type token = TInt of int | TIdent of string | TOp of char
+
+let tokenize (s : string) : token list =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' -> go (i + 1) acc
+      | c when c >= '0' && c <= '9' ->
+          let j = ref i in
+          while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do
+            incr j
+          done;
+          go !j (TInt (int_of_string (String.sub s i (!j - i))) :: acc)
+      | c
+        when (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' ->
+          let j = ref i in
+          while
+            !j < n
+            && ((s.[!j] >= 'a' && s.[!j] <= 'z')
+               || (s.[!j] >= 'A' && s.[!j] <= 'Z')
+               || (s.[!j] >= '0' && s.[!j] <= '9')
+               || s.[!j] = '_')
+          do
+            incr j
+          done;
+          go !j (TIdent (String.sub s i (!j - i)) :: acc)
+      | ('+' | '-' | '*' | '/' | '%' | '(' | ')' | '[' | ']' | ',' | ':') as c ->
+          go (i + 1) (TOp c :: acc)
+      | c -> err "unexpected character %C in expression %S" c s
+  in
+  go 0 []
+
+type state = { mutable toks : token list; env : env; src : string }
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+
+let advance st =
+  match st.toks with [] -> err "unexpected end of %S" st.src | _ :: r -> st.toks <- r
+
+let expect_op st c =
+  match peek st with
+  | Some (TOp c') when c = c' -> advance st
+  | _ -> err "expected %C in %S" c st.src
+
+let resolve st name =
+  match st.env name with
+  | Some s -> s
+  | None -> err "unknown name %S in %S (not in scope at the target)" name st.src
+
+let rec parse_sum st : Ir.expr =
+  let lhs = parse_term st in
+  let rec loop acc =
+    match peek st with
+    | Some (TOp '+') ->
+        advance st;
+        loop (Ir.Binop (Ir.Add, acc, parse_term st))
+    | Some (TOp '-') ->
+        advance st;
+        loop (Ir.Binop (Ir.Sub, acc, parse_term st))
+    | _ -> acc
+  in
+  loop lhs
+
+and parse_term st : Ir.expr =
+  let lhs = parse_unary st in
+  let rec loop acc =
+    match peek st with
+    | Some (TOp '*') ->
+        advance st;
+        loop (Ir.Binop (Ir.Mul, acc, parse_unary st))
+    | Some (TOp '/') ->
+        advance st;
+        loop (Ir.Binop (Ir.Div, acc, parse_unary st))
+    | Some (TOp '%') ->
+        advance st;
+        loop (Ir.Binop (Ir.Mod, acc, parse_unary st))
+    | _ -> acc
+  in
+  loop lhs
+
+and parse_unary st : Ir.expr =
+  match peek st with
+  | Some (TOp '-') ->
+      advance st;
+      Ir.Neg (parse_unary st)
+  | _ -> parse_atom st
+
+and parse_atom st : Ir.expr =
+  match peek st with
+  | Some (TInt n) ->
+      advance st;
+      Ir.Int n
+  | Some (TIdent name) -> (
+      advance st;
+      match peek st with
+      | Some (TOp '[') ->
+          advance st;
+          let idx = parse_indices st in
+          Ir.Read (resolve st name, idx)
+      | _ -> Ir.Var (resolve st name))
+  | Some (TOp '(') ->
+      advance st;
+      let e = parse_sum st in
+      expect_op st ')';
+      e
+  | _ -> err "unexpected token in %S" st.src
+
+and parse_indices st : Ir.expr list =
+  let rec loop acc =
+    let e = parse_sum st in
+    match peek st with
+    | Some (TOp ',') ->
+        advance st;
+        loop (e :: acc)
+    | Some (TOp ']') ->
+        advance st;
+        List.rev (e :: acc)
+    | _ -> err "expected ',' or ']' in %S" st.src
+  in
+  loop []
+
+let finish st v =
+  match st.toks with [] -> v | _ -> err "trailing tokens in %S" st.src
+
+(** Parse an index/arith expression, resolving names through [env]. *)
+let expr ~(env : env) (s : string) : Ir.expr =
+  let st = { toks = tokenize s; env; src = s } in
+  finish st (parse_sum st)
+
+(** Parse a point access like ["C[4*jt + jtt, 4*it + itt]"], returning the
+    buffer and its point subscripts. *)
+let point_access ~(env : env) (s : string) : Sym.t * Ir.expr list =
+  let st = { toks = tokenize s; env; src = s } in
+  match parse_atom st with
+  | Ir.Read (b, idx) -> finish st (b, idx)
+  | _ -> err "expected a buffer access in %S" s
+
+(** Parse a window like ["C[0:12, 0:8]"] or ["Ac[k, 0:4]"]: each subscript is
+    a point or a half-open [lo:hi] interval. *)
+let window ~(env : env) (s : string) : Sym.t * Ir.waccess list =
+  let st = { toks = tokenize s; env; src = s } in
+  let buf =
+    match peek st with
+    | Some (TIdent name) ->
+        advance st;
+        resolve st name
+    | _ -> err "expected a buffer name in %S" s
+  in
+  expect_op st '[';
+  let rec loop acc =
+    let lo = parse_sum st in
+    let w =
+      match peek st with
+      | Some (TOp ':') ->
+          advance st;
+          Ir.Iv (lo, parse_sum st)
+      | _ -> Ir.Pt lo
+    in
+    match peek st with
+    | Some (TOp ',') ->
+        advance st;
+        loop (w :: acc)
+    | Some (TOp ']') ->
+        advance st;
+        List.rev (w :: acc)
+    | _ -> err "expected ',' or ']' in %S" s
+  in
+  let widx = loop [] in
+  finish st (buf, widx)

@@ -1,0 +1,18 @@
+(** Parser for the expression strings scheduling calls pass around —
+    [stage_mem(p, ..., 'C[4 * jt + jtt, 4 * it + itt]', ...)],
+    [expand_dim(p, 'C_reg', '12', 'jt*4+jtt')] — resolved against the names
+    in scope at the target site. *)
+
+exception Parse_error of string
+
+type env = string -> Exo_ir.Sym.t option
+
+(** Parse an index/arith expression. *)
+val expr : env:env -> string -> Exo_ir.Ir.expr
+
+(** Parse a point access ["C[4*jt + jtt, 4*it + itt]"]. *)
+val point_access : env:env -> string -> Exo_ir.Sym.t * Exo_ir.Ir.expr list
+
+(** Parse a window ["C[0:12, 0:8]"] / ["Ac[k, 0:4]"]: each subscript a point
+    or a half-open [lo:hi] interval. *)
+val window : env:env -> string -> Exo_ir.Sym.t * Exo_ir.Ir.waccess list

@@ -1,0 +1,148 @@
+(** The Exo cursor-pattern mini-language.
+
+    Scheduling calls locate their targets with small source patterns, exactly
+    as in the paper's user code:
+
+    - ["for itt in _: _"] — a loop over [itt] (["for _ in _: _"] matches any
+      loop; the bare shorthand ["itt"] is also accepted, as in
+      [divide_loop(p, 'i', ...)]);
+    - ["C[_] += _"] — a reduction into buffer [C];
+    - ["C_reg[_] = _"] — an assignment to [C_reg];
+    - ["C_reg : _"] — an allocation of [C_reg];
+    - ["neon_vld_4xf32(_)"] — a call of the named instruction;
+    - ["if _: _"] — a guard;
+
+    any of which may carry an occurrence selector suffix [#k] (0-based),
+    e.g. ["for jt in _: _ #1"] for the second [jt] loop in program order. *)
+
+open Exo_ir
+
+exception Pattern_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Pattern_error s)) fmt
+
+type shape =
+  | PFor of string option  (** loop; [Some v] constrains the variable name *)
+  | PAssign of string option  (** [buf[_] = _] *)
+  | PReduce of string option  (** [buf[_] += _] *)
+  | PAlloc of string option  (** [buf : _] *)
+  | PCall of string option  (** [f(_)] *)
+  | PIf
+
+type t = { shape : shape; occurrence : int option }
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+type token = Ident of string | Sym of char | Hash of int
+
+let tokenize (s : string) : token list =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' -> go (i + 1) acc
+      | '#' ->
+          let j = ref (i + 1) in
+          while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do
+            incr j
+          done;
+          if !j = i + 1 then err "expected digits after '#' in pattern %S" s;
+          go !j (Hash (int_of_string (String.sub s (i + 1) (!j - i - 1))) :: acc)
+      | c when is_ident_char c ->
+          let j = ref i in
+          while !j < n && is_ident_char s.[!j] do
+            incr j
+          done;
+          go !j (Ident (String.sub s i (!j - i)) :: acc)
+      | ('[' | ']' | '(' | ')' | ':' | '=' | '+' | ',') as c -> go (i + 1) (Sym c :: acc)
+      | c -> err "unexpected character %C in pattern %S" c s
+  in
+  go 0 []
+
+let name_of = function "_" -> None | n -> Some n
+
+(** [parse s] parses a pattern string. *)
+let parse (s : string) : t =
+  let toks = tokenize s in
+  let toks, occurrence =
+    match List.rev toks with
+    | Hash k :: rest -> (List.rev rest, Some k)
+    | _ -> (toks, None)
+  in
+  let shape =
+    match toks with
+    (* for v in _: _ *)
+    | [ Ident "for"; Ident v; Ident "in"; Ident "_"; Sym ':'; Ident "_" ] ->
+        PFor (name_of v)
+    (* if _: _ *)
+    | [ Ident "if"; Ident "_"; Sym ':'; Ident "_" ] -> PIf
+    (* buf [ _ ] = _  |  buf [ _ ] += _ *)
+    | [ Ident b; Sym '['; Ident "_"; Sym ']'; Sym '='; Ident "_" ] ->
+        PAssign (name_of b)
+    | [ Ident b; Sym '['; Ident "_"; Sym ']'; Sym '+'; Sym '='; Ident "_" ] ->
+        PReduce (name_of b)
+    (* buf : _ *)
+    | [ Ident b; Sym ':'; Ident "_" ] -> PAlloc (name_of b)
+    (* f ( _ ) *)
+    | [ Ident f; Sym '('; Ident "_"; Sym ')' ] -> PCall (name_of f)
+    (* bare loop-variable shorthand *)
+    | [ Ident v ] when v <> "_" && v <> "for" && v <> "if" -> PFor (Some v)
+    | [] -> err "empty pattern"
+    | _ -> err "unrecognized pattern %S" s
+  in
+  { shape; occurrence }
+
+(* ------------------------------------------------------------------ *)
+(* Matching                                                            *)
+
+let name_matches opt sym =
+  match opt with None -> true | Some n -> String.equal n (Sym.name sym)
+
+let stmt_matches (shape : shape) (s : Ir.stmt) : bool =
+  match (shape, s) with
+  | PFor n, SFor (v, _, _, _) -> name_matches n v
+  | PAssign n, SAssign (b, _, _) -> name_matches n b
+  | PReduce n, SReduce (b, _, _) -> name_matches n b
+  | PAlloc n, SAlloc (b, _, _, _) -> name_matches n b
+  | PCall n, SCall (p, _) -> (
+      match n with None -> true | Some f -> String.equal f p.p_name)
+  | PIf, SIf _ -> true
+  | _ -> false
+
+(** All matches of [pat] in [body], in program order, ignoring the
+    occurrence selector. *)
+let find_all_stmts (body : Ir.stmt list) (pat : t) : (Cursor.t * Ir.stmt) list =
+  List.filter (fun (_, s) -> stmt_matches pat.shape s) (Cursor.all_stmts body)
+
+(** Resolve a pattern to cursors. With an [#k] selector, exactly the [k]-th
+    match (or an error); otherwise all matches. *)
+let find (body : Ir.stmt list) (pat_s : string) : Cursor.t list =
+  let pat = parse pat_s in
+  let all = find_all_stmts body pat in
+  match pat.occurrence with
+  | None -> List.map fst all
+  | Some k -> (
+      match List.nth_opt all k with
+      | Some (c, _) -> [ c ]
+      | None ->
+          err "pattern %S: occurrence #%d requested but only %d match(es)" pat_s k
+            (List.length all))
+
+(** The first match of [pat_s] (what most scheduling ops operate on). *)
+let find_first (body : Ir.stmt list) (pat_s : string) : Cursor.t =
+  match find body pat_s with
+  | [] -> err "pattern %S does not match any statement" pat_s
+  | c :: _ -> c
+
+(** Like {!find_first} but also returns the matched statement. *)
+let find_first_stmt (body : Ir.stmt list) (pat_s : string) : Cursor.t * Ir.stmt =
+  let c = find_first body pat_s in
+  (c, Cursor.get body c)
+
+let count (body : Ir.stmt list) (pat_s : string) : int =
+  List.length (find body pat_s)

@@ -1,0 +1,38 @@
+(** The Exo cursor-pattern mini-language.
+
+    Scheduling calls locate their targets with small source patterns,
+    exactly as in the paper's user code:
+
+    - ["for itt in _: _"] — a loop over [itt] (bare ["itt"] also accepted);
+    - ["C[_] += _"] / ["C_reg[_] = _"] — reduction / assignment by buffer;
+    - ["C_reg : _"] — an allocation;
+    - ["neon_vld_4xf32(_)"] — an instruction call by name;
+    - ["if _: _"] — a guard;
+
+    each optionally suffixed with an occurrence selector [#k] (0-based). *)
+
+exception Pattern_error of string
+
+type shape =
+  | PFor of string option
+  | PAssign of string option
+  | PReduce of string option
+  | PAlloc of string option
+  | PCall of string option
+  | PIf
+
+type t = { shape : shape; occurrence : int option }
+
+val parse : string -> t
+val stmt_matches : shape -> Exo_ir.Ir.stmt -> bool
+
+(** All matches in program order (with [#k]: exactly the k-th match). *)
+val find : Exo_ir.Ir.stmt list -> string -> Exo_ir.Cursor.t list
+
+(** The first match — what most scheduling ops operate on. *)
+val find_first : Exo_ir.Ir.stmt list -> string -> Exo_ir.Cursor.t
+
+val find_first_stmt :
+  Exo_ir.Ir.stmt list -> string -> Exo_ir.Cursor.t * Exo_ir.Ir.stmt
+
+val count : Exo_ir.Ir.stmt list -> string -> int

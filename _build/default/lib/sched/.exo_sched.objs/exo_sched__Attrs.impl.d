@@ -1,0 +1,1 @@
+lib/sched/attrs.ml: Common Cursor Dtype Exo_ir Exo_isa Ir List Mem Simplify Subst Sym

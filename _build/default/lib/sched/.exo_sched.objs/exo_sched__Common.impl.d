@@ -1,0 +1,1 @@
+lib/sched/common.ml: Cursor Exo_check Exo_ir Exo_pattern Fmt Ir List Logs Simplify Sym

@@ -1,0 +1,1 @@
+lib/sched/inline.ml: Common Cursor Exo_ir Ir List Simplify Subst Sym

@@ -1,0 +1,1 @@
+lib/sched/loops.ml: Affine Common Cursor Exo_check Exo_ir Ir List Pp Simplify String Subst Sym

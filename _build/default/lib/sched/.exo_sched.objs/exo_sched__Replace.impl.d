@@ -1,0 +1,1 @@
+lib/sched/replace.ml: Affine Common Cursor Exo_check Exo_ir Float Fmt Ir List Pp Scope Simplify Sym

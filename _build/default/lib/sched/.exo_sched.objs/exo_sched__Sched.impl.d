@@ -1,0 +1,1 @@
+lib/sched/sched.ml: Attrs Common Exo_ir Inline Loops Replace Staging

@@ -1,0 +1,1 @@
+lib/sched/scope.ml: Cursor Exo_ir Hashtbl Ir List Sym

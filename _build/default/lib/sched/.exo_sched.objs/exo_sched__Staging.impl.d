@@ -1,0 +1,1 @@
+lib/sched/staging.ml: Affine Common Cursor Dtype Exo_check Exo_ir Exo_pattern Fmt Ir List Mem Option Pp Scope Simplify String Sym

@@ -1,0 +1,114 @@
+(** Signature- and attribute-level primitives: [rename], [partial_eval],
+    [set_memory], [set_precision]. *)
+
+open Exo_ir
+open Ir
+open Common
+
+let rename (p : proc) (name : string) : proc = { p with p_name = name }
+
+(** [partial_eval p [("MR", 8); ("NR", 12)]] — specialize size parameters to
+    constants, removing them from the signature (the paper's
+    [p.partial_eval(MR, NR)], Fig. 6). *)
+let partial_eval (p : proc) (bindings : (string * int) list) : proc =
+  let subst, keep =
+    List.fold_left
+      (fun (subst, keep) (a : arg) ->
+        match List.assoc_opt (Sym.name a.a_name) bindings with
+        | Some n when a.a_typ = TSize ->
+            if n < 1 then err "partial_eval: size %s must be ≥ 1 (got %d)" (Sym.name a.a_name) n;
+            (Sym.Map.add a.a_name (Int n) subst, keep)
+        | Some _ -> err "partial_eval: %s is not a size parameter" (Sym.name a.a_name)
+        | None -> (subst, a :: keep))
+      (Sym.Map.empty, []) p.p_args
+  in
+  let missing =
+    List.filter
+      (fun (n, _) ->
+        not
+          (List.exists
+             (fun (a : arg) ->
+               Sym.name a.a_name = n && Sym.Map.mem a.a_name subst)
+             p.p_args))
+      bindings
+  in
+  (match missing with
+  | (n, _) :: _ -> err "partial_eval: no size parameter named %s" n
+  | [] -> ());
+  let app e = Simplify.expr (Subst.apply_expr subst e) in
+  let args =
+    List.rev_map
+      (fun (a : arg) ->
+        match a.a_typ with
+        | TTensor (dt, dims) -> { a with a_typ = TTensor (dt, List.map app dims) }
+        | _ -> a)
+      keep
+  in
+  recheck ~op:"partial_eval"
+    (Simplify.proc
+       {
+         p with
+         p_args = args;
+         p_preds = List.map app p.p_preds;
+         p_body = Subst.apply_stmts subst p.p_body;
+       })
+
+(** [set_memory p buf mem] — move an allocation to a different memory
+    (Fig. 8 step 6: [set_memory(p, 'C_reg', Neon)]). Register memories
+    require the innermost extent to equal the lane count. *)
+let set_memory (p : proc) (bufname : string) (mem : Mem.t) : proc =
+  let op = "set_memory" in
+  let c = find_first ~op p.p_body (bufname ^ " : _") in
+  match Cursor.get p.p_body c with
+  | SAlloc (b, dt, dims, _) ->
+      (match Exo_isa.Memories.lookup mem with
+      | Some info -> (
+          let lanes = Exo_isa.Memories.lanes_of info dt in
+          match List.rev dims with
+          | Int n :: _ when n = lanes -> ()
+          | Int n :: _ ->
+              err
+                "%s: innermost extent of %s is %d but %a holds %d lanes of %a"
+                op bufname n Mem.pp mem lanes Dtype.pp dt
+          | _ ->
+              err "%s: innermost extent of %s must be the constant lane count" op
+                bufname)
+      | None -> ());
+      recheck ~op { p with p_body = Cursor.splice p.p_body c [ SAlloc (b, dt, dims, mem) ] }
+  | _ -> err "%s: %s is not an allocation" op bufname
+
+(** [set_precision_many p bufs dt] — change the element type of several
+    allocations/arguments at once, re-typechecking only after all are
+    converted (intermediate states of a whole-kernel precision change are
+    necessarily mixed-type). *)
+let set_precision_many (p : proc) (bufnames : string list) (dt : Dtype.t) : proc =
+  let op = "set_precision" in
+  let one p bufname =
+    let in_args = List.exists (fun (a : arg) -> Sym.name a.a_name = bufname) p.p_args in
+    if in_args then
+      let args =
+        List.map
+          (fun (a : arg) ->
+            if Sym.name a.a_name = bufname then
+              match a.a_typ with
+              | TTensor (_, dims) -> { a with a_typ = TTensor (dt, dims) }
+              | TScalar _ -> { a with a_typ = TScalar dt }
+              | _ -> err "%s: %s is not a data argument" op bufname
+            else a)
+          p.p_args
+      in
+      { p with p_args = args }
+    else
+      let c = find_first ~op p.p_body (bufname ^ " : _") in
+      match Cursor.get p.p_body c with
+      | SAlloc (b, _, dims, mem) ->
+          { p with p_body = Cursor.splice p.p_body c [ SAlloc (b, dt, dims, mem) ] }
+      | _ -> err "%s: %s is not an allocation" op bufname
+  in
+  recheck ~op (List.fold_left one p bufnames)
+
+(** [set_precision p buf dt] — single-buffer version (Section III-D:
+    [set_precision(p, A_reg, "f16")]). Fails if the result mixes types; use
+    {!set_precision_many} to convert a kernel wholesale. *)
+let set_precision (p : proc) (bufname : string) (dt : Dtype.t) : proc =
+  set_precision_many p [ bufname ] dt

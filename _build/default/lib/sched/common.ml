@@ -1,0 +1,43 @@
+(** Shared plumbing for scheduling primitives. *)
+
+open Exo_ir
+
+(** Log source for schedule tracing: enable with
+    [Logs.Src.set_level Common.src (Some Debug)] (the CLI's [--verbose]) to
+    see every primitive application. *)
+let src = Logs.Src.create "exo.sched" ~doc:"scheduling primitive tracing"
+
+module Log = (val Logs.src_log src)
+
+exception Sched_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Sched_error s)) fmt
+
+(** Every primitive re-checks its output; a failure here is a bug in the
+    primitive, not in user code, and says so. *)
+let recheck ~(op : string) (p : Ir.proc) : Ir.proc =
+  (try Exo_check.Wellformed.check_proc p
+   with Exo_check.Wellformed.Type_error m ->
+     err "internal error: %s produced an ill-typed procedure: %s" op m);
+  Log.debug (fun m -> m "%s ok on %s" op p.Ir.p_name);
+  p
+
+(** Wrap pattern errors as scheduling errors with the op name attached. *)
+let find_first ~op (body : Ir.stmt list) (pat : string) : Cursor.t =
+  try Exo_pattern.Pattern.find_first body pat
+  with Exo_pattern.Pattern.Pattern_error m -> err "%s: %s" op m
+
+let find_all ~op (body : Ir.stmt list) (pat : string) : Cursor.t list =
+  try Exo_pattern.Pattern.find body pat
+  with Exo_pattern.Pattern.Pattern_error m -> err "%s: %s" op m
+
+(** Size parameters of a procedure (values ≥ 1 by convention). *)
+let size_syms (p : Ir.proc) : Sym.Set.t =
+  List.fold_left
+    (fun acc (a : Ir.arg) ->
+      match a.a_typ with Ir.TSize -> Sym.Set.add a.a_name acc | _ -> acc)
+    Sym.Set.empty p.p_args
+
+(** Constant value of an expression after simplification, if any. *)
+let const_of (e : Ir.expr) : int option =
+  match Simplify.expr e with Ir.Int n -> Some n | _ -> None

@@ -1,0 +1,92 @@
+(** [inline_call] — the inverse of [replace]: expand an instruction call
+    back into its semantic body.
+
+    Useful for de-vectorizing a scheduled kernel (e.g. to port a schedule to
+    a target lacking an instruction), and — because [replace] promises the
+    call means exactly what the loop nest meant — [inline_call ∘ replace]
+    must be semantics-preserving, which the property tests check through the
+    interpreter. *)
+
+open Exo_ir
+open Ir
+open Common
+
+(** Translate an access to a tensor parameter through the bound window:
+    point dims pass through, interval dims consume one index (offset by the
+    window base). *)
+let translate_idx (w : window) (idx : expr list) : expr list =
+  let rec go widx idx =
+    match (widx, idx) with
+    | [], [] -> []
+    | Pt e :: rest, idx -> Simplify.expr e :: go rest idx
+    | Iv (lo, _) :: rest, i :: idx -> Simplify.expr (Binop (Add, lo, i)) :: go rest idx
+    | Iv _ :: _, [] -> err "inline_call: rank mismatch translating a window access"
+    | [], _ -> err "inline_call: rank mismatch translating a window access"
+  in
+  go w.widx idx
+
+let inline_call (p : proc) (pat : string) : proc =
+  let op = "inline_call" in
+  let c = find_first ~op p.p_body pat in
+  match Cursor.get p.p_body c with
+  | SCall (callee, args) ->
+      (* parameter bindings *)
+      let exprs = ref Sym.Map.empty and wins = ref Sym.Map.empty in
+      List.iter2
+        (fun (param : arg) a ->
+          match a with
+          | AExpr e -> exprs := Sym.Map.add param.a_name e !exprs
+          | AWin w -> wins := Sym.Map.add param.a_name w !wins)
+        callee.p_args args;
+      let rec re (e : expr) : expr =
+        match e with
+        | Var v -> (
+            match Sym.Map.find_opt v !exprs with Some e' -> e' | None -> e)
+        | Read (b, idx) -> (
+            let idx = List.map re idx in
+            match Sym.Map.find_opt b !wins with
+            | Some w -> Read (w.wbuf, translate_idx w idx)
+            | None -> Read (b, idx))
+        | Binop (o, a, b) -> Binop (o, re a, re b)
+        | Neg a -> Neg (re a)
+        | Cmp (o, a, b) -> Cmp (o, re a, re b)
+        | And (a, b) -> And (re a, re b)
+        | Or (a, b) -> Or (re a, re b)
+        | Not a -> Not (re a)
+        | Int _ | Float _ | Stride _ -> e
+      in
+      let rec rs (s : stmt) : stmt =
+        match s with
+        | SAssign (b, idx, e) -> (
+            let idx = List.map re idx and e = re e in
+            match Sym.Map.find_opt b !wins with
+            | Some w -> SAssign (w.wbuf, translate_idx w idx, e)
+            | None -> SAssign (b, idx, e))
+        | SReduce (b, idx, e) -> (
+            let idx = List.map re idx and e = re e in
+            match Sym.Map.find_opt b !wins with
+            | Some w -> SReduce (w.wbuf, translate_idx w idx, e)
+            | None -> SReduce (b, idx, e))
+        | SFor (v, lo, hi, body) -> SFor (v, re lo, re hi, List.map rs body)
+        | SAlloc _ -> s
+        | SCall (q, qargs) ->
+            SCall
+              ( q,
+                List.map
+                  (function
+                    | AExpr e -> AExpr (re e)
+                    | AWin w -> (
+                        match Sym.Map.find_opt w.wbuf !wins with
+                        | Some outer ->
+                            (* nested window: compose through the binding *)
+                            err
+                              "inline_call: nested instruction windows on %s are \
+                               not supported"
+                              (Sym.name outer.wbuf)
+                        | None -> AWin (map_window re w)))
+                  qargs )
+        | SIf (cnd, t, e) -> SIf (re cnd, List.map rs t, List.map rs e)
+      in
+      let body = List.map rs callee.p_body |> Subst.freshen_stmts |> Simplify.stmts in
+      recheck ~op { p with p_body = Cursor.splice p.p_body c body }
+  | _ -> err "%s: %S does not denote an instruction call" op pat

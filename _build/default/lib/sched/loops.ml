@@ -1,0 +1,255 @@
+(** Loop-structure primitives: [divide_loop], [reorder_loops], [unroll_loop],
+    [remove_loop], and [autofission]. Each is a checked source-to-source
+    rewrite; illegal requests raise {!Common.Sched_error}. *)
+
+open Exo_ir
+open Ir
+open Common
+
+(* ------------------------------------------------------------------ *)
+(* divide_loop                                                         *)
+
+type tail = Perfect | Cut
+
+(** [divide_loop p pat quot (outer, inner) ~tail] splits the loop matching
+    [pat] (running from 0) by [quot]:
+
+    - [Perfect] (the paper's [perfect=True]): requires a provably divisible
+      constant extent; produces
+      [for outer in seq(0, n/quot): for inner in seq(0, quot)].
+    - [Cut]: main divided nest plus a remainder loop over
+      [seq(quot*(n/quot), n)] — used by edge-case experiments. *)
+let divide_loop (p : proc) (pat : string) (quot : int) ((outer, inner) : string * string)
+    ~(tail : tail) : proc =
+  if quot <= 0 then err "divide_loop: quotient must be positive (got %d)" quot;
+  let c = find_first ~op:"divide_loop" p.p_body pat in
+  match Cursor.get p.p_body c with
+  | SFor (v, lo, hi, body) ->
+      (match const_of lo with
+      | Some 0 -> ()
+      | _ -> err "divide_loop: loop %a must start at 0" Sym.pp v);
+      let vo = Sym.fresh outer and vi = Sym.fresh inner in
+      let subst_body to_expr =
+        Subst.apply_stmts (Subst.single v to_expr) body
+      in
+      let divided n_outer =
+        SFor
+          ( vo,
+            Int 0,
+            n_outer,
+            [
+              SFor
+                ( vi,
+                  Int 0,
+                  Int quot,
+                  subst_body (Binop (Add, Binop (Mul, Int quot, Var vo), Var vi)) );
+            ] )
+      in
+      let repl =
+        match (tail, const_of hi) with
+        | Perfect, Some n when n mod quot = 0 -> [ divided (Int (n / quot)) ]
+        | Perfect, Some n ->
+            err "divide_loop: %d does not divide the extent %d of loop %a (perfect split)"
+              quot n Sym.pp v
+        | Perfect, None ->
+            err "divide_loop: cannot prove %d divides the extent of loop %a" quot Sym.pp v
+        | Cut, Some n ->
+            let main = n / quot * quot in
+            let vr = Sym.fresh (Sym.name v) in
+            let remainder =
+              SFor (vr, Int main, Int n, Subst.freshen_stmts (subst_body (Var vr)))
+            in
+            if main = 0 then [ remainder ]
+            else if main = n then [ divided (Int (n / quot)) ]
+            else [ divided (Int (n / quot)); remainder ]
+        | Cut, None ->
+            (* Symbolic extent: main nest plus remainder with symbolic cut. *)
+            let cut = Binop (Mul, Binop (Div, hi, Int quot), Int quot) in
+            let vr = Sym.fresh (Sym.name v) in
+            [
+              divided (Binop (Div, hi, Int quot));
+              SFor (vr, cut, hi, Subst.freshen_stmts (subst_body (Var vr)));
+            ]
+      in
+      recheck ~op:"divide_loop" { p with p_body = Cursor.splice p.p_body c repl }
+  | _ -> err "divide_loop: pattern %S does not denote a loop" pat
+
+(* ------------------------------------------------------------------ *)
+(* reorder_loops                                                       *)
+
+(** [reorder_loops p "v1 v2"] swaps the perfectly nested loops [v1] (outer,
+    directly containing) and [v2] (inner). Legality is discharged by the
+    conservative dependence analysis in {!Exo_check.Deps}. *)
+let reorder_loops (p : proc) (pat : string) : proc =
+  let n1, n2 =
+    match String.split_on_char ' ' (String.trim pat) |> List.filter (( <> ) "") with
+    | [ a; b ] -> (a, b)
+    | _ -> err "reorder_loops: expected a pattern like \"jtt it\", got %S" pat
+  in
+  let c = find_first ~op:"reorder_loops" p.p_body n1 in
+  match Cursor.get p.p_body c with
+  | SFor (v1, lo1, hi1, [ SFor (v2, lo2, hi2, body) ]) when Sym.name v2 = n2 ->
+      let bound_vars = Ir.expr_vars (Ir.expr_vars Sym.Set.empty lo2) hi2 in
+      if Sym.Set.mem v1 bound_vars then
+        err "reorder_loops: bounds of %a depend on %a" Sym.pp v2 Sym.pp v1;
+      (match Exo_check.Deps.reorder_legal ~outer:v1 ~inner:v2 ~body with
+      | Ok () -> ()
+      | Error m -> err "reorder_loops: %s" m);
+      let repl = SFor (v2, lo2, hi2, [ SFor (v1, lo1, hi1, body) ]) in
+      recheck ~op:"reorder_loops" { p with p_body = Cursor.splice p.p_body c [ repl ] }
+  | SFor (v1, _, _, _) ->
+      err "reorder_loops: loop %a does not directly contain a single loop %s" Sym.pp v1 n2
+  | _ -> err "reorder_loops: %S does not denote a loop" n1
+
+(* ------------------------------------------------------------------ *)
+(* unroll_loop                                                         *)
+
+(** [unroll_loop p pat] fully unrolls a constant-extent loop, freshening the
+    binders of each replica. *)
+let unroll_loop (p : proc) (pat : string) : proc =
+  let c = find_first ~op:"unroll_loop" p.p_body pat in
+  match Cursor.get p.p_body c with
+  | SFor (v, lo, hi, body) ->
+      let lo_n, hi_n =
+        match (const_of lo, const_of hi) with
+        | Some a, Some b -> (a, b)
+        | _ ->
+            err "unroll_loop: loop %a does not have constant bounds (%s, %s)" Sym.pp v
+              (Pp.expr_to_string lo) (Pp.expr_to_string hi)
+      in
+      let repl =
+        List.concat_map
+          (fun i ->
+            Subst.freshen_stmts (Subst.apply_stmts (Subst.single v (Int i)) body)
+            |> Simplify.stmts)
+          (List.init (max 0 (hi_n - lo_n)) (fun k -> lo_n + k))
+      in
+      recheck ~op:"unroll_loop" { p with p_body = Cursor.splice p.p_body c repl }
+  | _ -> err "unroll_loop: %S does not denote a loop" pat
+
+(* ------------------------------------------------------------------ *)
+(* remove_loop                                                         *)
+
+let idempotent = Exo_check.Deps.idempotent
+
+(** [remove_loop p pat] deletes a loop whose body does not use the loop
+    variable, is idempotent, and provably executes at least once. This is
+    how the staged C load/store nests shed the [k] loop (Fig. 8). *)
+let remove_loop (p : proc) (pat : string) : proc =
+  let c = find_first ~op:"remove_loop" p.p_body pat in
+  match Cursor.get p.p_body c with
+  | SFor (v, lo, hi, body) ->
+      if Sym.Set.mem v (stmts_free_vars body) then
+        err "remove_loop: body uses loop variable %a" Sym.pp v;
+      if not (idempotent body) then
+        err "remove_loop: body of %a is not idempotent" Sym.pp v;
+      let trip_ok =
+        match Affine.of_expr (Binop (Sub, Binop (Sub, hi, lo), Int 1)) with
+        | Some a -> Exo_check.Bounds.nonneg_with_sizes (size_syms p) a = `Yes
+        | None -> false
+      in
+      if not trip_ok then
+        err "remove_loop: cannot prove loop %a executes at least once" Sym.pp v;
+      recheck ~op:"remove_loop" { p with p_body = Cursor.splice p.p_body c body }
+  | _ -> err "remove_loop: %S does not denote a loop" pat
+
+(* ------------------------------------------------------------------ *)
+(* fuse_loops                                                          *)
+
+(** [fuse_loops p pat] — merge the loop matching [pat] with its immediately
+    following sibling when both have equal bounds: the inverse of fission.
+    Legal under the same condition as fission (no dependence from the second
+    body at iteration i to the first at iteration j > i — fusing moves each
+    second-body iteration earlier). *)
+let fuse_loops (p : proc) (pat : string) : proc =
+  let op = "fuse_loops" in
+  let c = find_first ~op p.p_body pat in
+  let block = Cursor.get_block p.p_body c.Cursor.dirs in
+  let next_i = c.Cursor.last + 1 in
+  if next_i >= List.length block then err "%s: no following loop to fuse with" op;
+  match (Cursor.get p.p_body c, Cursor.nth_stmt block next_i) with
+  | SFor (v1, lo1, hi1, b1), SFor (v2, lo2, hi2, b2) ->
+      let eq a b = Affine.expr_equal a b = Some true in
+      if not (eq lo1 lo2 && eq hi1 hi2) then
+        err "%s: loops %a and %a have different bounds" op Sym.pp v1 Sym.pp v2;
+      let b2' = Subst.apply_stmts (Subst.single v2 (Var v1)) b2 in
+      (match Exo_check.Deps.fission_legal ~v:v1 ~pre:b1 ~post:b2' with
+      | Ok () -> ()
+      | Error m -> err "%s: %s" op m);
+      (* capture is impossible (symbols are unique) and the checker's
+         no-shadowing rule is re-verified by recheck *)
+      let fused = SFor (v1, lo1, hi1, b1 @ b2') in
+      let body = Cursor.splice p.p_body (Cursor.with_last c next_i) [] in
+      let body = Cursor.splice body c [ fused ] in
+      recheck ~op { p with p_body = body }
+  | _ -> err "%s: %S and its successor are not both loops" op pat
+
+(* ------------------------------------------------------------------ *)
+(* autofission                                                         *)
+
+type gap = After of string | Before of string
+
+(** Allocations in [pre] that [post] still references would be unscoped by
+    fission. The pipeline lifts allocations first, exactly as the paper's
+    user code does. *)
+let check_alloc_scoping ~op (pre : stmt list) (post : stmt list) : unit =
+  let allocated = ref Sym.Set.empty in
+  iter_stmts
+    (function SAlloc (b, _, _, _) -> allocated := Sym.Set.add b !allocated | _ -> ())
+    pre;
+  let used = stmts_bufs post in
+  let escaping = Sym.Set.inter !allocated used in
+  if not (Sym.Set.is_empty escaping) then
+    err "%s: allocation %a would escape its scope (lift_alloc it first)" op Sym.pp
+      (Sym.Set.choose escaping)
+
+(** [autofission p ~gap ~n_lifts] fissions the enclosing loops at the point
+    denoted by [gap], [n_lifts] levels up (the paper's
+    [autofission(p.find(...).after(), n_lifts=5)]). At each level the
+    enclosing loop [for v: pre ++ post] becomes [for v: pre; for v': post]
+    when the dependence analysis allows; when the gap sits at a block
+    boundary the fission at that level is a no-op and the gap just moves up. *)
+let autofission (p : proc) ~(gap : gap) ~(n_lifts : int) : proc =
+  let op = "autofission" in
+  let pat, off = match gap with After s -> (s, 1) | Before s -> (s, 0) in
+  let c0 = find_first ~op p.p_body pat in
+  let body = ref p.p_body in
+  (* The gap lives in the block addressed by [dirs], between [g-1] and [g]. *)
+  let dirs = ref c0.Cursor.dirs and g = ref (c0.Cursor.last + off) in
+  for _ = 1 to n_lifts do
+    match List.rev !dirs with
+    | [] -> err "%s: fewer than %d enclosing loops" op n_lifts
+    | last_dir :: rev_rest -> (
+        let parent_dirs = List.rev rev_rest in
+        let parent_block = Cursor.get_block !body parent_dirs in
+        let parent_stmt = Cursor.nth_stmt parent_block last_dir.Cursor.idx in
+        match parent_stmt with
+        | SFor (v, lo, hi, loop_body) ->
+            let pre = List.filteri (fun i _ -> i < !g) loop_body in
+            let post = List.filteri (fun i _ -> i >= !g) loop_body in
+            if pre = [] then (
+              dirs := parent_dirs;
+              g := last_dir.Cursor.idx)
+            else if post = [] then (
+              dirs := parent_dirs;
+              g := last_dir.Cursor.idx + 1)
+            else (
+              check_alloc_scoping ~op pre post;
+              (match Exo_check.Deps.fission_legal ~v ~pre ~post with
+              | Ok () -> ()
+              | Error m -> err "%s: %s" op m);
+              let v' = Sym.clone v in
+              let post' =
+                Subst.freshen_stmts (Subst.apply_stmts (Subst.single v (Var v')) post)
+              in
+              let repl = [ SFor (v, lo, hi, pre); SFor (v', lo, hi, post') ] in
+              body :=
+                Cursor.splice !body
+                  { Cursor.dirs = parent_dirs; last = last_dir.Cursor.idx }
+                  repl;
+              dirs := parent_dirs;
+              g := last_dir.Cursor.idx + 1)
+        | SIf _ -> err "%s: cannot fission through an if" op
+        | _ -> err "%s: malformed cursor" op)
+  done;
+  recheck ~op { p with p_body = !body }

@@ -1,0 +1,381 @@
+(** [replace]: swap a loop nest for a hardware instruction call.
+
+    This is the step the paper singles out as Exo's safety net: "these
+    definitions will ensure that the user methods do not change the behavior
+    of the original code by checking the intrinsic replacement with the
+    expected pattern". Concretely, the candidate loop nest must *unify* with
+    the instruction's semantic body:
+
+    - loops match loops with equal constant extents (instr loop var ↦ target
+      loop var);
+    - each access to an instruction tensor parameter determines a window of
+      a target buffer: the dimension carrying the mapped loop variable (unit
+      coefficient) becomes the vector interval, every other dimension a
+      point — and repeated accesses must agree;
+    - index parameters (the fmla lane selector) bind to the residual lane
+      expression of the target subscript;
+    - finally the instruction's preconditions (unit strides, lane ranges)
+      are discharged with the affine bounds analysis under the enclosing
+      loop ranges.
+
+    A nest that does not match fails loudly: [replace] never emits an
+    instruction whose semantics differ from the code it replaces. *)
+
+open Exo_ir
+open Ir
+open Common
+
+(* One dimension of a window being inferred. *)
+type wdim =
+  | WPt of expr
+  | WVec of { base : Affine.t; extent : int }  (* [base, base+extent) *)
+
+type binding =
+  | BWin of { buf : Sym.t; dims : wdim list }
+  | BExpr of expr
+
+type st = {
+  proc : proc;
+  instr : proc;
+  mutable loop_map : (Sym.t * int) Sym.Map.t;  (** instr loop var ↦ (target var, extent) *)
+  mutable params : binding Sym.Map.t;  (** instr param ↦ binding *)
+  param_info : (Sym.t * typ) list;
+}
+
+let fail fmt = Fmt.kstr (fun s -> err "replace: %s" s) fmt
+
+let is_param st v = List.exists (fun (s, _) -> Sym.equal s v) st.param_info
+
+let param_typ st v =
+  match List.find_opt (fun (s, _) -> Sym.equal s v) st.param_info with
+  | Some (_, t) -> t
+  | None -> fail "internal: %a is not a parameter" Sym.pp_debug v
+
+let wdim_equal a b =
+  match (a, b) with
+  | WPt e1, WPt e2 -> Affine.expr_equal e1 e2 = Some true
+  | WVec v1, WVec v2 -> Affine.equal v1.base v2.base && v1.extent = v2.extent
+  | _ -> false
+
+let binding_equal a b =
+  match (a, b) with
+  | BExpr e1, BExpr e2 -> Affine.expr_equal e1 e2 = Some true
+  | BWin w1, BWin w2 ->
+      Sym.equal w1.buf w2.buf
+      && List.length w1.dims = List.length w2.dims
+      && List.for_all2 wdim_equal w1.dims w2.dims
+  | _ -> false
+
+let bind st (param : Sym.t) (b : binding) =
+  match Sym.Map.find_opt param st.params with
+  | None -> st.params <- Sym.Map.add param b st.params
+  | Some prev ->
+      if not (binding_equal prev b) then
+        fail "inconsistent uses of instruction parameter %a" Sym.pp param
+
+(** Decompose a target subscript under an instr subscript of shape [Var x].
+
+    - [x] a mapped loop variable [tv]: exactly one target dimension carries
+      [tv] (with coefficient 1); it becomes the vector dimension.
+    - [x] an index parameter: the *last* target dimension is the vector
+      dimension (unit-stride requirement); its subscript [e] splits as
+      [base + lane] where [base] collects the terms divisible by the lane
+      count, and the index parameter binds to [lane]. *)
+let bind_access st (param : Sym.t) (pidx : expr list) (tbuf : Sym.t)
+    (tidx : expr list) : unit =
+  let ptyp = param_typ st param in
+  let prank, pdims, _pdt =
+    match ptyp with
+    | TTensor (dt, dims) -> (List.length dims, dims, dt)
+    | TScalar dt -> (0, [], dt)
+    | _ -> fail "parameter %a is not a tensor" Sym.pp param
+  in
+  if List.length pidx <> max prank 1 && prank <> 0 then
+    fail "instruction accesses %a with the wrong rank" Sym.pp param;
+  let tidx_aff =
+    List.map
+      (fun e ->
+        match Affine.of_expr e with
+        | Some a -> a
+        | None -> fail "non-affine subscript %s" (Pp.expr_to_string e))
+      tidx
+  in
+  let lanes =
+    match pdims with
+    | [ Int n ] -> n
+    | [] -> 1
+    | _ -> fail "instruction parameter %a must be rank ≤ 1" Sym.pp param
+  in
+  let dims =
+    match pidx with
+    | [ Var x ] when Sym.Map.mem x st.loop_map ->
+        (* vector dimension carries the mapped loop variable *)
+        let tv, extent = Sym.Map.find x st.loop_map in
+        if extent <> lanes then
+          fail "loop extent %d does not match the %d lanes of %a" extent lanes Sym.pp
+            param;
+        let carrying =
+          List.mapi (fun d a -> (d, Exo_check.Deps.coeff a tv)) tidx_aff
+          |> List.filter (fun (_, c) -> c <> 0)
+        in
+        (match carrying with
+        | [ (d, 1) ] ->
+            List.mapi
+              (fun d' a ->
+                if d' = d then
+                  WVec { base = Exo_check.Deps.drop_var a tv; extent = lanes }
+                else WPt (Affine.to_expr a))
+              tidx_aff
+        | [ (_, c) ] ->
+            fail "access to %a has stride %d on the vector dimension (needs 1)" Sym.pp
+              tbuf c
+        | [] ->
+            fail "vectorized loop variable does not index %a in the candidate" Sym.pp
+              tbuf
+        | _ -> fail "vectorized loop variable indexes several dimensions of %a" Sym.pp tbuf)
+    | [ Var x ] when is_param st x ->
+        (* index parameter: last dimension is the lane-selected vector dim *)
+        let n = List.length tidx_aff in
+        if n = 0 then fail "cannot take a lane of a scalar access to %a" Sym.pp tbuf;
+        let last = List.nth tidx_aff (n - 1) in
+        let lane_part =
+          {
+            Affine.const = last.Affine.const mod lanes;
+            terms = List.filter (fun (_, c) -> abs c < lanes) last.Affine.terms;
+          }
+        in
+        let base = Affine.sub last lane_part in
+        bind st x (BExpr (Affine.to_expr lane_part));
+        List.mapi
+          (fun d a ->
+            if d = n - 1 then WVec { base; extent = lanes }
+            else WPt (Affine.to_expr a))
+          tidx_aff
+    | [ Int 0 ] when prank > 0 && lanes = 1 ->
+        (* scalar [1]-tensor parameter: point everything, window the last *)
+        let n = List.length tidx_aff in
+        if n = 0 then fail "scalar parameter %a bound to a rank-0 access" Sym.pp param;
+        List.mapi
+          (fun d a ->
+            if d = n - 1 then WVec { base = a; extent = 1 } else WPt (Affine.to_expr a))
+          tidx_aff
+    | [] when prank = 0 ->
+        (* true scalar parameter *)
+        List.map (fun a -> WPt (Affine.to_expr a)) tidx_aff
+    | _ ->
+        fail "unsupported instruction access shape for parameter %a" Sym.pp param
+  in
+  bind st param (BWin { buf = tbuf; dims })
+
+let rec unify_expr st (ie : expr) (te : expr) : unit =
+  match (ie, te) with
+  | Read (p, pidx), Read (tb, tidx) when is_param st p -> bind_access st p pidx tb tidx
+  | Var x, _ when Sym.Map.mem x st.loop_map ->
+      let tv, _ = Sym.Map.find x st.loop_map in
+      if Affine.expr_equal (Var tv) te <> Some true then
+        fail "loop variable use mismatch (%s vs %s)" (Sym.name x) (Pp.expr_to_string te)
+  | Var x, _ when is_param st x -> bind st x (BExpr te)
+  | Binop (op1, a1, b1), Binop (op2, a2, b2) when op1 = op2 ->
+      unify_expr st a1 a2;
+      unify_expr st b1 b2
+  | Neg a, Neg b -> unify_expr st a b
+  | Float f1, Float f2 when Float.equal f1 f2 -> ()
+  | Int n1, Int n2 when n1 = n2 -> ()
+  | _ ->
+      fail "expression mismatch: instruction has %s, candidate has %s"
+        (Pp.expr_to_string ie) (Pp.expr_to_string te)
+
+let rec unify_stmts st (ibody : stmt list) (tbody : stmt list) : unit =
+  if List.length ibody <> List.length tbody then
+    fail "block shape mismatch (%d vs %d statements)" (List.length ibody)
+      (List.length tbody);
+  List.iter2 (unify_stmt st) ibody tbody
+
+and unify_stmt st (is_ : stmt) (ts : stmt) : unit =
+  match (is_, ts) with
+  | SFor (iv, ilo, ihi, ibody), SFor (tv, tlo, thi, tbody) ->
+      let extent =
+        match (const_of ilo, const_of ihi) with
+        | Some 0, Some n -> n
+        | _ -> fail "instruction loops must run from 0 to a constant"
+      in
+      (match (const_of tlo, const_of thi) with
+      | Some 0, Some n when n = extent -> ()
+      | _ ->
+          fail "candidate loop %a does not run over seq(0, %d)" Sym.pp tv extent);
+      st.loop_map <- Sym.Map.add iv (tv, extent) st.loop_map;
+      unify_stmts st ibody tbody
+  | SAssign (ib, iidx, ie), SAssign (tb, tidx, te)
+  | SReduce (ib, iidx, ie), SReduce (tb, tidx, te) ->
+      if not (is_param st ib) then fail "instruction writes a non-parameter";
+      bind_access st ib iidx tb tidx;
+      unify_expr st ie te
+  | _ -> fail "statement shape mismatch"
+
+(* ------------------------------------------------------------------ *)
+(* Precondition discharge                                              *)
+
+(** Stride of dimension [d] of a buffer with extents [dims]: product of the
+    extents of later dimensions, when constant. *)
+let stride_of (dims : expr list) (d : int) : int option =
+  let later = List.filteri (fun i _ -> i > d) dims in
+  List.fold_left
+    (fun acc e ->
+      match (acc, const_of e) with Some a, Some n -> Some (a * n) | _ -> None)
+    (Some 1) later
+
+let discharge_preds st ~(ranges : (Sym.t * expr * expr) list) : unit =
+  let sizes = size_syms st.proc in
+  let benv =
+    let rmap =
+      List.fold_left
+        (fun acc (v, lo, hi) ->
+          match (Affine.of_expr lo, Affine.of_expr (Binop (Sub, hi, Int 1))) with
+          | Some l, Some h ->
+              Sym.Map.add v Exo_check.Bounds.{ lo = Some l; hi = Some h } acc
+          | _ -> acc)
+        Sym.Map.empty ranges
+    in
+    Exo_check.Bounds.{ sizes; ranges = rmap; dims = Sym.Map.empty }
+  in
+  let subst_param (e : expr) : expr =
+    map_expr
+      (function
+        | Var v as e -> (
+            match Sym.Map.find_opt v st.params with
+            | Some (BExpr e') -> e'
+            | _ -> e)
+        | e -> e)
+      e
+  in
+  let prove_nonneg (e : expr) ~(what : string) =
+    match Affine.of_expr (subst_param e) with
+    | Some a -> (
+        let r = Exo_check.Bounds.range_of_affine benv a in
+        match r.Exo_check.Bounds.lo with
+        | Some l when Exo_check.Bounds.nonneg benv l = `Yes -> ()
+        | _ -> fail "cannot discharge precondition %s" what)
+    | None -> fail "non-affine precondition %s" what
+  in
+  List.iter
+    (fun (pred : expr) ->
+      match pred with
+      | Cmp (Eq, Stride (b, _d), Int 1) | Cmp (Eq, Int 1, Stride (b, _d)) -> (
+          (* stride(param, d) == 1: the bound window's vector dimension must
+             be the innermost dimension of the target buffer. *)
+          match Sym.Map.find_opt b st.params with
+          | Some (BWin w) -> (
+              let vec_dims =
+                List.mapi (fun i x -> (i, x)) w.dims
+                |> List.filter (fun (_, x) -> match x with WVec _ -> true | _ -> false)
+              in
+              match vec_dims with
+              | [ (i, _) ] -> (
+                  (* The vector dimension must have provably unit stride in
+                     the underlying dense buffer: the product of the extents
+                     of the later dimensions must be 1 (e.g. the last
+                     dimension, or any dimension when all later extents are
+                     1 — the mr = 1 edge-case kernels window dimension 0 of
+                     C: f32[NR, 1]). *)
+                  match find_buffer_typ st.proc w.buf with
+                  | Some (_, dims, _) -> (
+                      match stride_of dims i with
+                      | Some 1 -> ()
+                      | Some s ->
+                          fail "window on %a has stride %d, instruction needs 1" Sym.pp
+                            w.buf s
+                      | None ->
+                          fail "cannot prove unit stride for window on %a" Sym.pp w.buf)
+                  | None -> fail "unknown buffer %a" Sym.pp w.buf)
+              | [] when List.for_all (function WPt _ -> true | _ -> false) w.dims ->
+                  (* scalar window: stride trivially unit *)
+                  ()
+              | _ -> fail "window on %a must have exactly one vector dimension" Sym.pp
+                       w.buf)
+          | _ -> fail "stride precondition on unbound parameter %a" Sym.pp b)
+      | Cmp (Ge, e1, e2) -> prove_nonneg (Binop (Sub, e1, e2)) ~what:(Pp.expr_to_string pred)
+      | Cmp (Le, e1, e2) -> prove_nonneg (Binop (Sub, e2, e1)) ~what:(Pp.expr_to_string pred)
+      | Cmp (Lt, e1, e2) ->
+          prove_nonneg (Binop (Sub, Binop (Sub, e2, e1), Int 1))
+            ~what:(Pp.expr_to_string pred)
+      | Cmp (Gt, e1, e2) ->
+          prove_nonneg (Binop (Sub, Binop (Sub, e1, e2), Int 1))
+            ~what:(Pp.expr_to_string pred)
+      | _ -> fail "unsupported instruction precondition %s" (Pp.expr_to_string pred))
+    st.instr.p_preds
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+
+let build_args st : call_arg list =
+  List.map
+    (fun (a : arg) ->
+      match Sym.Map.find_opt a.a_name st.params with
+      | Some (BExpr e) -> AExpr (Simplify.expr e)
+      | Some (BWin w) ->
+          AWin
+            {
+              wbuf = w.buf;
+              widx =
+                List.map
+                  (function
+                    | WPt e -> Pt (Simplify.expr e)
+                    | WVec { base; extent } ->
+                        let b = Affine.to_expr base in
+                        Iv
+                          ( Simplify.expr b,
+                            Simplify.expr (Binop (Add, b, Int extent)) ))
+                  w.dims;
+            }
+      | None -> fail "instruction parameter %a was never bound" Sym.pp a.a_name)
+    st.instr.p_args
+
+(** Attempt unification at one cursor; raises on failure. *)
+let replace_at (p : proc) (c : Cursor.t) (instr : proc) : proc =
+  let target = Cursor.get p.p_body c in
+  let st =
+    {
+      proc = p;
+      instr;
+      loop_map = Sym.Map.empty;
+      params = Sym.Map.empty;
+      param_info = List.map (fun (a : arg) -> (a.a_name, a.a_typ)) instr.p_args;
+    }
+  in
+  unify_stmts st instr.p_body [ target ];
+  discharge_preds st ~ranges:(Scope.loop_ranges p c);
+  let call = SCall (instr, build_args st) in
+  recheck ~op:"replace" { p with p_body = Cursor.splice p.p_body c [ call ] }
+
+(** [replace p pat instr] — unify a loop nest matching [pat] with [instr]'s
+    semantic body and swap it for a call. As in Exo, when several statements
+    match the pattern, the first one that unifies is replaced (the paper's
+    Fig. 8 replaces the C load and store with the same
+    ['for itt in _: _'] pattern). *)
+let replace (p : proc) (pat : string) (instr : proc) : proc =
+  if not (is_instr instr) then
+    err "replace: %s is not an instruction (no @instr annotation)" instr.p_name;
+  let candidates = find_all ~op:"replace" p.p_body pat in
+  if candidates = [] then err "replace: no statement matches %S" pat;
+  let rec try_each failures = function
+    | [] ->
+        err "replace: no match of %S unifies with %s:@,%a" pat instr.p_name
+          Fmt.(list ~sep:(any "@,") string)
+          (List.rev failures)
+    | c :: rest -> (
+        match replace_at p c instr with
+        | p' -> p'
+        | exception Common.Sched_error m -> try_each (m :: failures) rest)
+  in
+  try_each [] candidates
+
+(** Apply [replace] to every match of [pat], first to last. *)
+let replace_all (p : proc) (pat : string) (instr : proc) : proc =
+  let rec go p =
+    match find_all ~op:"replace_all" p.p_body pat with
+    | [] -> p
+    | _ -> go (replace p pat instr)
+  in
+  let n = List.length (find_all ~op:"replace_all" p.p_body pat) in
+  if n = 0 then err "replace_all: no match for %S" pat;
+  go p

@@ -1,0 +1,44 @@
+(** The scheduling API, one function per Exo primitive used in the paper.
+
+    A schedule is an ordinary OCaml pipeline over procedures:
+    {[
+      let p = Sched.rename ukernel_ref "uk_8x12" in
+      let p = Sched.partial_eval p [ ("MR", 8); ("NR", 12) ] in
+      let p = Sched.divide_loop p "i" 4 ("it", "itt") ~tail:Sched.Perfect in
+      ...
+      let p = Sched.replace p "for itt in _: _" Exo_isa.Neon.vld_4xf32 in
+      ...
+    ]}
+
+    Every primitive validates its own legality conditions and re-typechecks
+    its output; failures raise {!Sched_error} with a source-level message. *)
+
+exception Sched_error = Common.Sched_error
+
+type tail = Loops.tail = Perfect | Cut
+type gap = Loops.gap = After of string | Before of string
+
+let rename = Attrs.rename
+let partial_eval = Attrs.partial_eval
+let set_memory = Attrs.set_memory
+let set_precision = Attrs.set_precision
+let set_precision_many = Attrs.set_precision_many
+let divide_loop = Loops.divide_loop
+let reorder_loops = Loops.reorder_loops
+let unroll_loop = Loops.unroll_loop
+let remove_loop = Loops.remove_loop
+let autofission = Loops.autofission
+let fuse_loops = Loops.fuse_loops
+let stage_mem = Staging.stage_mem
+let stage_mem_stmts = Staging.stage_mem_stmts
+let bind_expr = Staging.bind_expr
+let bind_expr_bcast = Staging.bind_expr_bcast
+let expand_dim = Staging.expand_dim
+let divide_dim = Staging.divide_dim
+let lift_alloc = Staging.lift_alloc
+let replace = Replace.replace
+let replace_all = Replace.replace_all
+let inline_call = Inline.inline_call
+
+(** Exo's [simplify]: constant folding and affine normalization. *)
+let simplify (p : Exo_ir.Ir.proc) = Exo_ir.Simplify.proc p

@@ -1,0 +1,135 @@
+(** The scheduling API — one function per Exo primitive used in the paper.
+
+    A schedule is an ordinary OCaml pipeline over procedures:
+    {[
+      let p = Sched.rename ukernel_ref "uk_8x12" in
+      let p = Sched.partial_eval p [ ("MR", 8); ("NR", 12) ] in
+      let p = Sched.divide_loop p "i" 4 ("it", "itt") ~tail:Sched.Perfect in
+      ...
+      let p = Sched.replace p "for itt in _: _" Exo_isa.Neon.vld_4xf32 in
+    ]}
+
+    Every primitive is a *checked* source-to-source rewrite: it validates its
+    own legality conditions (divisibility, dependences, window containment,
+    instruction unification, precondition discharge) and re-typechecks its
+    output. Illegal requests raise {!Sched_error} with a source-level
+    message; a primitive never silently changes program semantics. *)
+
+exception Sched_error of string
+
+type tail = Perfect | Cut
+
+type gap = After of string | Before of string
+(** Where [autofission] splits: the point after/before the statement
+    matching the pattern. *)
+
+(** {1 Signature and attributes} *)
+
+(** [rename p name] — new procedure name (Fig. 6). *)
+val rename : Exo_ir.Ir.proc -> string -> Exo_ir.Ir.proc
+
+(** [partial_eval p [("MR", 8); ("NR", 12)]] — specialize size parameters to
+    constants, removing them from the signature (Fig. 6). *)
+val partial_eval : Exo_ir.Ir.proc -> (string * int) list -> Exo_ir.Ir.proc
+
+(** [set_memory p buf mem] — move an allocation to a different memory
+    (Fig. 8 step 6). Register memories require the innermost extent to equal
+    the lane count for the buffer's dtype. *)
+val set_memory : Exo_ir.Ir.proc -> string -> Exo_ir.Mem.t -> Exo_ir.Ir.proc
+
+(** [set_precision p buf dt] — change one buffer's element type
+    (Section III-D). Fails if the result mixes types. *)
+val set_precision : Exo_ir.Ir.proc -> string -> Exo_ir.Dtype.t -> Exo_ir.Ir.proc
+
+(** Convert several buffers at once, re-typechecking only at the end. *)
+val set_precision_many :
+  Exo_ir.Ir.proc -> string list -> Exo_ir.Dtype.t -> Exo_ir.Ir.proc
+
+(** {1 Loop structure} *)
+
+(** [divide_loop p pat quot (outer, inner) ~tail] — split the loop matching
+    [pat] by [quot] (Fig. 7). [Perfect] requires provable divisibility;
+    [Cut] emits a remainder loop. *)
+val divide_loop :
+  Exo_ir.Ir.proc -> string -> int -> string * string -> tail:tail -> Exo_ir.Ir.proc
+
+(** [reorder_loops p "v1 v2"] — swap two perfectly nested loops (Fig. 10);
+    legality discharged by the conservative dependence analysis. *)
+val reorder_loops : Exo_ir.Ir.proc -> string -> Exo_ir.Ir.proc
+
+(** [unroll_loop p pat] — fully unroll a constant-extent loop (Fig. 11). *)
+val unroll_loop : Exo_ir.Ir.proc -> string -> Exo_ir.Ir.proc
+
+(** [remove_loop p pat] — delete a loop whose body does not use the loop
+    variable, is idempotent, and provably runs at least once. *)
+val remove_loop : Exo_ir.Ir.proc -> string -> Exo_ir.Ir.proc
+
+(** [autofission p ~gap ~n_lifts] — fission the enclosing loops at [gap],
+    [n_lifts] levels up (Figs. 8–9). *)
+val autofission : Exo_ir.Ir.proc -> gap:gap -> n_lifts:int -> Exo_ir.Ir.proc
+
+(** [fuse_loops p pat] — merge the loop matching [pat] with its immediately
+    following equal-bounds sibling (the inverse of fission, same legality). *)
+val fuse_loops : Exo_ir.Ir.proc -> string -> Exo_ir.Ir.proc
+
+(** {1 Data staging} *)
+
+(** [stage_mem p pat window name] — stage a buffer region through a fresh
+    (future register) buffer around the block matching [pat], with copy-in
+    and copy-out nests (Fig. 8). [~load:false] omits the copy-in; only legal
+    when the block provably overwrites the whole window. *)
+val stage_mem :
+  ?load:bool -> Exo_ir.Ir.proc -> string -> string -> string -> Exo_ir.Ir.proc
+
+(** Like {!stage_mem} but staging [len] consecutive statements starting at
+    the match (e.g. a zero-init nest plus the k-loop). *)
+val stage_mem_stmts :
+  ?load:bool -> ?len:int -> Exo_ir.Ir.proc -> string -> string -> string ->
+  Exo_ir.Ir.proc
+
+(** [bind_expr p "Ac[_]" "A_reg"] — bind the first read of a buffer to a
+    fresh scalar (Fig. 9 step 1). *)
+val bind_expr : Exo_ir.Ir.proc -> string -> string -> Exo_ir.Ir.proc
+
+(** [bind_expr_bcast p "Bc[_]" "B_bcast"] — broadcast-stage a loop-invariant
+    read across the innermost enclosing loop (the set1/dup staging that ISAs
+    without lane-indexed FMA need, Sections III-B/III-C). *)
+val bind_expr_bcast : Exo_ir.Ir.proc -> string -> string -> Exo_ir.Ir.proc
+
+(** [expand_dim p buf extent idx] — prepend a dimension of size [extent] to
+    an allocation, indexing every access with [idx] (checked in range);
+    Fig. 8 step 2 / Fig. 9 step 2. *)
+val expand_dim : Exo_ir.Ir.proc -> string -> string -> string -> Exo_ir.Ir.proc
+
+(** [divide_dim p buf d quot] — split dimension [d] of an allocation into
+    [n/quot × quot], decomposing every subscript (shapes C_reg into the
+    paper's [f32[12, 2, 4]]). *)
+val divide_dim : Exo_ir.Ir.proc -> string -> int -> int -> Exo_ir.Ir.proc
+
+(** [lift_alloc p buf ~n_lifts] — hoist an allocation out of enclosing
+    loops (Fig. 8 step 3). *)
+val lift_alloc : Exo_ir.Ir.proc -> string -> n_lifts:int -> Exo_ir.Ir.proc
+
+(** {1 Instruction mapping} *)
+
+(** [replace p pat instr] — unify a loop nest matching [pat] with [instr]'s
+    semantic body and swap it for a call (Figs. 8–10). This is the paper's
+    safety net: the replacement is validated against the instruction's
+    definitional semantics, its window/stride/lane preconditions discharged
+    by the affine analysis. When several statements match, the first that
+    unifies is replaced. *)
+val replace : Exo_ir.Ir.proc -> string -> Exo_ir.Ir.proc -> Exo_ir.Ir.proc
+
+(** Apply {!replace} to every match, first to last. *)
+val replace_all : Exo_ir.Ir.proc -> string -> Exo_ir.Ir.proc -> Exo_ir.Ir.proc
+
+(** [inline_call p pat] — the inverse of {!replace}: expand the instruction
+    call matching [pat] back into its semantic body, with window accesses
+    translated through the bound windows. *)
+val inline_call : Exo_ir.Ir.proc -> string -> Exo_ir.Ir.proc
+
+(** {1 Cleanup} *)
+
+(** Exo's [simplify]: constant folding, affine normalization,
+    single-iteration loop inlining. *)
+val simplify : Exo_ir.Ir.proc -> Exo_ir.Ir.proc

@@ -1,0 +1,48 @@
+(** Name resolution at a cursor.
+
+    Expression strings in scheduling calls (['C[4 * jt + jtt, ...]']) name
+    loop variables that are only meaningful at the target site. This module
+    reconstructs the scope there: procedure arguments, allocations textually
+    preceding the point, and the loop variables of every enclosing loop. *)
+
+open Exo_ir
+open Ir
+
+(** Environment visible at cursor [c] in [p]. Inner bindings shadow outer
+    ones of the same display name. *)
+let at_cursor (p : proc) (c : Cursor.t) : string -> Sym.t option =
+  let tbl = Hashtbl.create 16 in
+  let bind s = Hashtbl.replace tbl (Sym.name s) s in
+  List.iter (fun (a : arg) -> bind a.a_name) p.p_args;
+  let rec walk (block : stmt list) (dirs : Cursor.dir list) (upto : int) =
+    (* Bind allocs preceding the point of interest in this block. *)
+    List.iteri
+      (fun i s -> if i <= upto then match s with SAlloc (b, _, _, _) -> bind b | _ -> ())
+      block;
+    match dirs with
+    | [] -> ()
+    | d :: rest ->
+        (match Cursor.nth_stmt block d.idx with
+        | SFor (v, _, _, _) -> bind v
+        | _ -> ());
+        walk (Cursor.sub_block (Cursor.nth_stmt block d.idx) d.blk) rest
+          (match rest with [] -> c.Cursor.last | r :: _ -> r.Cursor.idx)
+  in
+  walk p.p_body c.Cursor.dirs
+    (match c.Cursor.dirs with [] -> c.Cursor.last | d :: _ -> d.Cursor.idx);
+  fun name -> Hashtbl.find_opt tbl name
+
+(** Ranges of the loop variables enclosing (and including binders above)
+    cursor [c], for discharging instruction preconditions: each loop var
+    [v] with bounds [(lo, hi)] contributes [v ∈ [lo, hi-1]]. *)
+let loop_ranges (p : proc) (c : Cursor.t) : (Sym.t * expr * expr) list =
+  let rec walk (block : stmt list) (dirs : Cursor.dir list) acc =
+    match dirs with
+    | [] -> List.rev acc
+    | d :: rest -> (
+        match Cursor.nth_stmt block d.idx with
+        | SFor (v, lo, hi, body) -> walk body rest ((v, lo, hi) :: acc)
+        | SIf (_, t, e) -> walk (if d.Cursor.blk = 0 then t else e) rest acc
+        | _ -> List.rev acc)
+  in
+  walk p.p_body c.Cursor.dirs []

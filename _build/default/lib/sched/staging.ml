@@ -1,0 +1,696 @@
+(** Data-staging primitives: [stage_mem], [bind_expr], [expand_dim] and
+    [lift_alloc] — the Section III-c/III-d steps that move the C tile and
+    the A/B operands into (what will become) vector registers. *)
+
+open Exo_ir
+open Ir
+open Common
+
+(** Dtype of a buffer as visible in [p]; scheduling errors otherwise. *)
+let buffer_dtype ~op (p : proc) (b : Sym.t) : Dtype.t =
+  match find_buffer_typ p b with
+  | Some (dt, _, _) -> dt
+  | None -> err "%s: unknown buffer %a" op Sym.pp b
+
+(* ------------------------------------------------------------------ *)
+(* stage_mem                                                           *)
+
+(** Bounds environment for an access site: size parameters plus the ranges
+    of all loops binding above the site, [outer] (enclosing the staged
+    block) first, then the chain recorded while walking into the block. *)
+let mk_benv ~(sizes : Sym.Set.t) (ranges : (Sym.t * expr * expr) list) =
+  let rmap =
+    List.fold_left
+      (fun acc (v, lo, hi) ->
+        match (Affine.of_expr lo, Affine.of_expr (Binop (Sub, hi, Int 1))) with
+        | Some l, Some h ->
+            Sym.Map.add v Exo_check.Bounds.{ lo = Some l; hi = Some h } acc
+        | _ -> acc)
+      Sym.Map.empty ranges
+  in
+  Exo_check.Bounds.{ sizes; ranges = rmap; dims = Sym.Map.empty }
+
+(** [prove_in_range benv e lo hi] — lo ≤ e and e ≤ hi - 1, affinely. *)
+let prove_in_range benv (e : expr) ~(lo : expr) ~(hi : expr) : bool =
+  match (Affine.of_expr e, Affine.of_expr lo, Affine.of_expr hi) with
+  | Some ea, Some loa, Some hia -> (
+      let r = Exo_check.Bounds.range_of_affine benv ea in
+      match (r.Exo_check.Bounds.lo, r.Exo_check.Bounds.hi) with
+      | Some rlo, Some rhi ->
+          Exo_check.Bounds.nonneg benv (Affine.sub rlo loa) = `Yes
+          && Exo_check.Bounds.nonneg benv
+               (Affine.sub (Affine.sub hia rhi) (Affine.const 1))
+             = `Yes
+      | _ -> false)
+  | _ -> false
+
+(** Does one assignment statement provably write *every* cell of the staged
+    window? Sufficient criterion: a single write whose subscripts, one
+    window dimension each, are mixed-radix complete — sorted by coefficient,
+    the terms satisfy [c₀ = 1], [cᵢ₊₁ = cᵢ·extentᵢ], the product of loop
+    extents equals the window extent, the constant part is 0, and the
+    dimensions use pairwise disjoint loop variables. This justifies
+    [~load:false] staging (skip the initial copy-in when the block fully
+    overwrites the window — the beta = 0 and Cb-computation cases). *)
+let write_covers_window ~(ranges_of : Sym.t -> (int * int) option)
+    (idx : Affine.t list) (extents : int list) : bool =
+  let used = ref Sym.Set.empty in
+  List.length idx = List.length extents
+  && List.for_all2
+       (fun (a : Affine.t) (n : int) ->
+         if a.Affine.const <> 0 then false
+         else
+           let terms =
+             List.sort (fun (_, c1) (_, c2) -> compare (abs c1) (abs c2)) a.Affine.terms
+           in
+           (* disjointness across dimensions *)
+           List.for_all (fun (v, _) -> not (Sym.Set.mem v !used)) terms
+           &&
+           (List.iter (fun (v, _) -> used := Sym.Set.add v !used) terms;
+            let rec radix expected = function
+              | [] -> expected = n
+              | (v, c) :: rest -> (
+                  match ranges_of v with
+                  | Some (0, ext) when c = expected -> radix (expected * ext) rest
+                  | _ -> false)
+            in
+            radix 1 terms))
+       idx extents
+
+(** [stage_mem p pat window name] — stage the region [window] of a buffer
+    (e.g. ["C[0:12, 0:8]"], names resolved at the target) through a fresh
+    buffer [name] around the *block* matching [pat] (typically the k-loop),
+    exactly as Exo's windowed [stage_mem]:
+
+    {v  name: dt[extents]
+        for s0 in seq(0, n0): ...: name[s0,…] = C[lo0 + s0, …]   (load)
+        <block, with accesses to the window retargeted to name>
+        for s0 in seq(0, n0): ...: C[lo0 + s0, …] = name[s0,…]   (store)  v}
+
+    Every access to the buffer inside the block must provably fall inside
+    the window (affine bounds under the enclosing and interior loop ranges);
+    a point window stages a rank-0 scalar.
+
+    With [~load:false] the copy-in nest is omitted; this is only legal when
+    the block provably overwrites the whole window ({!write_covers_window}),
+    as in the [Cb = C·beta] staging or a beta = 0 kernel. *)
+let stage_mem_stmts ?(load = true) ?(len = 1) (p : proc) (pat : string)
+    (window : string) (name : string) : proc =
+  let op = "stage_mem" in
+  if len < 1 then err "%s: len must be >= 1" op;
+  let c = find_first ~op p.p_body pat in
+  let env = Scope.at_cursor p c in
+  let buf, widx =
+    try Exo_pattern.Expr_parse.window ~env window
+    with Exo_pattern.Expr_parse.Parse_error m -> err "%s: %s" op m
+  in
+  let dt = buffer_dtype ~op p buf in
+  (match find_buffer_typ p buf with
+  | Some (_, dims, _) when List.length dims = List.length widx -> ()
+  | Some (_, dims, _) ->
+      err "%s: window has %d accessors for rank-%d buffer %s" op (List.length widx)
+        (List.length dims) (Sym.name buf)
+  | None -> err "%s: unknown buffer %s" op (Sym.name buf));
+  let block = Cursor.get_block p.p_body c.Cursor.dirs in
+  if c.Cursor.last + len > List.length block then
+    err "%s: %d statements requested but only %d follow the match" op len
+      (List.length block - c.Cursor.last);
+  let targets =
+    List.filteri (fun i _ -> i >= c.Cursor.last && i < c.Cursor.last + len) block
+  in
+  let reg = Sym.fresh name in
+  let sizes = size_syms p in
+  let outer_ranges = Scope.loop_ranges p c in
+  (* Check containment of every access to [buf] in the block, walking with
+     the interior loop ranges; simultaneously rewrite the accesses. *)
+  let check_and_rewrite (target : stmt) : stmt =
+    let rec go ranges (s : stmt) : stmt =
+      let benv = mk_benv ~sizes ranges in
+      let rewrite_idx (idx : expr list) : expr list =
+        if List.length idx <> List.length widx then
+          err "%s: access to %s has the wrong rank" op (Sym.name buf);
+        List.concat
+          (List.map2
+             (fun e w ->
+               match w with
+               | Pt pe ->
+                   if Affine.expr_equal e pe <> Some true then
+                     err "%s: access %s escapes the point window dimension %s" op
+                       (Pp.expr_to_string e) (Pp.expr_to_string pe);
+                   []
+               | Iv (lo, hi) ->
+                   if not (prove_in_range benv e ~lo ~hi) then
+                     err "%s: cannot prove access %s stays within window [%s, %s)" op
+                       (Pp.expr_to_string e) (Pp.expr_to_string lo)
+                       (Pp.expr_to_string hi);
+                   [ Simplify.expr (Binop (Sub, e, lo)) ])
+             idx widx)
+      in
+      let rec re (e : expr) : expr =
+        match e with
+        | Read (b, idx) when Sym.equal b buf -> Read (reg, rewrite_idx (List.map re idx))
+        | Read (b, idx) -> Read (b, List.map re idx)
+        | Binop (o, a, b) -> Binop (o, re a, re b)
+        | Neg a -> Neg (re a)
+        | Cmp (o, a, b) -> Cmp (o, re a, re b)
+        | And (a, b) -> And (re a, re b)
+        | Or (a, b) -> Or (re a, re b)
+        | Not a -> Not (re a)
+        | Int _ | Float _ | Var _ | Stride _ -> e
+      in
+      match s with
+      | SAssign (b, idx, e) when Sym.equal b buf ->
+          SAssign (reg, rewrite_idx (List.map re idx), re e)
+      | SReduce (b, idx, e) when Sym.equal b buf ->
+          SReduce (reg, rewrite_idx (List.map re idx), re e)
+      | SAssign (b, idx, e) -> SAssign (b, List.map re idx, re e)
+      | SReduce (b, idx, e) -> SReduce (b, List.map re idx, re e)
+      | SFor (v, lo, hi, body) ->
+          SFor (v, re lo, re hi, List.map (go ((v, lo, hi) :: ranges)) body)
+      | SAlloc _ -> s
+      | SCall (_, args) ->
+          if
+            List.exists
+              (function AWin w -> Sym.equal w.wbuf buf | AExpr _ -> false)
+              args
+          then
+            err "%s: %s is already consumed by an instruction call inside the block" op
+              (Sym.name buf)
+          else map_stmt_exprs re s
+      | SIf (cond, t, e) -> SIf (re cond, List.map (go ranges) t, List.map (go ranges) e)
+    in
+    go (List.rev outer_ranges) target
+  in
+  let targets' = List.map check_and_rewrite targets in
+  (* Staging buffer extents and the copy nests. *)
+  let iv_dims =
+    List.filter_map
+      (function Iv (lo, hi) -> Some (Simplify.expr (Binop (Sub, hi, lo))) | Pt _ -> None)
+      widx
+  in
+  (* ~load:false obligation: some unconditional write fully covers the
+     window. *)
+  if not load then begin
+    let extents =
+      List.map
+        (function
+          | Int n -> n
+          | e ->
+              err "%s: ~load:false needs constant window extents (got %s)" op
+                (Pp.expr_to_string e))
+        iv_dims
+    in
+    let covered = ref false in
+    let rec walk (ranges : (Sym.t * (int * int)) list) (s : stmt) : unit =
+      match s with
+      | SAssign (b, idx, _) when Sym.equal b reg -> (
+          match List.map Affine.of_expr idx with
+          | aff when List.for_all Option.is_some aff ->
+              let ranges_of v =
+                List.find_opt (fun (s, _) -> Sym.equal s v) ranges |> Option.map snd
+              in
+              if write_covers_window ~ranges_of (List.map Option.get aff) extents then
+                covered := true
+          | _ -> ())
+      | SFor (v, lo, hi, body) -> (
+          match (Simplify.expr lo, Simplify.expr hi) with
+          | Int 0, Int n -> List.iter (walk ((v, (0, n)) :: ranges)) body
+          | _ -> List.iter (walk ranges) body)
+      | SIf _ -> () (* conditional writes cannot prove coverage *)
+      | _ -> ()
+    in
+    List.iter (walk []) targets';
+    if not !covered then
+      err "%s: ~load:false requires the block to overwrite the whole window of %s" op
+        (Sym.name buf)
+  end;
+  let mk_copy ~(load : bool) : stmt list =
+    (* one fresh loop var per Iv dim *)
+    let vars =
+      List.mapi (fun d _ -> Sym.fresh (Fmt.str "s%d" d)) iv_dims
+    in
+    let reg_idx = List.map (fun v -> Var v) vars in
+    let buf_idx =
+      let rec zip widx vars =
+        match (widx, vars) with
+        | [], _ -> []
+        | Pt e :: rest, vs -> e :: zip rest vs
+        | Iv (lo, _) :: rest, v :: vs -> Simplify.expr (Binop (Add, lo, Var v)) :: zip rest vs
+        | Iv _ :: _, [] -> assert false
+      in
+      zip widx vars
+    in
+    let leaf =
+      if load then SAssign (reg, reg_idx, Read (buf, buf_idx))
+      else SAssign (buf, buf_idx, Read (reg, reg_idx))
+    in
+    [
+      List.fold_right2
+        (fun v ext body -> SFor (v, Int 0, ext, [ body ]))
+        vars iv_dims leaf;
+    ]
+  in
+  let repl =
+    (SAlloc (reg, dt, iv_dims, Mem.dram) :: (if load then mk_copy ~load:true else []))
+    @ targets' @ mk_copy ~load:false
+  in
+  (* splice all [len] statements: remove the extras, then replace the head *)
+  let body = ref p.p_body in
+  for i = len - 1 downto 1 do
+    body := Cursor.splice !body (Cursor.with_last c (c.Cursor.last + i)) []
+  done;
+  recheck ~op { p with p_body = Cursor.splice !body c repl }
+
+(** Single-statement [stage_mem] (the common case). *)
+let stage_mem ?load (p : proc) (pat : string) (window : string) (name : string) :
+    proc =
+  stage_mem_stmts ?load ~len:1 p pat window name
+
+(* ------------------------------------------------------------------ *)
+(* bind_expr                                                           *)
+
+(** Substitute reads of one cell of [buf] by the staging scalar [reg] within
+    one statement. Cell equality is affine. *)
+let retarget_stmt ~(buf : Sym.t) ~(cell : expr list) ~(reg : Sym.t) (s : stmt) : stmt =
+  let same_cell idx =
+    List.length idx = List.length cell
+    && List.for_all2 (fun a b -> Affine.expr_equal a b = Some true) idx cell
+  in
+  let re e =
+    map_expr
+      (function
+        | Read (b, idx) when Sym.equal b buf && same_cell idx -> Read (reg, [])
+        | e -> e)
+      e
+  in
+  map_stmt_exprs re s
+
+(** [bind_expr p pat name] — bind the first read matching [pat] (a buffer
+    name pattern such as ["Ac[_]"]) to a fresh scalar:
+
+    {v  name: dt
+        name = Ac[...]
+        <stmt with that read replaced by name>  v}
+
+    Used for the A/B operand staging of Fig. 9 (step 1). *)
+let bind_expr (p : proc) (pat : string) (name : string) : proc =
+  let op = "bind_expr" in
+  (* The pattern is a read pattern [buf[_]]; locate the first statement whose
+     right-hand side reads [buf]. *)
+  let bufname =
+    match String.index_opt pat '[' with
+    | Some i -> String.trim (String.sub pat 0 i)
+    | None -> String.trim pat
+  in
+  let reads_buf (s : stmt) =
+    match s with
+    | SAssign (_, _, e) | SReduce (_, _, e) ->
+        Sym.Set.exists (fun b -> Sym.name b = bufname) (expr_bufs Sym.Set.empty e)
+    | _ -> false
+  in
+  let target =
+    List.find_opt (fun (_, s) -> reads_buf s) (Cursor.all_stmts p.p_body)
+  in
+  match target with
+  | None -> err "%s: no statement reads %s" op bufname
+  | Some (c, s) ->
+      (* The concrete cell read (first such read, textually). *)
+      let cell = ref None in
+      let find_cell e =
+        ignore
+          (map_expr
+             (function
+               | Read (b, idx) as e when Sym.name b = bufname && !cell = None ->
+                   cell := Some (b, idx);
+                   e
+               | e -> e)
+             e)
+      in
+      (match s with
+      | SAssign (_, _, e) | SReduce (_, _, e) -> find_cell e
+      | _ -> ());
+      let buf, cell =
+        match !cell with Some bc -> bc | None -> err "%s: no read of %s" op bufname
+      in
+      let dt = buffer_dtype ~op p buf in
+      let reg = Sym.fresh name in
+      let repl =
+        [
+          SAlloc (reg, dt, [], Mem.dram);
+          SAssign (reg, [], Read (buf, cell));
+          retarget_stmt ~buf ~cell ~reg s;
+        ]
+      in
+      recheck ~op { p with p_body = Cursor.splice p.p_body c repl }
+
+(* ------------------------------------------------------------------ *)
+(* bind_expr_bcast                                                     *)
+
+(** [bind_expr_bcast p pat name] — broadcast-stage a loop-invariant read.
+
+    Finds the first statement whose right-hand side reads the buffer named
+    by [pat] (as {!bind_expr}); the read must not depend on the variable [v]
+    of the innermost loop enclosing that statement. Introduces a register
+    [name] of the loop's (constant) extent, a replication loop before the
+    enclosing loop, and replaces the read by [name\[v\]]:
+
+    {v  name: dt[lanes]
+        for l in seq(0, lanes): name[l] = Bc[k, j]
+        for v in seq(0, lanes): ... name[v] ...  v}
+
+    This is the staging shape ISAs without lane-indexed FMA need (AVX-512:
+    [_mm512_set1_ps] + [_mm512_fmadd_ps]; Section III-B/III-C). *)
+let bind_expr_bcast (p : proc) (pat : string) (name : string) : proc =
+  let op = "bind_expr_bcast" in
+  let bufname =
+    match String.index_opt pat '[' with
+    | Some i -> String.trim (String.sub pat 0 i)
+    | None -> String.trim pat
+  in
+  let reads_buf (s : stmt) =
+    match s with
+    | SAssign (_, _, e) | SReduce (_, _, e) ->
+        Sym.Set.exists (fun b -> Sym.name b = bufname) (expr_bufs Sym.Set.empty e)
+    | _ -> false
+  in
+  match List.find_opt (fun (_, s) -> reads_buf s) (Cursor.all_stmts p.p_body) with
+  | None -> err "%s: no statement reads %s" op bufname
+  | Some (c, s) ->
+      (* Innermost enclosing loop. *)
+      let loop_c =
+        match Cursor.parent c with
+        | Some pc -> pc
+        | None -> err "%s: the read is not inside a loop" op
+      in
+      let v, extent =
+        match Cursor.get p.p_body loop_c with
+        | SFor (v, lo, hi, _) -> (
+            match (const_of lo, const_of hi) with
+            | Some 0, Some n -> (v, n)
+            | _ -> err "%s: enclosing loop %a must run over a constant range" op Sym.pp v)
+        | _ -> err "%s: enclosing statement is not a loop" op
+      in
+      let cell = ref None in
+      (match s with
+      | SAssign (_, _, e) | SReduce (_, _, e) ->
+          ignore
+            (map_expr
+               (function
+                 | Read (b, idx) as e when Sym.name b = bufname && !cell = None ->
+                     cell := Some (b, idx);
+                     e
+                 | e -> e)
+               e)
+      | _ -> ());
+      let buf, cell =
+        match !cell with Some bc -> bc | None -> err "%s: no read of %s" op bufname
+      in
+      let used = List.fold_left expr_vars Sym.Set.empty cell in
+      if Sym.Set.mem v used then
+        err "%s: the read of %s depends on the vector loop variable %a" op bufname
+          Sym.pp v;
+      let dt = buffer_dtype ~op p buf in
+      let reg = Sym.fresh name in
+      (* Replace the read inside the target statement by reg[v]. *)
+      let re e =
+        map_expr
+          (function
+            | Read (b, idx)
+              when Sym.equal b buf
+                   && List.length idx = List.length cell
+                   && List.for_all2
+                        (fun a b -> Affine.expr_equal a b = Some true)
+                        idx cell ->
+                Read (reg, [ Var v ])
+            | e -> e)
+          e
+      in
+      let body = Cursor.update p.p_body c (fun s -> [ map_stmt_exprs re s ]) in
+      (* Insert alloc + replication loop before the enclosing vector loop. *)
+      let l = Sym.fresh "l" in
+      let body =
+        Cursor.insert_before body loop_c
+          [
+            SAlloc (reg, dt, [ Int extent ], Mem.dram);
+            SFor (l, Int 0, Int extent, [ SAssign (reg, [ Var l ], Read (buf, cell)) ]);
+          ]
+      in
+      recheck ~op { p with p_body = body }
+
+(* ------------------------------------------------------------------ *)
+(* expand_dim                                                          *)
+
+(** [expand_dim p buf extent idx] — prepend a dimension of size [extent]
+    (an expression string, usually a constant) to allocation [buf], and
+    prepend index [idx] (resolved in the scope of each access) to every
+    access. Exo checks the new subscript stays within the new extent; we do
+    the same with the affine range analysis. *)
+let expand_dim (p : proc) (bufname : string) (extent : string) (idx : string) : proc =
+  let op = "expand_dim" in
+  let c_alloc = find_first ~op p.p_body (bufname ^ " : _") in
+  let buf, dt, dims, mem =
+    match Cursor.get p.p_body c_alloc with
+    | SAlloc (b, dt, dims, mem) -> (b, dt, dims, mem)
+    | _ -> err "%s: %s is not an allocation" op bufname
+  in
+  let extent_e =
+    try Exo_pattern.Expr_parse.expr ~env:(Scope.at_cursor p c_alloc) extent
+    with Exo_pattern.Expr_parse.Parse_error m -> err "%s: %s" op m
+  in
+  (* Rewrite the alloc. *)
+  let body =
+    Cursor.splice p.p_body c_alloc [ SAlloc (buf, dt, extent_e :: dims, mem) ]
+  in
+  (* Rewrite every access, resolving [idx] at each site and checking range. *)
+  let sizes = size_syms p in
+  let rewrite_at (body : stmt list) (c : Cursor.t) : stmt list =
+    let env = Scope.at_cursor { p with p_body = body } c in
+    let idx_e =
+      try Exo_pattern.Expr_parse.expr ~env idx
+      with Exo_pattern.Expr_parse.Parse_error m ->
+        err "%s: at %s: %s" op (Fmt.str "%a" Cursor.pp c) m
+    in
+    (* Range check: 0 ≤ idx < extent under the enclosing loop ranges. *)
+    (let ranges = Scope.loop_ranges { p with p_body = body } c in
+     let benv =
+       List.fold_left
+         (fun acc (v, lo, hi) ->
+           match (Affine.of_expr lo, Affine.of_expr (Binop (Sub, hi, Int 1))) with
+           | Some l, Some h ->
+               Sym.Map.add v Exo_check.Bounds.{ lo = Some l; hi = Some h } acc
+           | _ -> acc)
+         Sym.Map.empty ranges
+     in
+     let env_b =
+       Exo_check.Bounds.{ sizes; ranges = benv; dims = Sym.Map.empty }
+     in
+     match Affine.of_expr idx_e with
+     | Some a -> (
+         let r = Exo_check.Bounds.range_of_affine env_b a in
+         let lo_ok =
+           match r.Exo_check.Bounds.lo with
+           | Some l -> Exo_check.Bounds.nonneg env_b l = `Yes
+           | None -> false
+         in
+         let hi_ok =
+           match (r.Exo_check.Bounds.hi, Affine.of_expr extent_e) with
+           | Some h, Some ext ->
+               Exo_check.Bounds.nonneg env_b
+                 (Affine.sub (Affine.sub ext h) (Affine.const 1))
+               = `Yes
+           | _ -> false
+         in
+         if not (lo_ok && hi_ok) then
+           err "%s: cannot prove %s stays within [0, %s) at an access of %s" op idx
+             extent bufname)
+     | None -> err "%s: index %s is not affine" op idx);
+    let upd (s : stmt) : stmt =
+      let re e =
+        map_expr
+          (function Read (b, i) when Sym.equal b buf -> Read (b, idx_e :: i) | e -> e)
+          e
+      in
+      match s with
+      | SAssign (b, i, e) when Sym.equal b buf -> SAssign (b, idx_e :: List.map re i, re e)
+      | SReduce (b, i, e) when Sym.equal b buf -> SReduce (b, idx_e :: List.map re i, re e)
+      | s -> map_stmt_exprs re s
+    in
+    Cursor.update body c (fun s -> [ upd s ])
+  in
+  (* Collect access sites (statements that touch [buf]) then rewrite each;
+     cursors stay valid because [upd] preserves the tree shape. *)
+  let touches (s : stmt) =
+    match s with
+    | SAssign (b, _, e) | SReduce (b, _, e) ->
+        Sym.equal b buf || Sym.Set.mem buf (expr_bufs Sym.Set.empty e)
+    | SFor (_, lo, hi, _) ->
+        Sym.Set.mem buf (expr_bufs (expr_bufs Sym.Set.empty lo) hi)
+    | SIf (cnd, _, _) -> Sym.Set.mem buf (expr_bufs Sym.Set.empty cnd)
+    | SCall _ -> Sym.Set.mem buf (stmts_bufs [ s ])
+    | SAlloc _ -> false
+  in
+  let sites =
+    List.filter_map
+      (fun (c, s) ->
+        match s with
+        | SFor _ | SIf _ -> None (* handled at the leaf statements *)
+        | SCall _ when touches s ->
+            err "%s: %s is already consumed by an instruction call; expand before replace"
+              op bufname
+        | _ -> if touches s then Some c else None)
+      (Cursor.all_stmts body)
+  in
+  let body = List.fold_left rewrite_at body sites in
+  recheck ~op { p with p_body = body }
+
+(* ------------------------------------------------------------------ *)
+(* divide_dim                                                          *)
+
+(** [divide_dim p buf d quot] — split dimension [d] of allocation [buf]
+    (constant extent [n], [quot | n]) into two dimensions [n/quot × quot];
+    every access's subscript [e] in that dimension is decomposed as
+    [e = quot·q + r] with [r] the sub-[quot] affine part, after proving
+    [r ∈ [0, quot)]. Shapes the staged C tile into the paper's
+    [C_reg: f32[12, 2, 4]] (Fig. 8). *)
+let divide_dim (p : proc) (bufname : string) (d : int) (quot : int) : proc =
+  let op = "divide_dim" in
+  if quot <= 0 then err "%s: quotient must be positive" op;
+  let c_alloc = find_first ~op p.p_body (bufname ^ " : _") in
+  let buf, dt, dims, mem =
+    match Cursor.get p.p_body c_alloc with
+    | SAlloc (b, dt, dims, mem) -> (b, dt, dims, mem)
+    | _ -> err "%s: %s is not an allocation" op bufname
+  in
+  if d < 0 || d >= List.length dims then
+    err "%s: dimension %d out of range for %s" op d bufname;
+  let n =
+    match Simplify.expr (List.nth dims d) with
+    | Int n -> n
+    | _ -> err "%s: dimension %d of %s is not a constant" op d bufname
+  in
+  if n mod quot <> 0 then
+    err "%s: %d does not divide the extent %d of dimension %d" op quot n d;
+  let new_dims =
+    List.concat (List.mapi (fun i e -> if i = d then [ Int (n / quot); Int quot ] else [ e ]) dims)
+  in
+  let body = Cursor.splice p.p_body c_alloc [ SAlloc (buf, dt, new_dims, mem) ] in
+  let sizes = size_syms p in
+  (* Decompose one subscript under the loop ranges at its site. *)
+  let split_subscript benv (e : expr) : expr * expr =
+    match Affine.of_expr e with
+    | None -> err "%s: non-affine subscript %s on %s" op (Pp.expr_to_string e) bufname
+    | Some a ->
+        let r =
+          {
+            Affine.const = a.Affine.const mod quot;
+            terms = List.filter (fun (_, cf) -> abs cf < quot) a.Affine.terms;
+          }
+        in
+        let qa =
+          match Affine.div_exact (Affine.sub a r) quot with
+          | Some q -> q
+          | None ->
+              err "%s: cannot decompose subscript %s as %d*q + r" op
+                (Pp.expr_to_string e) quot
+        in
+        (* prove r ∈ [0, quot) *)
+        let rng = Exo_check.Bounds.range_of_affine benv r in
+        let ok =
+          match (rng.Exo_check.Bounds.lo, rng.Exo_check.Bounds.hi) with
+          | Some lo, Some hi ->
+              Exo_check.Bounds.nonneg benv lo = `Yes
+              && Exo_check.Bounds.nonneg benv
+                   (Affine.sub (Affine.const (quot - 1)) hi)
+                 = `Yes
+          | _ -> false
+        in
+        if not ok then
+          err "%s: cannot prove the lane part of %s stays within [0, %d)" op
+            (Pp.expr_to_string e) quot;
+        (Simplify.expr (Affine.to_expr qa), Simplify.expr (Affine.to_expr r))
+  in
+  let split_idx benv (idx : expr list) : expr list =
+    List.concat
+      (List.mapi
+         (fun i e ->
+           if i = d then
+             let q, r = split_subscript benv e in
+             [ q; r ]
+           else [ e ])
+         idx)
+  in
+  let rec go ranges (s : stmt) : stmt =
+    let benv = mk_benv ~sizes ranges in
+    let rec re (e : expr) : expr =
+      match e with
+      | Read (b, idx) when Sym.equal b buf -> Read (b, split_idx benv (List.map re idx))
+      | Read (b, idx) -> Read (b, List.map re idx)
+      | Binop (o, a, b) -> Binop (o, re a, re b)
+      | Neg a -> Neg (re a)
+      | Cmp (o, a, b) -> Cmp (o, re a, re b)
+      | And (a, b) -> And (re a, re b)
+      | Or (a, b) -> Or (re a, re b)
+      | Not a -> Not (re a)
+      | Int _ | Float _ | Var _ | Stride _ -> e
+    in
+    match s with
+    | SAssign (b, idx, e) when Sym.equal b buf ->
+        SAssign (b, split_idx benv (List.map re idx), re e)
+    | SReduce (b, idx, e) when Sym.equal b buf ->
+        SReduce (b, split_idx benv (List.map re idx), re e)
+    | SAssign (b, idx, e) -> SAssign (b, List.map re idx, re e)
+    | SReduce (b, idx, e) -> SReduce (b, List.map re idx, re e)
+    | SFor (v, lo, hi, inner) -> SFor (v, re lo, re hi, List.map (go ((v, lo, hi) :: ranges)) inner)
+    | SAlloc _ -> s
+    | SCall (_, args) ->
+        if List.exists (function AWin w -> Sym.equal w.wbuf buf | _ -> false) args then
+          err "%s: %s is already consumed by an instruction call; divide before replace"
+            op bufname
+        else map_stmt_exprs re s
+    | SIf (cnd, t, e) -> SIf (re cnd, List.map (go ranges) t, List.map (go ranges) e)
+  in
+  recheck ~op { p with p_body = List.map (go []) body }
+
+(* ------------------------------------------------------------------ *)
+(* lift_alloc                                                          *)
+
+(** [lift_alloc p buf ~n_lifts] hoists the allocation of [buf] out of
+    [n_lifts] enclosing loops (to the top of the proc for the kernels in
+    the paper). The extents must not depend on the crossed loop variables. *)
+let lift_alloc (p : proc) (bufname : string) ~(n_lifts : int) : proc =
+  let op = "lift_alloc" in
+  let c = find_first ~op p.p_body (bufname ^ " : _") in
+  let alloc = Cursor.get p.p_body c in
+  let dims =
+    match alloc with SAlloc (_, _, dims, _) -> dims | _ -> err "%s: not an alloc" op
+  in
+  let lifts = min n_lifts (Cursor.depth c) in
+  if lifts = 0 then p
+  else begin
+    (* Check crossed binders do not appear in the extents. *)
+    let crossed =
+      Scope.loop_ranges p c
+      |> List.rev
+      |> List.filteri (fun i _ -> i < lifts)
+      |> List.map (fun (v, _, _) -> v)
+      |> Sym.Set.of_list
+    in
+    let used = List.fold_left expr_vars Sym.Set.empty dims in
+    let bad = Sym.Set.inter crossed used in
+    if not (Sym.Set.is_empty bad) then
+      err "%s: extent of %s depends on loop variable %a" op bufname Sym.pp
+        (Sym.Set.choose bad);
+    let body = Cursor.splice p.p_body c [] in
+    (* Destination: [lifts] levels up from the alloc's block, before the
+       enclosing statement chain. *)
+    let rec target (c : Cursor.t) (k : int) : Cursor.t =
+      if k = 0 then c
+      else
+        match Cursor.parent c with
+        | Some up -> target up (k - 1)
+        | None -> c
+    in
+    let dest = target c lifts in
+    let body = Cursor.insert_before body dest [ alloc ] in
+    recheck ~op { p with p_body = body }
+  end

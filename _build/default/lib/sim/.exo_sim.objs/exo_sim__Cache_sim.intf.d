@@ -1,0 +1,1 @@
+lib/sim/cache_sim.mli: Exo_isa Format

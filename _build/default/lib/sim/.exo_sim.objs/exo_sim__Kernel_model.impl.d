@@ -1,0 +1,1 @@
+lib/sim/kernel_model.ml: Exo_ir Exo_isa List Machine Memories Trace

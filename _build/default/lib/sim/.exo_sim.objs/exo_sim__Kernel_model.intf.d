@@ -1,0 +1,1 @@
+lib/sim/kernel_model.mli: Exo_ir Exo_isa Trace

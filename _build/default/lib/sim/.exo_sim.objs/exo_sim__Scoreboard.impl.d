@@ -1,0 +1,1 @@
+lib/sim/scoreboard.ml: Array Exo_ir Exo_isa Fmt Hashtbl Ir List Option Simplify Sym

@@ -1,0 +1,1 @@
+lib/sim/scoreboard.mli: Exo_ir Exo_isa

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Exo_ir Exo_isa Fmt Ir List Simplify Sym

@@ -1,0 +1,222 @@
+(** A set-associative LRU cache simulator.
+
+    The analytical blocking model ({!Exo_blis.Analytical}) *asserts* that its
+    (mc, kc, nc) keep the Bc sliver in L1, the Ac block in L2 and the Bc
+    panel in L3. This module checks that claim empirically: it simulates the
+    byte-level address trace of the packed BLIS macro-kernel — packing
+    writes, per-call panel reads, C-tile updates — through a three-level
+    LRU hierarchy and reports per-level miss counts. The ablation bench runs
+    it with the analytical blocking against deliberately bad blockings. *)
+
+type level = {
+  name : string;
+  sets : int;
+  assoc : int;
+  line : int;
+  tags : int array;  (** [sets * assoc], -1 = invalid *)
+  ages : int array;  (** LRU stamps *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let create_level ~name (c : Exo_isa.Machine.cache) : level =
+  let sets = Exo_isa.Machine.cache_sets c in
+  {
+    name;
+    sets;
+    assoc = c.assoc;
+    line = c.line_bytes;
+    tags = Array.make (sets * c.assoc) (-1);
+    ages = Array.make (sets * c.assoc) 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+(** One reference at [addr]; returns whether it hit. *)
+let access_level (l : level) (addr : int) : bool =
+  l.accesses <- l.accesses + 1;
+  l.clock <- l.clock + 1;
+  let block = addr / l.line in
+  let set = block mod l.sets in
+  let tag = block / l.sets in
+  let base = set * l.assoc in
+  let hit_way = ref (-1) in
+  for w = base to base + l.assoc - 1 do
+    if l.tags.(w) = tag then hit_way := w
+  done;
+  if !hit_way >= 0 then begin
+    l.ages.(!hit_way) <- l.clock;
+    true
+  end
+  else begin
+    (* evict the least recently used way *)
+    let victim = ref base and oldest = ref max_int in
+    for w = base to base + l.assoc - 1 do
+      if l.ages.(w) < !oldest then begin
+        oldest := l.ages.(w);
+        victim := w
+      end
+    done;
+    l.misses <- l.misses + 1;
+    l.tags.(!victim) <- tag;
+    l.ages.(!victim) <- l.clock;
+    false
+  end
+
+type hierarchy = {
+  l1 : level;
+  l2 : level;
+  l3 : level;
+  mutable dram_lines : int;
+  mutable in_kernel : bool;  (** inside the micro-kernel (vs packing) *)
+  mutable krefs : int;
+  mutable kl1_miss : int;
+}
+
+let create (m : Exo_isa.Machine.t) : hierarchy =
+  {
+    l1 = create_level ~name:"L1" m.Exo_isa.Machine.l1;
+    l2 = create_level ~name:"L2" m.Exo_isa.Machine.l2;
+    l3 = create_level ~name:"L3" m.Exo_isa.Machine.l3;
+    dram_lines = 0;
+    in_kernel = false;
+    krefs = 0;
+    kl1_miss = 0;
+  }
+
+(** A reference that misses a level continues to the next. *)
+let access (h : hierarchy) (addr : int) : unit =
+  let l1_hit = access_level h.l1 addr in
+  if h.in_kernel then begin
+    h.krefs <- h.krefs + 1;
+    if not l1_hit then h.kl1_miss <- h.kl1_miss + 1
+  end;
+  if not l1_hit then
+    if not (access_level h.l2 addr) then
+      if not (access_level h.l3 addr) then h.dram_lines <- h.dram_lines + 1
+
+type stats = {
+  refs : int;
+  l1_miss : int;
+  l2_miss : int;
+  l3_miss : int;
+  dram : int;
+  kernel_refs : int;  (** micro-kernel phase only *)
+  kernel_l1_miss : int;
+}
+
+let stats (h : hierarchy) : stats =
+  {
+    refs = h.l1.accesses;
+    l1_miss = h.l1.misses;
+    l2_miss = h.l2.misses;
+    l3_miss = h.l3.misses;
+    dram = h.dram_lines;
+    kernel_refs = h.krefs;
+    kernel_l1_miss = h.kl1_miss;
+  }
+
+(** Kernel-phase L1 miss ratio — the number the analytical model's L1 story
+    (the Bc sliver stays resident) predicts to be tiny. *)
+let kernel_l1_rate (s : stats) : float =
+  float_of_int s.kernel_l1_miss /. float_of_int (max 1 s.kernel_refs)
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf
+    "refs=%d L1-miss=%.2f%% kernel-L1-miss=%.2f%% L2-miss=%d L3-miss=%d      DRAM-lines=%d"
+    s.refs
+    (100.0 *. float_of_int s.l1_miss /. float_of_int (max 1 s.refs))
+    (100.0 *. kernel_l1_rate s)
+    s.l2_miss s.l3_miss s.dram
+
+(* ------------------------------------------------------------------ *)
+(* The packed-GEMM address trace                                        *)
+
+(** Simulate the memory behaviour of the BLIS macro-kernel (Fig. 1) on an
+    m×n×k FP32 GEMM under [blocking] with an mr×nr micro-kernel: packing
+    reads/writes and the micro-kernel's per-iteration panel loads and
+    C-tile updates, element by element. Buffers occupy disjoint address
+    ranges. Returns the hierarchy statistics. *)
+let gemm_trace (m_desc : Exo_isa.Machine.t) ~(mc : int) ~(kc : int) ~(nc : int)
+    ~(mr : int) ~(nr : int) ~(m : int) ~(n : int) ~(k : int) : stats =
+  let h = create m_desc in
+  let s = 4 in
+  (* disjoint base addresses *)
+  let a_base = 0 in
+  let b_base = a_base + (m * k * s) in
+  let c_base = b_base + (k * n * s) in
+  let packa_base = c_base + (m * n * s) in
+  let packb_base = packa_base + (mc * kc * s) in
+  let touch addr = access h addr in
+  let jc = ref 0 in
+  while !jc < n do
+    let ncb = min nc (n - !jc) in
+    let pc = ref 0 in
+    while !pc < k do
+      let kcb = min kc (k - !pc) in
+      (* pack B: read B, write packB in nr-wide panels (the BLIS layout) *)
+      for j = 0 to ncb - 1 do
+        for kk = 0 to kcb - 1 do
+          touch (b_base + ((((!pc + kk) * n) + !jc + j) * s));
+          let panel = j / nr and jj = j mod nr in
+          let w = min nr (ncb - (panel * nr)) in
+          touch (packb_base + ((panel * kcb * nr) + (kk * w) + jj) * s)
+        done
+      done;
+      let ic = ref 0 in
+      while !ic < m do
+        let mcb = min mc (m - !ic) in
+        (* pack A: read A, write packA in mr-wide panels *)
+        for i = 0 to mcb - 1 do
+          for kk = 0 to kcb - 1 do
+            touch (a_base + ((((!ic + i) * k) + !pc + kk) * s));
+            let panel = i / mr and ii = i mod mr in
+            let w = min mr (mcb - (panel * mr)) in
+            touch (packa_base + ((panel * kcb * mr) + (kk * w) + ii) * s)
+          done
+        done;
+        (* micro-kernel sweeps *)
+        let jr = ref 0 in
+        while !jr < ncb do
+          let nrb = min nr (ncb - !jr) in
+          let ir = ref 0 in
+          while !ir < mcb do
+            let mrb = min mr (mcb - !ir) in
+            h.in_kernel <- true;
+            (* C tile load *)
+            for j = 0 to nrb - 1 do
+              for i = 0 to mrb - 1 do
+                touch (c_base + ((((!ic + !ir + i) * n) + !jc + !jr + j) * s))
+              done
+            done;
+            (* k loop: Ar and Br panel reads (panel-major, unit stride) *)
+            let a_panel = packa_base + (!ir / mr * kcb * mr * s) in
+            let b_panel = packb_base + (!jr / nr * kcb * nr * s) in
+            for kk = 0 to kcb - 1 do
+              for i = 0 to mrb - 1 do
+                touch (a_panel + (((kk * mrb) + i) * s))
+              done;
+              for j = 0 to nrb - 1 do
+                touch (b_panel + (((kk * nrb) + j) * s))
+              done
+            done;
+            (* C tile store *)
+            for j = 0 to nrb - 1 do
+              for i = 0 to mrb - 1 do
+                touch (c_base + ((((!ic + !ir + i) * n) + !jc + !jr + j) * s))
+              done
+            done;
+            h.in_kernel <- false;
+            ir := !ir + mr
+          done;
+          jr := !jr + nr
+        done;
+        ic := !ic + mc
+      done;
+      pc := !pc + kc
+    done;
+    jc := !jc + nc
+  done;
+  stats h

@@ -1,0 +1,64 @@
+(** Set-associative LRU cache simulator.
+
+    Checks the analytical blocking model's residency claims empirically: the
+    byte-level address trace of the packed BLIS macro-kernel (packing,
+    panel reads, C-tile updates) runs through a three-level LRU hierarchy
+    and per-level miss counts come out. *)
+
+type level = {
+  name : string;
+  sets : int;
+  assoc : int;
+  line : int;
+  tags : int array;
+  ages : int array;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+val create_level : name:string -> Exo_isa.Machine.cache -> level
+
+(** One reference; [true] on hit. LRU replacement. *)
+val access_level : level -> int -> bool
+
+type hierarchy = {
+  l1 : level;
+  l2 : level;
+  l3 : level;
+  mutable dram_lines : int;
+  mutable in_kernel : bool;
+  mutable krefs : int;
+  mutable kl1_miss : int;
+}
+
+val create : Exo_isa.Machine.t -> hierarchy
+
+(** A reference that misses a level continues to the next. *)
+val access : hierarchy -> int -> unit
+
+type stats = {
+  refs : int;
+  l1_miss : int;
+  l2_miss : int;
+  l3_miss : int;
+  dram : int;  (** lines fetched from memory — the bandwidth proxy *)
+  kernel_refs : int;
+  kernel_l1_miss : int;
+}
+
+val stats : hierarchy -> stats
+
+(** Micro-kernel-phase L1 miss ratio — the number the analytical model's
+    "Bc sliver stays in L1" story predicts to be tiny. *)
+val kernel_l1_rate : stats -> float
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** Simulate an m×n×k FP32 GEMM under a blocking with an mr×nr kernel:
+    packing reads/writes (BLIS panel layout) and per-call panel/C-tile
+    accesses, element by element. *)
+val gemm_trace :
+  Exo_isa.Machine.t ->
+  mc:int -> kc:int -> nc:int -> mr:int -> nr:int -> m:int -> n:int -> k:int ->
+  stats

@@ -1,0 +1,149 @@
+(** Micro-kernel performance model.
+
+    Cycles are derived mechanistically from the kernel's own instruction
+    census ({!Trace}) and the machine description ({!Exo_isa.Machine}):
+
+    - pipe bound: vector/scalar compute ops per iteration over the FMA pipes
+      (divided by a scheduling-efficiency factor: 1.0 for assembly and for
+      Exo's generated C, which Fig. 12 shows compiles to assembly-quality
+      code; < 1 for hand-written intrinsics, the paper's explanation for
+      NEON trailing BLIS);
+    - dependency bound: each accumulator is updated once per k iteration, so
+      an iteration can not complete faster than the FMA accumulate-forward
+      latency — this is what makes narrow kernels (8×4, 4×4) intrinsically
+      slower than 8×12 even in solo mode;
+    - load/store port and issue-width bounds;
+    - register-pressure spills when the kernel's residency exceeds the
+      architectural register file.
+
+    Monolithic library kernels (BLIS assembly, hand-written NEON) carry
+    [edge_logic]: on a problem smaller than their native tile they still
+    execute the full tile and pay a fringe-handling overhead — the mechanism
+    behind the paper's Fig. 13 edge-case results. *)
+
+open Exo_isa
+
+type impl = {
+  name : string;
+  mr : int;
+  nr : int;
+  trace : Trace.t;
+  sched_eff : float;  (** compiler/assembly scheduling quality, ≤ 1 *)
+  edge_logic : bool;
+      (** kernel internally handles arbitrary m ≤ mr, n ≤ nr (fringe logic) *)
+  supports_prefetch : bool;  (** can prefetch the next C tile (BLIS asm) *)
+}
+
+(** Fixed costs (cycles). *)
+let call_overhead = 25.0
+
+let edge_logic_overhead = 40.0
+
+(** Extra loads/stores per iteration due to spilling, if any. *)
+let spill_ops (m : Machine.t) (t : Trace.t) : int =
+  let avail = m.vec.Memories.num_regs - 2 in
+  if t.Trace.vregs_used > avail then 2 * (t.Trace.vregs_used - avail) else 0
+
+(** Steady-state cycles per k-loop iteration. *)
+let cycles_per_iter (m : Machine.t) (impl : impl) : float =
+  let c = impl.trace.Trace.steady in
+  let spill = spill_ops m impl.trace in
+  let compute_ops = c.Trace.fma + c.Trace.arith + c.Trace.bcast + c.Trace.scalar_ops in
+  let loads = c.Trace.load + spill and stores = c.Trace.store + spill in
+  let pipe = float_of_int compute_ops /. (float_of_int m.fma_pipes *. impl.sched_eff) in
+  let dep =
+    if c.Trace.fma + c.Trace.scalar_ops > 0 then float_of_int m.fma_lat else 0.0
+  in
+  let ld = float_of_int loads /. float_of_int m.load_ports in
+  let st = float_of_int stores /. float_of_int m.store_ports in
+  let issue =
+    float_of_int (compute_ops + loads + stores) /. float_of_int m.issue_width
+  in
+  List.fold_left max 1.0 [ pipe; dep; ld; st; issue ]
+
+(** Prologue/epilogue cycles (C-tile loads and stores around the k loop). *)
+let prologue_cycles (m : Machine.t) (impl : impl) : float =
+  let c = impl.trace.Trace.prologue in
+  float_of_int c.Trace.load /. float_of_int m.load_ports
+  +. float_of_int c.Trace.store /. float_of_int m.store_ports
+  +. (float_of_int (c.Trace.fma + c.Trace.arith + c.Trace.bcast + c.Trace.scalar_ops)
+     /. float_of_int m.fma_pipes)
+
+(** Cycles for one micro-kernel invocation with depth [kc], operands
+    resident in cache. *)
+let call_cycles (m : Machine.t) (impl : impl) ~(kc : int) : float =
+  prologue_cycles m impl
+  +. (float_of_int kc *. cycles_per_iter m impl)
+  +. call_overhead
+  +. (if impl.edge_logic then edge_logic_overhead else 0.0)
+
+(** Useful FLOPs per invocation on an m×n (≤ mr×nr) problem. A kernel with
+    edge logic executes its full tile regardless; a specialized kernel is
+    only ever invoked on its exact shape. *)
+let solo_gflops (m : Machine.t) (impl : impl) ~(mu : int) ~(nu : int) ~(kc : int) :
+    float =
+  if mu > impl.mr || nu > impl.nr then
+    invalid_arg "solo_gflops: problem exceeds the kernel tile";
+  if (not impl.edge_logic) && (mu <> impl.mr || nu <> impl.nr) then
+    invalid_arg "solo_gflops: specialized kernel invoked on a foreign shape";
+  let cycles = call_cycles m impl ~kc in
+  (* fringe handling in monolithic kernels: compute the full tile into a
+     temporary and copy out the mu×nu corner *)
+  let cycles =
+    if impl.edge_logic && (mu <> impl.mr || nu <> impl.nr) then
+      cycles
+      +. (float_of_int (impl.mr * impl.nr) *. 8.0 /. m.l1_bw)
+      (* temp write + read back *)
+    else cycles
+  in
+  let useful_flops = 2.0 *. float_of_int (mu * nu * kc) in
+  let time_s = cycles /. (m.freq_ghz *. 1e9) in
+  useful_flops /. time_s /. 1e9
+
+(** Peak GFLOPS this kernel could reach on [m] given its dtype lanes. *)
+let peak (m : Machine.t) (impl : impl) : float =
+  float_of_int (impl.trace.Trace.lanes * 2 * m.fma_pipes) *. m.freq_ghz
+
+(* ------------------------------------------------------------------ *)
+(* Implementation constructors                                         *)
+
+(** A generated kernel: census read straight off the scheduled IR;
+    assembly-quality code (Fig. 12), no fringe logic, no prefetch. *)
+let of_proc ~(name : string) ~(mr : int) ~(nr : int) (p : Exo_ir.Ir.proc) : impl =
+  {
+    name;
+    mr;
+    nr;
+    trace = Trace.of_proc p;
+    sched_eff = 1.0;
+    edge_logic = false;
+    supports_prefetch = false;
+  }
+
+(** The BLIS v0.9 assembly micro-kernel model: the same 8×12 outer-product
+    structure, hand-scheduled (eff 1.0), with fringe logic and C prefetch. *)
+let blis_asm_8x12 (base : Exo_ir.Ir.proc) : impl =
+  {
+    name = "BLIS";
+    mr = 8;
+    nr = 12;
+    trace = Trace.of_proc base;
+    sched_eff = 1.0;
+    edge_logic = true;
+    supports_prefetch = true;
+  }
+
+(** The hand-written Neon-intrinsics micro-kernel model: same structure,
+    compiler-scheduled ([sched_eff] < 1 — "the main difference is that the
+    former is written with Neon intrinsics while the latter is in
+    assembly"), fringe logic, no prefetch. *)
+let neon_intrinsics_8x12 (base : Exo_ir.Ir.proc) : impl =
+  {
+    name = "NEON";
+    mr = 8;
+    nr = 12;
+    trace = Trace.of_proc base;
+    sched_eff = 0.94;
+    edge_logic = true;
+    supports_prefetch = false;
+  }

@@ -1,0 +1,56 @@
+(** Micro-kernel performance model (closed form).
+
+    Cycles derive mechanistically from the kernel's own instruction census
+    ({!Trace}) and the machine description: a pipe-throughput bound, an
+    accumulator-latency bound (what makes narrow kernels like 8×4
+    intrinsically slower even solo), load/store port and issue bounds, and a
+    register-pressure spill term. Validated against the instruction-level
+    {!Scoreboard} on every paper kernel. *)
+
+type impl = {
+  name : string;
+  mr : int;
+  nr : int;
+  trace : Trace.t;
+  sched_eff : float;
+      (** scheduling quality ≤ 1: 1.0 for assembly and for Exo's generated C
+          (Fig. 12), < 1 for hand-written intrinsics — the paper's reason
+          NEON trails BLIS *)
+  edge_logic : bool;
+      (** monolithic kernel: handles any m ≤ mr, n ≤ nr internally, always
+          executing the full tile (the Fig. 13 edge-case penalty) *)
+  supports_prefetch : bool;  (** can prefetch the next C tile (BLIS asm) *)
+}
+
+val call_overhead : float
+val edge_logic_overhead : float
+
+(** Steady-state cycles per k-loop iteration:
+    [max(pipe, latency, load-ports, store-ports, issue)]. *)
+val cycles_per_iter : Exo_isa.Machine.t -> impl -> float
+
+(** C-tile load/store cycles around the k loop. *)
+val prologue_cycles : Exo_isa.Machine.t -> impl -> float
+
+(** One invocation at depth [kc], operands cache-resident. *)
+val call_cycles : Exo_isa.Machine.t -> impl -> kc:int -> float
+
+(** Solo-mode GFLOPS on an mu×nu (≤ mr×nr) problem — the Fig. 13 numbers.
+    A specialized kernel must be invoked on its exact shape; a kernel with
+    edge logic executes its full tile and is charged the fringe copy. *)
+val solo_gflops : Exo_isa.Machine.t -> impl -> mu:int -> nu:int -> kc:int -> float
+
+(** Peak GFLOPS for this kernel's lane width on the machine. *)
+val peak : Exo_isa.Machine.t -> impl -> float
+
+(** A generated kernel: census read off the scheduled IR; assembly-quality,
+    no fringe logic, no prefetch. *)
+val of_proc : name:string -> mr:int -> nr:int -> Exo_ir.Ir.proc -> impl
+
+(** The BLIS v0.9 assembly micro-kernel model (from the 8×12 base proc):
+    hand-scheduled, fringe logic, prefetch-capable. *)
+val blis_asm_8x12 : Exo_ir.Ir.proc -> impl
+
+(** The hand-written Neon-intrinsics micro-kernel model: compiler-scheduled
+    (eff < 1), fringe logic, no prefetch. *)
+val neon_intrinsics_8x12 : Exo_ir.Ir.proc -> impl

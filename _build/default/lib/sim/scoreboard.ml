@@ -1,0 +1,263 @@
+(** An instruction-level scoreboard simulator.
+
+    The closed-form model in {!Kernel_model} prices a kernel from census
+    totals (pipe bound, accumulator-latency bound, port bound). This module
+    validates it mechanistically: the scheduled k-loop body is unrolled into
+    a concrete instruction stream with *register-level* dependencies, and a
+    small out-of-order core (register renaming, issue window, per-class
+    functional-unit limits, load/store ports) executes several iterations to
+    measure steady-state cycles per iteration.
+
+    The ablation benches compare both models; the tests require them to
+    agree within a small tolerance on every kernel of the paper's family —
+    evidence that the figures do not depend on the closed-form shortcuts. *)
+
+open Exo_ir
+open Ir
+
+exception Scoreboard_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Scoreboard_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lowering: one k-iteration as a concrete op stream                    *)
+
+type reg = { rbuf : int; rcell : int }
+(** A physical accumulator/operand register: buffer symbol id + flattened
+    index over the non-lane dimensions. *)
+
+type op = {
+  kind : op_kind;
+  dst : reg option;
+  srcs : reg list;
+  reads_dst : bool;  (** FMA accumulates: dst is also a source *)
+}
+
+let eval_int (env : int Sym.Map.t) (e : expr) : int =
+  let rec go e =
+    match e with
+    | Int n -> n
+    | Var v -> (
+        match Sym.Map.find_opt v env with
+        | Some n -> n
+        | None -> err "unbound %s in scoreboard lowering" (Sym.name v))
+    | Binop (Add, a, b) -> go a + go b
+    | Binop (Sub, a, b) -> go a - go b
+    | Binop (Mul, a, b) -> go a * go b
+    | Binop (Div, a, b) -> go a / go b
+    | Binop (Mod, a, b) -> go a mod go b
+    | Neg a -> -go a
+    | _ -> err "non-integer expression in scoreboard lowering"
+  in
+  go e
+
+(** Identify the register cell a window denotes (register-memory buffers
+    only): evaluate the point subscripts, flatten row-major over the
+    non-lane dims. *)
+let reg_of_window (regdims : (int * int list) list) (env : int Sym.Map.t)
+    (w : window) : reg option =
+  match List.assoc_opt (Sym.id w.wbuf) regdims with
+  | None -> None (* an addressable-memory operand *)
+  | Some dims ->
+      (* flatten the point subscripts over the non-lane dims, row-major *)
+      let outer = List.rev (List.tl (List.rev dims)) in
+      let pts =
+        List.filteri (fun i _ -> i < List.length outer) w.widx
+        |> List.map (function
+             | Pt e -> eval_int env e
+             | Iv (lo, _) -> eval_int env lo)
+      in
+      let rec flatten acc pts dims =
+        match (pts, dims) with
+        | [], [] -> acc
+        | p :: ps, d :: ds ->
+            ignore d;
+            flatten ((acc * d) + p) ps ds
+        | _ -> err "window rank mismatch in scoreboard lowering"
+      in
+      Some { rbuf = Sym.id w.wbuf; rcell = flatten 0 pts outer }
+
+(** Classify an instruction call into an op given concrete loop values. *)
+let op_of_call regdims env (callee : proc) (args : call_arg list) : op =
+  let kind =
+    match callee.p_instr with
+    | Some i -> i.ci_kind
+    | None -> err "non-instruction call in a scheduled kernel"
+  in
+  (* first window argument is the destination by our instruction convention *)
+  let windows =
+    List.filter_map (function AWin w -> Some w | AExpr _ -> None) args
+  in
+  match windows with
+  | [] -> { kind; dst = None; srcs = []; reads_dst = false }
+  | dst_w :: src_ws ->
+      let dst = reg_of_window regdims env dst_w in
+      let srcs = List.filter_map (reg_of_window regdims env) src_ws in
+      (match kind with
+      | KStore ->
+          (* stores: the "dst" is memory; sources are the register windows *)
+          let srcs = List.filter_map (reg_of_window regdims env) windows in
+          { kind; dst = None; srcs; reads_dst = false }
+      | KFma -> { kind; dst; srcs; reads_dst = true }
+      | _ -> { kind; dst; srcs; reads_dst = false })
+
+(** Concretize the k-loop body: unroll every constant loop, keep scalar
+    statements as 1-op arithmetic. *)
+let lower_k_body (p : proc) : op list =
+  (* register-memory allocations and their non-lane dims *)
+  let regdims = ref [] in
+  iter_stmts
+    (function
+      | SAlloc (b, _, dims, mem) when Exo_isa.Memories.is_register_mem mem ->
+          let dims =
+            List.map
+              (fun d ->
+                match Simplify.expr d with
+                | Int n -> n
+                | _ -> err "symbolic register extent")
+              dims
+          in
+          regdims := (Sym.id b, dims) :: !regdims
+      | _ -> ())
+    p.p_body;
+  let regdims = !regdims in
+  let ops = ref [] in
+  let rec go env (body : stmt list) =
+    List.iter
+      (fun s ->
+        match s with
+        | SCall (callee, args) -> ops := op_of_call regdims env callee args :: !ops
+        | SAssign _ | SReduce _ ->
+            (* scalar compute statement: model as a scalar FMA with a
+               synthetic accumulator per statement cell *)
+            ops := { kind = KFma; dst = None; srcs = []; reads_dst = false } :: !ops
+        | SFor (v, lo, hi, inner) ->
+            let lo = eval_int env lo and hi = eval_int env hi in
+            for i = lo to hi - 1 do
+              go (Sym.Map.add v i env) inner
+            done
+        | SAlloc _ -> ()
+        | SIf (c, t, e) -> if eval_int env c <> 0 then go env t else go env e)
+      body
+  in
+  (* find the symbolic (KC) loop; its body at k = 0 is the steady state *)
+  let found = ref false in
+  let rec scan env body =
+    List.iter
+      (fun s ->
+        match s with
+        | SFor (v, lo, hi, inner) -> (
+            match (Simplify.expr lo, Simplify.expr hi) with
+            | Int _, Int _ -> () (* constant region: prologue, skip *)
+            | _ ->
+                found := true;
+                go (Sym.Map.add v 0 env) inner)
+        | SIf (_, t, e) ->
+            scan env t;
+            scan env e
+        | _ -> ())
+      body
+  in
+  scan Sym.Map.empty p.p_body;
+  if not !found then err "kernel has no k loop";
+  List.rev !ops
+
+(* ------------------------------------------------------------------ *)
+(* The scoreboard                                                       *)
+
+type latencies = { lat_fma : int; lat_load : int; lat_store : int; lat_other : int }
+
+let default_lats (m : Exo_isa.Machine.t) =
+  { lat_fma = m.Exo_isa.Machine.fma_lat; lat_load = 4; lat_store = 1; lat_other = 2 }
+
+(** Execute [iters] copies of the per-iteration op stream on an OoO core
+    with register renaming (RAW dependencies only), an in-order issue window
+    of [window] ops, and per-cycle limits from the machine description.
+    Returns steady-state cycles per iteration (measured over the second
+    half). *)
+let cycles_per_iter ?(iters = 64) ?(window = 96) (m : Exo_isa.Machine.t)
+    (p : proc) : float =
+  let per_iter = lower_k_body p in
+  if per_iter = [] then 1.0
+  else begin
+    let lats = default_lats m in
+    let n = List.length per_iter in
+    let total = n * iters in
+    let ops = Array.make total (List.hd per_iter) in
+    List.iteri
+      (fun j op ->
+        for it = 0 to iters - 1 do
+          ops.((it * n) + j) <- op
+        done)
+      per_iter;
+    (* exact register renaming: resolve each op's producers in program
+       order (last writer of each source register) *)
+    let deps = Array.make total [] in
+    let last_writer : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+    for i = 0 to total - 1 do
+      let op = ops.(i) in
+      let srcs =
+        op.srcs @ (if op.reads_dst then Option.to_list op.dst else [])
+      in
+      deps.(i) <-
+        List.filter_map (fun r -> Hashtbl.find_opt last_writer (r.rbuf, r.rcell)) srcs;
+      match op.dst with
+      | Some r -> Hashtbl.replace last_writer (r.rbuf, r.rcell) i
+      | None -> ()
+    done;
+    let issue_time = Array.make total (-1) in
+    let finished = Array.make total max_int in
+    let next = ref 0 (* first un-issued op (in-order head of the window) *) in
+    let cycle = ref 0 in
+    let iter_finish = Array.make (iters + 1) 0 in
+    while !next < total do
+      let fma_left = ref m.Exo_isa.Machine.fma_pipes in
+      let ld_left = ref m.Exo_isa.Machine.load_ports in
+      let st_left = ref m.Exo_isa.Machine.store_ports in
+      let slots = ref m.Exo_isa.Machine.issue_width in
+      let limit = min total (!next + window) in
+      for i = !next to limit - 1 do
+        if issue_time.(i) < 0 && !slots > 0 then begin
+          let op = ops.(i) in
+          let unit_ok =
+            match op.kind with
+            | KFma | KArith | KBcast -> !fma_left > 0
+            | KLoad -> !ld_left > 0
+            | KStore -> !st_left > 0
+            | KOther -> true
+          in
+          let deps_ready =
+            List.for_all (fun p -> issue_time.(p) >= 0 && finished.(p) <= !cycle) deps.(i)
+          in
+          if unit_ok && deps_ready then begin
+            issue_time.(i) <- !cycle;
+            let lat =
+              match op.kind with
+              | KFma -> lats.lat_fma
+              | KLoad -> lats.lat_load
+              | KStore -> lats.lat_store
+              | KArith | KBcast | KOther -> lats.lat_other
+            in
+            finished.(i) <- !cycle + lat;
+            (match op.kind with
+            | KFma | KArith | KBcast -> decr fma_left
+            | KLoad -> decr ld_left
+            | KStore -> decr st_left
+            | KOther -> ());
+            decr slots
+          end
+        end
+      done;
+      (* slide the window head past issued ops, recording iteration ends *)
+      while !next < total && issue_time.(!next) >= 0 do
+        let it = !next / n in
+        if (!next + 1) mod n = 0 then iter_finish.(it + 1) <- finished.(!next);
+        incr next
+      done;
+      incr cycle;
+      if !cycle > 1000 * total then err "scoreboard did not converge"
+    done;
+    let half = iters / 2 in
+    float_of_int (iter_finish.(iters) - iter_finish.(half))
+    /. float_of_int (iters - half)
+  end

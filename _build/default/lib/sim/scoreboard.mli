@@ -1,0 +1,15 @@
+(** Instruction-level scoreboard simulator.
+
+    Unrolls the scheduled k-loop into a concrete op stream with
+    register-level dependencies (exact renaming: RAW only) and executes
+    several iterations on a small out-of-order core — issue window,
+    per-class functional-unit limits, load/store ports — to measure
+    steady-state cycles per iteration. Validates the closed-form
+    {!Kernel_model} on every kernel of the paper's family. *)
+
+exception Scoreboard_error of string
+
+(** Steady-state cycles per k-loop iteration, measured over the second half
+    of [iters] simulated iterations. *)
+val cycles_per_iter :
+  ?iters:int -> ?window:int -> Exo_isa.Machine.t -> Exo_ir.Ir.proc -> float

@@ -1,0 +1,140 @@
+(** Lowering a scheduled micro-kernel to an instruction census.
+
+    The paper validates its generated code by inspecting the gcc assembly of
+    the k-loop (Fig. 12): 5 × 128-bit loads + 24 fmla per iteration, all
+    accumulators resident. We recover the same information directly from the
+    scheduled IR: the *steady-state census* counts the vector ops executed
+    per k-loop iteration, and the *prologue/epilogue census* counts the
+    C-tile loads/stores around it. The performance model consumes only these
+    censuses plus machine parameters. *)
+
+open Exo_ir
+open Ir
+
+type census = {
+  fma : int;  (** vector FMA ops *)
+  load : int;  (** vector loads *)
+  store : int;
+  bcast : int;
+  arith : int;  (** other vector arithmetic *)
+  scalar_ops : int;  (** non-vectorized multiply-accumulate statements *)
+}
+
+let empty = { fma = 0; load = 0; store = 0; bcast = 0; arith = 0; scalar_ops = 0 }
+
+let add a b =
+  {
+    fma = a.fma + b.fma;
+    load = a.load + b.load;
+    store = a.store + b.store;
+    bcast = a.bcast + b.bcast;
+    arith = a.arith + b.arith;
+    scalar_ops = a.scalar_ops + b.scalar_ops;
+  }
+
+let scale k a =
+  {
+    fma = k * a.fma;
+    load = k * a.load;
+    store = k * a.store;
+    bcast = k * a.bcast;
+    arith = k * a.arith;
+    scalar_ops = k * a.scalar_ops;
+  }
+
+let total_vector_ops c = c.fma + c.load + c.store + c.bcast + c.arith
+
+let pp ppf c =
+  Fmt.pf ppf "fma=%d ld=%d st=%d bcast=%d arith=%d scalar=%d" c.fma c.load c.store
+    c.bcast c.arith c.scalar_ops
+
+exception Trace_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Trace_error s)) fmt
+
+let const_extent lo hi =
+  match (Simplify.expr lo, Simplify.expr hi) with
+  | Int a, Int b -> Some (max 0 (b - a))
+  | _ -> None
+
+(** Census of a statement list with constant-extent loops. *)
+let rec census_stmts (body : stmt list) : census =
+  List.fold_left (fun acc s -> add acc (census_stmt s)) empty body
+
+and census_stmt (s : stmt) : census =
+  match s with
+  | SCall (callee, _) -> (
+      match callee.p_instr with
+      | Some i -> (
+          match i.ci_kind with
+          | KLoad -> { empty with load = 1 }
+          | KStore -> { empty with store = 1 }
+          | KFma -> { empty with fma = 1 }
+          | KBcast -> { empty with bcast = 1 }
+          | KArith | KOther -> { empty with arith = 1 })
+      | None -> err "call to non-instruction %s in a scheduled kernel" callee.p_name)
+  | SAssign _ | SReduce _ -> { empty with scalar_ops = 1 }
+  | SAlloc _ -> empty
+  | SFor (v, lo, hi, inner) -> (
+      match const_extent lo hi with
+      | Some n -> scale n (census_stmts inner)
+      | None -> err "unexpected symbolic loop %s in a constant region" (Sym.name v))
+  | SIf (_, t, e) ->
+      (* guards are rare in scheduled kernels; take the max side *)
+      let ct = census_stmts t and ce = census_stmts e in
+      if total_vector_ops ct + ct.scalar_ops >= total_vector_ops ce + ce.scalar_ops
+      then ct
+      else ce
+
+type t = {
+  steady : census;  (** per k-loop iteration *)
+  prologue : census;  (** before/after the k loop (C tile load/store) *)
+  vregs_used : int;  (** register-memory residency in architectural registers *)
+  lanes : int;  (** lanes of the kernel's vector ops (1 if purely scalar) *)
+}
+
+(** Register residency: each register-memory allocation holds
+    (product of non-lane dims) registers. *)
+let vregs_of (p : proc) : int * int =
+  let regs = ref 0 and lanes = ref 1 in
+  iter_stmts
+    (function
+      | SAlloc (_, dt, dims, mem) when Exo_isa.Memories.is_register_mem mem ->
+          let info = Exo_isa.Memories.lookup_exn mem in
+          lanes := max !lanes (Exo_isa.Memories.lanes_of info dt);
+          let outer = List.rev (List.tl (List.rev dims)) in
+          let n =
+            List.fold_left
+              (fun acc d ->
+                match Simplify.expr d with Int n -> acc * n | _ -> acc)
+              1 outer
+          in
+          regs := !regs + n
+      | _ -> ())
+    p.p_body;
+  (!regs, !lanes)
+
+(** Split a scheduled micro-kernel into steady-state (inside the symbolic
+    KC loop) and prologue/epilogue censuses. A kernel with no symbolic loop
+    (fully constant) reports everything as prologue with steady = empty. *)
+let of_proc (p : proc) : t =
+  let steady = ref empty and prologue = ref empty in
+  let rec scan mult (body : stmt list) =
+    List.iter
+      (fun s ->
+        match s with
+        | SFor (_, lo, hi, inner) -> (
+            match const_extent lo hi with
+            | Some n -> scan (mult * n) inner
+            | None ->
+                (* the KC loop: census of its body is the steady state *)
+                steady := add !steady (scale mult (census_stmts inner)))
+        | SIf (_, t, e) ->
+            scan mult t;
+            scan mult e
+        | s -> prologue := add !prologue (scale mult (census_stmt s)))
+      body
+  in
+  scan 1 p.p_body;
+  let vregs_used, lanes = vregs_of p in
+  { steady = !steady; prologue = !prologue; vregs_used; lanes }

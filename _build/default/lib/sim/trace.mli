@@ -1,0 +1,31 @@
+(** Instruction census of a scheduled micro-kernel — the Fig. 12 information
+    (loads/fmla per k-loop iteration, register residency) recovered directly
+    from the IR, consumed by the performance models. *)
+
+type census = {
+  fma : int;
+  load : int;
+  store : int;
+  bcast : int;
+  arith : int;
+  scalar_ops : int;  (** non-vectorized multiply-accumulate statements *)
+}
+
+val empty : census
+val add : census -> census -> census
+val scale : int -> census -> census
+val total_vector_ops : census -> int
+val pp : Format.formatter -> census -> unit
+
+exception Trace_error of string
+
+type t = {
+  steady : census;  (** per k-loop iteration *)
+  prologue : census;  (** before/after the k loop (C tile traffic) *)
+  vregs_used : int;  (** register-memory residency *)
+  lanes : int;  (** vector lanes (1 if purely scalar) *)
+}
+
+(** Split a scheduled kernel into steady-state (inside the symbolic KC loop)
+    and prologue/epilogue censuses. *)
+val of_proc : Exo_ir.Ir.proc -> t

@@ -1,0 +1,1 @@
+lib/ukrgen/family.ml: Exo_ir Exo_sched Fmt Ir Kits List Source Steps String

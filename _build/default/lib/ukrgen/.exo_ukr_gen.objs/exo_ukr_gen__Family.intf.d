@@ -1,0 +1,1 @@
+lib/ukrgen/family.mli: Exo_ir Kits

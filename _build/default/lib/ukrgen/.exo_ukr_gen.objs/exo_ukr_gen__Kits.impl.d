@@ -1,0 +1,1 @@
+lib/ukrgen/kits.ml: Dtype Exo_ir Exo_isa Ir List Mem String

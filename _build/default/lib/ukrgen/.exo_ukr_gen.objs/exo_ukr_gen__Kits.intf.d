@@ -1,0 +1,1 @@
+lib/ukrgen/kits.mli: Exo_ir

@@ -1,0 +1,1 @@
+lib/ukrgen/source.ml: Builder Dtype Exo_check Exo_ir Ir Sym

@@ -1,0 +1,1 @@
+lib/ukrgen/source.mli: Exo_ir

@@ -1,0 +1,1 @@
+lib/ukrgen/steps.ml: Exo_ir Exo_sched Fmt Ir Kits List Source

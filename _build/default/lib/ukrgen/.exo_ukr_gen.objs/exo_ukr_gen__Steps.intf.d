@@ -1,0 +1,1 @@
+lib/ukrgen/steps.mli: Exo_ir Kits

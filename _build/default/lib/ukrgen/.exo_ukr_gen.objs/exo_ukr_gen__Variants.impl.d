@@ -1,0 +1,1 @@
+lib/ukrgen/variants.ml: Exo_ir Exo_isa Exo_sched Fmt Ir Kits List Source String

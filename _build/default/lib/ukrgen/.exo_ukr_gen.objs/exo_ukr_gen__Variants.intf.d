@@ -1,0 +1,1 @@
+lib/ukrgen/variants.mli: Exo_ir Kits

@@ -1,0 +1,50 @@
+(** Micro-kernel family generation (Section III-B).
+
+    The paper's answer to edge cases: instead of one monolithic kernel with
+    fringe logic, generate a *collection* of specialized kernels, one per
+    (MR, NR) the GEMM driver needs. [generate] picks a schedule template
+    from the shape and the target kit's instruction inventory. *)
+
+(** Which schedule template a shape gets. *)
+type style =
+  | Packed
+      (** MR, NR both multiples of the vector length with a lane-indexed FMA:
+          the Section III schedule (Figs. 6–11) *)
+  | PackedBcast
+      (** MR a multiple of the vector length, any NR: vectorize i, broadcast
+          the B element (also the AVX-512/AVX2 path, Section III-C) *)
+  | Row
+      (** MR = 1, NR a multiple of the vector length: vectorize j (unit
+          stride because C's leading dimension is 1), broadcast A *)
+  | Scalar  (** everything else: specialization by partial evaluation only *)
+
+val style_name : style -> string
+
+type kernel = {
+  mr : int;
+  nr : int;
+  kit : Kits.t;
+  style : style;
+  proc : Exo_ir.Ir.proc;  (** signature: (KC, alpha, Ac, Bc, beta, C) *)
+}
+
+(** The template [generate] would pick for a shape on a kit. *)
+val pick_style : Kits.t -> mr:int -> nr:int -> style
+
+(** Generate one specialized kernel. Raises [Invalid_argument] on
+    non-positive shapes. Every generated kernel is bit-exact against the
+    reference semantics (enforced by the property tests). *)
+val generate : ?kit:Kits.t -> mr:int -> nr:int -> unit -> kernel
+
+(** The individual schedule templates (exposed for benches/ablations). *)
+
+val packed : Kits.t -> mr:int -> nr:int -> Exo_ir.Ir.proc
+val packed_bcast : Kits.t -> mr:int -> nr:int -> Exo_ir.Ir.proc
+val row : Kits.t -> nr:int -> Exo_ir.Ir.proc
+val scalar : Kits.t -> mr:int -> nr:int -> Exo_ir.Ir.proc
+
+(** The kernel sizes the paper's evaluation uses (Section IV):
+    8×12, 8×8, 8×4, 4×12, 4×8, 4×4, 1×12, 1×8. *)
+val paper_shapes : (int * int) list
+
+val paper_family : ?kit:Kits.t -> unit -> kernel list

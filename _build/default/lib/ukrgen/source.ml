@@ -1,0 +1,204 @@
+(** The reference micro-kernel sources (the paper's Figs. 4 and 5).
+
+    Conventions carried over from the paper's Section III-A:
+    - C is transposed to [NR × MR] because C is row-major in C (the BLIS
+      micro-kernel is column-major);
+    - [Ac] is packed as [KC × MR] (transposed) so the micro-kernel reads it
+      with unit stride; [Bc] is [KC × NR], already unit stride;
+    - loops run in [k, j, i] order around one outer product per iteration. *)
+
+open Exo_ir
+open Ir
+open Builder
+
+type syms = {
+  mr : Sym.t;
+  nr : Sym.t;
+  kc : Sym.t;
+  alpha : Sym.t;
+  ac : Sym.t;
+  bc : Sym.t;
+  beta : Sym.t;
+  c : Sym.t;
+}
+
+let fresh_syms () =
+  {
+    mr = Sym.fresh "MR";
+    nr = Sym.fresh "NR";
+    kc = Sym.fresh "KC";
+    alpha = Sym.fresh "alpha";
+    ac = Sym.fresh "Ac";
+    bc = Sym.fresh "Bc";
+    beta = Sym.fresh "beta";
+    c = Sym.fresh "C";
+  }
+
+let args_of ~dt (s : syms) =
+  [
+    size_arg s.mr;
+    size_arg s.nr;
+    size_arg s.kc;
+    tensor_arg s.alpha dt [ int 1 ];
+    tensor_arg s.ac dt [ var s.kc; var s.mr ];
+    tensor_arg s.bc dt [ var s.kc; var s.nr ];
+    tensor_arg s.beta dt [ int 1 ];
+    tensor_arg s.c dt [ var s.nr; var s.mr ];
+  ]
+
+(** Fig. 5: the simplified micro-kernel for alpha = beta = 1 that Section III
+    schedules step by step. (The signature keeps alpha/beta, as in Fig. 6.) *)
+let ukernel_ref_simple ?(dt = Dtype.F32) () : proc =
+  let s = fresh_syms () in
+  let k = Sym.fresh "k" and j = Sym.fresh "j" and i = Sym.fresh "i" in
+  let p =
+    mk_proc ~name:"ukernel_ref" ~args:(args_of ~dt s)
+      [
+        (* C += Ac * Bc *)
+        loopn k (var s.kc)
+          [
+            loopn j (var s.nr)
+              [
+                loopn i (var s.mr)
+                  [
+                    reduce s.c [ var j; var i ]
+                      (mul (rd s.ac [ var k; var i ]) (rd s.bc [ var k; var j ]));
+                  ];
+              ];
+          ];
+      ]
+  in
+  Exo_check.Wellformed.check_proc p;
+  p
+
+(** Fig. 4: the full micro-kernel covering every alpha/beta combination,
+    with the [Cb = C*beta] and [Ba = Bc*alpha] staging buffers. *)
+let ukernel_ref ?(dt = Dtype.F32) () : proc =
+  let s = fresh_syms () in
+  let cb = Sym.fresh "Cb" and ba = Sym.fresh "Ba" in
+  let cj = Sym.fresh "cj" and ci = Sym.fresh "ci" in
+  let bk = Sym.fresh "bk" and bj = Sym.fresh "bj" in
+  let k = Sym.fresh "k" and j = Sym.fresh "j" and i = Sym.fresh "i" in
+  let cj2 = Sym.fresh "cj" and ci2 = Sym.fresh "ci" in
+  let p =
+    mk_proc ~name:"ukernel_ref_full" ~args:(args_of ~dt s)
+      [
+        (* Tmp buffers for C * beta and B * alpha *)
+        alloc cb dt [ var s.nr; var s.mr ];
+        alloc ba dt [ var s.kc; var s.nr ];
+        (* Cb = C * beta *)
+        loopn cj (var s.nr)
+          [
+            loopn ci (var s.mr)
+              [
+                assign cb [ var cj; var ci ]
+                  (mul (rd s.c [ var cj; var ci ]) (rd s.beta [ int 0 ]));
+              ];
+          ];
+        (* Ba = Bc * alpha *)
+        loopn bk (var s.kc)
+          [
+            loopn bj (var s.nr)
+              [
+                assign ba [ var bk; var bj ]
+                  (mul (rd s.bc [ var bk; var bj ]) (rd s.alpha [ int 0 ]));
+              ];
+          ];
+        (* Cb += Ac * Ba *)
+        loopn k (var s.kc)
+          [
+            loopn j (var s.nr)
+              [
+                loopn i (var s.mr)
+                  [
+                    reduce cb [ var j; var i ]
+                      (mul (rd s.ac [ var k; var i ]) (rd ba [ var k; var j ]));
+                  ];
+              ];
+          ];
+        (* C = Cb *)
+        loopn cj2 (var s.nr)
+          [
+            loopn ci2 (var s.mr)
+              [ assign s.c [ var cj2; var ci2 ] (rd cb [ var cj2; var ci2 ]) ];
+          ];
+      ]
+  in
+  Exo_check.Wellformed.check_proc p;
+  p
+
+(** Source for the beta = 0 specialization: [C = Ac·Bc] with an explicit
+    zero-initialization nest. Deep-learning GEMMs overwhelmingly run with
+    beta = 0 (fresh output tensors); the scheduled kernel zeroes the
+    accumulators with a register [dup 0] instead of loading C, saving the
+    whole C-tile read. *)
+let ukernel_ref_beta0 ?(dt = Dtype.F32) () : proc =
+  let mr = Sym.fresh "MR" and nr = Sym.fresh "NR" and kc = Sym.fresh "KC" in
+  let ac = Sym.fresh "Ac" and bc = Sym.fresh "Bc" and c = Sym.fresh "C" in
+  let zj = Sym.fresh "zj" and zi = Sym.fresh "zi" in
+  let k = Sym.fresh "k" and j = Sym.fresh "j" and i = Sym.fresh "i" in
+  let p =
+    mk_proc ~name:"ukernel_ref_beta0"
+      ~args:
+        [
+          size_arg mr;
+          size_arg nr;
+          size_arg kc;
+          tensor_arg ac dt [ var kc; var mr ];
+          tensor_arg bc dt [ var kc; var nr ];
+          tensor_arg c dt [ var nr; var mr ];
+        ]
+      [
+        (* C = 0 *)
+        loopn zj (var nr) [ loopn zi (var mr) [ assign c [ var zj; var zi ] (flt 0.0) ] ];
+        (* C += Ac * Bc *)
+        loopn k (var kc)
+          [
+            loopn j (var nr)
+              [
+                loopn i (var mr)
+                  [
+                    reduce c [ var j; var i ]
+                      (mul (rd ac [ var k; var i ]) (rd bc [ var k; var j ]));
+                  ];
+              ];
+          ];
+      ]
+  in
+  Exo_check.Wellformed.check_proc p;
+  p
+
+(** Source for the non-packed-A variant (Section III-B): A in its original
+    row-major [MR × KC] layout (leading dimension = KC after slicing) and C
+    row-major [MR × NR]; the schedule vectorizes over j and broadcasts A. *)
+let ukernel_ref_nopack ?(dt = Dtype.F32) () : proc =
+  let mr = Sym.fresh "MR" and nr = Sym.fresh "NR" and kc = Sym.fresh "KC" in
+  let a = Sym.fresh "A" and bc = Sym.fresh "Bc" and c = Sym.fresh "C" in
+  let k = Sym.fresh "k" and j = Sym.fresh "j" and i = Sym.fresh "i" in
+  let p =
+    mk_proc ~name:"ukernel_ref_nopack"
+      ~args:
+        [
+          size_arg mr;
+          size_arg nr;
+          size_arg kc;
+          tensor_arg a dt [ var mr; var kc ];
+          tensor_arg bc dt [ var kc; var nr ];
+          tensor_arg c dt [ var mr; var nr ];
+        ]
+      [
+        loopn k (var kc)
+          [
+            loopn i (var mr)
+              [
+                loopn j (var nr)
+                  [
+                    reduce c [ var i; var j ]
+                      (mul (rd a [ var i; var k ]) (rd bc [ var k; var j ]));
+                  ];
+              ];
+          ];
+      ]
+  in
+  Exo_check.Wellformed.check_proc p;
+  p

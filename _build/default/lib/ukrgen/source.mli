@@ -1,0 +1,20 @@
+(** The reference micro-kernel sources (the paper's Figs. 4 and 5).
+
+    Conventions from Section III-A: C transposed to [NR × MR] (C is
+    row-major), [Ac] packed [KC × MR], [Bc] packed [KC × NR], loops in
+    [k, j, i] order around one outer product per iteration. *)
+
+(** Fig. 5: the simplified kernel for alpha = beta = 1 that Section III
+    schedules (signature keeps alpha/beta, as in Fig. 6). *)
+val ukernel_ref_simple : ?dt:Exo_ir.Dtype.t -> unit -> Exo_ir.Ir.proc
+
+(** Fig. 4: the full kernel covering every alpha/beta combination, with the
+    [Cb]/[Ba] staging buffers. *)
+val ukernel_ref : ?dt:Exo_ir.Dtype.t -> unit -> Exo_ir.Ir.proc
+
+(** The beta = 0 source: explicit zero-init nest plus the accumulation. *)
+val ukernel_ref_beta0 : ?dt:Exo_ir.Dtype.t -> unit -> Exo_ir.Ir.proc
+
+(** The non-packed-A source (Section III-B): A row-major [MR × KC], C
+    row-major [MR × NR]. *)
+val ukernel_ref_nopack : ?dt:Exo_ir.Dtype.t -> unit -> Exo_ir.Ir.proc

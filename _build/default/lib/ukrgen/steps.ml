@@ -1,0 +1,102 @@
+(** Section III, step by step: the schedule that turns the reference kernel
+    (Fig. 5) into the vectorized, unrolled 8×12 micro-kernel (Fig. 11).
+
+    Each step is recorded with the paper figure it reproduces so the
+    quickstart example and the golden tests can show/pin every intermediate
+    procedure. The schedule is parametric in (MR, NR) and in the target
+    {!Kits.t}, which is how the edge-case family (Section III-B) and the
+    retargetings (Section III-C/D) fall out of the same code. *)
+
+open Exo_ir
+module Sched = Exo_sched.Sched
+
+type step = { title : string; figure : string option; proc : Ir.proc }
+
+type trace = step list
+(** First element is the earliest step. *)
+
+let final (tr : trace) : Ir.proc =
+  match List.rev tr with
+  | [] -> invalid_arg "empty trace"
+  | s :: _ -> s.proc
+
+let record title ?figure proc (tr : trace) : trace = tr @ [ { title; figure; proc } ]
+
+(** The standard packed schedule — requires [lanes | MR] and [lanes | NR]
+    and a lane-indexed FMA in the kit. *)
+let packed ~(kit : Kits.t) ~(mr : int) ~(nr : int) : trace =
+  let l = kit.lanes in
+  if mr mod l <> 0 || nr mod l <> 0 then
+    invalid_arg
+      (Fmt.str "Steps.packed: %dx%d not divisible by the %d-lane vector length" mr nr l);
+  let fma_lane =
+    match kit.fma_lane with
+    | Some f -> f
+    | None -> invalid_arg "Steps.packed: kit has no lane-indexed FMA (use packed_bcast)"
+  in
+  let p0 = Source.ukernel_ref_simple ~dt:kit.dt () in
+  let tr = record "reference kernel (alpha = beta = 1)" ~figure:"Fig. 5" p0 [] in
+
+  (* v1 — specialize MR/NR (Fig. 6) *)
+  let p = Sched.rename p0 (Fmt.str "uk_%dx%d" mr nr) in
+  let p = Sched.partial_eval p [ ("MR", mr); ("NR", nr) ] in
+  let tr = record "partial_eval: specialize MR, NR" ~figure:"Fig. 6" p tr in
+
+  (* v2 — split i and j to the vector length (Fig. 7) *)
+  let p = Sched.divide_loop p "i" l ("it", "itt") ~tail:Sched.Perfect in
+  let p = Sched.divide_loop p "j" l ("jt", "jtt") ~tail:Sched.Perfect in
+  let tr = record "divide_loop: match the vector length" ~figure:"Fig. 7" p tr in
+
+  (* v3 — stage the C tile in registers; vectorize its load and store
+     (Fig. 8). The windowed stage_mem stages the whole tile around the
+     k-loop in one step (this is Exo's stage_mem; the figure's scalar
+     staging + expand_dim + lift_alloc + autofission sequence computes the
+     same program). *)
+  let p = Sched.stage_mem p "for k in _: _" (Fmt.str "C[0:%d, 0:%d]" nr mr) "C_reg" in
+  let p = Sched.divide_loop p "s1" l ("s1o", "s1i") ~tail:Sched.Perfect in
+  let p = Sched.divide_loop p "s1" l ("s1o", "s1i") ~tail:Sched.Perfect in
+  let p = Sched.divide_dim p "C_reg" 1 l in
+  let p = Sched.replace p "for s1i in _: _" kit.vld in
+  let p = Sched.replace p "for s1i in _: _" kit.vst in
+  let p = Sched.set_memory p "C_reg" kit.mem in
+  let tr = record "stage_mem: C tile in vector registers" ~figure:"Fig. 8" p tr in
+
+  (* v4 — stage the Ac and Bc operands (Fig. 9) *)
+  let stage_operand p ~bufname ~regname ~vec ~outer ~outer_extent ~wrap1 ~wrap2 =
+    let p = Sched.bind_expr p (bufname ^ "[_]") regname in
+    let p = Sched.expand_dim p regname (string_of_int l) vec in
+    let p = Sched.expand_dim p regname (string_of_int outer_extent) outer in
+    let p = Sched.lift_alloc p regname ~n_lifts:5 in
+    let p =
+      Sched.autofission p ~gap:(Sched.After (regname ^ "[_] = _")) ~n_lifts:4
+    in
+    (* The fissions through loops the load does not use leave redundant
+       wrapper loops around the copy nest; drop them. *)
+    let p = Sched.remove_loop p wrap1 in
+    let p = Sched.remove_loop p wrap2 in
+    let p = Sched.replace p (Fmt.str "for %s in _: _" vec) kit.vld in
+    Sched.set_memory p regname kit.mem
+  in
+  let p =
+    stage_operand p ~bufname:"Ac" ~regname:"A_reg" ~vec:"itt" ~outer:"it"
+      ~outer_extent:(mr / l) ~wrap1:"jt" ~wrap2:"jtt"
+  in
+  let p =
+    stage_operand p ~bufname:"Bc" ~regname:"B_reg" ~vec:"jtt" ~outer:"jt"
+      ~outer_extent:(nr / l)
+      ~wrap1:"for it in _: _ #1" ~wrap2:"for itt in _: _ #0"
+  in
+  let tr = record "bind_expr: Ac and Bc operands in vector registers" ~figure:"Fig. 9" p tr in
+
+  (* v5 — reorder so B access is sequential; map the arithmetic onto the
+     lane-indexed FMA (Fig. 10) *)
+  let p = Sched.reorder_loops p "jtt it" in
+  let p = Sched.replace p "for itt in _: _" fma_lane in
+  let tr = record "replace: lane-indexed FMA" ~figure:"Fig. 10" p tr in
+
+  (* v6 — unroll the operand loads (Fig. 11) *)
+  let p = Sched.unroll_loop p "it" in
+  let p = Sched.unroll_loop p "jt" in
+  let p = Sched.simplify p in
+  let tr = record "unroll_loop: operand loads" ~figure:"Fig. 11" p tr in
+  tr

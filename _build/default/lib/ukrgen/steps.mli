@@ -1,0 +1,16 @@
+(** Section III, step by step: the schedule turning the reference kernel
+    (Fig. 5) into the vectorized, unrolled micro-kernel (Fig. 11), with
+    every intermediate procedure recorded against its paper figure. *)
+
+type step = { title : string; figure : string option; proc : Exo_ir.Ir.proc }
+
+type trace = step list
+(** Earliest step first. *)
+
+(** The fully scheduled kernel (the last step). *)
+val final : trace -> Exo_ir.Ir.proc
+
+(** The standard packed schedule — requires [lanes | MR], [lanes | NR] and a
+    lane-indexed FMA in the kit. Produces the seven steps of Figs. 5–11;
+    the tests check each is interpreter-equivalent to the reference. *)
+val packed : kit:Kits.t -> mr:int -> nr:int -> trace

@@ -1,0 +1,223 @@
+(** Kernel variants beyond the alpha = beta = 1 family:
+
+    - {!packed_full} — the complete Fig. 4 kernel, scheduling the
+      [Cb = C·beta] and [Ba = Bc·alpha] nests ("Optimization of the initial
+      code will involve more scheduling functions for the Cb and Ba loops,
+      equivalent to those shown", Section III-A) alongside the vectorized
+      compute;
+    - {!packed_beta0} — the beta = 0 specialization: accumulators start from
+      a register zero instead of a C-tile load (the common DL case);
+    - {!nopack} — Section III-B's non-packed-A variant: A stays in its
+      original row-major layout, the schedule vectorizes j and feeds the A
+      element through the scalar-FMA / broadcast path. *)
+
+open Exo_ir
+module Sched = Exo_sched.Sched
+
+(** Stage one reference operand of the compute nest into vector registers —
+    the Fig. 9 recipe, parameterized over which buffer/loops it applies to. *)
+let stage_operand (kit : Kits.t) p ~bufname ~regname ~vec ~outer ~outer_extent
+    ~n_lifts ~fission_lifts ~wraps =
+  let l = kit.Kits.lanes in
+  let p = Sched.bind_expr p (bufname ^ "[_]") regname in
+  let p = Sched.expand_dim p regname (string_of_int l) vec in
+  let p = Sched.expand_dim p regname (string_of_int outer_extent) outer in
+  let p = Sched.lift_alloc p regname ~n_lifts in
+  let p =
+    Sched.autofission p ~gap:(Sched.After (regname ^ "[_] = _")) ~n_lifts:fission_lifts
+  in
+  let p = List.fold_left Sched.remove_loop p wraps in
+  let p = Sched.replace p (Fmt.str "for %s in _: _" vec) kit.Kits.vld in
+  Sched.set_memory p regname kit.Kits.mem
+
+(** Vectorize a scale-copy nest [dst\[.., 4·t+tt\] = src\[..\] · s\[0\]]:
+    split the unit-stride loop, stage the source read into a register, and
+    map the body onto [vld] + fused scale-store. [loopname] is the
+    unit-stride loop; [srcname] the buffer read. *)
+let vectorize_scale_nest (kit : Kits.t) p ~loopname ~srcname ~regname ~store_mul =
+  let l = kit.Kits.lanes in
+  let inner = loopname ^ "tt" in
+  let p = Sched.divide_loop p loopname l (loopname ^ "t", inner) ~tail:Sched.Perfect in
+  let p = Sched.bind_expr p (srcname ^ "[_]") regname in
+  let p = Sched.expand_dim p regname (string_of_int l) inner in
+  let p = Sched.lift_alloc p regname ~n_lifts:1 in
+  let p = Sched.autofission p ~gap:(Sched.After (regname ^ "[_] = _")) ~n_lifts:1 in
+  let p = Sched.replace p (Fmt.str "for %s in _: _" inner) kit.Kits.vld in
+  let p = Sched.replace p (Fmt.str "for %s in _: _" inner) store_mul in
+  Sched.set_memory p regname kit.Kits.mem
+
+(** Stage the accumulator tile of the compute nest and vectorize its copy
+    loops ([loopname] is the generated copy loop over the unit-stride dim;
+    [cdim] the C_reg dimension carrying lanes). *)
+let stage_acc (kit : Kits.t) p ~window ~regname ~cdim ~loopname ~load ~len ~pat =
+  let l = kit.Kits.lanes in
+  let p = Sched.stage_mem_stmts ~load ~len p pat window regname in
+  let inner = loopname ^ "i" in
+  let p =
+    if load then
+      Sched.divide_loop p loopname l (loopname ^ "o", inner) ~tail:Sched.Perfect
+    else p
+  in
+  let p = Sched.divide_loop p loopname l (loopname ^ "o", inner) ~tail:Sched.Perfect in
+  let p = Sched.divide_dim p regname cdim l in
+  let p = if load then Sched.replace p (Fmt.str "for %s in _: _" inner) kit.Kits.vld else p in
+  let p = Sched.replace p (Fmt.str "for %s in _: _" inner) kit.Kits.vst in
+  Sched.set_memory p regname kit.Kits.mem
+
+(* ------------------------------------------------------------------ *)
+(* The full alpha/beta kernel (Fig. 4)                                  *)
+
+(** Schedule the complete Fig. 4 kernel for the Neon f32 kit. Requires
+    [lanes | MR] and [lanes | NR] and the kit's lane-indexed FMA and fused
+    scale-store. *)
+let packed_full ?(kit = Kits.neon_f32) ~(mr : int) ~(nr : int) () : Ir.proc =
+  let l = kit.Kits.lanes in
+  if mr mod l <> 0 || nr mod l <> 0 then
+    invalid_arg "Variants.packed_full: shape not divisible by the vector length";
+  let fma_lane =
+    match kit.Kits.fma_lane with
+    | Some f -> f
+    | None -> invalid_arg "Variants.packed_full: kit lacks a lane-indexed FMA"
+  in
+  let store_mul = Exo_isa.Neon.vst_mul_scalar_4xf32 in
+  let p = Source.ukernel_ref ~dt:kit.Kits.dt () in
+  let ident = String.map (function '-' -> '_' | c -> c) kit.Kits.name in
+  let p = Sched.rename p (Fmt.str "uk_full_%dx%d_%s" mr nr ident) in
+  let p = Sched.partial_eval p [ ("MR", mr); ("NR", nr) ] in
+  (* (a) Cb = C * beta *)
+  let p = vectorize_scale_nest kit p ~loopname:"ci" ~srcname:"C" ~regname:"Cl" ~store_mul in
+  (* (b) Ba = Bc * alpha *)
+  let p = vectorize_scale_nest kit p ~loopname:"bj" ~srcname:"Bc" ~regname:"Bl" ~store_mul in
+  (* (c) the compute nest, exactly as Section III but over Cb/Ba *)
+  let p = Sched.divide_loop p "i" l ("it", "itt") ~tail:Sched.Perfect in
+  let p = Sched.divide_loop p "j" l ("jt", "jtt") ~tail:Sched.Perfect in
+  let p =
+    stage_acc kit p
+      ~window:(Fmt.str "Cb[0:%d, 0:%d]" nr mr)
+      ~regname:"C_reg" ~cdim:1 ~loopname:"s1" ~load:true ~len:1 ~pat:"for k in _: _"
+  in
+  let p =
+    stage_operand kit p ~bufname:"Ac" ~regname:"A_reg" ~vec:"itt" ~outer:"it"
+      ~outer_extent:(mr / l) ~n_lifts:5 ~fission_lifts:4 ~wraps:[ "jt"; "jtt" ]
+  in
+  let p =
+    stage_operand kit p ~bufname:"Ba" ~regname:"B_reg" ~vec:"jtt" ~outer:"jt"
+      ~outer_extent:(nr / l) ~n_lifts:5 ~fission_lifts:4
+      ~wraps:[ "for it in _: _ #1"; "for itt in _: _ #0" ]
+  in
+  let p = Sched.reorder_loops p "jtt it" in
+  let p = Sched.replace p "for itt in _: _" fma_lane in
+  let p = Sched.unroll_loop p "it" in
+  let p = Sched.unroll_loop p "jt" in
+  (* (d) C = Cb — vectorized copy-back *)
+  let p = Sched.divide_loop p "ci" l ("dit", "ditt") ~tail:Sched.Perfect in
+  let p = Sched.bind_expr p "Cb[_]" "Cs" in
+  let p = Sched.expand_dim p "Cs" (string_of_int l) "ditt" in
+  let p = Sched.lift_alloc p "Cs" ~n_lifts:1 in
+  let p = Sched.autofission p ~gap:(Sched.After "Cs[_] = _") ~n_lifts:1 in
+  let p = Sched.replace p "for ditt in _: _" kit.Kits.vld in
+  let p = Sched.replace p "for ditt in _: _" kit.Kits.vst in
+  let p = Sched.set_memory p "Cs" kit.Kits.mem in
+  Sched.simplify p
+
+(* ------------------------------------------------------------------ *)
+(* The beta = 0 kernel                                                  *)
+
+(** C = Ac·Bc: the accumulator tile is zeroed in registers ([vmovq_n(0)])
+    instead of loaded — staging with [~load:false] over the zero-init and
+    compute nests together, the whole-window-overwrite obligation discharged
+    by the coverage analysis. *)
+let packed_beta0 ?(kit = Kits.neon_f32) ~(mr : int) ~(nr : int) () : Ir.proc =
+  let l = kit.Kits.lanes in
+  if mr mod l <> 0 || nr mod l <> 0 then
+    invalid_arg "Variants.packed_beta0: shape not divisible by the vector length";
+  let fma_lane =
+    match kit.Kits.fma_lane with
+    | Some f -> f
+    | None -> invalid_arg "Variants.packed_beta0: kit lacks a lane-indexed FMA"
+  in
+  let zero =
+    match kit.Kits.name with
+    | "neon-f32" -> Exo_isa.Neon.vzero_4xf32
+    | "neon-f16" -> Exo_isa.Neon.vzero_8xf16
+    | "avx512-f32" -> Exo_isa.Avx512.setzero_16xf32
+    | _ -> Exo_isa.Rvv.vzero_4xf32
+  in
+  let p = Source.ukernel_ref_beta0 ~dt:kit.Kits.dt () in
+  let ident = String.map (function '-' -> '_' | c -> c) kit.Kits.name in
+  let p = Sched.rename p (Fmt.str "uk_beta0_%dx%d_%s" mr nr ident) in
+  let p = Sched.partial_eval p [ ("MR", mr); ("NR", nr) ] in
+  let p = Sched.divide_loop p "zi" l ("zit", "zitt") ~tail:Sched.Perfect in
+  let p = Sched.divide_loop p "i" l ("it", "itt") ~tail:Sched.Perfect in
+  let p = Sched.divide_loop p "j" l ("jt", "jtt") ~tail:Sched.Perfect in
+  (* stage both the zero nest and the k-nest through C_reg, no load *)
+  let p =
+    Sched.stage_mem_stmts ~load:false ~len:2 p "for zj in _: _"
+      (Fmt.str "C[0:%d, 0:%d]" nr mr)
+      "C_reg"
+  in
+  let p = Sched.divide_loop p "s1" l ("s1o", "s1i") ~tail:Sched.Perfect in
+  let p = Sched.divide_dim p "C_reg" 1 l in
+  let p = Sched.replace p "for zitt in _: _" zero in
+  let p = Sched.replace p "for s1i in _: _" kit.Kits.vst in
+  let p = Sched.set_memory p "C_reg" kit.Kits.mem in
+  let p =
+    stage_operand kit p ~bufname:"Ac" ~regname:"A_reg" ~vec:"itt" ~outer:"it"
+      ~outer_extent:(mr / l) ~n_lifts:5 ~fission_lifts:4 ~wraps:[ "jt"; "jtt" ]
+  in
+  let p =
+    stage_operand kit p ~bufname:"Bc" ~regname:"B_reg" ~vec:"jtt" ~outer:"jt"
+      ~outer_extent:(nr / l) ~n_lifts:5 ~fission_lifts:4
+      ~wraps:[ "for it in _: _ #1"; "for itt in _: _ #0" ]
+  in
+  let p = Sched.reorder_loops p "jtt it" in
+  let p = Sched.replace p "for itt in _: _" fma_lane in
+  let p = Sched.unroll_loop p "it" in
+  let p = Sched.unroll_loop p "jt" in
+  Sched.simplify p
+
+(* ------------------------------------------------------------------ *)
+(* The non-packed-A variant (Section III-B)                             *)
+
+(** A in row-major [MR × KC] (not packed), C row-major [MR × NR]: the i loop
+    is not split (paper point 1); j is vectorized; the A element feeds the
+    scalar-FMA form directly, which subsumes the dup + vfmadd the paper
+    sketches ([vfmaq_n_f32] broadcasts internally). *)
+let nopack ?(kit = Kits.neon_f32) ~(mr : int) ~(nr : int) () : Ir.proc =
+  let l = kit.Kits.lanes in
+  if nr mod l <> 0 then
+    invalid_arg "Variants.nopack: NR must be divisible by the vector length";
+  let fma =
+    match kit.Kits.fma_scalar with
+    | Some f -> f
+    | None -> invalid_arg "Variants.nopack: kit lacks a scalar FMA"
+  in
+  let p = Source.ukernel_ref_nopack ~dt:kit.Kits.dt () in
+  let ident = String.map (function '-' -> '_' | c -> c) kit.Kits.name in
+  let p = Sched.rename p (Fmt.str "uk_nopack_%dx%d_%s" mr nr ident) in
+  let p = Sched.partial_eval p [ ("MR", mr); ("NR", nr) ] in
+  let p = Sched.divide_loop p "j" l ("jt", "jtt") ~tail:Sched.Perfect in
+  (* stage the C tile (row-major: lanes along dimension 1) *)
+  let p =
+    Sched.stage_mem p "for k in _: _" (Fmt.str "C[0:%d, 0:%d]" mr nr) "C_reg"
+  in
+  let p = Sched.divide_loop p "s1" l ("s1o", "s1i") ~tail:Sched.Perfect in
+  let p = Sched.divide_loop p "s1" l ("s1o", "s1i") ~tail:Sched.Perfect in
+  let p = Sched.divide_dim p "C_reg" 1 l in
+  let p = Sched.replace p "for s1i in _: _" kit.Kits.vld in
+  let p = Sched.replace p "for s1i in _: _" kit.Kits.vst in
+  let p = Sched.set_memory p "C_reg" kit.Kits.mem in
+  (* stage the B row (unit stride over j); with MR = 1 the i loop was
+     inlined away and the nest is one level shallower *)
+  let has_i = mr > 1 in
+  let p =
+    stage_operand kit p ~bufname:"Bc" ~regname:"B_reg" ~vec:"jtt" ~outer:"jt"
+      ~outer_extent:(nr / l)
+      ~n_lifts:(if has_i then 4 else 3)
+      ~fission_lifts:(if has_i then 3 else 2)
+      ~wraps:(if has_i then [ "i" ] else [])
+  in
+  (* the A element stays in memory: vfmaq_n reads it as the scalar factor *)
+  let p = Sched.replace p "for jtt in _: _" fma in
+  let p = Sched.unroll_loop p "jt" in
+  Sched.simplify p

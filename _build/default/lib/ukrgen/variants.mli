@@ -1,0 +1,19 @@
+(** Kernel variants beyond the alpha = beta = 1 family. Each is verified
+    bit-exact against its reference source by the tests. *)
+
+(** The complete Fig. 4 kernel: the [Cb = C·beta] and [Ba = Bc·alpha] nests
+    vectorized alongside the Section III compute schedule. Handles every
+    alpha/beta combination. Requires [lanes | MR], [lanes | NR], a
+    lane-indexed FMA and (currently) the Neon fused scale-store. *)
+val packed_full : ?kit:Kits.t -> mr:int -> nr:int -> unit -> Exo_ir.Ir.proc
+
+(** The beta = 0 specialization (C = Ac·Bc, the common DL case): the
+    accumulator tile is zeroed in registers instead of loaded —
+    [stage_mem ~load:false] over the zero-init and compute nests, the
+    whole-window-overwrite obligation discharged by coverage analysis. *)
+val packed_beta0 : ?kit:Kits.t -> mr:int -> nr:int -> unit -> Exo_ir.Ir.proc
+
+(** Section III-B's non-packed-A variant: A in row-major [MR × KC], C
+    row-major; j vectorized; the A element feeds the scalar-FMA form
+    (subsuming the paper's dup + vfmadd sketch). Requires [lanes | NR]. *)
+val nopack : ?kit:Kits.t -> mr:int -> nr:int -> unit -> Exo_ir.Ir.proc

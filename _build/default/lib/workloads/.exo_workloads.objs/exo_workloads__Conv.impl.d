@@ -1,0 +1,1 @@
+lib/workloads/conv.ml: Array Exo_blis Float Random

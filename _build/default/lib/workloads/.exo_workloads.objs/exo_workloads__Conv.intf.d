@@ -1,0 +1,1 @@
+lib/workloads/conv.mli: Exo_blis Random

@@ -1,0 +1,128 @@
+(** Convolution layers and the IM2ROW lowering.
+
+    The paper's rectangular-GEMM experiments (Section IV-C) take their
+    problem sizes from applying IM2ROW [25] to the convolutions of ResNet50
+    v1.5 and VGG16 at batch size 1: a convolution with [cout] filters of
+    [kh×kw×cin] over an [h×w×cin] input becomes a GEMM with
+
+    - m = out_h · out_w (output pixels),
+    - n = cout,
+    - k = kh · kw · cin (patch size).
+
+    We implement the actual transform over NHWC tensors plus a direct
+    convolution, so Tables I and II are *recomputed* from layer shapes and
+    the lowering is validated numerically (im2row ∘ GEMM ≡ direct). *)
+
+type spec = {
+  cin : int;
+  cout : int;
+  kh : int;
+  kw : int;
+  stride : int;
+  pad : int;
+}
+
+(** Input feature map, NHWC with N = 1. *)
+type tensor = { h : int; w : int; c : int; data : float array }
+
+let tensor_create ?(init = 0.0) h w c =
+  { h; w; c; data = Array.make (max 1 (h * w * c)) init }
+
+let tget t i j ch =
+  if i < 0 || i >= t.h || j < 0 || j >= t.w then 0.0 (* zero padding *)
+  else t.data.((((i * t.w) + j) * t.c) + ch)
+
+let tset t i j ch v = t.data.((((i * t.w) + j) * t.c) + ch) <- v
+
+let tensor_random h w c (st : Random.State.t) =
+  let t = tensor_create h w c in
+  Array.iteri (fun i _ -> t.data.(i) <- float_of_int (Random.State.int st 5 - 2)) t.data;
+  t
+
+let out_dims (s : spec) ~(h : int) ~(w : int) : int * int =
+  ( ((h + (2 * s.pad) - s.kh) / s.stride) + 1,
+    ((w + (2 * s.pad) - s.kw) / s.stride) + 1 )
+
+(** GEMM dimensions (m, n, k) of the IM2ROW-lowered convolution. *)
+let gemm_dims (s : spec) ~(h : int) ~(w : int) : int * int * int =
+  let oh, ow = out_dims s ~h ~w in
+  (oh * ow, s.cout, s.kh * s.kw * s.cin)
+
+(** IM2ROW: one row per output pixel, columns ordered (kh, kw, cin) —
+    matching a weight matrix of shape [kh·kw·cin × cout]. *)
+let im2row (s : spec) (input : tensor) : Exo_blis.Matrix.t =
+  let oh, ow = out_dims s ~h:input.h ~w:input.w in
+  let k = s.kh * s.kw * s.cin in
+  let m = Exo_blis.Matrix.create (oh * ow) k in
+  for oi = 0 to oh - 1 do
+    for oj = 0 to ow - 1 do
+      let row = (oi * ow) + oj in
+      let col = ref 0 in
+      for di = 0 to s.kh - 1 do
+        for dj = 0 to s.kw - 1 do
+          for ch = 0 to s.cin - 1 do
+            Exo_blis.Matrix.set m row !col
+              (tget input
+                 ((oi * s.stride) + di - s.pad)
+                 ((oj * s.stride) + dj - s.pad)
+                 ch);
+            incr col
+          done
+        done
+      done
+    done
+  done;
+  m
+
+(** Direct convolution (reference). Weights: [kh·kw·cin × cout]. *)
+let direct (s : spec) (input : tensor) (weights : Exo_blis.Matrix.t) : tensor =
+  let oh, ow = out_dims s ~h:input.h ~w:input.w in
+  if weights.Exo_blis.Matrix.rows <> s.kh * s.kw * s.cin
+     || weights.Exo_blis.Matrix.cols <> s.cout
+  then invalid_arg "Conv.direct: weight shape mismatch";
+  let out = tensor_create oh ow s.cout in
+  for oi = 0 to oh - 1 do
+    for oj = 0 to ow - 1 do
+      for co = 0 to s.cout - 1 do
+        let acc = ref 0.0 in
+        let row = ref 0 in
+        for di = 0 to s.kh - 1 do
+          for dj = 0 to s.kw - 1 do
+            for ch = 0 to s.cin - 1 do
+              acc :=
+                !acc
+                +. tget input
+                     ((oi * s.stride) + di - s.pad)
+                     ((oj * s.stride) + dj - s.pad)
+                     ch
+                   *. Exo_blis.Matrix.get weights !row co;
+              incr row
+            done
+          done
+        done;
+        tset out oi oj co !acc
+      done
+    done
+  done;
+  out
+
+(** Convolution by lowering: out(row, co) = im2row·W. The result tensor's
+    (oi, oj, co) equals the GEMM's (row, co). *)
+let via_gemm (s : spec) (input : tensor) (weights : Exo_blis.Matrix.t) : tensor =
+  let oh, ow = out_dims s ~h:input.h ~w:input.w in
+  let a = im2row s input in
+  let c = Exo_blis.Matrix.create (oh * ow) s.cout in
+  Exo_blis.Gemm.naive ~beta:0.0 a weights c;
+  let out = tensor_create oh ow s.cout in
+  for oi = 0 to oh - 1 do
+    for oj = 0 to ow - 1 do
+      for co = 0 to s.cout - 1 do
+        tset out oi oj co (Exo_blis.Matrix.get c ((oi * ow) + oj) co)
+      done
+    done
+  done;
+  out
+
+let tensor_equal a b =
+  a.h = b.h && a.w = b.w && a.c = b.c
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) < 1e-9) a.data b.data

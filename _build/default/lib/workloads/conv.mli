@@ -1,0 +1,37 @@
+(** Convolution layers and the IM2ROW lowering (Section IV-C's workload
+    source): a conv with [cout] filters of [kh×kw×cin] over an [h×w×cin]
+    input becomes a GEMM with m = out_h·out_w, n = cout, k = kh·kw·cin.
+    Tables I/II are recomputed through {!gemm_dims}; {!direct} validates the
+    lowering numerically. *)
+
+type spec = {
+  cin : int;
+  cout : int;
+  kh : int;
+  kw : int;
+  stride : int;
+  pad : int;
+}
+
+(** Input feature map, NHWC with N = 1; out-of-range taps read zero. *)
+type tensor = { h : int; w : int; c : int; data : float array }
+
+val tensor_create : ?init:float -> int -> int -> int -> tensor
+val tget : tensor -> int -> int -> int -> float
+val tset : tensor -> int -> int -> int -> float -> unit
+val tensor_random : int -> int -> int -> Random.State.t -> tensor
+val out_dims : spec -> h:int -> w:int -> int * int
+
+(** GEMM dimensions (m, n, k) of the lowered convolution. *)
+val gemm_dims : spec -> h:int -> w:int -> int * int * int
+
+(** One row per output pixel, columns ordered (kh, kw, cin). *)
+val im2row : spec -> tensor -> Exo_blis.Matrix.t
+
+(** Direct convolution (reference); weights are [kh·kw·cin × cout]. *)
+val direct : spec -> tensor -> Exo_blis.Matrix.t -> tensor
+
+(** Convolution by lowering: im2row then GEMM. *)
+val via_gemm : spec -> tensor -> Exo_blis.Matrix.t -> tensor
+
+val tensor_equal : tensor -> tensor -> bool

@@ -1,0 +1,89 @@
+(** The DNN models of the paper's Section IV-C: every convolution layer of
+    ResNet50 v1.5 and VGG16 at batch size 1, with the layer-id grouping of
+    Tables I and II (layers sharing GEMM dimensions are reported once, with
+    their multiplicity kept for the aggregated-time figures 16 and 18). *)
+
+type layer = {
+  id : int;  (** the table's "Layer id." *)
+  layer_numbers : string;  (** the table's "Layer numbers" column *)
+  count : int;  (** how many model layers share these dimensions *)
+  spec : Conv.spec;
+  h : int;  (** input height at this layer *)
+  w : int;
+}
+
+let gemm_dims (l : layer) = Conv.gemm_dims l.spec ~h:l.h ~w:l.w
+
+let mk id layer_numbers count ~h ~cin ~cout ~kh ~stride ~pad =
+  {
+    id;
+    layer_numbers;
+    count;
+    spec = { Conv.cin; cout; kh; kw = kh; stride; pad };
+    h;
+    w = h;
+  }
+
+(** ResNet50 v1.5 (224×224×3 input): the 20 distinct conv GEMMs of Table I.
+    v1.5 places the stride-2 downsampling on the 3×3 convolutions. *)
+let resnet50 : layer list =
+  [
+    mk 1 "001" 1 ~h:224 ~cin:3 ~cout:64 ~kh:7 ~stride:2 ~pad:3;
+    mk 2 "006" 1 ~h:56 ~cin:64 ~cout:64 ~kh:1 ~stride:1 ~pad:0;
+    mk 3 "009/021/031" 3 ~h:56 ~cin:64 ~cout:64 ~kh:3 ~stride:1 ~pad:1;
+    mk 4 "012/014/024/034" 4 ~h:56 ~cin:64 ~cout:256 ~kh:1 ~stride:1 ~pad:0;
+    mk 5 "018/028" 2 ~h:56 ~cin:256 ~cout:64 ~kh:1 ~stride:1 ~pad:0;
+    mk 6 "038" 1 ~h:56 ~cin:256 ~cout:128 ~kh:1 ~stride:1 ~pad:0;
+    mk 7 "041/053/063/073" 4 ~h:56 ~cin:128 ~cout:128 ~kh:3 ~stride:2 ~pad:1;
+    mk 8 "044/056/066/076" 4 ~h:28 ~cin:128 ~cout:512 ~kh:1 ~stride:1 ~pad:0;
+    mk 9 "046" 1 ~h:56 ~cin:256 ~cout:512 ~kh:1 ~stride:2 ~pad:0;
+    mk 10 "050/060/070" 3 ~h:28 ~cin:512 ~cout:128 ~kh:1 ~stride:1 ~pad:0;
+    mk 11 "080" 1 ~h:28 ~cin:512 ~cout:256 ~kh:1 ~stride:1 ~pad:0;
+    mk 12 "083/095/105/115/125/135" 6 ~h:28 ~cin:256 ~cout:256 ~kh:3 ~stride:2 ~pad:1;
+    mk 13 "086/098/108/118/128/138" 6 ~h:14 ~cin:256 ~cout:1024 ~kh:1 ~stride:1 ~pad:0;
+    mk 14 "088" 1 ~h:28 ~cin:512 ~cout:1024 ~kh:1 ~stride:2 ~pad:0;
+    mk 15 "092/102/112/122/132" 5 ~h:14 ~cin:1024 ~cout:256 ~kh:1 ~stride:1 ~pad:0;
+    mk 16 "142" 1 ~h:14 ~cin:1024 ~cout:512 ~kh:1 ~stride:1 ~pad:0;
+    mk 17 "145/157/167" 3 ~h:14 ~cin:512 ~cout:512 ~kh:3 ~stride:2 ~pad:1;
+    mk 18 "148/160/170" 3 ~h:7 ~cin:512 ~cout:2048 ~kh:1 ~stride:1 ~pad:0;
+    mk 19 "150" 1 ~h:14 ~cin:1024 ~cout:2048 ~kh:1 ~stride:2 ~pad:0;
+    mk 20 "154/164" 2 ~h:7 ~cin:2048 ~cout:512 ~kh:1 ~stride:1 ~pad:0;
+  ]
+
+(** VGG16 (224×224×3 input): the 9 distinct conv GEMMs of Table II.
+
+    Note: row 7 of the paper's Table II prints n = 256 where VGG16's
+    conv4_1 has 512 output filters (its own row 8 lists k = 4608 = 3·3·512
+    for the following layer, confirming 512); we encode the true
+    architecture and record the discrepancy in EXPERIMENTS.md. *)
+let vgg16 : layer list =
+  [
+    mk 1 "01" 1 ~h:224 ~cin:3 ~cout:64 ~kh:3 ~stride:1 ~pad:1;
+    mk 2 "03" 1 ~h:224 ~cin:64 ~cout:64 ~kh:3 ~stride:1 ~pad:1;
+    mk 3 "06" 1 ~h:112 ~cin:64 ~cout:128 ~kh:3 ~stride:1 ~pad:1;
+    mk 4 "08" 1 ~h:112 ~cin:128 ~cout:128 ~kh:3 ~stride:1 ~pad:1;
+    mk 5 "11" 1 ~h:56 ~cin:128 ~cout:256 ~kh:3 ~stride:1 ~pad:1;
+    mk 6 "13/15" 2 ~h:56 ~cin:256 ~cout:256 ~kh:3 ~stride:1 ~pad:1;
+    mk 7 "18" 1 ~h:28 ~cin:256 ~cout:512 ~kh:3 ~stride:1 ~pad:1;
+    mk 8 "20/22" 2 ~h:28 ~cin:512 ~cout:512 ~kh:3 ~stride:1 ~pad:1;
+    mk 9 "25/27/29" 3 ~h:14 ~cin:512 ~cout:512 ~kh:3 ~stride:1 ~pad:1;
+  ]
+
+(** The (m, n, k) triples of Table I, as printed in the paper. *)
+let table1_expected =
+  [
+    (12544, 64, 147); (3136, 64, 64); (3136, 64, 576); (3136, 256, 64);
+    (3136, 64, 256); (3136, 128, 256); (784, 128, 1152); (784, 512, 128);
+    (784, 512, 256); (784, 128, 512); (784, 256, 512); (196, 256, 2304);
+    (196, 1024, 256); (196, 1024, 512); (196, 256, 1024); (196, 512, 1024);
+    (49, 512, 4608); (49, 2048, 512); (49, 2048, 1024); (49, 512, 2048);
+  ]
+
+(** Table II as printed (row 7's n = 256 is the paper's typo; the computed
+    value is 512). *)
+let table2_expected =
+  [
+    (50176, 64, 27); (50176, 64, 576); (12544, 128, 576); (12544, 128, 1152);
+    (3136, 256, 1152); (3136, 256, 2304); (784, 512, 2304); (784, 512, 4608);
+    (196, 512, 4608);
+  ]

@@ -1,0 +1,29 @@
+(** The paper's DNN models: every convolution of ResNet50 v1.5 and VGG16 at
+    batch size 1, with the layer-id grouping of Tables I and II (layers
+    sharing GEMM dimensions reported once, multiplicity kept for the
+    aggregated-time figures). *)
+
+type layer = {
+  id : int;  (** the table's "Layer id." *)
+  layer_numbers : string;  (** the table's "Layer numbers" column *)
+  count : int;  (** model layers sharing these dimensions *)
+  spec : Conv.spec;
+  h : int;
+  w : int;
+}
+
+(** (m, n, k) of the layer's IM2ROW GEMM. *)
+val gemm_dims : layer -> int * int * int
+
+(** The 20 distinct conv GEMMs of Table I (all 53 conv layers). *)
+val resnet50 : layer list
+
+(** The 9 distinct conv GEMMs of Table II (all 13 conv layers). Row 7
+    encodes the true architecture (n = 512); the paper prints 256 there —
+    a typo its own row 8 (k = 4608 = 3·3·512) contradicts. *)
+val vgg16 : layer list
+
+(** The (m, n, k) triples exactly as printed in the paper. *)
+val table1_expected : (int * int * int) list
+
+val table2_expected : (int * int * int) list

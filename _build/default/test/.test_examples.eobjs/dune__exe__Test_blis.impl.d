@@ -1,0 +1,1 @@
+test/test_blis.ml: Alcotest Array Exo_blis Exo_ir Exo_isa Exo_ukr_gen Fmt List QCheck2 QCheck_alcotest Random

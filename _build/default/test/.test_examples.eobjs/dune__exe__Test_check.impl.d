@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Builder Dtype Exo_check Exo_ir Exo_isa Exo_ukr_gen Ir List Result Sym

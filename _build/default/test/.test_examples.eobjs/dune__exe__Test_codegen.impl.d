@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Builder Dtype Exo_codegen Exo_ir Exo_isa Exo_ukr_gen Filename Fmt Ir String Sym Sys

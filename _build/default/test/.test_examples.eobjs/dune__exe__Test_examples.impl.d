@@ -1,0 +1,1 @@
+test/test_examples.ml: Alcotest Filename Fmt List String Sys

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Builder Dtype Exo_interp Exo_ir Exo_isa Float Fmt Int32 Ir List QCheck2 QCheck_alcotest Sym

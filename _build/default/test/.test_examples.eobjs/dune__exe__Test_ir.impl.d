@@ -1,0 +1,1 @@
+test/test_ir.ml: Affine Alcotest Alpha Array Builder Cursor Dtype Exo_ir Exo_ukr_gen Fmt Ir List Pp QCheck2 QCheck_alcotest Simplify String Subst Sym

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Dtype Exo_check Exo_interp Exo_ir Exo_isa Filename Fmt Ir List Option String Sym

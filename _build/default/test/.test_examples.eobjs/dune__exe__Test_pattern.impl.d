@@ -1,0 +1,1 @@
+test/test_pattern.ml: Affine Alcotest Builder Cursor Dtype Exo_ir Exo_isa Exo_pattern Fmt Ir List Sym

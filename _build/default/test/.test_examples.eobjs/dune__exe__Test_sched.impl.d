@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Builder Dtype Exo_interp Exo_ir Exo_isa Exo_pattern Exo_sched Exo_ukr_gen Ir List Mem Random Sym

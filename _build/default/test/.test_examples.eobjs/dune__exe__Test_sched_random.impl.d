@@ -1,0 +1,1 @@
+test/test_sched_random.ml: Alcotest Array Builder Dtype Exo_check Exo_interp Exo_ir Exo_sched Fmt Ir List QCheck2 QCheck_alcotest Random Sym

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Dtype Exo_blis Exo_ir Exo_isa Exo_sim Exo_ukr_gen Float Fmt List

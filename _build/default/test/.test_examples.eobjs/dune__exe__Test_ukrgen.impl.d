@@ -1,0 +1,1 @@
+test/test_ukrgen.ml: Alcotest Dtype Exo_check Exo_interp Exo_ir Exo_pattern Exo_sched Exo_sim Exo_ukr_gen Fmt Ir Lazy List Pp QCheck2 QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Exo_blis Exo_workloads Float Fmt List QCheck2 QCheck_alcotest Random

@@ -1,0 +1,279 @@
+(* BLIS substrate: analytical blocking, packing, the five-loop macro-kernel
+   (numerically, against naive GEMM), and the full-GEMM performance model's
+   paper-shape properties. *)
+
+module A = Exo_blis.Analytical
+module M = Exo_blis.Matrix
+module P = Exo_blis.Packing
+module G = Exo_blis.Gemm
+module D = Exo_blis.Driver
+module R = Exo_blis.Registry
+module Mach = Exo_isa.Machine
+
+(* --- analytical model --------------------------------------------------- *)
+
+let test_kc_512_on_carmel () =
+  (* the paper: "we have set the Kc to 512, which is the value of BLIS
+     packing for this ARM architecture" — the model must derive it *)
+  let b = A.compute Mach.carmel ~mr:8 ~nr:12 ~dtype_bytes:4 in
+  Alcotest.(check int) "kc = 512" 512 b.A.kc
+
+let test_blocking_fits_caches () =
+  List.iter
+    (fun (mr, nr) ->
+      let b = A.compute Mach.carmel ~mr ~nr ~dtype_bytes:4 in
+      Alcotest.(check bool)
+        (Fmt.str "%dx%d blocking fits" mr nr)
+        true
+        (A.fits Mach.carmel ~mr ~nr ~dtype_bytes:4 b))
+    [ (8, 12); (8, 8); (8, 4); (4, 12); (4, 4); (16, 4) ]
+
+let test_blocking_multiples () =
+  let b = A.compute Mach.carmel ~mr:8 ~nr:12 ~dtype_bytes:4 in
+  Alcotest.(check int) "mc multiple of mr" 0 (b.A.mc mod 8);
+  Alcotest.(check int) "nc multiple of nr" 0 (b.A.nc mod 12)
+
+let test_blocking_f16 () =
+  (* halving the element size doubles kc *)
+  let b32 = A.compute Mach.carmel ~mr:8 ~nr:12 ~dtype_bytes:4 in
+  let b16 = A.compute Mach.carmel ~mr:8 ~nr:12 ~dtype_bytes:2 in
+  Alcotest.(check int) "f16 kc doubles" (2 * b32.A.kc) b16.A.kc
+
+(* --- packing ------------------------------------------------------------ *)
+
+let test_pack_a_layout () =
+  let a = M.init 10 6 (fun i j -> float_of_int ((100 * i) + j)) in
+  let p = P.pack_a a ~ic:2 ~pc:1 ~mcb:8 ~kcb:4 ~mr:4 in
+  Alcotest.(check int) "two panels" 2 p.P.num_panels;
+  Alcotest.(check int) "panel width" 4 (p.P.panel_width 0);
+  (* panel 0, k-major: element (kk=0, i=0) is A[2,1] *)
+  Alcotest.(check (float 0.0)) "k-major origin" 201.0 (p.P.panel 0).(0);
+  (* (kk=1, i=2) of panel 1 is A[2+4+2, 1+1] *)
+  Alcotest.(check (float 0.0)) "panel 1 interior" 802.0 (p.P.panel 1).((1 * 4) + 2)
+
+let test_pack_a_edge_panel () =
+  let a = M.init 10 6 (fun i j -> float_of_int ((100 * i) + j)) in
+  let p = P.pack_a a ~ic:0 ~pc:0 ~mcb:10 ~kcb:3 ~mr:4 in
+  Alcotest.(check int) "three panels" 3 p.P.num_panels;
+  Alcotest.(check int) "last panel is the 2-row fringe" 2 (p.P.panel_width 2)
+
+let test_pack_b_alpha () =
+  let b = M.init 4 8 (fun i j -> float_of_int (i + j)) in
+  let p = P.pack_b ~alpha:2.0 b ~pc:0 ~jc:0 ~kcb:4 ~ncb:8 ~nr:4 in
+  Alcotest.(check (float 0.0)) "alpha applied" (2.0 *. 5.0) (p.P.panel 1).(1)
+
+let test_pack_bounds () =
+  let a = M.init 4 4 (fun _ _ -> 0.0) in
+  Alcotest.(check bool) "out-of-range block rejected" true
+    (try
+       ignore (P.pack_a a ~ic:2 ~pc:0 ~mcb:4 ~kcb:4 ~mr:4);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- macro-kernel numerics ---------------------------------------------- *)
+
+let small_blocking = { A.mc = 16; kc = 8; nc = 24 }
+
+let test_blis_exact_vs_naive () =
+  let st = Random.State.make [| 1 |] in
+  List.iter
+    (fun (m, n, k) ->
+      let a = M.random_int m k st and b = M.random_int k n st in
+      let c1 = M.random_int m n st in
+      let c2 = M.copy c1 in
+      G.naive_f32 a b c1;
+      G.blis ~blocking:small_blocking ~mr:8 ~nr:12 ~ukr:G.reference_ukr a b c2;
+      Alcotest.(check bool) (Fmt.str "%dx%dx%d exact" m n k) true (M.equal c1 c2))
+    [ (8, 12, 8); (16, 24, 16); (17, 25, 9); (1, 1, 1); (40, 36, 33); (5, 7, 31) ]
+
+let test_blis_with_exo_kernels () =
+  let st = Random.State.make [| 2 |] in
+  let m, n, k = (29, 31, 17) in
+  let a = M.random_int m k st and b = M.random_int k n st in
+  let c1 = M.random_int m n st in
+  let c2 = M.copy c1 in
+  G.naive_f32 a b c1;
+  G.blis ~blocking:small_blocking ~mr:8 ~nr:12 ~ukr:(R.exo_ukr ()) a b c2;
+  Alcotest.(check bool) "interpreted Exo kernels drive the macro-kernel" true
+    (M.equal c1 c2)
+
+let test_blis_alpha_beta () =
+  let st = Random.State.make [| 3 |] in
+  let m, n, k = (13, 11, 7) in
+  let a = M.random_int m k st and b = M.random_int k n st in
+  let c1 = M.random_int m n st in
+  let c2 = M.copy c1 in
+  G.naive_f32 ~alpha:2.0 ~beta:(-1.0) a b c1;
+  G.blis ~alpha:2.0 ~beta:(-1.0) ~blocking:small_blocking ~mr:8 ~nr:12
+    ~ukr:G.reference_ukr a b c2;
+  Alcotest.(check bool) "alpha/beta handled" true (M.equal c1 c2)
+
+let prop_blis_equals_naive =
+  QCheck2.Test.make ~name:"blocked GEMM ≡ naive (random sizes)" ~count:30
+    QCheck2.Gen.(triple (int_range 1 33) (int_range 1 29) (int_range 1 21))
+    (fun (m, n, k) ->
+      let st = Random.State.make [| m; n; k |] in
+      let a = M.random_int m k st and b = M.random_int k n st in
+      let c1 = M.random_int m n st in
+      let c2 = M.copy c1 in
+      G.naive_f32 a b c1;
+      G.blis ~blocking:small_blocking ~mr:8 ~nr:12 ~ukr:G.reference_ukr a b c2;
+      M.equal c1 c2)
+
+let prop_blis_exo_random_blocking =
+  QCheck2.Test.make ~name:"blocked GEMM ≡ naive under random blockings" ~count:15
+    QCheck2.Gen.(
+      quad (int_range 1 20) (int_range 1 20) (int_range 1 15) (int_range 1 4))
+    (fun (m, n, k, f) ->
+      let blocking = { A.mc = 8 * f; kc = 3 * f; nc = 12 * f } in
+      let st = Random.State.make [| m; n; k; f |] in
+      let a = M.random_int m k st and b = M.random_int k n st in
+      let c1 = M.random_int m n st in
+      let c2 = M.copy c1 in
+      G.naive_f32 a b c1;
+      G.blis ~blocking ~mr:8 ~nr:12 ~ukr:G.reference_ukr a b c2;
+      M.equal c1 c2)
+
+(* --- driver (performance model) ----------------------------------------- *)
+
+let machine = Mach.carmel
+
+let gflops setup m n k = D.gflops machine setup ~m ~n ~k
+
+let test_fig14_blis_wins_squarish () =
+  List.iter
+    (fun sz ->
+      let blis = gflops (D.blis_lib ()) sz sz sz in
+      let alg_exo = gflops (D.alg_exo ()) sz sz sz in
+      let alg_blis = gflops (D.alg_blis ()) sz sz sz in
+      let alg_neon = gflops (D.alg_neon ()) sz sz sz in
+      Alcotest.(check bool) (Fmt.str "BLIS best at %d" sz) true (blis >= alg_exo);
+      Alcotest.(check bool) (Fmt.str "ALG+EXO > ALG+BLIS at %d" sz) true
+        (alg_exo > alg_blis);
+      Alcotest.(check bool) (Fmt.str "ALG+BLIS > ALG+NEON at %d" sz) true
+        (alg_blis > alg_neon))
+    [ 2000; 4000; 5000 ]
+
+let test_fig14_sane_magnitudes () =
+  let g = gflops (D.blis_lib ()) 4000 4000 4000 in
+  Alcotest.(check bool) "squarish BLIS between 80% and 100% of peak" true
+    (g > 0.8 *. Mach.peak_gflops machine Exo_ir.Dtype.F32
+    && g <= Mach.peak_gflops machine Exo_ir.Dtype.F32)
+
+let test_exo_wins_skinny_m () =
+  (* the DL fringe case the paper motivates: m = 49 *)
+  let exo = gflops (D.alg_exo ()) 49 2048 512 in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("ALG+EXO wins m=49 vs " ^ D.name_of s) true
+        (exo > gflops s 49 2048 512))
+    [ D.blis_lib (); D.alg_blis (); D.alg_neon () ]
+
+let test_driver_positive_and_bounded () =
+  List.iter
+    (fun s ->
+      let g = gflops s 784 128 512 in
+      Alcotest.(check bool) (D.name_of s ^ " positive") true (g > 0.0);
+      Alcotest.(check bool) (D.name_of s ^ " ≤ peak") true
+        (g <= Mach.peak_gflops machine Exo_ir.Dtype.F32))
+    (D.all_setups ())
+
+let test_tuner_ranking () =
+  let results = Exo_blis.Tuner.sweep machine ~m:784 ~n:512 ~k:256 in
+  Alcotest.(check bool) "several candidates" true (List.length results >= 5);
+  let sorted =
+    List.for_all2
+      (fun (a : Exo_blis.Tuner.result) b -> a.Exo_blis.Tuner.gflops >= b.Exo_blis.Tuner.gflops)
+      (List.filteri (fun i _ -> i < List.length results - 1) results)
+      (List.tl results)
+  in
+  Alcotest.(check bool) "sorted best first" true sorted
+
+let test_tuner_best_at_least_family_choice () =
+  (* exhaustive tuning can only match or beat the default family selection *)
+  List.iter
+    (fun (m, n, k) ->
+      let tuned = (Exo_blis.Tuner.best machine ~m ~n ~k).Exo_blis.Tuner.gflops in
+      let default = D.gflops machine (D.alg_exo ()) ~m ~n ~k in
+      Alcotest.(check bool)
+        (Fmt.str "(%d,%d,%d): tuned %.2f ≥ default %.2f" m n k tuned default)
+        true
+        (tuned >= default -. 1e-9))
+    [ (2000, 2000, 2000); (49, 2048, 512); (3136, 64, 64) ]
+
+let test_tuner_feasibility () =
+  (* shapes that exceed the register file are rejected up front *)
+  Alcotest.(check bool) "24x16 infeasible on 32 regs" false
+    (Exo_blis.Tuner.feasible machine ~lanes:4 ~mr:24 ~nr:16);
+  Alcotest.(check bool) "8x12 feasible" true
+    (Exo_blis.Tuner.feasible machine ~lanes:4 ~mr:8 ~nr:12);
+  Alcotest.(check bool) "odd mr infeasible" false
+    (Exo_blis.Tuner.feasible machine ~lanes:4 ~mr:6 ~nr:8)
+
+let test_tuner_memoized () =
+  let a = Exo_blis.Tuner.sweep machine ~m:100 ~n:100 ~k:100 in
+  let b = Exo_blis.Tuner.sweep machine ~m:100 ~n:100 ~k:100 in
+  Alcotest.(check bool) "same list object (memoized)" true (a == b)
+
+let test_f16_gemm_speedup () =
+  (* the contributed f16 path roughly doubles end-to-end throughput *)
+  let f16 = D.Exo_family Exo_ukr_gen.Kits.neon_f16 in
+  let f32 = D.alg_exo () in
+  List.iter
+    (fun (m, n, k) ->
+      let r =
+        D.gflops Mach.carmel_fp16 f16 ~m ~n ~k /. D.gflops machine f32 ~m ~n ~k
+      in
+      Alcotest.(check bool)
+        (Fmt.str "(%d,%d,%d): f16/f32 ratio %.2f in [1.5, 2.1]" m n k r)
+        true
+        (r >= 1.5 && r <= 2.1))
+    [ (2000, 2000, 2000); (784, 512, 128) ]
+
+let test_setup_names () =
+  Alcotest.(check (list string)) "legend names"
+    [ "ALG+NEON"; "ALG+BLIS"; "ALG+EXO"; "BLIS" ]
+    (List.map D.name_of (D.all_setups ()))
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_blis_equals_naive; prop_blis_exo_random_blocking ]
+  in
+  Alcotest.run "blis"
+    [
+      ( "analytical",
+        [
+          Alcotest.test_case "kc = 512 on Carmel" `Quick test_kc_512_on_carmel;
+          Alcotest.test_case "fits caches" `Quick test_blocking_fits_caches;
+          Alcotest.test_case "multiples" `Quick test_blocking_multiples;
+          Alcotest.test_case "f16 doubles kc" `Quick test_blocking_f16;
+        ] );
+      ( "packing",
+        [
+          Alcotest.test_case "A layout" `Quick test_pack_a_layout;
+          Alcotest.test_case "A edge panel" `Quick test_pack_a_edge_panel;
+          Alcotest.test_case "B alpha" `Quick test_pack_b_alpha;
+          Alcotest.test_case "bounds" `Quick test_pack_bounds;
+        ] );
+      ( "gemm",
+        [
+          Alcotest.test_case "exact vs naive" `Quick test_blis_exact_vs_naive;
+          Alcotest.test_case "with Exo kernels" `Quick test_blis_with_exo_kernels;
+          Alcotest.test_case "alpha/beta" `Quick test_blis_alpha_beta;
+        ]
+        @ props );
+      ( "driver",
+        [
+          Alcotest.test_case "Fig. 14 orderings" `Quick test_fig14_blis_wins_squarish;
+          Alcotest.test_case "Fig. 14 magnitudes" `Quick test_fig14_sane_magnitudes;
+          Alcotest.test_case "skinny-m EXO win" `Quick test_exo_wins_skinny_m;
+          Alcotest.test_case "positive and bounded" `Quick test_driver_positive_and_bounded;
+          Alcotest.test_case "setup names" `Quick test_setup_names;
+          Alcotest.test_case "tuner ranking" `Quick test_tuner_ranking;
+          Alcotest.test_case "tuner beats default" `Quick test_tuner_best_at_least_family_choice;
+          Alcotest.test_case "tuner feasibility" `Quick test_tuner_feasibility;
+          Alcotest.test_case "tuner memoized" `Quick test_tuner_memoized;
+          Alcotest.test_case "f16 gemm speedup" `Quick test_f16_gemm_speedup;
+        ] );
+    ]

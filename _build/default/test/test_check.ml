@@ -1,0 +1,274 @@
+(* Well-formedness, symbolic bounds, and dependence analysis. *)
+
+open Exo_ir
+open Ir
+open Builder
+module W = Exo_check.Wellformed
+module Bd = Exo_check.Bounds
+module D = Exo_check.Deps
+
+let raises_type_error f =
+  try
+    f ();
+    false
+  with W.Type_error _ -> true
+
+(* --- Wellformed ------------------------------------------------------ *)
+
+let mk1 ?(preds = []) args body = mk_proc ~preds ~name:"t" ~args body
+
+let test_wf_reference_ok () =
+  W.check_proc (Exo_ukr_gen.Source.ukernel_ref ());
+  W.check_proc (Exo_ukr_gen.Source.ukernel_ref_simple ())
+
+let test_wf_unbound_var () =
+  let b = Sym.fresh "b" and ghost = Sym.fresh "ghost" in
+  let p = mk1 [ tensor_arg b Dtype.F32 [ int 4 ] ] [ assign b [ var ghost ] (flt 0.0) ] in
+  Alcotest.(check bool) "unbound var rejected" true (raises_type_error (fun () -> W.check_proc p))
+
+let test_wf_rank_mismatch () =
+  let b = Sym.fresh "b" in
+  let p =
+    mk1 [ tensor_arg b Dtype.F32 [ int 4; int 4 ] ] [ assign b [ int 0 ] (flt 0.0) ]
+  in
+  Alcotest.(check bool) "rank mismatch rejected" true
+    (raises_type_error (fun () -> W.check_proc p))
+
+let test_wf_mixed_dtypes () =
+  let a = Sym.fresh "a" and b = Sym.fresh "b" in
+  let p =
+    mk1
+      [ tensor_arg a Dtype.F32 [ int 4 ]; tensor_arg b Dtype.F16 [ int 4 ] ]
+      [ assign a [ int 0 ] (add (rd a [ int 0 ]) (rd b [ int 0 ])) ]
+  in
+  Alcotest.(check bool) "f32+f16 rejected" true (raises_type_error (fun () -> W.check_proc p))
+
+let test_wf_float_index () =
+  let b = Sym.fresh "b" in
+  let p = mk1 [ tensor_arg b Dtype.F32 [ int 4 ] ] [ assign b [ flt 1.0 ] (flt 0.0) ] in
+  Alcotest.(check bool) "float subscript rejected" true
+    (raises_type_error (fun () -> W.check_proc p))
+
+let test_wf_buffer_as_scalar () =
+  let b = Sym.fresh "b" and c = Sym.fresh "c" in
+  let p =
+    mk1
+      [ tensor_arg b Dtype.F32 [ int 4 ]; tensor_arg c Dtype.F32 [ int 4 ] ]
+      [ assign c [ int 0 ] (Var b) ]
+  in
+  Alcotest.(check bool) "buffer as scalar rejected" true
+    (raises_type_error (fun () -> W.check_proc p))
+
+let test_wf_call_arity () =
+  let vld = Exo_isa.Neon.vld_4xf32 in
+  let b = Sym.fresh "b" in
+  let p = mk1 [ tensor_arg b Dtype.F32 [ int 4 ] ] [ SCall (vld, [ win b [ ivn (int 0) (int 4) ] ]) ] in
+  Alcotest.(check bool) "wrong arity rejected" true
+    (raises_type_error (fun () -> W.check_proc p))
+
+let test_wf_call_window_rank () =
+  let vld = Exo_isa.Neon.vld_4xf32 in
+  let b = Sym.fresh "b" and c = Sym.fresh "c" in
+  let p =
+    mk1
+      [
+        tensor_arg ~mem:Exo_isa.Neon.mem c Dtype.F32 [ int 4 ];
+        tensor_arg b Dtype.F32 [ int 4 ];
+      ]
+      [ SCall (vld, [ win c [ pt (int 0) ]; win b [ ivn (int 0) (int 4) ] ]) ]
+  in
+  Alcotest.(check bool) "rank-0 window for rank-1 param rejected" true
+    (raises_type_error (fun () -> W.check_proc p))
+
+let test_wf_loop_shadowing () =
+  let i = Sym.fresh "i" and b = Sym.fresh "b" in
+  let p =
+    mk1
+      [ tensor_arg b Dtype.F32 [ int 4 ] ]
+      [ loop i (int 0) (int 2) [ loop i (int 0) (int 2) [ assign b [ var i ] (flt 0.0) ] ] ]
+  in
+  Alcotest.(check bool) "shadowing same symbol rejected" true
+    (raises_type_error (fun () -> W.check_proc p))
+
+(* --- Bounds ----------------------------------------------------------- *)
+
+let test_bounds_kernel_proved () =
+  let p = (Exo_ukr_gen.Family.generate ~mr:8 ~nr:12 ()).Exo_ukr_gen.Family.proc in
+  let r = Bd.check_proc p in
+  Alcotest.(check int) "no violations" 0 (List.length r.Bd.violations);
+  Alcotest.(check int) "no unknowns" 0 (List.length r.Bd.unknowns)
+
+let test_bounds_reference_proved () =
+  let r = Bd.check_proc (Exo_ukr_gen.Source.ukernel_ref ()) in
+  Alcotest.(check int) "reference kernel within bounds" 0
+    (List.length r.Bd.violations + List.length r.Bd.unknowns)
+
+let test_bounds_violation_detected () =
+  let kc = Sym.fresh "KC" and b = Sym.fresh "b" and k = Sym.fresh "k" in
+  let p =
+    mk1
+      [ size_arg kc; tensor_arg b Dtype.F32 [ var kc ] ]
+      [ loopn k (var kc) [ assign b [ add (var k) (int 1) ] (flt 0.0) ] ]
+  in
+  let r = Bd.check_proc p in
+  Alcotest.(check bool) "b[k+1] over [KC] flagged" true (List.length r.Bd.violations > 0)
+
+let test_bounds_negative_lower () =
+  let b = Sym.fresh "b" and k = Sym.fresh "k" in
+  let p =
+    mk1
+      [ tensor_arg b Dtype.F32 [ int 8 ] ]
+      [ loopn k (int 4) [ assign b [ sub (var k) (int 1) ] (flt 0.0) ] ]
+  in
+  let r = Bd.check_proc p in
+  Alcotest.(check bool) "b[k-1] flagged" true (List.length r.Bd.violations > 0)
+
+let test_bounds_pred_ranges () =
+  (* the fmla lane contract: l bounded by the preds *)
+  let l = Sym.fresh "l" and b = Sym.fresh "b" in
+  let p =
+    mk1
+      ~preds:[ ge (var l) (int 0); lt (var l) (int 4) ]
+      [ index_arg l; tensor_arg b Dtype.F32 [ int 4 ] ]
+      [ assign b [ var l ] (flt 0.0) ]
+  in
+  let r = Bd.check_proc p in
+  Alcotest.(check int) "preds bound the index arg" 0
+    (List.length r.Bd.violations + List.length r.Bd.unknowns)
+
+let test_bounds_symbolic_ok () =
+  (* Ac[k, i] with k < KC is provable with symbolic KC *)
+  let kc = Sym.fresh "KC" and a = Sym.fresh "a" and k = Sym.fresh "k" in
+  let p =
+    mk1
+      [ size_arg kc; tensor_arg a Dtype.F32 [ var kc ] ]
+      [ loopn k (var kc) [ assign a [ var k ] (flt 0.0) ] ]
+  in
+  let r = Bd.check_proc p in
+  Alcotest.(check int) "KC-1 < KC proved" 0
+    (List.length r.Bd.violations + List.length r.Bd.unknowns)
+
+let test_bounds_window () =
+  let b = Sym.fresh "b" and c = Sym.fresh "c" in
+  let vld = Exo_isa.Neon.vld_4xf32 in
+  let p =
+    mk1
+      [
+        tensor_arg ~mem:Exo_isa.Neon.mem c Dtype.F32 [ int 4 ];
+        tensor_arg b Dtype.F32 [ int 4 ];
+      ]
+      [ SCall (vld, [ win c [ ivn (int 0) (int 4) ] ; win b [ ivn (int 2) (int 4) ] ]) ]
+  in
+  let r = Bd.check_proc p in
+  Alcotest.(check bool) "window [2,6) over [4] flagged" true
+    (List.length r.Bd.violations > 0)
+
+(* --- Deps ------------------------------------------------------------- *)
+
+let test_reorder_reduce_ok () =
+  let i = Sym.fresh "i" and j = Sym.fresh "j" and c = Sym.fresh "c" in
+  let body = [ reduce c [ var j; var i ] (flt 1.0) ] in
+  Alcotest.(check bool) "reductions reorder" true
+    (D.reorder_legal ~outer:j ~inner:i ~body = Ok ())
+
+let test_reorder_private_assign_ok () =
+  let i = Sym.fresh "i" and j = Sym.fresh "j" in
+  let c = Sym.fresh "c" and b = Sym.fresh "b" in
+  let body = [ assign c [ var j; var i ] (rd b [ var j; var i ]) ] in
+  Alcotest.(check bool) "iteration-private assigns reorder" true
+    (D.reorder_legal ~outer:j ~inner:i ~body = Ok ())
+
+let test_reorder_recurrence_rejected () =
+  (* s[0] = f(i, j): last writer changes under reorder *)
+  let i = Sym.fresh "i" and j = Sym.fresh "j" and s = Sym.fresh "s" in
+  let body = [ assign s [ int 0 ] (add (var i) (var j)) ] in
+  Alcotest.(check bool) "scalar overwrite rejected" true
+    (Result.is_error (D.reorder_legal ~outer:j ~inner:i ~body))
+
+let test_reorder_skewed_rejected () =
+  (* a[i + j] = ... : different (i, j) pairs collide *)
+  let i = Sym.fresh "i" and j = Sym.fresh "j" and a = Sym.fresh "a" in
+  let body = [ assign a [ add (var i) (var j) ] (flt 0.0) ] in
+  Alcotest.(check bool) "skewed write rejected" true
+    (Result.is_error (D.reorder_legal ~outer:j ~inner:i ~body))
+
+let test_fission_disjoint_ok () =
+  let i = Sym.fresh "i" and a = Sym.fresh "a" and b = Sym.fresh "b" in
+  let pre = [ assign a [ var i ] (flt 0.0) ] in
+  let post = [ assign b [ var i ] (rd a [ var i ]) ] in
+  Alcotest.(check bool) "same-index flow fissions" true
+    (D.fission_legal ~v:i ~pre ~post = Ok ())
+
+let test_fission_backward_dep_rejected () =
+  (* pre reads a[i+1] which post writes: post@i -> pre@j (j>i) dependence *)
+  let i = Sym.fresh "i" and a = Sym.fresh "a" and b = Sym.fresh "b" in
+  let pre = [ assign b [ var i ] (rd a [ add (var i) (int 1) ]) ] in
+  let post = [ assign a [ var i ] (flt 1.0) ] in
+  Alcotest.(check bool) "backward dependence rejected" true
+    (Result.is_error (D.fission_legal ~v:i ~pre ~post))
+
+let test_fission_invariant_pre_ok () =
+  (* the Fig. 9 shape: a loop-invariant idempotent load before a reduce *)
+  let i = Sym.fresh "i" and k = Sym.fresh "k" in
+  let reg = Sym.fresh "reg" and src = Sym.fresh "src" and acc = Sym.fresh "acc" in
+  let pre = [ assign reg [ var k ] (rd src [ var k ]) ] in
+  let post = [ reduce acc [ var i ] (rd reg [ var k ]) ] in
+  Alcotest.(check bool) "invariant idempotent pre fissions" true
+    (D.fission_legal ~v:i ~pre ~post = Ok ())
+
+let test_fission_invariant_pre_feedback_rejected () =
+  (* like above but post writes what pre reads: the rule must not apply *)
+  let i = Sym.fresh "i" and k = Sym.fresh "k" in
+  let reg = Sym.fresh "reg" and src = Sym.fresh "src" in
+  let pre = [ assign reg [ var k ] (rd src [ var k ]) ] in
+  let post = [ assign src [ var k ] (rd reg [ var k ]) ] in
+  Alcotest.(check bool) "feedback into invariant pre rejected" true
+    (Result.is_error (D.fission_legal ~v:i ~pre ~post))
+
+let test_idempotent () =
+  let a = Sym.fresh "a" and b = Sym.fresh "b" in
+  Alcotest.(check bool) "pure assign idempotent" true
+    (D.idempotent [ assign a [ int 0 ] (rd b [ int 0 ]) ]);
+  Alcotest.(check bool) "reduce not idempotent" false
+    (D.idempotent [ reduce a [ int 0 ] (flt 1.0) ]);
+  Alcotest.(check bool) "read-after-write not idempotent" false
+    (D.idempotent [ assign a [ int 0 ] (add (rd a [ int 0 ]) (flt 1.0)) ])
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "wellformed",
+        [
+          Alcotest.test_case "reference kernels ok" `Quick test_wf_reference_ok;
+          Alcotest.test_case "unbound var" `Quick test_wf_unbound_var;
+          Alcotest.test_case "rank mismatch" `Quick test_wf_rank_mismatch;
+          Alcotest.test_case "mixed dtypes" `Quick test_wf_mixed_dtypes;
+          Alcotest.test_case "float index" `Quick test_wf_float_index;
+          Alcotest.test_case "buffer as scalar" `Quick test_wf_buffer_as_scalar;
+          Alcotest.test_case "call arity" `Quick test_wf_call_arity;
+          Alcotest.test_case "call window rank" `Quick test_wf_call_window_rank;
+          Alcotest.test_case "loop shadowing" `Quick test_wf_loop_shadowing;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "generated kernel proved" `Quick test_bounds_kernel_proved;
+          Alcotest.test_case "reference proved" `Quick test_bounds_reference_proved;
+          Alcotest.test_case "violation detected" `Quick test_bounds_violation_detected;
+          Alcotest.test_case "negative lower bound" `Quick test_bounds_negative_lower;
+          Alcotest.test_case "pred-derived ranges" `Quick test_bounds_pred_ranges;
+          Alcotest.test_case "symbolic sizes" `Quick test_bounds_symbolic_ok;
+          Alcotest.test_case "window bounds" `Quick test_bounds_window;
+        ] );
+      ( "deps",
+        [
+          Alcotest.test_case "reorder reduces" `Quick test_reorder_reduce_ok;
+          Alcotest.test_case "reorder private assigns" `Quick test_reorder_private_assign_ok;
+          Alcotest.test_case "reorder recurrence rejected" `Quick test_reorder_recurrence_rejected;
+          Alcotest.test_case "reorder skewed rejected" `Quick test_reorder_skewed_rejected;
+          Alcotest.test_case "fission disjoint" `Quick test_fission_disjoint_ok;
+          Alcotest.test_case "fission backward dep" `Quick test_fission_backward_dep_rejected;
+          Alcotest.test_case "fission invariant pre" `Quick test_fission_invariant_pre_ok;
+          Alcotest.test_case "fission feedback rejected" `Quick test_fission_invariant_pre_feedback_rejected;
+          Alcotest.test_case "idempotence" `Quick test_idempotent;
+        ] );
+    ]

@@ -1,0 +1,242 @@
+(* C emission: structure of the generated code, golden 8x12 kernel, and —
+   when a host C compiler is available — syntactic validation of the AVX-512
+   retargeting plus a numeric end-to-end check compiled and executed on the
+   host. *)
+
+module C = Exo_codegen.C_emit
+module Family = Exo_ukr_gen.Family
+
+let gen ?kit ~mr ~nr () = (Family.generate ?kit ~mr ~nr ()).Family.proc
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let check_contains msg hay needle =
+  Alcotest.(check bool) (msg ^ ": contains " ^ needle) true (contains hay needle)
+
+let test_8x12_structure () =
+  let c = C.proc_to_c (gen ~mr:8 ~nr:12 ()) in
+  check_contains "decl" c "float32x4_t C_reg[12][2];";
+  check_contains "A regs" c "float32x4_t A_reg[2];";
+  check_contains "B regs" c "float32x4_t B_reg[3];";
+  check_contains "k loop" c "for (int_fast32_t k = 0; k < KC; k++)";
+  check_contains "vld" c "vld1q_f32(&Ac[k * 8 + 0])";
+  check_contains "fmla" c
+    "vfmaq_laneq_f32(C_reg[4 * jt + jtt][it], A_reg[it], B_reg[jt], jtt)";
+  check_contains "vst" c "vst1q_f32(&C[";
+  check_contains "signature" c
+    "void uk_8x12_neon_f32(int_fast32_t KC, const float* alpha, const float* Ac, const float* Bc, const float* beta, float* C)"
+
+let test_const_qualifiers () =
+  let c = C.proc_to_c (gen ~mr:8 ~nr:12 ()) in
+  check_contains "read-only A" c "const float* Ac";
+  check_contains "written C is not const" c ", float* C)"
+
+let test_row_kernel_emits () =
+  let c = C.proc_to_c (gen ~mr:1 ~nr:12 ()) in
+  check_contains "scalar-broadcast fma" c "vfmaq_n_f32";
+  check_contains "C loads vectorized over j" c "vld1q_f32(&C["
+
+let test_f16_kernel_emits () =
+  let c = C.proc_to_c (gen ~kit:Exo_ukr_gen.Kits.neon_f16 ~mr:8 ~nr:16 ()) in
+  check_contains "f16 type" c "float16x8_t";
+  check_contains "f16 intrinsics" c "vfmaq_laneq_f16";
+  check_contains "f16 pointers" c "const float16_t* Ac"
+
+let test_scalar_kernel_emits () =
+  let c = C.proc_to_c (gen ~mr:3 ~nr:5 ()) in
+  check_contains "plain loops" c "C[j * 3 + i] += Ac[k * 3 + i] * Bc[k * 5 + j];"
+
+let test_compilation_unit () =
+  let procs = [ gen ~mr:8 ~nr:12 (); gen ~mr:8 ~nr:8 () ] in
+  let unit_ = C.compilation_unit ~header_comment:"test" procs in
+  check_contains "header include once" unit_ "#include <arm_neon.h>";
+  check_contains "both kernels" unit_ "uk_8x8_neon_f32";
+  let h = C.header procs in
+  check_contains "prototypes" h "void uk_8x12_neon_f32(";
+  check_contains "guard" h "#ifndef EXO_UKR_GENERATED_H"
+
+let test_register_access_rejected () =
+  (* a kernel that still addresses a register buffer element-wise (i.e. was
+     never fully vectorized) must not emit *)
+  let open Exo_ir in
+  let open Ir in
+  let open Builder in
+  let reg = Sym.fresh "reg" and out = Sym.fresh "out" and i = Sym.fresh "i" in
+  let p =
+    mk_proc ~name:"bad"
+      ~args:[ tensor_arg out Dtype.F32 [ int 4 ] ]
+      [
+        SAlloc (reg, Dtype.F32, [ int 4 ], Exo_isa.Neon.mem);
+        loopn i (int 4) [ assign reg [ var i ] (flt 0.0) ];
+        loopn (Sym.fresh "i") (int 4) [ assign out [ var i ] (rd reg [ var i ]) ];
+      ]
+  in
+  Alcotest.(check bool) "unvectorized register access rejected" true
+    (try
+       ignore (C.proc_to_c p);
+       false
+     with C.Codegen_error _ -> true)
+
+(* --- host-compiler validation ---------------------------------------- *)
+
+let have_gcc = Sys.command "gcc --version > /dev/null 2>&1" = 0
+
+let have_avx512 =
+  have_gcc && Sys.command "echo | gcc -mavx512f -E - > /dev/null 2>&1" = 0
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let have_avx2 =
+  have_gcc && Sys.command "echo | gcc -mavx2 -mfma -E - > /dev/null 2>&1" = 0
+
+let test_avx2_compiles () =
+  if not have_avx2 then ()
+  else begin
+    let p = gen ~kit:Exo_ukr_gen.Kits.avx2_f32 ~mr:16 ~nr:6 () in
+    let dir = Filename.temp_file "exoukr2" "" in
+    Sys.remove dir;
+    ignore (Sys.command (Fmt.str "mkdir -p %s" dir));
+    let cfile = Filename.concat dir "uk.c" in
+    write_file cfile (C.compilation_unit [ p ]);
+    let rc =
+      Sys.command
+        (Fmt.str "gcc -mavx2 -mfma -O2 -c %s -o %s 2> /dev/null" cfile
+           (Filename.concat dir "uk.o"))
+    in
+    Alcotest.(check int) "gcc accepts the emitted AVX2 C" 0 rc
+  end
+
+(* Compile an AVX2 kernel with a checking main() and run it: most x86-64
+   hosts (unlike AVX-512) can execute this. *)
+let test_avx2_runs () =
+  if not have_avx2 then ()
+  else begin
+    let cpu_has = Sys.command "grep -q avx2 /proc/cpuinfo 2>/dev/null" = 0 in
+    let cpu_fma = Sys.command "grep -q fma /proc/cpuinfo 2>/dev/null" = 0 in
+    if not (cpu_has && cpu_fma) then ()
+    else begin
+      let p = gen ~kit:Exo_ukr_gen.Kits.avx2_f32 ~mr:8 ~nr:4 () in
+      let main =
+        {|
+#include <stdio.h>
+int main(void) {
+  enum { MR = 8, NR = 4, KC = 29 };
+  static float Ac[KC*MR], Bc[KC*NR], C[NR*MR], R[NR*MR], one = 1.0f;
+  for (int i = 0; i < KC*MR; i++) Ac[i] = (float)(i % 7 - 3);
+  for (int i = 0; i < KC*NR; i++) Bc[i] = (float)(i % 5 - 2);
+  for (int i = 0; i < NR*MR; i++) C[i] = R[i] = (float)(i % 3);
+  for (int k = 0; k < KC; k++)
+    for (int j = 0; j < NR; j++)
+      for (int i = 0; i < MR; i++)
+        R[j*MR + i] += Ac[k*MR + i] * Bc[k*NR + j];
+  uk_8x4_avx2_f32(KC, &one, Ac, Bc, &one, C);
+  for (int i = 0; i < NR*MR; i++)
+    if (C[i] != R[i]) { printf("mismatch at %d: %f vs %f\n", i, C[i], R[i]); return 1; }
+  return 0;
+}
+|}
+      in
+      let dir = Filename.temp_file "exoukr3" "" in
+      Sys.remove dir;
+      ignore (Sys.command (Fmt.str "mkdir -p %s" dir));
+      let cfile = Filename.concat dir "run.c" in
+      write_file cfile (C.compilation_unit [ p ] ^ main);
+      let exe = Filename.concat dir "run" in
+      let rc =
+        Sys.command (Fmt.str "gcc -mavx2 -mfma -O2 %s -o %s 2> /dev/null" cfile exe)
+      in
+      Alcotest.(check int) "compiles" 0 rc;
+      Alcotest.(check int) "emitted AVX2 kernel computes correctly on this host" 0
+        (Sys.command exe)
+    end
+  end
+
+let test_avx512_compiles () =
+  if not have_avx512 then ()
+  else begin
+    let p = gen ~kit:Exo_ukr_gen.Kits.avx512_f32 ~mr:32 ~nr:6 () in
+    let dir = Filename.temp_file "exoukr" "" in
+    Sys.remove dir;
+    ignore (Sys.command (Fmt.str "mkdir -p %s" dir));
+    let cfile = Filename.concat dir "uk.c" in
+    write_file cfile (C.compilation_unit [ p ]);
+    let rc =
+      Sys.command
+        (Fmt.str "gcc -mavx512f -O2 -c %s -o %s 2> /dev/null" cfile
+           (Filename.concat dir "uk.o"))
+    in
+    Alcotest.(check int) "gcc accepts the emitted AVX-512 C" 0 rc
+  end
+
+(* Compile an AVX-512 kernel together with a checking main() and execute it:
+   real-hardware validation of the emitted code (runs only on x86-64 hosts
+   with AVX-512; gcc's -mavx512f alone does not guarantee the CPU has it,
+   so we let the harness tell us). *)
+let test_avx512_runs () =
+  if not have_avx512 then ()
+  else begin
+    let cpu_has = Sys.command "grep -q avx512f /proc/cpuinfo 2>/dev/null" = 0 in
+    if not cpu_has then ()
+    else begin
+      let p = gen ~kit:Exo_ukr_gen.Kits.avx512_f32 ~mr:16 ~nr:4 () in
+      let main =
+        {|
+#include <stdio.h>
+#include <stdlib.h>
+int main(void) {
+  enum { MR = 16, NR = 4, KC = 37 };
+  static float Ac[KC*MR], Bc[KC*NR], C[NR*MR], R[NR*MR], one = 1.0f;
+  for (int i = 0; i < KC*MR; i++) Ac[i] = (float)(i % 7 - 3);
+  for (int i = 0; i < KC*NR; i++) Bc[i] = (float)(i % 5 - 2);
+  for (int i = 0; i < NR*MR; i++) C[i] = R[i] = (float)(i % 3);
+  for (int k = 0; k < KC; k++)
+    for (int j = 0; j < NR; j++)
+      for (int i = 0; i < MR; i++)
+        R[j*MR + i] += Ac[k*MR + i] * Bc[k*NR + j];
+  uk_16x4_avx512_f32(KC, &one, Ac, Bc, &one, C);
+  for (int i = 0; i < NR*MR; i++)
+    if (C[i] != R[i]) { printf("mismatch at %d: %f vs %f\n", i, C[i], R[i]); return 1; }
+  return 0;
+}
+|}
+      in
+      let dir = Filename.temp_file "exoukr" "" in
+      Sys.remove dir;
+      ignore (Sys.command (Fmt.str "mkdir -p %s" dir));
+      let cfile = Filename.concat dir "run.c" in
+      write_file cfile (C.compilation_unit [ p ] ^ main);
+      let exe = Filename.concat dir "run" in
+      let rc = Sys.command (Fmt.str "gcc -mavx512f -O2 %s -o %s 2> /dev/null" cfile exe) in
+      Alcotest.(check int) "compiles" 0 rc;
+      Alcotest.(check int) "emitted kernel computes the right values on hardware" 0
+        (Sys.command exe)
+    end
+  end
+
+let () =
+  Alcotest.run "codegen"
+    [
+      ( "emission",
+        [
+          Alcotest.test_case "8x12 structure" `Quick test_8x12_structure;
+          Alcotest.test_case "const qualifiers" `Quick test_const_qualifiers;
+          Alcotest.test_case "row kernel" `Quick test_row_kernel_emits;
+          Alcotest.test_case "f16 kernel" `Quick test_f16_kernel_emits;
+          Alcotest.test_case "scalar kernel" `Quick test_scalar_kernel_emits;
+          Alcotest.test_case "compilation unit" `Quick test_compilation_unit;
+          Alcotest.test_case "register access rejected" `Quick test_register_access_rejected;
+        ] );
+      ( "host-compiler",
+        [
+          Alcotest.test_case "avx512 compiles" `Quick test_avx512_compiles;
+          Alcotest.test_case "avx512 runs" `Quick test_avx512_runs;
+          Alcotest.test_case "avx2 compiles" `Quick test_avx2_compiles;
+          Alcotest.test_case "avx2 runs" `Quick test_avx2_runs;
+        ] );
+    ]

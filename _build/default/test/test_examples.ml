@@ -1,0 +1,77 @@
+(* Integration: every example executable runs to completion and prints its
+   key validation markers. The binaries are declared as dune deps of this
+   test, so they are built and available relative to the test's cwd. *)
+
+let run_and_capture (exe : string) : int * string =
+  let tmp = Filename.temp_file "exo_example" ".out" in
+  let rc = Sys.command (Fmt.str "%s > %s 2>&1" exe tmp) in
+  let ic = open_in_bin tmp in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Sys.remove tmp;
+  (rc, s)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let check_example ~exe ~markers () =
+  (* cwd is the test directory under `dune runtest`, the workspace root
+     under `dune exec` *)
+  let candidates =
+    [
+      Filename.concat "../examples" exe;
+      Filename.concat "_build/default/examples" exe;
+      Filename.concat "examples" exe;
+    ]
+  in
+  let path =
+    match List.find_opt Sys.file_exists candidates with
+    | Some p -> p
+    | None -> Alcotest.fail (Fmt.str "example binary %s not built" exe)
+  in
+  let rc, out = run_and_capture path in
+  Alcotest.(check int) (exe ^ " exits 0") 0 rc;
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) (Fmt.str "%s prints %S" exe m) true (contains out m))
+    markers
+
+let () =
+  Alcotest.run "examples"
+    [
+      ( "run",
+        [
+          Alcotest.test_case "quickstart" `Slow
+            (check_example ~exe:"quickstart.exe"
+               ~markers:
+                 [
+                   "step 6";
+                   "bit-exact";
+                   "fma=24 ld=5";
+                   "vfmaq_laneq_f32";
+                 ]);
+          Alcotest.test_case "edge_cases" `Slow
+            (check_example ~exe:"edge_cases.exe"
+               ~markers:[ "8x12"; "1x12"; "ok"; "row" ]);
+          Alcotest.test_case "dnn_inference" `Slow
+            (check_example ~exe:"dnn_inference.exe"
+               ~markers:
+                 [ "exact match"; "aggregated inference time"; "(12544, 64, 147)" ]);
+          Alcotest.test_case "portability" `Slow
+            (check_example ~exe:"portability.exe"
+               ~markers:
+                 [
+                   "neon-f32, 8x12 (packed schedule) — verified: ok";
+                   "avx512-f32";
+                   "rvv-f32";
+                   "neon-i32";
+                   "_mm512_fmadd_ps";
+                 ]);
+          Alcotest.test_case "autotune" `Slow
+            (check_example ~exe:"autotune.exe"
+               ~markers:[ "GFLOPS"; "beta = 0"; "accumulators" ]);
+        ] );
+    ]

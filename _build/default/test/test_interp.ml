@@ -1,0 +1,227 @@
+(* Reference interpreter: f16 emulation, buffers/views, execution. *)
+
+open Exo_ir
+open Ir
+open Builder
+module B = Exo_interp.Buffer
+module I = Exo_interp.Interp
+module F16 = Exo_interp.F16
+
+(* --- binary16 --------------------------------------------------------- *)
+
+let test_f16_exact_values () =
+  List.iter
+    (fun v -> Alcotest.(check (float 0.0)) (Fmt.str "%g exact" v) v (F16.round v))
+    [ 0.0; 1.0; -1.0; 0.5; 2.0; 1024.0; 65504.0; 0.25; -0.125; 1.5 ]
+
+let test_f16_rounding () =
+  (* 1 + 2^-11 rounds to 1 (nearest even), 1 + 3·2^-12 rounds up *)
+  Alcotest.(check (float 0.0)) "round to even" 1.0 (F16.round (1.0 +. 0x1p-11));
+  Alcotest.(check (float 0.0)) "round up" (1.0 +. 0x1p-10)
+    (F16.round (1.0 +. (3.0 *. 0x1p-12)))
+
+let test_f16_overflow_underflow () =
+  Alcotest.(check (float 0.0)) "overflow to inf" infinity (F16.round 1e6);
+  Alcotest.(check (float 0.0)) "neg overflow" neg_infinity (F16.round (-1e6));
+  Alcotest.(check (float 0.0)) "tiny underflows to 0" 0.0 (F16.round 1e-12)
+
+let test_f16_subnormal () =
+  let smallest = 0x1p-24 in
+  Alcotest.(check (float 0.0)) "smallest subnormal survives" smallest (F16.round smallest)
+
+let test_f16_nan_inf () =
+  Alcotest.(check bool) "nan stays nan" true (Float.is_nan (F16.round Float.nan));
+  Alcotest.(check (float 0.0)) "inf stays inf" infinity (F16.round infinity)
+
+let prop_f16_idempotent =
+  QCheck2.Test.make ~name:"f16 rounding is idempotent" ~count:500
+    QCheck2.Gen.(float_range (-70000.0) 70000.0)
+    (fun x ->
+      let r = F16.round x in
+      Float.equal (F16.round r) r || Float.is_nan r)
+
+let prop_f16_monotone =
+  QCheck2.Test.make ~name:"f16 rounding is monotone" ~count:500
+    QCheck2.Gen.(pair (float_range (-60000.0) 60000.0) (float_range (-60000.0) 60000.0))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      F16.round lo <= F16.round hi)
+
+let prop_f16_bits_roundtrip =
+  QCheck2.Test.make ~name:"of_bits/to_bits roundtrip on finite halfs" ~count:1000
+    QCheck2.Gen.(int_range 0 0xffff)
+    (fun bits ->
+      let exp = (bits lsr 10) land 0x1f in
+      if exp = 0x1f then true (* inf/nan payloads are not preserved exactly *)
+      else F16.to_bits (F16.of_bits bits) = bits)
+
+(* --- Buffer ------------------------------------------------------------ *)
+
+let test_buffer_rounding () =
+  let b = B.create ~init:0.0 Dtype.F32 [ 1 ] in
+  B.set b [| 0 |] 0.1;
+  Alcotest.(check (float 0.0)) "f32 rounding applied"
+    (Int32.float_of_bits (Int32.bits_of_float 0.1))
+    (B.get b [| 0 |])
+
+let test_buffer_nan_init_catches_missing_store () =
+  let b = B.create Dtype.F32 [ 2 ] in
+  Alcotest.(check bool) "uninitialized reads are NaN" true (Float.is_nan (B.get b [| 0 |]))
+
+let test_buffer_bounds () =
+  let b = B.create ~init:0.0 Dtype.F32 [ 2; 3 ] in
+  Alcotest.(check bool) "oob raises" true
+    (try
+       ignore (B.get b [| 2; 0 |]);
+       false
+     with B.Bounds _ -> true)
+
+let test_buffer_view_sharing () =
+  let b = B.create ~init:0.0 Dtype.F32 [ 3; 4 ] in
+  let v = B.view b [ `Pt 1; `Iv (1, 2) ] in
+  B.set v [| 0 |] 9.0;
+  Alcotest.(check (float 0.0)) "view writes through" 9.0 (B.get b [| 1; 1 |]);
+  Alcotest.(check int) "view rank" 1 (B.rank v);
+  Alcotest.(check int) "view stride" 1 (B.last_stride v)
+
+let test_buffer_view_strided () =
+  let b = B.create ~init:0.0 Dtype.F32 [ 3; 4 ] in
+  let v = B.view b [ `Iv (0, 3); `Pt 2 ] in
+  Alcotest.(check int) "column view strides by 4" 4 (B.last_stride v)
+
+let test_buffer_view_oob () =
+  let b = B.create ~init:0.0 Dtype.F32 [ 3; 4 ] in
+  Alcotest.(check bool) "oob window raises" true
+    (try
+       ignore (B.view b [ `Pt 0; `Iv (2, 3) ]);
+       false
+     with B.Bounds _ -> true)
+
+let test_buffer_i8_wrap () =
+  let b = B.create ~init:0.0 Dtype.I8 [ 1 ] in
+  B.set b [| 0 |] 130.0;
+  Alcotest.(check (float 0.0)) "i8 wraps" (-126.0) (B.get b [| 0 |])
+
+(* --- Interp ------------------------------------------------------------ *)
+
+let test_interp_loop_and_reduce () =
+  let n = Sym.fresh "N" and acc = Sym.fresh "acc" and i = Sym.fresh "i" in
+  let p =
+    mk_proc ~name:"sum"
+      ~args:[ size_arg n; tensor_arg acc Dtype.F64 [ int 1 ] ]
+      [ loopn i (var n) [ reduce acc [ int 0 ] (flt 1.0) ] ]
+  in
+  let b = B.create ~init:0.0 Dtype.F64 [ 1 ] in
+  I.run p [ I.VInt 10; I.VBuf b ];
+  Alcotest.(check (float 0.0)) "sum of ten ones" 10.0 (B.get b [| 0 |])
+
+let test_interp_if () =
+  let c = Sym.fresh "cond" and out = Sym.fresh "out" in
+  let p =
+    mk_proc ~name:"sel"
+      ~args:[ arg c TBool; tensor_arg out Dtype.F32 [ int 1 ] ]
+      [ if_ (Var c) [ assign out [ int 0 ] (flt 1.0) ] [ assign out [ int 0 ] (flt 2.0) ] ]
+  in
+  let b = B.create ~init:0.0 Dtype.F32 [ 1 ] in
+  I.run p [ I.VInt 0; I.VBuf b ];
+  Alcotest.(check (float 0.0)) "else branch" 2.0 (B.get b [| 0 |])
+
+let test_interp_precondition () =
+  let n = Sym.fresh "N" and b = Sym.fresh "b" in
+  let p =
+    mk_proc ~name:"t"
+      ~preds:[ ge (var n) (int 4) ]
+      ~args:[ size_arg n; tensor_arg b Dtype.F32 [ var n ] ]
+      []
+  in
+  let buf = B.create ~init:0.0 Dtype.F32 [ 2 ] in
+  Alcotest.(check bool) "violated precondition raises" true
+    (try
+       I.run p [ I.VInt 2; I.VBuf buf ];
+       false
+     with I.Runtime_error _ -> true)
+
+let test_interp_alloc_scoping () =
+  let out = Sym.fresh "out" and t = Sym.fresh "t" and i = Sym.fresh "i" in
+  let i2 = Sym.fresh "i" in
+  let p =
+    mk_proc ~name:"t"
+      ~args:[ tensor_arg out Dtype.F32 [ int 4 ] ]
+      [
+        alloc t Dtype.F32 [ int 4 ];
+        loopn i (int 4) [ assign t [ var i ] (flt 6.0) ];
+        loopn i2 (int 4) [ assign out [ var i2 ] (rd t [ var i2 ]) ];
+      ]
+  in
+  let b = B.create Dtype.F32 [ 4 ] in
+  I.run p [ I.VBuf b ];
+  Alcotest.(check (float 0.0)) "copied through alloc" 6.0 (B.get b [| 3 |])
+
+let test_interp_call_window () =
+  (* calling neon_vld through a window copies the right slice *)
+  let src = Sym.fresh "src" and dst = Sym.fresh "dst" in
+  let p =
+    mk_proc ~name:"t"
+      ~args:
+        [
+          tensor_arg ~mem:Exo_isa.Neon.mem dst Dtype.F32 [ int 4 ];
+          tensor_arg src Dtype.F32 [ int 2; int 8 ];
+        ]
+      [ SCall (Exo_isa.Neon.vld_4xf32, [ win dst [ ivn (int 0) (int 4) ]; win src [ pt (int 1); ivn (int 4) (int 4) ] ]) ]
+  in
+  let s = B.create ~init:0.0 Dtype.F32 [ 2; 8 ] in
+  B.fill s (fun idx -> float_of_int ((idx.(0) * 8) + idx.(1)));
+  let d = B.create Dtype.F32 [ 4 ] in
+  I.run p [ I.VBuf d; I.VBuf s ];
+  Alcotest.(check (float 0.0)) "window base" 12.0 (B.get d [| 0 |]);
+  Alcotest.(check (float 0.0)) "window end" 15.0 (B.get d [| 3 |])
+
+let test_interp_f16_kernel_rounds () =
+  (* an f16 reduction saturates where f32 would not: 2048 + 1 = 2048 in f16 *)
+  let acc = Sym.fresh "acc" and i = Sym.fresh "i" in
+  let p =
+    mk_proc ~name:"t"
+      ~args:[ tensor_arg acc Dtype.F16 [ int 1 ] ]
+      [ loopn i (int 4) [ reduce acc [ int 0 ] (flt 1.0) ] ]
+  in
+  let b = B.create ~init:0.0 Dtype.F16 [ 1 ] in
+  B.set b [| 0 |] 2048.0;
+  I.run p [ I.VBuf b ];
+  Alcotest.(check (float 0.0)) "f16 absorbs +1 at 2048" 2048.0 (B.get b [| 0 |])
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_f16_idempotent; prop_f16_monotone; prop_f16_bits_roundtrip ]
+  in
+  Alcotest.run "interp"
+    [
+      ( "f16",
+        [
+          Alcotest.test_case "exact values" `Quick test_f16_exact_values;
+          Alcotest.test_case "rounding" `Quick test_f16_rounding;
+          Alcotest.test_case "overflow/underflow" `Quick test_f16_overflow_underflow;
+          Alcotest.test_case "subnormal" `Quick test_f16_subnormal;
+          Alcotest.test_case "nan/inf" `Quick test_f16_nan_inf;
+        ]
+        @ props );
+      ( "buffer",
+        [
+          Alcotest.test_case "dtype rounding" `Quick test_buffer_rounding;
+          Alcotest.test_case "nan init" `Quick test_buffer_nan_init_catches_missing_store;
+          Alcotest.test_case "bounds" `Quick test_buffer_bounds;
+          Alcotest.test_case "view sharing" `Quick test_buffer_view_sharing;
+          Alcotest.test_case "strided view" `Quick test_buffer_view_strided;
+          Alcotest.test_case "oob view" `Quick test_buffer_view_oob;
+          Alcotest.test_case "i8 wrap" `Quick test_buffer_i8_wrap;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "loop + reduce" `Quick test_interp_loop_and_reduce;
+          Alcotest.test_case "if" `Quick test_interp_if;
+          Alcotest.test_case "precondition" `Quick test_interp_precondition;
+          Alcotest.test_case "alloc scoping" `Quick test_interp_alloc_scoping;
+          Alcotest.test_case "call window" `Quick test_interp_call_window;
+          Alcotest.test_case "f16 rounding in kernels" `Quick test_interp_f16_kernel_rounds;
+        ] );
+    ]

@@ -1,0 +1,364 @@
+(* IR core: symbols, affine normal form, simplification, substitution,
+   alpha-equivalence, cursors, pretty-printing. *)
+
+open Exo_ir
+open Ir
+open Builder
+
+let check_expr_str msg expected e =
+  Alcotest.(check string) msg expected (Pp.expr_to_string e)
+
+(* --- Sym ------------------------------------------------------------ *)
+
+let test_sym_fresh_distinct () =
+  let a = Sym.fresh "x" and b = Sym.fresh "x" in
+  Alcotest.(check bool) "same name" true (Sym.name a = Sym.name b);
+  Alcotest.(check bool) "distinct ids" false (Sym.equal a b)
+
+let test_sym_clone () =
+  let a = Sym.fresh "k" in
+  let b = Sym.clone a in
+  Alcotest.(check string) "clone keeps name" "k" (Sym.name b);
+  Alcotest.(check bool) "clone is fresh" false (Sym.equal a b)
+
+let test_sym_collections () =
+  let a = Sym.fresh "a" and b = Sym.fresh "b" in
+  let s = Sym.Set.of_list [ a; b; a ] in
+  Alcotest.(check int) "set dedups" 2 (Sym.Set.cardinal s);
+  let m = Sym.Map.(add a 1 (add b 2 empty)) in
+  Alcotest.(check int) "map lookup" 1 (Sym.Map.find a m)
+
+(* --- Affine --------------------------------------------------------- *)
+
+let test_affine_normalization () =
+  let jt = Sym.fresh "jt" and jtt = Sym.fresh "jtt" in
+  let e1 = add (mul (int 4) (var jt)) (var jtt) in
+  let e2 = add (var jtt) (mul (var jt) (int 4)) in
+  Alcotest.(check bool) "4*jt+jtt == jtt+jt*4" true (Affine.expr_equal e1 e2 = Some true)
+
+let test_affine_cancellation () =
+  let x = Sym.fresh "x" in
+  let e = sub (add (var x) (int 3)) (var x) in
+  match Affine.of_expr e with
+  | Some a -> Alcotest.(check bool) "x+3-x = 3" true (Affine.equal a (Affine.const 3))
+  | None -> Alcotest.fail "should be affine"
+
+let test_affine_non_affine () =
+  let x = Sym.fresh "x" and y = Sym.fresh "y" in
+  Alcotest.(check bool) "x*y not affine" true (Affine.of_expr (mul (var x) (var y)) = None);
+  Alcotest.(check bool) "x/2 not affine (x odd?)" true
+    (Affine.of_expr (div (var x) (int 2)) = None)
+
+let test_affine_exact_division () =
+  let x = Sym.fresh "x" in
+  let e = div (mul (int 4) (var x)) (int 2) in
+  match Affine.of_expr e with
+  | Some a -> Alcotest.(check bool) "4x/2 = 2x" true (Affine.equal a (Affine.var ~coeff:2 x))
+  | None -> Alcotest.fail "4x/2 should normalize"
+
+let test_affine_mod_const () =
+  match Affine.of_expr (md (int 14) (int 4)) with
+  | Some a -> Alcotest.(check bool) "14 mod 4 = 2" true (Affine.equal a (Affine.const 2))
+  | None -> Alcotest.fail "const mod should fold"
+
+let test_affine_roundtrip () =
+  let x = Sym.fresh "x" and y = Sym.fresh "y" in
+  let a = Affine.add (Affine.var ~coeff:3 x) (Affine.add (Affine.var ~coeff:(-2) y) (Affine.const 7)) in
+  match Affine.of_expr (Affine.to_expr a) with
+  | Some a' -> Alcotest.(check bool) "to_expr/of_expr roundtrip" true (Affine.equal a a')
+  | None -> Alcotest.fail "roundtrip lost affineness"
+
+(* qcheck: affine roundtrip on random affine expressions *)
+let syms = Array.init 4 (fun i -> Sym.fresh (Fmt.str "v%d" i))
+
+let gen_affine_expr : expr QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun n -> Int n) (int_range (-20) 20);
+        map (fun i -> Var syms.(i)) (int_range 0 3);
+      ]
+  in
+  let rec go n =
+    if n = 0 then leaf
+    else
+      oneof
+        [
+          leaf;
+          map2 (fun a b -> Binop (Add, a, b)) (go (n - 1)) (go (n - 1));
+          map2 (fun a b -> Binop (Sub, a, b)) (go (n - 1)) (go (n - 1));
+          map2 (fun k a -> Binop (Mul, Int k, a)) (int_range (-5) 5) (go (n - 1));
+        ]
+  in
+  go 4
+
+let prop_affine_roundtrip =
+  QCheck2.Test.make ~name:"affine of_expr/to_expr is stable" ~count:200 gen_affine_expr
+    (fun e ->
+      match Affine.of_expr e with
+      | None -> QCheck2.assume_fail ()
+      | Some a -> (
+          match Affine.of_expr (Affine.to_expr a) with
+          | Some a' -> Affine.equal a a'
+          | None -> false))
+
+let prop_affine_add_homomorphic =
+  QCheck2.Test.make ~name:"of_expr distributes over +" ~count:200
+    QCheck2.Gen.(pair gen_affine_expr gen_affine_expr)
+    (fun (e1, e2) ->
+      match (Affine.of_expr e1, Affine.of_expr e2) with
+      | Some a1, Some a2 -> (
+          match Affine.of_expr (Binop (Add, e1, e2)) with
+          | Some s -> Affine.equal s (Affine.add a1 a2)
+          | None -> false)
+      | _ -> QCheck2.assume_fail ())
+
+(* --- Simplify ------------------------------------------------------- *)
+
+let test_simplify_constants () =
+  check_expr_str "folds" "14" (Simplify.expr (add (mul (int 3) (int 4)) (int 2)))
+
+let test_simplify_affine () =
+  let it = Sym.fresh "it" in
+  check_expr_str "4*it + 0 -> 4*it" "4 * it" (Simplify.expr (add (mul (int 4) (var it)) (int 0)))
+
+let test_simplify_single_iteration_loop () =
+  let i = Sym.fresh "i" and b = Sym.fresh "b" in
+  let body = [ loop i (int 0) (int 1) [ assign b [ var i ] (flt 1.0) ] ] in
+  match Simplify.stmts body with
+  | [ SAssign (_, [ Int 0 ], _) ] -> ()
+  | _ -> Alcotest.fail "single-iteration loop should inline"
+
+let test_simplify_empty_loop () =
+  let i = Sym.fresh "i" and b = Sym.fresh "b" in
+  let body = [ loop i (int 3) (int 3) [ assign b [ var i ] (flt 1.0) ] ] in
+  Alcotest.(check int) "empty loop dropped" 0 (List.length (Simplify.stmts body))
+
+let test_simplify_if_const () =
+  let b = Sym.fresh "b" in
+  let s = if_ (lt (int 1) (int 2)) [ assign b [] (flt 1.0) ] [ assign b [] (flt 2.0) ] in
+  match Simplify.stmts [ s ] with
+  | [ SAssign (_, [], Float 1.0) ] -> ()
+  | _ -> Alcotest.fail "constant if should resolve to then-branch"
+
+(* --- Subst / freshen ------------------------------------------------ *)
+
+let test_subst_var () =
+  let i = Sym.fresh "i" and b = Sym.fresh "b" in
+  let s = Subst.single i (int 7) in
+  match Subst.apply_stmts s [ assign b [ var i ] (rd b [ var i ]) ] with
+  | [ SAssign (_, [ Int 7 ], Read (_, [ Int 7 ])) ] -> ()
+  | _ -> Alcotest.fail "substitution missed an occurrence"
+
+let test_subst_respects_binders () =
+  (* the substituted variable differs from the loop binder even with the
+     same display name, because symbols are compared by id *)
+  let i1 = Sym.fresh "i" and i2 = Sym.fresh "i" and b = Sym.fresh "b" in
+  let body = [ loop i2 (int 0) (int 4) [ assign b [ var i1; var i2 ] (flt 0.0) ] ] in
+  match Subst.apply_stmts (Subst.single i1 (int 5)) body with
+  | [ SFor (_, _, _, [ SAssign (_, [ Int 5; Var v ], _) ]) ] ->
+      Alcotest.(check bool) "binder untouched" true (Sym.equal v i2)
+  | _ -> Alcotest.fail "wrong substitution"
+
+let test_freshen_renames_binders () =
+  let i = Sym.fresh "i" and b = Sym.fresh "b" in
+  let body = [ loop i (int 0) (int 4) [ assign b [ var i ] (flt 0.0) ] ] in
+  match Subst.freshen_stmts body with
+  | [ SFor (i', _, _, [ SAssign (_, [ Var v ], _) ]) ] ->
+      Alcotest.(check bool) "binder fresh" false (Sym.equal i i');
+      Alcotest.(check bool) "use follows binder" true (Sym.equal v i')
+  | _ -> Alcotest.fail "freshen changed the structure"
+
+let test_freshen_renames_allocs () =
+  let t = Sym.fresh "t" and b = Sym.fresh "b" in
+  let body =
+    [ alloc t Dtype.F32 [ int 4 ]; assign b [] (rd t [ int 0 ]) ]
+  in
+  match Subst.freshen_stmts body with
+  | [ SAlloc (t', _, _, _); SAssign (_, [], Read (t'', [ Int 0 ])) ] ->
+      Alcotest.(check bool) "alloc renamed" false (Sym.equal t t');
+      Alcotest.(check bool) "use follows alloc" true (Sym.equal t' t'')
+  | _ -> Alcotest.fail "freshen changed the structure"
+
+(* --- Alpha ---------------------------------------------------------- *)
+
+let simple_loop v =
+  let b = Sym.fresh "b" in
+  (b, loop v (int 0) (int 4) [ reduce b [ var v ] (flt 1.0) ])
+
+let test_alpha_loop_var_names () =
+  let i = Sym.fresh "i" and j = Sym.fresh "j" in
+  let b1, l1 = simple_loop i in
+  let b2, l2 = simple_loop j in
+  (* bodies reference different buffer syms: map them *)
+  let env = Sym.Map.singleton b1 b2 in
+  Alcotest.(check bool) "alpha-equal up to binder names" true
+    (Alpha.stmts_eq env [ l1 ] [ l2 ])
+
+let test_alpha_index_spelling () =
+  let jt = Sym.fresh "jt" and jtt = Sym.fresh "jtt" and b = Sym.fresh "b" in
+  let s1 = assign b [ add (mul (int 4) (var jt)) (var jtt) ] (flt 0.0) in
+  let s2 = assign b [ add (var jtt) (mul (var jt) (int 4)) ] (flt 0.0) in
+  Alcotest.(check bool) "index spellings equal" true
+    (Alpha.stmts_eq Sym.Map.empty [ s1 ] [ s2 ])
+
+let test_alpha_distinguishes () =
+  let i = Sym.fresh "i" and b = Sym.fresh "b" in
+  let s1 = loop i (int 0) (int 4) [ assign b [ var i ] (flt 0.0) ] in
+  let s2 = loop i (int 0) (int 5) [ assign b [ var i ] (flt 0.0) ] in
+  Alcotest.(check bool) "different extents differ" false
+    (Alpha.stmts_eq Sym.Map.empty [ s1 ] [ Subst.freshen_stmts [ s2 ] |> List.hd ])
+
+let test_proc_eq_self () =
+  let p = Exo_ukr_gen.Source.ukernel_ref_simple () in
+  let q = Exo_ukr_gen.Source.ukernel_ref_simple () in
+  Alcotest.(check bool) "two builds of the reference are alpha-equal" true
+    (Alpha.proc_eq p q)
+
+(* --- Cursor --------------------------------------------------------- *)
+
+let sample_body () =
+  let i = Sym.fresh "i" and j = Sym.fresh "j" in
+  let a = Sym.fresh "a" and b = Sym.fresh "b" in
+  ( a,
+    b,
+    [
+      alloc a Dtype.F32 [ int 4 ];
+      loop i (int 0) (int 4)
+        [ assign a [ var i ] (flt 0.0); loop j (int 0) (int 2) [ assign b [ var j ] (flt 1.0) ] ];
+    ] )
+
+let test_cursor_get_splice () =
+  let _, _, body = sample_body () in
+  let all = Cursor.all_stmts body in
+  Alcotest.(check int) "5 statements total" 5 (List.length all);
+  (* replace the innermost assign with two copies *)
+  let c, s =
+    List.find (fun (_, s) -> match s with SAssign (b, _, _) -> Sym.name b = "b" | _ -> false) all
+  in
+  let body' = Cursor.splice body c [ s; s ] in
+  Alcotest.(check int) "one more statement" 6 (List.length (Cursor.all_stmts body'))
+
+let test_cursor_parent () =
+  let _, _, body = sample_body () in
+  let c, _ =
+    List.find
+      (fun (_, s) -> match s with SAssign (b, _, _) -> Sym.name b = "b" | _ -> false)
+      (Cursor.all_stmts body)
+  in
+  match Cursor.parent c with
+  | Some p -> (
+      match Cursor.get body p with
+      | SFor (v, _, _, _) -> Alcotest.(check string) "parent is j loop" "j" (Sym.name v)
+      | _ -> Alcotest.fail "parent should be a loop")
+  | None -> Alcotest.fail "has a parent"
+
+let test_cursor_insert () =
+  let a, _, body = sample_body () in
+  let c = { Cursor.dirs = []; last = 1 } in
+  let body' = Cursor.insert_before body c [ assign a [ int 0 ] (flt 9.0) ] in
+  match List.nth body' 1 with
+  | SAssign (_, [ Int 0 ], Float 9.0) -> ()
+  | _ -> Alcotest.fail "insert_before misplaced"
+
+let test_cursor_out_of_range () =
+  let _, _, body = sample_body () in
+  Alcotest.check_raises "bad index raises"
+    (Cursor.Invalid_cursor "statement index 9 out of range (block has 2)") (fun () ->
+      ignore (Cursor.get body { Cursor.dirs = []; last = 9 }))
+
+(* --- Pp ------------------------------------------------------------- *)
+
+let test_pp_exo_style () =
+  let i = Sym.fresh "i" and c = Sym.fresh "C" and a = Sym.fresh "A" in
+  let s = loop i (int 0) (int 4) [ reduce c [ var i ] (rd a [ var i ]) ] in
+  Alcotest.(check string) "loop syntax"
+    "for i in seq(0, 4):\n    C[i] += A[i]"
+    (Pp.stmt_to_string s)
+
+let test_pp_precedence () =
+  let x = Sym.fresh "x" in
+  check_expr_str "mul over add" "(x + 1) * 2" (mul (add (var x) (int 1)) (int 2));
+  check_expr_str "no spurious parens" "x * 2 + 1" (add (mul (var x) (int 2)) (int 1))
+
+let test_pp_fig4_reference () =
+  (* the full reference kernel pretty-prints to the paper's Fig. 4 shape *)
+  let txt = Pp.proc_to_string (Exo_ukr_gen.Source.ukernel_ref ()) in
+  List.iter
+    (fun needle ->
+      let nh = String.length txt and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub txt i nn = needle || go (i + 1)) in
+      Alcotest.(check bool) ("contains " ^ needle) true (go 0))
+    [
+      "def ukernel_ref_full(MR: size, NR: size, KC: size, alpha: f32[1] @ DRAM";
+      "Cb: f32[NR, MR] @ DRAM";
+      "Ba: f32[KC, NR] @ DRAM";
+      "Cb[cj, ci] = C[cj, ci] * beta[0]";
+      "Ba[bk, bj] = Bc[bk, bj] * alpha[0]";
+      "Cb[j, i] += Ac[k, i] * Ba[k, j]";
+      "C[cj, ci] = Cb[cj, ci]";
+    ]
+
+let test_pp_window () =
+  let c = Sym.fresh "C_reg" in
+  let w = { wbuf = c; widx = [ Pt (int 3); Iv (int 0, int 4) ] } in
+  Alcotest.(check string) "window" "C_reg[3, 0:4]" (Fmt.str "%a" Pp.pp_window w)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest [ prop_affine_roundtrip; prop_affine_add_homomorphic ] in
+  Alcotest.run "ir"
+    [
+      ( "sym",
+        [
+          Alcotest.test_case "fresh distinct" `Quick test_sym_fresh_distinct;
+          Alcotest.test_case "clone" `Quick test_sym_clone;
+          Alcotest.test_case "collections" `Quick test_sym_collections;
+        ] );
+      ( "affine",
+        [
+          Alcotest.test_case "normalization" `Quick test_affine_normalization;
+          Alcotest.test_case "cancellation" `Quick test_affine_cancellation;
+          Alcotest.test_case "non-affine" `Quick test_affine_non_affine;
+          Alcotest.test_case "exact division" `Quick test_affine_exact_division;
+          Alcotest.test_case "const mod" `Quick test_affine_mod_const;
+          Alcotest.test_case "roundtrip" `Quick test_affine_roundtrip;
+        ]
+        @ qt );
+      ( "simplify",
+        [
+          Alcotest.test_case "constants" `Quick test_simplify_constants;
+          Alcotest.test_case "affine residue" `Quick test_simplify_affine;
+          Alcotest.test_case "single-iteration loop" `Quick test_simplify_single_iteration_loop;
+          Alcotest.test_case "empty loop" `Quick test_simplify_empty_loop;
+          Alcotest.test_case "constant if" `Quick test_simplify_if_const;
+        ] );
+      ( "subst",
+        [
+          Alcotest.test_case "substitute var" `Quick test_subst_var;
+          Alcotest.test_case "respects binders" `Quick test_subst_respects_binders;
+          Alcotest.test_case "freshen loop binders" `Quick test_freshen_renames_binders;
+          Alcotest.test_case "freshen allocs" `Quick test_freshen_renames_allocs;
+        ] );
+      ( "alpha",
+        [
+          Alcotest.test_case "binder names" `Quick test_alpha_loop_var_names;
+          Alcotest.test_case "index spellings" `Quick test_alpha_index_spelling;
+          Alcotest.test_case "distinguishes extents" `Quick test_alpha_distinguishes;
+          Alcotest.test_case "proc self-equality" `Quick test_proc_eq_self;
+        ] );
+      ( "cursor",
+        [
+          Alcotest.test_case "get/splice" `Quick test_cursor_get_splice;
+          Alcotest.test_case "parent" `Quick test_cursor_parent;
+          Alcotest.test_case "insert" `Quick test_cursor_insert;
+          Alcotest.test_case "out of range" `Quick test_cursor_out_of_range;
+        ] );
+      ( "pp",
+        [
+          Alcotest.test_case "exo style" `Quick test_pp_exo_style;
+          Alcotest.test_case "precedence" `Quick test_pp_precedence;
+          Alcotest.test_case "window" `Quick test_pp_window;
+          Alcotest.test_case "Fig. 4 reference" `Quick test_pp_fig4_reference;
+        ] );
+    ]

@@ -1,0 +1,178 @@
+(* ISA libraries: memory metadata, instruction definitions, machines. *)
+
+open Exo_ir
+module Mem = Exo_isa.Memories
+module Mach = Exo_isa.Machine
+
+let test_memory_lookup () =
+  Alcotest.(check bool) "Neon registered" true (Mem.is_register_mem Exo_isa.Neon.mem);
+  Alcotest.(check bool) "DRAM not a register mem" false (Mem.is_register_mem Exo_ir.Mem.dram)
+
+let test_lanes () =
+  Alcotest.(check int) "Neon f32 lanes" 4 (Mem.lanes_of Mem.neon Dtype.F32);
+  Alcotest.(check int) "Neon f16 lanes" 8 (Mem.lanes_of Mem.neon Dtype.F16);
+  Alcotest.(check int) "AVX512 f32 lanes" 16 (Mem.lanes_of Mem.avx512 Dtype.F32);
+  Alcotest.(check int) "RVV f32 lanes" 4 (Mem.lanes_of Mem.rvv Dtype.F32)
+
+let test_c_vec_types () =
+  Alcotest.(check (option string)) "neon f32" (Some "float32x4_t")
+    (Mem.neon.Mem.c_vec_type Dtype.F32);
+  Alcotest.(check (option string)) "avx512 f32" (Some "__m512")
+    (Mem.avx512.Mem.c_vec_type Dtype.F32)
+
+let all_instrs = Exo_isa.Neon.all @ Exo_isa.Avx512.all @ Exo_isa.Rvv.all
+
+let test_instr_wellformed () =
+  (* instruction bodies are checked at construction; re-check here *)
+  List.iter Exo_check.Wellformed.check_proc all_instrs;
+  Alcotest.(check bool) "all instruction bodies typecheck" true true
+
+let test_instr_annotations () =
+  List.iter
+    (fun (p : Ir.proc) ->
+      match p.Ir.p_instr with
+      | Some info ->
+          Alcotest.(check bool)
+            (p.Ir.p_name ^ " has a format") true
+            (String.length info.Ir.ci_fmt > 0);
+          Alcotest.(check bool)
+            (p.Ir.p_name ^ " names a header") true
+            (info.Ir.ci_includes <> [])
+      | None -> Alcotest.fail (p.Ir.p_name ^ " lacks @instr"))
+    all_instrs
+
+let test_instr_unique_names () =
+  let names = List.map (fun (p : Ir.proc) -> p.Ir.p_name) all_instrs in
+  Alcotest.(check int) "no duplicate instruction names"
+    (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_instr_format_holes_resolve () =
+  (* every {hole} in a format names a parameter (possibly via _data) *)
+  List.iter
+    (fun (p : Ir.proc) ->
+      let info = Option.get p.Ir.p_instr in
+      let params = List.map (fun (a : Ir.arg) -> Sym.name a.Ir.a_name) p.Ir.p_args in
+      let s = info.Ir.ci_fmt in
+      let i = ref 0 in
+      while !i < String.length s do
+        (if s.[!i] = '{' then
+           let j = String.index_from s !i '}' in
+           let hole = String.sub s (!i + 1) (j - !i - 1) in
+           let key =
+             match Filename.chop_suffix_opt ~suffix:"_data" hole with
+             | Some k -> k
+             | None -> hole
+           in
+           Alcotest.(check bool)
+             (Fmt.str "%s: hole {%s} resolves" p.Ir.p_name hole)
+             true (List.mem key params);
+           i := j);
+        incr i
+      done)
+    all_instrs
+
+(* fma semantics: run each FMA instruction's body through the interpreter
+   and compare against the expected arithmetic *)
+let run_fma (instr : Ir.proc) ~lanes ~dt ~lane_sel =
+  let module B = Exo_interp.Buffer in
+  let module I = Exo_interp.Interp in
+  let dst = B.create ~init:1.0 dt [ lanes ] in
+  let lhs = B.create ~init:0.0 dt [ lanes ] in
+  let rhs = B.create ~init:0.0 dt [ lanes ] in
+  B.fill lhs (fun i -> float_of_int (i.(0) + 1));
+  B.fill rhs (fun i -> float_of_int ((2 * i.(0)) + 1));
+  let args =
+    List.map
+      (fun (a : Ir.arg) ->
+        match (Sym.name a.Ir.a_name, a.Ir.a_typ) with
+        | "dst", _ -> I.VBuf dst
+        | "lhs", _ -> I.VBuf lhs
+        | ("rhs" | "s"), Ir.TTensor (_, [ Ir.Int 1 ]) ->
+            I.VBuf (B.view rhs [ `Iv (0, 1) ])
+        | "rhs", _ -> I.VBuf rhs
+        | "s", _ -> I.VBuf (B.view rhs [ `Iv (0, 1) ])
+        | "l", _ -> I.VInt lane_sel
+        | _ -> Alcotest.fail "unexpected param"
+      )
+      instr.Ir.p_args
+  in
+  I.run instr args;
+  dst
+
+let test_fma_lane_semantics () =
+  let dst = run_fma Exo_isa.Neon.vfmla_4xf32_4xf32 ~lanes:4 ~dt:Dtype.F32 ~lane_sel:2 in
+  (* dst[i] = 1 + (i+1) * rhs[2] = 1 + (i+1)*5 *)
+  for i = 0 to 3 do
+    Alcotest.(check (float 0.0))
+      (Fmt.str "lane %d" i)
+      (1.0 +. (float_of_int (i + 1) *. 5.0))
+      (Exo_interp.Buffer.get dst [| i |])
+  done
+
+let test_fma_vv_semantics () =
+  let dst = run_fma Exo_isa.Neon.vfmadd_4xf32_4xf32 ~lanes:4 ~dt:Dtype.F32 ~lane_sel:0 in
+  for i = 0 to 3 do
+    Alcotest.(check (float 0.0))
+      (Fmt.str "lane %d" i)
+      (1.0 +. (float_of_int (i + 1) *. float_of_int ((2 * i) + 1)))
+      (Exo_interp.Buffer.get dst [| i |])
+  done
+
+let test_fma_scalar_semantics () =
+  let dst = run_fma Exo_isa.Neon.vfmacc_scalar_4xf32 ~lanes:4 ~dt:Dtype.F32 ~lane_sel:0 in
+  (* dst[i] = 1 + s[0] * rhs[i] where s = rhs[0] = 1 *)
+  for i = 0 to 3 do
+    Alcotest.(check (float 0.0))
+      (Fmt.str "lane %d" i)
+      (1.0 +. (1.0 *. float_of_int ((2 * i) + 1)))
+      (Exo_interp.Buffer.get dst [| i |])
+  done
+
+let test_lane_precondition_enforced () =
+  Alcotest.(check bool) "lane 7 of 4 rejected at runtime" true
+    (try
+       ignore (run_fma Exo_isa.Neon.vfmla_4xf32_4xf32 ~lanes:4 ~dt:Dtype.F32 ~lane_sel:7);
+       false
+     with Exo_interp.Interp.Runtime_error _ -> true)
+
+let test_machine_peaks () =
+  Alcotest.(check (float 0.01)) "Carmel FP32 peak" 36.8
+    (Mach.peak_gflops Mach.carmel Dtype.F32);
+  Alcotest.(check (float 0.01)) "Carmel FP16 peak" 73.6
+    (Mach.peak_gflops Mach.carmel_fp16 Dtype.F16);
+  Alcotest.(check (float 0.01)) "AVX512 peak" 160.0
+    (Mach.peak_gflops Mach.avx512_server Dtype.F32)
+
+let test_machine_cache_geometry () =
+  Alcotest.(check int) "carmel L1 64K" (64 * 1024) (Mach.cache_bytes Mach.carmel.Mach.l1);
+  Alcotest.(check bool) "L1 < L2 < L3" true
+    (Mach.cache_bytes Mach.carmel.Mach.l1 < Mach.cache_bytes Mach.carmel.Mach.l2
+    && Mach.cache_bytes Mach.carmel.Mach.l2 < Mach.cache_bytes Mach.carmel.Mach.l3)
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "memories",
+        [
+          Alcotest.test_case "lookup" `Quick test_memory_lookup;
+          Alcotest.test_case "lanes" `Quick test_lanes;
+          Alcotest.test_case "c types" `Quick test_c_vec_types;
+        ] );
+      ( "instructions",
+        [
+          Alcotest.test_case "well-formed" `Quick test_instr_wellformed;
+          Alcotest.test_case "annotations" `Quick test_instr_annotations;
+          Alcotest.test_case "unique names" `Quick test_instr_unique_names;
+          Alcotest.test_case "format holes" `Quick test_instr_format_holes_resolve;
+          Alcotest.test_case "fma lane semantics" `Quick test_fma_lane_semantics;
+          Alcotest.test_case "fma vv semantics" `Quick test_fma_vv_semantics;
+          Alcotest.test_case "fma scalar semantics" `Quick test_fma_scalar_semantics;
+          Alcotest.test_case "lane precondition" `Quick test_lane_precondition_enforced;
+        ] );
+      ( "machines",
+        [
+          Alcotest.test_case "peak gflops" `Quick test_machine_peaks;
+          Alcotest.test_case "cache geometry" `Quick test_machine_cache_geometry;
+        ] );
+    ]

@@ -1,0 +1,191 @@
+(* Pattern mini-language and the expression/window parser. *)
+
+open Exo_ir
+open Ir
+open Builder
+module P = Exo_pattern.Pattern
+module EP = Exo_pattern.Expr_parse
+
+let body () =
+  let k = Sym.fresh "k" and j = Sym.fresh "j" and i = Sym.fresh "i" in
+  let c = Sym.fresh "C" and a = Sym.fresh "Ac" and b = Sym.fresh "Bc" in
+  let t = Sym.fresh "tmp" in
+  ( (k, j, i, c, a, b, t),
+    [
+      alloc t Dtype.F32 [ int 4 ];
+      loop k (int 0) (int 8)
+        [
+          loop j (int 0) (int 12)
+            [
+              loop i (int 0) (int 8)
+                [
+                  assign t [ md (var i) (int 4) ] (rd a [ var k; var i ]);
+                  reduce c [ var j; var i ]
+                    (mul (rd t [ md (var i) (int 4) ]) (rd b [ var k; var j ]));
+                ];
+            ];
+        ];
+    ] )
+
+let test_loop_pattern () =
+  let _, b = body () in
+  Alcotest.(check int) "for j matches once" 1 (P.count b "for j in _: _");
+  Alcotest.(check int) "bare name shorthand" 1 (P.count b "j");
+  Alcotest.(check int) "wildcard loop matches 3" 3 (P.count b "for _ in _: _")
+
+let test_assign_reduce_patterns () =
+  let _, b = body () in
+  Alcotest.(check int) "tmp assign" 1 (P.count b "tmp[_] = _");
+  Alcotest.(check int) "C reduce" 1 (P.count b "C[_] += _");
+  Alcotest.(check int) "wildcard reduce" 1 (P.count b "_[_] += _");
+  Alcotest.(check int) "no C assign" 0 (P.count b "C[_] = _")
+
+let test_alloc_call_patterns () =
+  let _, b = body () in
+  Alcotest.(check int) "alloc" 1 (P.count b "tmp : _");
+  let vld = Exo_isa.Neon.vld_4xf32 in
+  let b2 = b @ [ SCall (vld, []) ] (* arity is not the matcher's concern *) in
+  Alcotest.(check int) "call by name" 1 (P.count b2 "neon_vld_4xf32(_)");
+  Alcotest.(check int) "call wildcard" 1 (P.count b2 "_(_)")
+
+let test_if_pattern () =
+  let c = Sym.fresh "c" and t = Sym.fresh "t" in
+  let b =
+    [
+      alloc t Dtype.F32 [ int 1 ];
+      if_ (lt (rd t [ int 0 ]) (flt 1.0))
+        [ assign t [ int 0 ] (flt 0.0) ]
+        [ assign t [ int 0 ] (flt 1.0) ];
+    ]
+  in
+  ignore c;
+  Alcotest.(check int) "if matches" 1 (P.count b "if _: _");
+  (* cursors reach into both branches *)
+  Alcotest.(check int) "assigns in both branches found" 2 (P.count b "t[_] = _")
+
+let test_occurrence_selector () =
+  let i1 = Sym.fresh "x" and i2 = Sym.fresh "x" and t = Sym.fresh "t" in
+  let b =
+    [
+      alloc t Dtype.F32 [ int 8 ];
+      loop i1 (int 0) (int 4) [ assign t [ var i1 ] (flt 0.0) ];
+      loop i2 (int 0) (int 4) [ assign t [ add (var i2) (int 4) ] (flt 1.0) ];
+    ]
+  in
+  let c = P.find_first b "for x in _: _ #1" in
+  match Cursor.get b c with
+  | SFor (v, _, _, _) -> Alcotest.(check bool) "second x loop" true (Sym.equal v i2)
+  | _ -> Alcotest.fail "expected a loop"
+
+let test_occurrence_out_of_range () =
+  let _, b = body () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (P.find b "for j in _: _ #3");
+       false
+     with P.Pattern_error _ -> true)
+
+let test_no_match_error () =
+  let _, b = body () in
+  Alcotest.(check bool) "find_first raises on no match" true
+    (try
+       ignore (P.find_first b "for zz in _: _");
+       false
+     with P.Pattern_error _ -> true)
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Fmt.str "reject %S" s) true
+        (try
+           ignore (P.parse s);
+           false
+         with P.Pattern_error _ -> true))
+    [ ""; "for in _: _"; "C[_] == _"; "#2"; "for i in _: _ #" ]
+
+let test_program_order () =
+  let _, b = body () in
+  let cs = P.find b "for _ in _: _" in
+  let names =
+    List.map
+      (fun c -> match Cursor.get b c with SFor (v, _, _, _) -> Sym.name v | _ -> "?")
+      cs
+  in
+  Alcotest.(check (list string)) "outer first" [ "k"; "j"; "i" ] names
+
+(* --- expression parser ---------------------------------------------- *)
+
+let env_of l name = List.assoc_opt name l
+
+let test_expr_parse_precedence () =
+  let jt = Sym.fresh "jt" and jtt = Sym.fresh "jtt" in
+  let env = env_of [ ("jt", jt); ("jtt", jtt) ] in
+  let e = EP.expr ~env "4 * jt + jtt" in
+  Alcotest.(check bool) "parsed as (4*jt)+jtt" true
+    (Affine.expr_equal e (add (mul (int 4) (var jt)) (var jtt)) = Some true)
+
+let test_expr_parse_parens_neg () =
+  let x = Sym.fresh "x" in
+  let env = env_of [ ("x", x) ] in
+  let e = EP.expr ~env "-(x + 2) * 3" in
+  Alcotest.(check bool) "unary minus binds the parenthesized group" true
+    (Affine.expr_equal e (mul (neg (add (var x) (int 2))) (int 3)) = Some true)
+
+let test_expr_parse_access () =
+  let c = Sym.fresh "C" and i = Sym.fresh "i" in
+  let env = env_of [ ("C", c); ("i", i) ] in
+  match EP.point_access ~env "C[2 * i, 5]" with
+  | b, [ _; Int 5 ] -> Alcotest.(check bool) "buffer resolved" true (Sym.equal b c)
+  | _ -> Alcotest.fail "bad access parse"
+
+let test_window_parse () =
+  let c = Sym.fresh "C" and k = Sym.fresh "k" in
+  let env = env_of [ ("C", c); ("k", k) ] in
+  match EP.window ~env "C[k, 0:12]" with
+  | b, [ Pt (Var k'); Iv (Int 0, Int 12) ] ->
+      Alcotest.(check bool) "buf" true (Sym.equal b c);
+      Alcotest.(check bool) "k resolved" true (Sym.equal k k')
+  | _ -> Alcotest.fail "bad window parse"
+
+let test_expr_parse_unknown_name () =
+  Alcotest.(check bool) "unknown name raises" true
+    (try
+       ignore (EP.expr ~env:(fun _ -> None) "a + 1");
+       false
+     with EP.Parse_error _ -> true)
+
+let test_expr_parse_trailing () =
+  let x = Sym.fresh "x" in
+  let env = env_of [ ("x", x) ] in
+  Alcotest.(check bool) "trailing tokens raise" true
+    (try
+       ignore (EP.expr ~env "x + 1 )");
+       false
+     with EP.Parse_error _ -> true)
+
+let () =
+  Alcotest.run "pattern"
+    [
+      ( "patterns",
+        [
+          Alcotest.test_case "loop" `Quick test_loop_pattern;
+          Alcotest.test_case "assign/reduce" `Quick test_assign_reduce_patterns;
+          Alcotest.test_case "alloc/call" `Quick test_alloc_call_patterns;
+          Alcotest.test_case "if" `Quick test_if_pattern;
+          Alcotest.test_case "occurrence" `Quick test_occurrence_selector;
+          Alcotest.test_case "occurrence out of range" `Quick test_occurrence_out_of_range;
+          Alcotest.test_case "no match" `Quick test_no_match_error;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "program order" `Quick test_program_order;
+        ] );
+      ( "expr-parse",
+        [
+          Alcotest.test_case "precedence" `Quick test_expr_parse_precedence;
+          Alcotest.test_case "parens/neg" `Quick test_expr_parse_parens_neg;
+          Alcotest.test_case "access" `Quick test_expr_parse_access;
+          Alcotest.test_case "window" `Quick test_window_parse;
+          Alcotest.test_case "unknown name" `Quick test_expr_parse_unknown_name;
+          Alcotest.test_case "trailing tokens" `Quick test_expr_parse_trailing;
+        ] );
+    ]

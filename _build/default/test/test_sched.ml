@@ -1,0 +1,540 @@
+(* Scheduling primitives: positive behaviour, legality rejections, and
+   semantics preservation (interpreter equivalence before/after). *)
+
+open Exo_ir
+open Ir
+open Builder
+module Sched = Exo_sched.Sched
+module B = Exo_interp.Buffer
+module I = Exo_interp.Interp
+
+let raises_sched f =
+  try
+    ignore (f ());
+    false
+  with Sched.Sched_error _ -> true
+
+let check_sched_error msg f = Alcotest.(check bool) msg true (raises_sched f)
+
+(* Run the simplified reference signature (KC, alpha, Ac, Bc, beta, C) on
+   deterministic data and return C. *)
+let run_kernel ?(mr = 8) ?(nr = 12) ?(kc = 5) (p : proc) ~(specialized : bool) :
+    B.t =
+  let st = Random.State.make [| mr; nr; kc; 7 |] in
+  let mk dims =
+    let b = B.create ~init:0.0 Dtype.F32 dims in
+    B.fill b (fun _ -> float_of_int (Random.State.int st 7 - 3));
+    b
+  in
+  let ac = mk [ kc; mr ] and bc = mk [ kc; nr ] and c = mk [ nr; mr ] in
+  let one = B.of_array Dtype.F32 [ 1 ] [| 1.0 |] in
+  let args =
+    if specialized then [ I.VInt kc; I.VBuf one; I.VBuf ac; I.VBuf bc; I.VBuf one; I.VBuf c ]
+    else
+      [ I.VInt mr; I.VInt nr; I.VInt kc; I.VBuf one; I.VBuf ac; I.VBuf bc; I.VBuf one; I.VBuf c ]
+  in
+  I.run p args;
+  c
+
+let reference_result ?mr ?nr ?kc () =
+  run_kernel ?mr ?nr ?kc (Exo_ukr_gen.Source.ukernel_ref_simple ()) ~specialized:false
+
+(* A specialized starting point most tests transform. *)
+let base ?(mr = 8) ?(nr = 12) () =
+  let p = Exo_ukr_gen.Source.ukernel_ref_simple () in
+  Sched.partial_eval p [ ("MR", mr); ("NR", nr) ]
+
+let check_equiv msg ?(mr = 8) ?(nr = 12) (p : proc) =
+  let expected = reference_result ~mr ~nr () in
+  let got = run_kernel ~mr ~nr p ~specialized:true in
+  Alcotest.(check bool) msg true (B.equal expected got)
+
+(* --- partial_eval ----------------------------------------------------- *)
+
+let test_partial_eval_specializes () =
+  let p = base () in
+  Alcotest.(check int) "two fewer args" 6 (List.length p.p_args);
+  check_equiv "specialization preserves semantics" p
+
+let test_partial_eval_errors () =
+  let p = Exo_ukr_gen.Source.ukernel_ref_simple () in
+  check_sched_error "unknown size" (fun () -> Sched.partial_eval p [ ("QQ", 3) ]);
+  check_sched_error "non-size arg" (fun () -> Sched.partial_eval p [ ("alpha", 3) ]);
+  check_sched_error "non-positive" (fun () -> Sched.partial_eval p [ ("MR", 0) ])
+
+(* --- divide_loop ------------------------------------------------------ *)
+
+let test_divide_perfect () =
+  let p = Sched.divide_loop (base ()) "i" 4 ("it", "itt") ~tail:Sched.Perfect in
+  Alcotest.(check int) "it loop appears" 1 (Exo_pattern.Pattern.count p.p_body "it");
+  check_equiv "perfect divide preserves semantics" p
+
+let test_divide_imperfect_rejected () =
+  check_sched_error "5 does not divide 12" (fun () ->
+      Sched.divide_loop (base ()) "j" 5 ("jt", "jtt") ~tail:Sched.Perfect)
+
+let test_divide_symbolic_rejected () =
+  check_sched_error "symbolic extent not provably divisible" (fun () ->
+      Sched.divide_loop (base ()) "k" 4 ("kt", "ktt") ~tail:Sched.Perfect)
+
+let test_divide_cut () =
+  (* 12 = 2*5 + 2 remainder *)
+  let p = Sched.divide_loop (base ()) "j" 5 ("jt", "jtt") ~tail:Sched.Cut in
+  check_equiv "cut divide preserves semantics" p
+
+let test_divide_cut_symbolic () =
+  let p = Sched.divide_loop (base ()) "k" 4 ("kt", "ktt") ~tail:Sched.Cut in
+  check_equiv "symbolic cut divide preserves semantics" p
+
+let test_divide_bad_quotient () =
+  check_sched_error "quotient 0" (fun () ->
+      Sched.divide_loop (base ()) "i" 0 ("a", "b") ~tail:Sched.Perfect)
+
+(* --- reorder_loops ---------------------------------------------------- *)
+
+let test_reorder_ok () =
+  let p = Sched.reorder_loops (base ()) "j i" in
+  (match Exo_pattern.Pattern.find_first_stmt p.p_body "for k in _: _" with
+  | _, SFor (_, _, _, [ SFor (v, _, _, _) ]) ->
+      Alcotest.(check string) "i now outer under k" "i" (Sym.name v)
+  | _ -> Alcotest.fail "unexpected structure");
+  check_equiv "reorder preserves semantics" p
+
+let test_reorder_not_nested () =
+  check_sched_error "k and i are not directly nested" (fun () ->
+      Sched.reorder_loops (base ()) "k i")
+
+let test_reorder_illegal_dependence () =
+  let i = Sym.fresh "i" and j = Sym.fresh "j" and s = Sym.fresh "s" in
+  let p =
+    mk_proc ~name:"t"
+      ~args:[ tensor_arg s Dtype.F32 [ int 1 ] ]
+      [
+        loopn j (int 4)
+          [ loopn i (int 4) [ assign s [ int 0 ] (add (var i) (flt 0.0)) ] ];
+      ]
+  in
+  (* note: i is an int var in a float expr — make it well-typed instead *)
+  ignore p;
+  let p =
+    mk_proc ~name:"t"
+      ~args:[ tensor_arg s Dtype.F32 [ int 8 ] ]
+      [
+        loopn j (int 4)
+          [ loopn i (int 4) [ assign s [ var i ] (rd s [ var j ]) ] ];
+      ]
+  in
+  check_sched_error "cross-iteration flow rejected" (fun () ->
+      Sched.reorder_loops p "j i")
+
+(* --- unroll_loop ------------------------------------------------------ *)
+
+let test_unroll_ok () =
+  let p = Sched.divide_loop (base ()) "i" 4 ("it", "itt") ~tail:Sched.Perfect in
+  let p = Sched.unroll_loop p "it" in
+  Alcotest.(check int) "it gone" 0 (Exo_pattern.Pattern.count p.p_body "it");
+  check_equiv "unroll preserves semantics" p
+
+let test_unroll_symbolic_rejected () =
+  check_sched_error "symbolic bounds" (fun () -> Sched.unroll_loop (base ()) "k")
+
+(* --- remove_loop ------------------------------------------------------ *)
+
+let test_remove_loop_ok () =
+  let k = Sym.fresh "k" and kc = Sym.fresh "KC" in
+  let dst = Sym.fresh "dst" and src = Sym.fresh "src" and i = Sym.fresh "i" in
+  let p =
+    mk_proc ~name:"t"
+      ~args:[ size_arg kc; tensor_arg dst Dtype.F32 [ int 4 ]; tensor_arg src Dtype.F32 [ int 4 ] ]
+      [ loopn k (var kc) [ loopn i (int 4) [ assign dst [ var i ] (rd src [ var i ]) ] ] ]
+  in
+  let p' = Sched.remove_loop p "k" in
+  Alcotest.(check int) "k loop removed" 0 (Exo_pattern.Pattern.count p'.p_body "k")
+
+let test_remove_loop_uses_var () =
+  let p = base () in
+  check_sched_error "body uses k" (fun () -> Sched.remove_loop p "k")
+
+let test_remove_loop_not_idempotent () =
+  let k = Sym.fresh "k" and kc = Sym.fresh "KC" and a = Sym.fresh "a" in
+  let p =
+    mk_proc ~name:"t"
+      ~args:[ size_arg kc; tensor_arg a Dtype.F32 [ int 1 ] ]
+      [ loopn k (var kc) [ reduce a [ int 0 ] (flt 1.0) ] ]
+  in
+  check_sched_error "reduction body" (fun () -> Sched.remove_loop p "k")
+
+let test_remove_loop_trip_count () =
+  let k = Sym.fresh "k" and a = Sym.fresh "a" and b = Sym.fresh "b" in
+  let p =
+    mk_proc ~name:"t"
+      ~args:[ tensor_arg a Dtype.F32 [ int 1 ]; tensor_arg b Dtype.F32 [ int 1 ] ]
+      [ loop k (int 0) (int 0) [ assign a [ int 0 ] (rd b [ int 0 ]) ] ]
+  in
+  check_sched_error "possibly zero trips" (fun () -> Sched.remove_loop p "k")
+
+(* --- stage_mem -------------------------------------------------------- *)
+
+let staged_base () =
+  let p = base () in
+  let p = Sched.divide_loop p "i" 4 ("it", "itt") ~tail:Sched.Perfect in
+  Sched.divide_loop p "j" 4 ("jt", "jtt") ~tail:Sched.Perfect
+
+let test_stage_mem_window () =
+  let p = Sched.stage_mem (staged_base ()) "for k in _: _" "C[0:12, 0:8]" "C_reg" in
+  Alcotest.(check int) "C_reg allocated" 1 (Exo_pattern.Pattern.count p.p_body "C_reg : _");
+  check_equiv "stage_mem preserves semantics" p
+
+let test_stage_mem_point () =
+  (* scalar staging of the accumulation cell *)
+  let p = base () in
+  let p = Sched.stage_mem p "C[_] += _" "C[j, i]" "acc" in
+  check_equiv "point staging preserves semantics" p
+
+let test_stage_mem_escape_rejected () =
+  check_sched_error "window smaller than the accesses" (fun () ->
+      Sched.stage_mem (staged_base ()) "for k in _: _" "C[0:4, 0:8]" "C_reg")
+
+let test_stage_mem_unknown_buffer () =
+  check_sched_error "unknown buffer" (fun () ->
+      Sched.stage_mem (staged_base ()) "for k in _: _" "Zz[0:4]" "r")
+
+(* --- bind_expr / expand_dim / lift_alloc / divide_dim ----------------- *)
+
+let test_bind_expr () =
+  let p = Sched.bind_expr (staged_base ()) "Ac[_]" "A_reg" in
+  Alcotest.(check int) "A_reg bound" 1 (Exo_pattern.Pattern.count p.p_body "A_reg : _");
+  check_equiv "bind_expr preserves semantics" p
+
+let test_bind_expr_missing () =
+  check_sched_error "no such read" (fun () -> Sched.bind_expr (staged_base ()) "Zc[_]" "r")
+
+let test_expand_dim () =
+  let p = Sched.bind_expr (staged_base ()) "Ac[_]" "A_reg" in
+  let p = Sched.expand_dim p "A_reg" "4" "itt" in
+  let p = Sched.expand_dim p "A_reg" "2" "it" in
+  check_equiv "expand_dim preserves semantics" p
+
+let test_expand_dim_out_of_range () =
+  let p = Sched.bind_expr (staged_base ()) "Ac[_]" "A_reg" in
+  check_sched_error "index exceeds the new extent" (fun () ->
+      Sched.expand_dim p "A_reg" "2" "itt")
+
+let test_expand_dim_bad_name () =
+  let p = Sched.bind_expr (staged_base ()) "Ac[_]" "A_reg" in
+  check_sched_error "name not in scope" (fun () -> Sched.expand_dim p "A_reg" "4" "zz")
+
+let test_lift_alloc_and_fission () =
+  let p = Sched.bind_expr (staged_base ()) "Ac[_]" "A_reg" in
+  let p = Sched.expand_dim p "A_reg" "4" "itt" in
+  let p = Sched.expand_dim p "A_reg" "2" "it" in
+  let p = Sched.lift_alloc p "A_reg" ~n_lifts:5 in
+  let p = Sched.autofission p ~gap:(Sched.After "A_reg[_] = _") ~n_lifts:4 in
+  check_equiv "lift + fission preserve semantics" p
+
+let test_fission_without_lift_rejected () =
+  let p = Sched.bind_expr (staged_base ()) "Ac[_]" "A_reg" in
+  let p = Sched.expand_dim p "A_reg" "4" "itt" in
+  (* the alloc still sits next to the load: fission would unscope it *)
+  check_sched_error "escaping allocation" (fun () ->
+      Sched.autofission p ~gap:(Sched.After "A_reg[_] = _") ~n_lifts:2)
+
+let test_autofission_too_few_loops () =
+  check_sched_error "not enough enclosing loops" (fun () ->
+      Sched.autofission (base ()) ~gap:(Sched.After "C[_] += _") ~n_lifts:9)
+
+let test_divide_dim () =
+  let p = Sched.stage_mem (staged_base ()) "for k in _: _" "C[0:12, 0:8]" "C_reg" in
+  let p = Sched.divide_loop p "s1" 4 ("s1o", "s1i") ~tail:Sched.Perfect in
+  let p = Sched.divide_loop p "s1" 4 ("s1o", "s1i") ~tail:Sched.Perfect in
+  let p = Sched.divide_dim p "C_reg" 1 4 in
+  (match Exo_pattern.Pattern.find_first_stmt p.p_body "C_reg : _" with
+  | _, SAlloc (_, _, [ Int 12; Int 2; Int 4 ], _) -> ()
+  | _ -> Alcotest.fail "C_reg should be [12, 2, 4]");
+  check_equiv "divide_dim preserves semantics" p
+
+let test_divide_dim_indivisible () =
+  let p = Sched.stage_mem (staged_base ()) "for k in _: _" "C[0:12, 0:8]" "C_reg" in
+  check_sched_error "3 does not divide 8" (fun () -> Sched.divide_dim p "C_reg" 1 3)
+
+let test_lift_alloc_extent_dependency () =
+  let kc = Sym.fresh "KC" and k = Sym.fresh "k" and t = Sym.fresh "t" in
+  let a = Sym.fresh "a" in
+  let p =
+    mk_proc ~name:"t"
+      ~args:[ size_arg kc; tensor_arg a Dtype.F32 [ var kc ] ]
+      [
+        loopn k (var kc)
+          [ SAlloc (t, Dtype.F32, [ add (var k) (int 1) ], Mem.dram);
+            assign t [ int 0 ] (rd a [ var k ]) ];
+      ]
+  in
+  check_sched_error "extent depends on the crossed loop" (fun () ->
+      Sched.lift_alloc p "t" ~n_lifts:1)
+
+(* --- bind_expr_bcast -------------------------------------------------- *)
+
+let test_bind_expr_bcast () =
+  let p = Sched.divide_loop (base ()) "i" 4 ("it", "itt") ~tail:Sched.Perfect in
+  let p = Sched.bind_expr_bcast p "Bc[_]" "B_bcast" in
+  Alcotest.(check int) "broadcast buffer allocated" 1
+    (Exo_pattern.Pattern.count p.p_body "B_bcast : _");
+  check_equiv "bind_expr_bcast preserves semantics" p
+
+let test_bind_expr_bcast_var_dependent () =
+  let p = Sched.divide_loop (base ()) "i" 4 ("it", "itt") ~tail:Sched.Perfect in
+  (* Ac[k, 4*it+itt] depends on itt: cannot broadcast over itt *)
+  check_sched_error "vector-var-dependent read" (fun () ->
+      Sched.bind_expr_bcast p "Ac[_]" "A_bcast")
+
+(* --- replace ----------------------------------------------------------- *)
+
+let test_replace_success_structure () =
+  let p = Sched.stage_mem (staged_base ()) "for k in _: _" "C[0:12, 0:8]" "C_reg" in
+  let p = Sched.divide_loop p "s1" 4 ("s1o", "s1i") ~tail:Sched.Perfect in
+  let p = Sched.divide_loop p "s1" 4 ("s1o", "s1i") ~tail:Sched.Perfect in
+  let p = Sched.divide_dim p "C_reg" 1 4 in
+  let p = Sched.replace p "for s1i in _: _" Exo_isa.Neon.vld_4xf32 in
+  Alcotest.(check int) "one vld call" 1
+    (Exo_pattern.Pattern.count p.p_body "neon_vld_4xf32(_)");
+  let p = Sched.replace p "for s1i in _: _" Exo_isa.Neon.vst_4xf32 in
+  Alcotest.(check int) "one vst call" 1
+    (Exo_pattern.Pattern.count p.p_body "neon_vst_4xf32(_)");
+  check_equiv "replace preserves semantics" p
+
+let test_replace_wrong_shape () =
+  (* the compute loop does not unify with a store *)
+  check_sched_error "no unifying match" (fun () ->
+      Sched.replace (staged_base ()) "for itt in _: _" Exo_isa.Neon.vst_4xf32)
+
+let test_replace_extent_mismatch () =
+  let p = Sched.divide_loop (base ()) "i" 2 ("it", "itt") ~tail:Sched.Perfect in
+  check_sched_error "2-iteration loop vs 4-lane load" (fun () ->
+      Sched.replace p "for itt in _: _" Exo_isa.Neon.vld_4xf32)
+
+let test_replace_stride_violation () =
+  (* loads along the strided dimension of Ac (stride MR ≠ 1) must fail *)
+  let kc = Sym.fresh "KC" and a = Sym.fresh "Ac" and d = Sym.fresh "dst" in
+  let k = Sym.fresh "k" and i = Sym.fresh "i" in
+  let p =
+    mk_proc ~name:"t"
+      ~args:
+        [
+          size_arg kc;
+          tensor_arg a Dtype.F32 [ var kc; int 8 ];
+          tensor_arg ~mem:Exo_isa.Neon.mem d Dtype.F32 [ int 4 ];
+        ]
+      [
+        loopn k (int 4)
+          [ loopn i (int 4) [ assign d [ var i ] (rd a [ add (var k) (var i); int 0 ]) ] ];
+      ]
+  in
+  (* inner loop reads Ac[k+i, 0]: vector dim would be dim 0 with stride 8 *)
+  check_sched_error "non-unit stride rejected" (fun () ->
+      Sched.replace p "for i in _: _" Exo_isa.Neon.vld_4xf32)
+
+let test_replace_non_instr () =
+  check_sched_error "plain proc is not an instruction" (fun () ->
+      Sched.replace (staged_base ()) "for itt in _: _" (Exo_ukr_gen.Source.ukernel_ref_simple ()))
+
+(* --- fuse_loops --------------------------------------------------------- *)
+
+let test_fuse_roundtrip () =
+  (* two adjacent same-range loops writing disjoint cells fuse; fissioning
+     the fused loop gives back the original shape, equivalent throughout *)
+  let i1 = Sym.fresh "z" and i2 = Sym.fresh "z" in
+  let t = Sym.fresh "t" and u = Sym.fresh "u" and s = Sym.fresh "s" in
+  let p0 =
+    mk_proc ~name:"t"
+      ~args:
+        [
+          tensor_arg s Dtype.F32 [ int 4 ];
+          tensor_arg t Dtype.F32 [ int 4 ];
+          tensor_arg u Dtype.F32 [ int 4 ];
+        ]
+      [
+        loopn i1 (int 4) [ assign t [ var i1 ] (mul (rd s [ var i1 ]) (flt 2.0)) ];
+        loopn i2 (int 4) [ assign u [ var i2 ] (add (rd t [ var i2 ]) (flt 1.0)) ];
+      ]
+  in
+  let fused = Sched.fuse_loops p0 "z" in
+  Alcotest.(check int) "one z loop after fusion" 1
+    (Exo_pattern.Pattern.count fused.p_body "z");
+  let run p =
+    let sb = B.create ~init:0.0 Dtype.F32 [ 4 ] in
+    B.fill sb (fun ix -> float_of_int ix.(0));
+    let tb = B.create ~init:0.0 Dtype.F32 [ 4 ] in
+    let ub = B.create ~init:0.0 Dtype.F32 [ 4 ] in
+    I.run p [ I.VBuf sb; I.VBuf tb; I.VBuf ub ];
+    (tb, ub)
+  in
+  let t0, u0 = run p0 and t1, u1 = run fused in
+  Alcotest.(check bool) "t equal" true (B.equal t0 t1);
+  Alcotest.(check bool) "u equal" true (B.equal u0 u1);
+  (* and back: fission the fused loop between its two statements *)
+  let refissioned = Sched.autofission fused ~gap:(Sched.After "t[_] = _") ~n_lifts:1 in
+  let t2, u2 = run refissioned in
+  Alcotest.(check bool) "roundtrip equal" true (B.equal t0 t2 && B.equal u0 u2)
+
+let test_fuse_bounds_mismatch () =
+  let i1 = Sym.fresh "a" and i2 = Sym.fresh "b" and t = Sym.fresh "t" in
+  let p =
+    mk_proc ~name:"t"
+      ~args:[ tensor_arg t Dtype.F32 [ int 8 ] ]
+      [
+        loopn i1 (int 4) [ assign t [ var i1 ] (flt 0.0) ];
+        loopn i2 (int 8) [ assign t [ var i2 ] (flt 1.0) ];
+      ]
+  in
+  check_sched_error "different bounds" (fun () -> Sched.fuse_loops p "a")
+
+let test_fuse_illegal_dependence () =
+  (* loop2 reads what loop1 writes at a *different* iteration: fusing would
+     read a not-yet-written cell *)
+  let i1 = Sym.fresh "a" and i2 = Sym.fresh "b" in
+  let t = Sym.fresh "t" and u = Sym.fresh "u" in
+  let p =
+    mk_proc ~name:"t"
+      ~args:[ tensor_arg t Dtype.F32 [ int 5 ]; tensor_arg u Dtype.F32 [ int 4 ] ]
+      [
+        loopn i1 (int 4) [ assign t [ add (var i1) (int 1) ] (flt 2.0) ];
+        loopn i2 (int 4) [ assign u [ var i2 ] (rd t [ var i2 ]) ];
+      ]
+  in
+  check_sched_error "skewed flow rejected" (fun () -> Sched.fuse_loops p "a")
+
+let test_fuse_no_successor () =
+  check_sched_error "nothing after the k loop" (fun () -> Sched.fuse_loops (base ()) "k")
+
+(* --- inline_call -------------------------------------------------------- *)
+
+let test_inline_roundtrip_vld () =
+  (* replace then inline gives back an equivalent program *)
+  let p = Sched.stage_mem (staged_base ()) "for k in _: _" "C[0:12, 0:8]" "C_reg" in
+  let p = Sched.divide_loop p "s1" 4 ("s1o", "s1i") ~tail:Sched.Perfect in
+  let p = Sched.divide_loop p "s1" 4 ("s1o", "s1i") ~tail:Sched.Perfect in
+  let p = Sched.divide_dim p "C_reg" 1 4 in
+  let p = Sched.replace p "for s1i in _: _" Exo_isa.Neon.vld_4xf32 in
+  let p = Sched.inline_call p "neon_vld_4xf32(_)" in
+  Alcotest.(check int) "call gone" 0
+    (Exo_pattern.Pattern.count p.p_body "neon_vld_4xf32(_)");
+  check_equiv "replace ∘ inline preserves semantics" p
+
+let test_inline_devectorize_whole_kernel () =
+  (* inline every call of the fully scheduled kernel: still bit-exact *)
+  let k = Exo_ukr_gen.Family.generate ~mr:8 ~nr:12 () in
+  let p = ref k.Exo_ukr_gen.Family.proc in
+  (try
+     while true do
+       p := Sched.inline_call !p "_(_)"
+     done
+   with Sched.Sched_error _ -> ());
+  Alcotest.(check int) "no calls left" 0 (Exo_pattern.Pattern.count !p.p_body "_(_)");
+  check_equiv "fully de-vectorized kernel equivalent" !p
+
+let test_inline_non_call_rejected () =
+  check_sched_error "loop is not a call" (fun () -> Sched.inline_call (base ()) "k")
+
+(* --- set_memory / set_precision ---------------------------------------- *)
+
+let test_set_memory_lane_check () =
+  let p = Sched.stage_mem (staged_base ()) "for k in _: _" "C[0:12, 0:8]" "C_reg" in
+  check_sched_error "innermost extent 8 ≠ 4 lanes" (fun () ->
+      Sched.set_memory p "C_reg" Exo_isa.Neon.mem)
+
+let test_set_precision_many () =
+  let p = base () in
+  let p =
+    Sched.set_precision_many p [ "alpha"; "Ac"; "Bc"; "beta"; "C" ] Dtype.F16
+  in
+  List.iter
+    (fun (a : arg) ->
+      match a.a_typ with
+      | TTensor (dt, _) -> Alcotest.(check bool) "f16" true (Dtype.equal dt Dtype.F16)
+      | _ -> ())
+    p.p_args
+
+let test_set_precision_single_inconsistent () =
+  check_sched_error "single-buffer conversion leaves mixed types" (fun () ->
+      Sched.set_precision (base ()) "Ac" Dtype.F16)
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "partial_eval",
+        [
+          Alcotest.test_case "specializes" `Quick test_partial_eval_specializes;
+          Alcotest.test_case "errors" `Quick test_partial_eval_errors;
+        ] );
+      ( "divide_loop",
+        [
+          Alcotest.test_case "perfect" `Quick test_divide_perfect;
+          Alcotest.test_case "imperfect rejected" `Quick test_divide_imperfect_rejected;
+          Alcotest.test_case "symbolic rejected" `Quick test_divide_symbolic_rejected;
+          Alcotest.test_case "cut" `Quick test_divide_cut;
+          Alcotest.test_case "cut symbolic" `Quick test_divide_cut_symbolic;
+          Alcotest.test_case "bad quotient" `Quick test_divide_bad_quotient;
+        ] );
+      ( "reorder",
+        [
+          Alcotest.test_case "legal" `Quick test_reorder_ok;
+          Alcotest.test_case "not nested" `Quick test_reorder_not_nested;
+          Alcotest.test_case "illegal dependence" `Quick test_reorder_illegal_dependence;
+        ] );
+      ( "unroll",
+        [
+          Alcotest.test_case "constant" `Quick test_unroll_ok;
+          Alcotest.test_case "symbolic rejected" `Quick test_unroll_symbolic_rejected;
+        ] );
+      ( "remove_loop",
+        [
+          Alcotest.test_case "redundant loop" `Quick test_remove_loop_ok;
+          Alcotest.test_case "uses var" `Quick test_remove_loop_uses_var;
+          Alcotest.test_case "not idempotent" `Quick test_remove_loop_not_idempotent;
+          Alcotest.test_case "zero trip" `Quick test_remove_loop_trip_count;
+        ] );
+      ( "stage_mem",
+        [
+          Alcotest.test_case "window staging" `Quick test_stage_mem_window;
+          Alcotest.test_case "point staging" `Quick test_stage_mem_point;
+          Alcotest.test_case "escape rejected" `Quick test_stage_mem_escape_rejected;
+          Alcotest.test_case "unknown buffer" `Quick test_stage_mem_unknown_buffer;
+        ] );
+      ( "staging",
+        [
+          Alcotest.test_case "bind_expr" `Quick test_bind_expr;
+          Alcotest.test_case "bind_expr missing" `Quick test_bind_expr_missing;
+          Alcotest.test_case "expand_dim" `Quick test_expand_dim;
+          Alcotest.test_case "expand_dim range" `Quick test_expand_dim_out_of_range;
+          Alcotest.test_case "expand_dim bad name" `Quick test_expand_dim_bad_name;
+          Alcotest.test_case "lift + fission" `Quick test_lift_alloc_and_fission;
+          Alcotest.test_case "fission alloc escape" `Quick test_fission_without_lift_rejected;
+          Alcotest.test_case "fission too few loops" `Quick test_autofission_too_few_loops;
+          Alcotest.test_case "divide_dim" `Quick test_divide_dim;
+          Alcotest.test_case "divide_dim indivisible" `Quick test_divide_dim_indivisible;
+          Alcotest.test_case "lift extent dependency" `Quick test_lift_alloc_extent_dependency;
+          Alcotest.test_case "bind_expr_bcast" `Quick test_bind_expr_bcast;
+          Alcotest.test_case "bcast var dependency" `Quick test_bind_expr_bcast_var_dependent;
+        ] );
+      ( "replace",
+        [
+          Alcotest.test_case "success" `Quick test_replace_success_structure;
+          Alcotest.test_case "wrong shape" `Quick test_replace_wrong_shape;
+          Alcotest.test_case "extent mismatch" `Quick test_replace_extent_mismatch;
+          Alcotest.test_case "stride violation" `Quick test_replace_stride_violation;
+          Alcotest.test_case "non-instruction" `Quick test_replace_non_instr;
+          Alcotest.test_case "fuse roundtrip" `Quick test_fuse_roundtrip;
+          Alcotest.test_case "fuse bounds mismatch" `Quick test_fuse_bounds_mismatch;
+          Alcotest.test_case "fuse illegal dep" `Quick test_fuse_illegal_dependence;
+          Alcotest.test_case "fuse no successor" `Quick test_fuse_no_successor;
+          Alcotest.test_case "inline roundtrip" `Quick test_inline_roundtrip_vld;
+          Alcotest.test_case "inline de-vectorize" `Quick test_inline_devectorize_whole_kernel;
+          Alcotest.test_case "inline non-call" `Quick test_inline_non_call_rejected;
+        ] );
+      ( "attrs",
+        [
+          Alcotest.test_case "set_memory lanes" `Quick test_set_memory_lane_check;
+          Alcotest.test_case "set_precision_many" `Quick test_set_precision_many;
+          Alcotest.test_case "set_precision mixed" `Quick test_set_precision_single_inconsistent;
+        ] );
+    ]

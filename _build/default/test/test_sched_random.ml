@@ -1,0 +1,209 @@
+(* Property tests of the scheduling primitives on *random* programs (not
+   just GEMM kernels): generate small loop-nest procedures, apply a random
+   applicable transformation, and check interpreter equivalence on random
+   inputs. Primitives may legitimately reject a request (Sched_error); what
+   they must never do is accept one and change the program's meaning. *)
+
+open Exo_ir
+open Ir
+open Builder
+module Sched = Exo_sched.Sched
+module B = Exo_interp.Buffer
+module I = Exo_interp.Interp
+
+(* --- random program generator ------------------------------------------- *)
+
+(* A generated proc has two tensor arguments [src] (read-only) and [dst]
+   (read-write), both rank 2 with fixed extents, and a nest of loops over
+   constant ranges containing assigns/reduces with affine subscripts built
+   from the loop variables. *)
+
+let dim0 = 6
+let dim1 = 8
+
+type gctx = { src : Sym.t; dst : Sym.t; loops : (Sym.t * int) list }
+
+let gen_index ctx ~(bound : int) : expr QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  (* an in-range affine combination: pick a loop var whose extent divides
+     the bound, or a constant *)
+  let candidates =
+    List.filter (fun (_, ext) -> ext <= bound) ctx.loops
+    |> List.map (fun (v, ext) ->
+           if ext = bound then return (Var v)
+           else
+             (* v + const, staying within bound *)
+             map (fun c -> Binop (Add, Var v, Int c)) (int_range 0 (bound - ext)))
+  in
+  oneof (map (fun c -> Int c) (int_range 0 (bound - 1)) :: candidates)
+
+let gen_rhs ctx : expr QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* i0 = gen_index ctx ~bound:dim0 in
+  let* i1 = gen_index ctx ~bound:dim1 in
+  let read = Read (ctx.src, [ i0; i1 ]) in
+  oneofl
+    [
+      read;
+      Binop (Add, read, Float 1.0);
+      Binop (Mul, read, Float 2.0);
+      Float 3.0;
+    ]
+
+let gen_leaf ctx : stmt QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* i0 = gen_index ctx ~bound:dim0 in
+  let* i1 = gen_index ctx ~bound:dim1 in
+  let* e = gen_rhs ctx in
+  oneofl [ SAssign (ctx.dst, [ i0; i1 ], e); SReduce (ctx.dst, [ i0; i1 ], e) ]
+
+let loop_names = [| "i"; "j"; "p"; "q" |]
+
+let rec gen_body ctx ~(depth : int) : stmt list QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  if depth = 0 then map (fun s -> [ s ]) (gen_leaf ctx)
+  else
+    let* n_stmts = int_range 1 2 in
+    list_repeat n_stmts
+      (let* make_loop = bool in
+       if make_loop then
+         let* ext = oneofl [ 2; 3; 4; 6 ] in
+         let v = Sym.fresh loop_names.(depth mod Array.length loop_names) in
+         let ctx' = { ctx with loops = (v, ext) :: ctx.loops } in
+         let* inner = gen_body ctx' ~depth:(depth - 1) in
+         return (SFor (v, Int 0, Int ext, inner))
+       else gen_leaf ctx)
+
+let gen_proc : proc QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* depth = int_range 1 3 in
+  let src = Sym.fresh "src" and dst = Sym.fresh "dst" in
+  let ctx = { src; dst; loops = [] } in
+  let* body = gen_body ctx ~depth in
+  let p =
+    mk_proc ~name:"rand"
+      ~args:
+        [
+          tensor_arg src Dtype.F32 [ Int dim0; Int dim1 ];
+          tensor_arg dst Dtype.F32 [ Int dim0; Int dim1 ];
+        ]
+      body
+  in
+  (* the generator never produces scope errors, but make it fail loudly *)
+  Exo_check.Wellformed.check_proc p;
+  return p
+
+(* --- equivalence oracle --------------------------------------------------- *)
+
+let run_proc (p : proc) ~(seed : int) : B.t =
+  let st = Random.State.make [| seed |] in
+  let mk () =
+    let b = B.create ~init:0.0 Dtype.F32 [ dim0; dim1 ] in
+    B.fill b (fun _ -> float_of_int (Random.State.int st 9 - 4));
+    b
+  in
+  let src = mk () and dst = mk () in
+  I.run p [ I.VBuf src; I.VBuf dst ];
+  dst
+
+let equivalent p q =
+  List.for_all (fun seed -> B.equal (run_proc p ~seed) (run_proc q ~seed)) [ 1; 2; 3 ]
+
+(* A transformation attempt: Ok p' (accepted — must be equivalent) or
+   rejected (fine). *)
+let preserves (xform : proc -> proc) (p : proc) : bool =
+  match xform p with
+  | p' -> equivalent p p'
+  | exception Sched.Sched_error _ -> true
+
+(* names of loops present, outermost-first *)
+let loop_names_of (p : proc) : string list =
+  let acc = ref [] in
+  iter_stmts
+    (function SFor (v, _, _, _) -> acc := Sym.name v :: !acc | _ -> ())
+    p.p_body;
+  List.sort_uniq compare !acc
+
+let pick_loop (p : proc) (salt : int) : string option =
+  match loop_names_of p with
+  | [] -> None
+  | l -> Some (List.nth l (abs salt mod List.length l))
+
+let mk_prop name xform =
+  QCheck2.Test.make ~name ~count:120
+    QCheck2.Gen.(pair gen_proc (int_range 0 1000))
+    (fun (p, salt) ->
+      match pick_loop p salt with
+      | None -> true
+      | Some v -> preserves (xform v salt) p)
+
+let prop_divide =
+  mk_prop "divide_loop preserves semantics on random programs" (fun v salt p ->
+      let q = 2 + (salt mod 3) in
+      let tail = if salt mod 2 = 0 then Sched.Perfect else Sched.Cut in
+      Sched.divide_loop p v q (v ^ "t", v ^ "tt") ~tail)
+
+let prop_unroll =
+  mk_prop "unroll_loop preserves semantics on random programs" (fun v _ p ->
+      Sched.unroll_loop p v)
+
+let prop_reorder =
+  mk_prop "reorder_loops preserves semantics on random programs" (fun v salt p ->
+      match pick_loop p (salt + 1) with
+      | Some w when w <> v -> Sched.reorder_loops p (v ^ " " ^ w)
+      | _ -> Sched.reorder_loops p (v ^ " " ^ v))
+
+let prop_remove =
+  mk_prop "remove_loop preserves semantics on random programs" (fun v _ p ->
+      Sched.remove_loop p v)
+
+let prop_fission =
+  QCheck2.Test.make ~name:"autofission preserves semantics on random programs"
+    ~count:120
+    QCheck2.Gen.(pair gen_proc (int_range 0 1000))
+    (fun (p, salt) ->
+      let xform p =
+        let pat = if salt mod 2 = 0 then "dst[_] = _" else "dst[_] += _" in
+        let gap = if salt mod 4 < 2 then Sched.After pat else Sched.Before pat in
+        Sched.autofission p ~gap ~n_lifts:(1 + (salt mod 2))
+      in
+      preserves xform p)
+
+let prop_fuse =
+  mk_prop "fuse_loops preserves semantics on random programs" (fun v _ p ->
+      Sched.fuse_loops p v)
+
+let prop_stage_point =
+  QCheck2.Test.make ~name:"point stage_mem preserves semantics on random programs"
+    ~count:120 gen_proc
+    (fun p ->
+      (* stage the dst cell of the first write *)
+      let target = ref None in
+      iter_stmts
+        (function
+          | (SAssign (b, idx, _) | SReduce (b, idx, _)) when !target = None ->
+              if Sym.name b = "dst" then target := Some idx
+          | _ -> ())
+        p.p_body;
+      match !target with
+      | None -> true
+      | Some _ ->
+          let xform p =
+            (* window string: we can't render loop-var names reliably, so
+               stage the full dst window around the first statement *)
+            Sched.stage_mem p "_[_] = _"
+              (Fmt.str "dst[0:%d, 0:%d]" dim0 dim1)
+              "d_reg"
+          in
+          preserves xform p)
+
+let () =
+  Alcotest.run "sched-random"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_divide; prop_unroll; prop_reorder; prop_remove; prop_fission;
+            prop_fuse; prop_stage_point;
+          ] );
+    ]

@@ -1,0 +1,292 @@
+(* Performance simulator: the Fig. 12 op census, model invariants, and the
+   solo-mode (Fig. 13) orderings. *)
+
+open Exo_ir
+module T = Exo_sim.Trace
+module KM = Exo_sim.Kernel_model
+module M = Exo_isa.Machine
+module Family = Exo_ukr_gen.Family
+
+let proc_of mr nr = (Family.generate ~mr ~nr ()).Family.proc
+let impl_of mr nr = KM.of_proc ~name:"EXO" ~mr ~nr (proc_of mr nr)
+
+(* --- trace census ------------------------------------------------------ *)
+
+let test_fig12_census () =
+  (* Fig. 12's k-loop: 5 × 128-bit loads (2 A + 3 B) and 24 fmla, with all
+     accumulators resident (29 vector registers ≤ 32) *)
+  let t = T.of_proc (proc_of 8 12) in
+  Alcotest.(check int) "24 fmla per iteration" 24 t.T.steady.T.fma;
+  Alcotest.(check int) "5 loads per iteration" 5 t.T.steady.T.load;
+  Alcotest.(check int) "no stores in the k loop" 0 t.T.steady.T.store;
+  Alcotest.(check int) "24 C loads in the prologue" 24 t.T.prologue.T.load;
+  Alcotest.(check int) "24 C stores in the epilogue" 24 t.T.prologue.T.store;
+  Alcotest.(check int) "29 vector registers" 29 t.T.vregs_used;
+  Alcotest.(check int) "4 lanes" 4 t.T.lanes
+
+let test_census_scaling () =
+  (* census scales with the kernel shape: fma = (mr/4)·nr *)
+  List.iter
+    (fun (mr, nr) ->
+      let t = T.of_proc (proc_of mr nr) in
+      Alcotest.(check int)
+        (Fmt.str "%dx%d fma" mr nr)
+        (mr / 4 * nr) t.T.steady.T.fma;
+      Alcotest.(check int)
+        (Fmt.str "%dx%d loads" mr nr)
+        ((mr / 4) + (nr / 4))
+        t.T.steady.T.load)
+    [ (8, 8); (8, 4); (4, 12); (4, 4) ]
+
+let test_census_row_kernel () =
+  let t = T.of_proc (proc_of 1 12) in
+  Alcotest.(check int) "1x12: 3 B loads" 3 t.T.steady.T.load;
+  Alcotest.(check int) "1x12: 3 scalar-fma ops" 3 t.T.steady.T.fma
+
+let test_census_scalar_kernel () =
+  let t = T.of_proc (proc_of 3 5) in
+  Alcotest.(check int) "scalar kernel: no vector ops" 0 (T.total_vector_ops t.T.steady);
+  Alcotest.(check int) "15 scalar ops per iteration" 15 t.T.steady.T.scalar_ops
+
+let test_census_f16 () =
+  let k = Family.generate ~kit:Exo_ukr_gen.Kits.neon_f16 ~mr:8 ~nr:16 () in
+  let t = T.of_proc k.Family.proc in
+  Alcotest.(check int) "f16 lanes" 8 t.T.lanes;
+  Alcotest.(check int) "f16 8x16: 16 fmla" 16 t.T.steady.T.fma
+
+(* --- kernel model ------------------------------------------------------ *)
+
+let test_peak_bound () =
+  (* no kernel exceeds the machine peak *)
+  List.iter
+    (fun (mr, nr) ->
+      let impl = impl_of mr nr in
+      let g = KM.solo_gflops M.carmel impl ~mu:mr ~nu:nr ~kc:512 in
+      Alcotest.(check bool)
+        (Fmt.str "%dx%d ≤ peak" mr nr)
+        true
+        (g <= M.peak_gflops M.carmel Dtype.F32 +. 1e-9))
+    Family.paper_shapes
+
+let test_8x12_near_peak () =
+  let g = KM.solo_gflops M.carmel (impl_of 8 12) ~mu:8 ~nu:12 ~kc:512 in
+  Alcotest.(check bool) "8x12 ≥ 95% of peak" true
+    (g >= 0.95 *. M.peak_gflops M.carmel Dtype.F32)
+
+let test_latency_bound_narrow_kernels () =
+  (* 4x4 has only 4 accumulators: the dependency bound must bite *)
+  let c44 = KM.cycles_per_iter M.carmel (impl_of 4 4) in
+  Alcotest.(check (float 0.001)) "4x4 latency-bound" (float_of_int M.carmel.M.fma_lat) c44;
+  let c812 = KM.cycles_per_iter M.carmel (impl_of 8 12) in
+  Alcotest.(check (float 0.001)) "8x12 throughput-bound" 12.0 c812
+
+let test_kc_monotone () =
+  (* longer k loops amortize the prologue: GFLOPS non-decreasing in kc *)
+  let impl = impl_of 8 12 in
+  let g kc = KM.solo_gflops M.carmel impl ~mu:8 ~nu:12 ~kc in
+  Alcotest.(check bool) "monotone in kc" true (g 32 <= g 128 && g 128 <= g 512)
+
+let test_fig13_orderings () =
+  let base = proc_of 8 12 in
+  let blis = KM.blis_asm_8x12 base and neon = KM.neon_intrinsics_8x12 base in
+  let exo = impl_of 8 12 in
+  let g impl mu nu = KM.solo_gflops M.carmel impl ~mu ~nu ~kc:512 in
+  (* at the native 8x12 size: EXO ≥ BLIS > NEON, all close *)
+  let ge = g exo 8 12 and gb = g blis 8 12 and gn = g neon 8 12 in
+  Alcotest.(check bool) "EXO ≥ BLIS" true (ge >= gb);
+  Alcotest.(check bool) "BLIS > NEON" true (gb > gn);
+  Alcotest.(check bool) "differences are minor (< 10%)" true (gn >= 0.9 *. ge);
+  (* on every edge case the specialized kernel wins clearly *)
+  List.iter
+    (fun (mu, nu) ->
+      if (mu, nu) <> (8, 12) then begin
+        let gexo = g (impl_of mu nu) mu nu in
+        Alcotest.(check bool)
+          (Fmt.str "EXO wins %dx%d vs BLIS" mu nu)
+          true
+          (gexo > g blis mu nu);
+        Alcotest.(check bool)
+          (Fmt.str "EXO wins %dx%d vs NEON" mu nu)
+          true
+          (gexo > g neon mu nu)
+      end)
+    Family.paper_shapes
+
+let test_edge_utilization_factor () =
+  (* the monolithic kernel's 8x4 performance is ~1/3 of its 8x12 (lane and
+     tile utilization), as in Fig. 13 *)
+  let blis = KM.blis_asm_8x12 (proc_of 8 12) in
+  let full = KM.solo_gflops M.carmel blis ~mu:8 ~nu:12 ~kc:512 in
+  let third = KM.solo_gflops M.carmel blis ~mu:8 ~nu:4 ~kc:512 in
+  Alcotest.(check bool) "8x4 ≈ 1/3 of 8x12" true
+    (Float.abs ((third /. full) -. (1.0 /. 3.0)) < 0.05)
+
+let test_specialized_misuse_rejected () =
+  let exo = impl_of 8 12 in
+  Alcotest.(check bool) "foreign shape rejected" true
+    (try
+       ignore (KM.solo_gflops M.carmel exo ~mu:8 ~nu:8 ~kc:512);
+       false
+     with Invalid_argument _ -> true)
+
+let test_spill_model () =
+  (* a synthetic trace using more registers than the file must be slower *)
+  let impl = impl_of 8 12 in
+  let big_trace =
+    { impl.KM.trace with T.vregs_used = 40 }
+  in
+  let spilled = { impl with KM.trace = big_trace; KM.name = "spilled" } in
+  Alcotest.(check bool) "spills cost cycles" true
+    (KM.cycles_per_iter M.carmel spilled > KM.cycles_per_iter M.carmel impl)
+
+let test_f16_doubles_peak () =
+  let k = Family.generate ~kit:Exo_ukr_gen.Kits.neon_f16 ~mr:16 ~nr:24 () in
+  let impl = KM.of_proc ~name:"EXO-f16" ~mr:16 ~nr:24 k.Family.proc in
+  let g = KM.solo_gflops M.carmel_fp16 impl ~mu:16 ~nu:24 ~kc:512 in
+  Alcotest.(check bool) "f16 exceeds the f32 peak" true
+    (g > M.peak_gflops M.carmel Dtype.F32)
+
+(* --- scoreboard --------------------------------------------------------- *)
+
+let test_scoreboard_matches_closed_form () =
+  (* the instruction-level OoO simulation must agree with the closed-form
+     pipe/latency model on every paper kernel *)
+  List.iter
+    (fun (mr, nr) ->
+      let p = proc_of mr nr in
+      let closed = KM.cycles_per_iter M.carmel (impl_of mr nr) in
+      let sim = Exo_sim.Scoreboard.cycles_per_iter M.carmel p in
+      Alcotest.(check bool)
+        (Fmt.str "%dx%d: closed %.2f vs scoreboard %.2f" mr nr closed sim)
+        true
+        (Float.abs (sim -. closed) /. closed < 0.15))
+    Family.paper_shapes
+
+let test_scoreboard_8x12_exact () =
+  Alcotest.(check (float 0.01)) "8x12 is throughput-bound at 12 cycles" 12.0
+    (Exo_sim.Scoreboard.cycles_per_iter M.carmel (proc_of 8 12))
+
+let test_scoreboard_latency_bound () =
+  (* 4x4: 4 accumulators, 2 pipes, latency 5 → the chain binds at 5 *)
+  Alcotest.(check (float 0.01)) "4x4 latency chain" 5.0
+    (Exo_sim.Scoreboard.cycles_per_iter M.carmel (proc_of 4 4))
+
+let test_scoreboard_sensitive_to_latency () =
+  let slow = { M.carmel with M.fma_lat = 9 } in
+  let fast = { M.carmel with M.fma_lat = 3 } in
+  let p = proc_of 8 4 in
+  let s = Exo_sim.Scoreboard.cycles_per_iter slow p in
+  let f = Exo_sim.Scoreboard.cycles_per_iter fast p in
+  Alcotest.(check bool) "longer FMA latency slows narrow kernels" true (s > f)
+
+let test_scoreboard_single_pipe () =
+  let one_pipe = { M.carmel with M.fma_pipes = 1 } in
+  let p = proc_of 8 12 in
+  Alcotest.(check (float 0.01)) "one pipe doubles the 8x12 iteration" 24.0
+    (Exo_sim.Scoreboard.cycles_per_iter one_pipe p)
+
+(* --- cache simulator ----------------------------------------------------- *)
+
+let toy_machine =
+  {
+    M.carmel with
+    M.l1 = { M.size_kib = 8; assoc = 4; line_bytes = 64 };
+    l2 = { M.size_kib = 64; assoc = 8; line_bytes = 64 };
+    l3 = { M.size_kib = 256; assoc = 8; line_bytes = 64 };
+  }
+
+let test_cache_lru_behaviour () =
+  let l =
+    Exo_sim.Cache_sim.create_level ~name:"t"
+      { M.size_kib = 1; assoc = 2; line_bytes = 64 }
+  in
+  (* 1 KiB, 2-way, 64 B lines → 8 sets; addresses 0 and 8*64 share set 0 *)
+  Alcotest.(check bool) "cold miss" false (Exo_sim.Cache_sim.access_level l 0);
+  Alcotest.(check bool) "hit" true (Exo_sim.Cache_sim.access_level l 0);
+  Alcotest.(check bool) "same-set different tag misses" false
+    (Exo_sim.Cache_sim.access_level l (8 * 64));
+  Alcotest.(check bool) "both ways resident" true (Exo_sim.Cache_sim.access_level l 0);
+  (* a third tag in the set evicts the LRU (which is addr 8*64) *)
+  ignore (Exo_sim.Cache_sim.access_level l (16 * 64));
+  Alcotest.(check bool) "LRU evicted" false (Exo_sim.Cache_sim.access_level l (8 * 64))
+
+let test_cache_within_line_hits () =
+  let l =
+    Exo_sim.Cache_sim.create_level ~name:"t"
+      { M.size_kib = 1; assoc = 2; line_bytes = 64 }
+  in
+  ignore (Exo_sim.Cache_sim.access_level l 128);
+  Alcotest.(check bool) "same line, different byte" true
+    (Exo_sim.Cache_sim.access_level l 156)
+
+let run_blocking ~mc ~kc ~nc =
+  Exo_sim.Cache_sim.gemm_trace toy_machine ~mc ~kc ~nc ~mr:8 ~nr:12 ~m:288 ~n:288
+    ~k:288
+
+let test_cache_analytical_beats_none () =
+  let b = Exo_blis.Analytical.compute toy_machine ~mr:8 ~nr:12 ~dtype_bytes:4 in
+  let good = run_blocking ~mc:b.Exo_blis.Analytical.mc ~kc:b.Exo_blis.Analytical.kc
+               ~nc:b.Exo_blis.Analytical.nc in
+  let bad = run_blocking ~mc:288 ~kc:288 ~nc:288 in
+  Alcotest.(check bool)
+    (Fmt.str "DRAM traffic: analytical %d < unblocked %d lines"
+       good.Exo_sim.Cache_sim.dram bad.Exo_sim.Cache_sim.dram)
+    true
+    (float_of_int good.Exo_sim.Cache_sim.dram
+    < 0.6 *. float_of_int bad.Exo_sim.Cache_sim.dram)
+
+let test_cache_kernel_l1_resident () =
+  let b = Exo_blis.Analytical.compute toy_machine ~mr:8 ~nr:12 ~dtype_bytes:4 in
+  let s = run_blocking ~mc:b.Exo_blis.Analytical.mc ~kc:b.Exo_blis.Analytical.kc
+            ~nc:b.Exo_blis.Analytical.nc in
+  Alcotest.(check bool) "kernel-phase L1 misses stay low" true
+    (Exo_sim.Cache_sim.kernel_l1_rate s < 0.10)
+
+let test_cache_trace_deterministic () =
+  let a = run_blocking ~mc:24 ~kc:16 ~nc:24 in
+  let b = run_blocking ~mc:24 ~kc:16 ~nc:24 in
+  Alcotest.(check int) "deterministic refs" a.Exo_sim.Cache_sim.refs
+    b.Exo_sim.Cache_sim.refs;
+  Alcotest.(check int) "deterministic dram" a.Exo_sim.Cache_sim.dram
+    b.Exo_sim.Cache_sim.dram
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "scoreboard",
+        [
+          Alcotest.test_case "matches closed form" `Quick test_scoreboard_matches_closed_form;
+          Alcotest.test_case "8x12 exact" `Quick test_scoreboard_8x12_exact;
+          Alcotest.test_case "latency bound" `Quick test_scoreboard_latency_bound;
+          Alcotest.test_case "latency sensitivity" `Quick test_scoreboard_sensitive_to_latency;
+          Alcotest.test_case "single pipe" `Quick test_scoreboard_single_pipe;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "LRU behaviour" `Quick test_cache_lru_behaviour;
+          Alcotest.test_case "line granularity" `Quick test_cache_within_line_hits;
+          Alcotest.test_case "analytical beats none" `Quick test_cache_analytical_beats_none;
+          Alcotest.test_case "kernel L1 residency" `Quick test_cache_kernel_l1_resident;
+          Alcotest.test_case "determinism" `Quick test_cache_trace_deterministic;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "Fig. 12 census" `Quick test_fig12_census;
+          Alcotest.test_case "census scaling" `Quick test_census_scaling;
+          Alcotest.test_case "row kernel census" `Quick test_census_row_kernel;
+          Alcotest.test_case "scalar kernel census" `Quick test_census_scalar_kernel;
+          Alcotest.test_case "f16 census" `Quick test_census_f16;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "peak bound" `Quick test_peak_bound;
+          Alcotest.test_case "8x12 near peak" `Quick test_8x12_near_peak;
+          Alcotest.test_case "latency bound" `Quick test_latency_bound_narrow_kernels;
+          Alcotest.test_case "kc monotone" `Quick test_kc_monotone;
+          Alcotest.test_case "Fig. 13 orderings" `Quick test_fig13_orderings;
+          Alcotest.test_case "edge utilization" `Quick test_edge_utilization_factor;
+          Alcotest.test_case "misuse rejected" `Quick test_specialized_misuse_rejected;
+          Alcotest.test_case "spill model" `Quick test_spill_model;
+          Alcotest.test_case "f16 peak" `Quick test_f16_doubles_peak;
+        ] );
+    ]

@@ -1,0 +1,344 @@
+(* The micro-kernel generator: the Section III step-by-step pipeline,
+   edge-case family, retargetings, and the central equivalence property —
+   every generated kernel computes exactly what the reference does. *)
+
+open Exo_ir
+module B = Exo_interp.Buffer
+module I = Exo_interp.Interp
+module Family = Exo_ukr_gen.Family
+module Steps = Exo_ukr_gen.Steps
+module Kits = Exo_ukr_gen.Kits
+module Source = Exo_ukr_gen.Source
+
+(* Run reference vs generated on the same pseudo-random data. *)
+let equivalent ?(kit = Kits.neon_f32) ~mr ~nr ~kc (p : Ir.proc) : bool =
+  let dt = kit.Kits.dt in
+  let st = Random.State.make [| mr; nr; kc |] in
+  let mk dims =
+    let b = B.create ~init:0.0 dt dims in
+    B.fill b (fun _ -> float_of_int (Random.State.int st 9 - 4));
+    b
+  in
+  let ac = mk [ kc; mr ] and bc = mk [ kc; nr ] and c1 = mk [ nr; mr ] in
+  let c2 = B.copy c1 in
+  let one = B.of_array dt [ 1 ] [| 1.0 |] in
+  I.run (Source.ukernel_ref_simple ~dt ())
+    [ I.VInt mr; I.VInt nr; I.VInt kc; I.VBuf one; I.VBuf ac; I.VBuf bc; I.VBuf one; I.VBuf c1 ];
+  I.run p [ I.VInt kc; I.VBuf one; I.VBuf ac; I.VBuf bc; I.VBuf one; I.VBuf c2 ];
+  B.equal c1 c2
+
+(* --- Section III steps ------------------------------------------------ *)
+
+let trace = lazy (Steps.packed ~kit:Kits.neon_f32 ~mr:8 ~nr:12)
+
+let test_steps_count_and_figures () =
+  let tr = Lazy.force trace in
+  Alcotest.(check int) "seven recorded steps" 7 (List.length tr);
+  let figures = List.filter_map (fun (s : Steps.step) -> s.Steps.figure) tr in
+  Alcotest.(check (list string)) "figures covered"
+    [ "Fig. 5"; "Fig. 6"; "Fig. 7"; "Fig. 8"; "Fig. 9"; "Fig. 10"; "Fig. 11" ]
+    figures
+
+let test_every_step_is_wellformed () =
+  List.iter
+    (fun (s : Steps.step) -> Exo_check.Wellformed.check_proc s.Steps.proc)
+    (Lazy.force trace)
+
+let test_every_step_preserves_semantics () =
+  (* the heart of the reproduction: each intermediate program of Section III
+     computes exactly the reference result *)
+  List.iteri
+    (fun i (s : Steps.step) ->
+      if i > 0 (* step 0 has the unspecialized signature *) then
+        Alcotest.(check bool)
+          (Fmt.str "step %d (%s) equivalent" i s.Steps.title)
+          true
+          (equivalent ~mr:8 ~nr:12 ~kc:6 s.Steps.proc))
+    (Lazy.force trace)
+
+let test_v1_matches_fig6 () =
+  let v1 = (List.nth (Lazy.force trace) 1).Steps.proc in
+  Alcotest.(check string) "renamed" "uk_8x12" v1.Ir.p_name;
+  Alcotest.(check int) "MR and NR gone" 6 (List.length v1.Ir.p_args)
+
+let test_v6_structure_matches_fig11 () =
+  let v6 = Steps.final (Lazy.force trace) in
+  let module P = Exo_pattern.Pattern in
+  (* Fig. 11: 5 unrolled load statements inside the k loop plus the looped
+     C-tile load, a 3-deep compute nest of fmla, and the C epilogue *)
+  Alcotest.(check int) "5 unrolled + 1 looped load statements" (5 + 1)
+    (P.count v6.Ir.p_body "neon_vld_4xf32(_)");
+  Alcotest.(check int) "one C store site" 1 (P.count v6.Ir.p_body "neon_vst_4xf32(_)");
+  Alcotest.(check int) "one fmla site" 1 (P.count v6.Ir.p_body "neon_vfmla_4xf32_4xf32(_)");
+  Alcotest.(check int) "jt/it/jtt compute nest intact" 1 (P.count v6.Ir.p_body "jt")
+
+let test_golden_v6_text () =
+  (* golden: the final kernel pretty-prints to the pinned Exo-style text *)
+  let v6 = Steps.final (Lazy.force trace) in
+  let got = Pp.proc_to_string v6 in
+  let expected =
+    "@proc\n\
+     def uk_8x12(KC: size, alpha: f32[1] @ DRAM, Ac: f32[KC, 8] @ DRAM, Bc: f32[KC, 12] @ DRAM, beta: f32[1] @ DRAM, C: f32[12, 8] @ DRAM):\n\
+    \    C_reg: f32[12, 2, 4] @ Neon\n\
+    \    for s0 in seq(0, 12):\n\
+    \        for s1o in seq(0, 2):\n\
+    \            neon_vld_4xf32(C_reg[s0, s1o, 0:4], C[s0, 4 * s1o:4 * s1o + 4])\n\
+    \    A_reg: f32[2, 4] @ Neon\n\
+    \    B_reg: f32[3, 4] @ Neon\n\
+    \    for k in seq(0, KC):\n\
+    \        neon_vld_4xf32(A_reg[0, 0:4], Ac[k, 0:4])\n\
+    \        neon_vld_4xf32(A_reg[1, 0:4], Ac[k, 4:8])\n\
+    \        neon_vld_4xf32(B_reg[0, 0:4], Bc[k, 0:4])\n\
+    \        neon_vld_4xf32(B_reg[1, 0:4], Bc[k, 4:8])\n\
+    \        neon_vld_4xf32(B_reg[2, 0:4], Bc[k, 8:12])\n\
+    \        for jt in seq(0, 3):\n\
+    \            for it in seq(0, 2):\n\
+    \                for jtt in seq(0, 4):\n\
+    \                    neon_vfmla_4xf32_4xf32(C_reg[4 * jt + jtt, it, 0:4], A_reg[it, 0:4], B_reg[jt, 0:4], jtt)\n\
+    \    for s0 in seq(0, 12):\n\
+    \        for s1o in seq(0, 2):\n\
+    \            neon_vst_4xf32(C[s0, 4 * s1o:4 * s1o + 4], C_reg[s0, s1o, 0:4])"
+  in
+  Alcotest.(check string) "golden Section III result" expected got
+
+let test_golden_v2_text () =
+  (* Fig. 7: after the two divide_loops *)
+  let v2 = (List.nth (Lazy.force trace) 2).Steps.proc in
+  let expected =
+    "@proc\n\
+     def uk_8x12(KC: size, alpha: f32[1] @ DRAM, Ac: f32[KC, 8] @ DRAM, Bc: f32[KC, 12] @ DRAM, beta: f32[1] @ DRAM, C: f32[12, 8] @ DRAM):\n\
+    \    for k in seq(0, KC):\n\
+    \        for jt in seq(0, 3):\n\
+    \            for jtt in seq(0, 4):\n\
+    \                for it in seq(0, 2):\n\
+    \                    for itt in seq(0, 4):\n\
+    \                        C[4 * jt + jtt, 4 * it + itt] += Ac[k, 4 * it + itt] * Bc[k, 4 * jt + jtt]"
+  in
+  Alcotest.(check string) "golden Fig. 7" expected (Pp.proc_to_string v2)
+
+let test_golden_v4_loads () =
+  (* Fig. 9: the staged operand loads inside the k loop *)
+  let v4 = (List.nth (Lazy.force trace) 4).Steps.proc in
+  let txt = Pp.proc_to_string v4 in
+  let contains needle =
+    let nh = String.length txt and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub txt i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "A_reg declared at top" true (contains "A_reg: f32[2, 4] @ Neon");
+  Alcotest.(check bool) "B_reg declared at top" true (contains "B_reg: f32[3, 4] @ Neon");
+  Alcotest.(check bool) "A load vectorized" true
+    (contains "neon_vld_4xf32(A_reg[it, 0:4], Ac[k, 4 * it:4 * it + 4])");
+  Alcotest.(check bool) "B load vectorized" true
+    (contains "neon_vld_4xf32(B_reg[jt, 0:4], Bc[k, 4 * jt:4 * jt + 4])")
+
+(* --- family ----------------------------------------------------------- *)
+
+let test_paper_family_styles () =
+  let fam = Family.paper_family () in
+  let styles = List.map (fun (k : Family.kernel) -> (k.Family.mr, k.Family.nr, k.Family.style)) fam in
+  List.iter
+    (fun (mr, _, st) ->
+      if mr >= 4 then Alcotest.(check bool) (Fmt.str "mr=%d packed" mr) true (st = Family.Packed)
+      else Alcotest.(check bool) "mr=1 row" true (st = Family.Row))
+    styles
+
+let test_paper_family_equivalence () =
+  List.iter
+    (fun (k : Family.kernel) ->
+      Alcotest.(check bool)
+        (Fmt.str "%dx%d equivalent" k.Family.mr k.Family.nr)
+        true
+        (equivalent ~mr:k.Family.mr ~nr:k.Family.nr ~kc:7 k.Family.proc))
+    (Family.paper_family ())
+
+let test_family_styles_dispatch () =
+  let style mr nr = (Family.generate ~mr ~nr ()).Family.style in
+  Alcotest.(check bool) "8x12 packed" true (style 8 12 = Family.Packed);
+  Alcotest.(check bool) "8x6 packed-bcast" true (style 8 6 = Family.PackedBcast);
+  Alcotest.(check bool) "1x8 row" true (style 1 8 = Family.Row);
+  Alcotest.(check bool) "3x5 scalar" true (style 3 5 = Family.Scalar);
+  Alcotest.(check bool) "2x8 scalar" true (style 2 8 = Family.Scalar)
+
+let test_retargets_equivalent () =
+  List.iter
+    (fun (kit, mr, nr) ->
+      let k = Family.generate ~kit ~mr ~nr () in
+      Alcotest.(check bool)
+        (Fmt.str "%s %dx%d" kit.Kits.name mr nr)
+        true
+        (equivalent ~kit ~mr ~nr ~kc:5 k.Family.proc))
+    [
+      (Kits.avx512_f32, 16, 4);
+      (Kits.avx512_f32, 32, 6);
+      (Kits.avx2_f32, 16, 6);
+      (Kits.avx2_f32, 8, 4);
+      (Kits.rvv_f32, 8, 12);
+      (Kits.rvv_f32, 1, 8);
+      (Kits.neon_f16, 8, 16);
+      (Kits.neon_f16, 16, 8);
+      (Kits.neon_i32, 8, 12);
+      (Kits.neon_i32, 1, 8);
+    ]
+
+let test_avx512_uses_broadcast () =
+  let k = Family.generate ~kit:Kits.avx512_f32 ~mr:16 ~nr:4 () in
+  let module P = Exo_pattern.Pattern in
+  Alcotest.(check bool) "set1 present" true
+    (P.count k.Family.proc.Ir.p_body "mm512_set1_16xf32(_)" > 0);
+  Alcotest.(check bool) "fmadd present" true
+    (P.count k.Family.proc.Ir.p_body "mm512_fmadd_16xf32(_)" > 0)
+
+let test_rvv_uses_scalar_fma () =
+  let k = Family.generate ~kit:Kits.rvv_f32 ~mr:8 ~nr:12 () in
+  let module P = Exo_pattern.Pattern in
+  Alcotest.(check bool) "vfmacc.vf present" true
+    (P.count k.Family.proc.Ir.p_body "rvv_vfmacc_vf_r_4xf32(_)" > 0)
+
+let test_invalid_shape_rejected () =
+  Alcotest.(check bool) "0x4 rejected" true
+    (try
+       ignore (Family.generate ~mr:0 ~nr:4 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* qcheck: random shapes and depths are always equivalent *)
+let prop_family_equivalence =
+  QCheck2.Test.make ~name:"generated kernels ≡ reference (random shapes)" ~count:40
+    QCheck2.Gen.(triple (int_range 1 13) (int_range 1 14) (int_range 1 9))
+    (fun (mr, nr, kc) ->
+      let k = Family.generate ~mr ~nr () in
+      equivalent ~mr ~nr ~kc k.Family.proc)
+
+let prop_f16_family_equivalence =
+  QCheck2.Test.make ~name:"f16 kernels ≡ f16 reference (random shapes)" ~count:15
+    QCheck2.Gen.(pair (int_range 1 3) (int_range 1 3))
+    (fun (a, b) ->
+      let mr = 8 * a and nr = 8 * b in
+      let k = Family.generate ~kit:Kits.neon_f16 ~mr ~nr () in
+      equivalent ~kit:Kits.neon_f16 ~mr ~nr ~kc:5 k.Family.proc)
+
+(* --- variants: full alpha/beta, beta = 0, non-packed A ------------------ *)
+
+let test_nopack_source_wellformed () =
+  Exo_check.Wellformed.check_proc (Source.ukernel_ref_nopack ())
+
+let test_packed_full_alpha_beta () =
+  let mr = 8 and nr = 12 and kc = 6 in
+  let p = Exo_ukr_gen.Variants.packed_full ~mr ~nr () in
+  List.iter
+    (fun (alpha, beta) ->
+      let st = Random.State.make [| 55 |] in
+      let mk dims =
+        let b = B.create ~init:0.0 Dtype.F32 dims in
+        B.fill b (fun _ -> float_of_int (Random.State.int st 7 - 3));
+        b
+      in
+      let ac = mk [ kc; mr ] and bc = mk [ kc; nr ] and c1 = mk [ nr; mr ] in
+      let c2 = B.copy c1 in
+      let al = B.of_array Dtype.F32 [ 1 ] [| alpha |] in
+      let be = B.of_array Dtype.F32 [ 1 ] [| beta |] in
+      I.run (Source.ukernel_ref ())
+        [ I.VInt mr; I.VInt nr; I.VInt kc; I.VBuf al; I.VBuf ac; I.VBuf bc; I.VBuf be; I.VBuf c1 ];
+      I.run p [ I.VInt kc; I.VBuf al; I.VBuf ac; I.VBuf bc; I.VBuf be; I.VBuf c2 ];
+      Alcotest.(check bool)
+        (Fmt.str "full kernel, alpha=%g beta=%g" alpha beta)
+        true (B.equal c1 c2))
+    [ (1.0, 1.0); (2.0, 0.5); (0.0, 1.0); (1.0, 0.0); (-1.0, 2.0); (0.25, -3.0) ]
+
+let test_packed_beta0 () =
+  let mr = 8 and nr = 12 and kc = 6 in
+  let p = Exo_ukr_gen.Variants.packed_beta0 ~mr ~nr () in
+  let st = Random.State.make [| 56 |] in
+  let mk dims =
+    let b = B.create ~init:0.0 Dtype.F32 dims in
+    B.fill b (fun _ -> float_of_int (Random.State.int st 7 - 3));
+    b
+  in
+  let ac = mk [ kc; mr ] and bc = mk [ kc; nr ] in
+  let c1 = mk [ nr; mr ] in
+  (* NaN-initialized output: proves the kernel never reads C *)
+  let c2 = B.create Dtype.F32 [ nr; mr ] in
+  I.run (Source.ukernel_ref_beta0 ())
+    [ I.VInt mr; I.VInt nr; I.VInt kc; I.VBuf ac; I.VBuf bc; I.VBuf c1 ];
+  I.run p [ I.VInt kc; I.VBuf ac; I.VBuf bc; I.VBuf c2 ];
+  Alcotest.(check bool) "beta0 kernel, C never read" true (B.equal c1 c2)
+
+let test_packed_beta0_census () =
+  let t = Exo_sim.Trace.of_proc (Exo_ukr_gen.Variants.packed_beta0 ~mr:8 ~nr:12 ()) in
+  Alcotest.(check int) "no prologue loads (C not read)" 0
+    t.Exo_sim.Trace.prologue.Exo_sim.Trace.load;
+  Alcotest.(check int) "24 register zeroes instead" 24
+    t.Exo_sim.Trace.prologue.Exo_sim.Trace.arith
+
+let test_nopack_equivalence () =
+  List.iter
+    (fun (mr, nr) ->
+      let kc = 5 in
+      let p = Exo_ukr_gen.Variants.nopack ~mr ~nr () in
+      let st = Random.State.make [| mr; nr; 57 |] in
+      let mk dims =
+        let b = B.create ~init:0.0 Dtype.F32 dims in
+        B.fill b (fun _ -> float_of_int (Random.State.int st 7 - 3));
+        b
+      in
+      let a = mk [ mr; kc ] and bc = mk [ kc; nr ] and c1 = mk [ mr; nr ] in
+      let c2 = B.copy c1 in
+      I.run (Source.ukernel_ref_nopack ())
+        [ I.VInt mr; I.VInt nr; I.VInt kc; I.VBuf a; I.VBuf bc; I.VBuf c1 ];
+      I.run p [ I.VInt kc; I.VBuf a; I.VBuf bc; I.VBuf c2 ];
+      Alcotest.(check bool) (Fmt.str "nopack %dx%d" mr nr) true (B.equal c1 c2))
+    [ (8, 12); (6, 12); (3, 8); (1, 4) ]
+
+let test_stage_mem_load_false_rejected_without_coverage () =
+  (* staging the k-nest alone with ~load:false must fail: reductions do not
+     overwrite the window *)
+  let module Sched = Exo_sched.Sched in
+  let p = Source.ukernel_ref_simple () in
+  let p = Sched.partial_eval p [ ("MR", 8); ("NR", 12) ] in
+  Alcotest.(check bool) "uncovered ~load:false rejected" true
+    (try
+       ignore (Sched.stage_mem ~load:false p "for k in _: _" "C[0:12, 0:8]" "C_reg");
+       false
+     with Sched.Sched_error _ -> true)
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_family_equivalence; prop_f16_family_equivalence ]
+  in
+  Alcotest.run "ukrgen"
+    [
+      ( "steps",
+        [
+          Alcotest.test_case "figures covered" `Quick test_steps_count_and_figures;
+          Alcotest.test_case "all steps well-formed" `Quick test_every_step_is_wellformed;
+          Alcotest.test_case "all steps equivalent" `Quick test_every_step_preserves_semantics;
+          Alcotest.test_case "v1 = Fig. 6" `Quick test_v1_matches_fig6;
+          Alcotest.test_case "v6 structure = Fig. 11" `Quick test_v6_structure_matches_fig11;
+          Alcotest.test_case "v6 golden text" `Quick test_golden_v6_text;
+          Alcotest.test_case "v2 golden text" `Quick test_golden_v2_text;
+          Alcotest.test_case "v4 staged loads" `Quick test_golden_v4_loads;
+        ] );
+      ( "family",
+        [
+          Alcotest.test_case "paper shapes styles" `Quick test_paper_family_styles;
+          Alcotest.test_case "paper family equivalent" `Quick test_paper_family_equivalence;
+          Alcotest.test_case "style dispatch" `Quick test_family_styles_dispatch;
+          Alcotest.test_case "retargets equivalent" `Quick test_retargets_equivalent;
+          Alcotest.test_case "avx512 broadcast path" `Quick test_avx512_uses_broadcast;
+          Alcotest.test_case "rvv scalar-fma path" `Quick test_rvv_uses_scalar_fma;
+          Alcotest.test_case "invalid shape" `Quick test_invalid_shape_rejected;
+        ]
+        @ props );
+      ( "variants",
+        [
+          Alcotest.test_case "nopack source" `Quick test_nopack_source_wellformed;
+          Alcotest.test_case "full alpha/beta" `Quick test_packed_full_alpha_beta;
+          Alcotest.test_case "beta0" `Quick test_packed_beta0;
+          Alcotest.test_case "beta0 census" `Quick test_packed_beta0_census;
+          Alcotest.test_case "nopack equivalence" `Quick test_nopack_equivalence;
+          Alcotest.test_case "load:false coverage" `Quick
+            test_stage_mem_load_false_rejected_without_coverage;
+        ] );
+    ]
