@@ -4,9 +4,11 @@
      dune exec bench/main.exe                 # every table and figure
      dune exec bench/main.exe -- fig13        # one experiment
      dune exec bench/main.exe -- bechamel     # wall-clock Bechamel benches
+     dune exec bench/main.exe -- perf         # compiled vs interpreted engine
+                                              # (writes BENCH_interp.json)
 
    Experiments: fig12 fig13 fig14 tab1 tab2 fig15 fig16 fig17 fig18
-   ablation bechamel all *)
+   ablation bechamel perf all *)
 
 open Bechamel
 module Btoolkit = Toolkit
@@ -135,6 +137,80 @@ let run_bechamel () =
     tests;
   Fmt.pr "@."
 
+(* ------------------------------------------------------------------ *)
+(* perf: the compiled execution engine vs the tree-walking interpreter  *)
+(* on the paper's base kernel, plus a tuner-sweep timing. Writes the    *)
+(* measurements to BENCH_interp.json.                                   *)
+
+(** Adaptive timing: run [f] until at least [min_time] CPU-seconds have
+    accumulated, return seconds per run. *)
+let time_runs ?(min_time = 0.3) (f : unit -> unit) : float =
+  f ();
+  (* warm-up: caches, compilation *)
+  let rec go n =
+    let t0 = Sys.time () in
+    for _ = 1 to n do
+      f ()
+    done;
+    let dt = Sys.time () -. t0 in
+    if dt >= min_time then dt /. float_of_int n else go (n * 4)
+  in
+  go 1
+
+let run_perf () =
+  let module R = Exo_blis.Registry in
+  let machine = Exo_isa.Machine.carmel in
+  let kc = 512 and mr = 8 and nr = 12 in
+  Fmt.pr "Execution-engine benchmark: 8x12 f32 kernel, one call at kc=%d@." kc;
+  Fmt.pr "%s@." (String.make 78 '-');
+  let st = Random.State.make [| 42 |] in
+  let mk n = Array.init n (fun _ -> float_of_int (Random.State.int st 7 - 3)) in
+  let ac = mk (kc * mr) and bc = mk (kc * nr) in
+  let c0 = mk (nr * mr) in
+  let compiled = R.exo_ukr () and interp = R.exo_ukr_interp () in
+  (* sanity: both engines produce the identical C tile *)
+  let c1 = Array.copy c0 and c2 = Array.copy c0 in
+  compiled ~kc ~mr ~nr ~ac ~bc ~c:c1;
+  interp ~kc ~mr ~nr ~ac ~bc ~c:c2;
+  if c1 <> c2 then failwith "perf: compiled and interpreted kernels disagree";
+  Fmt.pr "engines agree bit-exactly on the C tile@.";
+  let t_compiled =
+    time_runs (fun () ->
+        let c = Array.copy c0 in
+        compiled ~kc ~mr ~nr ~ac ~bc ~c)
+  in
+  let t_interp =
+    time_runs (fun () ->
+        let c = Array.copy c0 in
+        interp ~kc ~mr ~nr ~ac ~bc ~c)
+  in
+  let speedup = t_interp /. t_compiled in
+  Fmt.pr "tree-walking interpreter : %12.1f us/call@." (t_interp *. 1e6);
+  Fmt.pr "compiled closures        : %12.1f us/call@." (t_compiled *. 1e6);
+  Fmt.pr "speedup                  : %12.1fx %s@." speedup
+    (if speedup >= 10.0 then "(>= 10x: ok)" else "(below the 10x target!)");
+  (* tuner sweep: time fresh problems (distinct k) so the memo is cold *)
+  let k_base = ref 100 in
+  let t_sweep =
+    time_runs ~min_time:0.2 (fun () ->
+        incr k_base;
+        ignore (Exo_blis.Tuner.sweep machine ~m:784 ~n:512 ~k:!k_base))
+  in
+  Fmt.pr "tuner sweep (cold memo)  : %12.1f us/sweep@." (t_sweep *. 1e6);
+  let oc = open_out "BENCH_interp.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"kernel\": \"uk_%dx%d_neon-f32\",\n\
+    \  \"kc\": %d,\n\
+    \  \"interpreted_us_per_call\": %.3f,\n\
+    \  \"compiled_us_per_call\": %.3f,\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"tuner_sweep_cold_us\": %.3f\n\
+     }\n"
+    mr nr kc (t_interp *. 1e6) (t_compiled *. 1e6) speedup (t_sweep *. 1e6);
+  close_out oc;
+  Fmt.pr "wrote BENCH_interp.json@.@."
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let run = function
@@ -149,12 +225,14 @@ let () =
     | "fig18" -> Experiments.fig18 ()
     | "ablation" -> Experiments.ablation ()
     | "bechamel" -> run_bechamel ()
+    | "perf" -> run_perf ()
     | "all" ->
         Experiments.all ();
         run_bechamel ()
     | other ->
         Fmt.epr
-          "unknown experiment %S (expected figNN, tabN, ablation, bechamel, all)@."
+          "unknown experiment %S (expected figNN, tabN, ablation, bechamel, perf, \
+           all)@."
           other;
         exit 2
   in

@@ -145,8 +145,8 @@ let time_of_regions ?(dbytes = 4) (machine : Machine.t) ~(regions : region list)
     micro-kernel to the problem"). *)
 let candidate_shapes = [ (8, 12); (8, 8); (8, 4); (4, 12); (4, 8); (4, 4) ]
 
-let time (machine : Machine.t) (setup : setup) ~(m : int) ~(n : int) ~(k : int) :
-    float * string =
+let time_uncached (machine : Machine.t) (setup : setup) ~(m : int) ~(n : int)
+    ~(k : int) : float * string =
   let dtype_bytes = dtype_bytes_of setup in
   match setup with
   | Monolithic { impl; prefetch } ->
@@ -187,6 +187,31 @@ let time (machine : Machine.t) (setup : setup) ~(m : int) ~(n : int) ~(k : int) 
       List.fold_left
         (fun (bt, bn) (t, nm) -> if t < bt then (t, nm) else (bt, bn))
         (List.hd best) (List.tl best)
+
+(* A setup's identity for memoization: the four paper configurations (and
+   the per-kit Exo families) are distinguished by kernel name + prefetch +
+   kit; the full evaluation is deterministic in (machine, setup, m, n, k). *)
+let setup_key = function
+  | Monolithic { impl; prefetch } ->
+      Fmt.str "%s%s" impl.KM.name (if prefetch then "+pf" else "")
+  | Exo_family kit -> "EXO:" ^ kit.Exo_ukr_gen.Kits.name
+
+let time_cache : (string, float * string) Hashtbl.t = Hashtbl.create 64
+
+(** Memoized: [gflops] and [selected_kernel] (and per-figure rows that ask
+    for both) share one evaluation instead of re-pricing every candidate
+    shape per query. *)
+let time (machine : Machine.t) (setup : setup) ~(m : int) ~(n : int) ~(k : int) :
+    float * string =
+  let key =
+    Fmt.str "%s/%s/%d/%d/%d" machine.Machine.name (setup_key setup) m n k
+  in
+  match Hashtbl.find_opt time_cache key with
+  | Some r -> r
+  | None ->
+      let r = time_uncached machine setup ~m ~n ~k in
+      Hashtbl.replace time_cache key r;
+      r
 
 (** GFLOPS for C += A·B (2·m·n·k flops). *)
 let gflops (machine : Machine.t) (setup : setup) ~m ~n ~k : float =

@@ -56,7 +56,9 @@ val time_of_regions :
 (** Candidate main-kernel shapes the ALG+EXO selection considers. *)
 val candidate_shapes : (int * int) list
 
-(** Simulated seconds for C += A·B, and the kernel shape used. *)
+(** Simulated seconds for C += A·B, and the kernel shape used. Memoized per
+    (machine, setup, problem), so {!gflops} and {!selected_kernel} queried on
+    the same row share one full evaluation. *)
 val time : Exo_isa.Machine.t -> setup -> m:int -> n:int -> k:int -> float * string
 
 val gflops : Exo_isa.Machine.t -> setup -> m:int -> n:int -> k:int -> float

@@ -14,6 +14,7 @@ open Exo_ukr_gen
 module KM = Exo_sim.Kernel_model
 module B = Exo_interp.Buffer
 module I = Exo_interp.Interp
+module C = Exo_interp.Compile
 
 (* ------------------------------------------------------------------ *)
 (* Generated-kernel cache                                              *)
@@ -28,6 +29,20 @@ let exo_kernel ?(kit = Kits.neon_f32) ~(mr : int) ~(nr : int) () : Family.kernel
       let k = Family.generate ~kit ~mr ~nr () in
       Hashtbl.replace cache key k;
       k
+
+(* Compile-once/run-many: the closure-compiled form of each generated
+   kernel, cached alongside the IR so every micro-kernel call after the
+   first is a plain closure invocation. *)
+let compiled_cache : (string * int * int, C.t) Hashtbl.t = Hashtbl.create 32
+
+let exo_compiled ?(kit = Kits.neon_f32) ~(mr : int) ~(nr : int) () : C.t =
+  let key = (kit.Kits.name, mr, nr) in
+  match Hashtbl.find_opt compiled_cache key with
+  | Some c -> c
+  | None ->
+      let c = C.compile (exo_kernel ~kit ~mr ~nr ()).Family.proc in
+      Hashtbl.replace compiled_cache key c;
+      c
 
 (** Model impl for a generated kernel. *)
 let exo_impl ?(kit = Kits.neon_f32) ~(mr : int) ~(nr : int) () : KM.impl =
@@ -44,8 +59,22 @@ let neon_impl ?kit () : KM.impl = KM.neon_intrinsics_8x12 (base_8x12 ?kit ())
 
 let ones_buf = lazy (B.of_array Exo_ir.Dtype.F32 [ 1 ] [| 1.0 |])
 
-(** Run a generated kernel (through the interpreter) on a packed tile. *)
+(** Run a generated kernel on a packed tile through the compiled execution
+    engine: the kernel is compiled once per (kit, mr, nr) and the caller's
+    arrays are bound as zero-copy buffer views. *)
 let exo_ukr ?(kit = Kits.neon_f32) () : Gemm.ukr =
+ fun ~kc ~mr ~nr ~ac ~bc ~c ->
+  let ck = exo_compiled ~kit ~mr ~nr () in
+  let one = Lazy.force ones_buf in
+  let acb = B.of_array kit.Kits.dt [ kc; mr ] ac in
+  let bcb = B.of_array kit.Kits.dt [ kc; nr ] bc in
+  let cb = B.of_array kit.Kits.dt [ nr; mr ] c in
+  C.run ck [ I.VInt kc; I.VBuf one; I.VBuf acb; I.VBuf bcb; I.VBuf one; I.VBuf cb ]
+
+(** The same tile run through the tree-walking interpreter — the
+    definitional oracle, kept for cross-checking the compiled path (and for
+    measuring the compiled engine's speedup in [bench/main.exe perf]). *)
+let exo_ukr_interp ?(kit = Kits.neon_f32) () : Gemm.ukr =
  fun ~kc ~mr ~nr ~ac ~bc ~c ->
   let k = exo_kernel ~kit ~mr ~nr () in
   let one = Lazy.force ones_buf in

@@ -6,6 +6,12 @@
 val exo_kernel :
   ?kit:Exo_ukr_gen.Kits.t -> mr:int -> nr:int -> unit -> Exo_ukr_gen.Family.kernel
 
+(** The closure-compiled form of a generated kernel (compiled once per
+    (kit, mr, nr) and cached) — the fast execution engine behind
+    {!exo_ukr}. *)
+val exo_compiled :
+  ?kit:Exo_ukr_gen.Kits.t -> mr:int -> nr:int -> unit -> Exo_interp.Compile.t
+
 (** Model impl for a generated kernel. *)
 val exo_impl :
   ?kit:Exo_ukr_gen.Kits.t -> mr:int -> nr:int -> unit -> Exo_sim.Kernel_model.impl
@@ -16,8 +22,13 @@ val base_8x12 : ?kit:Exo_ukr_gen.Kits.t -> unit -> Exo_ir.Ir.proc
 val blis_impl : ?kit:Exo_ukr_gen.Kits.t -> unit -> Exo_sim.Kernel_model.impl
 val neon_impl : ?kit:Exo_ukr_gen.Kits.t -> unit -> Exo_sim.Kernel_model.impl
 
-(** Numeric micro-kernel running the generated IR through the interpreter. *)
+(** Numeric micro-kernel running the generated IR through the compiled
+    execution engine (zero-copy views over the caller's arrays). *)
 val exo_ukr : ?kit:Exo_ukr_gen.Kits.t -> unit -> Gemm.ukr
+
+(** The same numerics through the tree-walking interpreter — the
+    definitional oracle, kept for cross-checks and speedup measurement. *)
+val exo_ukr_interp : ?kit:Exo_ukr_gen.Kits.t -> unit -> Gemm.ukr
 
 (** The monolithic kernels' numerics (identical arithmetic; their differences
     are micro-architectural and live in the model impls). *)

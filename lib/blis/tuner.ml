@@ -44,12 +44,17 @@ let evaluate ?(kit = Exo_ukr_gen.Kits.neon_f32) (machine : Exo_isa.Machine.t)
     blocking;
   }
 
-let cache : (string * int * int * int, result list) Hashtbl.t = Hashtbl.create 32
+let cache : (string * (int * int) list * int * int * int, result list) Hashtbl.t =
+  Hashtbl.create 32
 
-(** Rank every feasible candidate for one GEMM, best first (memoized). *)
+(** Rank every feasible candidate for one GEMM, best first (memoized per
+    problem AND candidate-shape list — a custom [?shapes] must not hit
+    entries cached for the default list). *)
 let sweep ?(kit = Exo_ukr_gen.Kits.neon_f32) ?(shapes = default_shapes)
     (machine : Exo_isa.Machine.t) ~(m : int) ~(n : int) ~(k : int) : result list =
-  let key = (machine.Exo_isa.Machine.name ^ kit.Exo_ukr_gen.Kits.name, m, n, k) in
+  let key =
+    (machine.Exo_isa.Machine.name ^ kit.Exo_ukr_gen.Kits.name, shapes, m, n, k)
+  in
   match Hashtbl.find_opt cache key with
   | Some r -> r
   | None ->

@@ -1,0 +1,29 @@
+(** Compile-once/run-many execution engine.
+
+    [compile] lowers a procedure to nested OCaml closures: symbols become
+    integer frame slots (no [Sym.Map] at runtime), expressions split
+    statically into unboxed int and float paths, buffer accesses compute
+    their flat address directly against the strides, and instruction calls
+    run their semantic bodies' compiled closures with preconditions checked
+    in a once-per-call prologue.
+
+    Observationally identical to {!Interp.run} — same dtype rounding, bounds
+    checks, and precondition failures (it raises {!Interp.Runtime_error} and
+    {!Buffer.Bounds} like the interpreter). The tree-walking {!Interp} stays
+    as the definitional oracle; a qcheck property pins bit-identical buffers
+    between the two. Use this engine anywhere a kernel runs more than once:
+    the GEMM numeric path, tuner sweeps, and property-test harnesses. *)
+
+type t
+
+(** Compile a procedure. Instruction callees are compiled once and shared
+    across all their call sites. *)
+val compile : Exo_ir.Ir.proc -> t
+
+(** The source procedure. *)
+val proc : t -> Exo_ir.Ir.proc
+
+(** Run a compiled procedure: [VInt] for size/index/bool arguments, [VBuf]
+    for tensors (mutated in place) — the same conventions as {!Interp.run}.
+    Preconditions are checked; violations raise {!Interp.Runtime_error}. *)
+val run : t -> Interp.value list -> unit

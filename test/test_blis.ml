@@ -94,7 +94,20 @@ let test_blis_with_exo_kernels () =
   let c2 = M.copy c1 in
   G.naive_f32 a b c1;
   G.blis ~blocking:small_blocking ~mr:8 ~nr:12 ~ukr:(R.exo_ukr ()) a b c2;
-  Alcotest.(check bool) "interpreted Exo kernels drive the macro-kernel" true
+  Alcotest.(check bool) "compiled Exo kernels drive the macro-kernel" true
+    (M.equal c1 c2)
+
+let test_blis_compiled_vs_interpreted_ukr () =
+  (* the compiled engine behind exo_ukr against the tree-walking oracle,
+     through the full macro-kernel: bit-identical C *)
+  let st = Random.State.make [| 4 |] in
+  let m, n, k = (19, 23, 13) in
+  let a = M.random_int m k st and b = M.random_int k n st in
+  let c1 = M.random_int m n st in
+  let c2 = M.copy c1 in
+  G.blis ~blocking:small_blocking ~mr:8 ~nr:12 ~ukr:(R.exo_ukr ()) a b c1;
+  G.blis ~blocking:small_blocking ~mr:8 ~nr:12 ~ukr:(R.exo_ukr_interp ()) a b c2;
+  Alcotest.(check bool) "compiled ≡ interpreted through the macro-kernel" true
     (M.equal c1 c2)
 
 let test_blis_alpha_beta () =
@@ -215,6 +228,31 @@ let test_tuner_memoized () =
   let b = Exo_blis.Tuner.sweep machine ~m:100 ~n:100 ~k:100 in
   Alcotest.(check bool) "same list object (memoized)" true (a == b)
 
+let test_tuner_shapes_not_conflated () =
+  (* regression: the memo key must include the candidate-shape list — a
+     custom [?shapes] sweep on a problem already swept with the defaults
+     used to return the default-shapes ranking *)
+  let m, n, k = (101, 103, 107) in
+  let _ = Exo_blis.Tuner.sweep machine ~m ~n ~k in
+  let custom = Exo_blis.Tuner.sweep ~shapes:[ (4, 4) ] machine ~m ~n ~k in
+  Alcotest.(check int) "one candidate" 1 (List.length custom);
+  let r = List.hd custom in
+  Alcotest.(check int) "mr = 4" 4 r.Exo_blis.Tuner.mr;
+  Alcotest.(check int) "nr = 4" 4 r.Exo_blis.Tuner.nr;
+  (* and the default entry is still intact afterwards *)
+  let again = Exo_blis.Tuner.sweep machine ~m ~n ~k in
+  Alcotest.(check bool) "default entry preserved" true (List.length again > 1)
+
+let test_driver_time_memoized () =
+  let s = D.alg_exo () in
+  let a = D.time machine s ~m:301 ~n:303 ~k:305 in
+  let b = D.time machine s ~m:301 ~n:303 ~k:305 in
+  Alcotest.(check bool) "same result object (memoized)" true (a == b);
+  (* distinct setups must not collide on a key *)
+  let c = D.time machine (D.blis_lib ()) ~m:301 ~n:303 ~k:305 in
+  let d = D.time machine (D.alg_blis ()) ~m:301 ~n:303 ~k:305 in
+  Alcotest.(check bool) "prefetch distinguishes setups" true (fst c <> fst d)
+
 let test_f16_gemm_speedup () =
   (* the contributed f16 path roughly doubles end-to-end throughput *)
   let f16 = D.Exo_family Exo_ukr_gen.Kits.neon_f16 in
@@ -260,6 +298,8 @@ let () =
         [
           Alcotest.test_case "exact vs naive" `Quick test_blis_exact_vs_naive;
           Alcotest.test_case "with Exo kernels" `Quick test_blis_with_exo_kernels;
+          Alcotest.test_case "compiled vs interpreted ukr" `Quick
+            test_blis_compiled_vs_interpreted_ukr;
           Alcotest.test_case "alpha/beta" `Quick test_blis_alpha_beta;
         ]
         @ props );
@@ -274,6 +314,9 @@ let () =
           Alcotest.test_case "tuner beats default" `Quick test_tuner_best_at_least_family_choice;
           Alcotest.test_case "tuner feasibility" `Quick test_tuner_feasibility;
           Alcotest.test_case "tuner memoized" `Quick test_tuner_memoized;
+          Alcotest.test_case "tuner shapes not conflated" `Quick
+            test_tuner_shapes_not_conflated;
+          Alcotest.test_case "driver time memoized" `Quick test_driver_time_memoized;
           Alcotest.test_case "f16 gemm speedup" `Quick test_f16_gemm_speedup;
         ] );
     ]
