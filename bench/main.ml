@@ -8,7 +8,7 @@
                                               # (writes BENCH_interp.json)
 
    Experiments: fig12 fig13 fig14 tab1 tab2 fig15 fig16 fig17 fig18
-   ablation bechamel perf all *)
+   ablation bechamel perf lint all *)
 
 open Bechamel
 module Btoolkit = Toolkit
@@ -211,6 +211,22 @@ let run_perf () =
   close_out oc;
   Fmt.pr "wrote BENCH_interp.json@.@."
 
+(* ------------------------------------------------------------------ *)
+(* lint: the static Fig. 12 gate — every generated kernel must carry    *)
+(* its bounds certificate, fit the register file, match the expected    *)
+(* steady-state census and write only C. Exits 1 on any failure.        *)
+
+let run_lint () =
+  let module L = Exo_ukr_gen.Lint in
+  Fmt.pr "Static kernel lint (Fig. 12 properties, no simulation)@.";
+  Fmt.pr "%s@." (String.make 78 '-');
+  let o = L.run () in
+  Fmt.pr "%a@.@." L.pp_outcome o;
+  if not (L.all_ok o) then begin
+    Fmt.epr "lint gate FAILED: %d kernel(s)@." (L.failures o);
+    exit 1
+  end
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let run = function
@@ -226,13 +242,15 @@ let () =
     | "ablation" -> Experiments.ablation ()
     | "bechamel" -> run_bechamel ()
     | "perf" -> run_perf ()
+    | "lint" -> run_lint ()
     | "all" ->
+        run_lint ();
         Experiments.all ();
         run_bechamel ()
     | other ->
         Fmt.epr
           "unknown experiment %S (expected figNN, tabN, ablation, bechamel, perf, \
-           all)@."
+           lint, all)@."
           other;
         exit 2
   in

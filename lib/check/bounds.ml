@@ -200,9 +200,36 @@ and check_expr env (e : expr) : unit =
 
 type report = { violations : failure list; unknowns : failure list }
 
+(** Index-argument ranges mined from [assert] predicates of the shapes
+    [v >= e] / [v < e] / [v <= e] / [v > e] (the fmla lane-index
+    contract). Shared with {!Effects.ctx_of_proc}. *)
+let pred_ranges (preds : expr list) : interval Sym.Map.t =
+  let rec mine acc (e : expr) =
+    match e with
+    | And (a, b) -> mine (mine acc a) b
+    | Cmp (Ge, Var v, e') -> update acc v ~lo:(Affine.of_expr e') ~hi:None
+    | Cmp (Le, Var v, e') -> update acc v ~lo:None ~hi:(Affine.of_expr e')
+    | Cmp (Lt, Var v, e') ->
+        update acc v ~lo:None
+          ~hi:(Option.map (fun a -> Affine.sub a (Affine.const 1)) (Affine.of_expr e'))
+    | Cmp (Gt, Var v, e') ->
+        update acc v
+          ~lo:(Option.map (fun a -> Affine.add a (Affine.const 1)) (Affine.of_expr e'))
+          ~hi:None
+    | _ -> acc
+  and update acc v ~lo ~hi =
+    let cur =
+      match Sym.Map.find_opt v acc with
+      | Some r -> r
+      | None -> { lo = None; hi = None }
+    in
+    let pick fresh old = match fresh with Some _ -> fresh | None -> old in
+    Sym.Map.add v { lo = pick lo cur.lo; hi = pick hi cur.hi } acc
+  in
+  List.fold_left mine Sym.Map.empty preds
+
 (** Bounds-check a whole procedure. Index-argument ranges are recovered from
-    the procedure's [assert] predicates of the shapes [v >= e] / [v < e] /
-    [v <= e] (as in the fmla lane-index contract). *)
+    the procedure's [assert] predicates. *)
 let check_proc (p : proc) : report =
   failures := [];
   let sizes =
@@ -219,32 +246,7 @@ let check_proc (p : proc) : report =
         | _ -> acc)
       Sym.Map.empty p.p_args
   in
-  let ranges =
-    (* Mine predicates for index-argument ranges. *)
-    let rec mine acc (e : expr) =
-      match e with
-      | And (a, b) -> mine (mine acc a) b
-      | Cmp (Ge, Var v, e') -> update acc v ~lo:(Affine.of_expr e') ~hi:None
-      | Cmp (Le, Var v, e') -> update acc v ~lo:None ~hi:(Affine.of_expr e')
-      | Cmp (Lt, Var v, e') ->
-          update acc v ~lo:None
-            ~hi:(Option.map (fun a -> Affine.sub a (Affine.const 1)) (Affine.of_expr e'))
-      | Cmp (Gt, Var v, e') ->
-          update acc v
-            ~lo:(Option.map (fun a -> Affine.add a (Affine.const 1)) (Affine.of_expr e'))
-            ~hi:None
-      | _ -> acc
-    and update acc v ~lo ~hi =
-      let cur =
-        match Sym.Map.find_opt v acc with
-        | Some r -> r
-        | None -> { lo = None; hi = None }
-      in
-      let pick fresh old = match fresh with Some _ -> fresh | None -> old in
-      Sym.Map.add v { lo = pick lo cur.lo; hi = pick hi cur.hi } acc
-    in
-    List.fold_left mine Sym.Map.empty p.p_preds
-  in
+  let ranges = pred_ranges p.p_preds in
   ignore (check_stmts { sizes; ranges; dims } p.p_body);
   let all = List.rev !failures in
   {

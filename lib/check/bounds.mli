@@ -30,6 +30,10 @@ val nonneg_with_sizes :
 type failure = { access : string; reason : string; verdict : verdict }
 type report = { violations : failure list; unknowns : failure list }
 
+(** Index-argument ranges mined from [assert] predicates of the shapes
+    [v >= e] / [v < e] / [v <= e] / [v > e]. *)
+val pred_ranges : Exo_ir.Ir.expr list -> interval Exo_ir.Sym.Map.t
+
 (** Bounds-check a procedure; index-argument ranges are mined from its
     [assert] predicates (the fmla lane contract). Not re-entrant. *)
 val check_proc : Exo_ir.Ir.proc -> report

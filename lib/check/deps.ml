@@ -1,71 +1,21 @@
-(** Conservative loop dependence analysis.
+(** Loop dependence legality — now a client of the {!Effects} region
+    signatures.
 
     [reorder_loops] and loop fission are only semantics-preserving in the
     absence of certain loop-carried dependences. Exo discharges these
-    obligations with its effect system; we implement a conservative affine
-    analysis with the same user-facing behaviour: legal schedules in the
-    paper's pipeline pass, while illegal requests (e.g. reordering loops
-    around a recurrence) raise a scheduling error.
-
-    The analysis answers [Ok ()] only when legality is *proved*; any
-    imprecision yields [Error reason]. Reductions ([+=]) are treated as
-    reorderable amongst themselves, following Exo (floating-point reduction
+    obligations with its effect system; the queries below ask {!Effects} for
+    the MAY accesses of each block and decide legality with the region
+    algebra. The analysis answers [Ok ()] only when legality is *proved*;
+    any imprecision yields [Error reason]. Reductions ([+=], including
+    instruction calls whose bodies reduce) are treated as reorderable
+    amongst themselves, following Exo (floating-point reduction
     reassociation is an accepted part of the scheduling contract). *)
 
 open Exo_ir
 open Ir
+module E = Effects
 
-type kind = KRead | KAssign | KReduce
-
-type access = { buf : Sym.t; kind : kind; idx : Affine.t option list }
-(** Subscripts in affine normal form; [None] = non-affine or windowed. *)
-
-let affine_of e = Affine.of_expr e
-
-let rec collect_expr acc (e : expr) =
-  match e with
-  | Read (b, idx) ->
-      let acc = List.fold_left collect_expr acc idx in
-      { buf = b; kind = KRead; idx = List.map affine_of idx } :: acc
-  | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
-      collect_expr (collect_expr acc a) b
-  | Neg a | Not a -> collect_expr acc a
-  | Int _ | Float _ | Var _ | Stride _ -> acc
-
-(** All accesses in a statement list. Call windows are conservatively
-    treated as writes with unanalyzable ([None]) subscripts on [Iv] dims. *)
-let rec collect_stmts acc (body : stmt list) =
-  List.fold_left
-    (fun acc s ->
-      match s with
-      | SAssign (b, idx, e) ->
-          let acc = collect_expr acc e in
-          { buf = b; kind = KAssign; idx = List.map affine_of idx } :: acc
-      | SReduce (b, idx, e) ->
-          let acc = collect_expr acc e in
-          { buf = b; kind = KReduce; idx = List.map affine_of idx } :: acc
-      | SFor (_, lo, hi, inner) ->
-          collect_stmts (collect_expr (collect_expr acc lo) hi) inner
-      | SAlloc (_, _, dims, _) -> List.fold_left collect_expr acc dims
-      | SCall (_, args) ->
-          List.fold_left
-            (fun acc -> function
-              | AExpr e -> collect_expr acc e
-              | AWin w ->
-                  {
-                    buf = w.wbuf;
-                    kind = KAssign;
-                    idx =
-                      List.map
-                        (function Pt e -> affine_of e | Iv _ -> None)
-                        w.widx;
-                  }
-                  :: acc)
-            acc args
-      | SIf (c, t, e) -> collect_stmts (collect_stmts (collect_expr acc c) t) e)
-    acc body
-
-let is_write a = a.kind <> KRead
+let is_write = E.is_write
 
 (** Vars bound by loops inside a statement list. *)
 let inner_binders (body : stmt list) : Sym.Set.t =
@@ -90,70 +40,82 @@ let drop_var (a : Affine.t) (v : Sym.t) : Affine.t =
     The two access *instances* being compared come from different iterations:
     [v] and every variable in [volatile] (deeper binders) may take different
     values on each side; everything else (outer loop variables, sizes) is
-    common. A dimension proves disjointness when neither subscript mentions
-    any volatile variable besides [v], and either
+    common. Each region dimension is normalized to an inclusive interval
+    [lo, lo+n-1] with constant extent [n] (a point has [n] = 1; windowed
+    instruction operands contribute real intervals). A dimension proves
+    disjointness when neither endpoint mentions any volatile variable
+    besides [v], and either
 
-    - both have the same nonzero coefficient [c] on [v] with identical
-      remainders — indices then differ by [c·(i−j) ≠ 0]; or
-    - neither mentions [v] and the remainders differ by a nonzero constant
-      (the accesses never alias at all). *)
-let disjoint_when_var_differs ~(v : Sym.t) ~(volatile : Sym.Set.t) (a : access)
-    (b : access) : bool =
+    - both sides have the same coefficient [c ≠ 0] on [v] with identical
+      remainders and [|c| ≥ n] on both — the intervals then slide by
+      [c·(i−j)], past each other's width; or
+    - neither mentions [v] and the remainders differ by a constant at least
+      one width (the intervals never alias at all). *)
+let disjoint_when_var_differs ~(v : Sym.t) ~(volatile : Sym.Set.t)
+    (a : E.access) (b : E.access) : bool =
   let others = Sym.Set.remove v volatile in
   let has_volatile (x : Affine.t) =
     not (Sym.Set.is_empty (Sym.Set.inter (vars_of x) others))
   in
-  List.length a.idx = List.length b.idx
+  (* (lo, extent) with constant extent, or None *)
+  let norm = function
+    | E.DPt a -> Some (a, 1)
+    | E.DIv (l, h) -> (
+        match Affine.is_const (Affine.sub h l) with
+        | Some n when n >= 0 -> Some (l, n + 1)
+        | _ -> None)
+    | E.DUnk -> None
+  in
+  List.length a.E.region = List.length b.E.region
   && List.exists2
-       (fun ia ib ->
-         match (ia, ib) with
-         | Some ia, Some ib when (not (has_volatile ia)) && not (has_volatile ib) ->
-             let ca = coeff ia v and cb = coeff ib v in
-             let d = Affine.sub (drop_var ia v) (drop_var ib v) in
-             if ca = cb && ca <> 0 then Affine.equal d Affine.zero
-             else if ca = 0 && cb = 0 then d.Affine.terms = [] && d.Affine.const <> 0
+       (fun da db ->
+         match (norm da, norm db) with
+         | Some (la, na), Some (lb, nb)
+           when (not (has_volatile la)) && not (has_volatile lb) ->
+             let ca = coeff la v and cb = coeff lb v in
+             let d = Affine.sub (drop_var la v) (drop_var lb v) in
+             if ca = cb && ca <> 0 then
+               Affine.equal d Affine.zero && abs ca >= na && abs ca >= nb
+             else if ca = 0 && cb = 0 then
+               d.Affine.terms = [] && (d.Affine.const >= nb || -d.Affine.const >= na)
              else false
          | _ -> false)
-       a.idx b.idx
+       a.E.region b.E.region
 
-let buf_groups (accs : access list) : (Sym.t * access list) list =
+let buf_groups (accs : E.access list) : (Sym.t * E.access list) list =
   let tbl = Hashtbl.create 8 in
   List.iter
-    (fun a ->
-      let cur = try Hashtbl.find tbl (Sym.id a.buf) with Not_found -> [] in
-      Hashtbl.replace tbl (Sym.id a.buf) (a :: cur))
+    (fun (a : E.access) ->
+      let cur = try Hashtbl.find tbl (Sym.id a.E.buf) with Not_found -> [] in
+      Hashtbl.replace tbl (Sym.id a.E.buf) (a :: cur))
     accs;
-  List.sort_uniq (fun a b -> Sym.compare a b)
-    (List.map (fun a -> a.buf) accs)
+  List.sort_uniq (fun a b -> Sym.compare a b) (List.map (fun (a : E.access) -> a.E.buf) accs)
   |> List.map (fun b -> (b, Hashtbl.find tbl (Sym.id b)))
 
-(** Is executing [body] twice in a row the same as once? Sufficient: only
-    plain assignments whose right-hand sides read nothing the body writes,
-    and no instruction calls or reductions. *)
+(** Is executing [body] twice in a row the same as once? Effect criterion:
+    no reductions (including via instruction calls), and no buffer both
+    read and written — every write then stores a value computed from
+    unchanged state, so the second execution stores the same values. *)
 let idempotent (body : stmt list) : bool =
-  let written = ref Sym.Set.empty in
-  let reads = ref Sym.Set.empty in
-  let ok = ref true in
-  iter_stmts
-    (fun s ->
-      match s with
-      | SAssign (b, idx, e) ->
-          written := Sym.Set.add b !written;
-          List.iter (fun i -> reads := expr_bufs !reads i) idx;
-          reads := expr_bufs !reads e
-      | SReduce _ | SCall _ -> ok := false
-      | SFor (_, lo, hi, _) -> reads := expr_bufs (expr_bufs !reads lo) hi
-      | SAlloc _ -> ()
-      | SIf (c, _, _) -> reads := expr_bufs !reads c)
-    body;
-  !ok && Sym.Set.is_empty (Sym.Set.inter !written !reads)
+  let accs = E.collect body in
+  let written, read =
+    List.fold_left
+      (fun (w, r) (a : E.access) ->
+        match a.E.mode with
+        | E.MWrite -> (Sym.Set.add a.E.buf w, r)
+        | E.MRead -> (w, Sym.Set.add a.E.buf r)
+        | E.MReduce -> (Sym.Set.add a.E.buf w, Sym.Set.add a.E.buf r))
+      (Sym.Set.empty, Sym.Set.empty) accs
+  in
+  List.for_all
+    (fun (a : E.access) -> a.E.mode <> E.MReduce)
+    accs
+  && Sym.Set.is_empty (Sym.Set.inter written read)
 
 let written_bufs (body : stmt list) : Sym.Set.t =
-  let acc = ref Sym.Set.empty in
-  List.iter
-    (fun a -> if is_write a then acc := Sym.Set.add a.buf !acc)
-    (collect_stmts [] body);
-  !acc
+  List.fold_left
+    (fun acc (a : E.access) -> if is_write a then Sym.Set.add a.E.buf acc else acc)
+    Sym.Set.empty (E.collect body)
 
 (** The loop-invariant staging rule: [for v: pre; post ≡ (for v: pre);
     (for v: post)] when [pre] does not depend on [v], is idempotent, and
@@ -172,31 +134,30 @@ let invariant_pre_rule ~(v : Sym.t) ~(pre : stmt list) ~(post : stmt list) : boo
     Requirement: no dependence from [post] at iteration [i] to [pre] at
     iteration [j > i] (the fissioned second loop runs strictly after the
     whole first loop). For each buffer with a write on one side and any
-    access on the other, we prove cross-iteration disjointness, or fall back
-    to the reduce-reduce commutation rule; failing both, the whole split may
-    still be justified by {!invariant_pre_rule}. *)
+    access on the other, we prove cross-iteration region disjointness, or
+    fall back to the reduce-reduce commutation rule; failing both, the
+    whole split may still be justified by {!invariant_pre_rule}. *)
 let fission_legal ~(v : Sym.t) ~(pre : stmt list) ~(post : stmt list) :
     (unit, string) result =
-  let pre_accs = collect_stmts [] pre and post_accs = collect_stmts [] post in
+  let pre_accs = E.collect pre and post_accs = E.collect post in
   let volatile =
     Sym.Set.add v (Sym.Set.union (inner_binders pre) (inner_binders post))
   in
   let shared =
     List.filter_map
       (fun (b, post_g) ->
-        match List.filter (fun a -> Sym.equal a.buf b) pre_accs with
+        match List.filter (fun (a : E.access) -> Sym.equal a.E.buf b) pre_accs with
         | [] -> None
         | pre_g -> Some (b, pre_g, post_g))
       (buf_groups post_accs)
   in
-  let check_pair (b : Sym.t) (p : access) (q : access) =
+  let check_pair (b : Sym.t) (p : E.access) (q : E.access) =
     if (not (is_write p)) && not (is_write q) then Ok ()
-    else if p.kind = KReduce && q.kind = KReduce then Ok ()
+    else if p.E.mode = E.MReduce && q.E.mode = E.MReduce then Ok ()
     else if disjoint_when_var_differs ~v ~volatile p q then Ok ()
     else
       Error
-        (Fmt.str
-           "cannot prove fission over %a safe: conflicting accesses to %a"
+        (Fmt.str "cannot prove fission over %a safe: conflicting accesses to %a"
            Sym.pp v Sym.pp b)
   in
   let pairwise =
@@ -221,31 +182,27 @@ let fission_legal ~(v : Sym.t) ~(pre : stmt list) ~(post : stmt list) :
     is a reduction (reductions commute), or every pair of accesses with a
     write provably touches distinct cells when [v1] differs and when [v2]
     differs (iteration-private cells), with reads of the written buffer
-    confined to the written cell. *)
+    confined to a reduced region. *)
 let reorder_legal ~(outer : Sym.t) ~(inner : Sym.t) ~(body : stmt list) :
     (unit, string) result =
-  let accs = collect_stmts [] body in
+  let accs = E.collect body in
   let volatile = Sym.Set.add outer (Sym.Set.add inner (inner_binders body)) in
   let check_group (b, group) =
     if List.for_all (fun a -> not (is_write a)) group then Ok ()
-    else if List.for_all (fun a -> a.kind = KReduce || a.kind = KRead) group
-            && List.for_all
-                 (fun a ->
-                   a.kind = KReduce
-                   ||
-                   (* reads of a reduced buffer must match a reduce cell *)
-                   List.exists
-                     (fun w ->
-                       w.kind = KReduce
-                       && List.length w.idx = List.length a.idx
-                       && List.for_all2
-                            (fun x y ->
-                              match (x, y) with
-                              | Some x, Some y -> Affine.equal x y
-                              | _ -> false)
-                            w.idx a.idx)
-                     group)
-                 group
+    else if
+      List.for_all
+        (fun (a : E.access) -> a.E.mode = E.MReduce || a.E.mode = E.MRead)
+        group
+      && List.for_all
+           (fun (a : E.access) ->
+             a.E.mode = E.MReduce
+             ||
+             (* reads of a reduced buffer must match a reduce region *)
+             List.exists
+               (fun (w : E.access) ->
+                 w.E.mode = E.MReduce && E.region_equal w.E.region a.E.region)
+               group)
+           group
     then Ok ()
     else
       let writes = List.filter is_write group in

@@ -1,22 +1,24 @@
-(** Conservative loop dependence analysis — the legality oracle behind
-    [reorder_loops] and [autofission]. Answers [Ok ()] only when legality is
-    *proved*; imprecision yields [Error]. Reductions are treated as
-    reorderable amongst themselves, following Exo's scheduling contract. *)
+(** Loop dependence legality — the oracle behind [reorder_loops] and
+    [autofission], implemented as queries against the {!Effects} region
+    signatures. Answers [Ok ()] only when legality is *proved*; imprecision
+    yields [Error]. Reductions are treated as reorderable amongst
+    themselves, following Exo's scheduling contract. *)
 
-type kind = KRead | KAssign | KReduce
-
-type access = {
-  buf : Exo_ir.Sym.t;
-  kind : kind;
-  idx : Exo_ir.Affine.t option list;
-}
-
-val collect_stmts : access list -> Exo_ir.Ir.stmt list -> access list
 val coeff : Exo_ir.Affine.t -> Exo_ir.Sym.t -> int
 val drop_var : Exo_ir.Affine.t -> Exo_ir.Sym.t -> Exo_ir.Affine.t
 
-(** Is executing the block twice the same as once? (assign-only, no
-    read-after-write). *)
+(** Cross-iteration region disjointness of two accesses to the same buffer
+    when [v] differs; [volatile] holds deeper binders that may also change. *)
+val disjoint_when_var_differs :
+  v:Exo_ir.Sym.t ->
+  volatile:Exo_ir.Sym.Set.t ->
+  Effects.access ->
+  Effects.access ->
+  bool
+
+(** Is executing the block twice the same as once? (no reductions, no
+    buffer both read and written — instruction calls included via their
+    inferred effects). *)
 val idempotent : Exo_ir.Ir.stmt list -> bool
 
 (** The loop-invariant staging rule justifying operand-load fission through
@@ -26,7 +28,8 @@ val invariant_pre_rule :
 
 (** Legality of [for v: pre; post ⇒ (for v: pre); (for v: post)]: no
     dependence from [post]@i to [pre]@j for j > i, via cross-iteration
-    disjointness, reduce-reduce commutation, or the invariant-pre rule. *)
+    region disjointness, reduce-reduce commutation, or the invariant-pre
+    rule. *)
 val fission_legal :
   v:Exo_ir.Sym.t ->
   pre:Exo_ir.Ir.stmt list ->

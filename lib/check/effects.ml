@@ -1,0 +1,448 @@
+(** Static effect inference — the reproduction of Exo's effect system.
+
+    For any statement block (or whole proc) we compute its MAY read / write /
+    reduce accesses as per-buffer affine regions, and provide a region
+    algebra (disjointness, containment) under the symbolic constraints the
+    rest of {!Exo_check} already uses: size parameters ≥ 1 and loop-variable
+    ranges from [for] bounds and [assert] predicates. Everything is sound
+    but incomplete: non-affine subscripts widen to unanalyzable dimensions
+    and unprovable queries answer [false]/[Error], never the reverse. *)
+
+open Exo_ir
+open Ir
+
+(* ------------------------------------------------------------------ *)
+(* Accesses *)
+
+type mode = MRead | MWrite | MReduce
+
+type dim = DPt of Affine.t | DIv of Affine.t * Affine.t | DUnk
+type region = dim list
+type access = { buf : Sym.t; mode : mode; region : region }
+
+let is_write a = a.mode <> MRead
+let dim_of_expr e = match Affine.of_expr e with Some a -> DPt a | None -> DUnk
+
+let window_region (widx : waccess list) : region =
+  List.map
+    (function
+      | Pt e -> dim_of_expr e
+      | Iv (lo, hi) -> (
+          match (Affine.of_expr lo, Affine.of_expr hi) with
+          | Some l, Some h -> DIv (l, Affine.sub h (Affine.const 1))
+          | _ -> DUnk))
+    widx
+
+let rec collect_expr acc (e : expr) =
+  match e with
+  | Read (b, idx) ->
+      let acc = List.fold_left collect_expr acc idx in
+      { buf = b; mode = MRead; region = List.map dim_of_expr idx } :: acc
+  | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+      collect_expr (collect_expr acc a) b
+  | Neg a | Not a -> collect_expr acc a
+  | Int _ | Float _ | Var _ | Stride _ -> acc
+
+(* [collect] and [param_modes] are mutually recursive through SCall: the
+   effect of a call is the callee's per-parameter effect mapped through the
+   actual windows. Procs are acyclic values, so this terminates. *)
+let rec collect_stmts acc (body : stmt list) : access list =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | SAssign (b, idx, e) ->
+          let acc = collect_expr (List.fold_left collect_expr acc idx) e in
+          { buf = b; mode = MWrite; region = List.map dim_of_expr idx } :: acc
+      | SReduce (b, idx, e) ->
+          let acc = collect_expr (List.fold_left collect_expr acc idx) e in
+          { buf = b; mode = MReduce; region = List.map dim_of_expr idx } :: acc
+      | SFor (_, lo, hi, inner) ->
+          collect_stmts (collect_expr (collect_expr acc lo) hi) inner
+      | SAlloc (_, _, dims, _) -> List.fold_left collect_expr acc dims
+      | SCall (callee, args) -> call_effects acc callee args
+      | SIf (c, t, e) -> collect_stmts (collect_stmts (collect_expr acc c) t) e)
+    acc body
+
+and call_effects acc (callee : proc) (args : call_arg list) : access list =
+  let pmodes = if callee.p_body = [] then None else Some (param_modes callee) in
+  let rec go acc params args =
+    match (params, args) with
+    | [], _ | _, [] -> acc
+    | (a : arg) :: ps, ca :: cas ->
+        let acc =
+          match ca with
+          | AExpr e -> collect_expr acc e
+          | AWin w ->
+              (* subscript expressions of the window are reads themselves *)
+              let acc =
+                List.fold_left
+                  (fun acc wa ->
+                    match wa with
+                    | Pt e -> collect_expr acc e
+                    | Iv (lo, hi) -> collect_expr (collect_expr acc lo) hi)
+                  acc w.widx
+              in
+              let region = window_region w.widx in
+              let modes =
+                match pmodes with
+                | None -> [ MRead; MWrite ] (* bodyless callee: conservative *)
+                | Some pm -> (
+                    match
+                      List.find_opt (fun (s, _) -> Sym.equal s a.a_name) pm
+                    with
+                    | Some (_, ms) -> ms
+                    | None -> [ MRead; MWrite ])
+              in
+              List.fold_left
+                (fun acc m -> { buf = w.wbuf; mode = m; region } :: acc)
+                acc modes
+        in
+        go acc ps cas
+  in
+  go acc callee.p_args args
+
+and param_modes (callee : proc) : (Sym.t * mode list) list =
+  let accs = collect_stmts [] callee.p_body in
+  List.filter_map
+    (fun (a : arg) ->
+      match a.a_typ with
+      | TTensor _ | TScalar _ ->
+          let ms =
+            List.filter_map
+              (fun ac -> if Sym.equal ac.buf a.a_name then Some ac.mode else None)
+              accs
+            |> List.sort_uniq compare
+          in
+          Some (a.a_name, ms)
+      | _ -> None)
+    callee.p_args
+
+let collect (body : stmt list) : access list = List.rev (collect_stmts [] body)
+
+(* ------------------------------------------------------------------ *)
+(* Contexts *)
+
+type ctx = { sizes : Sym.Set.t; ranges : Bounds.interval Sym.Map.t }
+
+let ctx_empty = { sizes = Sym.Set.empty; ranges = Sym.Map.empty }
+
+let benv (c : ctx) : Bounds.env =
+  { Bounds.sizes = c.sizes; ranges = c.ranges; dims = Sym.Map.empty }
+
+let ctx_of_proc (p : proc) : ctx =
+  let sizes =
+    List.fold_left
+      (fun acc (a : arg) ->
+        match a.a_typ with TSize -> Sym.Set.add a.a_name acc | _ -> acc)
+      Sym.Set.empty p.p_args
+  in
+  { sizes; ranges = Bounds.pred_ranges p.p_preds }
+
+let ctx_push_loop (ctx : ctx) (v : Sym.t) (lo : expr) (hi : expr) : ctx =
+  let range =
+    match (Affine.of_expr lo, Affine.of_expr hi) with
+    | Some la, Some ha ->
+        let rlo = Bounds.range_of_affine (benv ctx) la
+        and rhi = Bounds.range_of_affine (benv ctx) ha in
+        {
+          Bounds.lo = rlo.Bounds.lo;
+          hi = Option.map (fun h -> Affine.sub h (Affine.const 1)) rhi.Bounds.hi;
+        }
+    | _ -> { Bounds.lo = None; hi = None }
+  in
+  { ctx with ranges = Sym.Map.add v range ctx.ranges }
+
+let collect_sited (ctx : ctx) (body : stmt list) : (ctx * access) list =
+  let out = ref [] in
+  let emit ctx accs = List.iter (fun a -> out := (ctx, a) :: !out) accs in
+  let rec go ctx body =
+    List.iter
+      (fun s ->
+        match s with
+        | SFor (v, lo, hi, inner) ->
+            emit ctx (collect_expr (collect_expr [] lo) hi);
+            go (ctx_push_loop ctx v lo hi) inner
+        | SIf (c, t, e) ->
+            emit ctx (collect_expr [] c);
+            go ctx t;
+            go ctx e
+        | s -> emit ctx (collect_stmts [] [ s ]))
+      body
+  in
+  go ctx body;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Region algebra *)
+
+(* Subtract first, then widen: shared variables cancel before the interval
+   abstraction loses them, so e.g. [i] vs [i+1] proves strict order. *)
+let aff_le (ctx : ctx) (a : Affine.t) (b : Affine.t) : bool =
+  let r = Bounds.range_of_affine (benv ctx) (Affine.sub b a) in
+  match r.Bounds.lo with
+  | Some l -> Bounds.nonneg (benv ctx) l = `Yes
+  | None -> false
+
+let aff_lt ctx a b = aff_le ctx (Affine.add a (Affine.const 1)) b
+
+let dim_endpoints = function
+  | DPt a -> Some (a, a)
+  | DIv (l, h) -> Some (l, h)
+  | DUnk -> None
+
+let dim_disjoint ctx d1 d2 =
+  match (dim_endpoints d1, dim_endpoints d2) with
+  | Some (l1, h1), Some (l2, h2) -> aff_lt ctx h1 l2 || aff_lt ctx h2 l1
+  | _ -> false
+
+let region_disjoint ctx (r1 : region) (r2 : region) : bool =
+  List.length r1 = List.length r2 && List.exists2 (dim_disjoint ctx) r1 r2
+
+let dim_contains ctx ~outer ~inner =
+  match (dim_endpoints outer, dim_endpoints inner) with
+  | Some (ol, oh), Some (il, ih) -> aff_le ctx ol il && aff_le ctx ih oh
+  | _ -> false
+
+let region_contains ctx ~(outer : region) ~(inner : region) : bool =
+  List.length outer = List.length inner
+  && List.for_all2 (fun o i -> dim_contains ctx ~outer:o ~inner:i) outer inner
+
+let dim_equal d1 d2 =
+  match (d1, d2) with
+  | DPt a, DPt b -> Affine.equal a b
+  | DIv (l1, h1), DIv (l2, h2) -> Affine.equal l1 l2 && Affine.equal h1 h2
+  | _ -> false
+
+let region_equal r1 r2 =
+  List.length r1 = List.length r2 && List.for_all2 dim_equal r1 r2
+
+let aff_vars (a : Affine.t) =
+  List.fold_left (fun s (v, _) -> Sym.Set.add v s) Sym.Set.empty a.Affine.terms
+
+let dim_vars = function
+  | DPt a -> aff_vars a
+  | DIv (l, h) -> Sym.Set.union (aff_vars l) (aff_vars h)
+  | DUnk -> Sym.Set.empty
+
+let region_vars (r : region) =
+  List.fold_left (fun s d -> Sym.Set.union s (dim_vars d)) Sym.Set.empty r
+
+let in_range ctx (a : Affine.t) ~(lo : Affine.t) ~(hi_excl : Affine.t) : bool =
+  dim_contains ctx
+    ~outer:(DIv (lo, Affine.sub hi_excl (Affine.const 1)))
+    ~inner:(DPt a)
+
+(* Mixed-radix coverage: do the subscripts, with their variables sweeping
+   [0, ext) ranges, enumerate a box of the given extents bijectively? The
+   sufficient criterion: per dimension, zero constant, terms sorted by
+   coefficient magnitude satisfy c0 = 1, c(i+1) = ci * exti, the product of
+   extents equals the box extent, and dimensions use pairwise disjoint
+   variables. *)
+let covers ~(ranges_of : Sym.t -> (int * int) option) (idx : Affine.t list)
+    (extents : int list) : bool =
+  let used = ref Sym.Set.empty in
+  List.length idx = List.length extents
+  && List.for_all2
+       (fun (a : Affine.t) (n : int) ->
+         if a.Affine.const <> 0 then false
+         else
+           let terms =
+             List.sort
+               (fun (_, c1) (_, c2) -> compare (abs c1) (abs c2))
+               a.Affine.terms
+           in
+           List.for_all (fun (v, _) -> not (Sym.Set.mem v !used)) terms
+           &&
+           (List.iter (fun (v, _) -> used := Sym.Set.add v !used) terms;
+            let rec radix expected = function
+              | [] -> expected = n
+              | (v, c) :: rest -> (
+                  match ranges_of v with
+                  | Some (0, ext) when c = expected -> radix (expected * ext) rest
+                  | _ -> false)
+            in
+            radix 1 terms))
+       idx extents
+
+(* ------------------------------------------------------------------ *)
+(* Whole-proc signatures *)
+
+type boxdim = { blo : Affine.t option; bhi : Affine.t option }
+type box = boxdim list
+type footprint = { reads : box option; writes : box option }
+
+let box_of (ctx : ctx) (r : region) : box =
+  List.map
+    (fun d ->
+      match d with
+      | DUnk -> { blo = None; bhi = None }
+      | DPt a ->
+          let rr = Bounds.range_of_affine (benv ctx) a in
+          { blo = rr.Bounds.lo; bhi = rr.Bounds.hi }
+      | DIv (l, h) ->
+          {
+            blo = (Bounds.range_of_affine (benv ctx) l).Bounds.lo;
+            bhi = (Bounds.range_of_affine (benv ctx) h).Bounds.hi;
+          })
+    r
+
+let box_join (ctx : ctx) (b1 : box) (b2 : box) : box =
+  if List.length b1 <> List.length b2 then
+    List.map (fun _ -> { blo = None; bhi = None }) b1
+  else
+    List.map2
+      (fun d1 d2 ->
+        {
+          blo =
+            (match (d1.blo, d2.blo) with
+            | Some a, Some b ->
+                if aff_le ctx a b then Some a
+                else if aff_le ctx b a then Some b
+                else None
+            | _ -> None);
+          bhi =
+            (match (d1.bhi, d2.bhi) with
+            | Some a, Some b ->
+                if aff_le ctx b a then Some a
+                else if aff_le ctx a b then Some b
+                else None
+            | _ -> None);
+        })
+      b1 b2
+
+let proc_signature (p : proc) : (Sym.t * footprint) list =
+  let ctx = ctx_of_proc p in
+  let sited = collect_sited ctx p.p_body in
+  let arg_bufs =
+    List.filter_map
+      (fun (a : arg) ->
+        match a.a_typ with
+        | TTensor _ | TScalar _ -> Some a.a_name
+        | _ -> None)
+      p.p_args
+  in
+  List.map
+    (fun b ->
+      let fold pred =
+        List.fold_left
+          (fun acc (c, ac) ->
+            if Sym.equal ac.buf b && pred ac.mode then
+              let bx = box_of c ac.region in
+              Some (match acc with None -> bx | Some old -> box_join ctx old bx)
+            else acc)
+          None sited
+      in
+      ( b,
+        {
+          reads = fold (fun m -> m = MRead || m = MReduce);
+          writes = fold (fun m -> m = MWrite || m = MReduce);
+        } ))
+    arg_bufs
+
+(* ------------------------------------------------------------------ *)
+(* Effect preservation *)
+
+let box_escapes ctx ~(old_b : box) ~(new_b : box) : bool =
+  (* Some dimension where the new footprint provably extends beyond the
+     old hull. Incomparable bounds do not count (MAY-analysis). *)
+  List.length old_b = List.length new_b
+  && List.exists2
+       (fun o n ->
+         (match (o.blo, n.blo) with
+         | Some ol, Some nl -> aff_lt ctx nl ol
+         | _ -> false)
+         ||
+         match (o.bhi, n.bhi) with
+         | Some oh, Some nh -> aff_lt ctx oh nh
+         | _ -> false)
+       old_b new_b
+
+let preserves ~(old_p : proc) ~(new_p : proc) : (unit, string) result =
+  let ctx =
+    let so = ctx_of_proc old_p and sn = ctx_of_proc new_p in
+    {
+      sizes = Sym.Set.union so.sizes sn.sizes;
+      ranges = Sym.Map.fold Sym.Map.add so.ranges sn.ranges;
+    }
+  in
+  let sig_old = proc_signature old_p and sig_new = proc_signature new_p in
+  let find b l =
+    Option.map snd (List.find_opt (fun (b', _) -> Sym.equal b b') l)
+  in
+  let check (b, fp_new) =
+    match find b sig_old with
+    | None ->
+        if fp_new.reads = None && fp_new.writes = None then Ok ()
+        else
+          Error
+            (Fmt.str "buffer %a is not accessed by the original proc" Sym.pp b)
+    | Some fp_old ->
+        if fp_new.writes <> None && fp_old.writes = None then
+          Error (Fmt.str "rewrite introduces writes to %a" Sym.pp b)
+        else if
+          fp_new.reads <> None && fp_old.reads = None && fp_old.writes = None
+        then Error (Fmt.str "rewrite introduces reads of %a" Sym.pp b)
+        else
+          let escape what old_box new_box =
+            match (old_box, new_box) with
+            | Some ob, Some nb when box_escapes ctx ~old_b:ob ~new_b:nb ->
+                Error
+                  (Fmt.str "%s region of %a escapes the original footprint"
+                     what Sym.pp b)
+            | _ -> Ok ()
+          in
+          let r = escape "write" fp_old.writes fp_new.writes in
+          if r <> Ok () then r
+          else
+            (* Staged copies may read cells the original only wrote, so the
+               read hull is bounded by the original read-or-write hull. *)
+            let old_rw =
+              match (fp_old.reads, fp_old.writes) with
+              | Some r, Some w -> Some (box_join ctx r w)
+              | Some r, None -> Some r
+              | None, w -> w
+            in
+            escape "read" old_rw fp_new.reads
+  in
+  List.fold_left
+    (fun acc e -> match acc with Error _ -> acc | Ok () -> check e)
+    (Ok ()) sig_new
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing *)
+
+let pp_bound ppf = function
+  | None -> Fmt.pf ppf "?"
+  | Some a -> Affine.pp ppf a
+
+let pp_box ppf (b : box) =
+  Fmt.pf ppf "[%a]"
+    (Fmt.list ~sep:(Fmt.any ", ") (fun ppf d ->
+         Fmt.pf ppf "%a..%a" pp_bound d.blo pp_bound d.bhi))
+    b
+
+let pp_footprint ppf (fp : footprint) =
+  let part name = function
+    | None -> ()
+    | Some b -> Fmt.pf ppf " %s%a" name pp_box b
+  in
+  part "R" fp.reads;
+  part "W" fp.writes;
+  if fp.reads = None && fp.writes = None then Fmt.pf ppf " (unused)"
+
+let pp_signature ppf (sg : (Sym.t * footprint) list) =
+  Fmt.pf ppf "@[<h>%a@]"
+    (Fmt.list ~sep:(Fmt.any "; ")
+       (fun ppf (b, fp) -> Fmt.pf ppf "%a:%a" Sym.pp b pp_footprint fp))
+    sg
+
+(* ------------------------------------------------------------------ *)
+(* Shape helpers *)
+
+let shape_vars (es : expr list) : Sym.Set.t =
+  List.fold_left
+    (fun acc e ->
+      match Affine.of_expr e with
+      | Some a -> Sym.Set.union acc (aff_vars a)
+      | None -> expr_vars acc e)
+    Sym.Set.empty es

@@ -1,0 +1,130 @@
+(** Static effect inference — the reproduction of Exo's effect system.
+
+    Computes, for any statement block or whole procedure, its read / write /
+    reduce *region signatures*: per-buffer sets of affine index regions,
+    together with a region algebra deciding disjointness and containment
+    under the size-symbol constraints (sizes ≥ 1, loop-variable ranges mined
+    from [for] bounds and [assert] predicates via {!Bounds}). The scheduling
+    legality oracles ({!Deps}, the staging checks, and the per-step
+    [check_proc_result] certificate) are all queries against these
+    signatures. Everything here is MAY-analysis: an access that cannot be
+    normalized is widened, never dropped, so [Ok]/[true] answers are sound
+    and a failure to prove reads as "unknown", not "illegal". *)
+
+(** {1 Accesses} *)
+
+type mode = MRead | MWrite | MReduce
+
+(** One dimension of an access region: a point, an inclusive affine
+    interval, or unanalyzable. *)
+type dim =
+  | DPt of Exo_ir.Affine.t
+  | DIv of Exo_ir.Affine.t * Exo_ir.Affine.t  (** inclusive [lo, hi] *)
+  | DUnk
+
+type region = dim list
+
+type access = { buf : Exo_ir.Sym.t; mode : mode; region : region }
+
+val is_write : access -> bool
+
+(** Region of a window's index list ([Iv] upper ends are exclusive in the
+    IR and inclusive here). *)
+val window_region : Exo_ir.Ir.waccess list -> region
+
+(** Every access performed by a statement list, in MAY semantics. Call
+    windows are mapped through the callee's inferred per-parameter modes
+    (so a load instruction's source window is a read, not a conservative
+    write); callees without a body are treated as read+write. *)
+val collect : Exo_ir.Ir.stmt list -> access list
+
+(** Per-parameter access modes of a callee, inferred from its body.
+    Parameters never accessed report []. *)
+val param_modes : Exo_ir.Ir.proc -> (Exo_ir.Sym.t * mode list) list
+
+(** {1 Contexts} *)
+
+type ctx = {
+  sizes : Exo_ir.Sym.Set.t;  (** symbols standing for values ≥ 1 *)
+  ranges : Bounds.interval Exo_ir.Sym.Map.t;  (** loop vars and index args *)
+}
+
+val ctx_empty : ctx
+
+(** Sizes from [TSize] arguments, ranges mined from the proc's [assert]
+    predicates. *)
+val ctx_of_proc : Exo_ir.Ir.proc -> ctx
+
+(** Push a loop binder [v in seq(lo, hi)] (half-open) onto the context. *)
+val ctx_push_loop : ctx -> Exo_ir.Sym.t -> Exo_ir.Ir.expr -> Exo_ir.Ir.expr -> ctx
+
+(** Like {!collect}, but pairing each access with the context at its site
+    (enclosing loop ranges pushed). *)
+val collect_sited : ctx -> Exo_ir.Ir.stmt list -> (ctx * access) list
+
+(** {1 Region algebra} *)
+
+(** Provable [a ≤ b] / [a < b] for every valuation admitted by [ctx]. *)
+val aff_le : ctx -> Exo_ir.Affine.t -> Exo_ir.Affine.t -> bool
+
+val aff_lt : ctx -> Exo_ir.Affine.t -> Exo_ir.Affine.t -> bool
+
+(** Provably no cell in common (equal rank and some provably separated
+    dimension). *)
+val region_disjoint : ctx -> region -> region -> bool
+
+(** Provably every cell of [inner] lies in [outer]. *)
+val region_contains : ctx -> outer:region -> inner:region -> bool
+
+(** Structural per-dimension affine equality. *)
+val region_equal : region -> region -> bool
+
+(** Loop/size symbols mentioned by the region's affine forms. *)
+val region_vars : region -> Exo_ir.Sym.Set.t
+
+(** Provable [lo ≤ a < hi_excl]. *)
+val in_range :
+  ctx -> Exo_ir.Affine.t -> lo:Exo_ir.Affine.t -> hi_excl:Exo_ir.Affine.t -> bool
+
+(** [covers ~ranges_of idx extents] — do the subscripts [idx], as their
+    variables sweep the ranges [ranges_of] reports (half-open [0, ext)
+    ranges), cover a box of the given extents exactly once (a mixed-radix
+    bijection)? This is the staging-coverage obligation of [stage_mem]'s
+    load/store elision. *)
+val covers :
+  ranges_of:(Exo_ir.Sym.t -> (int * int) option) ->
+  Exo_ir.Affine.t list ->
+  int list ->
+  bool
+
+(** {1 Whole-proc signatures} *)
+
+type boxdim = { blo : Exo_ir.Affine.t option; bhi : Exo_ir.Affine.t option }
+(** Inclusive bounds over size symbols only; [None] = unbounded. *)
+
+type box = boxdim list
+
+type footprint = { reads : box option; writes : box option }
+(** Per-buffer MAY footprint; [None] = no access of that class. Reduces
+    count as both read and write. *)
+
+(** Footprint of every tensor/scalar *argument* buffer (internal allocs are
+    invisible to callers). *)
+val proc_signature : Exo_ir.Ir.proc -> (Exo_ir.Sym.t * footprint) list
+
+(** [preserves ~old_p ~new_p] — the effect-preservation certificate checked
+    after every scheduling rewrite: [new_p] must not write an argument
+    buffer [old_p] did not write, must not read a buffer [old_p] never
+    touched, and must not *provably* escape [old_p]'s per-buffer footprint
+    hull. Incomparable bounds pass (MAY-analysis); only provable violations
+    are errors. *)
+val preserves : old_p:Exo_ir.Ir.proc -> new_p:Exo_ir.Ir.proc -> (unit, string) result
+
+val pp_footprint : Format.formatter -> footprint -> unit
+val pp_signature : Format.formatter -> (Exo_ir.Sym.t * footprint) list -> unit
+
+(** {1 Shape helpers for the staging primitives} *)
+
+(** Variables occurring in a list of (index or extent) expressions, using
+    the affine view when available and falling back to [expr_vars]. *)
+val shape_vars : Exo_ir.Ir.expr list -> Exo_ir.Sym.Set.t

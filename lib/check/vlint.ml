@@ -1,0 +1,201 @@
+(** Static kernel lint — the Fig. 12 properties proved without running the
+    simulator. See the interface for the rule catalogue. *)
+
+open Exo_ir
+open Ir
+
+type census = {
+  loads : int;
+  stores : int;
+  fmas : int;
+  bcasts : int;
+  ariths : int;
+  scalars : int;
+}
+
+let census_zero = { loads = 0; stores = 0; fmas = 0; bcasts = 0; ariths = 0; scalars = 0 }
+
+let census_add a b =
+  {
+    loads = a.loads + b.loads;
+    stores = a.stores + b.stores;
+    fmas = a.fmas + b.fmas;
+    bcasts = a.bcasts + b.bcasts;
+    ariths = a.ariths + b.ariths;
+    scalars = a.scalars + b.scalars;
+  }
+
+let census_scale n a =
+  {
+    loads = n * a.loads;
+    stores = n * a.stores;
+    fmas = n * a.fmas;
+    bcasts = n * a.bcasts;
+    ariths = n * a.ariths;
+    scalars = n * a.scalars;
+  }
+
+let census_max a b =
+  {
+    loads = max a.loads b.loads;
+    stores = max a.stores b.stores;
+    fmas = max a.fmas b.fmas;
+    bcasts = max a.bcasts b.bcasts;
+    ariths = max a.ariths b.ariths;
+    scalars = max a.scalars b.scalars;
+  }
+
+let pp_census ppf c =
+  Fmt.pf ppf "%d ld / %d st / %d fma / %d bcast / %d arith / %d scalar" c.loads
+    c.stores c.fmas c.bcasts c.ariths c.scalars
+
+(** Constant trip count of [for (lo, hi)], if provable affinely. *)
+let const_extent (lo : expr) (hi : expr) : int option =
+  match (Affine.of_expr lo, Affine.of_expr hi) with
+  | Some l, Some h -> Affine.is_const (Affine.sub h l)
+  | _ -> None
+
+let rec census_stmts (body : stmt list) : census =
+  List.fold_left (fun acc s -> census_add acc (census_stmt s)) census_zero body
+
+and census_stmt (s : stmt) : census =
+  match s with
+  | SCall (callee, _) -> (
+      match callee.p_instr with
+      | Some i -> (
+          match i.ci_kind with
+          | KLoad -> { census_zero with loads = 1 }
+          | KStore -> { census_zero with stores = 1 }
+          | KFma -> { census_zero with fmas = 1 }
+          | KBcast -> { census_zero with bcasts = 1 }
+          | KArith | KOther -> { census_zero with ariths = 1 })
+      | None -> census_stmts callee.p_body)
+  | SAssign _ | SReduce _ -> { census_zero with scalars = 1 }
+  | SAlloc _ -> census_zero
+  | SFor (_, lo, hi, inner) -> (
+      let c = census_stmts inner in
+      match const_extent lo hi with Some n -> census_scale n c | None -> c)
+  | SIf (_, t, e) -> census_max (census_stmts t) (census_stmts e)
+
+let steady_census (p : proc) : census =
+  let acc = ref census_zero in
+  let rec walk mult body =
+    List.iter
+      (fun s ->
+        match s with
+        | SFor (_, lo, hi, inner) -> (
+            match const_extent lo hi with
+            | Some n -> walk (mult * n) inner
+            | None -> acc := census_add !acc (census_scale mult (census_stmts inner)))
+        | SIf (_, t, e) ->
+            walk mult t;
+            walk mult e
+        | _ -> ())
+      body
+  in
+  walk 1 p.p_body;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+
+type target = { is_vector_mem : Mem.t -> bool; max_vregs : int }
+
+type expect = {
+  vectorized : bool;
+  census : census option;
+  writable : string list;
+}
+
+type finding = { rule : string; detail : string }
+
+type report = {
+  proc_name : string;
+  vregs : int;
+  signature : string;
+  findings : finding list;
+}
+
+let ok r = r.findings = []
+
+let check (t : target) (e : expect) (p : proc) : report =
+  let findings = ref [] in
+  let fail rule fmt =
+    Fmt.kstr (fun detail -> findings := { rule; detail } :: !findings) fmt
+  in
+  (* bounds: every access Proved *)
+  let br = Bounds.check_proc p in
+  List.iter
+    (fun f -> fail "bounds" "%a" Bounds.pp_failure f)
+    (br.Bounds.violations @ br.Bounds.unknowns);
+  (* vregs: residency of register-memory allocations. A rank-n alloc in a
+     vector memory holds (product of all but the innermost extent) vectors. *)
+  let vregs = ref 0 in
+  iter_stmts
+    (function
+      | SAlloc (b, _, dims, mem) when t.is_vector_mem mem ->
+          let outer = match dims with [] -> [] | ds -> List.filteri (fun i _ -> i < List.length ds - 1) ds in
+          let n =
+            List.fold_left
+              (fun acc d ->
+                match (acc, Affine.of_expr d) with
+                | Some acc, Some a -> (
+                    match Affine.is_const a with
+                    | Some n -> Some (acc * n)
+                    | None -> None)
+                | _ -> None)
+              (Some 1) outer
+          in
+          (match n with
+          | Some n -> vregs := !vregs + n
+          | None ->
+              fail "vregs" "allocation %a has a non-constant vector count" Sym.pp b)
+      | _ -> ())
+    p.p_body;
+  if !vregs > t.max_vregs then
+    fail "vregs" "%d vector registers live, budget is %d" !vregs t.max_vregs;
+  (* scalar-ops: no scalar data op inside a symbolic loop *)
+  (if e.vectorized then
+     let rec walk in_sym body =
+       List.iter
+         (fun s ->
+           match s with
+           | (SAssign (b, _, _) | SReduce (b, _, _)) when in_sym ->
+               fail "scalar-ops" "scalar op on %a inside a vectorized loop" Sym.pp b
+           | SFor (_, lo, hi, inner) ->
+               walk (in_sym || const_extent lo hi = None) inner
+           | SIf (_, tb, eb) ->
+               walk in_sym tb;
+               walk in_sym eb
+           | _ -> ())
+         body
+     in
+     walk false p.p_body);
+  (* census: steady-state instruction counts *)
+  (match e.census with
+  | None -> ()
+  | Some expected ->
+      let got = steady_census p in
+      if got <> expected then
+        fail "census" "steady census is %a, expected %a" pp_census got pp_census
+          expected);
+  (* effects: only the declared outputs are written *)
+  let sg = Effects.proc_signature p in
+  List.iter
+    (fun (b, (fp : Effects.footprint)) ->
+      if fp.Effects.writes <> None && not (List.mem (Sym.name b) e.writable) then
+        fail "effects" "kernel writes argument %a, declared read-only" Sym.pp b)
+    sg;
+  {
+    proc_name = p.p_name;
+    vregs = !vregs;
+    signature = Fmt.str "%a" Effects.pp_signature sg;
+    findings = List.rev !findings;
+  }
+
+let pp_report ppf (r : report) =
+  if ok r then Fmt.pf ppf "%s: ok (%d vregs)" r.proc_name r.vregs
+  else
+    Fmt.pf ppf "@[<v>%s: %d finding(s)@,%a@]" r.proc_name
+      (List.length r.findings)
+      (Fmt.list (fun ppf f -> Fmt.pf ppf "  [%s] %s" f.rule f.detail))
+      r.findings

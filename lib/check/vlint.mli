@@ -1,0 +1,65 @@
+(** Static kernel lint: prove the Fig. 12 properties of a scheduled
+    micro-kernel without running the simulator.
+
+    Five rules, each independently falsifiable:
+
+    - ["bounds"] — {!Bounds.check_proc} must report every access [Proved]
+      (no unknowns, no violations);
+    - ["vregs"] — vector-register residency (the sum over register-memory
+      allocations of their vector counts) must fit the target's register
+      file (≤ 32 on NEON);
+    - ["scalar-ops"] — a vectorized kernel must carry no scalar data
+      operations (plain assign/reduce) inside a symbolic — i.e. runtime-
+      trip-count — loop such as the k-loop;
+    - ["census"] — the steady-state instruction census (calls inside
+      symbolic loops, constant loops multiplied out) must match the
+      expected per-iteration load/fma/broadcast counts (Fig. 12: 5 vector
+      loads + 24 fmla for the 8×12 f32 kernel);
+    - ["effects"] — the {!Effects.proc_signature} certificate: the kernel
+      may write only the declared output buffers, everything else is
+      read-only.
+
+    The module is ISA-agnostic: what counts as a vector memory and how many
+    registers exist come in through {!target} (the [ukrgen] layer
+    instantiates it from a kit). *)
+
+type census = {
+  loads : int;
+  stores : int;
+  fmas : int;
+  bcasts : int;
+  ariths : int;
+  scalars : int;  (** plain assign/reduce statements *)
+}
+
+val census_zero : census
+val pp_census : Format.formatter -> census -> unit
+
+(** Steady-state census of a proc: statements inside symbolic
+    (runtime-trip-count) loops, with enclosing and interior constant loops
+    multiplied out. *)
+val steady_census : Exo_ir.Ir.proc -> census
+
+type target = {
+  is_vector_mem : Exo_ir.Mem.t -> bool;
+  max_vregs : int;
+}
+
+type expect = {
+  vectorized : bool;  (** demand no scalar data ops in symbolic loops *)
+  census : census option;  (** expected steady-state census, if pinned *)
+  writable : string list;  (** argument buffers the kernel may write *)
+}
+
+type finding = { rule : string; detail : string }
+
+type report = {
+  proc_name : string;
+  vregs : int;  (** vector registers live (0 for scalar kernels) *)
+  signature : string;  (** rendered effect signature *)
+  findings : finding list;
+}
+
+val ok : report -> bool
+val check : target -> expect -> Exo_ir.Ir.proc -> report
+val pp_report : Format.formatter -> report -> unit

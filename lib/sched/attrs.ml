@@ -44,7 +44,7 @@ let partial_eval (p : proc) (bindings : (string * int) list) : proc =
         | _ -> a)
       keep
   in
-  recheck ~op:"partial_eval"
+  recheck ~op:"partial_eval" ~old:p
     (Simplify.proc
        {
          p with
@@ -74,7 +74,7 @@ let set_memory (p : proc) (bufname : string) (mem : Mem.t) : proc =
               err "%s: innermost extent of %s must be the constant lane count" op
                 bufname)
       | None -> ());
-      recheck ~op { p with p_body = Cursor.splice p.p_body c [ SAlloc (b, dt, dims, mem) ] }
+      recheck ~op ~old:p { p with p_body = Cursor.splice p.p_body c [ SAlloc (b, dt, dims, mem) ] }
   | _ -> err "%s: %s is not an allocation" op bufname
 
 (** [set_precision_many p bufs dt] — change the element type of several
@@ -105,7 +105,7 @@ let set_precision_many (p : proc) (bufnames : string list) (dt : Dtype.t) : proc
           { p with p_body = Cursor.splice p.p_body c [ SAlloc (b, dt, dims, mem) ] }
       | _ -> err "%s: %s is not an allocation" op bufname
   in
-  recheck ~op (List.fold_left one p bufnames)
+  recheck ~op ~old:p (List.fold_left one p bufnames)
 
 (** [set_precision p buf dt] — single-buffer version (Section III-D:
     [set_precision(p, A_reg, "f16")]). Fails if the result mixes types; use

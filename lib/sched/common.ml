@@ -13,14 +13,23 @@ exception Sched_error of string
 
 let err fmt = Fmt.kstr (fun s -> raise (Sched_error s)) fmt
 
-(** Every primitive re-checks its output; a failure here is a bug in the
-    primitive, not in user code, and says so. *)
-let recheck ~(op : string) (p : Ir.proc) : Ir.proc =
+(** Every primitive re-checks its output against its input: the result must
+    typecheck and must carry an {!Exo_check.Effects.preserves} certificate
+    (no new argument-buffer effects, no provable footprint escape). A
+    failure here is a bug in the primitive, not in user code, and says so. *)
+let check_proc_result ~(op : string) ~(old : Ir.proc) (p : Ir.proc) : Ir.proc =
   (try Exo_check.Wellformed.check_proc p
    with Exo_check.Wellformed.Type_error m ->
      err "internal error: %s produced an ill-typed procedure: %s" op m);
+  (match Exo_check.Effects.preserves ~old_p:old ~new_p:p with
+  | Ok () -> ()
+  | Error m ->
+      err "internal error: %s broke the effect contract of %s: %s" op
+        p.Ir.p_name m);
   Log.debug (fun m -> m "%s ok on %s" op p.Ir.p_name);
   p
+
+let recheck = check_proc_result
 
 (** Wrap pattern errors as scheduling errors with the op name attached. *)
 let find_first ~op (body : Ir.stmt list) (pat : string) : Cursor.t =

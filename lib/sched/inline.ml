@@ -88,5 +88,5 @@ let inline_call (p : proc) (pat : string) : proc =
         | SIf (cnd, t, e) -> SIf (re cnd, List.map rs t, List.map rs e)
       in
       let body = List.map rs callee.p_body |> Subst.freshen_stmts |> Simplify.stmts in
-      recheck ~op { p with p_body = Cursor.splice p.p_body c body }
+      recheck ~op ~old:p { p with p_body = Cursor.splice p.p_body c body }
   | _ -> err "%s: %S does not denote an instruction call" op pat

@@ -71,7 +71,7 @@ let divide_loop (p : proc) (pat : string) (quot : int) ((outer, inner) : string 
               SFor (vr, cut, hi, Subst.freshen_stmts (subst_body (Var vr)));
             ]
       in
-      recheck ~op:"divide_loop" { p with p_body = Cursor.splice p.p_body c repl }
+      recheck ~op:"divide_loop" ~old:p { p with p_body = Cursor.splice p.p_body c repl }
   | _ -> err "divide_loop: pattern %S does not denote a loop" pat
 
 (* ------------------------------------------------------------------ *)
@@ -96,7 +96,7 @@ let reorder_loops (p : proc) (pat : string) : proc =
       | Ok () -> ()
       | Error m -> err "reorder_loops: %s" m);
       let repl = SFor (v2, lo2, hi2, [ SFor (v1, lo1, hi1, body) ]) in
-      recheck ~op:"reorder_loops" { p with p_body = Cursor.splice p.p_body c [ repl ] }
+      recheck ~op:"reorder_loops" ~old:p { p with p_body = Cursor.splice p.p_body c [ repl ] }
   | SFor (v1, _, _, _) ->
       err "reorder_loops: loop %a does not directly contain a single loop %s" Sym.pp v1 n2
   | _ -> err "reorder_loops: %S does not denote a loop" n1
@@ -124,7 +124,7 @@ let unroll_loop (p : proc) (pat : string) : proc =
             |> Simplify.stmts)
           (List.init (max 0 (hi_n - lo_n)) (fun k -> lo_n + k))
       in
-      recheck ~op:"unroll_loop" { p with p_body = Cursor.splice p.p_body c repl }
+      recheck ~op:"unroll_loop" ~old:p { p with p_body = Cursor.splice p.p_body c repl }
   | _ -> err "unroll_loop: %S does not denote a loop" pat
 
 (* ------------------------------------------------------------------ *)
@@ -150,7 +150,7 @@ let remove_loop (p : proc) (pat : string) : proc =
       in
       if not trip_ok then
         err "remove_loop: cannot prove loop %a executes at least once" Sym.pp v;
-      recheck ~op:"remove_loop" { p with p_body = Cursor.splice p.p_body c body }
+      recheck ~op:"remove_loop" ~old:p { p with p_body = Cursor.splice p.p_body c body }
   | _ -> err "remove_loop: %S does not denote a loop" pat
 
 (* ------------------------------------------------------------------ *)
@@ -181,7 +181,7 @@ let fuse_loops (p : proc) (pat : string) : proc =
       let fused = SFor (v1, lo1, hi1, b1 @ b2') in
       let body = Cursor.splice p.p_body (Cursor.with_last c next_i) [] in
       let body = Cursor.splice body c [ fused ] in
-      recheck ~op { p with p_body = body }
+      recheck ~op ~old:p { p with p_body = body }
   | _ -> err "%s: %S and its successor are not both loops" op pat
 
 (* ------------------------------------------------------------------ *)
@@ -252,4 +252,4 @@ let autofission (p : proc) ~(gap : gap) ~(n_lifts : int) : proc =
         | SIf _ -> err "%s: cannot fission through an if" op
         | _ -> err "%s: malformed cursor" op)
   done;
-  recheck ~op { p with p_body = !body }
+  recheck ~op ~old:p { p with p_body = !body }

@@ -345,7 +345,7 @@ let replace_at (p : proc) (c : Cursor.t) (instr : proc) : proc =
   unify_stmts st instr.p_body [ target ];
   discharge_preds st ~ranges:(Scope.loop_ranges p c);
   let call = SCall (instr, build_args st) in
-  recheck ~op:"replace" { p with p_body = Cursor.splice p.p_body c [ call ] }
+  recheck ~op:"replace" ~old:p { p with p_body = Cursor.splice p.p_body c [ call ] }
 
 (** [replace p pat instr] — unify a loop nest matching [pat] with [instr]'s
     semantic body and swap it for a call. As in Exo, when several statements

@@ -39,6 +39,7 @@ let lift_alloc = Staging.lift_alloc
 let replace = Replace.replace
 let replace_all = Replace.replace_all
 let inline_call = Inline.inline_call
+let check_proc_result = Common.check_proc_result
 
 (** Exo's [simplify]: constant folding and affine normalization. *)
 let simplify (p : Exo_ir.Ir.proc) = Exo_ir.Simplify.proc p

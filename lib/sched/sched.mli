@@ -133,3 +133,14 @@ val inline_call : Exo_ir.Ir.proc -> string -> Exo_ir.Ir.proc
 (** Exo's [simplify]: constant folding, affine normalization,
     single-iteration loop inlining. *)
 val simplify : Exo_ir.Ir.proc -> Exo_ir.Ir.proc
+
+(** {1 Certification} *)
+
+(** [check_proc_result ~op ~old p] — the per-step static certificate every
+    primitive runs on its own output: [p] must typecheck and must satisfy
+    {!Exo_check.Effects.preserves} against [old] (no new argument-buffer
+    effects, no provable footprint escape). Raises {!Sched_error} naming
+    [op] otherwise; returns [p] unchanged on success. Exposed so external
+    rewrites can demand the same certificate. *)
+val check_proc_result :
+  op:string -> old:Exo_ir.Ir.proc -> Exo_ir.Ir.proc -> Exo_ir.Ir.proc

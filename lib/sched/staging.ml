@@ -5,6 +5,7 @@
 open Exo_ir
 open Ir
 open Common
+module E = Exo_check.Effects
 
 (** Dtype of a buffer as visible in [p]; scheduling errors otherwise. *)
 let buffer_dtype ~op (p : proc) (b : Sym.t) : Dtype.t =
@@ -15,67 +16,22 @@ let buffer_dtype ~op (p : proc) (b : Sym.t) : Dtype.t =
 (* ------------------------------------------------------------------ *)
 (* stage_mem                                                           *)
 
-(** Bounds environment for an access site: size parameters plus the ranges
-    of all loops binding above the site, [outer] (enclosing the staged
-    block) first, then the chain recorded while walking into the block. *)
-let mk_benv ~(sizes : Sym.Set.t) (ranges : (Sym.t * expr * expr) list) =
-  let rmap =
-    List.fold_left
-      (fun acc (v, lo, hi) ->
-        match (Affine.of_expr lo, Affine.of_expr (Binop (Sub, hi, Int 1))) with
-        | Some l, Some h ->
-            Sym.Map.add v Exo_check.Bounds.{ lo = Some l; hi = Some h } acc
-        | _ -> acc)
-      Sym.Map.empty ranges
-  in
-  Exo_check.Bounds.{ sizes; ranges = rmap; dims = Sym.Map.empty }
+(** Effect context for an access site: size parameters plus the ranges of
+    all loops binding above the site. The list is innermost-first (as built
+    by walking into the block); outer binders are pushed first so inner
+    bounds widen through them. *)
+let mk_ctx ~(sizes : Sym.Set.t) (ranges : (Sym.t * expr * expr) list) : E.ctx =
+  List.fold_right
+    (fun (v, lo, hi) ctx -> E.ctx_push_loop ctx v lo hi)
+    ranges
+    { E.sizes; ranges = Sym.Map.empty }
 
-(** [prove_in_range benv e lo hi] — lo ≤ e and e ≤ hi - 1, affinely. *)
-let prove_in_range benv (e : expr) ~(lo : expr) ~(hi : expr) : bool =
+(** [prove_in_range ctx e lo hi] — lo ≤ e and e ≤ hi - 1, an {!E.in_range}
+    query against the site's effect context. *)
+let prove_in_range ctx (e : expr) ~(lo : expr) ~(hi : expr) : bool =
   match (Affine.of_expr e, Affine.of_expr lo, Affine.of_expr hi) with
-  | Some ea, Some loa, Some hia -> (
-      let r = Exo_check.Bounds.range_of_affine benv ea in
-      match (r.Exo_check.Bounds.lo, r.Exo_check.Bounds.hi) with
-      | Some rlo, Some rhi ->
-          Exo_check.Bounds.nonneg benv (Affine.sub rlo loa) = `Yes
-          && Exo_check.Bounds.nonneg benv
-               (Affine.sub (Affine.sub hia rhi) (Affine.const 1))
-             = `Yes
-      | _ -> false)
+  | Some ea, Some loa, Some hia -> E.in_range ctx ea ~lo:loa ~hi_excl:hia
   | _ -> false
-
-(** Does one assignment statement provably write *every* cell of the staged
-    window? Sufficient criterion: a single write whose subscripts, one
-    window dimension each, are mixed-radix complete — sorted by coefficient,
-    the terms satisfy [c₀ = 1], [cᵢ₊₁ = cᵢ·extentᵢ], the product of loop
-    extents equals the window extent, the constant part is 0, and the
-    dimensions use pairwise disjoint loop variables. This justifies
-    [~load:false] staging (skip the initial copy-in when the block fully
-    overwrites the window — the beta = 0 and Cb-computation cases). *)
-let write_covers_window ~(ranges_of : Sym.t -> (int * int) option)
-    (idx : Affine.t list) (extents : int list) : bool =
-  let used = ref Sym.Set.empty in
-  List.length idx = List.length extents
-  && List.for_all2
-       (fun (a : Affine.t) (n : int) ->
-         if a.Affine.const <> 0 then false
-         else
-           let terms =
-             List.sort (fun (_, c1) (_, c2) -> compare (abs c1) (abs c2)) a.Affine.terms
-           in
-           (* disjointness across dimensions *)
-           List.for_all (fun (v, _) -> not (Sym.Set.mem v !used)) terms
-           &&
-           (List.iter (fun (v, _) -> used := Sym.Set.add v !used) terms;
-            let rec radix expected = function
-              | [] -> expected = n
-              | (v, c) :: rest -> (
-                  match ranges_of v with
-                  | Some (0, ext) when c = expected -> radix (expected * ext) rest
-                  | _ -> false)
-            in
-            radix 1 terms))
-       idx extents
 
 (** [stage_mem p pat window name] — stage the region [window] of a buffer
     (e.g. ["C[0:12, 0:8]"], names resolved at the target) through a fresh
@@ -92,8 +48,8 @@ let write_covers_window ~(ranges_of : Sym.t -> (int * int) option)
     a point window stages a rank-0 scalar.
 
     With [~load:false] the copy-in nest is omitted; this is only legal when
-    the block provably overwrites the whole window ({!write_covers_window}),
-    as in the [Cb = C·beta] staging or a beta = 0 kernel. *)
+    the block provably overwrites the whole window ({!E.covers}), as in the
+    [Cb = C·beta] staging or a beta = 0 kernel. *)
 let stage_mem_stmts ?(load = true) ?(len = 1) (p : proc) (pat : string)
     (window : string) (name : string) : proc =
   let op = "stage_mem" in
@@ -125,7 +81,7 @@ let stage_mem_stmts ?(load = true) ?(len = 1) (p : proc) (pat : string)
      the interior loop ranges; simultaneously rewrite the accesses. *)
   let check_and_rewrite (target : stmt) : stmt =
     let rec go ranges (s : stmt) : stmt =
-      let benv = mk_benv ~sizes ranges in
+      let ctx = mk_ctx ~sizes ranges in
       let rewrite_idx (idx : expr list) : expr list =
         if List.length idx <> List.length widx then
           err "%s: access to %s has the wrong rank" op (Sym.name buf);
@@ -134,12 +90,19 @@ let stage_mem_stmts ?(load = true) ?(len = 1) (p : proc) (pat : string)
              (fun e w ->
                match w with
                | Pt pe ->
-                   if Affine.expr_equal e pe <> Some true then
+                   let contained =
+                     match (Affine.of_expr e, Affine.of_expr pe) with
+                     | Some ea, Some pa ->
+                         E.region_contains ctx ~outer:[ E.DPt pa ]
+                           ~inner:[ E.DPt ea ]
+                     | _ -> false
+                   in
+                   if not contained then
                      err "%s: access %s escapes the point window dimension %s" op
                        (Pp.expr_to_string e) (Pp.expr_to_string pe);
                    []
                | Iv (lo, hi) ->
-                   if not (prove_in_range benv e ~lo ~hi) then
+                   if not (prove_in_range ctx e ~lo ~hi) then
                      err "%s: cannot prove access %s stays within window [%s, %s)" op
                        (Pp.expr_to_string e) (Pp.expr_to_string lo)
                        (Pp.expr_to_string hi);
@@ -189,7 +152,7 @@ let stage_mem_stmts ?(load = true) ?(len = 1) (p : proc) (pat : string)
       widx
   in
   (* ~load:false obligation: some unconditional write fully covers the
-     window. *)
+     window — an {!E.covers} (mixed-radix bijection) query. *)
   if not load then begin
     let extents =
       List.map
@@ -209,7 +172,7 @@ let stage_mem_stmts ?(load = true) ?(len = 1) (p : proc) (pat : string)
               let ranges_of v =
                 List.find_opt (fun (s, _) -> Sym.equal s v) ranges |> Option.map snd
               in
-              if write_covers_window ~ranges_of (List.map Option.get aff) extents then
+              if E.covers ~ranges_of (List.map Option.get aff) extents then
                 covered := true
           | _ -> ())
       | SFor (v, lo, hi, body) -> (
@@ -259,7 +222,7 @@ let stage_mem_stmts ?(load = true) ?(len = 1) (p : proc) (pat : string)
   for i = len - 1 downto 1 do
     body := Cursor.splice !body (Cursor.with_last c (c.Cursor.last + i)) []
   done;
-  recheck ~op { p with p_body = Cursor.splice !body c repl }
+  recheck ~op ~old:p { p with p_body = Cursor.splice !body c repl }
 
 (** Single-statement [stage_mem] (the common case). *)
 let stage_mem ?load (p : proc) (pat : string) (window : string) (name : string) :
@@ -341,7 +304,7 @@ let bind_expr (p : proc) (pat : string) (name : string) : proc =
           retarget_stmt ~buf ~cell ~reg s;
         ]
       in
-      recheck ~op { p with p_body = Cursor.splice p.p_body c repl }
+      recheck ~op ~old:p { p with p_body = Cursor.splice p.p_body c repl }
 
 (* ------------------------------------------------------------------ *)
 (* bind_expr_bcast                                                     *)
@@ -405,7 +368,7 @@ let bind_expr_bcast (p : proc) (pat : string) (name : string) : proc =
       let buf, cell =
         match !cell with Some bc -> bc | None -> err "%s: no read of %s" op bufname
       in
-      let used = List.fold_left expr_vars Sym.Set.empty cell in
+      let used = E.shape_vars cell in
       if Sym.Set.mem v used then
         err "%s: the read of %s depends on the vector loop variable %a" op bufname
           Sym.pp v;
@@ -435,7 +398,7 @@ let bind_expr_bcast (p : proc) (pat : string) (name : string) : proc =
             SFor (l, Int 0, Int extent, [ SAssign (reg, [ Var l ], Read (buf, cell)) ]);
           ]
       in
-      recheck ~op { p with p_body = body }
+      recheck ~op ~old:p { p with p_body = body }
 
 (* ------------------------------------------------------------------ *)
 (* expand_dim                                                          *)
@@ -470,40 +433,19 @@ let expand_dim (p : proc) (bufname : string) (extent : string) (idx : string) : 
       with Exo_pattern.Expr_parse.Parse_error m ->
         err "%s: at %s: %s" op (Fmt.str "%a" Cursor.pp c) m
     in
-    (* Range check: 0 ≤ idx < extent under the enclosing loop ranges. *)
+    (* Range check: 0 ≤ idx < extent under the enclosing loop ranges — an
+       {!E.in_range} query at the site's effect context. *)
     (let ranges = Scope.loop_ranges { p with p_body = body } c in
-     let benv =
-       List.fold_left
-         (fun acc (v, lo, hi) ->
-           match (Affine.of_expr lo, Affine.of_expr (Binop (Sub, hi, Int 1))) with
-           | Some l, Some h ->
-               Sym.Map.add v Exo_check.Bounds.{ lo = Some l; hi = Some h } acc
-           | _ -> acc)
-         Sym.Map.empty ranges
-     in
-     let env_b =
-       Exo_check.Bounds.{ sizes; ranges = benv; dims = Sym.Map.empty }
-     in
-     match Affine.of_expr idx_e with
-     | Some a -> (
-         let r = Exo_check.Bounds.range_of_affine env_b a in
-         let lo_ok =
-           match r.Exo_check.Bounds.lo with
-           | Some l -> Exo_check.Bounds.nonneg env_b l = `Yes
-           | None -> false
-         in
-         let hi_ok =
-           match (r.Exo_check.Bounds.hi, Affine.of_expr extent_e) with
-           | Some h, Some ext ->
-               Exo_check.Bounds.nonneg env_b
-                 (Affine.sub (Affine.sub ext h) (Affine.const 1))
-               = `Yes
-           | _ -> false
-         in
-         if not (lo_ok && hi_ok) then
+     let ctx = mk_ctx ~sizes (List.rev ranges) in
+     match (Affine.of_expr idx_e, Affine.of_expr extent_e) with
+     | Some a, Some ext ->
+         if not (E.in_range ctx a ~lo:Affine.zero ~hi_excl:ext) then
            err "%s: cannot prove %s stays within [0, %s) at an access of %s" op idx
-             extent bufname)
-     | None -> err "%s: index %s is not affine" op idx);
+             extent bufname
+     | None, _ -> err "%s: index %s is not affine" op idx
+     | _, None ->
+         err "%s: cannot prove %s stays within [0, %s) at an access of %s" op idx
+           extent bufname);
     let upd (s : stmt) : stmt =
       let re e =
         map_expr
@@ -541,7 +483,7 @@ let expand_dim (p : proc) (bufname : string) (extent : string) (idx : string) : 
       (Cursor.all_stmts body)
   in
   let body = List.fold_left rewrite_at body sites in
-  recheck ~op { p with p_body = body }
+  recheck ~op ~old:p { p with p_body = body }
 
 (* ------------------------------------------------------------------ *)
 (* divide_dim                                                          *)
@@ -576,7 +518,7 @@ let divide_dim (p : proc) (bufname : string) (d : int) (quot : int) : proc =
   let body = Cursor.splice p.p_body c_alloc [ SAlloc (buf, dt, new_dims, mem) ] in
   let sizes = size_syms p in
   (* Decompose one subscript under the loop ranges at its site. *)
-  let split_subscript benv (e : expr) : expr * expr =
+  let split_subscript ctx (e : expr) : expr * expr =
     match Affine.of_expr e with
     | None -> err "%s: non-affine subscript %s on %s" op (Pp.expr_to_string e) bufname
     | Some a ->
@@ -594,36 +536,27 @@ let divide_dim (p : proc) (bufname : string) (d : int) (quot : int) : proc =
                 (Pp.expr_to_string e) quot
         in
         (* prove r ∈ [0, quot) *)
-        let rng = Exo_check.Bounds.range_of_affine benv r in
-        let ok =
-          match (rng.Exo_check.Bounds.lo, rng.Exo_check.Bounds.hi) with
-          | Some lo, Some hi ->
-              Exo_check.Bounds.nonneg benv lo = `Yes
-              && Exo_check.Bounds.nonneg benv
-                   (Affine.sub (Affine.const (quot - 1)) hi)
-                 = `Yes
-          | _ -> false
-        in
+        let ok = E.in_range ctx r ~lo:Affine.zero ~hi_excl:(Affine.const quot) in
         if not ok then
           err "%s: cannot prove the lane part of %s stays within [0, %d)" op
             (Pp.expr_to_string e) quot;
         (Simplify.expr (Affine.to_expr qa), Simplify.expr (Affine.to_expr r))
   in
-  let split_idx benv (idx : expr list) : expr list =
+  let split_idx ctx (idx : expr list) : expr list =
     List.concat
       (List.mapi
          (fun i e ->
            if i = d then
-             let q, r = split_subscript benv e in
+             let q, r = split_subscript ctx e in
              [ q; r ]
            else [ e ])
          idx)
   in
   let rec go ranges (s : stmt) : stmt =
-    let benv = mk_benv ~sizes ranges in
+    let ctx = mk_ctx ~sizes ranges in
     let rec re (e : expr) : expr =
       match e with
-      | Read (b, idx) when Sym.equal b buf -> Read (b, split_idx benv (List.map re idx))
+      | Read (b, idx) when Sym.equal b buf -> Read (b, split_idx ctx (List.map re idx))
       | Read (b, idx) -> Read (b, List.map re idx)
       | Binop (o, a, b) -> Binop (o, re a, re b)
       | Neg a -> Neg (re a)
@@ -635,9 +568,9 @@ let divide_dim (p : proc) (bufname : string) (d : int) (quot : int) : proc =
     in
     match s with
     | SAssign (b, idx, e) when Sym.equal b buf ->
-        SAssign (b, split_idx benv (List.map re idx), re e)
+        SAssign (b, split_idx ctx (List.map re idx), re e)
     | SReduce (b, idx, e) when Sym.equal b buf ->
-        SReduce (b, split_idx benv (List.map re idx), re e)
+        SReduce (b, split_idx ctx (List.map re idx), re e)
     | SAssign (b, idx, e) -> SAssign (b, List.map re idx, re e)
     | SReduce (b, idx, e) -> SReduce (b, List.map re idx, re e)
     | SFor (v, lo, hi, inner) -> SFor (v, re lo, re hi, List.map (go ((v, lo, hi) :: ranges)) inner)
@@ -649,7 +582,7 @@ let divide_dim (p : proc) (bufname : string) (d : int) (quot : int) : proc =
         else map_stmt_exprs re s
     | SIf (cnd, t, e) -> SIf (re cnd, List.map (go ranges) t, List.map (go ranges) e)
   in
-  recheck ~op { p with p_body = List.map (go []) body }
+  recheck ~op ~old:p { p with p_body = List.map (go []) body }
 
 (* ------------------------------------------------------------------ *)
 (* lift_alloc                                                          *)
@@ -675,7 +608,7 @@ let lift_alloc (p : proc) (bufname : string) ~(n_lifts : int) : proc =
       |> List.map (fun (v, _, _) -> v)
       |> Sym.Set.of_list
     in
-    let used = List.fold_left expr_vars Sym.Set.empty dims in
+    let used = E.shape_vars dims in
     let bad = Sym.Set.inter crossed used in
     if not (Sym.Set.is_empty bad) then
       err "%s: extent of %s depends on loop variable %a" op bufname Sym.pp
@@ -692,5 +625,5 @@ let lift_alloc (p : proc) (bufname : string) ~(n_lifts : int) : proc =
     in
     let dest = target c lifts in
     let body = Cursor.insert_before body dest [ alloc ] in
-    recheck ~op { p with p_body = body }
+    recheck ~op ~old:p { p with p_body = body }
   end

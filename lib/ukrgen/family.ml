@@ -141,6 +141,21 @@ let scalar (kit : Kits.t) ~mr ~nr : Ir.proc = Sched.simplify (base kit ~mr ~nr)
 
 (* ------------------------------------------------------------------ *)
 
+(** Static bounds certificate demanded of every emitted kernel: each buffer
+    access [Proved] in range, zero [Unknown]s. The generated kernels are
+    entirely affine, so anything short of a full proof is a generator bug. *)
+let certify (p : Ir.proc) : Ir.proc =
+  let r = Exo_check.Bounds.check_proc p in
+  (match (r.Exo_check.Bounds.violations, r.Exo_check.Bounds.unknowns) with
+  | [], [] -> ()
+  | vs, us ->
+      raise
+        (Sched.Sched_error
+           (Fmt.str "%s: bounds certificate failed: %a" p.Ir.p_name
+              Fmt.(list ~sep:(any "; ") Exo_check.Bounds.pp_failure)
+              (vs @ us))));
+  p
+
 let generate ?(kit = Kits.neon_f32) ~mr ~nr () : kernel =
   if mr < 1 || nr < 1 then invalid_arg "Family.generate: mr and nr must be ≥ 1";
   let style = pick_style kit ~mr ~nr in
@@ -151,6 +166,7 @@ let generate ?(kit = Kits.neon_f32) ~mr ~nr () : kernel =
     | Row -> row kit ~nr
     | Scalar -> scalar kit ~mr ~nr
   in
+  let proc = certify proc in
   { mr; nr; kit; style; proc }
 
 (** The kernel sizes the paper's evaluation uses (Section IV-C). *)

@@ -33,8 +33,16 @@ val pick_style : Kits.t -> mr:int -> nr:int -> style
 
 (** Generate one specialized kernel. Raises [Invalid_argument] on
     non-positive shapes. Every generated kernel is bit-exact against the
-    reference semantics (enforced by the property tests). *)
+    reference semantics (enforced by the property tests) and carries the
+    {!certify} bounds certificate. *)
 val generate : ?kit:Kits.t -> mr:int -> nr:int -> unit -> kernel
+
+(** Demand the static bounds certificate of {!Exo_check.Bounds.check_proc}:
+    every access [Proved] in range, zero [Unknown]s. Raises
+    [Exo_sched.Sched.Sched_error] naming the failures otherwise; returns the
+    procedure unchanged on success. Applied to every kernel [generate]
+    emits and to every {!Variants} schedule. *)
+val certify : Exo_ir.Ir.proc -> Exo_ir.Ir.proc
 
 (** The individual schedule templates (exposed for benches/ablations). *)
 

@@ -1,0 +1,137 @@
+(** Static lint sweep over the generated kernel family. See the interface
+    for the rule catalogue and the Fig. 12 pin. *)
+
+module V = Exo_check.Vlint
+module M = Exo_isa.Memories
+
+let target_of_kit (kit : Kits.t) : V.target =
+  let info = M.lookup_exn kit.Kits.mem in
+  { V.is_vector_mem = M.is_register_mem; max_vregs = info.M.num_regs }
+
+let expected_census (kit : Kits.t) (style : Family.style) ~(mr : int)
+    ~(nr : int) : V.census option =
+  let l = kit.Kits.lanes in
+  let z = V.census_zero in
+  match style with
+  | Family.Packed ->
+      (* per k iteration: one vld per A subtile and per B subtile, one
+         lane-indexed fma per (A subtile, j) — Fig. 12's 5 ld + 24 fma *)
+      Some { z with V.loads = (mr / l) + (nr / l); fmas = mr / l * nr }
+  | Family.PackedBcast ->
+      (* A vectorized only; B feeds a scalar-FMA form when the kit has one,
+         otherwise each of the nr elements is broadcast to a register *)
+      Some
+        {
+          z with
+          V.loads = mr / l;
+          fmas = mr / l * nr;
+          bcasts = (if Option.is_none kit.Kits.fma_scalar_r then nr else 0);
+        }
+  | Family.Row ->
+      (* j vectorized; the single A element is the scalar factor. On kits
+         without a scalar-FMA form it is broadcast to a register — the
+         broadcast sits inside the unrolled jt loop, so once per subtile *)
+      Some
+        {
+          z with
+          V.loads = nr / l;
+          fmas = nr / l;
+          bcasts = (if Option.is_none kit.Kits.fma_scalar then nr / l else 0);
+        }
+  | Family.Scalar -> None
+
+let expect_of (kit : Kits.t) (style : Family.style) ~(mr : int) ~(nr : int) :
+    V.expect =
+  {
+    V.vectorized = style <> Family.Scalar;
+    census = expected_census kit style ~mr ~nr;
+    writable = [ "C" ];
+  }
+
+type entry = { kit_name : string; label : string; report : V.report }
+
+type outcome = {
+  entries : entry list;
+  skipped : (string * string) list;
+}
+
+(** The variants are not census-pinned (their steady states differ per
+    schedule) but must satisfy every other rule. *)
+let variant_expect : V.expect =
+  { V.vectorized = true; census = None; writable = [ "C" ] }
+
+let variants_of (kit : Kits.t) =
+  [
+    ("packed_full", fun () -> Variants.packed_full ~kit ~mr:8 ~nr:12 ());
+    ("packed_beta0", fun () -> Variants.packed_beta0 ~kit ~mr:8 ~nr:12 ());
+    ("nopack", fun () -> Variants.nopack ~kit ~mr:8 ~nr:12 ());
+  ]
+
+let run ?(kits = Kits.all) () : outcome =
+  let entries = ref [] and skipped = ref [] in
+  List.iter
+    (fun (kit : Kits.t) ->
+      let t = target_of_kit kit in
+      List.iter
+        (fun (mr, nr) ->
+          match Family.generate ~kit ~mr ~nr () with
+          | k ->
+              let label =
+                Fmt.str "%dx%d %s" mr nr (Family.style_name k.Family.style)
+              in
+              let expect = expect_of kit k.Family.style ~mr ~nr in
+              entries :=
+                { kit_name = kit.Kits.name; label;
+                  report = V.check t expect k.Family.proc }
+                :: !entries
+          | exception Exo_sched.Sched.Sched_error m ->
+              (* generation itself failed its certificate: a lint failure,
+                 not a capability skip *)
+              entries :=
+                {
+                  kit_name = kit.Kits.name;
+                  label = Fmt.str "%dx%d" mr nr;
+                  report =
+                    {
+                      V.proc_name = Fmt.str "uk_%dx%d_%s" mr nr kit.Kits.name;
+                      vregs = 0;
+                      signature = "";
+                      findings = [ { V.rule = "generate"; detail = m } ];
+                    };
+                }
+                :: !entries)
+        Family.paper_shapes;
+      List.iter
+        (fun (vname, gen) ->
+          let label = Fmt.str "%s 8x12" vname in
+          match gen () with
+          | p ->
+              entries :=
+                { kit_name = kit.Kits.name; label;
+                  report = V.check t variant_expect p }
+                :: !entries
+          | exception Invalid_argument m ->
+              skipped := (Fmt.str "%s %s" kit.Kits.name label, m) :: !skipped
+          | exception Exo_sched.Sched.Sched_error m ->
+              skipped := (Fmt.str "%s %s" kit.Kits.name label, m) :: !skipped)
+        (variants_of kit))
+    kits;
+  { entries = List.rev !entries; skipped = List.rev !skipped }
+
+let failures (o : outcome) =
+  List.length (List.filter (fun e -> not (V.ok e.report)) o.entries)
+
+let all_ok (o : outcome) = o.entries <> [] && failures o = 0
+
+let pp_entry ppf (e : entry) =
+  let r = e.report in
+  if V.ok r then
+    Fmt.pf ppf "ok   %-10s %-20s %-24s %2d vregs  %s" e.kit_name e.label
+      r.V.proc_name r.V.vregs r.V.signature
+  else
+    Fmt.pf ppf "@[<v>FAIL %-10s %-20s %a@]" e.kit_name e.label V.pp_report r
+
+let pp_outcome ppf (o : outcome) =
+  Fmt.pf ppf "@[<v>%a@,%d kernel(s) linted, %d failure(s), %d combination(s) skipped@]"
+    (Fmt.list pp_entry) o.entries
+    (List.length o.entries) (failures o) (List.length o.skipped)

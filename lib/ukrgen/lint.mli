@@ -1,0 +1,50 @@
+(** Static lint sweep over the generated kernel family.
+
+    Instantiates {!Exo_check.Vlint} for each kit (register budget and
+    register-memory predicate from {!Exo_isa.Memories}) and derives the
+    expected steady-state census from the schedule template, then checks
+    every kernel of {!Family.paper_shapes} on every kit plus the
+    {!Variants} schedules — all without running the simulator. The Fig. 12
+    pin: the 8×12 f32 packed kernel must show 5 vector loads + 24 fmla per
+    k iteration and at most 32 live vector registers. *)
+
+(** The {!Exo_check.Vlint.target} for a kit: vector memories are the ISA
+    register memories; the budget is the architectural register file. *)
+val target_of_kit : Kits.t -> Exo_check.Vlint.target
+
+(** Expected steady-state census of a family kernel, derived from the
+    schedule template ([None] for [Scalar] kernels, whose census is not
+    pinned). For the packed template on [mr]×[nr] with [l] lanes:
+    [mr/l + nr/l] loads and [(mr/l)·nr] lane-indexed fmas per k iteration —
+    5 loads + 24 fmas at 8×12 f32 (Fig. 12). *)
+val expected_census :
+  Kits.t -> Family.style -> mr:int -> nr:int -> Exo_check.Vlint.census option
+
+(** The full expectation for a family kernel: census as above, scalar data
+    ops forbidden in symbolic loops unless the style is [Scalar], and [C]
+    the only writable argument. *)
+val expect_of :
+  Kits.t -> Family.style -> mr:int -> nr:int -> Exo_check.Vlint.expect
+
+(** One linted kernel: which kit, a human label (shape + template), and the
+    {!Exo_check.Vlint} report. *)
+type entry = { kit_name : string; label : string; report : Exo_check.Vlint.report }
+
+type outcome = {
+  entries : entry list;
+  skipped : (string * string) list;
+      (** (label, reason) for kit/shape/variant combinations whose schedule
+          does not apply (capability or divisibility), not lint failures *)
+}
+
+(** Lint the paper family and the variants on the given kits
+    (default {!Kits.all}). *)
+val run : ?kits:Kits.t list -> unit -> outcome
+
+val all_ok : outcome -> bool
+
+(** Count of failed entries (0 iff [all_ok] modulo empty sweeps). *)
+val failures : outcome -> int
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp_outcome : Format.formatter -> outcome -> unit

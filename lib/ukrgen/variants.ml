@@ -118,7 +118,7 @@ let packed_full ?(kit = Kits.neon_f32) ~(mr : int) ~(nr : int) () : Ir.proc =
   let p = Sched.replace p "for ditt in _: _" kit.Kits.vld in
   let p = Sched.replace p "for ditt in _: _" kit.Kits.vst in
   let p = Sched.set_memory p "Cs" kit.Kits.mem in
-  Sched.simplify p
+  Family.certify (Sched.simplify p)
 
 (* ------------------------------------------------------------------ *)
 (* The beta = 0 kernel                                                  *)
@@ -174,7 +174,7 @@ let packed_beta0 ?(kit = Kits.neon_f32) ~(mr : int) ~(nr : int) () : Ir.proc =
   let p = Sched.replace p "for itt in _: _" fma_lane in
   let p = Sched.unroll_loop p "it" in
   let p = Sched.unroll_loop p "jt" in
-  Sched.simplify p
+  Family.certify (Sched.simplify p)
 
 (* ------------------------------------------------------------------ *)
 (* The non-packed-A variant (Section III-B)                             *)
@@ -220,4 +220,4 @@ let nopack ?(kit = Kits.neon_f32) ~(mr : int) ~(nr : int) () : Ir.proc =
   (* the A element stays in memory: vfmaq_n reads it as the scalar factor *)
   let p = Sched.replace p "for jtt in _: _" fma in
   let p = Sched.unroll_loop p "jt" in
-  Sched.simplify p
+  Family.certify (Sched.simplify p)

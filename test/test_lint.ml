@@ -1,0 +1,157 @@
+(* Tests of the static kernel lint (Exo_check.Vlint + the Exo_ukr_gen.Lint
+   sweep): the whole generated family must pass, the Fig. 12 census is
+   pinned for the 8x12 f32 kernel, and every lint rule has a negative. *)
+
+open Exo_ir
+open Ir
+open Builder
+module V = Exo_check.Vlint
+module L = Exo_ukr_gen.Lint
+module F = Exo_ukr_gen.Family
+module K = Exo_ukr_gen.Kits
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let has_rule rule (r : V.report) = List.exists (fun (f : V.finding) -> f.V.rule = rule) r.V.findings
+
+(* --- the full-family sweep ----------------------------------------------- *)
+
+let test_sweep_all_ok () =
+  let o = L.run () in
+  check_bool "every generated kernel passes the lint" true (L.all_ok o);
+  check_int "lint failures" 0 (L.failures o);
+  (* 6 kits x 8 paper shapes at minimum, plus whatever variants apply *)
+  check_bool "sweep covers the whole family" true
+    (List.length o.L.entries >= List.length K.all * List.length F.paper_shapes)
+
+(* --- the Fig. 12 pin ----------------------------------------------------- *)
+
+let test_fig12_census () =
+  let k = F.generate ~mr:8 ~nr:12 () in
+  let c = V.steady_census k.F.proc in
+  check_int "vector loads per k iteration" 5 c.V.loads;
+  check_int "fmla per k iteration" 24 c.V.fmas;
+  check_int "stores in steady state" 0 c.V.stores;
+  check_int "scalar ops in steady state" 0 c.V.scalars
+
+let test_fig12_report () =
+  let k = F.generate ~mr:8 ~nr:12 () in
+  let t = L.target_of_kit K.neon_f32 in
+  let e = L.expect_of K.neon_f32 k.F.style ~mr:8 ~nr:12 in
+  let r = V.check t e k.F.proc in
+  check_bool "8x12 f32 kernel passes every rule" true (V.ok r);
+  check_bool "within the 32-register NEON file" true (r.V.vregs <= 32);
+  check_int "accumulators + operand registers" 29 r.V.vregs
+
+let test_expected_census_formulas () =
+  (* the derivation matches what the schedules actually emit, per style *)
+  List.iter
+    (fun (kit : K.t) ->
+      List.iter
+        (fun (mr, nr) ->
+          let k = F.generate ~kit ~mr ~nr () in
+          match L.expected_census kit k.F.style ~mr ~nr with
+          | None -> ()
+          | Some expected ->
+              Alcotest.(check string)
+                (Fmt.str "%s %dx%d census" kit.K.name mr nr)
+                (Fmt.str "%a" V.pp_census expected)
+                (Fmt.str "%a" V.pp_census (V.steady_census k.F.proc)))
+        F.paper_shapes)
+    K.all
+
+(* --- one negative per rule ----------------------------------------------- *)
+
+let scalar_expect = { V.vectorized = false; census = None; writable = [ "t" ] }
+let neon_target = L.target_of_kit K.neon_f32
+
+let test_neg_bounds () =
+  (* reads past the extent: for i in [0,7): t[i] on a 6-element tensor *)
+  let t = Sym.fresh "t" and i = Sym.fresh "i" in
+  let p =
+    mk_proc ~name:"oob"
+      ~args:[ tensor_arg t Dtype.F32 [ int 6 ] ]
+      [ loop i (int 0) (int 7) [ assign t [ var i ] (flt 0.0) ] ]
+  in
+  let r = V.check neon_target scalar_expect p in
+  check_bool "bounds violation reported" true (has_rule "bounds" r);
+  check_bool "report not ok" false (V.ok r)
+
+let test_neg_vregs () =
+  let k = F.generate ~mr:8 ~nr:12 () in
+  let t = { neon_target with V.max_vregs = 1 } in
+  let r = V.check t (L.expect_of K.neon_f32 k.F.style ~mr:8 ~nr:12) k.F.proc in
+  check_bool "register budget violation reported" true (has_rule "vregs" r)
+
+let test_neg_scalar_ops () =
+  (* a scalar assign inside the symbolic (runtime-trip-count) loop *)
+  let t = Sym.fresh "t" and n = Sym.fresh "N" and k = Sym.fresh "k" in
+  let p =
+    mk_proc ~name:"scalar_in_k"
+      ~args:[ size_arg n; tensor_arg t Dtype.F32 [ int 4 ] ]
+      [ loop k (int 0) (var n) [ assign t [ int 0 ] (flt 1.0) ] ]
+  in
+  let e = { V.vectorized = true; census = None; writable = [ "t" ] } in
+  let r = V.check neon_target e p in
+  check_bool "scalar op in vectorized kernel reported" true (has_rule "scalar-ops" r);
+  (* the same kernel declared non-vectorized is fine *)
+  let r' = V.check neon_target { e with V.vectorized = false } p in
+  check_bool "scalar style is exempt" false (has_rule "scalar-ops" r')
+
+let test_neg_census () =
+  let k = F.generate ~mr:8 ~nr:12 () in
+  let e =
+    { V.vectorized = true; census = Some V.census_zero; writable = [ "C" ] }
+  in
+  let r = V.check neon_target e k.F.proc in
+  check_bool "census mismatch reported" true (has_rule "census" r)
+
+let test_neg_effects () =
+  let k = F.generate ~mr:8 ~nr:12 () in
+  let e = { V.vectorized = true; census = None; writable = [] } in
+  let r = V.check neon_target e k.F.proc in
+  check_bool "write to undeclared output reported" true (has_rule "effects" r)
+
+let test_certify_rejects () =
+  (* Family.certify refuses a proc whose accesses are not all Proved *)
+  let t = Sym.fresh "t" and i = Sym.fresh "i" in
+  let p =
+    mk_proc ~name:"oob"
+      ~args:[ tensor_arg t Dtype.F32 [ int 6 ] ]
+      [ loop i (int 0) (int 7) [ assign t [ var i ] (flt 0.0) ] ]
+  in
+  check_bool "certify raises on a bounds violation" true
+    (match F.certify p with
+    | _ -> false
+    | exception Exo_sched.Sched.Sched_error _ -> true);
+  let ok =
+    mk_proc ~name:"fine"
+      ~args:[ tensor_arg t Dtype.F32 [ int 6 ] ]
+      [ loop i (int 0) (int 6) [ assign t [ var i ] (flt 0.0) ] ]
+  in
+  check_bool "certify passes a proved proc" true (F.certify ok == ok)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "sweep",
+        [
+          Alcotest.test_case "whole family passes" `Quick test_sweep_all_ok;
+          Alcotest.test_case "census formulas match the schedules" `Quick
+            test_expected_census_formulas;
+        ] );
+      ( "fig12",
+        [
+          Alcotest.test_case "8x12 census: 5 loads + 24 fmla" `Quick test_fig12_census;
+          Alcotest.test_case "8x12 report: all rules, 29 vregs" `Quick test_fig12_report;
+        ] );
+      ( "negatives",
+        [
+          Alcotest.test_case "bounds" `Quick test_neg_bounds;
+          Alcotest.test_case "vregs" `Quick test_neg_vregs;
+          Alcotest.test_case "scalar-ops" `Quick test_neg_scalar_ops;
+          Alcotest.test_case "census" `Quick test_neg_census;
+          Alcotest.test_case "effects" `Quick test_neg_effects;
+          Alcotest.test_case "Family.certify gate" `Quick test_certify_rejects;
+        ] );
+    ]

@@ -403,6 +403,28 @@ let test_fuse_illegal_dependence () =
   in
   check_sched_error "skewed flow rejected" (fun () -> Sched.fuse_loops p "a")
 
+let test_fuse_flow_violation () =
+  (* the genuinely meaning-changing direction: loop2 reads t[i+1], which
+     loop1 writes at a *later* iteration. Fused, iteration i reads the
+     stale t[i+1] before iteration i+1 overwrites it. *)
+  let i1 = Sym.fresh "a" and i2 = Sym.fresh "b" in
+  let s = Sym.fresh "s" and t = Sym.fresh "t" and u = Sym.fresh "u" in
+  let p =
+    mk_proc ~name:"t"
+      ~args:
+        [
+          tensor_arg s Dtype.F32 [ int 4 ];
+          tensor_arg t Dtype.F32 [ int 5 ];
+          tensor_arg u Dtype.F32 [ int 4 ];
+        ]
+      [
+        loopn i1 (int 4) [ assign t [ var i1 ] (rd s [ var i1 ]) ];
+        loopn i2 (int 4) [ assign u [ var i2 ] (rd t [ add (var i2) (int 1) ]) ];
+      ]
+  in
+  check_sched_error "loop-carried flow dependence rejected" (fun () ->
+      Sched.fuse_loops p "a")
+
 let test_fuse_no_successor () =
   check_sched_error "nothing after the k loop" (fun () -> Sched.fuse_loops (base ()) "k")
 
@@ -526,6 +548,7 @@ let () =
           Alcotest.test_case "fuse roundtrip" `Quick test_fuse_roundtrip;
           Alcotest.test_case "fuse bounds mismatch" `Quick test_fuse_bounds_mismatch;
           Alcotest.test_case "fuse illegal dep" `Quick test_fuse_illegal_dependence;
+          Alcotest.test_case "fuse loop-carried flow" `Quick test_fuse_flow_violation;
           Alcotest.test_case "fuse no successor" `Quick test_fuse_no_successor;
           Alcotest.test_case "inline roundtrip" `Quick test_inline_roundtrip_vld;
           Alcotest.test_case "inline de-vectorize" `Quick test_inline_devectorize_whole_kernel;
