@@ -6,9 +6,13 @@
      dune exec bench/main.exe -- bechamel     # wall-clock Bechamel benches
      dune exec bench/main.exe -- perf         # compiled vs interpreted engine
                                               # (writes BENCH_interp.json)
+     dune exec bench/main.exe -- perf-sim     # compressed vs element cache sim
+                                              # + 1-vs-N-domain sweeps
+                                              # (writes BENCH_sim.json)
+     dune exec bench/main.exe -- -j 4 all     # pool width for parallel sweeps
 
    Experiments: fig12 fig13 fig14 tab1 tab2 fig15 fig16 fig17 fig18
-   ablation bechamel perf lint all *)
+   ablation bechamel perf perf-sim[-smoke] lint all *)
 
 open Bechamel
 module Btoolkit = Toolkit
@@ -212,6 +216,126 @@ let run_perf () =
   Fmt.pr "wrote BENCH_interp.json@.@."
 
 (* ------------------------------------------------------------------ *)
+(* perf-sim: the simulation/sweep engine benchmark. Measures the        *)
+(* stride-compressed cache simulator against the element-level oracle   *)
+(* (same statistics, fraction of the work) and the domain-parallel      *)
+(* sweep engine at 1 vs N domains (byte-identical outcomes). Writes     *)
+(* BENCH_sim.json.                                                      *)
+
+let run_perf_sim ?(smoke = false) () =
+  let module CS = Exo_sim.Cache_sim in
+  let module L = Exo_ukr_gen.Lint in
+  let machine = Exo_isa.Machine.carmel in
+  let min_time = if smoke then 0.05 else 0.3 in
+  (* headline trace: the real Carmel hierarchy at the paper's ≥1000³ scale
+     under the analytical blocking — exactly the cell the cache ablation
+     validates. Smoke mode shrinks to a toy hierarchy and 144³ so the CI
+     gate stays fast. *)
+  let sim_machine, dim =
+    if smoke then
+      ( {
+          machine with
+          Exo_isa.Machine.l1 =
+            { Exo_isa.Machine.size_kib = 8; assoc = 4; line_bytes = 64 };
+          l2 = { Exo_isa.Machine.size_kib = 64; assoc = 8; line_bytes = 64 };
+          l3 = { Exo_isa.Machine.size_kib = 256; assoc = 8; line_bytes = 64 };
+        },
+        144 )
+    else (machine, 1008)
+  in
+  let b = Exo_blis.Analytical.compute sim_machine ~mr:8 ~nr:12 ~dtype_bytes:4 in
+  let mc = b.Exo_blis.Analytical.mc
+  and kc = b.Exo_blis.Analytical.kc
+  and nc = b.Exo_blis.Analytical.nc in
+  Fmt.pr "Simulation & sweep-engine benchmark%s@." (if smoke then " (smoke)" else "");
+  Fmt.pr "%s@." (String.make 78 '-');
+  Fmt.pr "trace: %s %d³, blocking (mc=%d, kc=%d, nc=%d), 8x12 f32 kernel@."
+    (if smoke then "toy hierarchy" else "Carmel")
+    dim mc kc nc;
+  (* 1. compressed vs element-level cache simulation *)
+  let trace () = CS.gemm_trace sim_machine ~mc ~kc ~nc ~mr:8 ~nr:12 ~m:dim ~n:dim ~k:dim in
+  let trace_element () =
+    CS.gemm_trace_element sim_machine ~mc ~kc ~nc ~mr:8 ~nr:12 ~m:dim ~n:dim ~k:dim
+  in
+  let fast = trace () and slow = trace_element () in
+  if fast <> slow then failwith "perf-sim: compressed and element stats disagree";
+  Fmt.pr "compressed and element-level paths agree on every statistic@.";
+  (* the element oracle at paper scale runs for seconds per trace, so
+     adaptive accumulation is replaced by explicit best-of-k trials *)
+  let best_of k f =
+    let best = ref infinity in
+    for _ = 1 to k do
+      let t0 = Sys.time () in
+      ignore (f ());
+      let dt = Sys.time () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let t_fast = best_of 3 trace in
+  let t_slow = best_of 2 trace_element in
+  let refs = float_of_int fast.CS.refs in
+  let sim_speedup = t_slow /. t_fast in
+  Fmt.pr "element oracle  : %10.1f ms/trace  (%8.1f Mrefs/s)@." (t_slow *. 1e3)
+    (refs /. t_slow /. 1e6);
+  Fmt.pr "compressed runs : %10.1f ms/trace  (%8.1f Mrefs/s)@." (t_fast *. 1e3)
+    (refs /. t_fast /. 1e6);
+  Fmt.pr "speedup         : %10.1fx %s@." sim_speedup
+    (if sim_speedup >= 10.0 then "(>= 10x: ok)" else "(below the 10x target!)");
+  (* 2. the parallel sweep engine: lint gate and tuner sweep at 1 vs N *)
+  let domains = Domain.recommended_domain_count () in
+  let jobs_n = max 2 (Exo_par.Pool.default_jobs ()) in
+  let o1 = ref None and on = ref None in
+  let t_lint1 = time_runs ~min_time (fun () -> o1 := Some (L.run ~jobs:1 ())) in
+  let t_lintn = time_runs ~min_time (fun () -> on := Some (L.run ~jobs:jobs_n ())) in
+  if !o1 <> !on then failwith "perf-sim: lint outcomes differ across pool widths";
+  Fmt.pr "lint gate (%d kernels): 1 domain %.1f ms | %d domains %.1f ms (%.2fx); \
+          outcomes identical@."
+    (List.length (Option.get !o1).L.entries)
+    (t_lint1 *. 1e3) jobs_n (t_lintn *. 1e3) (t_lint1 /. t_lintn);
+  let sweep_problem jobs =
+    Exo_blis.Tuner.clear_cache ();
+    Exo_blis.Tuner.sweep machine ~jobs ~m:784 ~n:512 ~k:256
+  in
+  let s1 = ref [] and sn = ref [] in
+  let t_sweep1 = time_runs ~min_time (fun () -> s1 := sweep_problem 1) in
+  let t_sweepn = time_runs ~min_time (fun () -> sn := sweep_problem jobs_n) in
+  if !s1 <> !sn then failwith "perf-sim: tuner rankings differ across pool widths";
+  Fmt.pr "tuner sweep: 1 domain %.3f ms | %d domains %.3f ms (%.2fx); rankings \
+          identical@."
+    (t_sweep1 *. 1e3) jobs_n (t_sweepn *. 1e3) (t_sweep1 /. t_sweepn);
+  let oc = open_out "BENCH_sim.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"smoke\": %b,\n\
+    \  \"trace_machine\": \"%s\",\n\
+    \  \"trace_blocking\": [%d, %d, %d],\n\
+    \  \"trace_dim\": %d,\n\
+    \  \"trace_refs\": %d,\n\
+    \  \"element_mrefs_per_sec\": %.2f,\n\
+    \  \"compressed_mrefs_per_sec\": %.2f,\n\
+    \  \"compressed_speedup\": %.2f,\n\
+    \  \"domains_available\": %d,\n\
+    \  \"pool_jobs\": %d,\n\
+    \  \"lint_ms_1job\": %.2f,\n\
+    \  \"lint_ms_njobs\": %.2f,\n\
+    \  \"lint_speedup\": %.2f,\n\
+    \  \"lint_outcomes_identical\": true,\n\
+    \  \"tuner_ms_1job\": %.3f,\n\
+    \  \"tuner_ms_njobs\": %.3f,\n\
+    \  \"tuner_speedup\": %.2f,\n\
+    \  \"tuner_rankings_identical\": true\n\
+     }\n"
+    smoke
+    (if smoke then "toy" else "carmel")
+    mc kc nc dim fast.CS.refs (refs /. t_slow /. 1e6) (refs /. t_fast /. 1e6)
+    sim_speedup domains jobs_n (t_lint1 *. 1e3) (t_lintn *. 1e3)
+    (t_lint1 /. t_lintn) (t_sweep1 *. 1e3) (t_sweepn *. 1e3)
+    (t_sweep1 /. t_sweepn);
+  close_out oc;
+  Fmt.pr "wrote BENCH_sim.json@.@."
+
+(* ------------------------------------------------------------------ *)
 (* lint: the static Fig. 12 gate — every generated kernel must carry    *)
 (* its bounds certificate, fit the register file, match the expected    *)
 (* steady-state census and write only C. Exits 1 on any failure.        *)
@@ -229,6 +353,20 @@ let run_lint () =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (* global flag: [-j N] fixes the domain-pool width for every parallel
+     sweep in this run (default: EXO_JOBS or the core count) *)
+  let rec parse_jobs acc = function
+    | "-j" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j -> Exo_par.Pool.set_default_jobs j
+        | None ->
+            Fmt.epr "-j expects an integer, got %S@." n;
+            exit 2);
+        parse_jobs acc rest
+    | a :: rest -> parse_jobs (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = parse_jobs [] args in
   let run = function
     | "fig12" -> Experiments.fig12 ()
     | "fig13" -> Experiments.fig13 ()
@@ -242,6 +380,8 @@ let () =
     | "ablation" -> Experiments.ablation ()
     | "bechamel" -> run_bechamel ()
     | "perf" -> run_perf ()
+    | "perf-sim" -> run_perf_sim ()
+    | "perf-sim-smoke" -> run_perf_sim ~smoke:true ()
     | "lint" -> run_lint ()
     | "all" ->
         run_lint ();
@@ -250,7 +390,7 @@ let () =
     | other ->
         Fmt.epr
           "unknown experiment %S (expected figNN, tabN, ablation, bechamel, perf, \
-           lint, all)@."
+           perf-sim[-smoke], lint, all)@."
           other;
         exit 2
   in

@@ -184,9 +184,18 @@ let time_uncached (machine : Machine.t) (setup : setup) ~(m : int) ~(n : int)
             (t, Fmt.str "%dx%d" mr nr))
           shapes
       in
-      List.fold_left
-        (fun (bt, bn) (t, nm) -> if t < bt then (t, nm) else (bt, bn))
-        (List.hd best) (List.tl best)
+      (match best with
+      | [] ->
+          invalid_arg
+            (Fmt.str
+               "Driver.time: no register-feasible micro-kernel shape for \
+                machine %s with kit %s (%d vector registers)"
+               machine.Machine.name kit.Exo_ukr_gen.Kits.name
+               machine.Machine.vec.Exo_isa.Memories.num_regs)
+      | hd :: tl ->
+          List.fold_left
+            (fun (bt, bn) (t, nm) -> if t < bt then (t, nm) else (bt, bn))
+            hd tl)
 
 (* A setup's identity for memoization: the four paper configurations (and
    the per-kit Exo families) are distinguished by kernel name + prefetch +
@@ -196,22 +205,19 @@ let setup_key = function
       Fmt.str "%s%s" impl.KM.name (if prefetch then "+pf" else "")
   | Exo_family kit -> "EXO:" ^ kit.Exo_ukr_gen.Kits.name
 
-let time_cache : (string, float * string) Hashtbl.t = Hashtbl.create 64
+let time_cache : (string, float * string) Exo_par.Memo.t = Exo_par.Memo.create ~size:64 ()
 
 (** Memoized: [gflops] and [selected_kernel] (and per-figure rows that ask
     for both) share one evaluation instead of re-pricing every candidate
-    shape per query. *)
+    shape per query. Domain-safe ({!Exo_par.Memo}): the parallel experiment
+    sweeps price GEMMs from several domains at once. *)
 let time (machine : Machine.t) (setup : setup) ~(m : int) ~(n : int) ~(k : int) :
     float * string =
   let key =
     Fmt.str "%s/%s/%d/%d/%d" machine.Machine.name (setup_key setup) m n k
   in
-  match Hashtbl.find_opt time_cache key with
-  | Some r -> r
-  | None ->
-      let r = time_uncached machine setup ~m ~n ~k in
-      Hashtbl.replace time_cache key r;
-      r
+  Exo_par.Memo.find_or_add time_cache key (fun () ->
+      time_uncached machine setup ~m ~n ~k)
 
 (** GFLOPS for C += A·B (2·m·n·k flops). *)
 let gflops (machine : Machine.t) (setup : setup) ~m ~n ~k : float =

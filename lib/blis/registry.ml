@@ -8,40 +8,46 @@
     - [BLIS]: the monolithic 8×12 assembly kernel model (fringe logic,
       prefetch-capable).
     - [NEON]: the monolithic 8×12 hand-written-intrinsics kernel model
-      (fringe logic, compiler-scheduled). *)
+      (fringe logic, compiler-scheduled).
+
+    Domain-safety: generated kernels are immutable IR values, so one
+    process-wide {!Exo_par.Memo} serves every domain. Compiled kernels
+    ({!Exo_interp.Compile.t}) are NOT re-entrant — each carries a mutable
+    argument frame and fused-loop plan cells — so the compiled cache is
+    per-domain ([Domain.DLS]): each domain compiles its own closure once
+    and reuses it freely. *)
 
 open Exo_ukr_gen
 module KM = Exo_sim.Kernel_model
 module B = Exo_interp.Buffer
 module I = Exo_interp.Interp
 module C = Exo_interp.Compile
+module Memo = Exo_par.Memo
 
 (* ------------------------------------------------------------------ *)
 (* Generated-kernel cache                                              *)
 
-let cache : (string * int * int, Family.kernel) Hashtbl.t = Hashtbl.create 32
+let cache : (string * int * int, Family.kernel) Memo.t = Memo.create ()
 
 let exo_kernel ?(kit = Kits.neon_f32) ~(mr : int) ~(nr : int) () : Family.kernel =
-  let key = (kit.Kits.name, mr, nr) in
-  match Hashtbl.find_opt cache key with
-  | Some k -> k
-  | None ->
-      let k = Family.generate ~kit ~mr ~nr () in
-      Hashtbl.replace cache key k;
-      k
+  Memo.find_or_add cache (kit.Kits.name, mr, nr) (fun () ->
+      Family.generate ~kit ~mr ~nr ())
 
 (* Compile-once/run-many: the closure-compiled form of each generated
    kernel, cached alongside the IR so every micro-kernel call after the
-   first is a plain closure invocation. *)
-let compiled_cache : (string * int * int, C.t) Hashtbl.t = Hashtbl.create 32
+   first is a plain closure invocation. Per-domain — see the module
+   header. *)
+let compiled_key : (string * int * int, C.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 32)
 
 let exo_compiled ?(kit = Kits.neon_f32) ~(mr : int) ~(nr : int) () : C.t =
+  let tbl = Domain.DLS.get compiled_key in
   let key = (kit.Kits.name, mr, nr) in
-  match Hashtbl.find_opt compiled_cache key with
+  match Hashtbl.find_opt tbl key with
   | Some c -> c
   | None ->
       let c = C.compile (exo_kernel ~kit ~mr ~nr ()).Family.proc in
-      Hashtbl.replace compiled_cache key c;
+      Hashtbl.replace tbl key c;
       c
 
 (** Model impl for a generated kernel. *)
@@ -57,15 +63,18 @@ let neon_impl ?kit () : KM.impl = KM.neon_intrinsics_8x12 (base_8x12 ?kit ())
 (* ------------------------------------------------------------------ *)
 (* Numeric micro-kernels                                               *)
 
-let ones_buf = lazy (B.of_array Exo_ir.Dtype.F32 [ 1 ] [| 1.0 |])
+(* Eager, not [lazy]: a [Lazy.t] forced concurrently from two domains
+   raises [Lazy.Undefined] in OCaml 5. The buffer is read-only (it backs
+   the α/β scalar arguments), so sharing one across domains is safe. *)
+let ones_buf = B.of_array Exo_ir.Dtype.F32 [ 1 ] [| 1.0 |]
 
 (** Run a generated kernel on a packed tile through the compiled execution
-    engine: the kernel is compiled once per (kit, mr, nr) and the caller's
-    arrays are bound as zero-copy buffer views. *)
+    engine: the kernel is compiled once per (kit, mr, nr) per domain and
+    the caller's arrays are bound as zero-copy buffer views. *)
 let exo_ukr ?(kit = Kits.neon_f32) () : Gemm.ukr =
  fun ~kc ~mr ~nr ~ac ~bc ~c ->
   let ck = exo_compiled ~kit ~mr ~nr () in
-  let one = Lazy.force ones_buf in
+  let one = ones_buf in
   let acb = B.of_array kit.Kits.dt [ kc; mr ] ac in
   let bcb = B.of_array kit.Kits.dt [ kc; nr ] bc in
   let cb = B.of_array kit.Kits.dt [ nr; mr ] c in
@@ -77,7 +86,7 @@ let exo_ukr ?(kit = Kits.neon_f32) () : Gemm.ukr =
 let exo_ukr_interp ?(kit = Kits.neon_f32) () : Gemm.ukr =
  fun ~kc ~mr ~nr ~ac ~bc ~c ->
   let k = exo_kernel ~kit ~mr ~nr () in
-  let one = Lazy.force ones_buf in
+  let one = ones_buf in
   let acb = B.of_array kit.Kits.dt [ kc; mr ] ac in
   let bcb = B.of_array kit.Kits.dt [ kc; nr ] bc in
   let cb = B.of_array kit.Kits.dt [ nr; mr ] c in

@@ -6,9 +6,10 @@
 val exo_kernel :
   ?kit:Exo_ukr_gen.Kits.t -> mr:int -> nr:int -> unit -> Exo_ukr_gen.Family.kernel
 
-(** The closure-compiled form of a generated kernel (compiled once per
-    (kit, mr, nr) and cached) — the fast execution engine behind
-    {!exo_ukr}. *)
+(** The closure-compiled form of a generated kernel — the fast execution
+    engine behind {!exo_ukr}. Compiled once per (kit, mr, nr) PER DOMAIN
+    and cached in domain-local storage: a compiled kernel carries a mutable
+    argument frame and is not re-entrant across domains. *)
 val exo_compiled :
   ?kit:Exo_ukr_gen.Kits.t -> mr:int -> nr:int -> unit -> Exo_interp.Compile.t
 

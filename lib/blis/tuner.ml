@@ -44,31 +44,43 @@ let evaluate ?(kit = Exo_ukr_gen.Kits.neon_f32) (machine : Exo_isa.Machine.t)
     blocking;
   }
 
-let cache : (string * (int * int) list * int * int * int, result list) Hashtbl.t =
-  Hashtbl.create 32
+(* The memo key holds machine and kit names as SEPARATE tuple fields.
+   An earlier revision concatenated them into one string, which aliased
+   distinct configurations: machine "colneon" with kit "-f32" and machine
+   "col" with kit "neon-f32" both keyed as "colneon-f32" and stole each
+   other's rankings. A regression test pins the fix. *)
+type key = string * string * (int * int) list * int * int * int
+
+let cache : (key, result list) Exo_par.Memo.t = Exo_par.Memo.create ()
 
 (** Rank every feasible candidate for one GEMM, best first (memoized per
-    problem AND candidate-shape list — a custom [?shapes] must not hit
-    entries cached for the default list). *)
-let sweep ?(kit = Exo_ukr_gen.Kits.neon_f32) ?(shapes = default_shapes)
+    (machine, kit, problem) AND candidate-shape list — a custom [?shapes]
+    must not hit entries cached for the default list). Candidates are
+    priced in parallel on [jobs] domains (default: the process-wide
+    {!Exo_par.Pool.default_jobs}); the ranking is identical for every
+    [jobs] — results are written to input-indexed slots and the sort is
+    stable. *)
+let sweep ?(kit = Exo_ukr_gen.Kits.neon_f32) ?(shapes = default_shapes) ?jobs
     (machine : Exo_isa.Machine.t) ~(m : int) ~(n : int) ~(k : int) : result list =
-  let key =
-    (machine.Exo_isa.Machine.name ^ kit.Exo_ukr_gen.Kits.name, shapes, m, n, k)
+  let key : key =
+    (machine.Exo_isa.Machine.name, kit.Exo_ukr_gen.Kits.name, shapes, m, n, k)
   in
-  match Hashtbl.find_opt cache key with
-  | Some r -> r
-  | None ->
+  Exo_par.Memo.find_or_add cache key (fun () ->
       let lanes = kit.Exo_ukr_gen.Kits.lanes in
+      let pool = Exo_par.Pool.create ?jobs () in
       let results =
         shapes
         |> List.filter (fun (mr, nr) -> feasible machine ~lanes ~mr ~nr)
-        |> List.map (fun (mr, nr) -> evaluate ~kit machine ~mr ~nr ~m ~n ~k)
+        |> Exo_par.Pool.map pool (fun (mr, nr) ->
+               evaluate ~kit machine ~mr ~nr ~m ~n ~k)
         |> List.sort (fun a b -> compare b.gflops a.gflops)
       in
       if results = [] then invalid_arg "Tuner.sweep: no feasible kernel shape";
-      Hashtbl.replace cache key results;
-      results
+      results)
 
 (** The winning shape for one GEMM. *)
-let best ?kit ?shapes (machine : Exo_isa.Machine.t) ~m ~n ~k : result =
-  List.hd (sweep ?kit ?shapes machine ~m ~n ~k)
+let best ?kit ?shapes ?jobs (machine : Exo_isa.Machine.t) ~m ~n ~k : result =
+  List.hd (sweep ?kit ?shapes ?jobs machine ~m ~n ~k)
+
+(** Drop every memoized ranking (benchmarks re-measuring cold sweeps). *)
+let clear_cache () = Exo_par.Memo.clear cache

@@ -21,13 +21,21 @@ val evaluate :
   ?kit:Exo_ukr_gen.Kits.t ->
   Exo_isa.Machine.t -> mr:int -> nr:int -> m:int -> n:int -> k:int -> result
 
-(** Rank every feasible candidate for one GEMM, best first (memoized). *)
+(** Rank every feasible candidate for one GEMM, best first (memoized,
+    domain-safe). Candidates are priced in parallel on [jobs] domains
+    (default: {!Exo_par.Pool.default_jobs}); the ranking is identical for
+    every [jobs]. *)
 val sweep :
   ?kit:Exo_ukr_gen.Kits.t ->
   ?shapes:(int * int) list ->
+  ?jobs:int ->
   Exo_isa.Machine.t -> m:int -> n:int -> k:int -> result list
 
 val best :
   ?kit:Exo_ukr_gen.Kits.t ->
   ?shapes:(int * int) list ->
+  ?jobs:int ->
   Exo_isa.Machine.t -> m:int -> n:int -> k:int -> result
+
+(** Drop every memoized ranking (benchmarks re-measuring cold sweeps). *)
+val clear_cache : unit -> unit

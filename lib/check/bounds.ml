@@ -90,9 +90,14 @@ let check_le env (a : Affine.t option) (b : Affine.t option) : verdict =
 
 type failure = { access : string; reason : string; verdict : verdict }
 
-let failures : failure list ref = ref []
+(* Domain-local: [check_proc] runs inside kernel generation, which the
+   parallel sweeps call from several domains at once — a shared accumulator
+   would interleave their failure lists. *)
+let failures : failure list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
 
-let record access reason verdict = failures := { access; reason; verdict } :: !failures
+let record access reason verdict =
+  let fs = Domain.DLS.get failures in
+  fs := { access; reason; verdict } :: !fs
 
 (** Check one subscript [idx] against extent [dim]: 0 ≤ idx and idx ≤ dim-1. *)
 let check_subscript env ~(what : string) (idx : expr) (dim : expr) : unit =
@@ -231,6 +236,7 @@ let pred_ranges (preds : expr list) : interval Sym.Map.t =
 (** Bounds-check a whole procedure. Index-argument ranges are recovered from
     the procedure's [assert] predicates. *)
 let check_proc (p : proc) : report =
+  let failures = Domain.DLS.get failures in
   failures := [];
   let sizes =
     List.fold_left

@@ -200,8 +200,11 @@ type cproc = {
    compilation (by physical identity) so the call sites {!cinline} declines
    reuse one compiled body. Top-level [compile] entries are NOT memoized
    here, so compiling many ephemeral procs (property tests) cannot grow this
-   table. *)
-let instr_cache : (proc * cproc) list ref = ref []
+   table. Domain-local: a [cproc] closes over mutable plan cells, so each
+   domain compiles its own copy (a handful of tiny instruction bodies)
+   rather than sharing non-re-entrant closures across domains. *)
+let instr_cache : (proc * cproc) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 (* ------------------------------------------------------------------ *)
 (* Expression compilation                                              *)
@@ -1162,11 +1165,12 @@ and compile_proc (p : proc) : cproc =
   }
 
 and compile_callee (p : proc) : cproc =
-  match List.find_opt (fun (q, _) -> q == p) !instr_cache with
+  let cache = Domain.DLS.get instr_cache in
+  match List.find_opt (fun (q, _) -> q == p) !cache with
   | Some (_, cp) -> cp
   | None ->
       let cp = compile_proc p in
-      instr_cache := (p, cp) :: !instr_cache;
+      cache := (p, cp) :: !cache;
       cp
 
 (* ------------------------------------------------------------------ *)

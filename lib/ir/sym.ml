@@ -7,11 +7,13 @@
 
 type t = { name : string; id : int }
 
-let counter = ref 0
+(* Atomic so parallel sweeps (Exo_par.Pool) can generate kernels from
+   several domains: ids stay globally unique, and within any one domain
+   they are still strictly increasing — all printed output keys on names,
+   so interleaving across domains never shows. *)
+let counter = Atomic.make 0
 
-let fresh name =
-  incr counter;
-  { name; id = !counter }
+let fresh name = { name; id = Atomic.fetch_and_add counter 1 + 1 }
 
 (** [clone s] makes a fresh symbol with the same display name. *)
 let clone s = fresh s.name

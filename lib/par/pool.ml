@@ -1,0 +1,114 @@
+(** A fixed-width domain pool for data-parallel sweeps.
+
+    Every sweep in the repo — tuner candidate pricing, the 52-kernel lint
+    gate, the per-figure experiment rows, the multi-configuration cache
+    ablation — is an embarrassingly parallel map over an independent work
+    list. This module is the one engine behind them all: a pool of a fixed
+    number of domains consuming a chunked work queue (an atomic cursor over
+    the input array, a handful of items per grab so long-tailed items
+    rebalance), with results written into index-addressed slots so the
+    output order is exactly the input order no matter which domain computed
+    what. At one core (or [jobs = 1]) no domain is ever spawned and the map
+    degenerates to a plain sequential [Array.map].
+
+    Determinism contract: for a pure [f], [map pool f xs] returns the same
+    list as [List.map f xs] for every pool width. Callers that memoize
+    through {!Memo} keep that guarantee because memo caches are keyed, not
+    ordered.
+
+    Exceptions: if any application of [f] raises, the pool stops handing out
+    new chunks, joins every domain, and re-raises the exception of the
+    lowest-indexed failing item (a deterministic choice, unlike
+    first-to-fail). *)
+
+(* Worker domains live for one parallel region: [map] spawns [width - 1]
+   domains, the calling domain works too, and everyone joins at the end.
+   Spawning a domain costs tens of microseconds — noise against the
+   millisecond-scale items these sweeps process — and a region-scoped
+   lifetime cannot leak domains or deadlock a condition variable on exit. *)
+
+type t = { jobs : int }
+
+let env_jobs () =
+  match Sys.getenv_opt "EXO_JOBS" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> Some j
+    | _ -> None)
+  | None -> None
+
+let global_jobs : int Atomic.t = Atomic.make 0 (* 0 = not yet resolved *)
+
+let default_jobs () =
+  match Atomic.get global_jobs with
+  | j when j >= 1 -> j
+  | _ ->
+      let j =
+        match env_jobs () with
+        | Some j -> j
+        | None -> Domain.recommended_domain_count ()
+      in
+      Atomic.set global_jobs j;
+      j
+
+(** Override the process-wide default width ([--jobs]/[-j] in the CLIs).
+    Values below 1 are clamped to 1. *)
+let set_default_jobs j = Atomic.set global_jobs (max 1 j)
+
+let create ?jobs () = { jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) }
+let jobs t = t.jobs
+
+(** The process-wide pool: width from [set_default_jobs], else [EXO_JOBS],
+    else [Domain.recommended_domain_count ()]. *)
+let global () = create ()
+
+let map_array (t : t) (f : 'a -> 'b) (xs : 'a array) : 'b array =
+  let n = Array.length xs in
+  let width = min t.jobs n in
+  if width <= 1 then Array.map f xs
+  else begin
+    let results : ('b, exn) result option array = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let failed = Atomic.make false in
+    (* a few chunks per domain so a slow item doesn't serialize the tail *)
+    let chunk = max 1 (n / (width * 4)) in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        if Atomic.get failed then continue := false
+        else begin
+          let start = Atomic.fetch_and_add cursor chunk in
+          if start >= n then continue := false
+          else
+            for i = start to min n (start + chunk) - 1 do
+              match f xs.(i) with
+              | y -> results.(i) <- Some (Ok y)
+              | exception e ->
+                  results.(i) <- Some (Error e);
+                  Atomic.set failed true
+            done
+        end
+      done
+    in
+    let domains = List.init (width - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    if Atomic.get failed then begin
+      (* deterministic: re-raise the lowest-indexed failure *)
+      Array.iter (function Some (Error e) -> raise e | _ -> ()) results;
+      assert false
+    end;
+    Array.map
+      (function
+        | Some (Ok y) -> y
+        | Some (Error _) -> assert false
+        | None ->
+            (* unreachable unless [failed] was set, handled above *)
+            assert false)
+      results
+  end
+
+let map (t : t) (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  Array.to_list (map_array t f (Array.of_list xs))
+
+let iter (t : t) (f : 'a -> unit) (xs : 'a list) : unit =
+  ignore (map t f xs)

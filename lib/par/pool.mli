@@ -1,0 +1,40 @@
+(** Fixed-width domain pool for data-parallel sweeps.
+
+    One engine behind every sweep in the repo: a fixed number of domains
+    consume a chunked work queue (atomic cursor, a few items per grab) and
+    write results into index-addressed slots, so for a pure [f] the output
+    of [map pool f xs] equals [List.map f xs] for every pool width. At
+    width 1 (the sequential fallback — one core, [--jobs 1], or a
+    single-item list) no domain is spawned at all.
+
+    Domains are region-scoped: each [map] spawns [width - 1] workers, the
+    caller works too, and all join before [map] returns — nothing leaks
+    past a parallel region.
+
+    If [f] raises, the pool stops handing out chunks, joins, and re-raises
+    the exception of the lowest-indexed failing item (deterministic). *)
+
+type t
+
+(** [create ?jobs ()] — a pool of [jobs] domains (default: the process-wide
+    width, see {!default_jobs}). Clamped to at least 1. *)
+val create : ?jobs:int -> unit -> t
+
+val jobs : t -> int
+
+(** The process-wide default width: the last {!set_default_jobs}, else the
+    [EXO_JOBS] environment variable, else
+    [Domain.recommended_domain_count ()]. *)
+val default_jobs : unit -> int
+
+(** Override the process-wide default width (the [--jobs] flags). *)
+val set_default_jobs : int -> unit
+
+(** A pool at the process-wide default width. *)
+val global : unit -> t
+
+(** Parallel map with deterministic (input-order) results. *)
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+val iter : t -> ('a -> unit) -> 'a list -> unit

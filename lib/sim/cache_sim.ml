@@ -1,75 +1,269 @@
-(** A set-associative LRU cache simulator.
+(** A set-associative LRU cache simulator over stride-compressed traces.
 
     The analytical blocking model ({!Exo_blis.Analytical}) *asserts* that its
     (mc, kc, nc) keep the Bc sliver in L1, the Ac block in L2 and the Bc
     panel in L3. This module checks that claim empirically: it simulates the
     byte-level address trace of the packed BLIS macro-kernel — packing
     writes, per-call panel reads, C-tile updates — through a three-level
-    LRU hierarchy and reports per-level miss counts. The ablation bench runs
-    it with the analytical blocking against deliberately bad blockings. *)
+    LRU hierarchy and reports per-level miss counts, split by read/write
+    with write-allocate fills and dirty-line writebacks.
+
+    Two trace consumers share one canonical trace:
+
+    - the COMPRESSED path ({!access_run}) consumes stride-run events
+      ([base, stride, count]) in O(lines touched) instead of O(elements):
+      within a run, every element after the first on a cache line is a
+      guaranteed L1 hit (the line is most-recently-used, nothing intervened)
+      and is accounted with a counter bump instead of a tag-array walk. This
+      is what makes the ablation affordable on the real Carmel hierarchy at
+      the paper's ≥1000³ sizes;
+    - the ELEMENT-LEVEL path ({!access}) replays the same events one
+      reference at a time through the full lookup — the reference oracle.
+      A qcheck property pins the two bit-identical on every statistic.
+
+    Replacement decisions are identical by construction: both paths run the
+    same lookup code (a single-pass hit-or-evict way scan for narrow sets,
+    a SWAR signature filter + victim scan for wide ones), and the
+    compressed path's collapsed hits touch no LRU state (re-stamping an
+    already-MRU line cannot change any later eviction). *)
+
+type rw = Read | Write
 
 type level = {
   name : string;
   sets : int;
   assoc : int;
   line : int;
-  tags : int array;  (** [sets * assoc], -1 = invalid *)
-  ages : int array;  (** LRU stamps *)
+  data : int array;
+      (** [sets * assoc] ints, set-major, ONE word per way packing
+          everything the scan needs: [((tag*2 + dirty) << 44) | stamp] when
+          valid (≥ 0), [(-1) << 44] when invalid (< 0, and its stamp field
+          reads as 0 — exactly the age an untouched way has, so victim
+          selection is unchanged). A 16-way set is 128 contiguous bytes —
+          two host cache lines instead of six across three arrays — which
+          is what makes the L2/L3 scans every simulated L1 miss pays cheap
+          on the host. Stamps are bounded by {!age_mask} (~1.7e13
+          references; the clock guard raises past it). *)
+  sigs : int array;
+      (** Tag-signature filter for wide sets ([sig_words] > 0): per set,
+          ⌈assoc/4⌉ words of four 15-bit lanes, lane [w mod 4] of word
+          [w/4] holding way [w]'s low tag bits. A lookup SWAR-scans four
+          ways per word for a candidate lane and verifies it against
+          [data] — so a hit in a 16-way set reads ~4 words instead of 16,
+          and the full age scan runs only on true misses. Signatures are
+          a pure filter (false positives rejected by the verify, zero
+          lanes never missed), so replacement semantics are untouched. *)
+  sig_words : int;  (** ⌈assoc/4⌉ when the filter is engaged (assoc > 4), else 0 *)
+  line_shift : int;  (** log2 line when the line size is a power of two, else -1 *)
+  set_mask : int;  (** sets - 1 when the set count is a power of two, else -1 *)
+  set_shift : int;  (** log2 sets when a power of two, else -1 *)
   mutable clock : int;
   mutable accesses : int;
   mutable misses : int;
+  mutable writebacks : int;  (** dirty lines evicted from this level *)
+  mutable pending_wb : int;  (** line base address evicted dirty by the last
+                                 lookup, -1 if none — consumed by the caller *)
 }
+
+let log2_pow2 n = if n > 0 && n land (n - 1) = 0 then
+    (let rec go i = if 1 lsl i = n then i else go (i + 1) in go 0)
+  else -1
+
+(* way-word layout: stamp in the low 44 bits, dirty at bit 44, tag above *)
+let age_bits = 44
+let age_mask = (1 lsl age_bits) - 1
+let dirty_bit = 1 lsl age_bits
+let invalid_word = -1 lsl age_bits
+
+(* signature lanes: 4 × 15 bits per word (63-bit OCaml ints) *)
+let lane_bits = 15
+let lane_mask = (1 lsl lane_bits) - 1
+let bcast_lo = 1 lor (1 lsl 15) lor (1 lsl 30) lor (1 lsl 45)
+let bcast_hi = bcast_lo lsl (lane_bits - 1)
 
 let create_level ~name (c : Exo_isa.Machine.cache) : level =
   let sets = Exo_isa.Machine.cache_sets c in
+  let sig_words = if c.assoc > 4 then (c.assoc + 3) / 4 else 0 in
   {
     name;
     sets;
     assoc = c.assoc;
     line = c.line_bytes;
-    tags = Array.make (sets * c.assoc) (-1);
-    ages = Array.make (sets * c.assoc) 0;
+    data = Array.make (sets * c.assoc) invalid_word;
+    sigs = Array.make (max 1 (sets * sig_words)) 0;
+    sig_words;
+    line_shift = log2_pow2 c.line_bytes;
+    set_mask = (if log2_pow2 sets >= 0 then sets - 1 else -1);
+    set_shift = log2_pow2 sets;
     clock = 0;
     accesses = 0;
     misses = 0;
+    writebacks = 0;
+    pending_wb = -1;
   }
 
-(** One reference at [addr]; returns whether it hit. *)
-let access_level (l : level) (addr : int) : bool =
+let[@inline] block_of (l : level) (addr : int) : int =
+  if l.line_shift >= 0 then addr lsr l.line_shift else addr / l.line
+
+(* Single-pass hit-or-evict scan as a top-level tail-recursive int loop —
+   all state lives in registers: no ref cells and no local closure (without
+   flambda either would be a minor-heap allocation per lookup, and this is
+   THE hot loop; a local [let rec] capturing [data]/[limit]/[tag] still
+   allocates its closure). One packed word is loaded per way. Returns the
+   hit offset, or [lnot victim] (< 0) after a full scan — the victim is the
+   first way with the minimal stamp, the reference LRU order (an invalid
+   way's stamp field reads 0, below every real stamp). The caller
+   guarantees offsets stay inside [base, limit) ⊆ [0, sets*assoc), so the
+   unsafe accesses hold. *)
+let rec scan_ways data limit tag o hit victim oldest =
+  if o >= limit then if hit >= 0 then hit else lnot victim
+  else
+    let w = Array.unsafe_get data o in
+    (* valid word asr 45 = tag; the invalid word asr 45 = -1, and tags are
+       ≥ 0, so the shifted compare also rejects invalid ways. Both the hit
+       and the running-minimum updates are mask selects — the way a hit or
+       a fresher stamp lands on is data-dependent, so a conditional here
+       mispredicts constantly, and this loop runs once per way per lookup. *)
+    let x = (w asr (age_bits + 1)) lxor tag in
+    let hm = lnot ((x lor -x) asr 62) in
+    (* hm = -1 iff the tag matches: [x lor -x] has its sign bit set for
+       any x ≠ 0 (including the negative x an invalid way produces) and
+       clear only for x = 0 *)
+    let hit = hit lxor ((hit lxor o) land hm) in
+    let age = w land age_mask in
+    let am = (age - oldest) asr 62 in
+    (* am = -1 iff age < oldest: both are ≤ age_mask, the difference
+       cannot overflow *)
+    let victim = victim lxor ((victim lxor o) land am) in
+    let oldest = oldest lxor ((oldest lxor age) land am) in
+    scan_ways data limit tag (o + 1) hit victim oldest
+
+(* Victim-only scan for the signature path, where "no candidate lane"
+   already proved the tag absent: the first way with the minimal stamp. *)
+let rec scan_victim data limit o victim oldest =
+  if o >= limit then victim
+  else
+    let age = Array.unsafe_get data o land age_mask in
+    let am = (age - oldest) asr 62 in
+    let victim = victim lxor ((victim lxor o) land am) in
+    let oldest = oldest lxor ((oldest lxor age) land am) in
+    scan_victim data limit (o + 1) victim oldest
+
+(* Find the way holding [tag] via the signature filter: SWAR zero-lane
+   detection over ⌈assoc/4⌉ words — [x - lo) land (lnot x) land hi] flags
+   every lane equal to the broadcast tag signature (zero lanes are never
+   missed; a borrow out of a zero lane can at worst flag a neighbouring
+   lane, which the verify against [data] rejects, like any low-bits
+   alias). Returns the data offset of the hit way, or -1. [base]/[limit]
+   bound the set's data words, [sbase] its signature words. *)
+let swar_find data sigs tag base limit sbase nwords =
+  let t = (tag land lane_mask) * bcast_lo in
+  let rec words i =
+    if i >= nwords then -1
+    else
+      let x = Array.unsafe_get sigs (sbase + i) lxor t in
+      let cand = (x - bcast_lo) land lnot x land bcast_hi in
+      if cand = 0 then words (i + 1) else lanes i cand
+  and lanes i cand =
+    if cand = 0 then words (i + 1)
+    else
+      let b = cand land -cand in
+      let lane =
+        if b >= 1 lsl 44 then if b >= 1 lsl 59 then 3 else 2
+        else if b >= 1 lsl 29 then 1
+        else 0
+      in
+      let o = base + (i * 4) + lane in
+      (* padding lanes of a non-multiple-of-4 set stay zero and can alias
+         a zero signature; they map past [limit] and are skipped *)
+      if o < limit && Array.unsafe_get data o asr (age_bits + 1) = tag then o
+      else lanes i (cand lxor b)
+  in
+  words 0
+
+(* Record [tag]'s signature for the way at data offset [v]. *)
+let sig_fill sigs tag base v sbase =
+  let w = v - base in
+  let si = sbase + (w asr 2) in
+  let sh = (w land 3) * lane_bits in
+  Array.unsafe_set sigs si
+    ((Array.unsafe_get sigs si land lnot (lane_mask lsl sh))
+    lor ((tag land lane_mask) lsl sh))
+
+(** One reference to the cache [block]; returns whether it hit. A single
+    pass over the set both finds the hit way and tracks the LRU victim (the
+    first way with the minimal stamp, exactly the two-pass reference
+    order). On a miss the victim is filled; if it was dirty its line base
+    address is left in [pending_wb] for the caller to propagate. *)
+let access_block (l : level) (block : int) (rw : rw) : bool =
   l.accesses <- l.accesses + 1;
   l.clock <- l.clock + 1;
-  let block = addr / l.line in
-  let set = block mod l.sets in
-  let tag = block / l.sets in
+  if l.clock > age_mask then
+    invalid_arg "Cache_sim: reference clock exceeded the packed stamp range";
+  let set = if l.set_mask >= 0 then block land l.set_mask else block mod l.sets in
+  let tag = if l.set_shift >= 0 then block asr l.set_shift else block / l.sets in
+  let data = l.data in
   let base = set * l.assoc in
-  let hit_way = ref (-1) in
-  for w = base to base + l.assoc - 1 do
-    if l.tags.(w) = tag then hit_way := w
-  done;
-  if !hit_way >= 0 then begin
-    l.ages.(!hit_way) <- l.clock;
+  let limit = base + l.assoc in
+  let r =
+    if l.sig_words = 0 then scan_ways data limit tag base (-1) base max_int
+    else
+      let h = swar_find data l.sigs tag base limit (set * l.sig_words) l.sig_words in
+      if h >= 0 then h else lnot (scan_victim data limit base base max_int)
+  in
+  if r >= 0 then begin
+    let w = Array.unsafe_get data r in
+    let w = (w land lnot age_mask) lor l.clock in
+    Array.unsafe_set data r (match rw with Write -> w lor dirty_bit | Read -> w);
     true
   end
   else begin
-    (* evict the least recently used way *)
-    let victim = ref base and oldest = ref max_int in
-    for w = base to base + l.assoc - 1 do
-      if l.ages.(w) < !oldest then begin
-        oldest := l.ages.(w);
-        victim := w
-      end
-    done;
     l.misses <- l.misses + 1;
-    l.tags.(!victim) <- tag;
-    l.ages.(!victim) <- l.clock;
+    let v = lnot r in
+    let w = Array.unsafe_get data v in
+    if w >= 0 && w land dirty_bit <> 0 then begin
+      l.writebacks <- l.writebacks + 1;
+      let victim_block = ((w asr (age_bits + 1)) * l.sets) + set in
+      l.pending_wb <- victim_block * l.line
+    end;
+    let filled = (tag lsl (age_bits + 1)) lor l.clock in
+    Array.unsafe_set data v (match rw with Write -> filled lor dirty_bit | Read -> filled);
+    if l.sig_words > 0 then sig_fill l.sigs tag base v (set * l.sig_words);
     false
   end
+
+(** One reference at byte [addr]; returns whether it hit. *)
+let access_level ?(rw = Read) (l : level) (addr : int) : bool =
+  access_block l (block_of l addr) rw
+
+(** Silent probe: is the line holding [addr] resident? If so, mark it dirty
+    (a writeback from the level above landing here). No counters, no LRU
+    update — writeback traffic must not perturb the replacement state the
+    element-level oracle defines. *)
+let probe_mark_dirty (l : level) (addr : int) : bool =
+  let block = block_of l addr in
+  let set = if l.set_mask >= 0 then block land l.set_mask else block mod l.sets in
+  let tag = if l.set_shift >= 0 then block asr l.set_shift else block / l.sets in
+  let data = l.data in
+  let base = set * l.assoc in
+  let limit = base + l.assoc in
+  let r =
+    if l.sig_words = 0 then scan_ways data limit tag base (-1) base max_int
+    else swar_find data l.sigs tag base limit (set * l.sig_words) l.sig_words
+  in
+  if r >= 0 then begin
+    Array.unsafe_set data r (Array.unsafe_get data r lor dirty_bit);
+    true
+  end
+  else false
 
 type hierarchy = {
   l1 : level;
   l2 : level;
   l3 : level;
   mutable dram_lines : int;
+  mutable dram_wb : int;  (** dirty lines written back to memory *)
+  mutable w_refs : int;  (** references that were stores *)
   mutable in_kernel : bool;  (** inside the micro-kernel (vs packing) *)
   mutable krefs : int;
   mutable kl1_miss : int;
@@ -81,21 +275,137 @@ let create (m : Exo_isa.Machine.t) : hierarchy =
     l2 = create_level ~name:"L2" m.Exo_isa.Machine.l2;
     l3 = create_level ~name:"L3" m.Exo_isa.Machine.l3;
     dram_lines = 0;
+    dram_wb = 0;
+    w_refs = 0;
     in_kernel = false;
     krefs = 0;
     kl1_miss = 0;
   }
 
-(** A reference that misses a level continues to the next. *)
-let access (h : hierarchy) (addr : int) : unit =
-  let l1_hit = access_level h.l1 addr in
+(* A dirty line evicted from [l1] (resp. [l2]) is written back to the next
+   level that still holds it; beyond the LLC it is memory write traffic.
+   Dirty data only ever enters a lower level through this path — a write
+   miss allocates dirty in L1 and clean below. *)
+let writeback_from_l1 (h : hierarchy) (addr : int) : unit =
+  if not (probe_mark_dirty h.l2 addr) then
+    if not (probe_mark_dirty h.l3 addr) then h.dram_wb <- h.dram_wb + 1
+
+let writeback_from_l2 (h : hierarchy) (addr : int) : unit =
+  if not (probe_mark_dirty h.l3 addr) then h.dram_wb <- h.dram_wb + 1
+
+(* The below-L1 part of a reference that missed L1: drain the L1 victim
+   writeback, then fetch through L2/L3 (write-allocate — the L1 fill is
+   what carries the dirty bit, so the lower lookups are plain reads). *)
+let fill_below_l1 (h : hierarchy) (addr : int) : unit =
+  if h.l1.pending_wb >= 0 then begin
+    writeback_from_l1 h h.l1.pending_wb;
+    h.l1.pending_wb <- -1
+  end;
+  if not (access_block h.l2 (block_of h.l2 addr) Read) then begin
+    if h.l2.pending_wb >= 0 then begin
+      writeback_from_l2 h h.l2.pending_wb;
+      h.l2.pending_wb <- -1
+    end;
+    if not (access_block h.l3 (block_of h.l3 addr) Read) then begin
+      if h.l3.pending_wb >= 0 then begin
+        h.dram_wb <- h.dram_wb + 1;
+        h.l3.pending_wb <- -1
+      end;
+      h.dram_lines <- h.dram_lines + 1
+    end
+  end
+
+(** One line-granule reference cascading through the hierarchy: a level
+    that misses fetches from the next (write-allocate — stores fetch the
+    line too), and dirty victims write back on their way out. *)
+let access_line (h : hierarchy) (addr : int) (rw : rw) : bool =
+  let l1_hit = access_block h.l1 (block_of h.l1 addr) rw in
+  if not l1_hit then fill_below_l1 h addr;
+  l1_hit
+
+(** The element-level reference path: one reference at [addr]. This is the
+    oracle the compressed path is checked against. *)
+let access ?(rw = Read) (h : hierarchy) (addr : int) : unit =
+  (match rw with Write -> h.w_refs <- h.w_refs + 1 | Read -> ());
+  let l1_hit = access_line h addr rw in
   if h.in_kernel then begin
     h.krefs <- h.krefs + 1;
     if not l1_hit then h.kl1_miss <- h.kl1_miss + 1
-  end;
-  if not l1_hit then
-    if not (access_level h.l2 addr) then
-      if not (access_level h.l3 addr) then h.dram_lines <- h.dram_lines + 1
+  end
+
+(** A stride-run event: [count] references at [base, base + stride_bytes,
+    base + 2*stride_bytes, ...], all reads or all writes. Consumed in
+    O(lines touched): each line gets one full lookup (the run's first
+    reference on it); every further reference on the same line is a
+    guaranteed L1 hit — the line is most-recently-used and nothing
+    intervened — and is folded into the counters without a tag-array walk
+    or an LRU re-stamp (re-stamping an already-MRU line cannot change any
+    later replacement decision). Per-run counters are hoisted out of the
+    line walk entirely, so the amortized cost per collapsed reference is a
+    fraction of an add. Equivalent, statistic for statistic, to [count]
+    calls of {!access} — the qcheck suite pins this. *)
+let access_run (h : hierarchy) ?(rw = Read) ?(kernel = false) ~(base : int)
+    ~(stride_bytes : int) ~(count : int) () : unit =
+  if count < 0 || stride_bytes < 0 then
+    invalid_arg "Cache_sim.access_run: negative count or stride";
+  if count > 0 then begin
+    (match rw with Write -> h.w_refs <- h.w_refs + count | Read -> ());
+    if kernel then h.krefs <- h.krefs + count;
+    let line = h.l1.line in
+    (* the walks are tail-recursive int loops — lookup/miss tallies are
+       accumulator arguments, not ref cells (which would be a minor-heap
+       allocation per event without flambda); only the final pair per run
+       event is allocated *)
+    let lookups, misses =
+      if stride_bytes = 0 then (1, if access_line h base rw then 0 else 1)
+      else if stride_bytes >= line then begin
+        (* every reference lands on its own line *)
+        let rec go e misses =
+          if e >= count then misses
+          else
+            go (e + 1)
+              (if access_line h (base + (e * stride_bytes)) rw then misses
+               else misses + 1)
+        in
+        (count, go 0 0)
+      end
+      else begin
+        (* sub-line stride: walk line by line; addresses are monotonic so a
+           line is never revisited once left — each iteration steps to
+           exactly the next L1 block, so the block index is carried along
+           instead of recomputed from the address, and the L1 lookup is
+           made directly (the below-L1 cascade only runs on a miss). The
+           per-line element count is a shift when the stride is a power of
+           two (the f32/f64 element strides every GEMM trace uses). *)
+        let sshift = log2_pow2 stride_bytes in
+        let l1 = h.l1 in
+        let rec go addr blk remaining lookups misses =
+          if remaining <= 0 then (lookups, misses)
+          else begin
+            let miss =
+              if access_block l1 blk rw then 0
+              else begin
+                fill_below_l1 h addr;
+                1
+              end
+            in
+            let gap = ((blk + 1) * line) - addr in
+            let fit =
+              if sshift >= 0 then ((gap - 1) asr sshift) + 1
+              else ((gap - 1) / stride_bytes) + 1
+            in
+            let in_line = if fit < remaining then fit else remaining in
+            go (addr + (in_line * stride_bytes)) (blk + 1)
+              (remaining - in_line) (lookups + 1) (misses + miss)
+          end
+        in
+        go base (block_of h.l1 base) count 0 0
+      end
+    in
+    (* collapsed same-line hits: counted, no LRU traffic *)
+    h.l1.accesses <- h.l1.accesses + (count - lookups);
+    if kernel then h.kl1_miss <- h.kl1_miss + misses
+  end
 
 type stats = {
   refs : int;
@@ -105,6 +415,11 @@ type stats = {
   dram : int;
   kernel_refs : int;  (** micro-kernel phase only *)
   kernel_l1_miss : int;
+  writes : int;  (** references that were stores *)
+  l1_wb : int;  (** dirty lines evicted from L1 *)
+  l2_wb : int;
+  l3_wb : int;
+  dram_wb : int;  (** dirty lines written back to memory *)
 }
 
 let stats (h : hierarchy) : stats =
@@ -116,6 +431,11 @@ let stats (h : hierarchy) : stats =
     dram = h.dram_lines;
     kernel_refs = h.krefs;
     kernel_l1_miss = h.kl1_miss;
+    writes = h.w_refs;
+    l1_wb = h.l1.writebacks;
+    l2_wb = h.l2.writebacks;
+    l3_wb = h.l3.writebacks;
+    dram_wb = h.dram_wb;
   }
 
 (** Kernel-phase L1 miss ratio — the number the analytical model's L1 story
@@ -125,23 +445,42 @@ let kernel_l1_rate (s : stats) : float =
 
 let pp_stats ppf (s : stats) =
   Fmt.pf ppf
-    "refs=%d L1-miss=%.2f%% kernel-L1-miss=%.2f%% L2-miss=%d L3-miss=%d      DRAM-lines=%d"
+    "refs=%d (%.0f%% st) L1-miss=%.2f%% kernel-L1-miss=%.2f%% L2-miss=%d \
+     L3-miss=%d DRAM-lines=%d+%dwb"
     s.refs
+    (100.0 *. float_of_int s.writes /. float_of_int (max 1 s.refs))
     (100.0 *. float_of_int s.l1_miss /. float_of_int (max 1 s.refs))
     (100.0 *. kernel_l1_rate s)
-    s.l2_miss s.l3_miss s.dram
+    s.l2_miss s.l3_miss s.dram s.dram_wb
 
 (* ------------------------------------------------------------------ *)
 (* The packed-GEMM address trace                                        *)
 
-(** Simulate the memory behaviour of the BLIS macro-kernel (Fig. 1) on an
-    m×n×k FP32 GEMM under [blocking] with an mr×nr micro-kernel: packing
-    reads/writes and the micro-kernel's per-iteration panel loads and
-    C-tile updates, element by element. Buffers occupy disjoint address
-    ranges. Returns the hierarchy statistics. *)
-let gemm_trace (m_desc : Exo_isa.Machine.t) ~(mc : int) ~(kc : int) ~(nc : int)
-    ~(mr : int) ~(nr : int) ~(m : int) ~(n : int) ~(k : int) : stats =
-  let h = create m_desc in
+(** The canonical packed-BLIS trace of an m×n×k FP32 GEMM under [blocking]
+    with an mr×nr micro-kernel, as stride-run events. [emit ~kernel ~rw
+    ~base ~stride ~count] receives every event; the element expansion of
+    this stream IS the trace — both consumers ({!gemm_trace} and the
+    element-level {!gemm_trace_element}) see the same canonical order.
+
+    The order is run-maximal, matching how the BLIS routines actually
+    stream memory rather than a per-element pairing:
+
+    - pack B copies row-panel-wise: each of the kc rows of the Bc panel is
+      read as one unit-stride run of nc elements, then written across the
+      nr-wide packed panels (the pack routine's inner copy loops);
+    - pack A copies row-wise: each of the mc rows is read as one
+      unit-stride run of kc elements and written into its mr-wide panel
+      (stride mr·s across the k index);
+    - the micro-kernel phase — the vast majority of references — is pure
+      long runs: the C tile row by row (unit stride, nr wide), and the Ar
+      and Br packed panels each as ONE contiguous unit-stride run of
+      kc·mr / kc·nr elements (panel-major layout makes consecutive k
+      iterations adjacent). *)
+let emit_gemm_trace ~(mc : int) ~(kc : int) ~(nc : int) ~(mr : int) ~(nr : int)
+    ~(m : int) ~(n : int) ~(k : int)
+    ~(emit :
+       kernel:bool -> rw:rw -> base:int -> stride:int -> count:int -> unit) :
+    unit =
   let s = 4 in
   (* disjoint base addresses *)
   let a_base = 0 in
@@ -149,33 +488,39 @@ let gemm_trace (m_desc : Exo_isa.Machine.t) ~(mc : int) ~(kc : int) ~(nc : int)
   let c_base = b_base + (k * n * s) in
   let packa_base = c_base + (m * n * s) in
   let packb_base = packa_base + (mc * kc * s) in
-  let touch addr = access h addr in
   let jc = ref 0 in
   while !jc < n do
     let ncb = min nc (n - !jc) in
     let pc = ref 0 in
     while !pc < k do
       let kcb = min kc (k - !pc) in
-      (* pack B: read B, write packB in nr-wide panels (the BLIS layout) *)
-      for j = 0 to ncb - 1 do
-        for kk = 0 to kcb - 1 do
-          touch (b_base + ((((!pc + kk) * n) + !jc + j) * s));
-          let panel = j / nr and jj = j mod nr in
+      (* pack B row-panel-wise: stream each B row in, write it across the
+         nr-wide panels of the BLIS layout *)
+      let b_panels = (ncb + nr - 1) / nr in
+      for kk = 0 to kcb - 1 do
+        emit ~kernel:false ~rw:Read
+          ~base:(b_base + ((((!pc + kk) * n) + !jc) * s))
+          ~stride:s ~count:ncb;
+        for panel = 0 to b_panels - 1 do
           let w = min nr (ncb - (panel * nr)) in
-          touch (packb_base + ((panel * kcb * nr) + (kk * w) + jj) * s)
+          emit ~kernel:false ~rw:Write
+            ~base:(packb_base + (((panel * kcb * nr) + (kk * w)) * s))
+            ~stride:s ~count:w
         done
       done;
       let ic = ref 0 in
       while !ic < m do
         let mcb = min mc (m - !ic) in
-        (* pack A: read A, write packA in mr-wide panels *)
+        (* pack A row-wise into mr-wide panels *)
         for i = 0 to mcb - 1 do
-          for kk = 0 to kcb - 1 do
-            touch (a_base + ((((!ic + i) * k) + !pc + kk) * s));
-            let panel = i / mr and ii = i mod mr in
-            let w = min mr (mcb - (panel * mr)) in
-            touch (packa_base + ((panel * kcb * mr) + (kk * w) + ii) * s)
-          done
+          let panel = i / mr and ii = i mod mr in
+          let w = min mr (mcb - (panel * mr)) in
+          emit ~kernel:false ~rw:Read
+            ~base:(a_base + ((((!ic + i) * k) + !pc) * s))
+            ~stride:s ~count:kcb;
+          emit ~kernel:false ~rw:Write
+            ~base:(packa_base + (((panel * kcb * mr) + ii) * s))
+            ~stride:(w * s) ~count:kcb
         done;
         (* micro-kernel sweeps *)
         let jr = ref 0 in
@@ -184,31 +529,24 @@ let gemm_trace (m_desc : Exo_isa.Machine.t) ~(mc : int) ~(kc : int) ~(nc : int)
           let ir = ref 0 in
           while !ir < mcb do
             let mrb = min mr (mcb - !ir) in
-            h.in_kernel <- true;
-            (* C tile load *)
-            for j = 0 to nrb - 1 do
-              for i = 0 to mrb - 1 do
-                touch (c_base + ((((!ic + !ir + i) * n) + !jc + !jr + j) * s))
-              done
+            let c_row i =
+              c_base + ((((!ic + !ir + i) * n) + !jc + !jr) * s)
+            in
+            (* C tile load, row by row *)
+            for i = 0 to mrb - 1 do
+              emit ~kernel:true ~rw:Read ~base:(c_row i) ~stride:s ~count:nrb
             done;
-            (* k loop: Ar and Br panel reads (panel-major, unit stride) *)
-            let a_panel = packa_base + (!ir / mr * kcb * mr * s) in
-            let b_panel = packb_base + (!jr / nr * kcb * nr * s) in
-            for kk = 0 to kcb - 1 do
-              for i = 0 to mrb - 1 do
-                touch (a_panel + (((kk * mrb) + i) * s))
-              done;
-              for j = 0 to nrb - 1 do
-                touch (b_panel + (((kk * nrb) + j) * s))
-              done
-            done;
+            (* the k loop streams each packed panel once, contiguously *)
+            emit ~kernel:true ~rw:Read
+              ~base:(packa_base + (!ir / mr * kcb * mr * s))
+              ~stride:s ~count:(kcb * mrb);
+            emit ~kernel:true ~rw:Read
+              ~base:(packb_base + (!jr / nr * kcb * nr * s))
+              ~stride:s ~count:(kcb * nrb);
             (* C tile store *)
-            for j = 0 to nrb - 1 do
-              for i = 0 to mrb - 1 do
-                touch (c_base + ((((!ic + !ir + i) * n) + !jc + !jr + j) * s))
-              done
+            for i = 0 to mrb - 1 do
+              emit ~kernel:true ~rw:Write ~base:(c_row i) ~stride:s ~count:nrb
             done;
-            h.in_kernel <- false;
             ir := !ir + mr
           done;
           jr := !jr + nr
@@ -218,5 +556,29 @@ let gemm_trace (m_desc : Exo_isa.Machine.t) ~(mc : int) ~(kc : int) ~(nc : int)
       pc := !pc + kc
     done;
     jc := !jc + nc
-  done;
+  done
+
+(** Simulate the memory behaviour of the BLIS macro-kernel (Fig. 1) through
+    the compressed stride-run path. This is the default: fast enough for
+    the real Carmel hierarchy at the paper's ≥1000³ sizes. *)
+let gemm_trace (m_desc : Exo_isa.Machine.t) ~(mc : int) ~(kc : int) ~(nc : int)
+    ~(mr : int) ~(nr : int) ~(m : int) ~(n : int) ~(k : int) : stats =
+  let h = create m_desc in
+  emit_gemm_trace ~mc ~kc ~nc ~mr ~nr ~m ~n ~k
+    ~emit:(fun ~kernel ~rw ~base ~stride ~count ->
+      access_run h ~rw ~kernel ~base ~stride_bytes:stride ~count ());
+  stats h
+
+(** The same trace replayed element by element through the full lookup —
+    the reference oracle the compressed path is pinned against. *)
+let gemm_trace_element (m_desc : Exo_isa.Machine.t) ~(mc : int) ~(kc : int)
+    ~(nc : int) ~(mr : int) ~(nr : int) ~(m : int) ~(n : int) ~(k : int) : stats
+    =
+  let h = create m_desc in
+  emit_gemm_trace ~mc ~kc ~nc ~mr ~nr ~m ~n ~k
+    ~emit:(fun ~kernel ~rw ~base ~stride ~count ->
+      h.in_kernel <- kernel;
+      for e = 0 to count - 1 do
+        access ~rw h (base + (e * stride))
+      done);
   stats h

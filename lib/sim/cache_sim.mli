@@ -1,32 +1,59 @@
-(** Set-associative LRU cache simulator.
+(** Set-associative LRU cache simulator over stride-compressed traces.
 
     Checks the analytical blocking model's residency claims empirically: the
     byte-level address trace of the packed BLIS macro-kernel (packing,
     panel reads, C-tile updates) runs through a three-level LRU hierarchy
-    and per-level miss counts come out. *)
+    and per-level miss counts come out, split by read/write with
+    write-allocate fills and dirty-line writebacks.
+
+    The default consumer ({!gemm_trace}) is stride-run compressed —
+    O(lines touched) per run instead of O(elements) — which makes the
+    cache ablation affordable on the real Carmel hierarchy at the paper's
+    ≥1000³ problem sizes. The element-level path ({!gemm_trace_element},
+    built on {!access}) is kept as the reference oracle; a qcheck property
+    pins the two bit-identical on every statistic. *)
+
+type rw = Read | Write
 
 type level = {
   name : string;
   sets : int;
   assoc : int;
   line : int;
-  tags : int array;
-  ages : int array;
+  data : int array;
+      (** [sets * assoc] ints, set-major, one packed word per way:
+          [((tag*2 + dirty) << 44) | stamp] when valid, negative when
+          invalid *)
+  sigs : int array;
+      (** tag-signature filter for wide sets: four 15-bit lanes per word,
+          SWAR-scanned so a hit reads ~assoc/4 words; candidates are
+          verified against [data], so it is a pure filter *)
+  sig_words : int;  (** ⌈assoc/4⌉ when the filter is engaged (assoc > 4), else 0 *)
+  line_shift : int;  (** log2 line when a power of two, else -1 *)
+  set_mask : int;  (** sets - 1 when a power of two, else -1 *)
+  set_shift : int;  (** log2 sets when a power of two, else -1 *)
   mutable clock : int;
   mutable accesses : int;
   mutable misses : int;
+  mutable writebacks : int;  (** dirty lines evicted from this level *)
+  mutable pending_wb : int;
+      (** line base address evicted dirty by the last lookup, -1 if none —
+          consumed (and reset) by the hierarchy cascade *)
 }
 
 val create_level : name:string -> Exo_isa.Machine.cache -> level
 
-(** One reference; [true] on hit. LRU replacement. *)
-val access_level : level -> int -> bool
+(** One reference; [true] on hit. LRU replacement; a write marks the line
+    dirty, and a dirty victim leaves its address in [pending_wb]. *)
+val access_level : ?rw:rw -> level -> int -> bool
 
 type hierarchy = {
   l1 : level;
   l2 : level;
   l3 : level;
   mutable dram_lines : int;
+  mutable dram_wb : int;  (** dirty lines written back to memory *)
+  mutable w_refs : int;  (** references that were stores *)
   mutable in_kernel : bool;
   mutable krefs : int;
   mutable kl1_miss : int;
@@ -34,17 +61,39 @@ type hierarchy = {
 
 val create : Exo_isa.Machine.t -> hierarchy
 
-(** A reference that misses a level continues to the next. *)
-val access : hierarchy -> int -> unit
+(** One element reference cascading through the hierarchy (the oracle
+    path): a level that misses fetches from the next (write-allocate), and
+    dirty victims write back on their way out. *)
+val access : ?rw:rw -> hierarchy -> int -> unit
+
+(** [access_run h ~rw ~kernel ~base ~stride_bytes ~count ()] — a stride-run
+    of [count] references, consumed in O(lines touched): within a run every
+    element after the first on a cache line is a guaranteed L1 hit and is
+    accounted with a counter bump instead of a tag-array walk. Equivalent,
+    statistic for statistic, to [count] calls of {!access}. *)
+val access_run :
+  hierarchy ->
+  ?rw:rw ->
+  ?kernel:bool ->
+  base:int ->
+  stride_bytes:int ->
+  count:int ->
+  unit ->
+  unit
 
 type stats = {
   refs : int;
   l1_miss : int;
   l2_miss : int;
   l3_miss : int;
-  dram : int;  (** lines fetched from memory — the bandwidth proxy *)
+  dram : int;  (** lines fetched from memory — the read-bandwidth proxy *)
   kernel_refs : int;
   kernel_l1_miss : int;
+  writes : int;  (** references that were stores *)
+  l1_wb : int;  (** dirty lines evicted from L1 *)
+  l2_wb : int;
+  l3_wb : int;
+  dram_wb : int;  (** dirty lines written back to memory *)
 }
 
 val stats : hierarchy -> stats
@@ -55,10 +104,27 @@ val kernel_l1_rate : stats -> float
 
 val pp_stats : Format.formatter -> stats -> unit
 
+(** The canonical packed-BLIS address trace of an m×n×k FP32 GEMM as
+    stride-run events, in run-maximal order (packing row copies; each
+    micro-kernel call streams its Ar/Br panels as single contiguous runs
+    and the C tile row by row). Both simulation paths below consume the
+    element expansion of exactly this stream. *)
+val emit_gemm_trace :
+  mc:int -> kc:int -> nc:int -> mr:int -> nr:int -> m:int -> n:int -> k:int ->
+  emit:(kernel:bool -> rw:rw -> base:int -> stride:int -> count:int -> unit) ->
+  unit
+
 (** Simulate an m×n×k FP32 GEMM under a blocking with an mr×nr kernel:
     packing reads/writes (BLIS panel layout) and per-call panel/C-tile
-    accesses, element by element. *)
+    accesses, through the compressed stride-run path. *)
 val gemm_trace :
+  Exo_isa.Machine.t ->
+  mc:int -> kc:int -> nc:int -> mr:int -> nr:int -> m:int -> n:int -> k:int ->
+  stats
+
+(** The same trace replayed element by element — the reference oracle the
+    compressed path is pinned against (identical on every statistic). *)
+val gemm_trace_element :
   Exo_isa.Machine.t ->
   mc:int -> kc:int -> nc:int -> mr:int -> nr:int -> m:int -> n:int -> k:int ->
   stats

@@ -67,56 +67,61 @@ let variants_of (kit : Kits.t) =
     ("nopack", fun () -> Variants.nopack ~kit ~mr:8 ~nr:12 ());
   ]
 
-let run ?(kits = Kits.all) () : outcome =
-  let entries = ref [] and skipped = ref [] in
-  List.iter
-    (fun (kit : Kits.t) ->
-      let t = target_of_kit kit in
-      List.iter
-        (fun (mr, nr) ->
-          match Family.generate ~kit ~mr ~nr () with
-          | k ->
-              let label =
-                Fmt.str "%dx%d %s" mr nr (Family.style_name k.Family.style)
-              in
-              let expect = expect_of kit k.Family.style ~mr ~nr in
-              entries :=
-                { kit_name = kit.Kits.name; label;
-                  report = V.check t expect k.Family.proc }
-                :: !entries
-          | exception Exo_sched.Sched.Sched_error m ->
-              (* generation itself failed its certificate: a lint failure,
-                 not a capability skip *)
-              entries :=
-                {
-                  kit_name = kit.Kits.name;
-                  label = Fmt.str "%dx%d" mr nr;
-                  report =
-                    {
-                      V.proc_name = Fmt.str "uk_%dx%d_%s" mr nr kit.Kits.name;
-                      vregs = 0;
-                      signature = "";
-                      findings = [ { V.rule = "generate"; detail = m } ];
-                    };
-                }
-                :: !entries)
-        Family.paper_shapes;
-      List.iter
-        (fun (vname, gen) ->
-          let label = Fmt.str "%s 8x12" vname in
-          match gen () with
-          | p ->
-              entries :=
-                { kit_name = kit.Kits.name; label;
-                  report = V.check t variant_expect p }
-                :: !entries
-          | exception Invalid_argument m ->
-              skipped := (Fmt.str "%s %s" kit.Kits.name label, m) :: !skipped
-          | exception Exo_sched.Sched.Sched_error m ->
-              skipped := (Fmt.str "%s %s" kit.Kits.name label, m) :: !skipped)
-        (variants_of kit))
-    kits;
-  { entries = List.rev !entries; skipped = List.rev !skipped }
+(* One lint unit: a kernel (or variant) to generate and check. Units are
+   independent, so the sweep runs them on an {!Exo_par.Pool}; each yields
+   an entry or a skip, and the flat work-list order reproduces the original
+   nested-loop order exactly, for every pool width. *)
+type unit_result = Entry of entry | Skip of string * string
+
+let shape_unit (kit : Kits.t) t (mr, nr) () : unit_result =
+  match Family.generate ~kit ~mr ~nr () with
+  | k ->
+      let label = Fmt.str "%dx%d %s" mr nr (Family.style_name k.Family.style) in
+      let expect = expect_of kit k.Family.style ~mr ~nr in
+      Entry
+        { kit_name = kit.Kits.name; label; report = V.check t expect k.Family.proc }
+  | exception Exo_sched.Sched.Sched_error m ->
+      (* generation itself failed its certificate: a lint failure, not a
+         capability skip *)
+      Entry
+        {
+          kit_name = kit.Kits.name;
+          label = Fmt.str "%dx%d" mr nr;
+          report =
+            {
+              V.proc_name = Fmt.str "uk_%dx%d_%s" mr nr kit.Kits.name;
+              vregs = 0;
+              signature = "";
+              findings = [ { V.rule = "generate"; detail = m } ];
+            };
+        }
+
+let variant_unit (kit : Kits.t) t (vname, gen) () : unit_result =
+  let label = Fmt.str "%s 8x12" vname in
+  match gen () with
+  | p ->
+      Entry
+        { kit_name = kit.Kits.name; label; report = V.check t variant_expect p }
+  | exception Invalid_argument m -> Skip (Fmt.str "%s %s" kit.Kits.name label, m)
+  | exception Exo_sched.Sched.Sched_error m ->
+      Skip (Fmt.str "%s %s" kit.Kits.name label, m)
+
+let run ?(kits = Kits.all) ?jobs () : outcome =
+  let work =
+    List.concat_map
+      (fun (kit : Kits.t) ->
+        let t = target_of_kit kit in
+        List.map (shape_unit kit t) Family.paper_shapes
+        @ List.map (variant_unit kit t) (variants_of kit))
+      kits
+  in
+  let pool = Exo_par.Pool.create ?jobs () in
+  let results = Exo_par.Pool.map pool (fun job -> job ()) work in
+  {
+    entries = List.filter_map (function Entry e -> Some e | Skip _ -> None) results;
+    skipped =
+      List.filter_map (function Skip (l, m) -> Some (l, m) | Entry _ -> None) results;
+  }
 
 let failures (o : outcome) =
   List.length (List.filter (fun e -> not (V.ok e.report)) o.entries)

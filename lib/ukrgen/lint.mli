@@ -38,8 +38,11 @@ type outcome = {
 }
 
 (** Lint the paper family and the variants on the given kits
-    (default {!Kits.all}). *)
-val run : ?kits:Kits.t list -> unit -> outcome
+    (default {!Kits.all}). Kernels are generated and checked in parallel on
+    [jobs] domains (default {!Exo_par.Pool.default_jobs}); the outcome is
+    identical — entries in the original nested-loop order — for every
+    [jobs]. *)
+val run : ?kits:Kits.t list -> ?jobs:int -> unit -> outcome
 
 val all_ok : outcome -> bool
 

@@ -243,6 +243,60 @@ let test_tuner_shapes_not_conflated () =
   let again = Exo_blis.Tuner.sweep machine ~m ~n ~k in
   Alcotest.(check bool) "default entry preserved" true (List.length again > 1)
 
+let test_tuner_key_no_name_aliasing () =
+  (* regression: the memo key holds the machine and kit names as separate
+     tuple fields. The old key concatenated them, so machine "colneon" with
+     kit "-f32" aliased machine "col" with kit "neon-f32" and the second
+     sweep stole the first one's ranking. *)
+  let kit = Exo_ukr_gen.Kits.neon_f32 in
+  Alcotest.(check string) "kit name" "neon-f32" kit.Exo_ukr_gen.Kits.name;
+  let m1 = { machine with Exo_isa.Machine.name = "colneon" } in
+  let k1 = { kit with Exo_ukr_gen.Kits.name = "-f32" } in
+  let m2 = { machine with Exo_isa.Machine.name = "col" } in
+  let m, n, k = (211, 223, 227) in
+  let a = Exo_blis.Tuner.sweep ~kit:k1 m1 ~m ~n ~k in
+  let b = Exo_blis.Tuner.sweep ~kit m2 ~m ~n ~k in
+  Alcotest.(check bool) "distinct memo entries" false (a == b);
+  (* and each configuration still hits its own entry *)
+  Alcotest.(check bool) "entry 1 memoized" true
+    (a == Exo_blis.Tuner.sweep ~kit:k1 m1 ~m ~n ~k);
+  Alcotest.(check bool) "entry 2 memoized" true
+    (b == Exo_blis.Tuner.sweep ~kit m2 ~m ~n ~k)
+
+let test_tuner_jobs_identical () =
+  (* the ranking is identical no matter how many domains price it *)
+  let m, n, k = (311, 313, 317) in
+  Exo_blis.Tuner.clear_cache ();
+  let one = Exo_blis.Tuner.sweep ~jobs:1 machine ~m ~n ~k in
+  Exo_blis.Tuner.clear_cache ();
+  let four = Exo_blis.Tuner.sweep ~jobs:4 machine ~m ~n ~k in
+  Alcotest.(check bool) "rankings identical at 1 vs 4 domains" true (one = four)
+
+let test_driver_no_feasible_shape () =
+  (* a machine whose register file fits no candidate shape must fail with a
+     descriptive error, not a bare List.hd exception *)
+  let tiny =
+    {
+      machine with
+      Exo_isa.Machine.name = "tiny-regs";
+      vec = { machine.Exo_isa.Machine.vec with Exo_isa.Memories.num_regs = 2 };
+    }
+  in
+  match D.time tiny (D.alg_exo ()) ~m:96 ~n:96 ~k:96 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+      let has_substr s sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Fmt.str "message %S names the problem" msg)
+        true
+        (has_substr msg "no register-feasible" && has_substr msg "tiny-regs")
+
 let test_driver_time_memoized () =
   let s = D.alg_exo () in
   let a = D.time machine s ~m:301 ~n:303 ~k:305 in
@@ -316,6 +370,11 @@ let () =
           Alcotest.test_case "tuner memoized" `Quick test_tuner_memoized;
           Alcotest.test_case "tuner shapes not conflated" `Quick
             test_tuner_shapes_not_conflated;
+          Alcotest.test_case "tuner key no name aliasing" `Quick
+            test_tuner_key_no_name_aliasing;
+          Alcotest.test_case "tuner jobs identical" `Quick test_tuner_jobs_identical;
+          Alcotest.test_case "driver no feasible shape" `Quick
+            test_driver_no_feasible_shape;
           Alcotest.test_case "driver time memoized" `Quick test_driver_time_memoized;
           Alcotest.test_case "f16 gemm speedup" `Quick test_f16_gemm_speedup;
         ] );

@@ -24,6 +24,13 @@ let test_sweep_all_ok () =
   check_bool "sweep covers the whole family" true
     (List.length o.L.entries >= List.length K.all * List.length F.paper_shapes)
 
+let test_sweep_jobs_identical () =
+  (* the sweep outcome — entries, order, every verdict — is structurally
+     identical no matter how many domains it fans out on *)
+  let one = L.run ~jobs:1 () in
+  let three = L.run ~jobs:3 () in
+  check_bool "outcomes identical at 1 vs 3 domains" true (one = three)
+
 (* --- the Fig. 12 pin ----------------------------------------------------- *)
 
 let test_fig12_census () =
@@ -137,6 +144,7 @@ let () =
       ( "sweep",
         [
           Alcotest.test_case "whole family passes" `Quick test_sweep_all_ok;
+          Alcotest.test_case "jobs-invariant outcome" `Quick test_sweep_jobs_identical;
           Alcotest.test_case "census formulas match the schedules" `Quick
             test_expected_census_formulas;
         ] );

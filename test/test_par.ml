@@ -1,0 +1,148 @@
+(* The domain-parallel sweep engine: Exo_par.Pool and Exo_par.Memo.
+
+   The contract under test is the one every sweep in the repo leans on:
+   for a pure function the pool's output is the input-ordered List.map
+   result at EVERY width (so `--jobs N` can never change an outcome), a
+   raising item re-raises deterministically, and the memo table hands every
+   racing domain the same (physically equal) value. *)
+
+module Pool = Exo_par.Pool
+module Memo = Exo_par.Memo
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Pool ---------------------------------------------------------------- *)
+
+let test_map_matches_list_map () =
+  let xs = List.init 100 (fun i -> i) in
+  let f x = (x * x) + 7 in
+  let expect = List.map f xs in
+  List.iter
+    (fun jobs ->
+      let pool = Pool.create ~jobs () in
+      check_bool
+        (Fmt.str "map at %d domains = List.map" jobs)
+        true
+        (Pool.map pool f xs = expect))
+    [ 1; 2; 3; 8 ]
+
+let test_map_array_matches () =
+  let xs = Array.init 64 (fun i -> i) in
+  let expect = Array.map succ xs in
+  List.iter
+    (fun jobs ->
+      let pool = Pool.create ~jobs () in
+      check_bool
+        (Fmt.str "map_array at %d domains" jobs)
+        true
+        (Pool.map_array pool succ xs = expect))
+    [ 1; 4 ]
+
+let test_edge_inputs () =
+  let pool = Pool.create ~jobs:4 () in
+  check_bool "empty list" true (Pool.map pool succ [] = []);
+  check_bool "single item" true (Pool.map pool succ [ 41 ] = [ 42 ]);
+  check_int "width clamped to >= 1" 1 (Pool.jobs (Pool.create ~jobs:0 ()))
+
+let test_iter_covers_every_index () =
+  let n = 200 in
+  let slots = Array.make n 0 in
+  let pool = Pool.create ~jobs:3 () in
+  (* index-addressed writes: each item owns its slot, so the unordered
+     iter is still racefree and must touch every slot exactly once *)
+  Pool.iter pool (fun i -> slots.(i) <- slots.(i) + 1) (List.init n (fun i -> i));
+  check_bool "every slot written once" true (Array.for_all (( = ) 1) slots)
+
+let test_exception_deterministic () =
+  let f x = if x mod 7 = 3 then failwith (Fmt.str "boom %d" x) else x in
+  let xs = List.init 50 (fun i -> i) in
+  (* the lowest-indexed failing item (x = 3) wins at every width *)
+  List.iter
+    (fun jobs ->
+      let pool = Pool.create ~jobs () in
+      match Pool.map pool f xs with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure msg ->
+          Alcotest.(check string)
+            (Fmt.str "lowest failing item at %d domains" jobs)
+            "boom 3" msg)
+    [ 1; 2; 8 ]
+
+let test_default_jobs_override () =
+  let before = Pool.default_jobs () in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_default_jobs before)
+    (fun () ->
+      Pool.set_default_jobs 3;
+      check_int "set_default_jobs sticks" 3 (Pool.default_jobs ());
+      check_int "global pool follows" 3 (Pool.jobs (Pool.global ()));
+      check_int "create () follows" 3 (Pool.jobs (Pool.create ())))
+
+(* --- Memo ---------------------------------------------------------------- *)
+
+let test_memo_caches () =
+  let m : (int, int ref) Memo.t = Memo.create () in
+  let computes = ref 0 in
+  let get () =
+    Memo.find_or_add m 17 (fun () ->
+        incr computes;
+        ref 99)
+  in
+  let a = get () in
+  let b = get () in
+  check_bool "repeated lookups physically equal" true (a == b);
+  check_int "compute ran once" 1 !computes;
+  check_bool "mem" true (Memo.mem m 17);
+  check_bool "find_opt" true (Memo.find_opt m 17 = Some a);
+  check_int "length" 1 (Memo.length m);
+  Memo.clear m;
+  check_bool "cleared" false (Memo.mem m 17)
+
+let test_memo_first_writer_wins () =
+  (* racing domains hammering one key must all get the same boxed value —
+     physical equality is the observable of the first-writer-wins rule *)
+  let m : (string, int ref) Memo.t = Memo.create () in
+  let pool = Pool.create ~jobs:4 () in
+  let results =
+    Pool.map pool (fun i -> Memo.find_or_add m "key" (fun () -> ref i))
+      (List.init 32 (fun i -> i))
+  in
+  let first = List.hd results in
+  check_bool "every domain sees one value" true
+    (List.for_all (fun r -> r == first) results);
+  check_int "table holds one entry" 1 (Memo.length m)
+
+let test_memo_distinct_keys_parallel () =
+  let m : (int, int) Memo.t = Memo.create () in
+  let pool = Pool.create ~jobs:4 () in
+  let xs = List.init 100 (fun i -> i) in
+  let r = Pool.map pool (fun i -> Memo.find_or_add m i (fun () -> i * i)) xs in
+  check_bool "values correct" true (r = List.map (fun i -> i * i) xs);
+  check_int "one entry per key" 100 (Memo.length m)
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map = List.map at every width" `Quick
+            test_map_matches_list_map;
+          Alcotest.test_case "map_array" `Quick test_map_array_matches;
+          Alcotest.test_case "edge inputs" `Quick test_edge_inputs;
+          Alcotest.test_case "iter covers every index" `Quick
+            test_iter_covers_every_index;
+          Alcotest.test_case "deterministic exception" `Quick
+            test_exception_deterministic;
+          Alcotest.test_case "default width override" `Quick
+            test_default_jobs_override;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "caches and clears" `Quick test_memo_caches;
+          Alcotest.test_case "first writer wins under race" `Quick
+            test_memo_first_writer_wins;
+          Alcotest.test_case "distinct keys in parallel" `Quick
+            test_memo_distinct_keys_parallel;
+        ] );
+    ]

@@ -250,6 +250,116 @@ let test_cache_trace_deterministic () =
   Alcotest.(check int) "deterministic dram" a.Exo_sim.Cache_sim.dram
     b.Exo_sim.Cache_sim.dram
 
+(* --- compressed-trace equivalence and pinned counts ---------------------- *)
+
+module CS = Exo_sim.Cache_sim
+
+(* The exact per-level counters of the original per-element simulator at
+   288³ on the toy hierarchy, for three representative blockings. The
+   compressed stride-run path must reproduce them bit for bit. *)
+let test_cache_pinned_counts () =
+  let b = Exo_blis.Analytical.compute toy_machine ~mr:8 ~nr:12 ~dtype_bytes:4 in
+  Alcotest.(check (list int))
+    "toy analytical blocking" [ 192; 64; 636 ]
+    [ b.Exo_blis.Analytical.mc; b.Exo_blis.Analytical.kc; b.Exo_blis.Analytical.nc ];
+  let pin name (mc, kc, nc) (refs, l1, l2, l3, dram, krefs, kl1) =
+    let s = run_blocking ~mc ~kc ~nc in
+    Alcotest.(check (list int))
+      (name ^ " counters")
+      [ refs; l1; l2; l3; dram; krefs; kl1 ]
+      [
+        s.CS.refs; s.CS.l1_miss; s.CS.l2_miss; s.CS.l3_miss; s.CS.dram;
+        s.CS.kernel_refs; s.CS.kernel_l1_miss;
+      ]
+  in
+  pin "analytical" (192, 64, 636)
+    (6137856, 212544, 118501, 47309, 47309, 5806080, 186624);
+  pin "unblocked" (288, 288, 288)
+    (5474304, 386784, 160704, 160704, 160704, 5142528, 331776);
+  pin "tiny" (24, 16, 24)
+    (10119168, 214582, 102447, 74929, 74929, 7962624, 144132)
+
+let gen_sim_case =
+  let open QCheck2.Gen in
+  let cache lo hi =
+    let* size_kib = int_range lo hi in
+    let* assoc = oneofl [ 1; 2; 3; 4; 8 ] in
+    let* line_bytes = oneofl [ 32; 48; 64 ] in
+    return { M.size_kib; assoc; line_bytes }
+  in
+  (* sizes in KiB deliberately include non-powers-of-two (3 KiB / 4-way /
+     64 B → 12 sets) so the generic div/mod indexing path is exercised
+     alongside the pow2 shift/mask fast path *)
+  let* l1 = cache 1 4 in
+  let* l2 = cache 4 16 in
+  let* l3 = cache 16 64 in
+  let* m = int_range 1 40 in
+  let* n = int_range 1 40 in
+  let* k = int_range 1 40 in
+  let* mr = oneofl [ 1; 2; 4; 8 ] in
+  let* nr = oneofl [ 1; 3; 4; 12 ] in
+  let* mc = int_range 1 48 in
+  let* kc = int_range 1 48 in
+  let* nc = int_range 1 48 in
+  return ((l1, l2, l3), (m, n, k), (mr, nr), (mc, kc, nc))
+
+let print_sim_case ((l1, l2, l3), (m, n, k), (mr, nr), (mc, kc, nc)) =
+  Fmt.str
+    "L1=%dK/%d/%d L2=%dK/%d/%d L3=%dK/%d/%d m=%d n=%d k=%d mr=%d nr=%d mc=%d \
+     kc=%d nc=%d"
+    l1.M.size_kib l1.M.assoc l1.M.line_bytes l2.M.size_kib l2.M.assoc
+    l2.M.line_bytes l3.M.size_kib l3.M.assoc l3.M.line_bytes m n k mr nr mc kc
+    nc
+
+(* The tentpole's safety net: on random shapes, blockings and cache
+   geometries the compressed stride-run consumer and the element-level
+   oracle agree on EVERY statistic — accesses, per-level misses, DRAM
+   fills, kernel-phase counters, writes and writebacks. *)
+let test_run_vs_element_qcheck =
+  QCheck2.Test.make ~name:"compressed trace ≡ element-level oracle" ~count:60
+    ~print:print_sim_case gen_sim_case
+    (fun ((l1, l2, l3), (m, n, k), (mr, nr), (mc, kc, nc)) ->
+      let machine = { M.carmel with M.l1; l2; l3 } in
+      let fast = CS.gemm_trace machine ~mc ~kc ~nc ~mr ~nr ~m ~n ~k in
+      let slow = CS.gemm_trace_element machine ~mc ~kc ~nc ~mr ~nr ~m ~n ~k in
+      fast = slow)
+
+let test_cache_rw_and_writebacks () =
+  let s = run_blocking ~mc:192 ~kc:64 ~nc:636 in
+  (* every packed element is written once and every C element is written
+     once per pc iteration: writes = 2·(packB + packA + C-store) share *)
+  let packb = 288 * 288 (* one full pass over B *) in
+  let packa = 288 * 288 * ((288 + 635) / 636) (* A repacked per jc block *) in
+  let cstore = 288 * 288 * ((288 + 63) / 64) (* C stored per pc block *) in
+  Alcotest.(check int) "store count" (packb + packa + cstore) s.CS.writes;
+  Alcotest.(check bool) "dirty lines do get written back" true (s.CS.l1_wb > 0);
+  Alcotest.(check bool) "writebacks reach memory" true (s.CS.dram_wb > 0);
+  (* written data is bounded by what was ever dirtied: DRAM writeback lines
+     cannot exceed the distinct lines of packA + packB + C *)
+  let line = 64 and sz = 4 in
+  let dirty_footprint =
+    ((288 * 288 * sz) + (192 * 64 * sz) + (636 * 64 * sz) + (line - 1)) / line
+  in
+  Alcotest.(check bool)
+    (Fmt.str "dram_wb %d ≤ dirty footprint bound" s.CS.dram_wb)
+    true
+    (s.CS.dram_wb <= cstore + dirty_footprint)
+
+let test_cache_writeback_unit () =
+  (* 1 KiB, 2-way, 64 B → 8 sets. Write a line, evict it with two more
+     tags in the set: exactly one writeback with the victim's address. *)
+  let l =
+    CS.create_level ~name:"t" { M.size_kib = 1; assoc = 2; line_bytes = 64 }
+  in
+  ignore (CS.access_level ~rw:CS.Write l 0);
+  ignore (CS.access_level l (8 * 64));
+  ignore (CS.access_level l (16 * 64));
+  Alcotest.(check int) "one dirty eviction" 1 l.CS.writebacks;
+  Alcotest.(check int) "victim address" 0 l.CS.pending_wb;
+  (* clean evictions don't write back *)
+  ignore (CS.access_level l (24 * 64));
+  Alcotest.(check int) "clean eviction is silent" 1 l.CS.writebacks
+
 let () =
   Alcotest.run "sim"
     [
@@ -268,6 +378,11 @@ let () =
           Alcotest.test_case "analytical beats none" `Quick test_cache_analytical_beats_none;
           Alcotest.test_case "kernel L1 residency" `Quick test_cache_kernel_l1_resident;
           Alcotest.test_case "determinism" `Quick test_cache_trace_deterministic;
+          Alcotest.test_case "pinned 288³ counters" `Quick test_cache_pinned_counts;
+          Alcotest.test_case "read/write split + writebacks" `Quick
+            test_cache_rw_and_writebacks;
+          Alcotest.test_case "writeback unit" `Quick test_cache_writeback_unit;
+          QCheck_alcotest.to_alcotest test_run_vs_element_qcheck;
         ] );
       ( "trace",
         [
