@@ -10,6 +10,7 @@
                                               # + 1-vs-N-domain sweeps
                                               # (writes BENCH_sim.json)
      dune exec bench/main.exe -- -j 4 all     # pool width for parallel sweeps
+     dune exec bench/main.exe -- -profile lint # obs tracing + profile report
 
    Experiments: fig12 fig13 fig14 tab1 tab2 fig15 fig16 fig17 fig18
    ablation bechamel perf perf-sim[-smoke] lint all *)
@@ -142,6 +143,38 @@ let run_bechamel () =
   Fmt.pr "@."
 
 (* ------------------------------------------------------------------ *)
+(* Shared provenance metadata for every BENCH_*.json this harness       *)
+(* writes: schema version, the commit the numbers were measured at,     *)
+(* and the parallelism actually available/used.                         *)
+
+let bench_schema_version = 2
+
+(** Short git commit of the working tree, or ["unknown"] outside a
+    checkout (e.g. a release tarball). *)
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+(** The common ["meta"] JSON object (no trailing comma/newline) embedded
+    in BENCH_interp.json and BENCH_sim.json. *)
+let meta_json () =
+  Printf.sprintf
+    "\"meta\": {\n\
+    \    \"schema_version\": %d,\n\
+    \    \"git_commit\": %S,\n\
+    \    \"host_cores\": %d,\n\
+    \    \"pool_jobs\": %d\n\
+    \  }"
+    bench_schema_version (git_commit ())
+    (Domain.recommended_domain_count ())
+    (Exo_par.Pool.default_jobs ())
+
+(* ------------------------------------------------------------------ *)
 (* perf: the compiled execution engine vs the tree-walking interpreter  *)
 (* on the paper's base kernel, plus a tuner-sweep timing. Writes the    *)
 (* measurements to BENCH_interp.json.                                   *)
@@ -204,6 +237,7 @@ let run_perf () =
   let oc = open_out "BENCH_interp.json" in
   Printf.fprintf oc
     "{\n\
+    \  %s,\n\
     \  \"kernel\": \"uk_%dx%d_neon-f32\",\n\
     \  \"kc\": %d,\n\
     \  \"interpreted_us_per_call\": %.3f,\n\
@@ -211,7 +245,8 @@ let run_perf () =
     \  \"speedup\": %.2f,\n\
     \  \"tuner_sweep_cold_us\": %.3f\n\
      }\n"
-    mr nr kc (t_interp *. 1e6) (t_compiled *. 1e6) speedup (t_sweep *. 1e6);
+    (meta_json ()) mr nr kc (t_interp *. 1e6) (t_compiled *. 1e6) speedup
+    (t_sweep *. 1e6);
   close_out oc;
   Fmt.pr "wrote BENCH_interp.json@.@."
 
@@ -307,6 +342,7 @@ let run_perf_sim ?(smoke = false) () =
   let oc = open_out "BENCH_sim.json" in
   Printf.fprintf oc
     "{\n\
+    \  %s,\n\
     \  \"smoke\": %b,\n\
     \  \"trace_machine\": \"%s\",\n\
     \  \"trace_blocking\": [%d, %d, %d],\n\
@@ -326,7 +362,7 @@ let run_perf_sim ?(smoke = false) () =
     \  \"tuner_speedup\": %.2f,\n\
     \  \"tuner_rankings_identical\": true\n\
      }\n"
-    smoke
+    (meta_json ()) smoke
     (if smoke then "toy" else "carmel")
     mc kc nc dim fast.CS.refs (refs /. t_slow /. 1e6) (refs /. t_fast /. 1e6)
     sim_speedup domains jobs_n (t_lint1 *. 1e3) (t_lintn *. 1e3)
@@ -352,21 +388,39 @@ let run_lint () =
   end
 
 let () =
+  let module Obs = Exo_obs.Obs in
+  (* global flags: [-j N] fixes the domain-pool width for every parallel
+     sweep in this run (default: EXO_JOBS or the core count); [-profile]
+     records obs spans/counters during the run and prints the profile
+     report at the end *)
   let args = Array.to_list Sys.argv |> List.tl in
-  (* global flag: [-j N] fixes the domain-pool width for every parallel
-     sweep in this run (default: EXO_JOBS or the core count) *)
-  let rec parse_jobs acc = function
+  let profile = ref false in
+  let rec parse_flags acc = function
     | "-j" :: n :: rest ->
         (match int_of_string_opt n with
         | Some j -> Exo_par.Pool.set_default_jobs j
         | None ->
             Fmt.epr "-j expects an integer, got %S@." n;
             exit 2);
-        parse_jobs acc rest
-    | a :: rest -> parse_jobs (a :: acc) rest
+        parse_flags acc rest
+    | "-profile" :: rest ->
+        profile := true;
+        parse_flags acc rest
+    | a :: rest -> parse_flags (a :: acc) rest
     | [] -> List.rev acc
   in
-  let args = parse_jobs [] args in
+  let args = parse_flags [] args in
+  if !profile then begin
+    Obs.reset ();
+    Obs.enable ()
+  end;
+  let report_profile () =
+    if !profile then begin
+      Obs.disable ();
+      Fmt.pr "%s@?" (Obs.Export.text_report (Obs.drain ()))
+    end
+  in
+  at_exit report_profile;
   let run = function
     | "fig12" -> Experiments.fig12 ()
     | "fig13" -> Experiments.fig13 ()

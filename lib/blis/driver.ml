@@ -145,8 +145,26 @@ let time_of_regions ?(dbytes = 4) (machine : Machine.t) ~(regions : region list)
     micro-kernel to the problem"). *)
 let candidate_shapes = [ (8, 12); (8, 8); (8, 4); (4, 12); (4, 8); (4, 4) ]
 
+(* A setup's identity for memoization: the four paper configurations (and
+   the per-kit Exo families) are distinguished by kernel name + prefetch +
+   kit; the full evaluation is deterministic in (machine, setup, m, n, k). *)
+let setup_key = function
+  | Monolithic { impl; prefetch } ->
+      Fmt.str "%s%s" impl.KM.name (if prefetch then "+pf" else "")
+  | Exo_family kit -> "EXO:" ^ kit.Exo_ukr_gen.Kits.name
+
 let time_uncached (machine : Machine.t) (setup : setup) ~(m : int) ~(n : int)
     ~(k : int) : float * string =
+  let module Obs = Exo_obs.Obs in
+  let args =
+    if Obs.enabled () then
+      [
+        ("setup", setup_key setup);
+        ("problem", Printf.sprintf "%dx%dx%d" m n k);
+      ]
+    else []
+  in
+  Obs.with_span ~args "driver.price" @@ fun () ->
   let dtype_bytes = dtype_bytes_of setup in
   match setup with
   | Monolithic { impl; prefetch } ->
@@ -196,14 +214,6 @@ let time_uncached (machine : Machine.t) (setup : setup) ~(m : int) ~(n : int)
           List.fold_left
             (fun (bt, bn) (t, nm) -> if t < bt then (t, nm) else (bt, bn))
             hd tl)
-
-(* A setup's identity for memoization: the four paper configurations (and
-   the per-kit Exo families) are distinguished by kernel name + prefetch +
-   kit; the full evaluation is deterministic in (machine, setup, m, n, k). *)
-let setup_key = function
-  | Monolithic { impl; prefetch } ->
-      Fmt.str "%s%s" impl.KM.name (if prefetch then "+pf" else "")
-  | Exo_family kit -> "EXO:" ^ kit.Exo_ukr_gen.Kits.name
 
 let time_cache : (string, float * string) Exo_par.Memo.t = Exo_par.Memo.create ~size:64 ()
 

@@ -77,6 +77,19 @@ let blis ?(alpha = 1.0) ?(beta = 1.0) ~(blocking : Analytical.blocking) ~(mr : i
   if not (Float.equal beta 1.0) then
     Array.iteri (fun i v -> c.Matrix.data.(i) <- r32 (beta *. v)) c.Matrix.data;
   let tile = Array.make (mr * nr) 0.0 in
+  (* token-style spans guarded inline at each site: when tracing is off the
+     loops pay one branch per span point and allocate nothing (the args
+     lists are built behind the guard); each span names its loop indices so
+     the BLIS loop structure reads directly off the trace *)
+  let module Obs = Exo_obs.Obs in
+  let sp_blis =
+    if Obs.enabled () then
+      Obs.begin_span
+        ~args:
+          [ ("m", string_of_int m); ("n", string_of_int n); ("k", string_of_int k) ]
+        "gemm.blis"
+    else Obs.none
+  in
   for jc = 0 to ((n + nc - 1) / nc) - 1 do
     let jc0 = jc * nc in
     let ncb = min nc (n - jc0) in
@@ -84,12 +97,40 @@ let blis ?(alpha = 1.0) ?(beta = 1.0) ~(blocking : Analytical.blocking) ~(mr : i
       let pc0 = pc * kc in
       let kcb = min kc (k - pc0) in
       (* Pack B (applying alpha) *)
+      let sp =
+        if Obs.enabled () then
+          Obs.begin_span
+            ~args:[ ("jc", string_of_int jc); ("pc", string_of_int pc) ]
+            "gemm.pack_b"
+        else Obs.none
+      in
       let bp = Packing.pack_b ~alpha b ~pc:pc0 ~jc:jc0 ~kcb ~ncb ~nr in
+      Obs.end_span sp;
       for ic = 0 to ((m + mc - 1) / mc) - 1 do
         let ic0 = ic * mc in
         let mcb = min mc (m - ic0) in
         (* Pack A *)
+        let sp =
+          if Obs.enabled () then
+            Obs.begin_span
+              ~args:[ ("ic", string_of_int ic); ("pc", string_of_int pc) ]
+              "gemm.pack_a"
+          else Obs.none
+        in
         let ap = Packing.pack_a a ~ic:ic0 ~pc:pc0 ~mcb ~kcb ~mr in
+        Obs.end_span sp;
+        let sp_macro =
+          if Obs.enabled () then
+            Obs.begin_span
+              ~args:
+                [
+                  ("jc", string_of_int jc);
+                  ("pc", string_of_int pc);
+                  ("ic", string_of_int ic);
+                ]
+              "gemm.macro_kernel"
+          else Obs.none
+        in
         for jr = 0 to bp.Packing.num_panels - 1 do
           let nrb = bp.Packing.panel_width jr in
           for ir = 0 to ap.Packing.num_panels - 1 do
@@ -101,8 +142,21 @@ let blis ?(alpha = 1.0) ?(beta = 1.0) ~(blocking : Analytical.blocking) ~(mr : i
                   Matrix.get c (ic0 + (ir * mr) + i) (jc0 + (jr * nr) + j)
               done
             done;
+            let sp_ukr =
+              if Obs.enabled () then
+                Obs.begin_span
+                  ~args:
+                    [
+                      ("tile", Printf.sprintf "%dx%d" mrb nrb);
+                      ("jr", string_of_int jr);
+                      ("ir", string_of_int ir);
+                    ]
+                  "gemm.ukr"
+              else Obs.none
+            in
             ukr ~kc:kcb ~mr:mrb ~nr:nrb ~ac:(ap.Packing.panel ir)
               ~bc:(bp.Packing.panel jr) ~c:tile;
+            Obs.end_span sp_ukr;
             (* scatter back *)
             for j = 0 to nrb - 1 do
               for i = 0 to mrb - 1 do
@@ -111,7 +165,9 @@ let blis ?(alpha = 1.0) ?(beta = 1.0) ~(blocking : Analytical.blocking) ~(mr : i
               done
             done
           done
-        done
+        done;
+        Obs.end_span sp_macro
       done
     done
-  done
+  done;
+  Obs.end_span sp_blis

@@ -34,15 +34,24 @@ let feasible (machine : Exo_isa.Machine.t) ~(lanes : int) ~(mr : int) ~(nr : int
 (** Evaluate one candidate shape on one problem. *)
 let evaluate ?(kit = Exo_ukr_gen.Kits.neon_f32) (machine : Exo_isa.Machine.t)
     ~(mr : int) ~(nr : int) ~(m : int) ~(n : int) ~(k : int) : result =
-  let blocking = Analytical.compute machine ~mr ~nr ~dtype_bytes in
-  let regions = Driver.regions_family ~kit ~mr ~nr ~m ~n in
-  let t = Driver.time_of_regions machine ~regions ~prefetch:false ~m ~n ~k ~blocking in
-  {
-    mr;
-    nr;
-    gflops = 2.0 *. float_of_int m *. float_of_int n *. float_of_int k /. t /. 1e9;
-    blocking;
-  }
+  let module Obs = Exo_obs.Obs in
+  let args =
+    if Obs.enabled () then
+      [ ("shape", Printf.sprintf "%dx%d" mr nr); ("kit", kit.Exo_ukr_gen.Kits.name) ]
+    else []
+  in
+  Obs.with_span ~args "tuner.evaluate" (fun () ->
+      let blocking = Analytical.compute machine ~mr ~nr ~dtype_bytes in
+      let regions = Driver.regions_family ~kit ~mr ~nr ~m ~n in
+      let t =
+        Driver.time_of_regions machine ~regions ~prefetch:false ~m ~n ~k ~blocking
+      in
+      {
+        mr;
+        nr;
+        gflops = 2.0 *. float_of_int m *. float_of_int n *. float_of_int k /. t /. 1e9;
+        blocking;
+      })
 
 (* The memo key holds machine and kit names as SEPARATE tuple fields.
    An earlier revision concatenated them into one string, which aliased
@@ -66,17 +75,27 @@ let sweep ?(kit = Exo_ukr_gen.Kits.neon_f32) ?(shapes = default_shapes) ?jobs
     (machine.Exo_isa.Machine.name, kit.Exo_ukr_gen.Kits.name, shapes, m, n, k)
   in
   Exo_par.Memo.find_or_add cache key (fun () ->
-      let lanes = kit.Exo_ukr_gen.Kits.lanes in
-      let pool = Exo_par.Pool.create ?jobs () in
-      let results =
-        shapes
-        |> List.filter (fun (mr, nr) -> feasible machine ~lanes ~mr ~nr)
-        |> Exo_par.Pool.map pool (fun (mr, nr) ->
-               evaluate ~kit machine ~mr ~nr ~m ~n ~k)
-        |> List.sort (fun a b -> compare b.gflops a.gflops)
+      let module Obs = Exo_obs.Obs in
+      let args =
+        if Obs.enabled () then
+          [
+            ("machine", machine.Exo_isa.Machine.name);
+            ("problem", Printf.sprintf "%dx%dx%d" m n k);
+          ]
+        else []
       in
-      if results = [] then invalid_arg "Tuner.sweep: no feasible kernel shape";
-      results)
+      Obs.with_span ~args "tuner.sweep" (fun () ->
+          let lanes = kit.Exo_ukr_gen.Kits.lanes in
+          let pool = Exo_par.Pool.create ?jobs () in
+          let results =
+            shapes
+            |> List.filter (fun (mr, nr) -> feasible machine ~lanes ~mr ~nr)
+            |> Exo_par.Pool.map pool (fun (mr, nr) ->
+                   evaluate ~kit machine ~mr ~nr ~m ~n ~k)
+            |> List.sort (fun a b -> compare b.gflops a.gflops)
+          in
+          if results = [] then invalid_arg "Tuner.sweep: no feasible kernel shape";
+          results))
 
 (** The winning shape for one GEMM. *)
 let best ?kit ?shapes ?jobs (machine : Exo_isa.Machine.t) ~m ~n ~k : result =

@@ -381,8 +381,11 @@ let compilation_unit ?(header_comment = "") (procs : proc list) : string =
     List.sort_uniq compare (List.concat_map includes_of procs)
   in
   let b = Buffer.create 4096 in
+  (* the header comment may span lines (e.g. a kernel's provenance log);
+     each line gets its own [//] so the output stays a valid C comment *)
   if header_comment <> "" then
-    Buffer.add_string b (Fmt.str "// %s@." header_comment |> fun s -> s);
+    String.split_on_char '\n' header_comment
+    |> List.iter (fun line -> Buffer.add_string b (Fmt.str "// %s\n" line));
   Buffer.add_string b "#include <stdint.h>\n#include <stdbool.h>\n";
   List.iter (fun h -> Buffer.add_string b (Fmt.str "#include <%s>\n" h)) includes;
   Buffer.add_char b '\n';

@@ -64,7 +64,14 @@ let global () = create ()
 let map_array (t : t) (f : 'a -> 'b) (xs : 'a array) : 'b array =
   let n = Array.length xs in
   let width = min t.jobs n in
-  if width <= 1 then Array.map f xs
+  (* every item runs under an [Obs.task_scope] keyed by (region epoch,
+     item index), which is what makes merged traces pool-width-invariant;
+     one extra branch per item when tracing is off *)
+  let epoch = if Exo_obs.Obs.enabled () then Exo_obs.Obs.region_begin () else -1 in
+  let apply i x =
+    if epoch >= 0 then Exo_obs.Obs.task_scope ~epoch i (fun () -> f x) else f x
+  in
+  if width <= 1 then Array.mapi apply xs
   else begin
     let results : ('b, exn) result option array = Array.make n None in
     let cursor = Atomic.make 0 in
@@ -80,7 +87,7 @@ let map_array (t : t) (f : 'a -> 'b) (xs : 'a array) : 'b array =
           if start >= n then continue := false
           else
             for i = start to min n (start + chunk) - 1 do
-              match f xs.(i) with
+              match apply i xs.(i) with
               | y -> results.(i) <- Some (Ok y)
               | exception e ->
                   results.(i) <- Some (Error e);

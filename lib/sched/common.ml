@@ -13,30 +13,144 @@ exception Sched_error of string
 
 let err fmt = Fmt.kstr (fun s -> raise (Sched_error s)) fmt
 
+(* ------------------------------------------------------------------ *)
+(* Observability: each primitive application feeds a span (when tracing)
+   and a provenance entry (when a collector is active) carrying the cursor
+   pattern it resolved, the IR node-count delta, and the certificate-check
+   time. The pattern travels through a per-domain side channel: the find
+   helpers note it, [check_proc_result] consumes it. *)
+
+module Obs = Exo_obs.Obs
+
+let last_pattern : string option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let note_pattern pat = Domain.DLS.get last_pattern := Some pat
+
+let take_pattern () =
+  let r = Domain.DLS.get last_pattern in
+  let v = !r in
+  r := None;
+  v
+
+(** IR size of a procedure: statement + expression node count. The delta
+    across a primitive is a cheap proxy for how much code it manufactured
+    (unrolling) or erased (simplification). *)
+let rec expr_nodes (e : Ir.expr) : int =
+  match e with
+  | Ir.Int _ | Ir.Float _ | Ir.Var _ | Ir.Stride _ -> 1
+  | Ir.Read (_, idx) -> 1 + exprs_nodes idx
+  | Ir.Binop (_, a, b) | Ir.Cmp (_, a, b) | Ir.And (a, b) | Ir.Or (a, b) ->
+      1 + expr_nodes a + expr_nodes b
+  | Ir.Neg a | Ir.Not a -> 1 + expr_nodes a
+
+and exprs_nodes es = List.fold_left (fun acc e -> acc + expr_nodes e) 0 es
+
+let waccess_nodes = function
+  | Ir.Pt e -> expr_nodes e
+  | Ir.Iv (lo, hi) -> expr_nodes lo + expr_nodes hi
+
+let call_arg_nodes = function
+  | Ir.AExpr e -> expr_nodes e
+  | Ir.AWin w ->
+      1 + List.fold_left (fun acc a -> acc + waccess_nodes a) 0 w.Ir.widx
+
+let rec stmt_nodes (s : Ir.stmt) : int =
+  match s with
+  | Ir.SAssign (_, idx, e) | Ir.SReduce (_, idx, e) ->
+      1 + exprs_nodes idx + expr_nodes e
+  | Ir.SFor (_, lo, hi, body) ->
+      1 + expr_nodes lo + expr_nodes hi + stmts_nodes body
+  | Ir.SAlloc (_, _, dims, _) -> 1 + exprs_nodes dims
+  | Ir.SCall (_, args) ->
+      1 + List.fold_left (fun acc a -> acc + call_arg_nodes a) 0 args
+  | Ir.SIf (c, t, f) -> 1 + expr_nodes c + stmts_nodes t + stmts_nodes f
+
+and stmts_nodes ss = List.fold_left (fun acc s -> acc + stmt_nodes s) 0 ss
+
+let node_count (p : Ir.proc) : int = stmts_nodes p.Ir.p_body
+let cert_hist = Obs.histogram "sched.cert_us"
+let prim_counter = Obs.counter "sched.prims"
+
+(* run both certificate checks, returning the failure message if any *)
+let check_messages ~op ~old p : string option =
+  match Exo_check.Wellformed.check_proc p with
+  | exception Exo_check.Wellformed.Type_error m ->
+      Some
+        (Printf.sprintf "internal error: %s produced an ill-typed procedure: %s"
+           op m)
+  | () -> (
+      match Exo_check.Effects.preserves ~old_p:old ~new_p:p with
+      | Ok () -> None
+      | Error m ->
+          Some
+            (Printf.sprintf "internal error: %s broke the effect contract of %s: %s"
+               op p.Ir.p_name m))
+
 (** Every primitive re-checks its output against its input: the result must
     typecheck and must carry an {!Exo_check.Effects.preserves} certificate
     (no new argument-buffer effects, no provable footprint escape). A
     failure here is a bug in the primitive, not in user code, and says so. *)
 let check_proc_result ~(op : string) ~(old : Ir.proc) (p : Ir.proc) : Ir.proc =
-  (try Exo_check.Wellformed.check_proc p
-   with Exo_check.Wellformed.Type_error m ->
-     err "internal error: %s produced an ill-typed procedure: %s" op m);
-  (match Exo_check.Effects.preserves ~old_p:old ~new_p:p with
-  | Ok () -> ()
-  | Error m ->
-      err "internal error: %s broke the effect contract of %s: %s" op
-        p.Ir.p_name m);
-  Log.debug (fun m -> m "%s ok on %s" op p.Ir.p_name);
-  p
+  let tracing = Obs.enabled () in
+  let collecting = Obs.Provenance.collecting () in
+  if not (tracing || collecting) then begin
+    (match check_messages ~op ~old p with
+    | Some m -> raise (Sched_error m)
+    | None -> ());
+    Log.debug (fun m -> m "%s ok on %s" op p.Ir.p_name);
+    p
+  end
+  else begin
+    let pattern = take_pattern () in
+    let nodes_before = node_count old and nodes_after = node_count p in
+    let sp =
+      if tracing then
+        Obs.begin_span
+          ~args:
+            [
+              ("pattern", Option.value ~default:"-" pattern);
+              ("nodes", Printf.sprintf "%d->%d" nodes_before nodes_after);
+            ]
+          ("sched." ^ op)
+      else Obs.none
+    in
+    let t0 = Obs.now_us () in
+    let failure = check_messages ~op ~old p in
+    let cert_us = Obs.now_us () -. t0 in
+    Obs.observe cert_hist (int_of_float cert_us);
+    Obs.incr prim_counter;
+    if collecting then
+      Obs.Provenance.(
+        record
+          (Prim
+             {
+               op;
+               pattern;
+               nodes_before;
+               nodes_after;
+               cert_us;
+               ok = failure = None;
+               detail = failure;
+             }));
+    Obs.end_span sp;
+    match failure with
+    | Some m -> raise (Sched_error m)
+    | None ->
+        Log.debug (fun m -> m "%s ok on %s" op p.Ir.p_name);
+        p
+  end
 
 let recheck = check_proc_result
 
 (** Wrap pattern errors as scheduling errors with the op name attached. *)
 let find_first ~op (body : Ir.stmt list) (pat : string) : Cursor.t =
+  if Obs.enabled () || Obs.Provenance.collecting () then note_pattern pat;
   try Exo_pattern.Pattern.find_first body pat
   with Exo_pattern.Pattern.Pattern_error m -> err "%s: %s" op m
 
 let find_all ~op (body : Ir.stmt list) (pat : string) : Cursor.t list =
+  if Obs.enabled () || Obs.Provenance.collecting () then note_pattern pat;
   try Exo_pattern.Pattern.find body pat
   with Exo_pattern.Pattern.Pattern_error m -> err "%s: %s" op m
 

@@ -454,6 +454,31 @@ let pp_stats ppf (s : stats) =
     s.l2_miss s.l3_miss s.dram s.dram_wb
 
 (* ------------------------------------------------------------------ *)
+(* Observability: process-wide phase counters accumulated across trace
+   runs (each [add]/[observe] is one atomic branch when tracing is off,
+   and none of it feeds back into [stats] — the fast/oracle equivalence
+   property is untouched). *)
+
+module Obs = Exo_obs.Obs
+
+let c_events = Obs.counter "sim.trace_events"
+let c_refs = Obs.counter "sim.refs"
+let c_l1_hits = Obs.counter "sim.l1_hits"
+let c_l2_hits = Obs.counter "sim.l2_hits"
+let c_l3_hits = Obs.counter "sim.l3_hits"
+let c_dram = Obs.counter "sim.dram_lines"
+let h_run = Obs.histogram "sim.run_elems"
+
+(* hits per level out of the miss cascade: a reference that missed level N
+   but not level N+1 hit level N+1 *)
+let note_stats (s : stats) : unit =
+  Obs.add c_refs s.refs;
+  Obs.add c_l1_hits (s.refs - s.l1_miss);
+  Obs.add c_l2_hits (s.l1_miss - s.l2_miss);
+  Obs.add c_l3_hits (s.l2_miss - s.l3_miss);
+  Obs.add c_dram s.dram
+
+(* ------------------------------------------------------------------ *)
 (* The packed-GEMM address trace                                        *)
 
 (** The canonical packed-BLIS trace of an m×n×k FP32 GEMM under [blocking]
@@ -494,6 +519,15 @@ let emit_gemm_trace ~(mc : int) ~(kc : int) ~(nc : int) ~(mr : int) ~(nr : int)
     let pc = ref 0 in
     while !pc < k do
       let kcb = min kc (k - !pc) in
+      (* progress span per (jc, pc) block — at paper-scale sizes these are
+         the long-running units a trace viewer needs to see advance *)
+      let sp_pc =
+        if Obs.enabled () then
+          Obs.begin_span
+            ~args:[ ("jc", string_of_int !jc); ("pc", string_of_int !pc) ]
+            "sim.pc_block"
+        else Obs.none
+      in
       (* pack B row-panel-wise: stream each B row in, write it across the
          nr-wide panels of the BLIS layout *)
       let b_panels = (ncb + nr - 1) / nr in
@@ -553,6 +587,7 @@ let emit_gemm_trace ~(mc : int) ~(kc : int) ~(nc : int) ~(mr : int) ~(nr : int)
         done;
         ic := !ic + mc
       done;
+      Obs.end_span sp_pc;
       pc := !pc + kc
     done;
     jc := !jc + nc
@@ -563,22 +598,49 @@ let emit_gemm_trace ~(mc : int) ~(kc : int) ~(nc : int) ~(mr : int) ~(nr : int)
     the real Carmel hierarchy at the paper's ≥1000³ sizes. *)
 let gemm_trace (m_desc : Exo_isa.Machine.t) ~(mc : int) ~(kc : int) ~(nc : int)
     ~(mr : int) ~(nr : int) ~(m : int) ~(n : int) ~(k : int) : stats =
-  let h = create m_desc in
-  emit_gemm_trace ~mc ~kc ~nc ~mr ~nr ~m ~n ~k
-    ~emit:(fun ~kernel ~rw ~base ~stride ~count ->
-      access_run h ~rw ~kernel ~base ~stride_bytes:stride ~count ());
-  stats h
+  let args =
+    if Obs.enabled () then
+      [
+        ("machine", m_desc.Exo_isa.Machine.name);
+        ("problem", Printf.sprintf "%dx%dx%d" m n k);
+        ("blocking", Printf.sprintf "mc=%d kc=%d nc=%d" mc kc nc);
+      ]
+    else []
+  in
+  Obs.with_span ~args "sim.gemm_trace" (fun () ->
+      let h = create m_desc in
+      emit_gemm_trace ~mc ~kc ~nc ~mr ~nr ~m ~n ~k
+        ~emit:(fun ~kernel ~rw ~base ~stride ~count ->
+          Obs.incr c_events;
+          Obs.observe h_run count;
+          access_run h ~rw ~kernel ~base ~stride_bytes:stride ~count ());
+      let s = stats h in
+      note_stats s;
+      s)
 
 (** The same trace replayed element by element through the full lookup —
     the reference oracle the compressed path is pinned against. *)
 let gemm_trace_element (m_desc : Exo_isa.Machine.t) ~(mc : int) ~(kc : int)
     ~(nc : int) ~(mr : int) ~(nr : int) ~(m : int) ~(n : int) ~(k : int) : stats
     =
-  let h = create m_desc in
-  emit_gemm_trace ~mc ~kc ~nc ~mr ~nr ~m ~n ~k
-    ~emit:(fun ~kernel ~rw ~base ~stride ~count ->
-      h.in_kernel <- kernel;
-      for e = 0 to count - 1 do
-        access ~rw h (base + (e * stride))
-      done);
-  stats h
+  let args =
+    if Obs.enabled () then
+      [
+        ("machine", m_desc.Exo_isa.Machine.name);
+        ("problem", Printf.sprintf "%dx%dx%d" m n k);
+      ]
+    else []
+  in
+  Obs.with_span ~args "sim.gemm_trace_element" (fun () ->
+      let h = create m_desc in
+      emit_gemm_trace ~mc ~kc ~nc ~mr ~nr ~m ~n ~k
+        ~emit:(fun ~kernel ~rw ~base ~stride ~count ->
+          Obs.incr c_events;
+          Obs.observe h_run count;
+          h.in_kernel <- kernel;
+          for e = 0 to count - 1 do
+            access ~rw h (base + (e * stride))
+          done);
+      let s = stats h in
+      note_stats s;
+      s)

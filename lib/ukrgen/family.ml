@@ -21,6 +21,7 @@
 
 open Exo_ir
 module Sched = Exo_sched.Sched
+module Obs = Exo_obs.Obs
 
 type style = Packed | PackedBcast | Row | Scalar
 
@@ -36,6 +37,9 @@ type kernel = {
   kit : Kits.t;
   style : style;
   proc : Ir.proc;  (** signature: (KC, alpha, Ac, Bc, beta, C) *)
+  provenance : Obs.Provenance.entry list;
+      (** how [proc] was made: every primitive applied (cursor pattern, IR
+          node delta, certificate outcome) and every macro-step marker *)
 }
 
 let pick_style (kit : Kits.t) ~mr ~nr : style =
@@ -52,7 +56,9 @@ let base (kit : Kits.t) ~mr ~nr : Ir.proc =
   let p = Source.ukernel_ref_simple ~dt:kit.dt () in
   let ident = String.map (function '-' -> '_' | c -> c) kit.name in
   let p = Sched.rename p (Fmt.str "uk_%dx%d_%s" mr nr ident) in
-  Sched.partial_eval p [ ("MR", mr); ("NR", nr) ]
+  let p = Sched.partial_eval p [ ("MR", mr); ("NR", nr) ] in
+  Obs.Provenance.mark_step "partial_eval: specialize MR, NR";
+  p
 
 (** Stage the C tile: divide the copy loops, reshape, vectorize. [cdim] is
     the C_reg dimension carrying the vector lanes (1 in the packed
@@ -79,7 +85,9 @@ let packed_bcast (kit : Kits.t) ~mr ~nr : Ir.proc =
   let l = kit.lanes in
   let p = base kit ~mr ~nr in
   let p = Sched.divide_loop p "i" l ("it", "itt") ~tail:Sched.Perfect in
+  Obs.Provenance.mark_step "divide_loop: vectorize i";
   let p = stage_c kit p ~window:(Fmt.str "C[0:%d, 0:%d]" nr mr) ~cdim:1 ~loopname:"s1" in
+  Obs.Provenance.mark_step "stage_mem: C tile in vector registers";
   (* A operand staging, as in the packed schedule but with only the j loop
      between k and the tile loops. *)
   let p = Sched.bind_expr p "Ac[_]" "A_reg" in
@@ -96,6 +104,7 @@ let packed_bcast (kit : Kits.t) ~mr ~nr : Ir.proc =
   let p = if has_j then Sched.remove_loop p "j" else p in
   let p = Sched.replace p "for itt in _: _" kit.vld in
   let p = Sched.set_memory p "A_reg" kit.mem in
+  Obs.Provenance.mark_step "bind_expr: A operand in vector registers";
   (* Arithmetic: scalar-FMA when the ISA has one, otherwise broadcast B
      into a register and use the element-wise FMA (the AVX-512 path). *)
   let p =
@@ -107,8 +116,11 @@ let packed_bcast (kit : Kits.t) ~mr ~nr : Ir.proc =
         let p = Sched.set_memory p "B_bcast" kit.mem in
         Sched.replace p "for itt in _: _" kit.fma_vv
   in
+  Obs.Provenance.mark_step "replace: broadcast-style FMA";
   let p = Sched.unroll_loop p "it" in
-  Sched.simplify p
+  let p = Sched.simplify p in
+  Obs.Provenance.mark_step "unroll_loop + simplify";
+  p
 
 (** MR = 1: vectorize j, broadcast the A element. *)
 let row (kit : Kits.t) ~nr : Ir.proc =
@@ -116,7 +128,9 @@ let row (kit : Kits.t) ~nr : Ir.proc =
   let p = base kit ~mr:1 ~nr in
   (* partial_eval + simplify already inlined the single-iteration i loop *)
   let p = Sched.divide_loop p "j" l ("jt", "jtt") ~tail:Sched.Perfect in
+  Obs.Provenance.mark_step "divide_loop: vectorize j";
   let p = stage_c kit p ~window:(Fmt.str "C[0:%d, 0]" nr) ~cdim:0 ~loopname:"s0" in
+  Obs.Provenance.mark_step "stage_mem: C tile in vector registers";
   (* B operand staging *)
   let p = Sched.bind_expr p "Bc[_]" "B_reg" in
   let p = Sched.expand_dim p "B_reg" (string_of_int l) "jtt" in
@@ -125,6 +139,7 @@ let row (kit : Kits.t) ~nr : Ir.proc =
   let p = Sched.autofission p ~gap:(Sched.After "B_reg[_] = _") ~n_lifts:2 in
   let p = Sched.replace p "for jtt in _: _" kit.vld in
   let p = Sched.set_memory p "B_reg" kit.mem in
+  Obs.Provenance.mark_step "bind_expr: B operand in vector registers";
   let p =
     match kit.fma_scalar with
     | Some fma -> Sched.replace p "for jtt in _: _" fma
@@ -134,10 +149,16 @@ let row (kit : Kits.t) ~nr : Ir.proc =
         let p = Sched.set_memory p "A_bcast" kit.mem in
         Sched.replace p "for jtt in _: _" kit.fma_vv
   in
+  Obs.Provenance.mark_step "replace: broadcast-style FMA";
   let p = Sched.unroll_loop p "jt" in
-  Sched.simplify p
+  let p = Sched.simplify p in
+  Obs.Provenance.mark_step "unroll_loop + simplify";
+  p
 
-let scalar (kit : Kits.t) ~mr ~nr : Ir.proc = Sched.simplify (base kit ~mr ~nr)
+let scalar (kit : Kits.t) ~mr ~nr : Ir.proc =
+  let p = Sched.simplify (base kit ~mr ~nr) in
+  Obs.Provenance.mark_step "simplify";
+  p
 
 (* ------------------------------------------------------------------ *)
 
@@ -145,29 +166,77 @@ let scalar (kit : Kits.t) ~mr ~nr : Ir.proc = Sched.simplify (base kit ~mr ~nr)
     access [Proved] in range, zero [Unknown]s. The generated kernels are
     entirely affine, so anything short of a full proof is a generator bug. *)
 let certify (p : Ir.proc) : Ir.proc =
+  let t0 = Obs.now_us () in
   let r = Exo_check.Bounds.check_proc p in
-  (match (r.Exo_check.Bounds.violations, r.Exo_check.Bounds.unknowns) with
-  | [], [] -> ()
-  | vs, us ->
-      raise
-        (Sched.Sched_error
-           (Fmt.str "%s: bounds certificate failed: %a" p.Ir.p_name
-              Fmt.(list ~sep:(any "; ") Exo_check.Bounds.pp_failure)
-              (vs @ us))));
-  p
+  let cert_us = Obs.now_us () -. t0 in
+  let failure =
+    match (r.Exo_check.Bounds.violations, r.Exo_check.Bounds.unknowns) with
+    | [], [] -> None
+    | vs, us ->
+        Some
+          (Fmt.str "%s: bounds certificate failed: %a" p.Ir.p_name
+             Fmt.(list ~sep:(any "; ") Exo_check.Bounds.pp_failure)
+             (vs @ us))
+  in
+  if Obs.Provenance.collecting () then begin
+    let n = Exo_sched.Common.node_count p in
+    Obs.Provenance.(
+      record
+        (Prim
+           {
+             op = "bounds_certificate";
+             pattern = None;
+             nodes_before = n;
+             nodes_after = n;
+             cert_us;
+             ok = failure = None;
+             detail = failure;
+           }))
+  end;
+  match failure with Some m -> raise (Sched.Sched_error m) | None -> p
+
+(** How many provenance macro steps a (kit, style) schedule must record:
+    the kit declares the packed pipeline's count; the in-repo templates are
+    fixed shapes. CI cross-checks emitted sidecars against this. *)
+let declared_steps (kit : Kits.t) (style : style) : int =
+  match style with
+  | Packed -> kit.Kits.sched_steps
+  | PackedBcast | Row -> 6
+  | Scalar -> 2
 
 let generate ?(kit = Kits.neon_f32) ~mr ~nr () : kernel =
   if mr < 1 || nr < 1 then invalid_arg "Family.generate: mr and nr must be ≥ 1";
   let style = pick_style kit ~mr ~nr in
-  let proc =
-    match style with
-    | Packed -> packed kit ~mr ~nr
-    | PackedBcast -> packed_bcast kit ~mr ~nr
-    | Row -> row kit ~nr
-    | Scalar -> scalar kit ~mr ~nr
+  let args =
+    if Obs.enabled () then
+      [
+        ("kit", kit.Kits.name);
+        ("shape", Printf.sprintf "%dx%d" mr nr);
+        ("style", style_name style);
+      ]
+    else []
   in
-  let proc = certify proc in
-  { mr; nr; kit; style; proc }
+  Obs.with_span ~args "family.generate" (fun () ->
+      let proc, provenance =
+        Obs.Provenance.collect (fun () ->
+            let proc =
+              match style with
+              | Packed -> packed kit ~mr ~nr
+              | PackedBcast -> packed_bcast kit ~mr ~nr
+              | Row -> row kit ~nr
+              | Scalar -> scalar kit ~mr ~nr
+            in
+            certify proc)
+      in
+      let declared = declared_steps kit style in
+      let got = Obs.Provenance.step_count provenance in
+      if got <> declared then
+        raise
+          (Sched.Sched_error
+             (Fmt.str
+                "%s %dx%d (%s): provenance records %d schedule steps, %d declared"
+                kit.Kits.name mr nr (style_name style) got declared));
+      { mr; nr; kit; style; proc; provenance })
 
 (** The kernel sizes the paper's evaluation uses (Section IV-C). *)
 let paper_shapes = [ (8, 12); (8, 8); (8, 4); (4, 12); (4, 8); (4, 4); (1, 12); (1, 8) ]

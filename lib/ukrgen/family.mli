@@ -26,15 +26,24 @@ type kernel = {
   kit : Kits.t;
   style : style;
   proc : Exo_ir.Ir.proc;  (** signature: (KC, alpha, Ac, Bc, beta, C) *)
+  provenance : Exo_obs.Obs.Provenance.entry list;
+      (** the schedule that made [proc]: one entry per primitive applied
+          (cursor pattern, IR node delta, certificate time/outcome) plus one
+          marker per macro step — always collected, tracing on or off *)
 }
 
 (** The template [generate] would pick for a shape on a kit. *)
 val pick_style : Kits.t -> mr:int -> nr:int -> style
 
+(** How many provenance macro steps the (kit, style) schedule declares —
+    [generate] fails with [Sched_error] if the recorded log disagrees, and
+    CI cross-checks emitted sidecars against the same number. *)
+val declared_steps : Kits.t -> style -> int
+
 (** Generate one specialized kernel. Raises [Invalid_argument] on
     non-positive shapes. Every generated kernel is bit-exact against the
     reference semantics (enforced by the property tests) and carries the
-    {!certify} bounds certificate. *)
+    {!certify} bounds certificate plus its full provenance log. *)
 val generate : ?kit:Kits.t -> mr:int -> nr:int -> unit -> kernel
 
 (** Demand the static bounds certificate of {!Exo_check.Bounds.check_proc}:

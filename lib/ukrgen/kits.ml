@@ -21,6 +21,9 @@ type t = {
   fma_scalar : Ir.proc option;  (** dst\[i\] += s\[0\] * rhs\[i\] *)
   fma_scalar_r : Ir.proc option;  (** dst\[i\] += lhs\[i\] * s\[0\] *)
   bcast : Ir.proc;  (** dst\[i\] = src\[0\] *)
+  sched_steps : int;
+      (** declared schedule macro-step count for the packed pipeline; the
+          generator's provenance log must agree ([Family.generate] checks) *)
 }
 
 let neon_f32 =
@@ -36,6 +39,7 @@ let neon_f32 =
     fma_scalar = Some Exo_isa.Neon.vfmacc_scalar_4xf32;
     fma_scalar_r = Some Exo_isa.Neon.vfmacc_scalar_r_4xf32;
     bcast = Exo_isa.Neon.vdup_4xf32;
+    sched_steps = 6;
   }
 
 (** The f16 kit the paper contributed to Exo (Section III-D): 8 lanes,
@@ -53,6 +57,7 @@ let neon_f16 =
     fma_scalar = None;
     fma_scalar_r = None;
     bcast = Exo_isa.Neon.vdup_8xf16;
+    sched_steps = 6;
   }
 
 (** AVX-512: no lane-indexed FMA, so schedules go through
@@ -70,6 +75,7 @@ let avx512_f32 =
     fma_scalar = None;
     fma_scalar_r = None;
     bcast = Exo_isa.Avx512.set1_16xf32;
+    sched_steps = 6;
   }
 
 (** Integer kernels (the HPC libraries' missing case, limitations point 5):
@@ -87,6 +93,7 @@ let neon_i32 =
     fma_scalar = None;
     fma_scalar_r = None;
     bcast = Exo_isa.Neon.vdup_4xi32;
+    sched_steps = 6;
   }
 
 (** AVX2: 8 lanes, a 16-entry register file (the tuner's feasibility check
@@ -104,6 +111,7 @@ let avx2_f32 =
     fma_scalar = None;
     fma_scalar_r = None;
     bcast = Exo_isa.Avx2.broadcast_8xf32;
+    sched_steps = 6;
   }
 
 (** RISC-V vector (VLEN = 128): scalar-times-vector FMA maps the broadcast
@@ -121,6 +129,7 @@ let rvv_f32 =
     fma_scalar = Some Exo_isa.Rvv.vfmacc_vf_4xf32;
     fma_scalar_r = Some Exo_isa.Rvv.vfmacc_vf_r_4xf32;
     bcast = Exo_isa.Rvv.vfmv_4xf32;
+    sched_steps = 6;
   }
 
 let all = [ neon_f32; neon_f16; neon_i32; avx512_f32; avx2_f32; rvv_f32 ]

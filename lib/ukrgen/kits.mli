@@ -15,6 +15,7 @@ type t = {
   fma_scalar : Exo_ir.Ir.proc option;  (** dst[i] += s[0] * rhs[i] *)
   fma_scalar_r : Exo_ir.Ir.proc option;  (** dst[i] += lhs[i] * s[0] *)
   bcast : Exo_ir.Ir.proc;  (** dst[i] = src[0] *)
+  sched_steps : int;  (** declared packed-pipeline macro-step count *)
 }
 
 (** The paper's target: ARM Neon FP32, 4 lanes. *)

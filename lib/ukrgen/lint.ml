@@ -107,16 +107,34 @@ let variant_unit (kit : Kits.t) t (vname, gen) () : unit_result =
       Skip (Fmt.str "%s %s" kit.Kits.name label, m)
 
 let run ?(kits = Kits.all) ?jobs () : outcome =
+  let module Obs = Exo_obs.Obs in
   let work =
     List.concat_map
       (fun (kit : Kits.t) ->
         let t = target_of_kit kit in
-        List.map (shape_unit kit t) Family.paper_shapes
-        @ List.map (variant_unit kit t) (variants_of kit))
+        List.map
+          (fun (mr, nr) ->
+            (Fmt.str "%s %dx%d" kit.Kits.name mr nr, shape_unit kit t (mr, nr)))
+          Family.paper_shapes
+        @ List.map
+            (fun (vname, gen) ->
+              (Fmt.str "%s %s" kit.Kits.name vname, variant_unit kit t (vname, gen)))
+            (variants_of kit))
       kits
   in
   let pool = Exo_par.Pool.create ?jobs () in
-  let results = Exo_par.Pool.map pool (fun job -> job ()) work in
+  let results =
+    Obs.with_span "lint.run" (fun () ->
+        Exo_par.Pool.map pool
+          (fun (label, job) ->
+            let sp =
+              if Obs.enabled () then
+                Obs.begin_span ~args:[ ("unit", label) ] "lint.unit"
+              else Obs.none
+            in
+            Fun.protect ~finally:(fun () -> Obs.end_span sp) job)
+          work)
+  in
   {
     entries = List.filter_map (function Entry e -> Some e | Skip _ -> None) results;
     skipped =

@@ -20,7 +20,12 @@ let final (tr : trace) : Ir.proc =
   | [] -> invalid_arg "empty trace"
   | s :: _ -> s.proc
 
-let record title ?figure proc (tr : trace) : trace = tr @ [ { title; figure; proc } ]
+(* the first record is the starting point (Fig. 5), not a transformation —
+   only subsequent records count as schedule macro steps in the provenance
+   log ([Kits.sched_steps] declares how many a kit's packed pipeline has) *)
+let record title ?figure proc (tr : trace) : trace =
+  if tr <> [] then Exo_obs.Obs.Provenance.mark_step ?figure title;
+  tr @ [ { title; figure; proc } ]
 
 (** The standard packed schedule — requires [lanes | MR] and [lanes | NR]
     and a lane-indexed FMA in the kit. *)

@@ -1,0 +1,342 @@
+(* The observability layer: Exo_obs.Obs.
+
+   Three contracts are load-bearing and pinned here:
+
+   1. Determinism — the merged trace of a pure workload run through
+      Exo_par.Pool is identical at every pool width, up to span ids and
+      (monotonic, per-domain) timestamps. Everything that makes traces
+      diffable across `-j` settings rides on this (qcheck property).
+
+   2. Cost — with tracing disabled the span/counter/histogram hot paths
+      are a single atomic branch and allocate NOTHING. The <2% perf gate
+      on bench/main.exe rides on this (Gc.minor_words test).
+
+   3. Honesty — a span left open at drain time is reported as unclosed,
+      never silently dropped.
+
+   Plus the provenance collector (the sidecar every generated kernel
+   ships) and the CLI exit-code contract of bin/ukrgen.exe. *)
+
+module Obs = Exo_obs.Obs
+module Pool = Exo_par.Pool
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains ~affix s =
+  let n = String.length s and m = String.length affix in
+  let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+  m = 0 || go 0
+
+(* Every test owns the global collector: start from a clean, disabled
+   state and leave one behind. *)
+let fresh () =
+  Obs.disable ();
+  Obs.reset ()
+
+(* --- determinism across pool widths -------------------------------------- *)
+
+(* What "identical up to span ids and timestamps" means concretely: keep
+   (epoch, task, name, depth, args, kind tag), drop (tid, seq, t0, dur). *)
+type norm = int * int * string * int * (string * string) list * string
+
+let normalize (tr : Obs.trace) : norm list * (string * int) list =
+  let ev (e : Obs.event) : norm =
+    let k =
+      match e.Obs.e_kind with
+      | Obs.KComplete _ -> "complete"
+      | Obs.KInstant -> "instant"
+      | Obs.KUnclosed -> "unclosed"
+    in
+    (e.Obs.e_epoch, e.Obs.e_task, e.Obs.e_name, e.Obs.e_depth, e.Obs.e_args, k)
+  in
+  (List.map ev tr.Obs.events, tr.Obs.counters)
+
+(* A deterministic multi-span workload: item [x] opens a task span, then
+   [x mod 3] nested inner spans each with an instant and a counter bump. *)
+let ticks = Obs.counter "test.ticks"
+
+let work x =
+  Obs.with_span ~args:[ ("x", string_of_int x) ] "obs-test.task" (fun () ->
+      for i = 1 to x mod 3 do
+        Obs.with_span "obs-test.inner" (fun () ->
+            Obs.instant ~args:[ ("i", string_of_int i) ] "obs-test.tick";
+            Obs.incr ticks)
+      done;
+      x * 2)
+
+let run_at_width xs jobs =
+  fresh ();
+  Obs.enable ();
+  let pool = Pool.create ~jobs () in
+  let out = Pool.map pool work xs in
+  Obs.disable ();
+  let tr = Obs.drain () in
+  (out, normalize tr)
+
+let prop_width_invariant =
+  QCheck.Test.make ~count:30 ~name:"merged trace identical at widths 1/2/4"
+    QCheck.(list_of_size Gen.(int_range 0 12) small_nat)
+    (fun xs ->
+      let o1, t1 = run_at_width xs 1 in
+      let o2, t2 = run_at_width xs 2 in
+      let o4, t4 = run_at_width xs 4 in
+      o1 = o2 && o2 = o4 && t1 = t2 && t2 = t4)
+
+let test_trace_shape () =
+  (* sanity on the normalized form itself: nesting depths and task ids *)
+  let _, (evs, counters) = run_at_width [ 5; 4 ] 2 in
+  let tasks =
+    List.filter (fun (_, _, n, _, _, _) -> n = "obs-test.task") evs
+  in
+  check_int "one task span per item" 2 (List.length tasks);
+  List.iteri
+    (fun i (_, task, _, depth, _, _) ->
+      check_int "task spans carry their item index" i task;
+      check_int "task span at depth 0" 0 depth)
+    tasks;
+  let inners =
+    List.filter (fun (_, _, n, _, _, _) -> n = "obs-test.inner") evs
+  in
+  check_int "5 mod 3 + 4 mod 3 inner spans" 3 (List.length inners);
+  List.iter
+    (fun (_, _, _, depth, _, _) -> check_int "inner nested at depth 1" 1 depth)
+    inners;
+  check_bool "counter drained" true
+    (List.mem_assoc "test.ticks" counters
+    && List.assoc "test.ticks" counters = 3)
+
+(* --- disabled hot path allocates nothing ---------------------------------- *)
+
+let test_disabled_no_alloc () =
+  fresh ();
+  check_bool "tracing disabled" false (Obs.enabled ());
+  let c = Obs.counter "test.noalloc" and h = Obs.histogram "test.noalloc_h" in
+  let hot () =
+    for i = 1 to 10_000 do
+      let sp = Obs.begin_span "hot" in
+      Obs.instant "hot.instant";
+      Obs.incr c;
+      Obs.add c 3;
+      Obs.observe h i;
+      Obs.end_span sp
+    done
+  in
+  hot ();
+  (* warm-up: any one-time lazy setup *)
+  let w0 = Gc.minor_words () in
+  hot ();
+  let dw = Gc.minor_words () -. w0 in
+  check_bool
+    (Fmt.str "10k disabled span+metric rounds allocated %.0f words" dw)
+    true (dw <= 8.0);
+  check_int "disabled mutations dropped" 0 (Obs.counter_value c)
+
+(* --- unclosed spans are reported, not dropped ----------------------------- *)
+
+let test_unclosed_reported () =
+  fresh ();
+  Obs.enable ();
+  let _leak = Obs.begin_span "obs-test.leaky" in
+  let closed = Obs.begin_span "obs-test.closed" in
+  Obs.end_span closed;
+  Obs.disable ();
+  let tr = Obs.drain () in
+  check_bool "unclosed list names the leak" true
+    (List.exists (fun (n, _) -> n = "obs-test.leaky") tr.Obs.unclosed);
+  check_bool "leak surfaces as a KUnclosed event" true
+    (List.exists
+       (fun (e : Obs.event) ->
+         e.Obs.e_name = "obs-test.leaky" && e.Obs.e_kind = Obs.KUnclosed)
+       tr.Obs.events);
+  check_bool "the closed sibling is still a complete span" true
+    (List.exists
+       (fun (e : Obs.event) ->
+         e.Obs.e_name = "obs-test.closed"
+         && match e.Obs.e_kind with Obs.KComplete _ -> true | _ -> false)
+       tr.Obs.events);
+  (* the exporter flags it too *)
+  let report = Obs.Export.text_report tr in
+  check_bool "text report has an UNCLOSED section" true
+    (contains ~affix:"obs-test.leaky" report)
+
+(* --- counters and histograms ---------------------------------------------- *)
+
+let test_metrics () =
+  fresh ();
+  Obs.enable ();
+  let c = Obs.counter "test.metric_c" in
+  Obs.incr c;
+  Obs.add c 41;
+  check_int "counter accumulates" 42 (Obs.counter_value c);
+  check_bool "same name, same cell" true
+    (Obs.counter_value (Obs.counter "test.metric_c") = 42);
+  let h = Obs.histogram "test.metric_h" in
+  List.iter (Obs.observe h) [ 1; 2; 4; 100 ];
+  Obs.disable ();
+  let tr = Obs.drain () in
+  check_int "counter snapshot" 42 (List.assoc "test.metric_c" tr.Obs.counters);
+  let hs = List.assoc "test.metric_h" tr.Obs.histograms in
+  check_int "histogram count" 4 hs.Obs.h_count;
+  check_int "histogram sum" 107 hs.Obs.h_sum;
+  Obs.reset ();
+  check_int "reset zeroes counters" 0 (Obs.counter_value c)
+
+(* --- exporters ------------------------------------------------------------ *)
+
+let test_chrome_json () =
+  fresh ();
+  Obs.enable ();
+  Obs.with_span ~args:[ ("k", "v") ] "obs-test.outer" (fun () ->
+      Obs.instant "obs-test.mark");
+  Obs.disable ();
+  let js = Obs.Export.chrome_json (Obs.drain ()) in
+  let has affix = contains ~affix js in
+  check_bool "top-level traceEvents array" true (has "\"traceEvents\"");
+  check_bool "complete event" true (has "\"ph\":\"X\"");
+  check_bool "instant event" true (has "\"ph\":\"i\"");
+  check_bool "span name present" true (has "\"obs-test.outer\"");
+  check_bool "args preserved" true (has "\"k\":\"v\"")
+
+(* --- provenance ----------------------------------------------------------- *)
+
+let prim ?pattern ?(ok = true) op =
+  Obs.Provenance.Prim
+    {
+      op;
+      pattern;
+      nodes_before = 10;
+      nodes_after = 12;
+      cert_us = 1.5;
+      ok;
+      detail = (if ok then None else Some "boom");
+    }
+
+let test_provenance_collect () =
+  fresh ();
+  check_bool "no collector by default" false (Obs.Provenance.collecting ());
+  Obs.Provenance.record (prim "dropped");
+  (* no-op, no collector *)
+  let (), entries =
+    Obs.Provenance.collect (fun () ->
+        Obs.Provenance.mark_step ~figure:"Fig. 6" "divide_loop: vectorize i";
+        Obs.Provenance.record (prim ~pattern:"for i in _: _" "divide_loop");
+        Obs.Provenance.record (prim "replace");
+        (* nested collectors do not steal from the outer one *)
+        let (), inner = Obs.Provenance.collect (fun () ->
+            Obs.Provenance.record (prim "inner_only"))
+        in
+        check_int "inner collector sees its entry" 1
+          (Obs.Provenance.prim_count inner))
+  in
+  check_int "steps" 1 (Obs.Provenance.step_count entries);
+  (* the nested collector's entry also lands in the outer log (nesting
+     appends to every active cell) *)
+  check_int "prims" 3 (Obs.Provenance.prim_count entries);
+  check_bool "all ok" true (Obs.Provenance.all_ok entries);
+  check_bool "failure flips all_ok" false
+    (Obs.Provenance.all_ok [ prim ~ok:false "bad" ])
+
+let test_provenance_json () =
+  let entries =
+    [
+      Obs.Provenance.Step { title = "divide_loop: vectorize i"; figure = Some "Fig. 6" };
+      prim ~pattern:"for i in _: _" "divide_loop";
+      prim "replace";
+    ]
+  in
+  let js =
+    Obs.Provenance.to_json ~kernel:"uk_test" ~kit:"neon-f32" ~style:"packed"
+      ~declared_steps:1 entries
+  in
+  let has affix = contains ~affix js in
+  (* exact grep-able shapes CI relies on *)
+  check_bool "step kind line" true (has "\"kind\": \"step\"");
+  check_bool "prim kind line" true (has "\"kind\": \"prim\"");
+  check_bool "declared_steps header" true (has "\"declared_steps\": 1");
+  check_bool "step_count header" true (has "\"step_count\": 1");
+  check_bool "cursor pattern recorded" true (has "for i in _: _");
+  check_bool "certificates_ok" true (has "\"certificates_ok\": true");
+  let lines = Obs.Provenance.header_lines entries in
+  check_bool "header summary line" true
+    (List.exists
+       (fun l -> contains ~affix:"1 schedule steps" l)
+       lines)
+
+let test_family_provenance () =
+  (* the real producer: every generated kernel carries a log whose step
+     count equals the kit's declaration (generate enforces this; we pin
+     the observable) *)
+  let module F = Exo_ukr_gen.Family in
+  let k = F.generate ~kit:Exo_ukr_gen.Kits.neon_f32 ~mr:8 ~nr:12 () in
+  check_bool "provenance non-empty" true (k.F.provenance <> []);
+  check_int "recorded steps = declared"
+    (F.declared_steps k.F.kit k.F.style)
+    (Obs.Provenance.step_count k.F.provenance);
+  check_bool "every certificate passed" true
+    (Obs.Provenance.all_ok k.F.provenance);
+  check_bool "bounds certificate in the log" true
+    (List.exists
+       (function
+         | Obs.Provenance.Prim { op = "bounds_certificate"; ok; _ } -> ok
+         | _ -> false)
+       k.F.provenance)
+
+(* --- the ukrgen CLI exit-code contract ------------------------------------ *)
+
+(* cmdliner's term-evaluation errors exit with 124; success with 0. Pin
+   both so an unknown subcommand or flag can never silently "succeed"
+   in a script or CI pipeline. *)
+let ukrgen = "../bin/ukrgen.exe"
+
+let run_cli args =
+  Sys.command (Filename.quote_command ukrgen args ^ " >/dev/null 2>&1")
+
+let test_cli_exit_codes () =
+  check_int "unknown subcommand exits 124" 124 (run_cli [ "frobnicate" ]);
+  check_int "unknown flag exits 124" 124
+    (run_cli [ "generate"; "--no-such-flag" ]);
+  check_int "bad kit value exits 124" 124
+    (run_cli [ "generate"; "--kit"; "bogus"; "--mr"; "8"; "--nr"; "12" ]);
+  check_int "missing positional exits 124" 124 (run_cli [ "trace" ]);
+  check_int "--help exits 0" 0 (run_cli [ "--help" ]);
+  check_int "a good invocation exits 0" 0
+    (run_cli [ "generate"; "--kit"; "neon-f32"; "--mr"; "8"; "--nr"; "12" ])
+
+let () =
+  fresh ();
+  Alcotest.run "obs"
+    [
+      ( "determinism",
+        [
+          QCheck_alcotest.to_alcotest prop_width_invariant;
+          Alcotest.test_case "trace shape across a pool" `Quick
+            test_trace_shape;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "disabled hot path allocates nothing" `Quick
+            test_disabled_no_alloc;
+        ] );
+      ( "honesty",
+        [
+          Alcotest.test_case "unclosed span reported, not dropped" `Quick
+            test_unclosed_reported;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "counters and histograms" `Quick test_metrics ] );
+      ( "export",
+        [ Alcotest.test_case "chrome trace_event JSON" `Quick test_chrome_json ]
+      );
+      ( "provenance",
+        [
+          Alcotest.test_case "scoped collection" `Quick test_provenance_collect;
+          Alcotest.test_case "sidecar JSON shapes" `Quick test_provenance_json;
+          Alcotest.test_case "Family.generate carries its schedule" `Quick
+            test_family_provenance;
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "ukrgen exit codes" `Quick test_cli_exit_codes;
+        ] );
+    ]
