@@ -9,11 +9,15 @@
      dune exec bench/main.exe -- perf-sim     # compressed vs element cache sim
                                               # + 1-vs-N-domain sweeps
                                               # (writes BENCH_sim.json)
+     dune exec bench/main.exe -- perf-gemm    # executable GEMM: specialized
+                                              # kernel tier, paper-scale GEMM,
+                                              # pool invariance, batched layers
+                                              # (writes BENCH_gemm.json)
      dune exec bench/main.exe -- -j 4 all     # pool width for parallel sweeps
      dune exec bench/main.exe -- -profile lint # obs tracing + profile report
 
    Experiments: fig12 fig13 fig14 tab1 tab2 fig15 fig16 fig17 fig18
-   ablation bechamel perf perf-sim[-smoke] lint all *)
+   ablation bechamel perf perf-sim[-smoke] perf-gemm[-smoke] lint all *)
 
 open Bechamel
 module Btoolkit = Toolkit
@@ -55,7 +59,7 @@ let bench_tests () =
         let ac = Array.make (32 * 8) 1.0
         and bc = Array.make (32 * 12) 1.0
         and c = Array.make (12 * 8) 0.0 in
-        exo_ukr ~kc:32 ~mr:8 ~nr:12 ~ac ~bc ~c);
+        exo_ukr ~kc:32 ~mr:8 ~nr:12 ~ac ~ao:0 ~bc ~bo:0 ~c);
     (* per-table/figure harness computations *)
     test_of_fun "fig12: census of the generated kernel" (fun () ->
         ignore (Exo_sim.Trace.of_proc (Exo_blis.Registry.exo_kernel ~mr:8 ~nr:12 ()).F.proc));
@@ -204,22 +208,22 @@ let run_perf () =
   let mk n = Array.init n (fun _ -> float_of_int (Random.State.int st 7 - 3)) in
   let ac = mk (kc * mr) and bc = mk (kc * nr) in
   let c0 = mk (nr * mr) in
-  let compiled = R.exo_ukr () and interp = R.exo_ukr_interp () in
+  let compiled = R.exo_ukr_closure () and interp = R.exo_ukr_interp () in
   (* sanity: both engines produce the identical C tile *)
   let c1 = Array.copy c0 and c2 = Array.copy c0 in
-  compiled ~kc ~mr ~nr ~ac ~bc ~c:c1;
-  interp ~kc ~mr ~nr ~ac ~bc ~c:c2;
+  compiled ~kc ~mr ~nr ~ac ~ao:0 ~bc ~bo:0 ~c:c1;
+  interp ~kc ~mr ~nr ~ac ~ao:0 ~bc ~bo:0 ~c:c2;
   if c1 <> c2 then failwith "perf: compiled and interpreted kernels disagree";
   Fmt.pr "engines agree bit-exactly on the C tile@.";
   let t_compiled =
     time_runs (fun () ->
         let c = Array.copy c0 in
-        compiled ~kc ~mr ~nr ~ac ~bc ~c)
+        compiled ~kc ~mr ~nr ~ac ~ao:0 ~bc ~bo:0 ~c)
   in
   let t_interp =
     time_runs (fun () ->
         let c = Array.copy c0 in
-        interp ~kc ~mr ~nr ~ac ~bc ~c)
+        interp ~kc ~mr ~nr ~ac ~ao:0 ~bc ~bo:0 ~c)
   in
   let speedup = t_interp /. t_compiled in
   Fmt.pr "tree-walking interpreter : %12.1f us/call@." (t_interp *. 1e6);
@@ -372,6 +376,214 @@ let run_perf_sim ?(smoke = false) () =
   Fmt.pr "wrote BENCH_sim.json@.@."
 
 (* ------------------------------------------------------------------ *)
+(* perf-gemm: the executable GEMM path. Measures the specialized        *)
+(* flat-loop kernel tier against the closure engine (one 8x12 call at   *)
+(* paper kc), times a full paper-scale GEMM through the arena-packed    *)
+(* pool-parallel macro-kernel (validated exactly against naive f32),    *)
+(* checks bit-identical C at pool widths 1/2/4, and runs a DNN workload *)
+(* slice through Gemm.batch. Writes BENCH_gemm.json; any numeric        *)
+(* mismatch is a hard process failure so CI can assert via exit code.   *)
+
+let run_perf_gemm ?(smoke = false) () =
+  let module R = Exo_blis.Registry in
+  let module M = Exo_blis.Matrix in
+  let module G = Exo_blis.Gemm in
+  let module W = Exo_workloads.Models in
+  let machine = Exo_isa.Machine.carmel in
+  let min_time = if smoke then 0.05 else 0.3 in
+  Fmt.pr "Executable-GEMM benchmark%s@." (if smoke then " (smoke)" else "");
+  Fmt.pr "%s@." (String.make 78 '-');
+  (* 1. one micro-kernel call: specialized flat-loop tier vs the closure
+     engine, at the paper blocking's kc *)
+  let kc = if smoke then 128 else 512 in
+  let mr = 8 and nr = 12 in
+  let st = Random.State.make [| 42 |] in
+  let mk n = Array.init n (fun _ -> float_of_int (Random.State.int st 7 - 3)) in
+  let ac = mk (kc * mr) and bc = mk (kc * nr) in
+  let c0 = mk (nr * mr) in
+  let fast =
+    match R.exo_ukr_fast ~mr ~nr () with
+    | Some u -> u
+    | None -> failwith "perf-gemm: 8x12 kernel rejected by the specialized tier"
+  in
+  let closure = R.exo_ukr_closure () in
+  let c1 = Array.copy c0 and c2 = Array.copy c0 in
+  fast ~kc ~ac ~ao:0 ~bc ~bo:0 ~c:c1;
+  closure ~kc ~mr ~nr ~ac ~ao:0 ~bc ~bo:0 ~c:c2;
+  if c1 <> c2 then failwith "perf-gemm: specialized and closure kernels disagree";
+  Fmt.pr "kernel tiers agree bit-exactly on the C tile@.";
+  let t_fast =
+    time_runs ~min_time (fun () ->
+        let c = Array.copy c0 in
+        fast ~kc ~ac ~ao:0 ~bc ~bo:0 ~c)
+  in
+  let t_closure =
+    time_runs ~min_time (fun () ->
+        let c = Array.copy c0 in
+        closure ~kc ~mr ~nr ~ac ~ao:0 ~bc ~bo:0 ~c)
+  in
+  let ukr_speedup = t_closure /. t_fast in
+  Fmt.pr "closure engine     : %12.1f us/call@." (t_closure *. 1e6);
+  Fmt.pr "specialized lowering: %11.1f us/call@." (t_fast *. 1e6);
+  Fmt.pr "speedup            : %12.1fx %s@." ukr_speedup
+    (if ukr_speedup >= 5.0 then "(>= 5x: ok)" else "(below the 5x target!)");
+  (* 2. a full paper-scale GEMM through the macro-kernel, validated exactly
+     against the f32-rounded naive reference, then re-run at pool widths
+     2 and 4 — C must be bit-identical at every width *)
+  let dim = if smoke then 144 else 1008 in
+  let blocking = Exo_blis.Analytical.compute machine ~mr ~nr ~dtype_bytes:4 in
+  let a = M.random_int dim dim st and b = M.random_int dim dim st in
+  let c_init = M.random_int dim dim st in
+  let exo_ukr = R.exo_ukr () in
+  let run_width jobs =
+    let c = M.copy c_init in
+    let pool = Exo_par.Pool.create ~jobs () in
+    let t0 = Unix.gettimeofday () in
+    G.blis ~pool ~blocking ~mr ~nr ~ukr:exo_ukr a b c;
+    (c, Unix.gettimeofday () -. t0)
+  in
+  let c_serial, t_serial = run_width 1 in
+  let gemm_gflops =
+    2.0 *. float_of_int dim *. float_of_int dim *. float_of_int dim
+    /. t_serial /. 1e9
+  in
+  Fmt.pr "%d^3 GEMM, 1 domain : %8.2f s  (%.3f GFLOPS)@." dim t_serial gemm_gflops;
+  let c_ref = M.copy c_init in
+  G.naive_f32 a b c_ref;
+  if not (M.equal c_serial c_ref) then
+    failwith "perf-gemm: macro-kernel disagrees with naive f32 reference";
+  Fmt.pr "validated exactly against naive f32@.";
+  (* the analytical nc can exceed the whole problem (one jc task), which
+     would make the width sweep vacuous — split n into >= 4 column blocks
+     so several domains really pack and scatter concurrently *)
+  let par_blocking =
+    let quarter = (dim + 3) / 4 in
+    let nc = max nr (quarter / nr * nr) in
+    { blocking with Exo_blis.Analytical.nc }
+  in
+  let run_par jobs =
+    let c = M.copy c_init in
+    let pool = Exo_par.Pool.create ~jobs () in
+    let t0 = Unix.gettimeofday () in
+    G.blis ~pool ~blocking:par_blocking ~mr ~nr ~ukr:exo_ukr a b c;
+    (c, Unix.gettimeofday () -. t0)
+  in
+  let c_par1, t_par1 = run_par 1 in
+  (* nc only tiles the column space — it never reorders any element's
+     accumulation — so the split run must still match the reference *)
+  if not (M.equal c_par1 c_ref) then
+    failwith "perf-gemm: column-split blocking changed the result";
+  let par_times, jobs_identical =
+    List.fold_left
+      (fun (times, ok) jobs ->
+        let c, t = run_par jobs in
+        let same = M.equal c c_par1 in
+        Fmt.pr "%d^3 GEMM, %d domains: %7.2f s  (%.2fx)  %s@." dim jobs t
+          (t_par1 /. t)
+          (if same then "(bit-identical)" else "(MISMATCH)");
+        (times @ [ (jobs, t) ], ok && same))
+      ([ (1, t_par1) ], true)
+      [ 2; 4 ]
+  in
+  if not jobs_identical then
+    failwith "perf-gemm: pool widths disagree on the GEMM result";
+  (* 3. a DNN workload slice through Gemm.batch: one arena + one pool for
+     the whole layer list *)
+  let layers =
+    let by_flops =
+      List.sort
+        (fun l1 l2 ->
+          let f (l : W.layer) = let m, n, k = W.gemm_dims l in m * n * k in
+          compare (f l1) (f l2))
+        W.resnet50
+    in
+    List.filteri (fun i _ -> i < if smoke then 2 else 5) by_flops
+  in
+  let probs =
+    List.map
+      (fun (l : W.layer) ->
+        let m, n, k = W.gemm_dims l in
+        let a = M.random_int m k st and b = M.random_int k n st in
+        let c = M.random_int m n st in
+        ( l,
+          {
+            G.p_a = a;
+            p_b = b;
+            p_c = c;
+            p_alpha = 1.0;
+            p_beta = 1.0;
+            p_blocking = blocking;
+            p_mr = mr;
+            p_nr = nr;
+          } ))
+      layers
+  in
+  let ws = G.workspace () in
+  let t0 = Unix.gettimeofday () in
+  G.batch ~ws ~ukr:exo_ukr (List.map snd probs);
+  let t_batch = Unix.gettimeofday () -. t0 in
+  let batch_rows =
+    List.map
+      (fun ((l : W.layer), (p : G.problem)) ->
+        let m, n, k = W.gemm_dims l in
+        let flops = 2.0 *. float_of_int (m * n * k) in
+        (* per-layer share of the batch time, apportioned by flops *)
+        ignore p;
+        (l.W.id, m, n, k, flops))
+      probs
+  in
+  let batch_flops = List.fold_left (fun s (_, _, _, _, f) -> s +. f) 0.0 batch_rows in
+  let batch_gflops = batch_flops /. t_batch /. 1e9 in
+  Fmt.pr "ResNet50 slice (%d layers) via Gemm.batch: %.2f s  (%.3f GFLOPS)@."
+    (List.length layers) t_batch batch_gflops;
+  let oc = open_out "BENCH_gemm.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  %s,\n\
+    \  \"smoke\": %b,\n\
+    \  \"ukr\": {\n\
+    \    \"kernel\": \"uk_%dx%d_neon-f32\",\n\
+    \    \"kc\": %d,\n\
+    \    \"closure_us_per_call\": %.3f,\n\
+    \    \"specialized_us_per_call\": %.3f,\n\
+    \    \"speedup\": %.2f\n\
+    \  },\n\
+    \  \"gemm\": {\n\
+    \    \"dim\": %d,\n\
+    \    \"blocking\": [%d, %d, %d],\n\
+    \    \"seconds_1job\": %.3f,\n\
+    \    \"gflops_1job\": %.4f,\n\
+    \    \"validated_vs_naive_f32\": true\n\
+    \  },\n\
+    \  \"jobs_invariance\": {\n\
+    \    \"nc_split\": %d,\n\
+    \    \"seconds_by_width\": {%s},\n\
+    \    \"identical\": %b\n\
+    \  },\n\
+    \  \"batch\": {\n\
+    \    \"model\": \"resnet50\",\n\
+    \    \"layers\": [%s],\n\
+    \    \"seconds\": %.3f,\n\
+    \    \"gflops\": %.4f\n\
+    \  }\n\
+     }\n"
+    (meta_json ()) smoke mr nr kc (t_closure *. 1e6) (t_fast *. 1e6) ukr_speedup
+    dim blocking.Exo_blis.Analytical.mc blocking.Exo_blis.Analytical.kc
+    blocking.Exo_blis.Analytical.nc t_serial gemm_gflops
+    par_blocking.Exo_blis.Analytical.nc
+    (String.concat ", "
+       (List.map (fun (j, t) -> Printf.sprintf "\"%d\": %.3f" j t) par_times))
+    jobs_identical
+    (String.concat ", "
+       (List.map
+          (fun (id, m, n, k, _) ->
+            Printf.sprintf "{\"id\": %d, \"m\": %d, \"n\": %d, \"k\": %d}" id m n k)
+          batch_rows))
+    t_batch batch_gflops;
+  close_out oc;
+  Fmt.pr "wrote BENCH_gemm.json@.@."
+
+(* ------------------------------------------------------------------ *)
 (* lint: the static Fig. 12 gate — every generated kernel must carry    *)
 (* its bounds certificate, fit the register file, match the expected    *)
 (* steady-state census and write only C. Exits 1 on any failure.        *)
@@ -436,6 +648,8 @@ let () =
     | "perf" -> run_perf ()
     | "perf-sim" -> run_perf_sim ()
     | "perf-sim-smoke" -> run_perf_sim ~smoke:true ()
+    | "perf-gemm" -> run_perf_gemm ()
+    | "perf-gemm-smoke" -> run_perf_gemm ~smoke:true ()
     | "lint" -> run_lint ()
     | "all" ->
         run_lint ();
@@ -444,7 +658,7 @@ let () =
     | other ->
         Fmt.epr
           "unknown experiment %S (expected figNN, tabN, ablation, bechamel, perf, \
-           perf-sim[-smoke], lint, all)@."
+           perf-sim[-smoke], perf-gemm[-smoke], lint, all)@."
           other;
         exit 2
   in

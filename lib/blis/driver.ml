@@ -215,7 +215,20 @@ let time_uncached (machine : Machine.t) (setup : setup) ~(m : int) ~(n : int)
             (fun (bt, bn) (t, nm) -> if t < bt then (t, nm) else (bt, bn))
             hd tl)
 
-let time_cache : (string, float * string) Exo_par.Memo.t = Exo_par.Memo.create ~size:64 ()
+(* The memo key is a structured tuple, never a formatted string: a
+   separator-joined key lets (machine "m1/x", kernel "y") alias
+   (machine "m1", kernel "x/y") and hand one configuration the other's
+   cached timing. The setup component keeps the variant tag and the
+   prefetch bit as their own fields for the same reason. *)
+let setup_id = function
+  | Monolithic { impl; prefetch } -> (`Mono, impl.KM.name, prefetch)
+  | Exo_family kit -> (`Exo, kit.Exo_ukr_gen.Kits.name, false)
+
+let time_cache :
+    ( string * ([ `Mono | `Exo ] * string * bool) * int * int * int,
+      float * string )
+    Exo_par.Memo.t =
+  Exo_par.Memo.create ~size:64 ()
 
 (** Memoized: [gflops] and [selected_kernel] (and per-figure rows that ask
     for both) share one evaluation instead of re-pricing every candidate
@@ -223,9 +236,7 @@ let time_cache : (string, float * string) Exo_par.Memo.t = Exo_par.Memo.create ~
     sweeps price GEMMs from several domains at once. *)
 let time (machine : Machine.t) (setup : setup) ~(m : int) ~(n : int) ~(k : int) :
     float * string =
-  let key =
-    Fmt.str "%s/%s/%d/%d/%d" machine.Machine.name (setup_key setup) m n k
-  in
+  let key = (machine.Machine.name, setup_id setup, m, n, k) in
   Exo_par.Memo.find_or_add time_cache key (fun () ->
       time_uncached machine setup ~m ~n ~k)
 

@@ -6,24 +6,39 @@
     jr over nc (nr), ir over mc (mr). The micro-kernel is a callback so the
     same macro code runs the interpreted Exo-generated kernels, the
     reference kernel, or anything else — mirroring how the paper swaps
-    micro-kernels under one ALG+ implementation. *)
+    micro-kernels under one ALG+ implementation.
 
-type ukr = kc:int -> mr:int -> nr:int -> ac:float array -> bc:float array ->
-  c:float array -> unit
-(** Compute [c += acᵀ · bc] on a tile: [ac] is kc×mr (k-major), [bc] is
-    kc×nr (k-major), [c] is the *transposed* tile, nr×mr row-major — the
-    layout conventions of the generated kernels (Section III-A). *)
+    The executable path is built for paper-scale runs: pack buffers and the
+    C tile live in a per-domain {!workspace} arena (no allocation steady
+    state), the C-tile gather/scatter is fused over unsafe accesses behind
+    one up-front bounds check, and the jc loop — disjoint C column blocks —
+    fans out on an {!Exo_par.Pool}, bit-identical at every pool width
+    because each task touches only its own columns and runs the same
+    per-column operation sequence. *)
+
+module Obs = Exo_obs.Obs
+module Pool = Exo_par.Pool
+
+type ukr =
+  kc:int -> mr:int -> nr:int -> ac:float array -> ao:int -> bc:float array ->
+  bo:int -> c:float array -> unit
+(** Compute [c += acᵀ · bc] on a tile: [ac] holds a kc×mr k-major panel
+    starting at element [ao], [bc] a kc×nr panel starting at [bo] (panel
+    offsets into a packing arena), and [c] is the *transposed* tile, nr×mr
+    row-major — the layout conventions of the generated kernels
+    (Section III-A). *)
 
 (** Reference micro-kernel: the same arithmetic in plain OCaml, with
     binary32 rounding to match the interpreted kernels bit for bit. *)
 let reference_ukr : ukr =
- fun ~kc ~mr ~nr ~ac ~bc ~c ->
+ fun ~kc ~mr ~nr ~ac ~ao ~bc ~bo ~c ->
   let r32 v = Int32.float_of_bits (Int32.bits_of_float v) in
   for k = 0 to kc - 1 do
     for j = 0 to nr - 1 do
       for i = 0 to mr - 1 do
         let idx = (j * mr) + i in
-        c.(idx) <- r32 (c.(idx) +. r32 (ac.((k * mr) + i) *. bc.((k * nr) + j)))
+        c.(idx) <-
+          r32 (c.(idx) +. r32 (ac.(ao + (k * mr) + i) *. bc.(bo + (k * nr) + j)))
       done
     done
   done
@@ -63,25 +78,72 @@ let naive_f32 ?(alpha = 1.0) ?(beta = 1.0) (a : Matrix.t) (b : Matrix.t)
     done
   done
 
+(* ------------------------------------------------------------------ *)
+(* Workspace arenas                                                    *)
+
+(** Per-domain scratch: one pack arena per operand plus the C tile, grown
+    monotonically (next power of two) and reused across GEMMs. Per-domain
+    because pool tasks on different domains pack concurrently. *)
+type arena = {
+  mutable aw : float array;
+  mutable bw : float array;
+  mutable tw : float array;
+}
+
+type workspace = arena Domain.DLS.key
+
+let workspace () : workspace =
+  Domain.DLS.new_key (fun () -> { aw = [||]; bw = [||]; tw = [||] })
+
+(** The workspace used when callers don't thread their own. *)
+let default_workspace : workspace = workspace ()
+
+let grown (a : float array) (n : int) : float array =
+  if Array.length a >= n then a
+  else begin
+    let cap = ref (max 16 n) in
+    (* next power of two, so repeated slightly-larger requests settle *)
+    let p = ref 16 in
+    while !p < n do
+      p := !p * 2
+    done;
+    cap := !p;
+    Array.make !cap 0.0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The five-loop macro-kernel                                          *)
+
 (** The BLIS-like GEMM: C := alpha·A·B + beta·C with the five-loop blocked
-    algorithm, packing, and [ukr] as the micro-kernel. *)
-let blis ?(alpha = 1.0) ?(beta = 1.0) ~(blocking : Analytical.blocking) ~(mr : int)
-    ~(nr : int) ~(ukr : ukr) (a : Matrix.t) (b : Matrix.t) (c : Matrix.t) : unit =
+    algorithm, arena packing, and [ukr] as the micro-kernel. The jc loop
+    runs on [pool] (default: the global pool); output is bit-identical at
+    every pool width. *)
+let blis ?(alpha = 1.0) ?(beta = 1.0) ?pool ?(ws = default_workspace)
+    ~(blocking : Analytical.blocking) ~(mr : int) ~(nr : int) ~(ukr : ukr)
+    (a : Matrix.t) (b : Matrix.t) (c : Matrix.t) : unit =
   let m = a.Matrix.rows and k = a.Matrix.cols and n = b.Matrix.cols in
   if b.Matrix.rows <> k || c.Matrix.rows <> m || c.Matrix.cols <> n then
     invalid_arg "Gemm.blis: dimension mismatch";
+  (* the packing and gather/scatter loops run unsafe accesses: pin the
+     storage invariant the flat indexing relies on *)
+  if
+    Array.length a.Matrix.data < m * k
+    || Array.length b.Matrix.data < k * n
+    || Array.length c.Matrix.data < m * n
+  then invalid_arg "Gemm.blis: matrix storage shorter than rows*cols";
   let { Analytical.mc; kc; nc } = blocking in
   if mc < mr || nc < nr || kc < 1 then invalid_arg "Gemm.blis: degenerate blocking";
+  let pool = match pool with Some p -> p | None -> Pool.global () in
   let r32 v = Int32.float_of_bits (Int32.bits_of_float v) in
-  (* beta scaling once up front (the macro-kernel form of Fig. 4's Cb) *)
-  if not (Float.equal beta 1.0) then
-    Array.iteri (fun i v -> c.Matrix.data.(i) <- r32 (beta *. v)) c.Matrix.data;
-  let tile = Array.make (mr * nr) 0.0 in
+  let ldc = c.Matrix.cols and cdata = c.Matrix.data in
+  let a_size = Packing.a_arena_size ~mcb:(min mc m) ~kcb:(min kc k) ~mr in
+  let b_size = Packing.b_arena_size ~ncb:(min nc n) ~kcb:(min kc k) ~nr in
   (* token-style spans guarded inline at each site: when tracing is off the
      loops pay one branch per span point and allocate nothing (the args
      lists are built behind the guard); each span names its loop indices so
-     the BLIS loop structure reads directly off the trace *)
-  let module Obs = Exo_obs.Obs in
+     the BLIS loop structure reads directly off the trace. Spans inside the
+     jc tasks fall under the pool's per-task scopes, so the merged trace is
+     identical at every pool width. *)
   let sp_blis =
     if Obs.enabled () then
       Obs.begin_span
@@ -90,9 +152,24 @@ let blis ?(alpha = 1.0) ?(beta = 1.0) ~(blocking : Analytical.blocking) ~(mr : i
         "gemm.blis"
     else Obs.none
   in
-  for jc = 0 to ((n + nc - 1) / nc) - 1 do
+  let jc_task jc =
+    let ar = Domain.DLS.get ws in
+    ar.aw <- grown ar.aw a_size;
+    ar.bw <- grown ar.bw b_size;
+    ar.tw <- grown ar.tw (mr * nr);
+    let tile = ar.tw in
     let jc0 = jc * nc in
     let ncb = min nc (n - jc0) in
+    (* beta scaling of this task's own column block (the macro-kernel form
+       of Fig. 4's Cb): every write of the jc task stays inside columns
+       jc0 .. jc0+ncb-1, which is what makes the fan-out deterministic *)
+    if not (Float.equal beta 1.0) then
+      for i = 0 to m - 1 do
+        let rb = (i * ldc) + jc0 in
+        for j = 0 to ncb - 1 do
+          cdata.(rb + j) <- r32 (beta *. cdata.(rb + j))
+        done
+      done;
     for pc = 0 to ((k + kc - 1) / kc) - 1 do
       let pc0 = pc * kc in
       let kcb = min kc (k - pc0) in
@@ -104,7 +181,7 @@ let blis ?(alpha = 1.0) ?(beta = 1.0) ~(blocking : Analytical.blocking) ~(mr : i
             "gemm.pack_b"
         else Obs.none
       in
-      let bp = Packing.pack_b ~alpha b ~pc:pc0 ~jc:jc0 ~kcb ~ncb ~nr in
+      let bp = Packing.pack_b_into ~alpha ar.bw b ~pc:pc0 ~jc:jc0 ~kcb ~ncb ~nr in
       Obs.end_span sp;
       for ic = 0 to ((m + mc - 1) / mc) - 1 do
         let ic0 = ic * mc in
@@ -117,7 +194,7 @@ let blis ?(alpha = 1.0) ?(beta = 1.0) ~(blocking : Analytical.blocking) ~(mr : i
               "gemm.pack_a"
           else Obs.none
         in
-        let ap = Packing.pack_a a ~ic:ic0 ~pc:pc0 ~mcb ~kcb ~mr in
+        let ap = Packing.pack_a_into ar.aw a ~ic:ic0 ~pc:pc0 ~mcb ~kcb ~mr in
         Obs.end_span sp;
         let sp_macro =
           if Obs.enabled () then
@@ -132,14 +209,20 @@ let blis ?(alpha = 1.0) ?(beta = 1.0) ~(blocking : Analytical.blocking) ~(mr : i
           else Obs.none
         in
         for jr = 0 to bp.Packing.num_panels - 1 do
-          let nrb = bp.Packing.panel_width jr in
+          let nrb = Packing.panel_width bp jr in
+          let bo = Packing.panel_off bp jr in
           for ir = 0 to ap.Packing.num_panels - 1 do
-            let mrb = ap.Packing.panel_width ir in
-            (* gather the transposed C tile *)
+            let mrb = Packing.panel_width ap ir in
+            let ao = Packing.panel_off ap ir in
+            (* fused gather/scatter of the transposed C tile: flat base
+               addressing, unsafe behind the storage check at entry (every
+               index below is ≤ (m-1)*ldc + n-1 < m*n) *)
+            let cbase = ((ic0 + (ir * mr)) * ldc) + jc0 + (jr * nr) in
             for j = 0 to nrb - 1 do
               for i = 0 to mrb - 1 do
-                tile.((j * mrb) + i) <-
-                  Matrix.get c (ic0 + (ir * mr) + i) (jc0 + (jr * nr) + j)
+                Array.unsafe_set tile
+                  ((j * mrb) + i)
+                  (Array.unsafe_get cdata (cbase + (i * ldc) + j))
               done
             done;
             let sp_ukr =
@@ -154,14 +237,14 @@ let blis ?(alpha = 1.0) ?(beta = 1.0) ~(blocking : Analytical.blocking) ~(mr : i
                   "gemm.ukr"
               else Obs.none
             in
-            ukr ~kc:kcb ~mr:mrb ~nr:nrb ~ac:(ap.Packing.panel ir)
-              ~bc:(bp.Packing.panel jr) ~c:tile;
+            ukr ~kc:kcb ~mr:mrb ~nr:nrb ~ac:ap.Packing.data ~ao
+              ~bc:bp.Packing.data ~bo ~c:tile;
             Obs.end_span sp_ukr;
-            (* scatter back *)
             for j = 0 to nrb - 1 do
               for i = 0 to mrb - 1 do
-                Matrix.set c (ic0 + (ir * mr) + i) (jc0 + (jr * nr) + j)
-                  tile.((j * mrb) + i)
+                Array.unsafe_set cdata
+                  (cbase + (i * ldc) + j)
+                  (Array.unsafe_get tile ((j * mrb) + i))
               done
             done
           done
@@ -169,5 +252,42 @@ let blis ?(alpha = 1.0) ?(beta = 1.0) ~(blocking : Analytical.blocking) ~(mr : i
         Obs.end_span sp_macro
       done
     done
-  done;
+  in
+  Pool.iter pool jc_task (List.init ((n + nc - 1) / nc) Fun.id);
   Obs.end_span sp_blis
+
+(* ------------------------------------------------------------------ *)
+(* Batched execution                                                   *)
+
+(** One GEMM of a workload batch. *)
+type problem = {
+  p_a : Matrix.t;
+  p_b : Matrix.t;
+  p_c : Matrix.t;
+  p_alpha : float;
+  p_beta : float;
+  p_blocking : Analytical.blocking;
+  p_mr : int;
+  p_nr : int;
+}
+
+(** Run a whole GEMM list (e.g. a DNN workload's layers) through one pool
+    and one set of per-domain arenas: after the first problem warms the
+    arenas, the batch allocates nothing in steady state. Problems run in
+    order (a layer's output may feed the next); each one's jc loop fans
+    out on [pool]. *)
+let batch ?pool ?(ws = default_workspace) ~(ukr : ukr) (ps : problem list) : unit =
+  let pool = match pool with Some p -> p | None -> Pool.global () in
+  let sp =
+    if Obs.enabled () then
+      Obs.begin_span
+        ~args:[ ("problems", string_of_int (List.length ps)) ]
+        "gemm.batch"
+    else Obs.none
+  in
+  List.iter
+    (fun p ->
+      blis ~alpha:p.p_alpha ~beta:p.p_beta ~pool ~ws ~blocking:p.p_blocking
+        ~mr:p.p_mr ~nr:p.p_nr ~ukr p.p_a p.p_b p.p_c)
+    ps;
+  Obs.end_span sp

@@ -1,11 +1,15 @@
 (** GEMM: the BLIS/GotoBLAS five-loop macro-kernel (Fig. 1 of the paper)
-    plus naive references, over {!Matrix} values. *)
+    plus naive references, over {!Matrix} values. The executable path packs
+    into per-domain {!workspace} arenas (no steady-state allocation), fans
+    the jc loop out on an {!Exo_par.Pool} with bit-identical output at
+    every width, and batches whole workloads through {!batch}. *)
 
 type ukr =
-  kc:int -> mr:int -> nr:int -> ac:float array -> bc:float array ->
-  c:float array -> unit
-(** A micro-kernel callback: [c += acᵀ·bc] on one tile. [ac] is kc×mr
-    (k-major), [bc] kc×nr (k-major), [c] the *transposed* tile (nr×mr,
+  kc:int -> mr:int -> nr:int -> ac:float array -> ao:int -> bc:float array ->
+  bo:int -> c:float array -> unit
+(** A micro-kernel callback: [c += acᵀ·bc] on one tile. [ac] holds a kc×mr
+    k-major panel starting at element [ao], [bc] a kc×nr panel at [bo]
+    (panel offsets into a packing arena), [c] the *transposed* tile (nr×mr,
     row-major) — the layout conventions of Section III-A. *)
 
 (** The same arithmetic in plain OCaml with binary32 rounding — matches the
@@ -20,13 +24,47 @@ val naive : ?alpha:float -> ?beta:float -> Matrix.t -> Matrix.t -> Matrix.t -> u
 val naive_f32 :
   ?alpha:float -> ?beta:float -> Matrix.t -> Matrix.t -> Matrix.t -> unit
 
-(** The BLIS-like GEMM: jc/pc/ic/jr/ir blocking, packing (alpha folded into
-    Bc, beta applied up front), [ukr] on every tile including fringes. *)
+(** Per-domain reusable scratch (pack arenas + C tile), grown on demand and
+    reused across GEMMs: repeated calls through one workspace allocate
+    nothing in steady state. *)
+type workspace
+
+(** A fresh workspace (its arenas materialize per domain on first use). *)
+val workspace : unit -> workspace
+
+(** The workspace used when callers don't thread their own. *)
+val default_workspace : workspace
+
+(** The BLIS-like GEMM: jc/pc/ic/jr/ir blocking, arena packing (alpha folded
+    into Bc, beta applied per column block), [ukr] on every tile including
+    fringes. The jc loop — disjoint C column blocks — runs on [pool]
+    (default {!Exo_par.Pool.global}); the result is bit-identical at every
+    pool width. *)
 val blis :
   ?alpha:float ->
   ?beta:float ->
+  ?pool:Exo_par.Pool.t ->
+  ?ws:workspace ->
   blocking:Analytical.blocking ->
   mr:int ->
   nr:int ->
   ukr:ukr ->
   Matrix.t -> Matrix.t -> Matrix.t -> unit
+
+(** One GEMM of a workload batch. *)
+type problem = {
+  p_a : Matrix.t;
+  p_b : Matrix.t;
+  p_c : Matrix.t;
+  p_alpha : float;
+  p_beta : float;
+  p_blocking : Analytical.blocking;
+  p_mr : int;
+  p_nr : int;
+}
+
+(** Run a whole GEMM list (e.g. a DNN workload's layers) through one pool
+    and one set of arenas — zero steady-state allocation. Problems run in
+    order; each one's jc loop fans out on [pool]. *)
+val batch :
+  ?pool:Exo_par.Pool.t -> ?ws:workspace -> ukr:ukr -> problem list -> unit

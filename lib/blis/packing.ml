@@ -1,70 +1,111 @@
 (** BLIS packing routines.
 
-    [pack_a] re-lays an mc×kc block of A into micro-panels of [mr] rows,
-    each panel k-major ([kc × mr], unit stride across the rows) — exactly
-    the layout the generated micro-kernels' [Ac: f32[KC, MR]] argument
-    assumes. [pack_b] does the same for kc×nc blocks of B in [nr]-column
-    panels ([kc × nr]). Edge panels are packed at their true width (the
-    Exo approach: a dedicated kernel per fringe shape) — [panel_width]
-    reports it.
+    [pack_a_into] re-lays an mc×kc block of A into micro-panels of [mr]
+    rows, each panel k-major ([kc × mr], unit stride across the rows) —
+    exactly the layout the generated micro-kernels' [Ac: f32[KC, MR]]
+    argument assumes. [pack_b_into] does the same for kc×nc blocks of B in
+    [nr]-column panels ([kc × nr]). Edge panels are packed at their true
+    width (the Exo approach: a dedicated kernel per fringe shape) —
+    [panel_width] reports it.
 
-    Packing is also where alpha is applied ([Ba = alpha · Bc], the paper's
-    Fig. 4), so the micro-kernels run the simplified alpha = beta = 1 code. *)
+    Panels live in one contiguous caller-provided arena at a fixed pitch
+    (the full-width panel size), so a steady-state GEMM driver reuses one
+    buffer per operand instead of allocating per (jc, pc, ic) block:
+    [panel_off] gives each panel's start, fringe panels occupy a prefix of
+    their slot. The packing loops run unsafe accesses behind a single
+    up-front range check (block within the matrix, arena large enough).
 
-type panels = {
-  panel : int -> float array;  (** [panel i] — the i-th packed micro-panel *)
-  panel_width : int -> int;  (** rows (A) or columns (B) in panel i *)
+    Packing is also where alpha is applied ([Bc = alpha · B], the paper's
+    Fig. 4), so the micro-kernels run the simplified alpha = beta = 1
+    code. *)
+
+type packed = {
+  data : float array;  (** the arena the panels were packed into *)
+  pitch : int;  (** elements between consecutive panel starts *)
   num_panels : int;
   depth : int;  (** kc of this packing *)
+  full : int;  (** full panel width: mr (A) or nr (B) *)
+  block : int;  (** packed block extent: mcb (A) or ncb (B) *)
 }
 
-(** Pack A(ic .. ic+mcb-1, pc .. pc+kcb-1) into mr-row panels. *)
-let pack_a (a : Matrix.t) ~(ic : int) ~(pc : int) ~(mcb : int) ~(kcb : int)
-    ~(mr : int) : panels =
+let panel_off (p : packed) (i : int) : int = i * p.pitch
+let panel_width (p : packed) (i : int) : int = min p.full (p.block - (i * p.full))
+
+(** Arena sizes for a maximal block: full-width panels at full pitch. *)
+let a_arena_size ~(mcb : int) ~(kcb : int) ~(mr : int) : int =
+  (mcb + mr - 1) / mr * kcb * mr
+
+let b_arena_size ~(ncb : int) ~(kcb : int) ~(nr : int) : int =
+  (ncb + nr - 1) / nr * kcb * nr
+
+(** Pack A(ic .. ic+mcb-1, pc .. pc+kcb-1) into mr-row panels in [dst]. *)
+let pack_a_into (dst : float array) (a : Matrix.t) ~(ic : int) ~(pc : int)
+    ~(mcb : int) ~(kcb : int) ~(mr : int) : packed =
   if mcb < 0 || kcb < 0 || ic < 0 || pc < 0 || ic + mcb > a.Matrix.rows
      || pc + kcb > a.Matrix.cols
   then invalid_arg "pack_a: block out of range";
+  if Array.length dst < a_arena_size ~mcb ~kcb ~mr then
+    invalid_arg "pack_a: arena too small";
   let num_panels = (mcb + mr - 1) / mr in
-  let store =
-    Array.init num_panels (fun ir ->
-        let w = min mr (mcb - (ir * mr)) in
-        let buf = Array.make (max 1 (kcb * w)) 0.0 in
-        for kk = 0 to kcb - 1 do
-          for i = 0 to w - 1 do
-            buf.((kk * w) + i) <- Matrix.get a (ic + (ir * mr) + i) (pc + kk)
-          done
-        done;
-        buf)
-  in
-  {
-    panel = (fun i -> store.(i));
-    panel_width = (fun i -> min mr (mcb - (i * mr)));
-    num_panels;
-    depth = kcb;
-  }
+  let lda = a.Matrix.cols and src = a.Matrix.data in
+  (* the range check above bounds every access below: source indices stay
+     within the (ic..ic+mcb-1, pc..pc+kcb-1) block, destinations within the
+     arena prefix just checked *)
+  for ir = 0 to num_panels - 1 do
+    let w = min mr (mcb - (ir * mr)) in
+    let po = ir * kcb * mr in
+    let rbase = ((ic + (ir * mr)) * lda) + pc in
+    for kk = 0 to kcb - 1 do
+      let db = po + (kk * w) and sb = rbase + kk in
+      for i = 0 to w - 1 do
+        Array.unsafe_set dst (db + i) (Array.unsafe_get src (sb + (i * lda)))
+      done
+    done
+  done;
+  { data = dst; pitch = kcb * mr; num_panels; depth = kcb; full = mr; block = mcb }
 
-(** Pack B(pc .. pc+kcb-1, jc .. jc+ncb-1) into nr-column panels, scaled by
-    [alpha]. *)
-let pack_b ?(alpha = 1.0) (b : Matrix.t) ~(pc : int) ~(jc : int) ~(kcb : int)
-    ~(ncb : int) ~(nr : int) : panels =
+(** Pack B(pc .. pc+kcb-1, jc .. jc+ncb-1) into nr-column panels in [dst],
+    scaled by [alpha]. *)
+let pack_b_into ?(alpha = 1.0) (dst : float array) (b : Matrix.t) ~(pc : int)
+    ~(jc : int) ~(kcb : int) ~(ncb : int) ~(nr : int) : packed =
   if ncb < 0 || kcb < 0 || pc < 0 || jc < 0 || pc + kcb > b.Matrix.rows
      || jc + ncb > b.Matrix.cols
   then invalid_arg "pack_b: block out of range";
+  if Array.length dst < b_arena_size ~ncb ~kcb ~nr then
+    invalid_arg "pack_b: arena too small";
   let num_panels = (ncb + nr - 1) / nr in
-  let store =
-    Array.init num_panels (fun jr ->
-        let w = min nr (ncb - (jr * nr)) in
-        let buf = Array.make (max 1 (kcb * w)) 0.0 in
-        for kk = 0 to kcb - 1 do
-          for j = 0 to w - 1 do
-            buf.((kk * w) + j) <- alpha *. Matrix.get b (pc + kk) (jc + (jr * nr) + j)
-          done
-        done;
-        buf)
-  in
-  {
-    panel = (fun i -> store.(i));
-    panel_width = (fun i -> min nr (ncb - (i * nr)));
-    num_panels;
-    depth = kcb;
-  }
+  let ldb = b.Matrix.cols and src = b.Matrix.data in
+  if Float.equal alpha 1.0 then
+    for jr = 0 to num_panels - 1 do
+      let w = min nr (ncb - (jr * nr)) in
+      let po = jr * kcb * nr in
+      let cbase = jc + (jr * nr) in
+      for kk = 0 to kcb - 1 do
+        let db = po + (kk * w) and sb = ((pc + kk) * ldb) + cbase in
+        for j = 0 to w - 1 do
+          Array.unsafe_set dst (db + j) (Array.unsafe_get src (sb + j))
+        done
+      done
+    done
+  else
+    for jr = 0 to num_panels - 1 do
+      let w = min nr (ncb - (jr * nr)) in
+      let po = jr * kcb * nr in
+      let cbase = jc + (jr * nr) in
+      for kk = 0 to kcb - 1 do
+        let db = po + (kk * w) and sb = ((pc + kk) * ldb) + cbase in
+        for j = 0 to w - 1 do
+          Array.unsafe_set dst (db + j) (alpha *. Array.unsafe_get src (sb + j))
+        done
+      done
+    done;
+  { data = dst; pitch = kcb * nr; num_panels; depth = kcb; full = nr; block = ncb }
+
+(** Allocating conveniences (tests, one-shot callers). *)
+let pack_a (a : Matrix.t) ~ic ~pc ~mcb ~kcb ~mr : packed =
+  if mcb < 0 || kcb < 0 then invalid_arg "pack_a: block out of range";
+  pack_a_into (Array.make (max 1 (a_arena_size ~mcb ~kcb ~mr)) 0.0) a ~ic ~pc ~mcb ~kcb ~mr
+
+let pack_b ?alpha (b : Matrix.t) ~pc ~jc ~kcb ~ncb ~nr : packed =
+  if ncb < 0 || kcb < 0 then invalid_arg "pack_b: block out of range";
+  pack_b_into ?alpha (Array.make (max 1 (b_arena_size ~ncb ~kcb ~nr)) 0.0) b ~pc ~jc ~kcb ~ncb ~nr

@@ -2,18 +2,47 @@
     into nr-column panels (the layouts the generated kernels' [Ac]/[Bc]
     arguments assume); alpha is folded into the B packing (Fig. 4). Edge
     panels pack at their true width — the Exo approach of a dedicated kernel
-    per fringe shape. *)
+    per fringe shape.
 
-type panels = {
-  panel : int -> float array;
-  panel_width : int -> int;  (** rows (A) / columns (B) of panel i *)
+    Panels are laid out in one contiguous arena at a fixed pitch (the
+    full-width panel size): [panel_off] gives panel starts, fringe panels
+    occupy a prefix of their slot. The [_into] variants pack into a
+    caller-owned arena — the steady-state GEMM path, which allocates
+    nothing — behind a single up-front range check; [pack_a]/[pack_b]
+    allocate a fresh arena. *)
+
+type packed = {
+  data : float array;  (** the arena the panels were packed into *)
+  pitch : int;  (** elements between consecutive panel starts *)
   num_panels : int;
   depth : int;  (** kc of this packing *)
+  full : int;  (** full panel width: mr (A) or nr (B) *)
+  block : int;  (** packed block extent: mcb (A) or ncb (B) *)
 }
 
+(** Flat start of panel [i] in [data]. *)
+val panel_off : packed -> int -> int
+
+(** Rows (A) / columns (B) of panel [i] — [full] except on the fringe. *)
+val panel_width : packed -> int -> int
+
+(** Arena elements needed to pack an mcb×kcb A block / kcb×ncb B block. *)
+val a_arena_size : mcb:int -> kcb:int -> mr:int -> int
+
+val b_arena_size : ncb:int -> kcb:int -> nr:int -> int
+
+val pack_a_into :
+  float array ->
+  Matrix.t -> ic:int -> pc:int -> mcb:int -> kcb:int -> mr:int -> packed
+
+val pack_b_into :
+  ?alpha:float ->
+  float array ->
+  Matrix.t -> pc:int -> jc:int -> kcb:int -> ncb:int -> nr:int -> packed
+
 val pack_a :
-  Matrix.t -> ic:int -> pc:int -> mcb:int -> kcb:int -> mr:int -> panels
+  Matrix.t -> ic:int -> pc:int -> mcb:int -> kcb:int -> mr:int -> packed
 
 val pack_b :
   ?alpha:float ->
-  Matrix.t -> pc:int -> jc:int -> kcb:int -> ncb:int -> nr:int -> panels
+  Matrix.t -> pc:int -> jc:int -> kcb:int -> ncb:int -> nr:int -> packed

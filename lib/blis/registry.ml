@@ -60,6 +60,27 @@ let base_8x12 ?(kit = Kits.neon_f32) () = (exo_kernel ~kit ~mr:8 ~nr:12 ()).Fami
 let blis_impl ?kit () : KM.impl = KM.blis_asm_8x12 (base_8x12 ?kit ())
 let neon_impl ?kit () : KM.impl = KM.neon_intrinsics_8x12 (base_8x12 ?kit ())
 
+(* The specialized to_ukr tier: a generated kernel lowered to flat
+   descriptor-batched float-array loops (see Compile.to_ukr). The returned
+   closure owns a mutable scratch slab, so — like the compiled form — it is
+   cached per domain. [None] is cached too: an unsupported proc shape is
+   decided once, and callers fall back to the closure engine. Every kernel
+   this cache serves passed Family.certify's all-Proved bounds gate when it
+   was generated. *)
+let ukr_fast_key : (string * int * int, C.ukr_fn option) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 32)
+
+let exo_ukr_fast ?(kit = Kits.neon_f32) ~(mr : int) ~(nr : int) () :
+    C.ukr_fn option =
+  let tbl = Domain.DLS.get ukr_fast_key in
+  let key = (kit.Kits.name, mr, nr) in
+  match Hashtbl.find_opt tbl key with
+  | Some u -> u
+  | None ->
+      let u = C.to_ukr (exo_kernel ~kit ~mr ~nr ()).Family.proc in
+      Hashtbl.replace tbl key u;
+      u
+
 (* ------------------------------------------------------------------ *)
 (* Numeric micro-kernels                                               *)
 
@@ -68,30 +89,70 @@ let neon_impl ?kit () : KM.impl = KM.neon_intrinsics_8x12 (base_8x12 ?kit ())
    the α/β scalar arguments), so sharing one across domains is safe. *)
 let ones_buf = B.of_array Exo_ir.Dtype.F32 [ 1 ] [| 1.0 |]
 
-(** Run a generated kernel on a packed tile through the compiled execution
-    engine: the kernel is compiled once per (kit, mr, nr) per domain and
-    the caller's arrays are bound as zero-copy buffer views. *)
+(* Zero-copy offset view over a caller array (row-major, dims as given):
+   how the engine paths see an arena panel starting at [offset]. *)
+let view dt (data : float array) (dims : int list) (offset : int) : B.t =
+  let dims = Array.of_list dims in
+  let n = Array.length dims in
+  let strides = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * dims.(i + 1)
+  done;
+  { B.data; dtype = dt; dims; strides; offset }
+
+(** Run a generated kernel on a packed tile. Dispatches to the specialized
+    flat-loop tier ({!Exo_interp.Compile.to_ukr}) when the kernel admits it
+    — the paper-scale GEMM hot path — and otherwise binds the caller's
+    arrays as zero-copy buffer views into the compiled closure engine. *)
 let exo_ukr ?(kit = Kits.neon_f32) () : Gemm.ukr =
- fun ~kc ~mr ~nr ~ac ~bc ~c ->
+ fun ~kc ~mr ~nr ~ac ~ao ~bc ~bo ~c ->
+  match exo_ukr_fast ~kit ~mr ~nr () with
+  | Some u -> u ~kc ~ac ~ao ~bc ~bo ~c
+  | None ->
+      let ck = exo_compiled ~kit ~mr ~nr () in
+      let dt = kit.Kits.dt in
+      C.run ck
+        [
+          I.VInt kc;
+          I.VBuf ones_buf;
+          I.VBuf (view dt ac [ kc; mr ] ao);
+          I.VBuf (view dt bc [ kc; nr ] bo);
+          I.VBuf ones_buf;
+          I.VBuf (view dt c [ nr; mr ] 0);
+        ]
+
+(** The closure-engine path only — the PR 1 execution tier, kept addressable
+    as the baseline the specialized tier is measured against
+    ([bench/main.exe perf-gemm]). *)
+let exo_ukr_closure ?(kit = Kits.neon_f32) () : Gemm.ukr =
+ fun ~kc ~mr ~nr ~ac ~ao ~bc ~bo ~c ->
   let ck = exo_compiled ~kit ~mr ~nr () in
-  let one = ones_buf in
-  let acb = B.of_array kit.Kits.dt [ kc; mr ] ac in
-  let bcb = B.of_array kit.Kits.dt [ kc; nr ] bc in
-  let cb = B.of_array kit.Kits.dt [ nr; mr ] c in
-  C.run ck [ I.VInt kc; I.VBuf one; I.VBuf acb; I.VBuf bcb; I.VBuf one; I.VBuf cb ]
+  let dt = kit.Kits.dt in
+  C.run ck
+    [
+      I.VInt kc;
+      I.VBuf ones_buf;
+      I.VBuf (view dt ac [ kc; mr ] ao);
+      I.VBuf (view dt bc [ kc; nr ] bo);
+      I.VBuf ones_buf;
+      I.VBuf (view dt c [ nr; mr ] 0);
+    ]
 
 (** The same tile run through the tree-walking interpreter — the
-    definitional oracle, kept for cross-checking the compiled path (and for
-    measuring the compiled engine's speedup in [bench/main.exe perf]). *)
+    definitional oracle, kept for cross-checking the compiled paths. *)
 let exo_ukr_interp ?(kit = Kits.neon_f32) () : Gemm.ukr =
- fun ~kc ~mr ~nr ~ac ~bc ~c ->
+ fun ~kc ~mr ~nr ~ac ~ao ~bc ~bo ~c ->
   let k = exo_kernel ~kit ~mr ~nr () in
-  let one = ones_buf in
-  let acb = B.of_array kit.Kits.dt [ kc; mr ] ac in
-  let bcb = B.of_array kit.Kits.dt [ kc; nr ] bc in
-  let cb = B.of_array kit.Kits.dt [ nr; mr ] c in
+  let dt = kit.Kits.dt in
   I.run k.Family.proc
-    [ I.VInt kc; I.VBuf one; I.VBuf acb; I.VBuf bcb; I.VBuf one; I.VBuf cb ]
+    [
+      I.VInt kc;
+      I.VBuf ones_buf;
+      I.VBuf (view dt ac [ kc; mr ] ao);
+      I.VBuf (view dt bc [ kc; nr ] bo);
+      I.VBuf ones_buf;
+      I.VBuf (view dt c [ nr; mr ] 0);
+    ]
 
 (** The monolithic kernels' numeric behaviour (identical arithmetic; their
     differences are micro-architectural and live in the model impls). *)

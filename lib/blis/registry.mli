@@ -23,9 +23,22 @@ val base_8x12 : ?kit:Exo_ukr_gen.Kits.t -> unit -> Exo_ir.Ir.proc
 val blis_impl : ?kit:Exo_ukr_gen.Kits.t -> unit -> Exo_sim.Kernel_model.impl
 val neon_impl : ?kit:Exo_ukr_gen.Kits.t -> unit -> Exo_sim.Kernel_model.impl
 
-(** Numeric micro-kernel running the generated IR through the compiled
-    execution engine (zero-copy views over the caller's arrays). *)
+(** The specialized flat-loop form of a generated kernel
+    ({!Exo_interp.Compile.to_ukr}), cached per domain like {!exo_compiled}
+    (the closure owns a mutable scratch slab). [None] — also cached — means
+    the kernel's shape isn't supported by the specialized tier. *)
+val exo_ukr_fast :
+  ?kit:Exo_ukr_gen.Kits.t -> mr:int -> nr:int -> unit ->
+  Exo_interp.Compile.ukr_fn option
+
+(** Numeric micro-kernel for the GEMM driver: the specialized flat-loop
+    tier when the kernel admits it, otherwise the compiled closure engine
+    over zero-copy views of the caller's arrays. *)
 val exo_ukr : ?kit:Exo_ukr_gen.Kits.t -> unit -> Gemm.ukr
+
+(** The closure-engine path only — the baseline the specialized tier is
+    measured against in [bench/main.exe perf-gemm]. *)
+val exo_ukr_closure : ?kit:Exo_ukr_gen.Kits.t -> unit -> Gemm.ukr
 
 (** The same numerics through the tree-walking interpreter — the
     definitional oracle, kept for cross-checks and speedup measurement. *)

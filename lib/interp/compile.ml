@@ -1205,3 +1205,842 @@ let run (t : t) (args : Interp.value list) : unit =
           (Pp.expr_to_string cp.cp_pred_srcs.(i)))
     cp.cp_preds;
   cp.cp_body f
+
+(* ------------------------------------------------------------------ *)
+(* Specialized micro-kernel lowering (to_ukr)                          *)
+
+type ukr_fn =
+  kc:int -> ac:float array -> ao:int -> bc:float array -> bo:int ->
+  c:float array -> unit
+
+(** A second lowering tier for the one proc shape the GEMM hot path runs
+    tens of thousands of times per matrix: the generated micro-kernel
+    signature [(KC: size, alpha: dt[1], Ac: dt[KC,MR], Bc: dt[KC,NR],
+    beta: dt[1], C: dt[NR,MR])].
+
+    The proc is {e symbolically executed} at lowering time: every loop
+    except the single KC-trip k loop is fully unrolled, every instruction
+    call is inlined with its window geometry folded to constants, and every
+    register-memory cell ([SAlloc]) becomes a fixed slot in one flat scratch
+    slab. What survives is a tape of straight-line memory operations whose
+    addresses are affine in k alone ([base + k*step] into Ac, Bc, C or the
+    slab). Runs of like operations (copies, fused multiply-accumulates)
+    are batched into descriptor arrays driven by tight float-array loops —
+    no closure dispatch, no [Sym.Map] lookups, and no [Buffer.t] records in
+    the k loop.
+
+    Soundness: the lowering refuses anything it cannot reproduce bit for
+    bit. Structural refusals (non-affine indices, data reads of alpha or
+    beta, a read of a slab cell the tape has not provably written — the
+    interpreter's NaN-init semantics — symbolic loop nests, unsupported
+    expression shapes) make [to_ukr] return [None]. Per-call refusals
+    (operand arrays too short for the requested [kc], a KC-dependent
+    precondition that fails, [kc = 0] when the tape reads loop-written
+    cells afterwards) divert that call to the general closure engine over
+    offset buffer views, which raises the interpreter's errors verbatim.
+    Slab addresses are checked statically here, and the generated kernels
+    are additionally bounds-certified ([Family.certify] demands every
+    access Proved); Ac/Bc/C accesses are covered by one up-front range
+    check per call, after which the loops use unsafe accesses. *)
+module Ukr_lower = struct
+  exception Bail
+
+  let op_budget = 200_000
+
+  type space = SpA | SpB | SpC | SpSlab
+
+  (** Affine integer value [ak*k + akc*KC + a0] over the k-loop counter and
+      the runtime depth KC. *)
+  type aff = { ak : int; akc : int; a0 : int }
+
+  let aconst n = { ak = 0; akc = 0; a0 = n }
+  let aadd x y = { ak = x.ak + y.ak; akc = x.akc + y.akc; a0 = x.a0 + y.a0 }
+  let asub x y = { ak = x.ak - y.ak; akc = x.akc - y.akc; a0 = x.a0 - y.a0 }
+  let aneg x = { ak = -x.ak; akc = -x.akc; a0 = -x.a0 }
+  let ascale n x = { ak = n * x.ak; akc = n * x.akc; a0 = n * x.a0 }
+  let aisconst x = x.ak = 0 && x.akc = 0
+  let aconstv x = if aisconst x then x.a0 else raise Bail
+
+  (** A lowering-time view: which memory space it aliases ([None] for the
+      alpha/beta scalars, whose data reads we refuse), its flat offset, and
+      constant per-dimension strides. *)
+  type uview = { vsp : space option; voff : aff; vstr : int list }
+
+  type sval = SInt of aff | SView of uview
+
+  (** One memory operand of a tape op: space, base, per-k step. *)
+  type operand = { osp : space; ob : int; ok : int }
+
+  type rt =
+    | RConst of float
+    | RRead of operand
+    | RBin of binop * rt * rt
+    | RNeg of rt
+
+  type op = { o_dst : operand; o_red : bool; o_rhs : rt }
+  type seg = { s_loop : bool; s_ops : op list }
+  type wstat = WUncond | WInLoop
+  type bval = BConst of bool | BKc of (int -> bool)
+
+  type st = {
+    env : sval Sym.Tbl.t;
+    mutable slab_len : int;
+    written : (int, wstat) Hashtbl.t;
+    body_writes : (int, unit) Hashtbl.t;
+    mutable in_loop : bool;
+    mutable needs_kc_pos : bool;
+    mutable rt_preds : (int -> bool) list;
+    mutable cur : op list;  (* reversed ops of the open segment *)
+    mutable segs : seg list;  (* reversed finished segments *)
+    mutable nops : int;
+    dt : Dtype.t;
+  }
+
+  let strides_of_const (ds : int list) : int list =
+    let n = List.length ds in
+    let a = Array.of_list ds in
+    let s = Array.make n 1 in
+    for i = n - 2 downto 0 do
+      s.(i) <- s.(i + 1) * a.(i + 1)
+    done;
+    Array.to_list s
+
+  (* ---------------- symbolic evaluation ---------------- *)
+
+  let rec eint st (e : expr) : aff =
+    match e with
+    | Int n -> aconst n
+    | Var v -> (
+        match Sym.Tbl.find_opt st.env v with
+        | Some (SInt a) -> a
+        | _ -> raise Bail)
+    | Binop (Add, a, b) -> aadd (eint st a) (eint st b)
+    | Binop (Sub, a, b) -> asub (eint st a) (eint st b)
+    | Binop (Mul, a, b) ->
+        let x = eint st a and y = eint st b in
+        if aisconst x then ascale x.a0 y
+        else if aisconst y then ascale y.a0 x
+        else raise Bail
+    | Binop (Div, a, b) ->
+        let x = aconstv (eint st a) and y = aconstv (eint st b) in
+        if y = 0 then raise Bail;
+        aconst (x / y)
+    | Binop (Mod, a, b) ->
+        let x = aconstv (eint st a) and y = aconstv (eint st b) in
+        if y = 0 then raise Bail;
+        aconst (x mod y)
+    | Neg a -> aneg (eint st a)
+    | Stride (b, d) -> (
+        match Sym.Tbl.find_opt st.env b with
+        | Some (SView v) -> (
+            match List.nth_opt v.vstr d with
+            | Some s -> aconst s
+            | None -> raise Bail)
+        | _ -> raise Bail)
+    | Cmp _ | And _ | Or _ | Not _ -> (
+        match ebool st e with
+        | BConst b -> aconst (if b then 1 else 0)
+        | BKc _ -> raise Bail)
+    | Float _ | Read _ -> raise Bail
+
+  and ebool st (e : expr) : bval =
+    match e with
+    | Cmp (op, a, b) ->
+        let x = eint st a and y = eint st b in
+        if x.ak <> 0 || y.ak <> 0 then raise Bail;
+        let f kc =
+          let c = compare ((x.akc * kc) + x.a0) ((y.akc * kc) + y.a0) in
+          match op with
+          | Lt -> c < 0
+          | Le -> c <= 0
+          | Gt -> c > 0
+          | Ge -> c >= 0
+          | Eq -> c = 0
+          | Ne -> c <> 0
+        in
+        if x.akc = 0 && y.akc = 0 then BConst (f 0) else BKc f
+    | And (a, b) -> (
+        match ebool st a with
+        | BConst false -> BConst false
+        | BConst true -> ebool st b
+        | BKc f -> (
+            match ebool st b with
+            | BConst false -> BConst false
+            | BConst true -> BKc f
+            | BKc g -> BKc (fun kc -> f kc && g kc)))
+    | Or (a, b) -> (
+        match ebool st a with
+        | BConst true -> BConst true
+        | BConst false -> ebool st b
+        | BKc f -> (
+            match ebool st b with
+            | BConst true -> BConst true
+            | BConst false -> BKc f
+            | BKc g -> BKc (fun kc -> f kc || g kc)))
+    | Not a -> (
+        match ebool st a with
+        | BConst b -> BConst (not b)
+        | BKc f -> BKc (fun kc -> not (f kc)))
+    | _ ->
+        let x = eint st e in
+        if x.ak <> 0 then raise Bail
+        else if x.akc = 0 then BConst (x.a0 <> 0)
+        else BKc (fun kc -> (x.akc * kc) + x.a0 <> 0)
+
+  let eview st (w : window) : uview =
+    let base =
+      match Sym.Tbl.find_opt st.env w.wbuf with
+      | Some (SView v) -> v
+      | _ -> raise Bail
+    in
+    if List.length w.widx <> List.length base.vstr then raise Bail;
+    let voff = ref base.voff and kept = ref [] in
+    List.iter2
+      (fun wa stride ->
+        match wa with
+        | Pt e -> voff := aadd !voff (ascale stride (eint st e))
+        | Iv (lo, _hi) ->
+            voff := aadd !voff (ascale stride (eint st lo));
+            kept := stride :: !kept)
+      w.widx base.vstr;
+    { vsp = base.vsp; voff = !voff; vstr = List.rev !kept }
+
+  let operand_of st (v : uview) (idx : aff list) : operand =
+    if List.length idx <> List.length v.vstr then raise Bail;
+    let a = List.fold_left2 (fun acc i s -> aadd acc (ascale s i)) v.voff idx v.vstr in
+    if a.akc <> 0 then raise Bail;
+    match v.vsp with
+    | None -> raise Bail
+    | Some SpSlab ->
+        if a.ak <> 0 then raise Bail;
+        if a.a0 < 0 || a.a0 >= st.slab_len then raise Bail;
+        { osp = SpSlab; ob = a.a0; ok = 0 }
+    | Some sp -> { osp = sp; ob = a.a0; ok = a.ak }
+
+  (* Slab reads must be provably preceded by a write: the interpreter
+     allocates register memory NaN-initialized, so a read of a never-written
+     cell is observable. A cell written only inside the k loop and read
+     after it needs kc >= 1 at runtime (flagged, guarded per call). *)
+  let check_read st (o : operand) =
+    if o.osp = SpSlab then
+      if Hashtbl.mem st.body_writes o.ob then ()
+      else
+        match Hashtbl.find_opt st.written o.ob with
+        | Some WUncond -> ()
+        | Some WInLoop -> if not st.in_loop then st.needs_kc_pos <- true
+        | None -> raise Bail
+
+  let mark_write st (o : operand) =
+    if o.osp = SpSlab then
+      if st.in_loop then Hashtbl.replace st.body_writes o.ob ()
+      else Hashtbl.replace st.written o.ob WUncond
+
+  let rec edata st (e : expr) : rt =
+    if is_int e then RConst (float_of_int (aconstv (eint st e)))
+    else
+      match e with
+      | Float f -> RConst f
+      | Read (b, idx) ->
+          let v =
+            match Sym.Tbl.find_opt st.env b with
+            | Some (SView v) -> v
+            | _ -> raise Bail
+          in
+          let o = operand_of st v (List.map (eint st) idx) in
+          check_read st o;
+          RRead o
+      | Binop (bop, a, b) -> (
+          match bop with
+          | Add | Sub | Mul | Div -> RBin (bop, edata st a, edata st b)
+          | Mod -> raise Bail (* "% on data values" is a runtime error *))
+      | Neg a -> RNeg (edata st a)
+      | Int _ | Var _ | Stride _ | Cmp _ | And _ | Or _ | Not _ -> raise Bail
+
+  (* ---------------- statement execution ---------------- *)
+
+  let emit st o =
+    st.nops <- st.nops + 1;
+    if st.nops > op_budget then raise Bail;
+    st.cur <- o :: st.cur
+
+  let flush st ~loop =
+    let ops = List.rev st.cur in
+    st.cur <- [];
+    if ops <> [] then st.segs <- { s_loop = loop; s_ops = ops } :: st.segs
+
+  let rec estmt st (s : stmt) : unit =
+    match s with
+    | SAssign (b, idx, rhs) -> write st b idx rhs false
+    | SReduce (b, idx, rhs) -> write st b idx rhs true
+    | SAlloc (b, dt, dims, _mem) ->
+        if dt <> st.dt then raise Bail;
+        let ds = List.map (fun d -> aconstv (eint st d)) dims in
+        if List.exists (fun d -> d < 0) ds then raise Bail;
+        Sym.Tbl.replace st.env b
+          (SView
+             {
+               vsp = Some SpSlab;
+               voff = aconst st.slab_len;
+               vstr = strides_of_const ds;
+             });
+        st.slab_len <- st.slab_len + List.fold_left ( * ) 1 ds
+    | SFor (v, lo, hi, body) ->
+        let l = eint st lo and h = eint st hi in
+        if aisconst l && aisconst h then begin
+          (* constant trip count: unroll *)
+          for i = l.a0 to h.a0 - 1 do
+            Sym.Tbl.replace st.env v (SInt (aconst i));
+            List.iter (estmt st) body
+          done;
+          Sym.Tbl.remove st.env v
+        end
+        else begin
+          (* the (single, non-nested) symbolic KC loop *)
+          if st.in_loop then raise Bail;
+          if not (aisconst l && l.a0 = 0 && h.ak = 0 && h.akc = 1 && h.a0 = 0)
+          then raise Bail;
+          flush st ~loop:false;
+          st.in_loop <- true;
+          Sym.Tbl.replace st.env v (SInt { ak = 1; akc = 0; a0 = 0 });
+          List.iter (estmt st) body;
+          Sym.Tbl.remove st.env v;
+          st.in_loop <- false;
+          Hashtbl.iter
+            (fun a () ->
+              match Hashtbl.find_opt st.written a with
+              | Some WUncond -> ()
+              | _ -> Hashtbl.replace st.written a WInLoop)
+            st.body_writes;
+          Hashtbl.reset st.body_writes;
+          flush st ~loop:true
+        end
+    | SCall (p, args) ->
+        if List.length args <> List.length p.p_args then raise Bail;
+        List.iter2
+          (fun (a : arg) ca ->
+            match (a.a_typ, ca) with
+            | (TSize | TIndex | TBool), AExpr e ->
+                Sym.Tbl.replace st.env a.a_name (SInt (eint st e))
+            | (TScalar _ | TTensor _), AWin w ->
+                Sym.Tbl.replace st.env a.a_name (SView (eview st w))
+            | _ -> raise Bail)
+          p.p_args args;
+        List.iter
+          (fun pr ->
+            match ebool st pr with
+            | BConst true -> ()
+            | BConst false -> raise Bail
+            | BKc f -> st.rt_preds <- f :: st.rt_preds)
+          p.p_preds;
+        List.iter (estmt st) p.p_body
+    | SIf (c, t, e) -> (
+        match ebool st c with
+        | BConst true -> List.iter (estmt st) t
+        | BConst false -> List.iter (estmt st) e
+        | BKc _ -> raise Bail)
+
+  and write st b idx rhs red =
+    let v =
+      match Sym.Tbl.find_opt st.env b with
+      | Some (SView v) -> v
+      | _ -> raise Bail
+    in
+    let dst = operand_of st v (List.map (eint st) idx) in
+    (* the interpreter evaluates the RHS before the store *)
+    let r = edata st rhs in
+    if red then check_read st dst (* += reads the old value *);
+    mark_write st dst;
+    emit st { o_dst = dst; o_red = red; o_rhs = r }
+
+  (* ---------------- signature and lowering ---------------- *)
+
+  type lowered = {
+    lo_segs : seg array;
+    lo_slab : int;
+    lo_kc_pos : bool;
+    lo_preds : (int -> bool) array;
+    lo_mr : int;
+    lo_nr : int;
+    lo_dt : Dtype.t;
+  }
+
+  let lower (p : proc) : lowered option =
+    match
+      (match p.p_args with
+      | [ kc_a; alpha_a; ac_a; bc_a; beta_a; c_a ] ->
+          (match kc_a.a_typ with TSize -> () | _ -> raise Bail);
+          let dt, mr, nr =
+            match (ac_a.a_typ, bc_a.a_typ, c_a.a_typ) with
+            | ( TTensor (d1, [ Var s1; Int mr ]),
+                TTensor (d2, [ Var s2; Int nr ]),
+                TTensor (d3, [ Int nr'; Int mr' ]) )
+              when Sym.equal s1 kc_a.a_name
+                   && Sym.equal s2 kc_a.a_name
+                   && d1 = d2 && d2 = d3 && nr' = nr && mr' = mr && mr > 0
+                   && nr > 0 ->
+                (d1, mr, nr)
+            | _ -> raise Bail
+          in
+          let scal_strides (a : arg) =
+            match a.a_typ with
+            | TTensor (d, [ Int 1 ]) when d = dt -> [ 1 ]
+            | TScalar d when d = dt -> []
+            | _ -> raise Bail
+          in
+          let st =
+            {
+              env = Sym.Tbl.create 64;
+              slab_len = 0;
+              written = Hashtbl.create 256;
+              body_writes = Hashtbl.create 64;
+              in_loop = false;
+              needs_kc_pos = false;
+              rt_preds = [];
+              cur = [];
+              segs = [];
+              nops = 0;
+              dt;
+            }
+          in
+          Sym.Tbl.replace st.env kc_a.a_name (SInt { ak = 0; akc = 1; a0 = 0 });
+          let bind_view (a : arg) sp str =
+            Sym.Tbl.replace st.env a.a_name
+              (SView { vsp = sp; voff = aconst 0; vstr = str })
+          in
+          bind_view alpha_a None (scal_strides alpha_a);
+          bind_view beta_a None (scal_strides beta_a);
+          bind_view ac_a (Some SpA) [ mr; 1 ];
+          bind_view bc_a (Some SpB) [ nr; 1 ];
+          bind_view c_a (Some SpC) [ mr; 1 ];
+          List.iter
+            (fun pr ->
+              match ebool st pr with
+              | BConst true -> ()
+              | BConst false -> raise Bail
+              | BKc f -> st.rt_preds <- f :: st.rt_preds)
+            p.p_preds;
+          List.iter (estmt st) p.p_body;
+          flush st ~loop:false;
+          {
+            lo_segs = Array.of_list (List.rev st.segs);
+            lo_slab = st.slab_len;
+            lo_kc_pos = st.needs_kc_pos;
+            lo_preds = Array.of_list (List.rev st.rt_preds);
+            lo_mr = mr;
+            lo_nr = nr;
+            lo_dt = dt;
+          }
+      | _ -> raise Bail)
+    with
+    | exception Bail -> None
+    | l -> Some l
+end
+
+(** Runtime for the lowered tape: descriptor-batched float-array loops. *)
+module Ukr_run = struct
+  open Ukr_lower
+
+  (** Per-call operand bindings. The slab persists across calls: every read
+      is write-before-read checked at lowering time, so stale values are
+      unobservable and the slab is never cleared. *)
+  type genv = {
+    ea : float array;
+    eao : int;
+    eb : float array;
+    ebo : int;
+    ec : float array;
+    es : float array;
+  }
+
+  let arr (g : genv) = function
+    | SpA -> g.ea
+    | SpB -> g.eb
+    | SpC -> g.ec
+    | SpSlab -> g.es
+
+  let off (g : genv) = function SpA -> g.eao | SpB -> g.ebo | SpC | SpSlab -> 0
+
+  (* ------- op classification and run batching ------- *)
+
+  type cls =
+    | CCopy of operand * operand
+    | CConst of operand * float
+    | CMul of operand * operand * operand
+    | CMulAcc of operand * operand * operand
+    | CAddAcc of operand * operand
+    | CGen of op
+
+  let classify (o : op) : cls =
+    match (o.o_red, o.o_rhs) with
+    | false, RRead s -> CCopy (o.o_dst, s)
+    | false, RConst v -> CConst (o.o_dst, v)
+    | false, RBin (Mul, RRead a, RRead b) -> CMul (o.o_dst, a, b)
+    | true, RBin (Mul, RRead a, RRead b) -> CMulAcc (o.o_dst, a, b)
+    | true, RRead s -> CAddAcc (o.o_dst, s)
+    | _ -> CGen o
+
+  let same_shape c1 c2 =
+    match (c1, c2) with
+    | CCopy (d1, a1), CCopy (d2, a2) | CAddAcc (d1, a1), CAddAcc (d2, a2) ->
+        d1.osp = d2.osp && a1.osp = a2.osp
+    | CConst (d1, _), CConst (d2, _) -> d1.osp = d2.osp
+    | CMul (d1, a1, b1), CMul (d2, a2, b2)
+    | CMulAcc (d1, a1, b1), CMulAcc (d2, a2, b2) ->
+        d1.osp = d2.osp && a1.osp = a2.osp && b1.osp = b2.osp
+    | _ -> false
+
+  let bases os = Array.map (fun (o : operand) -> o.ob) os
+  let steps os = Array.map (fun (o : operand) -> o.ok) os
+  let uniform (a : int array) = Array.for_all (fun x -> x = a.(0)) a
+
+  (* compiled data expression for the general (rare) op shape *)
+  let rec mk_rt (r : rt) : genv -> int -> float =
+    match r with
+    | RConst v -> fun _ _ -> v
+    | RRead o ->
+        let b = o.ob and s = o.ok and sp = o.osp in
+        fun g ->
+          let a = arr g sp and f = off g sp in
+          fun k -> Array.unsafe_get a (f + b + (k * s))
+    | RBin (bop, x, y) ->
+        let fx = mk_rt x and fy = mk_rt y in
+        let h =
+          match bop with
+          | Add -> ( +. )
+          | Sub -> ( -. )
+          | Mul -> ( *. )
+          | Div -> ( /. )
+          | Mod -> fun _ _ -> assert false (* refused at lowering *)
+        in
+        fun g ->
+          let gx = fx g and gy = fy g in
+          fun k -> h (gx k) (gy k)
+    | RNeg x ->
+        let fx = mk_rt x in
+        fun g ->
+          let gx = fx g in
+          fun k -> -.gx k
+
+  let g_gen ~rnd (o : op) : genv -> int -> unit =
+    let frt = mk_rt o.o_rhs in
+    let dsp = o.o_dst.osp and db = o.o_dst.ob and dk = o.o_dst.ok in
+    let red = o.o_red in
+    fun g ->
+      let da = arr g dsp and d0 = off g dsp in
+      let fv = frt g in
+      if red then fun k ->
+        let di = d0 + db + (k * dk) in
+        Array.unsafe_set da di (rnd (Array.unsafe_get da di +. fv k))
+      else fun k ->
+        let di = d0 + db + (k * dk) in
+        Array.unsafe_set da di (rnd (fv k))
+
+  (* Batched copy: dst_i <- round(src_i). F32-specialized with the rounding
+     inlined; the uniform-step variant hoists k*step out of the element
+     loop (every in-repo kernel's operand loads are uniform-step). *)
+  let g_copy ~rnd ~f32 dsp asp ds as_ =
+    let n = Array.length ds in
+    let db = bases ds and dk = steps ds and ab = bases as_ and ak = steps as_ in
+    if n > 0 && uniform dk && uniform ak then
+      let dks = dk.(0) and aks = ak.(0) in
+      fun g ->
+        let da = arr g dsp and d0 = off g dsp in
+        let aa = arr g asp and a0 = off g asp in
+        if f32 then fun k ->
+          let dko = d0 + (k * dks) and ako = a0 + (k * aks) in
+          for i = 0 to n - 1 do
+            Array.unsafe_set da
+              (dko + Array.unsafe_get db i)
+              (f32_round (Array.unsafe_get aa (ako + Array.unsafe_get ab i)))
+          done
+        else fun k ->
+          let dko = d0 + (k * dks) and ako = a0 + (k * aks) in
+          for i = 0 to n - 1 do
+            Array.unsafe_set da
+              (dko + Array.unsafe_get db i)
+              (rnd (Array.unsafe_get aa (ako + Array.unsafe_get ab i)))
+          done
+    else
+      fun g ->
+        let da = arr g dsp and d0 = off g dsp in
+        let aa = arr g asp and a0 = off g asp in
+        fun k ->
+          for i = 0 to n - 1 do
+            let di = d0 + Array.unsafe_get db i + (k * Array.unsafe_get dk i) in
+            let ai = a0 + Array.unsafe_get ab i + (k * Array.unsafe_get ak i) in
+            Array.unsafe_set da di (rnd (Array.unsafe_get aa ai))
+          done
+
+  (* Batched constant store; values pre-rounded at build time. *)
+  let g_const ~rnd dsp ds (vs : float array) =
+    let n = Array.length ds in
+    let db = bases ds and dk = steps ds in
+    let vr = Array.map rnd vs in
+    fun g ->
+      let da = arr g dsp and d0 = off g dsp in
+      fun k ->
+        for i = 0 to n - 1 do
+          Array.unsafe_set da
+            (d0 + Array.unsafe_get db i + (k * Array.unsafe_get dk i))
+            (Array.unsafe_get vr i)
+        done
+
+  (* Batched fused multiply-accumulate: dst_i <- round(dst_i + a_i*b_i).
+     The GEMM k-loop body is one of these over every C-register cell. *)
+  let g_mulacc ~rnd ~f32 dsp asp bsp ds as_ bs =
+    let n = Array.length ds in
+    let db = bases ds and dk = steps ds in
+    let ab = bases as_ and ak = steps as_ in
+    let bb = bases bs and bk = steps bs in
+    if n > 0 && uniform dk && uniform ak && uniform bk then
+      let dks = dk.(0) and aks = ak.(0) and bks = bk.(0) in
+      fun g ->
+        let da = arr g dsp and d0 = off g dsp in
+        let aa = arr g asp and a0 = off g asp in
+        let ba = arr g bsp and b0 = off g bsp in
+        if f32 then fun k ->
+          let dko = d0 + (k * dks) and ako = a0 + (k * aks) and bko = b0 + (k * bks) in
+          for i = 0 to n - 1 do
+            let di = dko + Array.unsafe_get db i in
+            Array.unsafe_set da di
+              (f32_round
+                 (Array.unsafe_get da di
+                 +. Array.unsafe_get aa (ako + Array.unsafe_get ab i)
+                    *. Array.unsafe_get ba (bko + Array.unsafe_get bb i)))
+          done
+        else fun k ->
+          let dko = d0 + (k * dks) and ako = a0 + (k * aks) and bko = b0 + (k * bks) in
+          for i = 0 to n - 1 do
+            let di = dko + Array.unsafe_get db i in
+            Array.unsafe_set da di
+              (rnd
+                 (Array.unsafe_get da di
+                 +. Array.unsafe_get aa (ako + Array.unsafe_get ab i)
+                    *. Array.unsafe_get ba (bko + Array.unsafe_get bb i)))
+          done
+    else
+      fun g ->
+        let da = arr g dsp and d0 = off g dsp in
+        let aa = arr g asp and a0 = off g asp in
+        let ba = arr g bsp and b0 = off g bsp in
+        fun k ->
+          for i = 0 to n - 1 do
+            let di = d0 + Array.unsafe_get db i + (k * Array.unsafe_get dk i) in
+            let ai = a0 + Array.unsafe_get ab i + (k * Array.unsafe_get ak i) in
+            let bi = b0 + Array.unsafe_get bb i + (k * Array.unsafe_get bk i) in
+            Array.unsafe_set da di
+              (rnd
+                 (Array.unsafe_get da di
+                 +. (Array.unsafe_get aa ai *. Array.unsafe_get ba bi)))
+          done
+
+  let g_mul ~rnd dsp asp bsp ds as_ bs =
+    let n = Array.length ds in
+    let db = bases ds and dk = steps ds in
+    let ab = bases as_ and ak = steps as_ in
+    let bb = bases bs and bk = steps bs in
+    fun g ->
+      let da = arr g dsp and d0 = off g dsp in
+      let aa = arr g asp and a0 = off g asp in
+      let ba = arr g bsp and b0 = off g bsp in
+      fun k ->
+        for i = 0 to n - 1 do
+          let di = d0 + Array.unsafe_get db i + (k * Array.unsafe_get dk i) in
+          let ai = a0 + Array.unsafe_get ab i + (k * Array.unsafe_get ak i) in
+          let bi = b0 + Array.unsafe_get bb i + (k * Array.unsafe_get bk i) in
+          Array.unsafe_set da di
+            (rnd (Array.unsafe_get aa ai *. Array.unsafe_get ba bi))
+        done
+
+  let g_addacc ~rnd dsp asp ds as_ =
+    let n = Array.length ds in
+    let db = bases ds and dk = steps ds and ab = bases as_ and ak = steps as_ in
+    fun g ->
+      let da = arr g dsp and d0 = off g dsp in
+      let aa = arr g asp and a0 = off g asp in
+      fun k ->
+        for i = 0 to n - 1 do
+          let di = d0 + Array.unsafe_get db i + (k * Array.unsafe_get dk i) in
+          let ai = a0 + Array.unsafe_get ab i + (k * Array.unsafe_get ak i) in
+          Array.unsafe_set da di
+            (rnd (Array.unsafe_get da di +. Array.unsafe_get aa ai))
+        done
+
+  let compile_run ~rnd ~f32 (r : (cls * op) list) : genv -> int -> unit =
+    let pick f = Array.of_list (List.map (fun (c, _) -> f c) r) in
+    match r with
+    | [] -> fun _ _ -> ()
+    | (CGen _, o) :: _ -> g_gen ~rnd o
+    | (CCopy (d, a), _) :: _ ->
+        g_copy ~rnd ~f32 d.osp a.osp
+          (pick (function CCopy (d, _) -> d | _ -> assert false))
+          (pick (function CCopy (_, a) -> a | _ -> assert false))
+    | (CConst (d, _), _) :: _ ->
+        g_const ~rnd d.osp
+          (pick (function CConst (d, _) -> d | _ -> assert false))
+          (pick (function CConst (_, v) -> v | _ -> assert false))
+    | (CMul (d, a, b), _) :: _ ->
+        g_mul ~rnd d.osp a.osp b.osp
+          (pick (function CMul (d, _, _) -> d | _ -> assert false))
+          (pick (function CMul (_, a, _) -> a | _ -> assert false))
+          (pick (function CMul (_, _, b) -> b | _ -> assert false))
+    | (CMulAcc (d, a, b), _) :: _ ->
+        g_mulacc ~rnd ~f32 d.osp a.osp b.osp
+          (pick (function CMulAcc (d, _, _) -> d | _ -> assert false))
+          (pick (function CMulAcc (_, a, _) -> a | _ -> assert false))
+          (pick (function CMulAcc (_, _, b) -> b | _ -> assert false))
+    | (CAddAcc (d, a), _) :: _ ->
+        g_addacc ~rnd d.osp a.osp
+          (pick (function CAddAcc (d, _) -> d | _ -> assert false))
+          (pick (function CAddAcc (_, a) -> a | _ -> assert false))
+
+  let compile_ops ~rnd ~f32 (ops : op list) : (genv -> int -> unit) array =
+    let cls = List.map (fun o -> (classify o, o)) ops in
+    let rec runs = function
+      | [] -> []
+      | ((c, _) as hd) :: rest -> (
+          match c with
+          | CGen _ -> [ hd ] :: runs rest
+          | _ ->
+              let rec take acc = function
+                | ((c2, _) as x) :: tl when same_shape c c2 -> take (x :: acc) tl
+                | tl -> (List.rev acc, tl)
+              in
+              let r, tl = take [ hd ] rest in
+              r :: runs tl)
+    in
+    Array.of_list (List.map (compile_run ~rnd ~f32) (runs cls))
+
+  (* ------- per-call guard over the memory-space operands ------- *)
+
+  type guard = {
+    gsp : space array;
+    gbase : int array;
+    gstep : int array;
+    gloop : bool array;
+  }
+
+  let build_guard (segs : seg array) : guard =
+    let sp = ref [] and ba = ref [] and stp = ref [] and lp = ref [] in
+    let add in_loop (o : operand) =
+      if o.osp <> SpSlab then begin
+        sp := o.osp :: !sp;
+        ba := o.ob :: !ba;
+        stp := o.ok :: !stp;
+        lp := in_loop :: !lp
+      end
+    in
+    let rec add_rt in_loop = function
+      | RConst _ -> ()
+      | RRead o -> add in_loop o
+      | RBin (_, x, y) ->
+          add_rt in_loop x;
+          add_rt in_loop y
+      | RNeg x -> add_rt in_loop x
+    in
+    Array.iter
+      (fun sg ->
+        List.iter
+          (fun o ->
+            add sg.s_loop o.o_dst;
+            add_rt sg.s_loop o.o_rhs)
+          sg.s_ops)
+      segs;
+    {
+      gsp = Array.of_list (List.rev !sp);
+      gbase = Array.of_list (List.rev !ba);
+      gstep = Array.of_list (List.rev !stp);
+      gloop = Array.of_list (List.rev !lp);
+    }
+
+  let guard_ok (gd : guard) ~kc ~(ac : float array) ~ao ~(bc : float array) ~bo
+      ~(c : float array) : bool =
+    let n = Array.length gd.gsp in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < n do
+      let len, o =
+        match gd.gsp.(!i) with
+        | SpA -> (Array.length ac, ao)
+        | SpB -> (Array.length bc, bo)
+        | SpC | SpSlab -> (Array.length c, 0)
+      in
+      let base = o + gd.gbase.(!i) in
+      if gd.gloop.(!i) then begin
+        if kc > 0 then begin
+          let s = gd.gstep.(!i) in
+          let last = base + ((kc - 1) * s) in
+          let lo = if base < last then base else last in
+          let hi = if base < last then last else base in
+          if lo < 0 || hi >= len then ok := false
+        end
+      end
+      else if base < 0 || base >= len then ok := false;
+      incr i
+    done;
+    !ok
+end
+
+let to_ukr (p : proc) : ukr_fn option =
+  match Ukr_lower.lower p with
+  | None -> None
+  | Some l ->
+      let open Ukr_lower in
+      let open Ukr_run in
+      let f32 = l.lo_dt = Dtype.F32 in
+      let rnd = if f32 then f32_round else Buffer.round_dtype l.lo_dt in
+      let seg_runners =
+        Array.map (fun sg -> (sg.s_loop, compile_ops ~rnd ~f32 sg.s_ops)) l.lo_segs
+      in
+      let gd = build_guard l.lo_segs in
+      let slab = Array.make (max 1 l.lo_slab) 0.0 in
+      (* general-engine fallback for calls the specialized tape refuses:
+         raises the interpreter's errors verbatim (and handles the rare
+         valid-but-unsupported cases, e.g. kc = 0 with loop-written reads) *)
+      let fb = compile p in
+      let one = Buffer.of_array l.lo_dt [ 1 ] [| 1.0 |] in
+      let mr = l.lo_mr and nr = l.lo_nr in
+      let bufview data dims offset =
+        {
+          Buffer.data;
+          dtype = l.lo_dt;
+          dims = Array.of_list dims;
+          strides = Array.of_list (Ukr_lower.strides_of_const dims);
+          offset;
+        }
+      in
+      Some
+        (fun ~kc ~ac ~ao ~bc ~bo ~c ->
+          if
+            kc >= 0 && ao >= 0 && bo >= 0
+            && (not (l.lo_kc_pos && kc = 0))
+            && Array.for_all (fun f -> f kc) l.lo_preds
+            && guard_ok gd ~kc ~ac ~ao ~bc ~bo ~c
+          then begin
+            let g = { ea = ac; eao = ao; eb = bc; ebo = bo; ec = c; es = slab } in
+            Array.iter
+              (fun (is_loop, mks) ->
+                let n = Array.length mks in
+                let fs = Array.map (fun mk -> mk g) mks in
+                if is_loop then
+                  for k = 0 to kc - 1 do
+                    for i = 0 to n - 1 do
+                      (Array.unsafe_get fs i) k
+                    done
+                  done
+                else
+                  for i = 0 to n - 1 do
+                    fs.(i) 0
+                  done)
+              seg_runners
+          end
+          else
+            run fb
+              [
+                Interp.VInt kc;
+                Interp.VBuf one;
+                Interp.VBuf (bufview ac [ kc; mr ] ao);
+                Interp.VBuf (bufview bc [ kc; nr ] bo);
+                Interp.VBuf one;
+                Interp.VBuf (bufview c [ nr; mr ] 0);
+              ])

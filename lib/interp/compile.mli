@@ -27,3 +27,29 @@ val proc : t -> Exo_ir.Ir.proc
     for tensors (mutated in place) — the same conventions as {!Interp.run}.
     Preconditions are checked; violations raise {!Interp.Runtime_error}. *)
 val run : t -> Interp.value list -> unit
+
+(** A specialized micro-kernel entry point: [c += ac·bc] on one packed tile,
+    where [ac] is a kc×mr k-major panel starting at element [ao], [bc] a
+    kc×nr panel starting at [bo], and [c] the transposed nr×mr tile. Alpha
+    and beta are fixed at 1 (the macro-kernel folds them into packing and
+    the beta pre-pass, and the generated simple kernels never read them). *)
+type ukr_fn =
+  kc:int -> ac:float array -> ao:int -> bc:float array -> bo:int ->
+  c:float array -> unit
+
+(** [to_ukr p] — the second, specialized lowering tier for procs with the
+    generated micro-kernel signature [(KC: size, alpha: dt[1], Ac: dt[KC,MR],
+    Bc: dt[KC,NR], beta: dt[1], C: dt[NR,MR])]: the proc is symbolically
+    executed, constant loops fully unrolled, instruction calls inlined with
+    window geometry folded to constants, register memory flattened into one
+    scratch slab, and the surviving straight-line tape batched into
+    descriptor-driven float-array loops — no closure dispatch or [Sym.Map]
+    lookups in the k loop. Bit-identical to {!run} (and to {!Interp.run}):
+    structurally unsupported procs return [None]; per-call conditions the
+    tape cannot honour (short arrays, failing KC-dependent preconditions,
+    [kc = 0] with loop-carried reads) divert that call to the general
+    closure engine, which raises the interpreter's errors verbatim.
+
+    The returned closure is NOT re-entrant (it owns a mutable scratch slab
+    and a compiled fallback): share per domain, like {!t}. *)
+val to_ukr : Exo_ir.Ir.proc -> ukr_fn option

@@ -80,20 +80,19 @@ let call_cycles (m : Machine.t) (impl : impl) ~(kc : int) : float =
 (** Useful FLOPs per invocation on an m×n (≤ mr×nr) problem. A kernel with
     edge logic executes its full tile regardless; a specialized kernel is
     only ever invoked on its exact shape. *)
-let solo_gflops (m : Machine.t) (impl : impl) ~(mu : int) ~(nu : int) ~(kc : int) :
-    float =
+let solo_gflops ?(dbytes = 4) (m : Machine.t) (impl : impl) ~(mu : int)
+    ~(nu : int) ~(kc : int) : float =
   if mu > impl.mr || nu > impl.nr then
     invalid_arg "solo_gflops: problem exceeds the kernel tile";
   if (not impl.edge_logic) && (mu <> impl.mr || nu <> impl.nr) then
     invalid_arg "solo_gflops: specialized kernel invoked on a foreign shape";
   let cycles = call_cycles m impl ~kc in
   (* fringe handling in monolithic kernels: compute the full tile into a
-     temporary and copy out the mu×nu corner *)
+     temporary and copy out the mu×nu corner — temp write + read back, so
+     two element transfers at the kernel's element size *)
   let cycles =
     if impl.edge_logic && (mu <> impl.mr || nu <> impl.nr) then
-      cycles
-      +. (float_of_int (impl.mr * impl.nr) *. 8.0 /. m.l1_bw)
-      (* temp write + read back *)
+      cycles +. (float_of_int (impl.mr * impl.nr * dbytes * 2) /. m.l1_bw)
     else cycles
   in
   let useful_flops = 2.0 *. float_of_int (mu * nu * kc) in

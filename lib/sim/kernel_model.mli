@@ -37,8 +37,12 @@ val call_cycles : Exo_isa.Machine.t -> impl -> kc:int -> float
 
 (** Solo-mode GFLOPS on an mu×nu (≤ mr×nr) problem — the Fig. 13 numbers.
     A specialized kernel must be invoked on its exact shape; a kernel with
-    edge logic executes its full tile and is charged the fringe copy. *)
-val solo_gflops : Exo_isa.Machine.t -> impl -> mu:int -> nu:int -> kc:int -> float
+    edge logic executes its full tile and is charged the fringe copy
+    (tile write + read back at [dbytes] per element — 4 for f32, 2 for
+    f16 — through L1 bandwidth). *)
+val solo_gflops :
+  ?dbytes:int ->
+  Exo_isa.Machine.t -> impl -> mu:int -> nu:int -> kc:int -> float
 
 (** Peak GFLOPS for this kernel's lane width on the machine. *)
 val peak : Exo_isa.Machine.t -> impl -> float

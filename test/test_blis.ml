@@ -45,22 +45,24 @@ let test_pack_a_layout () =
   let a = M.init 10 6 (fun i j -> float_of_int ((100 * i) + j)) in
   let p = P.pack_a a ~ic:2 ~pc:1 ~mcb:8 ~kcb:4 ~mr:4 in
   Alcotest.(check int) "two panels" 2 p.P.num_panels;
-  Alcotest.(check int) "panel width" 4 (p.P.panel_width 0);
+  Alcotest.(check int) "panel width" 4 (P.panel_width p 0);
   (* panel 0, k-major: element (kk=0, i=0) is A[2,1] *)
-  Alcotest.(check (float 0.0)) "k-major origin" 201.0 (p.P.panel 0).(0);
+  Alcotest.(check (float 0.0)) "k-major origin" 201.0 p.P.data.(P.panel_off p 0);
   (* (kk=1, i=2) of panel 1 is A[2+4+2, 1+1] *)
-  Alcotest.(check (float 0.0)) "panel 1 interior" 802.0 (p.P.panel 1).((1 * 4) + 2)
+  Alcotest.(check (float 0.0)) "panel 1 interior" 802.0
+    p.P.data.(P.panel_off p 1 + (1 * 4) + 2)
 
 let test_pack_a_edge_panel () =
   let a = M.init 10 6 (fun i j -> float_of_int ((100 * i) + j)) in
   let p = P.pack_a a ~ic:0 ~pc:0 ~mcb:10 ~kcb:3 ~mr:4 in
   Alcotest.(check int) "three panels" 3 p.P.num_panels;
-  Alcotest.(check int) "last panel is the 2-row fringe" 2 (p.P.panel_width 2)
+  Alcotest.(check int) "last panel is the 2-row fringe" 2 (P.panel_width p 2)
 
 let test_pack_b_alpha () =
   let b = M.init 4 8 (fun i j -> float_of_int (i + j)) in
   let p = P.pack_b ~alpha:2.0 b ~pc:0 ~jc:0 ~kcb:4 ~ncb:8 ~nr:4 in
-  Alcotest.(check (float 0.0)) "alpha applied" (2.0 *. 5.0) (p.P.panel 1).(1)
+  Alcotest.(check (float 0.0)) "alpha applied" (2.0 *. 5.0)
+    p.P.data.(P.panel_off p 1 + 1)
 
 let test_pack_bounds () =
   let a = M.init 4 4 (fun _ _ -> 0.0) in
@@ -120,6 +122,109 @@ let test_blis_alpha_beta () =
   G.blis ~alpha:2.0 ~beta:(-1.0) ~blocking:small_blocking ~mr:8 ~nr:12
     ~ukr:G.reference_ukr a b c2;
   Alcotest.(check bool) "alpha/beta handled" true (M.equal c1 c2)
+
+(* fringe-heavy DL shapes: m and n deliberately not multiples of mr/nr, so
+   every jc/ic block ends in fringe panels driven by specialized kernels *)
+let fringe_shapes = [ (49, 50, 16); (23, 100, 7); (50, 13, 21); (49, 31, 33) ]
+
+let test_blis_exo_fringe_heavy () =
+  let st = Random.State.make [| 7 |] in
+  let ukr = R.exo_ukr () in
+  List.iter
+    (fun (m, n, k) ->
+      let a = M.random_int m k st and b = M.random_int k n st in
+      let c1 = M.random_int m n st in
+      let c2 = M.copy c1 in
+      G.naive_f32 a b c1;
+      G.blis ~blocking:small_blocking ~mr:8 ~nr:12 ~ukr a b c2;
+      Alcotest.(check bool)
+        (Fmt.str "%dx%dx%d fringe-heavy exact" m n k)
+        true (M.equal c1 c2))
+    fringe_shapes
+
+let test_blis_pool_width_invariance () =
+  (* the jc loop fans out over disjoint C column blocks: the result is
+     bit-identical no matter how many domains execute it *)
+  let st = Random.State.make [| 11 |] in
+  let m, n, k = (49, 100, 33) in
+  let a = M.random_int m k st and b = M.random_int k n st in
+  let c0 = M.random_int m n st in
+  let ukr = R.exo_ukr () in
+  let run jobs =
+    let c = M.copy c0 in
+    let pool = Exo_par.Pool.create ~jobs () in
+    G.blis ~alpha:2.0 ~beta:(-1.0) ~pool ~ws:(G.workspace ())
+      ~blocking:{ A.mc = 16; kc = 8; nc = 12 } ~mr:8 ~nr:12 ~ukr a b c;
+    c
+  in
+  let c1 = run 1 and c2 = run 2 and c4 = run 4 in
+  Alcotest.(check bool) "jobs 1 ≡ jobs 2 (bit-exact)" true (M.equal c1 c2);
+  Alcotest.(check bool) "jobs 1 ≡ jobs 4 (bit-exact)" true (M.equal c1 c4)
+
+let test_blis_workspace_reuse () =
+  (* repeated GEMMs through one workspace reuse the same arenas and stay
+     correct — the steady-state zero-allocation path *)
+  let st = Random.State.make [| 13 |] in
+  let ws = G.workspace () in
+  let ukr = R.exo_ukr () in
+  List.iter
+    (fun (m, n, k) ->
+      let a = M.random_int m k st and b = M.random_int k n st in
+      let c1 = M.random_int m n st in
+      let c2 = M.copy c1 in
+      G.naive_f32 a b c1;
+      G.blis ~ws ~blocking:small_blocking ~mr:8 ~nr:12 ~ukr a b c2;
+      Alcotest.(check bool) (Fmt.str "%dx%dx%d via shared ws" m n k) true
+        (M.equal c1 c2))
+    [ (40, 36, 33); (5, 7, 31); (49, 50, 16); (16, 24, 16) ]
+
+let test_gemm_batch () =
+  (* a workload list through one arena + pool matches per-problem naive *)
+  let st = Random.State.make [| 17 |] in
+  let mk (m, n, k) =
+    let a = M.random_int m k st and b = M.random_int k n st in
+    let c = M.random_int m n st in
+    (a, b, M.copy c, c)
+  in
+  let probs = List.map mk [ (49, 50, 16); (16, 24, 16); (5, 7, 31) ] in
+  List.iter (fun (a, b, _, c_ref) -> G.naive_f32 ~beta:0.5 a b c_ref) probs;
+  let ps =
+    List.map
+      (fun (a, b, c, _) ->
+        {
+          G.p_a = a;
+          p_b = b;
+          p_c = c;
+          p_alpha = 1.0;
+          p_beta = 0.5;
+          p_blocking = small_blocking;
+          p_mr = 8;
+          p_nr = 12;
+        })
+      probs
+  in
+  G.batch ~ws:(G.workspace ()) ~ukr:(R.exo_ukr ()) ps;
+  List.iter
+    (fun (_, _, c, c_ref) ->
+      Alcotest.(check bool) "batch layer exact" true (M.equal c c_ref))
+    probs
+
+let prop_blis_exo_fringe_random =
+  QCheck2.Test.make
+    ~name:"blocked GEMM + specialized kernels ≡ naive (fringe-heavy sizes)"
+    ~count:25
+    QCheck2.Gen.(triple (int_range 1 60) (int_range 1 60) (int_range 1 40))
+    (fun (m0, n0, k) ->
+      (* skew away from tile multiples so fringes dominate *)
+      let m = if m0 mod 8 = 0 then m0 + 1 else m0 in
+      let n = if n0 mod 12 = 0 then n0 + 1 else n0 in
+      let st = Random.State.make [| m; n; k; 23 |] in
+      let a = M.random_int m k st and b = M.random_int k n st in
+      let c1 = M.random_int m n st in
+      let c2 = M.copy c1 in
+      G.naive_f32 a b c1;
+      G.blis ~blocking:small_blocking ~mr:8 ~nr:12 ~ukr:(R.exo_ukr ()) a b c2;
+      M.equal c1 c2)
 
 let prop_blis_equals_naive =
   QCheck2.Test.make ~name:"blocked GEMM ≡ naive (random sizes)" ~count:30
@@ -307,6 +412,34 @@ let test_driver_time_memoized () =
   let d = D.time machine (D.alg_blis ()) ~m:301 ~n:303 ~k:305 in
   Alcotest.(check bool) "prefetch distinguishes setups" true (fst c <> fst d)
 
+let test_driver_key_no_name_aliasing () =
+  (* regression: the time memo key was a '/'-joined string, so machine
+     "col/blis" with kernel "-asm" aliased machine "col" with kernel
+     "blis/-asm" and the second configuration stole the first's cached
+     timing. The key is now a structured tuple. *)
+  let base = R.base_8x12 () in
+  let impl = Exo_sim.Kernel_model.blis_asm_8x12 base in
+  let m1 = { machine with Exo_isa.Machine.name = "col/blis" } in
+  let s1 =
+    D.Monolithic
+      { impl = { impl with Exo_sim.Kernel_model.name = "-asm" }; prefetch = true }
+  in
+  let m2 = { machine with Exo_isa.Machine.name = "col" } in
+  let s2 =
+    D.Monolithic
+      {
+        impl = { impl with Exo_sim.Kernel_model.name = "blis/-asm" };
+        prefetch = true;
+      }
+  in
+  let m, n, k = (401, 403, 405) in
+  let a = D.time m1 s1 ~m ~n ~k in
+  let b = D.time m2 s2 ~m ~n ~k in
+  Alcotest.(check bool) "distinct memo entries" false (a == b);
+  (* and each configuration still hits its own entry *)
+  Alcotest.(check bool) "entry 1 memoized" true (a == D.time m1 s1 ~m ~n ~k);
+  Alcotest.(check bool) "entry 2 memoized" true (b == D.time m2 s2 ~m ~n ~k)
+
 let test_f16_gemm_speedup () =
   (* the contributed f16 path roughly doubles end-to-end throughput *)
   let f16 = D.Exo_family Exo_ukr_gen.Kits.neon_f16 in
@@ -330,7 +463,10 @@ let test_setup_names () =
 let () =
   let props =
     List.map QCheck_alcotest.to_alcotest
-      [ prop_blis_equals_naive; prop_blis_exo_random_blocking ]
+      [
+        prop_blis_equals_naive; prop_blis_exo_random_blocking;
+        prop_blis_exo_fringe_random;
+      ]
   in
   Alcotest.run "blis"
     [
@@ -355,6 +491,12 @@ let () =
           Alcotest.test_case "compiled vs interpreted ukr" `Quick
             test_blis_compiled_vs_interpreted_ukr;
           Alcotest.test_case "alpha/beta" `Quick test_blis_alpha_beta;
+          Alcotest.test_case "fringe-heavy DL shapes" `Quick
+            test_blis_exo_fringe_heavy;
+          Alcotest.test_case "pool-width invariance" `Quick
+            test_blis_pool_width_invariance;
+          Alcotest.test_case "workspace reuse" `Quick test_blis_workspace_reuse;
+          Alcotest.test_case "batch" `Quick test_gemm_batch;
         ]
         @ props );
       ( "driver",
@@ -376,6 +518,8 @@ let () =
           Alcotest.test_case "driver no feasible shape" `Quick
             test_driver_no_feasible_shape;
           Alcotest.test_case "driver time memoized" `Quick test_driver_time_memoized;
+          Alcotest.test_case "driver key no name aliasing" `Quick
+            test_driver_key_no_name_aliasing;
           Alcotest.test_case "f16 gemm speedup" `Quick test_f16_gemm_speedup;
         ] );
     ]

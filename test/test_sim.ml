@@ -139,6 +139,31 @@ let test_spill_model () =
   Alcotest.(check bool) "spills cost cycles" true
     (KM.cycles_per_iter M.carmel spilled > KM.cycles_per_iter M.carmel impl)
 
+let test_fringe_copy_scales_with_dbytes () =
+  (* regression: the monolithic fringe copy (temp tile write + read back)
+     used to hardwire 8 bytes per element — correct only for f32. It is
+     charged at the kernel's element size, so an f16 kernel's fringe
+     penalty is half an f32 one's. *)
+  let blis = KM.blis_asm_8x12 (proc_of 8 12) in
+  let mu, nu, kc = (8, 4, 512) in
+  let expect dbytes =
+    let cycles =
+      KM.call_cycles M.carmel blis ~kc
+      +. (float_of_int (8 * 12 * dbytes * 2) /. M.carmel.M.l1_bw)
+    in
+    2.0 *. float_of_int (mu * nu * kc)
+    /. (cycles /. (M.carmel.M.freq_ghz *. 1e9))
+    /. 1e9
+  in
+  Alcotest.(check (float 1e-9)) "default charges 4-byte elements" (expect 4)
+    (KM.solo_gflops M.carmel blis ~mu ~nu ~kc);
+  Alcotest.(check (float 1e-9)) "f16 fringe copy moves half the bytes"
+    (expect 2)
+    (KM.solo_gflops ~dbytes:2 M.carmel blis ~mu ~nu ~kc);
+  Alcotest.(check bool) "cheaper copy, higher GFLOPS" true
+    (KM.solo_gflops ~dbytes:2 M.carmel blis ~mu ~nu ~kc
+    > KM.solo_gflops M.carmel blis ~mu ~nu ~kc)
+
 let test_f16_doubles_peak () =
   let k = Family.generate ~kit:Exo_ukr_gen.Kits.neon_f16 ~mr:16 ~nr:24 () in
   let impl = KM.of_proc ~name:"EXO-f16" ~mr:16 ~nr:24 k.Family.proc in
@@ -403,5 +428,7 @@ let () =
           Alcotest.test_case "misuse rejected" `Quick test_specialized_misuse_rejected;
           Alcotest.test_case "spill model" `Quick test_spill_model;
           Alcotest.test_case "f16 peak" `Quick test_f16_doubles_peak;
+          Alcotest.test_case "fringe copy scales with dbytes" `Quick
+            test_fringe_copy_scales_with_dbytes;
         ] );
     ]
