@@ -151,7 +151,7 @@ let run_bechamel () =
 (* writes: schema version, the commit the numbers were measured at,     *)
 (* and the parallelism actually available/used.                         *)
 
-let bench_schema_version = 2
+let bench_schema_version = 3
 
 (** Short git commit of the working tree, or ["unknown"] outside a
     checkout (e.g. a release tarball). *)
@@ -165,18 +165,24 @@ let git_commit () =
   with _ -> "unknown"
 
 (** The common ["meta"] JSON object (no trailing comma/newline) embedded
-    in BENCH_interp.json and BENCH_sim.json. *)
+    in every BENCH_*.json. Since schema 3 it records the ocamlopt
+    configuration (version, flambda) — without flambda the float-array
+    tiers pay boxing the Bigarray tier does not, so GFLOPS numbers are
+    only comparable across hosts with this block. *)
 let meta_json () =
   Printf.sprintf
     "\"meta\": {\n\
     \    \"schema_version\": %d,\n\
     \    \"git_commit\": %S,\n\
     \    \"host_cores\": %d,\n\
-    \    \"pool_jobs\": %d\n\
+    \    \"pool_jobs\": %d,\n\
+    \    \"ocaml_version\": %S,\n\
+    \    \"flambda\": %b\n\
     \  }"
     bench_schema_version (git_commit ())
     (Domain.recommended_domain_count ())
     (Exo_par.Pool.default_jobs ())
+    Sys.ocaml_version Config.flambda
 
 (* ------------------------------------------------------------------ *)
 (* perf: the compiled execution engine vs the tree-walking interpreter  *)
@@ -376,13 +382,16 @@ let run_perf_sim ?(smoke = false) () =
   Fmt.pr "wrote BENCH_sim.json@.@."
 
 (* ------------------------------------------------------------------ *)
-(* perf-gemm: the executable GEMM path. Measures the specialized        *)
-(* flat-loop kernel tier against the closure engine (one 8x12 call at   *)
-(* paper kc), times a full paper-scale GEMM through the arena-packed    *)
-(* pool-parallel macro-kernel (validated exactly against naive f32),    *)
-(* checks bit-identical C at pool widths 1/2/4, and runs a DNN workload *)
-(* slice through Gemm.batch. Writes BENCH_gemm.json; any numeric        *)
-(* mismatch is a hard process failure so CI can assert via exit code.   *)
+(* perf-gemm: the executable GEMM path. Measures the three kernel tiers *)
+(* (closure engine, flat tape, monomorphized Bigarray) on one 8x12 call *)
+(* at paper kc, times a full paper-scale GEMM through the Bigarray      *)
+(* macro-kernel (validated exactly against naive f32 AND the flat tier, *)
+(* with zero closure fallbacks demanded of the complete table), checks  *)
+(* bit-identical C at pool widths 1/2/4 over the (jc x ic) task grid —  *)
+(* including a small-n ResNet50 layer shape where jc alone is one task  *)
+(* — and runs a DNN workload slice through Gemm.batch_ba. Writes        *)
+(* BENCH_gemm.json; any numeric mismatch, fallback dispatch, or width   *)
+(* divergence is a hard process failure so CI can assert via exit code. *)
 
 let run_perf_gemm ?(smoke = false) () =
   let module R = Exo_blis.Registry in
@@ -423,10 +432,40 @@ let run_perf_gemm ?(smoke = false) () =
         closure ~kc ~mr ~nr ~ac ~ao:0 ~bc ~bo:0 ~c)
   in
   let ukr_speedup = t_closure /. t_fast in
+  (* the monomorphized Bigarray tier on the same tile, through the real
+     dispatch table (counting wrapper included) *)
+  let table = R.exo_table ~mr ~nr () in
+  let ba_ukr = R.table_entry table ~mr ~nr in
+  let to_ba arr =
+    let b =
+      Bigarray.Array1.create Bigarray.float32 Bigarray.c_layout
+        (Array.length arr)
+    in
+    Array.iteri (Bigarray.Array1.set b) arr;
+    b
+  in
+  let ac_ba = to_ba ac and bc_ba = to_ba bc in
+  let c3 = to_ba c0 in
+  ba_ukr ~kc ~ac:ac_ba ~ao:0 ~bc:bc_ba ~bo:0 ~c:c3 ~co:0;
+  Array.iteri
+    (fun i v ->
+      if not (Float.equal (Bigarray.Array1.get c3 i) v) then
+        failwith "perf-gemm: Bigarray and closure kernels disagree")
+    c1;
+  Fmt.pr "kernel tiers (incl. Bigarray) agree bit-exactly on the C tile@.";
+  let t_ba =
+    let c = to_ba c0 in
+    time_runs ~min_time (fun () ->
+        ba_ukr ~kc ~ac:ac_ba ~ao:0 ~bc:bc_ba ~bo:0 ~c ~co:0)
+  in
+  let ba_speedup = t_closure /. t_ba in
   Fmt.pr "closure engine     : %12.1f us/call@." (t_closure *. 1e6);
   Fmt.pr "specialized lowering: %11.1f us/call@." (t_fast *. 1e6);
-  Fmt.pr "speedup            : %12.1fx %s@." ukr_speedup
+  Fmt.pr "monomorphized ba   : %12.1f us/call@." (t_ba *. 1e6);
+  Fmt.pr "speedup (flat)     : %12.1fx %s@." ukr_speedup
     (if ukr_speedup >= 5.0 then "(>= 5x: ok)" else "(below the 5x target!)");
+  Fmt.pr "speedup (bigarray) : %12.1fx vs closure, %.1fx vs flat@." ba_speedup
+    (t_fast /. t_ba);
   (* 2. a full paper-scale GEMM through the macro-kernel, validated exactly
      against the f32-rounded naive reference, then re-run at pool widths
      2 and 4 — C must be bit-identical at every width *)
@@ -435,44 +474,76 @@ let run_perf_gemm ?(smoke = false) () =
   let a = M.random_int dim dim st and b = M.random_int dim dim st in
   let c_init = M.random_int dim dim st in
   let exo_ukr = R.exo_ukr () in
+  let kernels = R.exo_bank ~mr ~nr () in
   let run_width jobs =
     let c = M.copy c_init in
     let pool = Exo_par.Pool.create ~jobs () in
     let t0 = Unix.gettimeofday () in
-    G.blis ~pool ~blocking ~mr ~nr ~ukr:exo_ukr a b c;
+    G.blis_ba ~pool ~blocking ~mr ~nr ~kernels a b c;
     (c, Unix.gettimeofday () -. t0)
   in
+  R.reset_ukr_dispatch_counts ();
   let c_serial, t_serial = run_width 1 in
-  let gemm_gflops =
-    2.0 *. float_of_int dim *. float_of_int dim *. float_of_int dim
-    /. t_serial /. 1e9
+  (* the fallbacks-zero gate: with the complete monomorphized table no
+     tile of a full f32 GEMM may reach the closure engine *)
+  let fast_calls, fallback_calls = R.ukr_dispatch_counts () in
+  Fmt.pr "dispatch: %d monomorphized calls, %d closure fallbacks@." fast_calls
+    fallback_calls;
+  if fallback_calls > 0 then
+    failwith "perf-gemm: closure-engine fallbacks fired on the full GEMM run";
+  let gflops_of t =
+    2.0 *. float_of_int dim *. float_of_int dim *. float_of_int dim /. t /. 1e9
   in
+  let gemm_gflops = gflops_of t_serial in
   Fmt.pr "%d^3 GEMM, 1 domain : %8.2f s  (%.3f GFLOPS)@." dim t_serial gemm_gflops;
   let c_ref = M.copy c_init in
   G.naive_f32 a b c_ref;
   if not (M.equal c_serial c_ref) then
     failwith "perf-gemm: macro-kernel disagrees with naive f32 reference";
   Fmt.pr "validated exactly against naive f32@.";
-  (* the analytical nc can exceed the whole problem (one jc task), which
-     would make the width sweep vacuous — split n into >= 4 column blocks
-     so several domains really pack and scatter concurrently *)
+  (* the previous (flat-array tape) tier on the same problem: the
+     before/after of the Bigarray move, and a cross-tier bit-exactness
+     check on a full GEMM *)
+  let t_flat =
+    let c = M.copy c_init in
+    let pool = Exo_par.Pool.create ~jobs:1 () in
+    let t0 = Unix.gettimeofday () in
+    G.blis ~pool ~blocking ~mr ~nr ~ukr:exo_ukr a b c;
+    let t = Unix.gettimeofday () -. t0 in
+    if not (M.equal c c_serial) then
+      failwith "perf-gemm: Bigarray and flat tiers disagree on the GEMM result";
+    t
+  in
+  Fmt.pr "%d^3 GEMM, flat tier: %8.2f s  (%.3f GFLOPS, bigarray %.2fx)@." dim
+    t_flat (gflops_of t_flat) (t_flat /. t_serial);
+  (* the analytical nc/mc can exceed the whole problem (one task), which
+     would make the width sweep vacuous — split BOTH n and m into >= 4
+     blocks so the (jc × ic) task grid gives several domains real work *)
   let par_blocking =
     let quarter = (dim + 3) / 4 in
     let nc = max nr (quarter / nr * nr) in
-    { blocking with Exo_blis.Analytical.nc }
+    let mc = max mr (quarter / mr * mr) in
+    { blocking with Exo_blis.Analytical.nc; mc }
+  in
+  let par_tasks =
+    ((dim + par_blocking.Exo_blis.Analytical.nc - 1)
+    / par_blocking.Exo_blis.Analytical.nc)
+    * ((dim + par_blocking.Exo_blis.Analytical.mc - 1)
+      / par_blocking.Exo_blis.Analytical.mc)
   in
   let run_par jobs =
     let c = M.copy c_init in
     let pool = Exo_par.Pool.create ~jobs () in
     let t0 = Unix.gettimeofday () in
-    G.blis ~pool ~blocking:par_blocking ~mr ~nr ~ukr:exo_ukr a b c;
+    G.blis_ba ~pool ~blocking:par_blocking ~mr ~nr ~kernels a b c;
     (c, Unix.gettimeofday () -. t0)
   in
   let c_par1, t_par1 = run_par 1 in
-  (* nc only tiles the column space — it never reorders any element's
+  (* nc/mc only tile the output space — they never reorder any element's
      accumulation — so the split run must still match the reference *)
   if not (M.equal c_par1 c_ref) then
-    failwith "perf-gemm: column-split blocking changed the result";
+    failwith "perf-gemm: block-split blocking changed the result";
+  Fmt.pr "width sweep over a %d-task (jc x ic) grid@." par_tasks;
   let par_times, jobs_identical =
     List.fold_left
       (fun (times, ok) jobs ->
@@ -487,8 +558,57 @@ let run_perf_gemm ?(smoke = false) () =
   in
   if not jobs_identical then
     failwith "perf-gemm: pool widths disagree on the GEMM result";
-  (* 3. a DNN workload slice through Gemm.batch: one arena + one pool for
-     the whole layer list *)
+  (* 3. jobs invariance on a small-n GEMM (ResNet50 layer 2: a 1x1 conv's
+     im2row shape, n = 64 « the analytical nc): the jc-only split yields a
+     single task here, so this exercises — and pins — the ic fan-out *)
+  let sn_m, sn_n, sn_k =
+    let l2 = List.nth W.resnet50 1 in
+    let m, n, k = W.gemm_dims l2 in
+    if smoke then (min m 784, n, k) else (m, n, k)
+  in
+  let sn_blocking =
+    (* nc covers all of n (the jc axis degenerates to one block); mc
+       quarters m so the task grid still has >= 4 cells *)
+    let mc = max mr ((sn_m + 3) / 4 / mr * mr) in
+    { blocking with Exo_blis.Analytical.mc; nc = max nr sn_n }
+  in
+  let sn_jc = (sn_n + sn_blocking.Exo_blis.Analytical.nc - 1)
+              / sn_blocking.Exo_blis.Analytical.nc in
+  let sn_ic = (sn_m + sn_blocking.Exo_blis.Analytical.mc - 1)
+              / sn_blocking.Exo_blis.Analytical.mc in
+  if sn_jc <> 1 || sn_ic < 2 then
+    failwith "perf-gemm: small-n shape does not exercise the ic fan-out";
+  let sn_a = M.random_int sn_m sn_k st and sn_b = M.random_int sn_k sn_n st in
+  let sn_c_init = M.random_int sn_m sn_n st in
+  let run_small jobs =
+    let c = M.copy sn_c_init in
+    let pool = Exo_par.Pool.create ~jobs () in
+    let t0 = Unix.gettimeofday () in
+    G.blis_ba ~pool ~blocking:sn_blocking ~mr ~nr ~kernels sn_a sn_b c;
+    (c, Unix.gettimeofday () -. t0)
+  in
+  let sn_ref = M.copy sn_c_init in
+  G.naive_f32 sn_a sn_b sn_ref;
+  let sn_c1, sn_t1 = run_small 1 in
+  if not (M.equal sn_c1 sn_ref) then
+    failwith "perf-gemm: small-n GEMM disagrees with naive f32 reference";
+  let sn_times, sn_identical =
+    List.fold_left
+      (fun (times, ok) jobs ->
+        let c, t = run_small jobs in
+        (times @ [ (jobs, t) ], ok && M.equal c sn_c1))
+      ([ (1, sn_t1) ], true)
+      [ 2; 4 ]
+  in
+  Fmt.pr
+    "small-n GEMM %dx%dx%d (ResNet50 layer 2), %d ic-tasks: %s at widths \
+     1/2/4@."
+    sn_m sn_n sn_k sn_ic
+    (if sn_identical then "bit-identical" else "MISMATCH");
+  if not sn_identical then
+    failwith "perf-gemm: pool widths disagree on the small-n GEMM result";
+  (* 4. a DNN workload slice through Gemm.batch_ba: one arena + one pool
+     for the whole layer list *)
   let layers =
     let by_flops =
       List.sort
@@ -520,7 +640,7 @@ let run_perf_gemm ?(smoke = false) () =
   in
   let ws = G.workspace () in
   let t0 = Unix.gettimeofday () in
-  G.batch ~ws ~ukr:exo_ukr (List.map snd probs);
+  G.batch_ba ~ws ~kernels (List.map snd probs);
   let t_batch = Unix.gettimeofday () -. t0 in
   let batch_rows =
     List.map
@@ -546,34 +666,60 @@ let run_perf_gemm ?(smoke = false) () =
     \    \"kc\": %d,\n\
     \    \"closure_us_per_call\": %.3f,\n\
     \    \"specialized_us_per_call\": %.3f,\n\
-    \    \"speedup\": %.2f\n\
+    \    \"speedup\": %.2f,\n\
+    \    \"bigarray_us_per_call\": %.3f,\n\
+    \    \"bigarray_speedup\": %.2f\n\
     \  },\n\
     \  \"gemm\": {\n\
     \    \"dim\": %d,\n\
     \    \"blocking\": [%d, %d, %d],\n\
     \    \"seconds_1job\": %.3f,\n\
     \    \"gflops_1job\": %.4f,\n\
+    \    \"flat_seconds_1job\": %.3f,\n\
+    \    \"flat_gflops_1job\": %.4f,\n\
+    \    \"speedup_vs_flat\": %.2f,\n\
+    \    \"fast_calls\": %d,\n\
+    \    \"fallback_calls\": %d,\n\
     \    \"validated_vs_naive_f32\": true\n\
     \  },\n\
     \  \"jobs_invariance\": {\n\
     \    \"nc_split\": %d,\n\
+    \    \"mc_split\": %d,\n\
+    \    \"tasks\": %d,\n\
     \    \"seconds_by_width\": {%s},\n\
     \    \"identical\": %b\n\
     \  },\n\
+    \  \"small_n\": {\n\
+    \    \"layer\": \"resnet50 layer 2\",\n\
+    \    \"m\": %d,\n\
+    \    \"n\": %d,\n\
+    \    \"k\": %d,\n\
+    \    \"jc_tasks\": %d,\n\
+    \    \"ic_tasks\": %d,\n\
+    \    \"seconds_by_width\": {%s},\n\
+    \    \"jobs_identical\": %b,\n\
+    \    \"small_n_validated_vs_naive_f32\": true\n\
+    \  },\n\
     \  \"batch\": {\n\
     \    \"model\": \"resnet50\",\n\
+    \    \"tier\": \"bigarray\",\n\
     \    \"layers\": [%s],\n\
     \    \"seconds\": %.3f,\n\
     \    \"gflops\": %.4f\n\
     \  }\n\
      }\n"
     (meta_json ()) smoke mr nr kc (t_closure *. 1e6) (t_fast *. 1e6) ukr_speedup
-    dim blocking.Exo_blis.Analytical.mc blocking.Exo_blis.Analytical.kc
-    blocking.Exo_blis.Analytical.nc t_serial gemm_gflops
-    par_blocking.Exo_blis.Analytical.nc
+    (t_ba *. 1e6) ba_speedup dim blocking.Exo_blis.Analytical.mc
+    blocking.Exo_blis.Analytical.kc blocking.Exo_blis.Analytical.nc t_serial
+    gemm_gflops t_flat (gflops_of t_flat) (t_flat /. t_serial) fast_calls
+    fallback_calls par_blocking.Exo_blis.Analytical.nc
+    par_blocking.Exo_blis.Analytical.mc par_tasks
     (String.concat ", "
        (List.map (fun (j, t) -> Printf.sprintf "\"%d\": %.3f" j t) par_times))
-    jobs_identical
+    jobs_identical sn_m sn_n sn_k sn_jc sn_ic
+    (String.concat ", "
+       (List.map (fun (j, t) -> Printf.sprintf "\"%d\": %.3f" j t) sn_times))
+    sn_identical
     (String.concat ", "
        (List.map
           (fun (id, m, n, k, _) ->

@@ -12,6 +12,13 @@ type ukr =
     (panel offsets into a packing arena), [c] the *transposed* tile (nr×mr,
     row-major) — the layout conventions of Section III-A. *)
 
+type ba32 = Exo_interp.Compile.ba32
+
+type ukr_ba = Exo_interp.Compile.ukr_ba
+(** The monomorphized tier's per-tile entry point: same panel layout as
+    {!ukr} with operands in float32 Bigarrays and the tile shape fixed per
+    closure — the driver dispatches into a flat (mr'×nr') kernel table. *)
+
 (** The same arithmetic in plain OCaml with binary32 rounding — matches the
     interpreted generated kernels bit for bit. *)
 val reference_ukr : ukr
@@ -51,6 +58,26 @@ val blis :
   ukr:ukr ->
   Matrix.t -> Matrix.t -> Matrix.t -> unit
 
+(** The BLIS-like GEMM over the monomorphized kernel table: same blocking
+    as {!blis} with packed panels and C tiles in float32 Bigarrays, O(1)
+    array-indexed dispatch into the table [kernels ()] returns (entry
+    [(mr'-1)·nr + nr'-1] computes an mr'×nr' tile; at least mr·nr entries),
+    and BOTH the jc and ic loops fanned out as one (jc × ic) task grid —
+    disjoint C row×column block per task, so small-n problems where the
+    jc-only split yields a single task still scale, bit-identical at every
+    pool width. [kernels] is invoked once per task on the executing domain
+    (kernel closures own scratch and are not re-entrant across domains). *)
+val blis_ba :
+  ?alpha:float ->
+  ?beta:float ->
+  ?pool:Exo_par.Pool.t ->
+  ?ws:workspace ->
+  blocking:Analytical.blocking ->
+  mr:int ->
+  nr:int ->
+  kernels:(unit -> ukr_ba array) ->
+  Matrix.t -> Matrix.t -> Matrix.t -> unit
+
 (** One GEMM of a workload batch. *)
 type problem = {
   p_a : Matrix.t;
@@ -68,3 +95,10 @@ type problem = {
     order; each one's jc loop fans out on [pool]. *)
 val batch :
   ?pool:Exo_par.Pool.t -> ?ws:workspace -> ukr:ukr -> problem list -> unit
+
+(** {!batch} over the monomorphized Bigarray tier ({!blis_ba}). *)
+val batch_ba :
+  ?pool:Exo_par.Pool.t ->
+  ?ws:workspace ->
+  kernels:(unit -> ukr_ba array) ->
+  problem list -> unit

@@ -19,8 +19,8 @@
     Fig. 4), so the micro-kernels run the simplified alpha = beta = 1
     code. *)
 
-type packed = {
-  data : float array;  (** the arena the panels were packed into *)
+type 'arena gen_packed = {
+  data : 'arena;  (** the arena the panels were packed into *)
   pitch : int;  (** elements between consecutive panel starts *)
   num_panels : int;
   depth : int;  (** kc of this packing *)
@@ -28,8 +28,18 @@ type packed = {
   block : int;  (** packed block extent: mcb (A) or ncb (B) *)
 }
 
-let panel_off (p : packed) (i : int) : int = i * p.pitch
-let panel_width (p : packed) (i : int) : int = min p.full (p.block - (i * p.full))
+type packed = float array gen_packed
+
+type ba32 = Exo_interp.Compile.ba32
+
+type packed_ba = ba32 gen_packed
+(** Same layout, arena in a float32 Bigarray — the monomorphized tier's
+    operand type, where the f32 rounding is the store itself. *)
+
+let panel_off (p : 'a gen_packed) (i : int) : int = i * p.pitch
+
+let panel_width (p : 'a gen_packed) (i : int) : int =
+  min p.full (p.block - (i * p.full))
 
 (** Arena sizes for a maximal block: full-width panels at full pitch. *)
 let a_arena_size ~(mcb : int) ~(kcb : int) ~(mr : int) : int =
@@ -109,3 +119,70 @@ let pack_a (a : Matrix.t) ~ic ~pc ~mcb ~kcb ~mr : packed =
 let pack_b ?alpha (b : Matrix.t) ~pc ~jc ~kcb ~ncb ~nr : packed =
   if ncb < 0 || kcb < 0 then invalid_arg "pack_b: block out of range";
   pack_b_into ?alpha (Array.make (max 1 (b_arena_size ~ncb ~kcb ~nr)) 0.0) b ~pc ~jc ~kcb ~ncb ~nr
+
+(* ------------------------------------------------------------------ *)
+(* Bigarray-arena packing: the monomorphized tier's operands            *)
+
+module BA1 = Bigarray.Array1
+
+(** [pack_a_into] with a float32 Bigarray arena: identical layout, and the
+    store itself performs the f32 rounding the kernels' [Ac] operand
+    carries. Same single up-front range check, then unsafe accesses. *)
+let pack_a_ba_into (dst : ba32) (a : Matrix.t) ~(ic : int) ~(pc : int)
+    ~(mcb : int) ~(kcb : int) ~(mr : int) : packed_ba =
+  if mcb < 0 || kcb < 0 || ic < 0 || pc < 0 || ic + mcb > a.Matrix.rows
+     || pc + kcb > a.Matrix.cols
+  then invalid_arg "pack_a_ba: block out of range";
+  if BA1.dim dst < a_arena_size ~mcb ~kcb ~mr then
+    invalid_arg "pack_a_ba: arena too small";
+  let num_panels = (mcb + mr - 1) / mr in
+  let lda = a.Matrix.cols and src = a.Matrix.data in
+  for ir = 0 to num_panels - 1 do
+    let w = min mr (mcb - (ir * mr)) in
+    let po = ir * kcb * mr in
+    let rbase = ((ic + (ir * mr)) * lda) + pc in
+    for kk = 0 to kcb - 1 do
+      let db = po + (kk * w) and sb = rbase + kk in
+      for i = 0 to w - 1 do
+        BA1.unsafe_set dst (db + i) (Array.unsafe_get src (sb + (i * lda)))
+      done
+    done
+  done;
+  { data = dst; pitch = kcb * mr; num_panels; depth = kcb; full = mr; block = mcb }
+
+(** [pack_b_into] with a float32 Bigarray arena (alpha folded in, as in the
+    float-array version). *)
+let pack_b_ba_into ?(alpha = 1.0) (dst : ba32) (b : Matrix.t) ~(pc : int)
+    ~(jc : int) ~(kcb : int) ~(ncb : int) ~(nr : int) : packed_ba =
+  if ncb < 0 || kcb < 0 || pc < 0 || jc < 0 || pc + kcb > b.Matrix.rows
+     || jc + ncb > b.Matrix.cols
+  then invalid_arg "pack_b_ba: block out of range";
+  if BA1.dim dst < b_arena_size ~ncb ~kcb ~nr then
+    invalid_arg "pack_b_ba: arena too small";
+  let num_panels = (ncb + nr - 1) / nr in
+  let ldb = b.Matrix.cols and src = b.Matrix.data in
+  if Float.equal alpha 1.0 then
+    for jr = 0 to num_panels - 1 do
+      let w = min nr (ncb - (jr * nr)) in
+      let po = jr * kcb * nr in
+      let cbase = jc + (jr * nr) in
+      for kk = 0 to kcb - 1 do
+        let db = po + (kk * w) and sb = ((pc + kk) * ldb) + cbase in
+        for j = 0 to w - 1 do
+          BA1.unsafe_set dst (db + j) (Array.unsafe_get src (sb + j))
+        done
+      done
+    done
+  else
+    for jr = 0 to num_panels - 1 do
+      let w = min nr (ncb - (jr * nr)) in
+      let po = jr * kcb * nr in
+      let cbase = jc + (jr * nr) in
+      for kk = 0 to kcb - 1 do
+        let db = po + (kk * w) and sb = ((pc + kk) * ldb) + cbase in
+        for j = 0 to w - 1 do
+          BA1.unsafe_set dst (db + j) (alpha *. Array.unsafe_get src (sb + j))
+        done
+      done
+    done;
+  { data = dst; pitch = kcb * nr; num_panels; depth = kcb; full = nr; block = ncb }

@@ -11,8 +11,8 @@
     nothing — behind a single up-front range check; [pack_a]/[pack_b]
     allocate a fresh arena. *)
 
-type packed = {
-  data : float array;  (** the arena the panels were packed into *)
+type 'arena gen_packed = {
+  data : 'arena;  (** the arena the panels were packed into *)
   pitch : int;  (** elements between consecutive panel starts *)
   num_panels : int;
   depth : int;  (** kc of this packing *)
@@ -20,11 +20,19 @@ type packed = {
   block : int;  (** packed block extent: mcb (A) or ncb (B) *)
 }
 
+type packed = float array gen_packed
+
+type ba32 = Exo_interp.Compile.ba32
+
+type packed_ba = ba32 gen_packed
+(** Same layout with the arena in a float32 Bigarray — the monomorphized
+    tier's operand type, where the f32 rounding is the store itself. *)
+
 (** Flat start of panel [i] in [data]. *)
-val panel_off : packed -> int -> int
+val panel_off : 'a gen_packed -> int -> int
 
 (** Rows (A) / columns (B) of panel [i] — [full] except on the fringe. *)
-val panel_width : packed -> int -> int
+val panel_width : 'a gen_packed -> int -> int
 
 (** Arena elements needed to pack an mcb×kcb A block / kcb×ncb B block. *)
 val a_arena_size : mcb:int -> kcb:int -> mr:int -> int
@@ -46,3 +54,14 @@ val pack_a :
 val pack_b :
   ?alpha:float ->
   Matrix.t -> pc:int -> jc:int -> kcb:int -> ncb:int -> nr:int -> packed
+
+(** The [_into] packers with a float32 Bigarray arena: identical layout and
+    checks, and the store itself is the f32 rounding. *)
+val pack_a_ba_into :
+  ba32 ->
+  Matrix.t -> ic:int -> pc:int -> mcb:int -> kcb:int -> mr:int -> packed_ba
+
+val pack_b_ba_into :
+  ?alpha:float ->
+  ba32 ->
+  Matrix.t -> pc:int -> jc:int -> kcb:int -> ncb:int -> nr:int -> packed_ba

@@ -157,3 +157,115 @@ let exo_ukr_interp ?(kit = Kits.neon_f32) () : Gemm.ukr =
 (** The monolithic kernels' numeric behaviour (identical arithmetic; their
     differences are micro-architectural and live in the model impls). *)
 let monolithic_ukr : Gemm.ukr = Gemm.reference_ukr
+
+(* ------------------------------------------------------------------ *)
+(* The monomorphized (mr' × nr') kernel table                          *)
+
+module Obs = Exo_obs.Obs
+
+(* Dispatch counters. The bench's fallback gate must see every call even
+   in plain (non-profile) runs, so the authoritative cells are process-wide
+   atomics that are always on; the Obs counters mirror them for the profile
+   exporter (Obs drops mutations while disabled). *)
+let fast_calls = Atomic.make 0
+let fallback_calls = Atomic.make 0
+let obs_fast = Obs.counter "gemm.ukr_fast_calls"
+let obs_fallback = Obs.counter "gemm.ukr_fallback_calls"
+
+let ukr_dispatch_counts () = (Atomic.get fast_calls, Atomic.get fallback_calls)
+
+let reset_ukr_dispatch_counts () =
+  Atomic.set fast_calls 0;
+  Atomic.set fallback_calls 0
+
+(** The complete monomorphized table for a kernel family: one entry per
+    (mr', nr') with mr' ∈ 1..mr, nr' ∈ 1..nr, flat at index
+    [(mr'-1)·nr + nr'-1]. Entries the Bigarray tier certified are direct
+    monomorphized executors; the rest ([t_fast] false — only non-f32 kits
+    today) copy through the closure engine and count as fallbacks. *)
+type table = {
+  t_kit : Kits.t;
+  t_mr : int;
+  t_nr : int;
+  t_entries : C.ukr_ba array;
+  t_fast : bool array;
+}
+
+let table_holes (t : table) : int =
+  Array.fold_left (fun n f -> if f then n else n + 1) 0 t.t_fast
+
+let table_complete (t : table) : bool = table_holes t = 0
+
+let table_entry (t : table) ~(mr : int) ~(nr : int) : C.ukr_ba =
+  if mr < 1 || mr > t.t_mr || nr < 1 || nr > t.t_nr then
+    invalid_arg "Registry.table_entry: shape outside the table";
+  t.t_entries.(((mr - 1) * t.t_nr) + nr - 1)
+
+(* A counting wrapper per entry: one closure hop + one atomic add per tile
+   call (~30k calls on the 1008³ run — noise next to the kernel work). *)
+let count_fast (u : C.ukr_ba) : C.ukr_ba =
+ fun ~kc ~ac ~ao ~bc ~bo ~c ~co ->
+  Atomic.incr fast_calls;
+  if Obs.enabled () then Obs.incr obs_fast;
+  u ~kc ~ac ~ao ~bc ~bo ~c ~co
+
+(* Hole filler: round-trip the Bigarray operands through float arrays into
+   the closure-engine ukr. Correct for every kit (integer-domain exact, like
+   the engines themselves) but slow — its call count is what the bench's
+   fallbacks-zero gate pins at 0 for f32 runs. *)
+let fallback_entry ~(kit : Kits.t) ~(mr : int) ~(nr : int) : C.ukr_ba =
+  let module BA1 = Bigarray.Array1 in
+  fun ~kc ~ac ~ao ~bc ~bo ~c ~co ->
+    Atomic.incr fallback_calls;
+    if Obs.enabled () then Obs.incr obs_fallback;
+    let af = Array.init (max 1 (kc * mr)) (fun i -> BA1.get ac (ao + i)) in
+    let bf = Array.init (max 1 (kc * nr)) (fun i -> BA1.get bc (bo + i)) in
+    let cf = Array.init (nr * mr) (fun i -> BA1.get c (co + i)) in
+    (exo_ukr ~kit ()) ~kc ~mr ~nr ~ac:af ~ao:0 ~bc:bf ~bo:0 ~c:cf;
+    for i = 0 to (nr * mr) - 1 do
+      BA1.set c (co + i) cf.(i)
+    done
+
+(* Per-domain, like every executor cache here: each table entry owns
+   mutable scratch. The IR itself comes from the process-wide Memo. *)
+let table_key : (string * int * int, table) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let exo_table ?(kit = Kits.neon_f32) ~(mr : int) ~(nr : int) () : table =
+  if mr < 1 || nr < 1 then invalid_arg "Registry.exo_table: mr and nr must be ≥ 1";
+  let tbl = Domain.DLS.get table_key in
+  let key = (kit.Kits.name, mr, nr) in
+  match Hashtbl.find_opt tbl key with
+  | Some t -> t
+  | None ->
+      let t =
+        Obs.with_span
+          ~args:
+            (if Obs.enabled () then
+               [ ("kit", kit.Kits.name); ("shape", Fmt.str "%dx%d" mr nr) ]
+             else [])
+          "registry.build_table"
+          (fun () ->
+            let fast = Array.make (mr * nr) false in
+            let entries =
+              Array.init (mr * nr) (fun idx ->
+                  let mr' = (idx / nr) + 1 and nr' = (idx mod nr) + 1 in
+                  match
+                    C.to_ukr_ba (exo_kernel ~kit ~mr:mr' ~nr:nr' ()).Family.proc
+                  with
+                  | Some u ->
+                      fast.(idx) <- true;
+                      count_fast u
+                  | None -> fallback_entry ~kit ~mr:mr' ~nr:nr')
+            in
+            { t_kit = kit; t_mr = mr; t_nr = nr; t_entries = entries; t_fast = fast })
+      in
+      Hashtbl.replace tbl key t;
+      t
+
+(** The {!Gemm.blis_ba} [kernels] thunk: called once per pool task, it
+    resolves THIS domain's table (building it on first use) and hands back
+    the flat entry array for O(1) dispatch. *)
+let exo_bank ?(kit = Kits.neon_f32) ~(mr : int) ~(nr : int) () :
+    unit -> C.ukr_ba array =
+ fun () -> (exo_table ~kit ~mr ~nr ()).t_entries

@@ -47,3 +47,51 @@ val exo_ukr_interp : ?kit:Exo_ukr_gen.Kits.t -> unit -> Gemm.ukr
 (** The monolithic kernels' numerics (identical arithmetic; their differences
     are micro-architectural and live in the model impls). *)
 val monolithic_ukr : Gemm.ukr
+
+(** {1 The monomorphized (mr' × nr') kernel table}
+
+    The third execution tier: one {!Exo_interp.Compile.ukr_ba} per
+    (mr', nr') with mr' ∈ 1..mr, nr' ∈ 1..nr, flat at index
+    [(mr'-1)·nr + nr'-1], so fringe macro-kernel calls dispatch by plain
+    array indexing and never fall back to the closure engine. Cached per
+    (kit, mr, nr) PER DOMAIN — entries own mutable scratch. *)
+
+type table = {
+  t_kit : Exo_ukr_gen.Kits.t;
+  t_mr : int;
+  t_nr : int;
+  t_entries : Exo_interp.Compile.ukr_ba array;
+  t_fast : bool array;
+      (** per entry: certified monomorphized executor (true) or a counting
+          closure-engine round-trip (false — only non-f32 kits today) *)
+}
+
+(** Build (or fetch) this domain's table for a family. *)
+val exo_table :
+  ?kit:Exo_ukr_gen.Kits.t -> mr:int -> nr:int -> unit -> table
+
+(** Entries served by the closure-engine round-trip; 0 for the f32 kits. *)
+val table_holes : table -> int
+
+val table_complete : table -> bool
+
+(** Bounds-checked lookup (tests; the GEMM driver indexes the flat array). *)
+val table_entry : table -> mr:int -> nr:int -> Exo_interp.Compile.ukr_ba
+
+(** The {!Gemm.blis_ba} [kernels] thunk: resolves the calling domain's
+    table (building on first use) and returns its flat entry array. *)
+val exo_bank :
+  ?kit:Exo_ukr_gen.Kits.t -> mr:int -> nr:int -> unit ->
+  unit -> Exo_interp.Compile.ukr_ba array
+
+(** {1 Dispatch counters}
+
+    Process-wide atomics counting every table-entry call — always on (the
+    bench's fallbacks-zero gate reads them in plain runs), mirrored into
+    the Obs counters [gemm.ukr_fast_calls] / [gemm.ukr_fallback_calls]
+    when tracing is enabled. *)
+
+(** [(fast, fallback)] totals since start or the last reset. *)
+val ukr_dispatch_counts : unit -> int * int
+
+val reset_ukr_dispatch_counts : unit -> unit

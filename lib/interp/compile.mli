@@ -53,3 +53,33 @@ type ukr_fn =
     The returned closure is NOT re-entrant (it owns a mutable scratch slab
     and a compiled fallback): share per domain, like {!t}. *)
 val to_ukr : Exo_ir.Ir.proc -> ukr_fn option
+
+(** A float32 Bigarray: the storage type of the third execution tier's
+    packed panels and C tiles. Loads/stores compile to inline machine
+    f32<->f64 conversions — without flambda, the [Int32] bit-twiddling
+    that rounds plain float-array stores costs two C calls per flop, and
+    moving storage to Bigarray is what removes it from the inner loop. *)
+type ba32 = (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** A Bigarray-tier micro-kernel: [c += ac·bc] with the same panel layout
+    as {!ukr_fn} ([ac] kc×mr k-major at [ao], [bc] kc×nr at [bo], [c] the
+    transposed nr×mr tile at [co]). Operand ranges are checked once up
+    front ([Invalid_argument] on violation); the loops then run unsafe
+    accesses with a 4-wide k-blocked accumulator chain, accumulating each
+    C column in unboxed f64 and rounding once at the f32 store — exact
+    whenever the data is integer-valued (the repo's test/bench domain). *)
+type ukr_ba =
+  kc:int -> ac:ba32 -> ao:int -> bc:ba32 -> bo:int -> c:ba32 -> co:int ->
+  unit
+
+(** [to_ukr_ba p] — the third, monomorphized execution tier: for f32 procs
+    the flat-tape lowering accepts (with no runtime preconditions), the
+    proc's semantics are certified against the canonical GEMM formula on
+    integer probes via the compiled closure engine, and the returned
+    executor is a straight-line OCaml loop nest specialized to (mr, nr) —
+    hand-monomorphized with literal constants for 8×12, shape-captured for
+    every other pair. [None] means the proc keeps the earlier tiers.
+
+    Like {!to_ukr}, the closure owns mutable scratch (the unboxed
+    accumulator): share per domain. *)
+val to_ukr_ba : Exo_ir.Ir.proc -> ukr_ba option

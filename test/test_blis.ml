@@ -209,6 +209,164 @@ let test_gemm_batch () =
       Alcotest.(check bool) "batch layer exact" true (M.equal c c_ref))
     probs
 
+(* --- monomorphized Bigarray tier ----------------------------------------- *)
+
+module K = Exo_ukr_gen.Kits
+
+let test_table_complete_all_families () =
+  (* the generated dispatch table covers every (mr', nr') pair; on the f32
+     kits every entry is a certified monomorphized executor (zero holes) *)
+  List.iter
+    (fun kit ->
+      let t = R.exo_table ~kit ~mr:8 ~nr:12 () in
+      Alcotest.(check int)
+        (Fmt.str "%s: 96 entries" kit.K.name)
+        96
+        (Array.length t.R.t_entries);
+      let holes = R.table_holes t in
+      if kit.K.dt = Exo_ir.Dtype.F32 then (
+        Alcotest.(check bool)
+          (Fmt.str "%s: complete" kit.K.name)
+          true (R.table_complete t);
+        Alcotest.(check int) (Fmt.str "%s: no holes" kit.K.name) 0 holes)
+      else
+        Alcotest.(check int)
+          (Fmt.str "%s: all closure round-trips" kit.K.name)
+          96 holes)
+    K.all
+
+let test_table_dispatch_is_array_indexing () =
+  (* dispatch is O(1): table_entry is the flat-array element at
+     (mr'-1)·nr + nr'-1, and repeated table builds hit the per-domain memo *)
+  let t = R.exo_table ~mr:8 ~nr:12 () in
+  for mr' = 1 to 8 do
+    for nr' = 1 to 12 do
+      let by_index = t.R.t_entries.(((mr' - 1) * 12) + nr' - 1) in
+      Alcotest.(check bool)
+        (Fmt.str "entry (%d,%d) is the indexed slot" mr' nr')
+        true
+        (R.table_entry t ~mr:mr' ~nr:nr' == by_index)
+    done
+  done;
+  Alcotest.(check bool) "table memoized per domain" true
+    (R.exo_table ~mr:8 ~nr:12 () == t);
+  Alcotest.check_raises "shape outside the table"
+    (Invalid_argument "Registry.table_entry: shape outside the table")
+    (fun () ->
+      let _e : G.ukr_ba = R.table_entry t ~mr:9 ~nr:1 in
+      ());
+  Alcotest.check_raises "nr outside the table"
+    (Invalid_argument "Registry.table_entry: shape outside the table")
+    (fun () ->
+      let _e : G.ukr_ba = R.table_entry t ~mr:1 ~nr:13 in
+      ())
+
+let test_blis_ba_exact_and_counters () =
+  (* the Bigarray tier matches naive_f32 on fringe-heavy shapes and never
+     touches the closure fallback on an f32 family *)
+  let st = Random.State.make [| 19 |] in
+  let kernels = R.exo_bank ~mr:8 ~nr:12 () in
+  R.reset_ukr_dispatch_counts ();
+  List.iter
+    (fun (m, n, k) ->
+      let a = M.random_int m k st and b = M.random_int k n st in
+      let c1 = M.random_int m n st in
+      let c2 = M.copy c1 in
+      G.naive_f32 ~alpha:2.0 ~beta:(-1.0) a b c1;
+      G.blis_ba ~alpha:2.0 ~beta:(-1.0) ~blocking:small_blocking ~mr:8 ~nr:12
+        ~kernels a b c2;
+      Alcotest.(check bool)
+        (Fmt.str "%dx%dx%d bigarray tier exact" m n k)
+        true (M.equal c1 c2))
+    ((1, 1, 1) :: (7, 11, 3) :: (5, 7, 0) :: fringe_shapes);
+  let fast, fallback = R.ukr_dispatch_counts () in
+  Alcotest.(check bool) "monomorphized entries fired" true (fast > 0);
+  Alcotest.(check int) "no closure fallbacks on an f32 family" 0 fallback
+
+let test_blis_ba_pool_width_invariance () =
+  (* the (jc × ic) task grid: a small-n shape where the jc-only split
+     yields one task still fans out over ic, bit-identical at every width *)
+  let st = Random.State.make [| 29 |] in
+  let m, n, k = (61, 12, 17) in
+  let a = M.random_int m k st and b = M.random_int k n st in
+  let c0 = M.random_int m n st in
+  let kernels = R.exo_bank ~mr:8 ~nr:12 () in
+  let run jobs =
+    let c = M.copy c0 in
+    let pool = Exo_par.Pool.create ~jobs () in
+    G.blis_ba ~alpha:2.0 ~beta:(-1.0) ~pool ~ws:(G.workspace ())
+      ~blocking:small_blocking ~mr:8 ~nr:12 ~kernels a b c;
+    c
+  in
+  let c_ref = M.copy c0 in
+  G.naive_f32 ~alpha:2.0 ~beta:(-1.0) a b c_ref;
+  let c1 = run 1 and c2 = run 2 and c4 = run 4 in
+  Alcotest.(check bool) "width 1 exact vs naive" true (M.equal c_ref c1);
+  Alcotest.(check bool) "jobs 1 ≡ jobs 2 (bit-exact)" true (M.equal c1 c2);
+  Alcotest.(check bool) "jobs 1 ≡ jobs 4 (bit-exact)" true (M.equal c1 c4)
+
+let test_gemm_batch_ba () =
+  (* the workload batch through the Bigarray tier matches per-problem naive *)
+  let st = Random.State.make [| 31 |] in
+  let mk (m, n, k) =
+    let a = M.random_int m k st and b = M.random_int k n st in
+    let c = M.random_int m n st in
+    (a, b, M.copy c, c)
+  in
+  let probs = List.map mk [ (49, 50, 16); (16, 24, 16); (5, 7, 31) ] in
+  List.iter (fun (a, b, _, c_ref) -> G.naive_f32 ~beta:0.5 a b c_ref) probs;
+  let ps =
+    List.map
+      (fun (a, b, c, _) ->
+        {
+          G.p_a = a;
+          p_b = b;
+          p_c = c;
+          p_alpha = 1.0;
+          p_beta = 0.5;
+          p_blocking = small_blocking;
+          p_mr = 8;
+          p_nr = 12;
+        })
+      probs
+  in
+  G.batch_ba ~ws:(G.workspace ()) ~kernels:(R.exo_bank ~mr:8 ~nr:12 ()) ps;
+  List.iter
+    (fun (_, _, c, c_ref) ->
+      Alcotest.(check bool) "batch_ba layer exact" true (M.equal c c_ref))
+    probs
+
+let prop_blis_ba_cross_tier_all_kits =
+  (* random shapes including m < mr, n < nr and k = 0, across every kit:
+     the Bigarray tier, the flat-array tier and the closure engine agree
+     bit for bit, and all match naive_f32 (integer data keeps every dtype
+     exact: |Σ| ≤ 3·3·24 + 3 < 2^11, within f16's exact-integer range) *)
+  QCheck2.Test.make
+    ~name:"Bigarray tier ≡ flat tier ≡ closure engine ≡ naive (all kits)"
+    ~count:8
+    QCheck2.Gen.(triple (int_range 1 20) (int_range 1 30) (int_range 0 24))
+    (fun (m, n, k) ->
+      List.for_all
+        (fun kit ->
+          let st = Random.State.make [| m; n; k; 37 |] in
+          let a = M.random_int m k st and b = M.random_int k n st in
+          let c0 = M.random_int m n st in
+          let c_naive = M.copy c0 in
+          G.naive_f32 a b c_naive;
+          let c_ba = M.copy c0 in
+          G.blis_ba ~blocking:small_blocking ~mr:8 ~nr:12
+            ~kernels:(R.exo_bank ~kit ~mr:8 ~nr:12 ())
+            a b c_ba;
+          let c_flat = M.copy c0 in
+          G.blis ~blocking:small_blocking ~mr:8 ~nr:12 ~ukr:(R.exo_ukr ~kit ())
+            a b c_flat;
+          let c_closure = M.copy c0 in
+          G.blis ~blocking:small_blocking ~mr:8 ~nr:12
+            ~ukr:(R.exo_ukr_closure ~kit ()) a b c_closure;
+          M.equal c_naive c_ba && M.equal c_ba c_flat
+          && M.equal c_ba c_closure)
+        K.all)
+
 let prop_blis_exo_fringe_random =
   QCheck2.Test.make
     ~name:"blocked GEMM + specialized kernels ≡ naive (fringe-heavy sizes)"
@@ -465,7 +623,7 @@ let () =
     List.map QCheck_alcotest.to_alcotest
       [
         prop_blis_equals_naive; prop_blis_exo_random_blocking;
-        prop_blis_exo_fringe_random;
+        prop_blis_exo_fringe_random; prop_blis_ba_cross_tier_all_kits;
       ]
   in
   Alcotest.run "blis"
@@ -497,6 +655,15 @@ let () =
             test_blis_pool_width_invariance;
           Alcotest.test_case "workspace reuse" `Quick test_blis_workspace_reuse;
           Alcotest.test_case "batch" `Quick test_gemm_batch;
+          Alcotest.test_case "table complete (all families)" `Quick
+            test_table_complete_all_families;
+          Alcotest.test_case "table dispatch is array indexing" `Quick
+            test_table_dispatch_is_array_indexing;
+          Alcotest.test_case "bigarray tier exact + no fallbacks" `Quick
+            test_blis_ba_exact_and_counters;
+          Alcotest.test_case "bigarray tier (jc x ic) width invariance" `Quick
+            test_blis_ba_pool_width_invariance;
+          Alcotest.test_case "batch (bigarray tier)" `Quick test_gemm_batch_ba;
         ]
         @ props );
       ( "driver",
