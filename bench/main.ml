@@ -151,7 +151,7 @@ let run_bechamel () =
 (* writes: schema version, the commit the numbers were measured at,     *)
 (* and the parallelism actually available/used.                         *)
 
-let bench_schema_version = 3
+let bench_schema_version = 4
 
 (** Short git commit of the working tree, or ["unknown"] outside a
     checkout (e.g. a release tarball). *)
@@ -435,6 +435,32 @@ let run_perf_gemm ?(smoke = false) () =
   (* the monomorphized Bigarray tier on the same tile, through the real
      dispatch table (counting wrapper included) *)
   let table = R.exo_table ~mr ~nr () in
+  (* static translation validation, cross-checked against the dynamic
+     integer certification: every table entry must prove bounds, write-set
+     containment and accumulation shape (tierlint), the registry's own
+     build-time verdicts must agree, and the independently re-run dynamic
+     probe must accept every statically proved entry. Any disagreement
+     between the two certification routes is a hard failure — it means one
+     of them is wrong. *)
+  let module L = Exo_ukr_gen.Lint in
+  let tiers =
+    L.run_tiers ~kits:[ Exo_ukr_gen.Kits.neon_f32 ] ~jobs:1 ~mr ~nr ()
+  in
+  let tk = List.hd tiers.L.tier_kits in
+  let reg_certified = Array.for_all Fun.id table.R.t_proved in
+  Fmt.pr
+    "static tier validation: proved %d/%d, probe disagreements %d; registry \
+     build: %s@."
+    tk.L.tk_proved tk.L.tk_total tk.L.tk_disagreements
+    (if reg_certified then "every entry statically certified"
+     else "UNPROVED entries");
+  if not (L.tiers_ok tiers) then
+    failwith
+      "perf-gemm: static tier validation failed or disagreed with the \
+       dynamic probe";
+  if not reg_certified then
+    failwith
+      "perf-gemm: registry served a table entry without a static certificate";
   let ba_ukr = R.table_entry table ~mr ~nr in
   let to_ba arr =
     let b =
@@ -482,7 +508,7 @@ let run_perf_gemm ?(smoke = false) () =
     G.blis_ba ~pool ~blocking ~mr ~nr ~kernels a b c;
     (c, Unix.gettimeofday () -. t0)
   in
-  R.reset_ukr_dispatch_counts ();
+  R.reset_dispatch_counts ();
   let c_serial, t_serial = run_width 1 in
   (* the fallbacks-zero gate: with the complete monomorphized table no
      tile of a full f32 GEMM may reach the closure engine *)
@@ -491,6 +517,9 @@ let run_perf_gemm ?(smoke = false) () =
     fallback_calls;
   if fallback_calls > 0 then
     failwith "perf-gemm: closure-engine fallbacks fired on the full GEMM run";
+  (* re-zero between phases: the width sweep and batch sections below get
+     their own fallbacks-zero gate instead of inheriting these counts *)
+  R.reset_dispatch_counts ();
   let gflops_of t =
     2.0 *. float_of_int dim *. float_of_int dim *. float_of_int dim /. t /. 1e9
   in
@@ -656,6 +685,12 @@ let run_perf_gemm ?(smoke = false) () =
   let batch_gflops = batch_flops /. t_batch /. 1e9 in
   Fmt.pr "ResNet50 slice (%d layers) via Gemm.batch: %.2f s  (%.3f GFLOPS)@."
     (List.length layers) t_batch batch_gflops;
+  (* the post-reset phases (width sweeps, small-n, batch) get the same
+     fallbacks-zero gate as the serial run *)
+  let _, phase2_fallback = R.ukr_dispatch_counts () in
+  if phase2_fallback > 0 then
+    failwith
+      "perf-gemm: closure-engine fallbacks fired in the sweep/batch phases";
   let oc = open_out "BENCH_gemm.json" in
   Printf.fprintf oc
     "{\n\
@@ -670,6 +705,12 @@ let run_perf_gemm ?(smoke = false) () =
     \    \"bigarray_us_per_call\": %.3f,\n\
     \    \"bigarray_speedup\": %.2f\n\
     \  },\n\
+    \  \"tierlint\": {\n\
+    \    \"proved\": %d,\n\
+    \    \"total\": %d,\n\
+    \    \"probe_disagreements\": %d,\n\
+    \    \"registry_certified\": %b\n\
+    \  },\n\
     \  \"gemm\": {\n\
     \    \"dim\": %d,\n\
     \    \"blocking\": [%d, %d, %d],\n\
@@ -680,6 +721,7 @@ let run_perf_gemm ?(smoke = false) () =
     \    \"speedup_vs_flat\": %.2f,\n\
     \    \"fast_calls\": %d,\n\
     \    \"fallback_calls\": %d,\n\
+    \    \"sweep_batch_fallback_calls\": %d,\n\
     \    \"validated_vs_naive_f32\": true\n\
     \  },\n\
     \  \"jobs_invariance\": {\n\
@@ -709,10 +751,11 @@ let run_perf_gemm ?(smoke = false) () =
     \  }\n\
      }\n"
     (meta_json ()) smoke mr nr kc (t_closure *. 1e6) (t_fast *. 1e6) ukr_speedup
-    (t_ba *. 1e6) ba_speedup dim blocking.Exo_blis.Analytical.mc
+    (t_ba *. 1e6) ba_speedup tk.L.tk_proved tk.L.tk_total tk.L.tk_disagreements
+    reg_certified dim blocking.Exo_blis.Analytical.mc
     blocking.Exo_blis.Analytical.kc blocking.Exo_blis.Analytical.nc t_serial
     gemm_gflops t_flat (gflops_of t_flat) (t_flat /. t_serial) fast_calls
-    fallback_calls par_blocking.Exo_blis.Analytical.nc
+    fallback_calls phase2_fallback par_blocking.Exo_blis.Analytical.nc
     par_blocking.Exo_blis.Analytical.mc par_tasks
     (String.concat ", "
        (List.map (fun (j, t) -> Printf.sprintf "\"%d\": %.3f" j t) par_times))

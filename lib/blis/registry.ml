@@ -22,6 +22,7 @@ module KM = Exo_sim.Kernel_model
 module B = Exo_interp.Buffer
 module I = Exo_interp.Interp
 module C = Exo_interp.Compile
+module Tierlint = Exo_check.Tierlint
 module Memo = Exo_par.Memo
 
 (* ------------------------------------------------------------------ *)
@@ -77,7 +78,9 @@ let exo_ukr_fast ?(kit = Kits.neon_f32) ~(mr : int) ~(nr : int) () :
   match Hashtbl.find_opt tbl key with
   | Some u -> u
   | None ->
-      let u = C.to_ukr (exo_kernel ~kit ~mr ~nr ()).Family.proc in
+      let u =
+        Option.map fst (C.to_ukr (exo_kernel ~kit ~mr ~nr ()).Family.proc)
+      in
       Hashtbl.replace tbl key u;
       u
 
@@ -174,9 +177,22 @@ let obs_fallback = Obs.counter "gemm.ukr_fallback_calls"
 
 let ukr_dispatch_counts () = (Atomic.get fast_calls, Atomic.get fallback_calls)
 
-let reset_ukr_dispatch_counts () =
+let reset_dispatch_counts () =
   Atomic.set fast_calls 0;
   Atomic.set fallback_calls 0
+
+let reset_ukr_dispatch_counts = reset_dispatch_counts
+
+(* Static translation-validation verdicts, counted at table-build time:
+   entries Tierlint proves skip the dynamic integer probe; unproved ones
+   keep it. Process-wide (builds happen once per domain but verdicts are
+   per-build events the bench and CI gates want totals of). *)
+let static_proved = Atomic.make 0
+let static_unproved = Atomic.make 0
+let obs_proved = Obs.counter "registry.tier_proved"
+let obs_unproved = Obs.counter "registry.tier_unproved"
+
+let tier_verdict_counts () = (Atomic.get static_proved, Atomic.get static_unproved)
 
 (** The complete monomorphized table for a kernel family: one entry per
     (mr', nr') with mr' ∈ 1..mr, nr' ∈ 1..nr, flat at index
@@ -189,6 +205,7 @@ type table = {
   t_nr : int;
   t_entries : C.ukr_ba array;
   t_fast : bool array;
+  t_proved : bool array;
 }
 
 let table_holes (t : table) : int =
@@ -247,18 +264,41 @@ let exo_table ?(kit = Kits.neon_f32) ~(mr : int) ~(nr : int) () : table =
           "registry.build_table"
           (fun () ->
             let fast = Array.make (mr * nr) false in
+            let proved = Array.make (mr * nr) false in
             let entries =
               Array.init (mr * nr) (fun idx ->
                   let mr' = (idx / nr) + 1 and nr' = (idx mod nr) + 1 in
-                  match
-                    C.to_ukr_ba (exo_kernel ~kit ~mr:mr' ~nr:nr' ()).Family.proc
-                  with
-                  | Some u ->
+                  let proc = (exo_kernel ~kit ~mr:mr' ~nr:nr' ()).Family.proc in
+                  (* static translation validation of the lowered tape:
+                     a proved entry skips the dynamic integer probe *)
+                  let certified =
+                    match C.summarize_ukr proc with
+                    | Some s -> Tierlint.proved (Tierlint.check s)
+                    | None -> false
+                  in
+                  proved.(idx) <- certified;
+                  (if certified then begin
+                     Atomic.incr static_proved;
+                     if Obs.enabled () then Obs.incr obs_proved
+                   end
+                   else begin
+                     Atomic.incr static_unproved;
+                     if Obs.enabled () then Obs.incr obs_unproved
+                   end);
+                  match C.to_ukr_ba ~certified proc with
+                  | Some (u, _) ->
                       fast.(idx) <- true;
                       count_fast u
                   | None -> fallback_entry ~kit ~mr:mr' ~nr:nr')
             in
-            { t_kit = kit; t_mr = mr; t_nr = nr; t_entries = entries; t_fast = fast })
+            {
+              t_kit = kit;
+              t_mr = mr;
+              t_nr = nr;
+              t_entries = entries;
+              t_fast = fast;
+              t_proved = proved;
+            })
       in
       Hashtbl.replace tbl key t;
       t

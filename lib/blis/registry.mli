@@ -64,6 +64,11 @@ type table = {
   t_fast : bool array;
       (** per entry: certified monomorphized executor (true) or a counting
           closure-engine round-trip (false — only non-f32 kits today) *)
+  t_proved : bool array;
+      (** per entry: the static {!Exo_check.Tierlint} verdict of its
+          lowered tape (bounds, write-set containment and accumulation
+          shape all proved). Proved entries entered service without the
+          dynamic integer probe. *)
 }
 
 (** Build (or fetch) this domain's table for a family. *)
@@ -94,4 +99,14 @@ val exo_bank :
 (** [(fast, fallback)] totals since start or the last reset. *)
 val ukr_dispatch_counts : unit -> int * int
 
+(** Zero both dispatch counters, so repeated in-process bench/test phases
+    measure their own dispatches instead of accumulating across tiers. *)
+val reset_dispatch_counts : unit -> unit
+
+(** Historical alias of {!reset_dispatch_counts}. *)
 val reset_ukr_dispatch_counts : unit -> unit
+
+(** [(proved, unproved)] static {!Exo_check.Tierlint} verdict totals
+    counted at table-build time (mirrored to the Obs counters
+    [registry.tier_proved] / [registry.tier_unproved] when tracing). *)
+val tier_verdict_counts : unit -> int * int

@@ -1,0 +1,58 @@
+(** Translation validation for the lowered micro-kernel execution tiers.
+
+    The flat-tape ({!Exo_interp.Compile.to_ukr}) and Bigarray
+    ({!Exo_interp.Compile.to_ukr_ba}) tiers run [unsafe] accesses behind one
+    hoisted range check, and until now were certified only *dynamically*
+    (integer probes against the closure engine). This module is a static
+    validator over the auditable {!Exo_interp.Compile.Summary} each lowering
+    emits: the summary's affine addresses are evaluated in the
+    affine-interval domain of the {!Effects} region algebra, with the
+    k-loop counter ranging over [0, kc-1] and [kc] a symbolic size.
+
+    Three properties, each [Proved] or [Unproved reason] (sound and
+    incomplete — a verdict of [Proved] is a proof; [Unproved] keeps the
+    dynamic probe):
+
+    - {b bounds}: every access lies inside the contract the one hoisted
+      range check establishes (A within [kc·mr], B within [kc·nr], C within
+      [nr·mr], slab within its flattened length) for every admissible
+      [kc ≥ 0] — panel accesses outside the k loop are rejected because the
+      contract is empty at [kc = 0].
+    - {b write-set containment}: stores touch only the entry's own C tile
+      and private scratch. Combined with the disjoint (jc × ic) C blocks of
+      {!Exo_blis.Gemm.blis_ba}'s task grid, this is a static race-freedom
+      and width-invariance proof for the pool fan-out.
+    - {b accumulation shape}: symbolic execution of the tape shows each C
+      element [C[j,i]] ends as exactly
+      [C₀[j,i] + Σ_{k<kc} A[i+k·mr]·B[j+k·nr]] (factors may commute) — the
+      canonical reduction the Bigarray tier's f64-accumulate/round-once
+      executors implement, so a [Proved] verdict justifies substituting
+      them without the integer probe. *)
+
+type verdict = Proved | Unproved of string
+
+type report = {
+  r_mr : int;
+  r_nr : int;
+  r_bounds : verdict;
+  r_writes : verdict;
+  r_accshape : verdict;
+}
+
+val ok : verdict -> bool
+
+(** All three properties proved. *)
+val proved : report -> bool
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_report : Format.formatter -> report -> unit
+
+(** Validate one lowered tape. *)
+val check : Exo_interp.Compile.Summary.t -> report
+
+(** The concrete C-tile indices the tape stores to at a given [kc] —
+    the statically computed write-set, enumerable because every store
+    address is affine in [k] with constant coefficients. The qcheck oracle
+    pins this against the touched-index set observed dynamically from the
+    closure engine. Sorted, duplicate-free. *)
+val c_write_indices : Exo_interp.Compile.Summary.t -> kc:int -> int list

@@ -1636,6 +1636,82 @@ module Ukr_lower = struct
     | l -> Some l
 end
 
+(* ------------------------------------------------------------------ *)
+(* The auditable access summary of a lowered tape                      *)
+
+module Summary = struct
+  (** The address spaces a tape operand can touch: the packed A and B
+      panels, the C tile, and the kernel's private scratch slab. *)
+  type space = A | B | C | Slab
+
+  (** One memory operand: element [base + kstep·k] of [sp], with [k] the
+      k-loop counter ([kstep] is 0 for every operand outside the loop —
+      addresses there are compile-time constants). *)
+  type operand = { sp : space; base : int; kstep : int }
+
+  type rhs =
+    | Const of float
+    | Read of operand
+    | Bin of binop * rhs * rhs
+    | Neg of rhs
+
+  (** One tape statement: [dst = rhs], or [dst += rhs] when [reduce]. *)
+  type op = { dst : operand; reduce : bool; rhs : rhs }
+
+  (** A maximal run of statements, either straight-line ([in_loop] false,
+      executed once per call) or the k-loop body (executed for
+      k = 0 .. kc-1). *)
+  type seg = { in_loop : bool; ops : op list }
+
+  type t = {
+    mr : int;
+    nr : int;
+    dt : Dtype.t;
+    slab : int;  (** scratch slab length (register-memory flattening) *)
+    kc_pos : bool;  (** tape demands kc ≥ 1 (loop-carried post-loop read) *)
+    n_preds : int;  (** residual KC-dependent runtime predicates *)
+    segs : seg list;
+  }
+
+  let space_name = function A -> "A" | B -> "B" | C -> "C" | Slab -> "slab"
+end
+
+(* The summary is derived from the very [lowered] value whose segments the
+   tape runtime executes — faithful by construction, not a re-derivation. *)
+let summary_of_lowered (l : Ukr_lower.lowered) : Summary.t =
+  let open Ukr_lower in
+  let space = function
+    | SpA -> Summary.A
+    | SpB -> Summary.B
+    | SpC -> Summary.C
+    | SpSlab -> Summary.Slab
+  in
+  let operand (o : operand) =
+    { Summary.sp = space o.osp; base = o.ob; kstep = o.ok }
+  in
+  let rec rhs = function
+    | RConst f -> Summary.Const f
+    | RRead o -> Summary.Read (operand o)
+    | RBin (b, x, y) -> Summary.Bin (b, rhs x, rhs y)
+    | RNeg x -> Summary.Neg (rhs x)
+  in
+  let op (o : op) =
+    { Summary.dst = operand o.o_dst; reduce = o.o_red; rhs = rhs o.o_rhs }
+  in
+  let seg (s : seg) = { Summary.in_loop = s.s_loop; ops = List.map op s.s_ops } in
+  {
+    Summary.mr = l.lo_mr;
+    nr = l.lo_nr;
+    dt = l.lo_dt;
+    slab = l.lo_slab;
+    kc_pos = l.lo_kc_pos;
+    n_preds = Array.length l.lo_preds;
+    segs = List.map seg (Array.to_list l.lo_segs);
+  }
+
+let summarize_ukr (p : proc) : Summary.t option =
+  Option.map summary_of_lowered (Ukr_lower.lower p)
+
 (** Runtime for the lowered tape: descriptor-batched float-array loops. *)
 module Ukr_run = struct
   open Ukr_lower
@@ -1981,7 +2057,7 @@ module Ukr_run = struct
     !ok
 end
 
-let to_ukr (p : proc) : ukr_fn option =
+let to_ukr (p : proc) : (ukr_fn * Summary.t) option =
   match Ukr_lower.lower p with
   | None -> None
   | Some l ->
@@ -2009,8 +2085,8 @@ let to_ukr (p : proc) : ukr_fn option =
           offset;
         }
       in
-      Some
-        (fun ~kc ~ac ~ao ~bc ~bo ~c ->
+      let fn : ukr_fn =
+       fun ~kc ~ac ~ao ~bc ~bo ~c ->
           if
             kc >= 0 && ao >= 0 && bo >= 0
             && (not (l.lo_kc_pos && kc = 0))
@@ -2043,7 +2119,9 @@ let to_ukr (p : proc) : ukr_fn option =
                 Interp.VBuf (bufview bc [ kc; nr ] bo);
                 Interp.VBuf one;
                 Interp.VBuf (bufview c [ nr; mr ] 0);
-              ])
+              ]
+      in
+      Some (fn, summary_of_lowered l)
 
 (* ------------------------------------------------------------------ *)
 (* The Bigarray monomorphized tier                                     *)
@@ -2218,22 +2296,29 @@ let ukr_ba_validates (p : proc) ~(mr : int) ~(nr : int) : bool =
   in
   probe 1 17 && probe 3 29 && probe 8 41
 
-let to_ukr_ba (p : proc) : ukr_ba option =
+let probe_ukr_ba = ukr_ba_validates
+
+let to_ukr_ba ?(certified = false) (p : proc) : (ukr_ba * Summary.t) option =
   match Ukr_lower.lower p with
   | None -> None
   | Some l ->
       let open Ukr_lower in
       (* F32 only (the Bigarray element type IS the storage rounding);
          no runtime predicates and no kc>0 requirement, so the executor's
-         single up-front range check is the complete guard. *)
+         single up-front range check is the complete guard. [certified]
+         callers carry a static Tierlint proof that the tape computes the
+         canonical Σ A·B reduction, which is exactly what the integer
+         probe establishes dynamically — the probe is skipped for them. *)
       if
         l.lo_dt = Dtype.F32
         && Array.length l.lo_preds = 0
         && (not l.lo_kc_pos)
-        && ukr_ba_validates p ~mr:l.lo_mr ~nr:l.lo_nr
+        && (certified || ukr_ba_validates p ~mr:l.lo_mr ~nr:l.lo_nr)
       then
-        Some
-          (match (l.lo_mr, l.lo_nr) with
+        let u =
+          match (l.lo_mr, l.lo_nr) with
           | 8, 12 -> ukr_ba_8x12 ()
-          | mr, nr -> ukr_ba_generic ~mr ~nr)
+          | mr, nr -> ukr_ba_generic ~mr ~nr
+        in
+        Some (u, summary_of_lowered l)
       else None

@@ -37,6 +37,45 @@ type ukr_fn =
   kc:int -> ac:float array -> ao:int -> bc:float array -> bo:int ->
   c:float array -> unit
 
+(** The auditable access summary of a lowered micro-kernel tape: the exact
+    per-statement memory operands (affine addresses [base + kstep·k] over
+    the k-loop counter) and read/write/accumulate structure the flat-tape
+    runtime executes. Derived from the same lowered value the executors
+    run, so it is faithful by construction — {!Exo_check.Tierlint} evaluates
+    it in an affine-interval domain to prove bounds, write-set containment
+    and accumulation shape statically. *)
+module Summary : sig
+  type space = A | B | C | Slab
+
+  (** Element [base + kstep·k] of [sp]; [kstep = 0] outside the k loop. *)
+  type operand = { sp : space; base : int; kstep : int }
+
+  type rhs =
+    | Const of float
+    | Read of operand
+    | Bin of Exo_ir.Ir.binop * rhs * rhs
+    | Neg of rhs
+
+  type op = { dst : operand; reduce : bool; rhs : rhs }
+  type seg = { in_loop : bool; ops : op list }
+
+  type t = {
+    mr : int;
+    nr : int;
+    dt : Exo_ir.Dtype.t;
+    slab : int;
+    kc_pos : bool;
+    n_preds : int;
+    segs : seg list;
+  }
+
+  val space_name : space -> string
+end
+
+(** The access summary alone, for procs whose tape lowering succeeds —
+    what {!to_ukr}/{!to_ukr_ba} would attach to their executors. *)
+val summarize_ukr : Exo_ir.Ir.proc -> Summary.t option
+
 (** [to_ukr p] — the second, specialized lowering tier for procs with the
     generated micro-kernel signature [(KC: size, alpha: dt[1], Ac: dt[KC,MR],
     Bc: dt[KC,NR], beta: dt[1], C: dt[NR,MR])]: the proc is symbolically
@@ -51,8 +90,9 @@ type ukr_fn =
     closure engine, which raises the interpreter's errors verbatim.
 
     The returned closure is NOT re-entrant (it owns a mutable scratch slab
-    and a compiled fallback): share per domain, like {!t}. *)
-val to_ukr : Exo_ir.Ir.proc -> ukr_fn option
+    and a compiled fallback): share per domain, like {!t}. The attached
+    {!Summary.t} describes exactly the tape the closure runs. *)
+val to_ukr : Exo_ir.Ir.proc -> (ukr_fn * Summary.t) option
 
 (** A float32 Bigarray: the storage type of the third execution tier's
     packed panels and C tiles. Loads/stores compile to inline machine
@@ -80,6 +120,19 @@ type ukr_ba =
     hand-monomorphized with literal constants for 8×12, shape-captured for
     every other pair. [None] means the proc keeps the earlier tiers.
 
+    [~certified:true] records that the caller holds a static
+    {!Exo_check.Tierlint} proof that the tape computes the canonical
+    reduction — the dynamic integer probe is then skipped (it would
+    establish the same fact). Default [false]: probe as before.
+
     Like {!to_ukr}, the closure owns mutable scratch (the unboxed
     accumulator): share per domain. *)
-val to_ukr_ba : Exo_ir.Ir.proc -> ukr_ba option
+val to_ukr_ba :
+  ?certified:bool -> Exo_ir.Ir.proc -> (ukr_ba * Summary.t) option
+
+(** The Bigarray tier's dynamic certificate, exposed so the bench and the
+    [--tiers] lint sweep can cross-check it against the static verdicts:
+    runs the proc through the compiled closure engine on integer probes
+    and demands the canonical [C[j,i] += Σ_k Ac[k,i]·Bc[k,j]] answer bit
+    for bit. F32 procs only (the probes are f32 buffers). *)
+val probe_ukr_ba : Exo_ir.Ir.proc -> mr:int -> nr:int -> bool

@@ -21,6 +21,10 @@ type t = {
   fma_scalar : Ir.proc option;  (** dst\[i\] += s\[0\] * rhs\[i\] *)
   fma_scalar_r : Ir.proc option;  (** dst\[i\] += lhs\[i\] * s\[0\] *)
   bcast : Ir.proc;  (** dst\[i\] = src\[0\] *)
+  vregs : int;
+      (** architectural vector-register budget of the kit's ISA — the lint
+          sweep's pressure bound comes from here, not from hardcoded Carmel
+          numbers (it must agree with the kit's {!Exo_isa.Memories} entry) *)
   sched_steps : int;
       (** declared schedule macro-step count for the packed pipeline; the
           generator's provenance log must agree ([Family.generate] checks) *)
@@ -39,6 +43,7 @@ let neon_f32 =
     fma_scalar = Some Exo_isa.Neon.vfmacc_scalar_4xf32;
     fma_scalar_r = Some Exo_isa.Neon.vfmacc_scalar_r_4xf32;
     bcast = Exo_isa.Neon.vdup_4xf32;
+    vregs = 32;
     sched_steps = 6;
   }
 
@@ -57,6 +62,7 @@ let neon_f16 =
     fma_scalar = None;
     fma_scalar_r = None;
     bcast = Exo_isa.Neon.vdup_8xf16;
+    vregs = 32;
     sched_steps = 6;
   }
 
@@ -75,6 +81,7 @@ let avx512_f32 =
     fma_scalar = None;
     fma_scalar_r = None;
     bcast = Exo_isa.Avx512.set1_16xf32;
+    vregs = 32;
     sched_steps = 6;
   }
 
@@ -93,6 +100,7 @@ let neon_i32 =
     fma_scalar = None;
     fma_scalar_r = None;
     bcast = Exo_isa.Neon.vdup_4xi32;
+    vregs = 32;
     sched_steps = 6;
   }
 
@@ -111,6 +119,7 @@ let avx2_f32 =
     fma_scalar = None;
     fma_scalar_r = None;
     bcast = Exo_isa.Avx2.broadcast_8xf32;
+    vregs = 16;
     sched_steps = 6;
   }
 
@@ -129,6 +138,7 @@ let rvv_f32 =
     fma_scalar = Some Exo_isa.Rvv.vfmacc_vf_4xf32;
     fma_scalar_r = Some Exo_isa.Rvv.vfmacc_vf_r_4xf32;
     bcast = Exo_isa.Rvv.vfmv_4xf32;
+    vregs = 32;
     sched_steps = 6;
   }
 

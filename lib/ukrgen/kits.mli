@@ -15,6 +15,10 @@ type t = {
   fma_scalar : Exo_ir.Ir.proc option;  (** dst[i] += s[0] * rhs[i] *)
   fma_scalar_r : Exo_ir.Ir.proc option;  (** dst[i] += lhs[i] * s[0] *)
   bcast : Exo_ir.Ir.proc;  (** dst[i] = src[0] *)
+  vregs : int;
+      (** architectural vector-register budget — the ISA descriptor the
+          lint sweep's pressure bound reads (agrees with the kit's
+          {!Exo_isa.Memories} entry; pinned by a test) *)
   sched_steps : int;  (** declared packed-pipeline macro-step count *)
 }
 

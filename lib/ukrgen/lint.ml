@@ -4,9 +4,11 @@
 module V = Exo_check.Vlint
 module M = Exo_isa.Memories
 
+(* The pressure bound comes from the kit's own ISA descriptor (not from a
+   Memories lookup and not from hardcoded Carmel numbers) — the kit is the
+   single retargeting point, so a new ISA only fills in its record. *)
 let target_of_kit (kit : Kits.t) : V.target =
-  let info = M.lookup_exn kit.Kits.mem in
-  { V.is_vector_mem = M.is_register_mem; max_vregs = info.M.num_regs }
+  { V.is_vector_mem = M.is_register_mem; max_vregs = kit.Kits.vregs }
 
 let expected_census (kit : Kits.t) (style : Family.style) ~(mr : int)
     ~(nr : int) : V.census option =
@@ -158,3 +160,189 @@ let pp_outcome ppf (o : outcome) =
   Fmt.pf ppf "@[<v>%a@,%d kernel(s) linted, %d failure(s), %d combination(s) skipped@]"
     (Fmt.list pp_entry) o.entries
     (List.length o.entries) (failures o) (List.length o.skipped)
+
+(* ------------------------------------------------------------------ *)
+(* The --tiers sweep: translation validation of the lowered execution  *)
+(* tiers over a whole monomorphized (mr' × nr') kernel table           *)
+
+module T = Exo_check.Tierlint
+module C = Exo_interp.Compile
+
+type tier_entry = {
+  te_kit : string;
+  te_mr : int;
+  te_nr : int;
+  te_report : T.report;
+  te_probe : bool option;
+}
+
+type tier_kit_summary = {
+  tk_kit : string;
+  tk_total : int;
+  tk_proved : int;
+  tk_disagreements : int;
+}
+
+type tiers_outcome = {
+  tier_entries : tier_entry list;
+  tier_kits : tier_kit_summary list;
+}
+
+let tier_unit (kit : Kits.t) (mr', nr') () : tier_entry =
+  let proc = (Family.generate ~kit ~mr:mr' ~nr:nr' ()).Family.proc in
+  let report =
+    match C.summarize_ukr proc with
+    | Some s -> T.check s
+    | None ->
+        let u = T.Unproved "tape lowering refused the proc" in
+        { T.r_mr = mr'; r_nr = nr'; r_bounds = u; r_writes = u; r_accshape = u }
+  in
+  (* the dynamic integer certification, for the static-vs-dynamic
+     cross-check; f32 only (the probe buffers are f32) *)
+  let probe =
+    if kit.Kits.dt = Exo_ir.Dtype.F32 then
+      Some (C.probe_ukr_ba proc ~mr:mr' ~nr:nr')
+    else None
+  in
+  {
+    te_kit = kit.Kits.name;
+    te_mr = mr';
+    te_nr = nr';
+    te_report = report;
+    te_probe = probe;
+  }
+
+let run_tiers ?(kits = Kits.all) ?jobs ?(mr = 8) ?(nr = 12) () : tiers_outcome =
+  let module Obs = Exo_obs.Obs in
+  let work =
+    List.concat_map
+      (fun (kit : Kits.t) ->
+        List.concat_map
+          (fun mr' ->
+            List.map
+              (fun nr' ->
+                ( Fmt.str "%s %dx%d" kit.Kits.name mr' nr',
+                  tier_unit kit (mr', nr') ))
+              (List.init nr (fun j -> j + 1)))
+          (List.init mr (fun i -> i + 1)))
+      kits
+  in
+  let pool = Exo_par.Pool.create ?jobs () in
+  let entries =
+    Obs.with_span "lint.tiers" (fun () ->
+        Exo_par.Pool.map pool
+          (fun (label, job) ->
+            let sp =
+              if Obs.enabled () then
+                Obs.begin_span ~args:[ ("unit", label) ] "lint.tier_unit"
+              else Obs.none
+            in
+            Fun.protect ~finally:(fun () -> Obs.end_span sp) job)
+          work)
+  in
+  let tier_kits =
+    List.map
+      (fun (kit : Kits.t) ->
+        let es =
+          List.filter (fun e -> String.equal e.te_kit kit.Kits.name) entries
+        in
+        {
+          tk_kit = kit.Kits.name;
+          tk_total = List.length es;
+          tk_proved =
+            List.length (List.filter (fun e -> T.proved e.te_report) es);
+          tk_disagreements =
+            List.length
+              (List.filter
+                 (fun e -> T.proved e.te_report && e.te_probe = Some false)
+                 es);
+        })
+      kits
+  in
+  { tier_entries = entries; tier_kits }
+
+let tiers_unproved (o : tiers_outcome) =
+  List.fold_left (fun n k -> n + (k.tk_total - k.tk_proved)) 0 o.tier_kits
+
+let tiers_ok (o : tiers_outcome) =
+  o.tier_entries <> []
+  && List.for_all
+       (fun k -> k.tk_proved = k.tk_total && k.tk_disagreements = 0)
+       o.tier_kits
+
+let pp_tier_entry ppf (e : tier_entry) =
+  Fmt.pf ppf "%-12s %a%s" e.te_kit T.pp_report e.te_report
+    (match e.te_probe with
+    | Some true -> "  [probe ok]"
+    | Some false -> "  [probe REJECTED]"
+    | None -> "")
+
+let pp_tiers ppf (o : tiers_outcome) =
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun e ->
+      if (not (T.proved e.te_report)) || e.te_probe = Some false then
+        Fmt.pf ppf "FAIL %a@," pp_tier_entry e)
+    o.tier_entries;
+  List.iter
+    (fun k ->
+      Fmt.pf ppf
+        "%s: proved %d/%d, unproved_entries %d, probe_disagreements %d@,"
+        k.tk_kit k.tk_proved k.tk_total (k.tk_total - k.tk_proved)
+        k.tk_disagreements)
+    o.tier_kits;
+  Fmt.pf ppf "%d entr%s validated across %d kit%s@]"
+    (List.length o.tier_entries)
+    (if List.length o.tier_entries = 1 then "y" else "ies")
+    (List.length o.tier_kits)
+    (if List.length o.tier_kits = 1 then "" else "s")
+
+(* Minimal JSON escaping: UTF-8 passes through; quotes, backslashes and
+   control characters are escaped (OCaml's %S would emit decimal escapes
+   JSON does not accept). *)
+let json_str s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let tiers_json (o : tiers_outcome) : string =
+  let verdict = function
+    | T.Proved -> "\"proved\""
+    | T.Unproved m -> Fmt.str "{\"unproved\": %s}" (json_str m)
+  in
+  let entry (e : tier_entry) =
+    Fmt.str
+      "    {\"kit\": %s, \"mr\": %d, \"nr\": %d, \"bounds\": %s, \"writes\": \
+       %s, \"accshape\": %s, \"probe\": %s}"
+      (json_str e.te_kit) e.te_mr e.te_nr
+      (verdict e.te_report.T.r_bounds)
+      (verdict e.te_report.T.r_writes)
+      (verdict e.te_report.T.r_accshape)
+      (match e.te_probe with
+      | Some true -> "true"
+      | Some false -> "false"
+      | None -> "null")
+  in
+  let kitline (k : tier_kit_summary) =
+    Fmt.str
+      "    {\"kit\": %s, \"proved\": %d, \"total\": %d, \"unproved_entries\": \
+       %d, \"probe_disagreements\": %d}"
+      (json_str k.tk_kit) k.tk_proved k.tk_total (k.tk_total - k.tk_proved)
+      k.tk_disagreements
+  in
+  Fmt.str "{\n  \"kits\": [\n%s\n  ],\n  \"entries\": [\n%s\n  ],\n  \
+           \"all_proved\": %b\n}\n"
+    (String.concat ",\n" (List.map kitline o.tier_kits))
+    (String.concat ",\n" (List.map entry o.tier_entries))
+    (tiers_ok o)

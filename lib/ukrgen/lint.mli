@@ -51,3 +51,57 @@ val failures : outcome -> int
 
 val pp_entry : Format.formatter -> entry -> unit
 val pp_outcome : Format.formatter -> outcome -> unit
+
+(** {1 The [--tiers] sweep: translation validation of the execution tiers}
+
+    For every (mr', nr') entry of a kit's monomorphized kernel table
+    (mr' ∈ 1..mr, nr' ∈ 1..nr), generate the kernel, lower it, and run
+    {!Exo_check.Tierlint} over its access summary; f32 entries are also run
+    through the dynamic integer certification
+    ({!Exo_interp.Compile.probe_ukr_ba}) so static and dynamic verdicts can
+    be cross-checked — a statically proved entry whose probe rejects is a
+    disagreement (and a bug in one of the two). *)
+
+(** One validated table entry. [te_probe]: the dynamic certificate's
+    verdict, [None] for non-f32 kits (the probe buffers are f32). *)
+type tier_entry = {
+  te_kit : string;
+  te_mr : int;
+  te_nr : int;
+  te_report : Exo_check.Tierlint.report;
+  te_probe : bool option;
+}
+
+type tier_kit_summary = {
+  tk_kit : string;
+  tk_total : int;
+  tk_proved : int;
+  tk_disagreements : int;
+      (** statically proved entries whose dynamic probe rejected *)
+}
+
+type tiers_outcome = {
+  tier_entries : tier_entry list;
+  tier_kits : tier_kit_summary list;
+}
+
+(** Validate the full (mr × nr) table (default 8×12 — 96 entries) on the
+    given kits (default {!Kits.all}), fanned out on [jobs] domains with a
+    width-invariant outcome, like {!run}. *)
+val run_tiers :
+  ?kits:Kits.t list -> ?jobs:int -> ?mr:int -> ?nr:int -> unit -> tiers_outcome
+
+(** Entries not fully proved, across all kits. *)
+val tiers_unproved : tiers_outcome -> int
+
+(** Every entry of every kit proved, and no static/dynamic disagreement. *)
+val tiers_ok : tiers_outcome -> bool
+
+val pp_tier_entry : Format.formatter -> tier_entry -> unit
+
+(** Failures (if any), then the per-kit one-line summaries the CI gate
+    greps: ["KIT: proved P/T, unproved_entries U, probe_disagreements D"]. *)
+val pp_tiers : Format.formatter -> tiers_outcome -> unit
+
+(** The per-entry verdict document ([ukrgen lint --tiers --json]). *)
+val tiers_json : tiers_outcome -> string

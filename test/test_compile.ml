@@ -206,7 +206,7 @@ let run_ukr_triple ~(kit : Kits.t) ~mr ~nr ~kc ~ao ~bo ~seed =
   let ck = C.compile proc in
   let uk =
     match C.to_ukr proc with
-    | Some u -> u
+    | Some (u, _) -> u
     | None -> Alcotest.failf "to_ukr refused %s %dx%d" kit.Kits.name mr nr
   in
   let one = B.of_array kit.Kits.dt [ 1 ] [| 1.0 |] in
@@ -294,7 +294,7 @@ let test_to_ukr_short_array_raises () =
   (* a call whose panels don't cover kc must divert to the general engine
      and raise exactly like the interpreter (no unsafe access) *)
   let proc = (Exo_blis.Registry.exo_kernel ~kit:Kits.neon_f32 ~mr:8 ~nr:12 ()).Family.proc in
-  let uk = Option.get (C.to_ukr proc) in
+  let uk = fst (Option.get (C.to_ukr proc)) in
   let c = Array.make (12 * 8) 0.0 in
   Alcotest.(check bool) "short Ac raises" true
     (try

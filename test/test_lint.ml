@@ -50,6 +50,26 @@ let test_fig12_report () =
   check_bool "within the 32-register NEON file" true (r.V.vregs <= 32);
   check_int "accumulators + operand registers" 29 r.V.vregs
 
+let test_vregs_descriptor () =
+  (* the pressure budget is part of the kit's ISA descriptor: every kit's
+     declared register file agrees with its Memories entry, and the lint
+     target reads the descriptor (not a hardcoded Carmel number) *)
+  List.iter
+    (fun (kit : K.t) ->
+      check_int
+        (Fmt.str "%s vregs agrees with its Memories entry" kit.K.name)
+        (Exo_isa.Memories.lookup_exn kit.K.mem).Exo_isa.Memories.num_regs
+        kit.K.vregs;
+      check_int
+        (Fmt.str "%s lint budget reads the descriptor" kit.K.name)
+        kit.K.vregs
+        (L.target_of_kit kit).V.max_vregs)
+    K.all;
+  check_int "avx2 budget is its 16-entry file" 16
+    (L.target_of_kit K.avx2_f32).V.max_vregs;
+  check_int "neon budget is its 32-entry file" 32
+    (L.target_of_kit K.neon_f32).V.max_vregs
+
 let test_expected_census_formulas () =
   (* the derivation matches what the schedules actually emit, per style *)
   List.iter
@@ -150,6 +170,8 @@ let () =
         ] );
       ( "fig12",
         [
+          Alcotest.test_case "vregs budget from the kit descriptor" `Quick
+            test_vregs_descriptor;
           Alcotest.test_case "8x12 census: 5 loads + 24 fmla" `Quick test_fig12_census;
           Alcotest.test_case "8x12 report: all rules, 29 vregs" `Quick test_fig12_report;
         ] );

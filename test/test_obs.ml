@@ -301,7 +301,14 @@ let test_cli_exit_codes () =
   check_int "missing positional exits 124" 124 (run_cli [ "trace" ]);
   check_int "--help exits 0" 0 (run_cli [ "--help" ]);
   check_int "a good invocation exits 0" 0
-    (run_cli [ "generate"; "--kit"; "neon-f32"; "--mr"; "8"; "--nr"; "12" ])
+    (run_cli [ "generate"; "--kit"; "neon-f32"; "--mr"; "8"; "--nr"; "12" ]);
+  (* a [lint --tiers] proof failure has its own exit code, distinct from
+     both the generic CLI error (123) and cmdliner's usage errors (124) *)
+  check_int "lint --tiers failure exits 3" 3
+    (run_cli [ "lint"; "--tiers"; "--selftest-fail" ]);
+  check_int "lint --tiers success exits 0" 0
+    (run_cli
+       [ "lint"; "--tiers"; "--table-mr"; "2"; "--table-nr"; "2"; "--jobs"; "1" ])
 
 let () =
   fresh ();

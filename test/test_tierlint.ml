@@ -1,0 +1,299 @@
+(* Static translation validation of the lowered execution tiers
+   (Exo_check.Tierlint + Lint.run_tiers + the Registry integration):
+
+   - every monomorphized table entry of every kit proves all three
+     properties (bounds, write-set containment, accumulation shape), and
+     the static verdict agrees with the dynamic integer certification
+   - the sweep outcome is pool-width invariant
+   - the registry's tables are built fully certified (t_proved) and count
+     verdicts; reset_dispatch_counts zeroes the dispatch counters
+   - deliberately broken lowerings (corrupted access summaries) are
+     rejected, per property
+   - qcheck oracle: the statically enumerated C write-set equals the
+     dynamically observed changed-cell set of the closure engine *)
+
+module C = Exo_interp.Compile
+module S = C.Summary
+module T = Exo_check.Tierlint
+module L = Exo_ukr_gen.Lint
+module Kits = Exo_ukr_gen.Kits
+module Family = Exo_ukr_gen.Family
+module R = Exo_blis.Registry
+module B = Exo_interp.Buffer
+module I = Exo_interp.Interp
+module Ir = Exo_ir.Ir
+
+let summary_of ~kit ~mr ~nr =
+  let proc = (R.exo_kernel ~kit ~mr ~nr ()).Family.proc in
+  match C.summarize_ukr proc with
+  | Some s -> s
+  | None -> Alcotest.failf "summarize_ukr refused %s %dx%d" kit.Kits.name mr nr
+
+(* --- the full sweep: 96 entries per kit, all proved, probe agreement --- *)
+
+let test_run_tiers_all_kits () =
+  let o = L.run_tiers () in
+  Alcotest.(check int) "6 kits swept" 6 (List.length o.L.tier_kits);
+  List.iter
+    (fun k ->
+      Alcotest.(check int)
+        (Fmt.str "%s: 96 entries" k.L.tk_kit)
+        96 k.L.tk_total;
+      Alcotest.(check int)
+        (Fmt.str "%s: proved 96/96" k.L.tk_kit)
+        96 k.L.tk_proved;
+      Alcotest.(check int)
+        (Fmt.str "%s: no static/dynamic disagreement" k.L.tk_kit)
+        0 k.L.tk_disagreements)
+    o.L.tier_kits;
+  Alcotest.(check bool) "tiers_ok" true (L.tiers_ok o);
+  Alcotest.(check int) "tiers_unproved 0" 0 (L.tiers_unproved o);
+  (* every f32 entry was probed and accepted; non-f32 entries are not
+     probed (the probe buffers are f32) *)
+  List.iter
+    (fun (e : L.tier_entry) ->
+      let kit = Option.get (Kits.by_name e.L.te_kit) in
+      let expected =
+        if kit.Kits.dt = Exo_ir.Dtype.F32 then Some true else None
+      in
+      if e.L.te_probe <> expected then
+        Alcotest.failf "%s %dx%d: unexpected probe verdict" e.L.te_kit
+          e.L.te_mr e.L.te_nr)
+    o.L.tier_entries
+
+let test_run_tiers_jobs_invariant () =
+  let o1 = L.run_tiers ~kits:[ Kits.neon_f32 ] ~jobs:1 ~mr:3 ~nr:4 () in
+  let o3 = L.run_tiers ~kits:[ Kits.neon_f32 ] ~jobs:3 ~mr:3 ~nr:4 () in
+  Alcotest.(check bool) "identical outcome at widths 1 and 3" true (o1 = o3);
+  Alcotest.(check int) "12 entries" 12 (List.length o1.L.tier_entries)
+
+let test_tiers_json_shape () =
+  let o = L.run_tiers ~kits:[ Kits.neon_f32 ] ~jobs:1 ~mr:2 ~nr:2 () in
+  let j = L.tiers_json o in
+  List.iter
+    (fun needle ->
+      let ok =
+        let nl = String.length needle and jl = String.length j in
+        let rec go i = i + nl <= jl && (String.sub j i nl = needle || go (i + 1)) in
+        go 0
+      in
+      if not ok then Alcotest.failf "tiers_json missing %S" needle)
+    [
+      "\"kit\": \"neon-f32\"";
+      "\"unproved_entries\": 0";
+      "\"probe_disagreements\": 0";
+      "\"bounds\": \"proved\"";
+      "\"accshape\": \"proved\"";
+      "\"all_proved\": true";
+    ]
+
+(* --- registry integration: certified tables and counter resets ---------- *)
+
+let test_registry_table_proved () =
+  let table = R.exo_table ~mr:8 ~nr:12 () in
+  Alcotest.(check int) "96 verdicts" 96 (Array.length table.R.t_proved);
+  Alcotest.(check bool)
+    "every entry statically certified" true
+    (Array.for_all Fun.id table.R.t_proved);
+  let proved, unproved = R.tier_verdict_counts () in
+  Alcotest.(check bool) "proved counter advanced" true (proved >= 96);
+  Alcotest.(check int) "unproved counter still zero" 0 unproved
+
+let test_reset_dispatch_counts () =
+  let table = R.exo_table ~mr:8 ~nr:12 () in
+  let u = R.table_entry table ~mr:3 ~nr:5 in
+  let ba n =
+    Bigarray.Array1.create Bigarray.float32 Bigarray.c_layout (max 1 n)
+  in
+  let ac = ba (2 * 3) and bc = ba (2 * 5) and c = ba (5 * 3) in
+  Bigarray.Array1.fill ac 1.0;
+  Bigarray.Array1.fill bc 1.0;
+  Bigarray.Array1.fill c 0.0;
+  u ~kc:2 ~ac ~ao:0 ~bc ~bo:0 ~c ~co:0;
+  let fast, _ = R.ukr_dispatch_counts () in
+  Alcotest.(check bool) "a dispatch was counted" true (fast >= 1);
+  R.reset_dispatch_counts ();
+  Alcotest.(check (pair int int))
+    "reset_dispatch_counts zeroes both" (0, 0)
+    (R.ukr_dispatch_counts ());
+  (* the historical alias is the same operation *)
+  u ~kc:2 ~ac ~ao:0 ~bc ~bo:0 ~c ~co:0;
+  R.reset_ukr_dispatch_counts ();
+  Alcotest.(check (pair int int))
+    "alias zeroes both" (0, 0)
+    (R.ukr_dispatch_counts ())
+
+(* --- negative tests: corrupted lowerings are rejected per property ------ *)
+
+let map_ops f (s : S.t) =
+  {
+    s with
+    S.segs =
+      List.map
+        (fun (g : S.seg) -> { g with S.ops = List.map (f ~in_loop:g.S.in_loop) g.S.ops })
+        s.S.segs;
+  }
+
+let rec map_rhs f (r : S.rhs) =
+  match f r with
+  | Some r' -> r'
+  | None -> (
+      match r with
+      | S.Bin (b, x, y) -> S.Bin (b, map_rhs f x, map_rhs f y)
+      | S.Neg x -> S.Neg (map_rhs f x)
+      | (S.Const _ | S.Read _) as r -> r)
+
+let test_reject_write_outside_c () =
+  (* redirect one C store into the A panel: the write-set proof (the race-
+     freedom/aliasing property) must fail *)
+  let s = summary_of ~kit:Kits.neon_f32 ~mr:8 ~nr:12 in
+  let redirected = ref false in
+  let s' =
+    map_ops
+      (fun ~in_loop:_ (o : S.op) ->
+        if (not !redirected) && o.S.dst.S.sp = S.C then begin
+          redirected := true;
+          { o with S.dst = { o.S.dst with S.sp = S.A } }
+        end
+        else o)
+      s
+  in
+  Alcotest.(check bool) "a C store was redirected" true !redirected;
+  let r = T.check s' in
+  Alcotest.(check bool) "writes rejected" false (T.ok r.T.r_writes);
+  (* the original, uncorrupted summary still proves *)
+  Alcotest.(check bool) "original proves" true (T.proved (T.check s))
+
+let test_reject_out_of_bounds_read () =
+  (* shift every A read one row-block past the panel: base + mr + mr·k
+     reaches kc·mr, outside the hoisted range check's contract *)
+  let s = summary_of ~kit:Kits.neon_f32 ~mr:8 ~nr:12 in
+  let s' =
+    map_ops
+      (fun ~in_loop:_ (o : S.op) ->
+        {
+          o with
+          S.rhs =
+            map_rhs
+              (function
+                | S.Read op when op.S.sp = S.A ->
+                    Some (S.Read { op with S.base = op.S.base + s.S.mr })
+                | _ -> None)
+              o.S.rhs;
+        })
+      s
+  in
+  let r = T.check s' in
+  Alcotest.(check bool) "bounds rejected" false (T.ok r.T.r_bounds)
+
+let test_reject_wrong_accumulation () =
+  (* turn the innermost multiply into an add: the tape no longer computes
+     Σ A·B per C element *)
+  let s = summary_of ~kit:Kits.neon_f32 ~mr:8 ~nr:12 in
+  let s' =
+    map_ops
+      (fun ~in_loop:_ (o : S.op) ->
+        {
+          o with
+          S.rhs =
+            map_rhs
+              (function
+                | S.Bin (Ir.Mul, x, y) -> Some (S.Bin (Ir.Add, x, y))
+                | _ -> None)
+              o.S.rhs;
+        })
+      s
+  in
+  let r = T.check s' in
+  Alcotest.(check bool) "accshape rejected" false (T.ok r.T.r_accshape)
+
+let test_reject_kc_pos_contract () =
+  (* a tape that presumes kc >= 1 cannot claim the kc = 0 table contract *)
+  let s = summary_of ~kit:Kits.neon_f32 ~mr:4 ~nr:4 in
+  let r = T.check { s with S.kc_pos = true } in
+  Alcotest.(check bool) "kc_pos rejected" false (T.proved r)
+
+(* --- qcheck oracle: static C write-set = dynamic touched-cell set ------- *)
+
+let view data dims offset =
+  let dims = Array.of_list dims in
+  let n = Array.length dims in
+  let strides = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * dims.(i + 1)
+  done;
+  { B.data; dtype = Exo_ir.Dtype.F32; dims; strides; offset }
+
+(* Run the closure engine on strictly positive integer A/B panels: every C
+   cell accumulating at least one A·B product strictly increases, so the
+   changed-cell set observes exactly the cells the tape touches. *)
+let dynamic_touched ~mr ~nr ~kc ~seed =
+  let proc = (R.exo_kernel ~kit:Kits.neon_f32 ~mr ~nr ()).Family.proc in
+  let ck = C.compile proc in
+  let st = Random.State.make [| seed; mr; nr; kc |] in
+  let pos n = Array.init (max 1 n) (fun _ -> float_of_int (1 + Random.State.int st 5)) in
+  let ac = pos (kc * mr) and bc = pos (kc * nr) in
+  let c = Array.init (nr * mr) (fun _ -> float_of_int (Random.State.int st 9 - 4)) in
+  let c0 = Array.copy c in
+  let one = B.of_array Exo_ir.Dtype.F32 [ 1 ] [| 1.0 |] in
+  C.run ck
+    [
+      I.VInt kc;
+      I.VBuf one;
+      I.VBuf (view ac [ kc; mr ] 0);
+      I.VBuf (view bc [ kc; nr ] 0);
+      I.VBuf one;
+      I.VBuf (view c [ nr; mr ] 0);
+    ];
+  let touched = ref [] in
+  for i = Array.length c - 1 downto 0 do
+    if not (Int64.equal (Int64.bits_of_float c.(i)) (Int64.bits_of_float c0.(i)))
+    then touched := i :: !touched
+  done;
+  !touched
+
+let prop_write_set_oracle =
+  QCheck2.Test.make ~name:"static C write-set = dynamic touched set" ~count:25
+    QCheck2.Gen.(triple (int_range 1 8) (int_range 1 12) (int_range 0 6))
+    (fun (mr, nr, kc) ->
+      let s = summary_of ~kit:Kits.neon_f32 ~mr ~nr in
+      let static = T.c_write_indices s ~kc in
+      let dynamic = dynamic_touched ~mr ~nr ~kc ~seed:((mr * 131) + (nr * 17) + kc) in
+      if kc = 0 then
+        (* zero-depth call: C must be bit-unchanged, whatever stores the
+           tape performs (they rewrite the original values) *)
+        dynamic = []
+      else static = dynamic)
+
+let () =
+  Alcotest.run "tierlint"
+    [
+      ( "sweep",
+        [
+          Alcotest.test_case "all kits, 96/96 proved, probes agree" `Quick
+            test_run_tiers_all_kits;
+          Alcotest.test_case "pool-width invariant" `Quick
+            test_run_tiers_jobs_invariant;
+          Alcotest.test_case "verdict JSON shape" `Quick test_tiers_json_shape;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "table fully certified" `Quick
+            test_registry_table_proved;
+          Alcotest.test_case "reset_dispatch_counts" `Quick
+            test_reset_dispatch_counts;
+        ] );
+      ( "negative",
+        [
+          Alcotest.test_case "write outside C rejected" `Quick
+            test_reject_write_outside_c;
+          Alcotest.test_case "out-of-bounds read rejected" `Quick
+            test_reject_out_of_bounds_read;
+          Alcotest.test_case "wrong accumulation rejected" `Quick
+            test_reject_wrong_accumulation;
+          Alcotest.test_case "kc-positive contract rejected" `Quick
+            test_reject_kc_pos_contract;
+        ] );
+      ( "oracle",
+        [ QCheck_alcotest.to_alcotest prop_write_set_oracle ] );
+    ]
