@@ -10,7 +10,9 @@
      verify     check a generated kernel against the reference interpreter
      lint       static Fig. 12 lint of the whole family, no simulation
      run        execute a DNN workload's GEMMs through the batched
-                arena-packed macro-kernel (optionally validated) *)
+                arena-packed macro-kernel (optionally validated)
+     serve      long-lived kernel-compilation daemon over a Unix socket
+     client     one line-protocol request against a running daemon *)
 
 open Cmdliner
 module Family = Exo_ukr_gen.Family
@@ -19,6 +21,7 @@ module Steps = Exo_ukr_gen.Steps
 module KM = Exo_sim.Kernel_model
 module D = Exo_blis.Driver
 module Obs = Exo_obs.Obs
+module Serve = Exo_serve.Serve
 
 let machine = Exo_isa.Machine.carmel
 
@@ -64,6 +67,20 @@ let kernel_prov_json (k : Family.kernel) : string =
     ~declared_steps:(Family.declared_steps k.Family.kit k.Family.style)
     k.Family.provenance
 
+(* [--cache DIR] plumbing: arm the ambient persistent store before the
+   command body runs. Without the flag the store comes from
+   UKRGEN_CACHE_DIR (unset: caching off), so plain runs never write
+   outside the working tree uninvited. *)
+let cache_dir =
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR"
+         ~doc:"Persist and reuse certified-kernel and tuner artifacts under \
+               the content-addressed store at $(docv) (overrides \
+               $(b,UKRGEN_CACHE_DIR)).")
+
+let set_cache = function
+  | None -> ()
+  | Some dir -> Exo_cache.Store.set_ambient (Some dir)
+
 (* [--trace FILE] plumbing shared by [lint] and [tune]: enable tracing for
    the run, then drain the merged buffers into a Chrome trace-event file *)
 let trace_file =
@@ -98,7 +115,8 @@ let generate_cmd =
                  made it, as JSON) to $(docv). With $(b,-c -o) $(i,OUT.c) a \
                  sidecar $(i,OUT.prov.json) is written by default.")
   in
-  let run kit mr nr steps emit_c out prov =
+  let run cache kit mr nr steps emit_c out prov =
+    set_cache cache;
     (try
        if steps then
          if Family.pick_style kit ~mr ~nr = Family.Packed then
@@ -140,7 +158,10 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate one micro-kernel.")
-    Term.(ret (const run $ kit $ mr $ nr $ steps $ emit_c $ out_file $ prov_file))
+    Term.(
+      ret
+        (const run $ cache_dir $ kit $ mr $ nr $ steps $ emit_c $ out_file
+       $ prov_file))
 
 (* --- family ------------------------------------------------------------- *)
 
@@ -325,7 +346,8 @@ let lint_cmd =
     Arg.(value & opt int 12 & info [ "table-nr" ] ~docv:"NR"
            ~doc:"With $(b,--tiers): see $(b,--table-mr).")
   in
-  let run kit all jobs trace tiers json selftest tmr tnr =
+  let run cache kit all jobs trace tiers json selftest tmr tnr =
+    set_cache cache;
     let module L = Exo_ukr_gen.Lint in
     let kits = if all then Kits.all else [ kit ] in
     if tiers then begin
@@ -398,8 +420,8 @@ let lint_cmd =
              table).")
     Term.(
       ret
-        (const run $ kit $ all $ jobs $ trace_file $ tiers $ json_file
-       $ selftest_fail $ table_mr $ table_nr))
+        (const run $ cache_dir $ kit $ all $ jobs $ trace_file $ tiers
+       $ json_file $ selftest_fail $ table_mr $ table_nr))
 
 (* --- tune --------------------------------------------------------------- *)
 
@@ -407,7 +429,8 @@ let tune_cmd =
   let m = Arg.(required & pos 0 (some int) None & info [] ~docv:"M") in
   let n = Arg.(required & pos 1 (some int) None & info [] ~docv:"N") in
   let k = Arg.(required & pos 2 (some int) None & info [] ~docv:"K") in
-  let run m n k jobs trace =
+  let run cache m n k jobs trace =
+    set_cache cache;
     try
       trace_begin trace;
       (* a traced sweep must actually sweep: drop the memoized ranking so
@@ -433,7 +456,7 @@ let tune_cmd =
        ~doc:
          "Rank every candidate kernel shape for one GEMM (the paper's \
           'evaluating a number of generated micro-kernels').")
-    Term.(ret (const run $ m $ n $ k $ jobs $ trace_file))
+    Term.(ret (const run $ cache_dir $ m $ n $ k $ jobs $ trace_file))
 
 (* --- trace --------------------------------------------------------------- *)
 
@@ -594,7 +617,8 @@ let run_cmd =
            ~doc:"Validate every layer exactly against the naive f32 \
                  reference (slow at full-model scale).")
   in
-  let run model jobs limit check =
+  let run cache model jobs limit check =
+    set_cache cache;
     let module W = Exo_workloads.Models in
     let module M = Exo_blis.Matrix in
     let module G = Exo_blis.Gemm in
@@ -674,7 +698,88 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Execute a DNN workload's GEMMs through the batched arena-packed \
              macro-kernel.")
-    Term.(ret (const run $ model $ jobs $ limit $ check))
+    Term.(ret (const run $ cache_dir $ model $ jobs $ limit $ check))
+
+(* --- serve / client ------------------------------------------------------ *)
+
+let default_socket = Filename.concat (Filename.get_temp_dir_name ()) "ukrgen.sock"
+
+let socket_arg =
+  Arg.(value & opt string default_socket & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket the daemon listens on (default $(docv) in \
+               the system temp directory).")
+
+let serve_cmd =
+  let workers =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
+           ~doc:"Accept domains sharing the listening socket.")
+  in
+  let warm_kits =
+    Arg.(value & opt_all kit_conv [] & info [ "kit" ] ~docv:"KIT"
+           ~doc:"Warm this kit's kernel table before accepting requests \
+                 (repeatable; default neon-f32).")
+  in
+  let run socket workers cache warm_kits =
+    if workers < 1 then `Error (true, "--workers must be >= 1")
+    else begin
+      set_cache cache;
+      (* a client vanishing mid-response must not kill the daemon *)
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      try
+        let t =
+          Serve.start ~workers
+            ?warm_kits:(match warm_kits with [] -> None | l -> Some l)
+            ~socket ()
+        in
+        let graceful = Sys.Signal_handle (fun _ -> Serve.stop t) in
+        Sys.set_signal Sys.sigint graceful;
+        Sys.set_signal Sys.sigterm graceful;
+        Fmt.pr "ukrgen serve: listening on %s (%d worker domain(s), cache %s)@."
+          socket workers
+          (match Exo_cache.Store.ambient () with
+          | Some st -> Exo_cache.Store.root st
+          | None -> "off");
+        Serve.wait t;
+        Fmt.pr "ukrgen serve: drained, bye@.";
+        `Ok ()
+      with Unix.Unix_error (e, fn, arg) ->
+        `Error (false, Fmt.str "%s(%s): %s" fn arg (Unix.error_message e))
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the kernel-compilation daemon: warm the monomorphized \
+             kernel table once, then answer GENERATE / LINT / TUNE / RUN / \
+             STATS requests over a Unix-domain socket until SHUTDOWN.")
+    Term.(ret (const run $ socket_arg $ workers $ cache_dir $ warm_kits))
+
+let client_cmd =
+  let words =
+    Arg.(value & pos_all string [] & info [] ~docv:"WORD"
+           ~doc:"Request words, e.g. $(b,GENERATE neon-f32 8x12) or \
+                 $(b,STATS).")
+  in
+  let run socket words =
+    if words = [] then
+      `Error (true, "missing request (e.g. ukrgen client PING)")
+    else
+      match Serve.Client.request ~socket (String.concat " " words) with
+      | status, payload ->
+          Fmt.pr "%s@." status;
+          List.iter (fun l -> Fmt.pr "%s@." l) payload;
+          if Serve.Client.ok status then `Ok ()
+          else `Error (false, "the daemon reported an error")
+      | exception Unix.Unix_error (e, _, _) ->
+          `Error
+            (false,
+             Fmt.str "no daemon at %s: %s (start one with ukrgen serve)"
+               socket (Unix.error_message e))
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one line-protocol request to a running $(b,ukrgen serve) \
+             daemon and print the response.")
+    Term.(ret (const run $ socket_arg $ words))
 
 let () =
   (* UKRGEN_VERBOSE=1 traces every scheduling primitive application *)
@@ -691,5 +796,6 @@ let () =
        (Cmd.group info
           [
             generate_cmd; family_cmd; variants_cmd; solo_cmd; gemm_cmd; verify_cmd;
-            lint_cmd; tune_cmd; trace_cmd; explain_cmd; run_cmd;
+            lint_cmd; tune_cmd; trace_cmd; explain_cmd; run_cmd; serve_cmd;
+            client_cmd;
           ]))

@@ -65,8 +65,10 @@ val blis :
     and BOTH the jc and ic loops fanned out as one (jc × ic) task grid —
     disjoint C row×column block per task, so small-n problems where the
     jc-only split yields a single task still scale, bit-identical at every
-    pool width. [kernels] is invoked once per task on the executing domain
-    (kernel closures own scratch and are not re-entrant across domains). *)
+    pool width. [kernels] is invoked once per task on the executing domain;
+    the monomorphized table's executors are re-entrant (per-call
+    accumulators), so the thunk may hand every task the same shared array
+    ({!Registry.exo_bank} does). *)
 val blis_ba :
   ?alpha:float ->
   ?beta:float ->

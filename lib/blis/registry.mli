@@ -53,8 +53,16 @@ val monolithic_ukr : Gemm.ukr
     The third execution tier: one {!Exo_interp.Compile.ukr_ba} per
     (mr', nr') with mr' ∈ 1..mr, nr' ∈ 1..nr, flat at index
     [(mr'-1)·nr + nr'-1], so fringe macro-kernel calls dispatch by plain
-    array indexing and never fall back to the closure engine. Cached per
-    (kit, mr, nr) PER DOMAIN — entries own mutable scratch. *)
+    array indexing and never fall back to the closure engine. Built once
+    per (kit, mr, nr) for the whole process and shared by every domain —
+    the executors are re-entrant (per-call accumulators), so repeated
+    {!exo_table} calls return the physically same table from any domain.
+
+    When an {!Exo_cache.Store} is ambient ([UKRGEN_CACHE_DIR] or the CLI's
+    [--cache]), entries hydrate from persisted artifacts — skipping
+    schedule → certify → lower — after their stored access summary
+    re-proves under {!Exo_check.Tierlint}; cold builds persist their
+    artifacts for the next process. *)
 
 type table = {
   t_kit : Exo_ukr_gen.Kits.t;
@@ -71,7 +79,7 @@ type table = {
           dynamic integer probe. *)
 }
 
-(** Build (or fetch) this domain's table for a family. *)
+(** Build (or fetch) the process-wide table for a family. *)
 val exo_table :
   ?kit:Exo_ukr_gen.Kits.t -> mr:int -> nr:int -> unit -> table
 
@@ -83,11 +91,16 @@ val table_complete : table -> bool
 (** Bounds-checked lookup (tests; the GEMM driver indexes the flat array). *)
 val table_entry : table -> mr:int -> nr:int -> Exo_interp.Compile.ukr_ba
 
-(** The {!Gemm.blis_ba} [kernels] thunk: resolves the calling domain's
-    table (building on first use) and returns its flat entry array. *)
+(** The {!Gemm.blis_ba} [kernels] thunk: resolves the shared table
+    (building on first use) and returns its flat entry array. *)
 val exo_bank :
   ?kit:Exo_ukr_gen.Kits.t -> mr:int -> nr:int -> unit ->
   unit -> Exo_interp.Compile.ukr_ba array
+
+(** Forget every memoized kernel, table and compiled closure (calling
+    domain) so the next {!exo_table} exercises the cold path — for the
+    bench's cold/warm A-B harness and the cache tests only. *)
+val clear_memos_for_bench : unit -> unit
 
 (** {1 Dispatch counters}
 

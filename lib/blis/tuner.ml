@@ -62,6 +62,37 @@ type key = string * string * (int * int) list * int * int * int
 
 let cache : (key, result list) Exo_par.Memo.t = Exo_par.Memo.create ()
 
+(* Persistent rankings: the in-memory memo reads through the ambient
+   {!Exo_cache.Store}, so sweeps survive process restarts ("Automating the
+   Last-Mile"'s persisted-tuning assumption). The key carries the kit's
+   content digest — editing a kit orphans its old rankings. *)
+module Store = Exo_cache.Store
+
+let sweep_abi = "tuner-v1"
+let sweep_kind = "tuner"
+
+let sweep_key (machine : Exo_isa.Machine.t) (kit : Exo_ukr_gen.Kits.t) ~shapes
+    ~m ~n ~k : string =
+  Store.key
+    [
+      sweep_abi;
+      Sys.ocaml_version;
+      machine.Exo_isa.Machine.name;
+      kit.Exo_ukr_gen.Kits.name;
+      Exo_ukr_gen.Kits.digest kit;
+      String.concat ","
+        (List.map (fun (mr, nr) -> Printf.sprintf "%dx%d" mr nr) shapes);
+      string_of_int m;
+      string_of_int n;
+      string_of_int k;
+    ]
+
+(* A ranking hydrated from disk still passes a shape sanity gate: every
+   result names a candidate shape and the list is non-empty. *)
+let sweep_artifact_ok ~shapes (rs : result list) : bool =
+  rs <> []
+  && List.for_all (fun r -> List.mem (r.mr, r.nr) shapes) rs
+
 (** Rank every feasible candidate for one GEMM, best first (memoized per
     (machine, kit, problem) AND candidate-shape list — a custom [?shapes]
     must not hit entries cached for the default list). Candidates are
@@ -75,27 +106,42 @@ let sweep ?(kit = Exo_ukr_gen.Kits.neon_f32) ?(shapes = default_shapes) ?jobs
     (machine.Exo_isa.Machine.name, kit.Exo_ukr_gen.Kits.name, shapes, m, n, k)
   in
   Exo_par.Memo.find_or_add cache key (fun () ->
-      let module Obs = Exo_obs.Obs in
-      let args =
-        if Obs.enabled () then
-          [
-            ("machine", machine.Exo_isa.Machine.name);
-            ("problem", Printf.sprintf "%dx%dx%d" m n k);
-          ]
-        else []
+      let compute_and_persist () =
+        let module Obs = Exo_obs.Obs in
+        let args =
+          if Obs.enabled () then
+            [
+              ("machine", machine.Exo_isa.Machine.name);
+              ("problem", Printf.sprintf "%dx%dx%d" m n k);
+            ]
+          else []
+        in
+        Obs.with_span ~args "tuner.sweep" (fun () ->
+            let lanes = kit.Exo_ukr_gen.Kits.lanes in
+            let pool = Exo_par.Pool.create ?jobs () in
+            let results =
+              shapes
+              |> List.filter (fun (mr, nr) -> feasible machine ~lanes ~mr ~nr)
+              |> Exo_par.Pool.map pool (fun (mr, nr) ->
+                     evaluate ~kit machine ~mr ~nr ~m ~n ~k)
+              |> List.sort (fun a b -> compare b.gflops a.gflops)
+            in
+            if results = [] then
+              invalid_arg "Tuner.sweep: no feasible kernel shape";
+            results)
       in
-      Obs.with_span ~args "tuner.sweep" (fun () ->
-          let lanes = kit.Exo_ukr_gen.Kits.lanes in
-          let pool = Exo_par.Pool.create ?jobs () in
-          let results =
-            shapes
-            |> List.filter (fun (mr, nr) -> feasible machine ~lanes ~mr ~nr)
-            |> Exo_par.Pool.map pool (fun (mr, nr) ->
-                   evaluate ~kit machine ~mr ~nr ~m ~n ~k)
-            |> List.sort (fun a b -> compare b.gflops a.gflops)
-          in
-          if results = [] then invalid_arg "Tuner.sweep: no feasible kernel shape";
-          results))
+      match Store.ambient () with
+      | None -> compute_and_persist ()
+      | Some st -> (
+          let dkey = sweep_key machine kit ~shapes ~m ~n ~k in
+          match Store.get st ~kind:sweep_kind ~key:dkey with
+          | Some (rs : result list) when sweep_artifact_ok ~shapes rs -> rs
+          | hit ->
+              (* miss, or an implausible artifact (dropped before rebuild) *)
+              if hit <> None then Store.remove st ~kind:sweep_kind ~key:dkey;
+              let rs = compute_and_persist () in
+              ignore (Store.put st ~kind:sweep_kind ~key:dkey rs);
+              rs))
 
 (** The winning shape for one GEMM. *)
 let best ?kit ?shapes ?jobs (machine : Exo_isa.Machine.t) ~m ~n ~k : result =

@@ -24,7 +24,9 @@ val evaluate :
 (** Rank every feasible candidate for one GEMM, best first (memoized,
     domain-safe). Candidates are priced in parallel on [jobs] domains
     (default: {!Exo_par.Pool.default_jobs}); the ranking is identical for
-    every [jobs]. *)
+    every [jobs]. When an {!Exo_cache.Store} is ambient, rankings also
+    read through disk and persist across process restarts (keyed on
+    machine, kit + kit digest, candidate list and problem). *)
 val sweep :
   ?kit:Exo_ukr_gen.Kits.t ->
   ?shapes:(int * int) list ->

@@ -2153,9 +2153,12 @@ let ukr_ba_check ~mr ~nr ~kc ~(ac : ba32) ~ao ~(bc : ba32) ~bo ~(c : ba32) ~co =
    On integer-valued data (the repo's entire test and bench domain) the
    deferred rounding is exact, which [to_ukr_ba]'s probe gate certifies. *)
 let ukr_ba_8x12 () : ukr_ba =
-  let acc = Array.create_float 8 in
   fun ~kc ~ac ~ao ~bc ~bo ~c ~co ->
     ukr_ba_check ~mr:8 ~nr:12 ~kc ~ac ~ao ~bc ~bo ~c ~co;
+    (* the accumulator is allocated per call, not captured: the executor is
+       re-entrant, so one table entry can serve every domain of a pool (the
+       8 floats are a minor-heap blip against the kc*96 fmas that follow) *)
+    let acc = Array.create_float 8 in
     for j = 0 to 11 do
       let cj = co + (j * 8) in
       for i = 0 to 7 do
@@ -2201,11 +2204,12 @@ let ukr_ba_8x12 () : ukr_ba =
    flat-array tape tier, and fringe tiles are a small fraction of any
    full GEMM. *)
 let ukr_ba_generic ~(mr : int) ~(nr : int) : ukr_ba =
-  let acc = Array.create_float mr in
   let mr2 = 2 * mr and mr3 = 3 * mr in
   let nr2 = 2 * nr and nr3 = 3 * nr in
   fun ~kc ~ac ~ao ~bc ~bo ~c ~co ->
     ukr_ba_check ~mr ~nr ~kc ~ac ~ao ~bc ~bo ~c ~co;
+    (* per-call accumulator — re-entrant, shareable across domains *)
+    let acc = Array.create_float mr in
     for j = 0 to nr - 1 do
       let cj = co + (j * mr) in
       for i = 0 to mr - 1 do
@@ -2322,3 +2326,20 @@ let to_ukr_ba ?(certified = false) (p : proc) : (ukr_ba * Summary.t) option =
         in
         Some (u, summary_of_lowered l)
       else None
+
+(** Re-materialize a Bigarray executor from a stored access summary alone —
+    the cache-hydration path. Sound because the executors above are chosen
+    by (mr, nr) only and the summary carries the full eligibility gate
+    (dt / preds / kc>0) the lowering checked; the hydrating caller is
+    responsible for re-running {!Exo_check.Tierlint} over the summary so a
+    stale or tampered artifact is caught before entering service. The
+    result is definitionally bit-identical to what {!to_ukr_ba} would
+    return for the proc the summary came from. *)
+let ukr_ba_of_summary (s : Summary.t) : ukr_ba option =
+  if s.Summary.dt = Dtype.F32 && s.Summary.n_preds = 0 && not s.Summary.kc_pos
+  then
+    Some
+      (match (s.Summary.mr, s.Summary.nr) with
+      | 8, 12 -> ukr_ba_8x12 ()
+      | mr, nr -> ukr_ba_generic ~mr ~nr)
+  else None

@@ -125,10 +125,21 @@ type ukr_ba =
     reduction — the dynamic integer probe is then skipped (it would
     establish the same fact). Default [false]: probe as before.
 
-    Like {!to_ukr}, the closure owns mutable scratch (the unboxed
-    accumulator): share per domain. *)
+    Unlike {!to_ukr}, the returned executor is re-entrant — its unboxed
+    accumulator is allocated per call — so one executor can be shared by
+    every domain of a pool. *)
 val to_ukr_ba :
   ?certified:bool -> Exo_ir.Ir.proc -> (ukr_ba * Summary.t) option
+
+(** Re-materialize the Bigarray executor from a stored access summary — the
+    cache-hydration path ({!Exo_blis.Registry}). Returns [None] when the
+    summary fails the tier's eligibility gate (non-f32, runtime preds,
+    kc>0 requirement). Sound because the executors are selected by
+    (mr, nr) alone, so the result is bit-identical to what {!to_ukr_ba}
+    returns for the proc the summary was derived from; callers must still
+    re-run the {!Exo_check.Tierlint} gate over the summary so a stale or
+    tampered artifact never enters service silently. *)
+val ukr_ba_of_summary : Summary.t -> ukr_ba option
 
 (** The Bigarray tier's dynamic certificate, exposed so the bench and the
     [--tiers] lint sweep can cross-check it against the static verdicts:

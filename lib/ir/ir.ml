@@ -261,6 +261,54 @@ let stmts_free_vars body =
   in
   go Sym.Set.empty Sym.Set.empty body
 
+(** Largest symbol id occurring anywhere in [p] — args, preds, binders,
+    every expression, and (recursively) called procs. Unmarshaling a proc
+    from another process must feed this to {!Sym.ensure_above} before any
+    [Sym.fresh], or a later fresh symbol could collide with one of the
+    foreign ids and alias a distinct binder in Sym-keyed maps. *)
+let proc_max_sym_id (p : proc) : int =
+  let m = ref 0 in
+  let sym s = if Sym.id s > !m then m := Sym.id s in
+  let expr e =
+    Sym.Set.iter sym (expr_vars Sym.Set.empty e);
+    Sym.Set.iter sym (expr_bufs Sym.Set.empty e)
+  in
+  let waccess = function Pt e -> expr e | Iv (a, b) -> expr a; expr b in
+  let rec proc p =
+    List.iter (fun a -> sym a.a_name) p.p_args;
+    List.iter expr p.p_preds;
+    stmts p.p_body
+  and stmts body = List.iter stmt body
+  and stmt = function
+    | SAssign (b, idx, e) | SReduce (b, idx, e) ->
+        sym b;
+        List.iter expr idx;
+        expr e
+    | SFor (v, lo, hi, body) ->
+        sym v;
+        expr lo;
+        expr hi;
+        stmts body
+    | SAlloc (b, _, dims, _) ->
+        sym b;
+        List.iter expr dims
+    | SCall (callee, args) ->
+        proc callee;
+        List.iter
+          (function
+            | AExpr e -> expr e
+            | AWin w ->
+                sym w.wbuf;
+                List.iter waccess w.widx)
+          args
+    | SIf (c, t, e) ->
+        expr c;
+        stmts t;
+        stmts e
+  in
+  proc p;
+  !m
+
 (** The dtype of a buffer visible at the top of [p]: argument or top-level
     alloc. Scheduling keeps allocations it reasons about at proc top-level. *)
 let find_buffer_typ (p : proc) (b : Sym.t) : (Dtype.t * expr list * Mem.t) option =

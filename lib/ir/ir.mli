@@ -118,5 +118,11 @@ val stmts_bufs : stmt list -> Sym.Set.t
 (** Free index/size variables: uses minus loop binders. *)
 val stmts_free_vars : stmt list -> Sym.Set.t
 
+(** Largest symbol id occurring anywhere in the proc (args, preds, binders,
+    expressions, called procs, recursively). Feed to {!Sym.ensure_above}
+    after unmarshaling a proc produced by another process, before any
+    [Sym.fresh]. *)
+val proc_max_sym_id : proc -> int
+
 (** Type of a buffer visible at the top of a proc (argument or alloc). *)
 val find_buffer_typ : proc -> Sym.t -> (Dtype.t * expr list * Mem.t) option

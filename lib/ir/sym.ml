@@ -15,6 +15,14 @@ let counter = Atomic.make 0
 
 let fresh name = { name; id = Atomic.fetch_and_add counter 1 + 1 }
 
+(** [ensure_above n] — guarantee every future {!fresh} id is [> n]. Needed
+    when procs marshaled by another process re-enter this one (the cache):
+    their symbols carry ids from a foreign counter, and a later [fresh]
+    here must never collide with them. CAS-max loop; monotone, lock-free. *)
+let rec ensure_above n =
+  let cur = Atomic.get counter in
+  if cur < n && not (Atomic.compare_and_set counter cur n) then ensure_above n
+
 (** [clone s] makes a fresh symbol with the same display name. *)
 let clone s = fresh s.name
 

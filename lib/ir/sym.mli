@@ -13,6 +13,12 @@ val fresh : string -> t
 (** [clone s] — a fresh symbol with the same display name. *)
 val clone : t -> t
 
+(** [ensure_above n] — guarantee every future {!fresh} id is [> n]. Call
+    after unmarshaling a proc from another process (see
+    {!Exo_ir.Ir.proc_max_sym_id}) so its foreign ids can never collide
+    with symbols created here. *)
+val ensure_above : int -> unit
+
 val name : t -> string
 val id : t -> int
 val equal : t -> t -> bool

@@ -666,3 +666,34 @@ module Provenance = struct
     in
     summary :: steps
 end
+
+(* ------------------------------------------------------------------ *)
+
+module Meta = struct
+  let schema_version = 5
+
+  let git_commit () =
+    try
+      let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+      let line = try input_line ic with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ -> "unknown"
+    with _ -> "unknown"
+
+  let json ?flambda ~pool_jobs () =
+    Printf.sprintf
+      "\"meta\": {\n\
+      \    \"schema_version\": %d,\n\
+      \    \"git_commit\": %S,\n\
+      \    \"host_cores\": %d,\n\
+      \    \"pool_jobs\": %d,\n\
+      \    \"ocaml_version\": %S%s\n\
+      \  }"
+      schema_version (git_commit ())
+      (Domain.recommended_domain_count ())
+      pool_jobs Sys.ocaml_version
+      (match flambda with
+      | None -> ""
+      | Some f -> Printf.sprintf ",\n    \"flambda\": %b" f)
+end

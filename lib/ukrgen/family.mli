@@ -46,6 +46,13 @@ val declared_steps : Kits.t -> style -> int
     {!certify} bounds certificate plus its full provenance log. *)
 val generate : ?kit:Kits.t -> mr:int -> nr:int -> unit -> kernel
 
+(** {!generate} through the ambient {!Exo_cache.Store}: a hit skips the
+    schedule+certify pipeline but still re-proves the stored proc's bounds
+    certificate (a stale or tampered artifact reads as a miss and is
+    regenerated); a miss generates and persists the artifact for the next
+    process. Identical to {!generate} when no store is ambient. *)
+val generate_cached : ?kit:Kits.t -> mr:int -> nr:int -> unit -> kernel
+
 (** Demand the static bounds certificate of {!Exo_check.Bounds.check_proc}:
     every access [Proved] in range, zero [Unknown]s. Raises
     [Exo_sched.Sched.Sched_error] naming the failures otherwise; returns the

@@ -145,3 +145,38 @@ let rvv_f32 =
 let all = [ neon_f32; neon_f16; neon_i32; avx512_f32; avx2_f32; rvv_f32 ]
 
 let by_name n = List.find_opt (fun k -> String.equal k.name n) all
+
+(** Content digest of a kit — the cache-key ingredient that invalidates
+    every persisted artifact when the kit changes. Covers the descriptor
+    scalars and the printed form of every instruction proc (names, preds,
+    bodies; [Pp.proc_to_string] prints names rather than internal ids, so
+    the digest is stable across processes). *)
+let digest (k : t) : string =
+  let b = Buffer.create 1024 in
+  let part s =
+    Buffer.add_string b (string_of_int (String.length s));
+    Buffer.add_char b ':';
+    Buffer.add_string b s
+  in
+  part k.name;
+  part (Dtype.exo_name k.dt);
+  part (string_of_int k.lanes);
+  part (Mem.name k.mem);
+  part (string_of_int k.vregs);
+  part (string_of_int k.sched_steps);
+  let proc p = part (Pp.proc_to_string p) in
+  let opt tag p =
+    match p with
+    | None -> part (tag ^ "=none")
+    | Some p ->
+        part (tag ^ "=some");
+        proc p
+  in
+  proc k.vld;
+  proc k.vst;
+  opt "fma_lane" k.fma_lane;
+  proc k.fma_vv;
+  opt "fma_scalar" k.fma_scalar;
+  opt "fma_scalar_r" k.fma_scalar_r;
+  proc k.bcast;
+  Digest.to_hex (Digest.string (Buffer.contents b))

@@ -43,3 +43,9 @@ val rvv_f32 : t
 
 val all : t list
 val by_name : string -> t option
+
+(** Content digest over the descriptor scalars and the printed form of every
+    instruction proc — the cache-key ingredient ({!Exo_cache.Store}) that
+    invalidates persisted kernel/tuner artifacts when a kit changes. Stable
+    across processes (keyed on printed names, not symbol ids). *)
+val digest : t -> string

@@ -341,8 +341,11 @@ let tiers_json (o : tiers_outcome) : string =
       (json_str k.tk_kit) k.tk_proved k.tk_total (k.tk_total - k.tk_proved)
       k.tk_disagreements
   in
-  Fmt.str "{\n  \"kits\": [\n%s\n  ],\n  \"entries\": [\n%s\n  ],\n  \
+  (* the same meta block every BENCH_*.json carries, from the one shared
+     writer — downstream tooling keys on its schema_version *)
+  Fmt.str "{\n  %s,\n  \"kits\": [\n%s\n  ],\n  \"entries\": [\n%s\n  ],\n  \
            \"all_proved\": %b\n}\n"
+    (Exo_obs.Obs.Meta.json ~pool_jobs:(Exo_par.Pool.default_jobs ()) ())
     (String.concat ",\n" (List.map kitline o.tier_kits))
     (String.concat ",\n" (List.map entry o.tier_entries))
     (tiers_ok o)

@@ -103,5 +103,7 @@ val pp_tier_entry : Format.formatter -> tier_entry -> unit
     greps: ["KIT: proved P/T, unproved_entries U, probe_disagreements D"]. *)
 val pp_tiers : Format.formatter -> tiers_outcome -> unit
 
-(** The per-entry verdict document ([ukrgen lint --tiers --json]). *)
+(** The per-entry verdict document ([ukrgen lint --tiers --json]), carrying
+    the same ["meta"] block (schema version, git commit, host cores) as the
+    BENCH_*.json files, from the shared {!Exo_obs.Obs.Meta} writer. *)
 val tiers_json : tiers_outcome -> string

@@ -248,8 +248,22 @@ let test_table_dispatch_is_array_indexing () =
         (R.table_entry t ~mr:mr' ~nr:nr' == by_index)
     done
   done;
-  Alcotest.(check bool) "table memoized per domain" true
+  Alcotest.(check bool) "table memoized process-wide" true
     (R.exo_table ~mr:8 ~nr:12 () == t);
+  (* one immutable table for the whole process: every domain of every pool
+     width resolves the same physical table (no per-domain rebuilds) *)
+  List.iter
+    (fun jobs ->
+      let pool = Exo_par.Pool.create ~jobs () in
+      List.iter
+        (fun t' ->
+          Alcotest.(check bool)
+            (Fmt.str "width %d: physically the shared table" jobs)
+            true (t' == t))
+        (Exo_par.Pool.map pool
+           (fun _ -> R.exo_table ~mr:8 ~nr:12 ())
+           [ 0; 1; 2; 3 ]))
+    [ 1; 2; 4 ];
   Alcotest.check_raises "shape outside the table"
     (Invalid_argument "Registry.table_entry: shape outside the table")
     (fun () ->

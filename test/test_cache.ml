@@ -1,0 +1,334 @@
+(* The content-addressed persistent store: Exo_cache.Store and its
+   consumers (Registry table hydration, Family.generate_cached, the tuner
+   ranking).
+
+   The load-bearing contracts pinned here:
+
+   1. Robustness — a zero-length, truncated or bit-flipped entry reads as
+      a miss (counted corrupt, unlinked) and is recomputed, never a crash
+      or a wrong value; a store full of corrupted kernel artifacts still
+      rebuilds a complete, certified table.
+
+   2. First-writer-wins — concurrent writers (domains of pool widths
+      1/2/4, and a second process) converge on one published value; a
+      late [put] against an existing entry reports [false].
+
+   3. Invalidation by keying — the kit digest is stable across calls and
+      moves whenever the kit (schedule steps, instruction procs) moves,
+      so stale artifacts are never served, just stranded.
+
+   4. Hydration fidelity — a table rebuilt from disk is bit-identical to
+      the freshly compiled one: same fast/proved flags on every kit, and
+      the same C tile from every executor (qcheck, all 6 kits). *)
+
+module Store = Exo_cache.Store
+module R = Exo_blis.Registry
+module F = Exo_ukr_gen.Family
+module K = Exo_ukr_gen.Kits
+
+let temp_dir () =
+  let f = Filename.temp_file "exo-cache-test" "" in
+  Sys.remove f;
+  f
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let with_temp_store f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f (Store.of_dir dir))
+
+(* ambient-store scope for the consumer-facing tests; always restored so
+   later cases (and the default no-cache behaviour) are unaffected *)
+let with_ambient f =
+  let dir = temp_dir () in
+  Store.set_ambient (Some dir);
+  Fun.protect
+    ~finally:(fun () ->
+      Store.set_ambient None;
+      rm_rf dir)
+    (fun () -> f dir)
+
+(* --- the store itself ---------------------------------------------------- *)
+
+let test_roundtrip () =
+  with_temp_store @@ fun st ->
+  Store.reset_counts ();
+  let key = Store.key [ "abi-v1"; "roundtrip" ] in
+  Alcotest.(check (option (list int)))
+    "missing entry" None
+    (Store.get st ~kind:"t" ~key);
+  Alcotest.(check bool) "first put wins" true (Store.put st ~kind:"t" ~key [ 1; 2; 3 ]);
+  Alcotest.(check (option (list int)))
+    "roundtrip" (Some [ 1; 2; 3 ])
+    (Store.get st ~kind:"t" ~key);
+  Alcotest.(check bool)
+    "late put loses" false
+    (Store.put st ~kind:"t" ~key [ 9 ]);
+  Alcotest.(check (option (list int)))
+    "first writer's value survives" (Some [ 1; 2; 3 ])
+    (Store.get st ~kind:"t" ~key);
+  let hits, misses = Store.hit_miss_counts () in
+  let writes, corrupt = Store.write_counts () in
+  Alcotest.(check int) "hits" 2 hits;
+  Alcotest.(check int) "misses" 1 misses;
+  Alcotest.(check int) "writes" 1 writes;
+  Alcotest.(check int) "corrupt" 0 corrupt;
+  Alcotest.(check int) "one entry of the kind" 1 (Store.entry_count st ~kind:"t")
+
+let corrupt_file path mode =
+  match mode with
+  | `Zero ->
+      let oc = open_out path in
+      close_out oc
+  | `Truncate ->
+      let n = (Unix.stat path).Unix.st_size in
+      Unix.truncate path (max 1 (n / 2))
+  | `Flip ->
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let b = Bytes.create n in
+      really_input ic b 0 n;
+      close_in ic;
+      let i = n - 1 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+      let oc = open_out_bin path in
+      output_bytes oc b;
+      close_out oc
+
+let test_corruption_reads_as_miss () =
+  with_temp_store @@ fun st ->
+  List.iter
+    (fun (name, mode) ->
+      Store.reset_counts ();
+      let key = Store.key [ "abi-v1"; "corrupt"; name ] in
+      Alcotest.(check bool)
+        (name ^ ": put") true
+        (Store.put st ~kind:"c" ~key (name, [| 1.5; 2.5 |]));
+      corrupt_file (Store.path st ~kind:"c" ~key) mode;
+      Alcotest.(check (option (pair string (array (float 0.0)))))
+        (name ^ ": corrupt entry reads as a miss")
+        None
+        (Store.get st ~kind:"c" ~key);
+      Alcotest.(check bool)
+        (name ^ ": bad entry dropped from disk")
+        false
+        (Sys.file_exists (Store.path st ~kind:"c" ~key));
+      let _, corrupt = Store.write_counts () in
+      Alcotest.(check int) (name ^ ": counted corrupt") 1 corrupt;
+      (* the recompute path republishes cleanly *)
+      Alcotest.(check (pair string (array (float 0.0))))
+        (name ^ ": find_or_add recomputes")
+        (name, [| 1.5; 2.5 |])
+        (Store.find_or_add st ~kind:"c" ~key (fun () -> (name, [| 1.5; 2.5 |])));
+      Alcotest.(check (option (pair string (array (float 0.0)))))
+        (name ^ ": republished")
+        (Some (name, [| 1.5; 2.5 |]))
+        (Store.get st ~kind:"c" ~key))
+    [ ("zero-length", `Zero); ("truncated", `Truncate); ("bit-flipped", `Flip) ]
+
+let test_concurrent_domains_first_writer_wins () =
+  with_temp_store @@ fun st ->
+  List.iter
+    (fun jobs ->
+      let key = Store.key [ "abi-v1"; "race"; string_of_int jobs ] in
+      let pool = Exo_par.Pool.create ~jobs () in
+      (* every worker proposes its own value; all must come back with the
+         single published one *)
+      let got =
+        Exo_par.Pool.map pool
+          (fun i -> Store.find_or_add st ~kind:"r" ~key (fun () -> i))
+          [ 10; 20; 30; 40; 50; 60; 70; 80 ]
+      in
+      let winner = Option.get (Store.get st ~kind:"r" ~key) in
+      Alcotest.(check bool)
+        (Fmt.str "width %d: winner is one of the proposals" jobs)
+        true
+        (List.mem winner [ 10; 20; 30; 40; 50; 60; 70; 80 ]);
+      List.iter
+        (fun v ->
+          Alcotest.(check int)
+            (Fmt.str "width %d: every domain converged" jobs)
+            winner v)
+        got)
+    [ 1; 2; 4 ]
+
+let test_two_processes_first_writer_wins () =
+  with_temp_store @@ fun st ->
+  let key = Store.key [ "abi-v1"; "process-race" ] in
+  (match Unix.fork () with
+  | 0 ->
+      (* the child is the first writer *)
+      ignore (Store.put st ~kind:"p" ~key "child");
+      Unix._exit 0
+  | pid -> ignore (Unix.waitpid [] pid));
+  Alcotest.(check bool)
+    "second process's put loses" false
+    (Store.put st ~kind:"p" ~key "parent");
+  Alcotest.(check (option string))
+    "both processes see the first writer's value" (Some "child")
+    (Store.get st ~kind:"p" ~key)
+
+let test_kit_digest_stable_and_sensitive () =
+  let d1 = K.digest K.neon_f32 and d2 = K.digest K.neon_f32 in
+  Alcotest.(check string) "digest is stable" d1 d2;
+  List.iter
+    (fun kit ->
+      if kit.K.name <> K.neon_f32.K.name then
+        Alcotest.(check bool)
+          (Fmt.str "digest separates %s from neon-f32" kit.K.name)
+          false
+          (K.digest kit = d1))
+    K.all;
+  (* the invalidation mechanism: a kit whose declared schedule moved keys
+     different artifact paths, so stale entries are stranded, not served *)
+  let moved = { K.neon_f32 with K.sched_steps = K.neon_f32.K.sched_steps + 1 } in
+  Alcotest.(check bool) "digest moves with the schedule" false (K.digest moved = d1);
+  let entry_key kit =
+    Store.key
+      [ "regtable-v1"; Sys.ocaml_version; kit.K.name; K.digest kit;
+        string_of_int kit.K.sched_steps; "8"; "12"; "simple" ]
+  in
+  Alcotest.(check bool)
+    "table-artifact keys move with the digest" false
+    (entry_key moved = entry_key K.neon_f32)
+
+(* --- the consumers ------------------------------------------------------- *)
+
+let test_family_generate_cached_hydrates () =
+  with_ambient @@ fun _dir ->
+  let st = Option.get (Store.ambient ()) in
+  let k1 = F.generate_cached ~mr:6 ~nr:10 () in
+  Alcotest.(check int) "one family artifact" 1 (Store.entry_count st ~kind:"family");
+  Store.reset_counts ();
+  let k2 = F.generate_cached ~mr:6 ~nr:10 () in
+  let hits, misses = Store.hit_miss_counts () in
+  Alcotest.(check int) "hydration hit" 1 hits;
+  Alcotest.(check int) "no miss" 0 misses;
+  Alcotest.(check bool) "same style" true (k1.F.style = k2.F.style);
+  Alcotest.(check string) "identical printed kernel"
+    (Exo_ir.Pp.proc_to_string k1.F.proc)
+    (Exo_ir.Pp.proc_to_string k2.F.proc);
+  (* the unmarshaled proc's symbol ids must not poison later generation:
+     a fresh kernel after hydration still certifies *)
+  let fresh = F.generate ~mr:5 ~nr:7 () in
+  let r = Exo_check.Bounds.check_proc fresh.F.proc in
+  Alcotest.(check bool) "fresh kernel after hydration certifies" true
+    (r.Exo_check.Bounds.violations = [] && r.Exo_check.Bounds.unknowns = [])
+
+let test_corrupted_kernel_artifacts_rebuild () =
+  with_ambient @@ fun dir ->
+  let t1 = R.exo_table ~mr:8 ~nr:12 () in
+  (* wreck every kernel artifact on disk, then force a rebuild: the store
+     must shrug (recompute + republish), not crash or serve garbage *)
+  let kernel_dir = Filename.concat dir "kernel" in
+  let rec wreck path =
+    if Sys.is_directory path then
+      Array.iter (fun f -> wreck (Filename.concat path f)) (Sys.readdir path)
+    else corrupt_file path `Truncate
+  in
+  wreck kernel_dir;
+  R.clear_memos_for_bench ();
+  Store.reset_counts ();
+  let t2 = R.exo_table ~mr:8 ~nr:12 () in
+  let _, corrupt = Store.write_counts () in
+  Alcotest.(check bool) "corruption detected" true (corrupt > 0);
+  Alcotest.(check bool) "rebuilt table complete" true (R.table_complete t2);
+  Alcotest.(check bool) "rebuilt table certified" true
+    (Array.for_all Fun.id t2.R.t_proved);
+  Alcotest.(check (array bool)) "same flags as the pristine build"
+    t1.R.t_fast t2.R.t_fast
+
+(* --- hydration fidelity (qcheck, all kits) ------------------------------- *)
+
+let exec (u : Exo_interp.Compile.ukr_ba) ~mr ~nr ~kc ~seed =
+  let st = Random.State.make [| mr; nr; kc; seed |] in
+  let mk n =
+    let b = Bigarray.Array1.create Bigarray.float32 Bigarray.c_layout n in
+    for i = 0 to n - 1 do
+      Bigarray.Array1.set b i (float_of_int (Random.State.int st 7 - 3))
+    done;
+    b
+  in
+  let ac = mk (kc * mr) and bc = mk (kc * nr) in
+  let c = mk (mr * nr) in
+  u ~kc ~ac ~ao:0 ~bc ~bo:0 ~c ~co:0;
+  Array.init (mr * nr) (Bigarray.Array1.get c)
+
+let test_hydrated_tables_bit_identical () =
+  with_ambient @@ fun _dir ->
+  (* cold-build every kit's table (publishing artifacts), wipe the
+     in-memory memos, rebuild from disk, and compare *)
+  let cold = List.map (fun kit -> (kit, R.exo_table ~kit ~mr:8 ~nr:12 ())) K.all in
+  R.clear_memos_for_bench ();
+  Store.reset_counts ();
+  let warm = List.map (fun kit -> (kit, R.exo_table ~kit ~mr:8 ~nr:12 ())) K.all in
+  let hits, _ = Store.hit_miss_counts () in
+  Alcotest.(check bool) "rebuild hydrated from disk" true (hits > 0);
+  List.iter2
+    (fun (kit, (tc : R.table)) (_, (tw : R.table)) ->
+      Alcotest.(check (array bool))
+        (kit.K.name ^ ": fast flags survive hydration")
+        tc.R.t_fast tw.R.t_fast;
+      Alcotest.(check (array bool))
+        (kit.K.name ^ ": proved flags survive hydration")
+        tc.R.t_proved tw.R.t_proved)
+    cold warm;
+  (* executable fidelity on the f32 kits: every hydrated executor computes
+     the same C tile as the one compiled from scratch *)
+  let f32 =
+    List.filter_map
+      (fun ((kit, tc), (_, tw)) ->
+        if kit.K.dt = Exo_ir.Dtype.F32 then Some (tc, tw) else None)
+      (List.combine cold warm)
+  in
+  let q =
+    QCheck2.Test.make ~count:60
+      ~name:"hydrated executor = fresh executor on random tiles"
+      QCheck2.Gen.(
+        pair
+          (pair (int_bound 20) (int_range 1 8))
+          (pair (int_range 1 12) (pair (int_range 1 24) (int_bound 1000))))
+      (fun ((ki, mr'), (nr', (kc, seed))) ->
+        let tc, tw = List.nth f32 (ki mod List.length f32) in
+        exec (R.table_entry tc ~mr:mr' ~nr:nr') ~mr:mr' ~nr:nr' ~kc ~seed
+        = exec (R.table_entry tw ~mr:mr' ~nr:nr') ~mr:mr' ~nr:nr' ~kc ~seed)
+  in
+  QCheck2.Test.check_exn q
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "roundtrip, counters, first-writer-wins" `Quick
+            test_roundtrip;
+          Alcotest.test_case "corrupt entries read as misses and recompute"
+            `Quick test_corruption_reads_as_miss;
+          (* before any test that spawns a domain: OCaml 5 forbids fork
+             once other domains have run *)
+          Alcotest.test_case "two processes converge" `Quick
+            test_two_processes_first_writer_wins;
+          Alcotest.test_case "concurrent domains converge (widths 1/2/4)"
+            `Quick test_concurrent_domains_first_writer_wins;
+        ] );
+      ( "keying",
+        [
+          Alcotest.test_case "kit digest stable and schedule-sensitive" `Quick
+            test_kit_digest_stable_and_sensitive;
+        ] );
+      ( "consumers",
+        [
+          Alcotest.test_case "Family.generate_cached hydrates" `Quick
+            test_family_generate_cached_hydrates;
+          Alcotest.test_case "corrupted kernel artifacts rebuild cleanly"
+            `Quick test_corrupted_kernel_artifacts_rebuild;
+          Alcotest.test_case "hydrated tables bit-identical (all kits)" `Slow
+            test_hydrated_tables_bit_identical;
+        ] );
+    ]

@@ -1,0 +1,153 @@
+(* The ukrgen-serve daemon: line protocol, request counters, and a full
+   socket round trip with graceful shutdown.
+
+   handle_request is exercised directly for the protocol contract (it
+   never raises — malformed input becomes an ERR response and an error
+   count, not a dead worker), then a real daemon is started on a temp
+   socket and driven through the Client to pin the wire format, the warm
+   second-request cache hit, and SHUTDOWN draining. *)
+
+module Serve = Exo_serve.Serve
+module Store = Exo_cache.Store
+
+let req line = Serve.handle_request (Atomic.make false) line
+
+let status line =
+  match req line with [] -> Alcotest.fail "empty response" | s :: _ -> s
+
+let test_ping () =
+  Alcotest.(check (list string)) "pong" [ "OK pong" ] (req "PING");
+  Alcotest.(check (list string)) "case-insensitive verb" [ "OK pong" ] (req "ping")
+
+let test_protocol_errors () =
+  List.iter
+    (fun line ->
+      Alcotest.(check bool)
+        (Fmt.str "%S answers ERR" line)
+        true
+        (String.length (status line) >= 3
+        && String.sub (status line) 0 3 = "ERR"))
+    [
+      "";
+      "   ";
+      "BOGUS";
+      "GENERATE";
+      "GENERATE neon-f32";
+      "GENERATE no-such-kit 8x12";
+      "GENERATE neon-f32 8by12";
+      "GENERATE neon-f32 0x12";
+      "TUNE 1 2";
+      "TUNE a b c";
+      "RUN 99999 4 4";
+    ]
+
+let test_generate () =
+  match req "GENERATE neon-f32 8x12" with
+  | s :: payload ->
+      Alcotest.(check string) "status" "OK generated neon-f32 8x12" s;
+      List.iter
+        (fun want ->
+          Alcotest.(check bool) (want ^ " reported") true (List.mem want payload))
+        [ "kit neon-f32"; "shape 8x12"; "style packed"; "fast true"; "proved true" ]
+  | [] -> Alcotest.fail "empty response"
+
+let test_lint_and_tune () =
+  (match req "LINT neon-f32 4x4" with
+  | s :: payload ->
+      Alcotest.(check string) "lint status" "OK lint neon-f32 4x4" s;
+      Alcotest.(check bool) "proved" true (List.mem "proved true" payload)
+  | [] -> Alcotest.fail "empty response");
+  match req "TUNE 96 96 96" with
+  | s :: payload ->
+      Alcotest.(check bool) "tune status" true
+        (String.length s >= 8 && String.sub s 0 8 = "OK tuned");
+      Alcotest.(check bool) "a ranking line per shape" true (List.length payload > 0)
+  | [] -> Alcotest.fail "empty response"
+
+let test_shutdown_sets_stop () =
+  let stop = Atomic.make false in
+  Alcotest.(check (list string))
+    "bye" [ "OK bye" ]
+    (Serve.handle_request stop "SHUTDOWN");
+  Alcotest.(check bool) "stop flag raised" true (Atomic.get stop)
+
+let test_request_counters () =
+  Serve.reset_request_counts ();
+  ignore (req "PING");
+  ignore (req "PING");
+  ignore (req "NOPE");
+  let total, errors, verbs = Serve.request_counts () in
+  Alcotest.(check int) "total" 3 total;
+  Alcotest.(check int) "errors" 1 errors;
+  Alcotest.(check (option int)) "ping count" (Some 2) (List.assoc_opt "PING" verbs)
+
+(* --- the socket ---------------------------------------------------------- *)
+
+let temp_dir () =
+  let f = Filename.temp_file "exo-serve-test" "" in
+  Sys.remove f;
+  f
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let test_socket_round_trip () =
+  let dir = temp_dir () in
+  Store.set_ambient (Some dir);
+  Fun.protect
+    ~finally:(fun () ->
+      Store.set_ambient None;
+      rm_rf dir)
+  @@ fun () ->
+  let socket = Filename.temp_file "exo-serve-test" ".sock" in
+  let t = Serve.start ~workers:2 ~socket () in
+  Fun.protect ~finally:(fun () ->
+      Serve.stop t;
+      Serve.wait t)
+  @@ fun () ->
+  let s, _ = Serve.Client.request ~socket "PING" in
+  Alcotest.(check string) "ping over the wire" "OK pong" s;
+  (* identical requests: the first warms the in-memory memo (the daemon
+     start already built the table, so the ambient store reports hits) *)
+  let s1, p1 = Serve.Client.request ~socket "GENERATE neon-f32 8x12" in
+  let s2, p2 = Serve.Client.request ~socket "GENERATE neon-f32 8x12" in
+  Alcotest.(check string) "generate ok" "OK generated neon-f32 8x12" s1;
+  Alcotest.(check string) "repeat identical status" s1 s2;
+  Alcotest.(check (list string)) "repeat identical payload" p1 p2;
+  (* a concurrent pair of clients (the daemon has two accept workers) *)
+  let d1 = Domain.spawn (fun () -> Serve.Client.request ~socket "STATS") in
+  let d2 = Domain.spawn (fun () -> Serve.Client.request ~socket "PING") in
+  let st1, _ = Domain.join d1 and st2, _ = Domain.join d2 in
+  Alcotest.(check bool) "concurrent stats ok" true (Serve.Client.ok st1);
+  Alcotest.(check string) "concurrent ping ok" "OK pong" st2;
+  (* graceful shutdown over the wire: the daemon answers, then drains *)
+  let s, _ = Serve.Client.request ~socket "SHUTDOWN" in
+  Alcotest.(check string) "shutdown acknowledged" "OK bye" s;
+  Serve.wait t;
+  Alcotest.(check bool) "socket unlinked after drain" false (Sys.file_exists socket)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "ping" `Quick test_ping;
+          Alcotest.test_case "malformed requests answer ERR" `Quick
+            test_protocol_errors;
+          Alcotest.test_case "generate payload" `Quick test_generate;
+          Alcotest.test_case "lint and tune payloads" `Quick test_lint_and_tune;
+          Alcotest.test_case "shutdown raises the stop flag" `Quick
+            test_shutdown_sets_stop;
+          Alcotest.test_case "request counters" `Quick test_request_counters;
+        ] );
+      ( "socket",
+        [
+          Alcotest.test_case "round trip, concurrency, graceful drain" `Quick
+            test_socket_round_trip;
+        ] );
+    ]
