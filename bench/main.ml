@@ -18,6 +18,9 @@
                                               # (writes BENCH_serve.json)
      dune exec bench/main.exe -- -j 4 all     # pool width for parallel sweeps
      dune exec bench/main.exe -- -profile lint # obs tracing + profile report
+     dune exec bench/main.exe -- -ledger runs.jsonl perf-gemm
+                                              # append a run-ledger record
+                                              # (or set $UKRGEN_LEDGER)
 
    Experiments: fig12 fig13 fig14 tab1 tab2 fig15 fig16 fig17 fig18
    ablation bechamel perf perf-sim[-smoke] perf-gemm[-smoke]
@@ -162,6 +165,28 @@ let meta_json () =
     ~pool_jobs:(Exo_par.Pool.default_jobs ()) ()
 
 (* ------------------------------------------------------------------ *)
+(* The run ledger: when a path is configured ([-ledger FILE] or          *)
+(* $UKRGEN_LEDGER), every perf subcommand appends one schema-versioned   *)
+(* JSONL record — keyed by the same provenance fields as meta_json —     *)
+(* that [ukrgen report] later renders and gates against the host's       *)
+(* baseline window.                                                     *)
+
+module Ledger = Exo_ledger.Ledger
+
+let ledger_path : string option ref = ref None
+
+let ledger_append ~bench metrics =
+  match !ledger_path with
+  | None -> ()
+  | Some path ->
+      let r =
+        Ledger.record ~flambda:Config.flambda
+          ~pool_jobs:(Exo_par.Pool.default_jobs ()) ~bench metrics
+      in
+      Ledger.append ~path r;
+      Fmt.pr "ledger: appended %S record to %s@." bench path
+
+(* ------------------------------------------------------------------ *)
 (* perf: the compiled execution engine vs the tree-walking interpreter  *)
 (* on the paper's base kernel, plus a tuner-sweep timing. Writes the    *)
 (* measurements to BENCH_interp.json.                                   *)
@@ -235,6 +260,16 @@ let run_perf () =
     (meta_json ()) mr nr kc (t_interp *. 1e6) (t_compiled *. 1e6) speedup
     (t_sweep *. 1e6);
   close_out oc;
+  ledger_append ~bench:"perf"
+    [
+      Ledger.metric ~unit_:"us" Ledger.Lower "interp.compiled_us_per_call"
+        (t_compiled *. 1e6);
+      Ledger.metric ~unit_:"us" Ledger.Info "interp.interpreted_us_per_call"
+        (t_interp *. 1e6);
+      Ledger.metric ~unit_:"x" Ledger.Higher "interp.speedup" speedup;
+      Ledger.metric ~unit_:"us" Ledger.Lower "tuner.sweep_cold_us"
+        (t_sweep *. 1e6);
+    ];
   Fmt.pr "wrote BENCH_interp.json@.@."
 
 (* ------------------------------------------------------------------ *)
@@ -285,17 +320,16 @@ let run_perf_sim ?(smoke = false) () =
   (* the element oracle at paper scale runs for seconds per trace, so
      adaptive accumulation is replaced by explicit best-of-k trials *)
   let best_of k f =
-    let best = ref infinity in
+    let samples = ref [] in
     for _ = 1 to k do
       let t0 = Sys.time () in
       ignore (f ());
-      let dt = Sys.time () -. t0 in
-      if dt < !best then best := dt
+      samples := (Sys.time () -. t0) :: !samples
     done;
-    !best
+    (List.fold_left Float.min infinity !samples, List.rev !samples)
   in
-  let t_fast = best_of 3 trace in
-  let t_slow = best_of 2 trace_element in
+  let t_fast, fast_samples = best_of 3 trace in
+  let t_slow, _ = best_of 2 trace_element in
   let refs = float_of_int fast.CS.refs in
   let sim_speedup = t_slow /. t_fast in
   Fmt.pr "element oracle  : %10.1f ms/trace  (%8.1f Mrefs/s)@." (t_slow *. 1e3)
@@ -356,6 +390,20 @@ let run_perf_sim ?(smoke = false) () =
     (t_lint1 /. t_lintn) (t_sweep1 *. 1e3) (t_sweepn *. 1e3)
     (t_sweep1 /. t_sweepn);
   close_out oc;
+  (* smoke runs trace a toy hierarchy at 144³ — a different scale entirely —
+     so they ledger under their own bench name and never mix baselines with
+     full runs *)
+  ledger_append ~bench:(if smoke then "perf-sim-smoke" else "perf-sim")
+    [
+      Ledger.metric_of_samples ~unit_:"Mrefs/s" Ledger.Higher
+        "sim.compressed_mrefs_per_sec"
+        (List.map (fun t -> refs /. t /. 1e6) fast_samples);
+      Ledger.metric ~unit_:"Mrefs/s" Ledger.Info "sim.element_mrefs_per_sec"
+        (refs /. t_slow /. 1e6);
+      Ledger.metric ~unit_:"x" Ledger.Higher "sim.compressed_speedup" sim_speedup;
+      Ledger.metric ~unit_:"ms" Ledger.Lower "lint.ms_njobs" (t_lintn *. 1e3);
+      Ledger.metric ~unit_:"ms" Ledger.Lower "tuner.ms_njobs" (t_sweepn *. 1e3);
+    ];
   Fmt.pr "wrote BENCH_sim.json@.@."
 
 (* ------------------------------------------------------------------ *)
@@ -494,6 +542,9 @@ let run_perf_gemm ?(smoke = false) () =
     fallback_calls;
   if fallback_calls > 0 then
     failwith "perf-gemm: closure-engine fallbacks fired on the full GEMM run";
+  (* two more serial timings: the run ledger's robust statistics
+     (median / MAD noise bound) want k >= 3 samples per run *)
+  let serial_samples = t_serial :: List.init 2 (fun _ -> snd (run_width 1)) in
   (* re-zero between phases: the width sweep and batch sections below get
      their own fallbacks-zero gate instead of inheriting these counts *)
   R.reset_dispatch_counts ();
@@ -668,6 +719,67 @@ let run_perf_gemm ?(smoke = false) () =
   if phase2_fallback > 0 then
     failwith
       "perf-gemm: closure-engine fallbacks fired in the sweep/batch phases";
+  (* 5. measured-vs-model attribution for the run ledger: the analytical
+     kernel model's predicted solo GFLOPS and machine peak, the cache
+     simulator's DRAM-traffic prediction under this blocking, and a traced
+     serial run's per-phase span breakdown *)
+  let module KM = Exo_sim.Kernel_model in
+  let module CS = Exo_sim.Cache_sim in
+  let module Obs = Exo_obs.Obs in
+  let impl = R.exo_impl ~mr ~nr () in
+  let model_gflops =
+    KM.solo_gflops machine impl ~mu:mr ~nu:nr
+      ~kc:blocking.Exo_blis.Analytical.kc
+  in
+  let model_peak = KM.peak machine impl in
+  let sim_stats =
+    CS.gemm_trace machine ~mc:blocking.Exo_blis.Analytical.mc
+      ~kc:blocking.Exo_blis.Analytical.kc ~nc:blocking.Exo_blis.Analytical.nc
+      ~mr ~nr ~m:dim ~n:dim ~k:dim
+  in
+  let sim_dram_mb =
+    float_of_int (CS.dram_traffic_bytes machine sim_stats) /. 1e6
+  in
+  let phases =
+    (* one traced serial run; this clobbers any ambient -profile trace,
+       which is acceptable — CI never combines -profile with perf-gemm *)
+    let was_enabled = Obs.enabled () in
+    Obs.reset ();
+    Obs.enable ();
+    ignore (run_width 1);
+    if not was_enabled then Obs.disable ();
+    let totals = Obs.Export.span_totals (Obs.drain ()) in
+    let tot name =
+      match List.assoc_opt name totals with Some (_, t, _) -> t | None -> 0.0
+    in
+    let self name =
+      match List.assoc_opt name totals with Some (_, _, s) -> s | None -> 0.0
+    in
+    let pack_a = tot "gemm.pack_a" and pack_b = tot "gemm.pack_b" in
+    let other =
+      Float.max 0.0
+        (tot "gemm.blis_ba" -. pack_a -. pack_b -. tot "gemm.macro_kernel")
+    in
+    [
+      ("pack_a", pack_a);
+      ("pack_b", pack_b);
+      ("macro", self "gemm.macro_kernel");
+      ("ukr", tot "gemm.ukr");
+      ("other", other);
+    ]
+  in
+  let best_gflops =
+    List.fold_left (fun acc t -> Float.max acc (gflops_of t)) 0.0 serial_samples
+  in
+  Fmt.pr
+    "attribution: measured %.3f GFLOPS | model %.2f GFLOPS (eff %.4f) | peak \
+     %.2f GFLOPS | sim DRAM %.1f MB@."
+    best_gflops model_gflops
+    (best_gflops /. model_gflops)
+    model_peak sim_dram_mb;
+  Fmt.pr "phase breakdown (traced serial run): %s@."
+    (String.concat ", "
+       (List.map (fun (n, s) -> Printf.sprintf "%s %.3fs" n s) phases));
   (* the width sweeps go up to 4 domains whatever the host has: flag runs
      where width 4 was oversubscribed, whose seconds_by_width timings
      measure scheduling pressure rather than parallel speedup *)
@@ -756,6 +868,28 @@ let run_perf_gemm ?(smoke = false) () =
           batch_rows))
     t_batch batch_gflops;
   close_out oc;
+  ledger_append ~bench:(if smoke then "perf-gemm-smoke" else "perf-gemm")
+    ([
+       Ledger.metric_of_samples ~unit_:"GFLOPS" Ledger.Higher "gemm.gflops_1job"
+         (List.map gflops_of serial_samples);
+       Ledger.metric ~unit_:"us" Ledger.Lower "ukr.bigarray_us_per_call"
+         (t_ba *. 1e6);
+       Ledger.metric ~unit_:"us" Ledger.Info "ukr.specialized_us_per_call"
+         (t_fast *. 1e6);
+       Ledger.metric ~unit_:"GFLOPS" Ledger.Info "batch.gflops" batch_gflops;
+       Ledger.metric Ledger.Info "attr.dim" (float_of_int dim);
+       Ledger.metric ~unit_:"GFLOPS" Ledger.Info "attr.measured_gflops"
+         best_gflops;
+       Ledger.metric ~unit_:"GFLOPS" Ledger.Info "attr.model_gflops"
+         model_gflops;
+       Ledger.metric ~unit_:"GFLOPS" Ledger.Info "attr.model_peak_gflops"
+         model_peak;
+       Ledger.metric ~unit_:"MB" Ledger.Info "attr.sim_dram_mb" sim_dram_mb;
+     ]
+    @ List.map
+        (fun (n, s) ->
+          Ledger.metric ~unit_:"s" Ledger.Info ("attr.phase." ^ n) s)
+        phases);
   Fmt.pr "wrote BENCH_gemm.json@.@."
 
 (* ------------------------------------------------------------------ *)
@@ -913,8 +1047,10 @@ let run_perf_serve ?(smoke = false) () =
   ignore (round_trip "PING");
   let warm_requests = if smoke then 10 else 50 in
   let warm_total = ref 0.0 and warm_min = ref infinity in
+  let warm_samples = ref [] in
   for _ = 1 to warm_requests do
     let dt = round_trip gen_req in
+    warm_samples := dt :: !warm_samples;
     warm_total := !warm_total +. dt;
     if dt < !warm_min then warm_min := dt
   done;
@@ -1045,6 +1181,16 @@ let run_perf_serve ?(smoke = false) () =
     burst_clients burst_each burst_ok span_observed req_total req_errors
     cold_mode t_cold_oneshot warm_vs_cold;
   close_out oc;
+  ledger_append ~bench:(if smoke then "perf-serve-smoke" else "perf-serve")
+    [
+      Ledger.metric_of_samples ~unit_:"us" Ledger.Lower "serve.warm_rt_us"
+        (List.map (fun t -> t *. 1e6) !warm_samples);
+      Ledger.metric ~unit_:"x" Ledger.Higher "serve.warm_vs_cold_speedup"
+        warm_vs_cold;
+      Ledger.metric ~unit_:"s" Ledger.Info "cache.hydrated_build_seconds"
+        t_warm_build;
+      Ledger.metric ~unit_:"x" Ledger.Info "cache.build_speedup" build_speedup;
+    ];
   Fmt.pr "wrote BENCH_serve.json@.@."
 
 (* ------------------------------------------------------------------ *)
@@ -1068,9 +1214,11 @@ let () =
   (* global flags: [-j N] fixes the domain-pool width for every parallel
      sweep in this run (default: EXO_JOBS or the core count); [-profile]
      records obs spans/counters during the run and prints the profile
-     report at the end *)
+     report at the end; [-ledger FILE] appends one run-ledger record per
+     perf subcommand (default: $UKRGEN_LEDGER, else no ledger) *)
   let args = Array.to_list Sys.argv |> List.tl in
   let profile = ref false in
+  ledger_path := Ledger.env_path ();
   let rec parse_flags acc = function
     | "-j" :: n :: rest ->
         (match int_of_string_opt n with
@@ -1081,6 +1229,9 @@ let () =
         parse_flags acc rest
     | "-profile" :: rest ->
         profile := true;
+        parse_flags acc rest
+    | "-ledger" :: path :: rest ->
+        ledger_path := Some path;
         parse_flags acc rest
     | a :: rest -> parse_flags (a :: acc) rest
     | [] -> List.rev acc

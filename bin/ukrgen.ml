@@ -12,7 +12,9 @@
      run        execute a DNN workload's GEMMs through the batched
                 arena-packed macro-kernel (optionally validated)
      serve      long-lived kernel-compilation daemon over a Unix socket
-     client     one line-protocol request against a running daemon *)
+     client     one line-protocol request against a running daemon
+     report     render the run ledger: trajectory, regression gate,
+                measured-vs-model attribution *)
 
 open Cmdliner
 module Family = Exo_ukr_gen.Family
@@ -22,6 +24,7 @@ module KM = Exo_sim.Kernel_model
 module D = Exo_blis.Driver
 module Obs = Exo_obs.Obs
 module Serve = Exo_serve.Serve
+module Ledger = Exo_ledger.Ledger
 
 let machine = Exo_isa.Machine.carmel
 
@@ -429,14 +432,21 @@ let tune_cmd =
   let m = Arg.(required & pos 0 (some int) None & info [] ~docv:"M") in
   let n = Arg.(required & pos 1 (some int) None & info [] ~docv:"N") in
   let k = Arg.(required & pos 2 (some int) None & info [] ~docv:"K") in
-  let run cache m n k jobs trace =
+  let ledger_arg =
+    Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE"
+           ~doc:"Append a run-ledger record of this sweep to $(docv) \
+                 (default $(b,UKRGEN_LEDGER); unset: no ledger).")
+  in
+  let run cache m n k jobs trace ledger =
     set_cache cache;
     try
       trace_begin trace;
       (* a traced sweep must actually sweep: drop the memoized ranking so
          the per-config spans are recorded, not skipped *)
       if trace <> None then Exo_blis.Tuner.clear_cache ();
+      let t0 = Unix.gettimeofday () in
       let results = Exo_blis.Tuner.sweep ?jobs machine ~m ~n ~k in
+      let t_sweep = Unix.gettimeofday () -. t0 in
       trace_end trace;
       Fmt.pr "kernel ranking for (m, n, k) = (%d, %d, %d) on %s:@." m n k
         machine.Exo_isa.Machine.name;
@@ -446,6 +456,22 @@ let tune_cmd =
             r.Exo_blis.Tuner.nr r.Exo_blis.Tuner.gflops Exo_blis.Analytical.pp
             r.Exo_blis.Tuner.blocking)
         results;
+      (match
+         ( (match ledger with Some p -> Some p | None -> Ledger.env_path ()),
+           results )
+       with
+      | Some path, (top : Exo_blis.Tuner.result) :: _ ->
+          Ledger.append ~path
+            (Ledger.record ~pool_jobs:(Exo_par.Pool.default_jobs ())
+               ~bench:(Fmt.str "tune %dx%dx%d" m n k)
+               [
+                 Ledger.metric ~unit_:"ms" Ledger.Lower "tune.sweep_ms"
+                   (t_sweep *. 1e3);
+                 Ledger.metric ~unit_:"GFLOPS" Ledger.Info "tune.top_gflops"
+                   top.Exo_blis.Tuner.gflops;
+               ]);
+          Fmt.pr "ledger: appended tune record to %s@." path
+      | _ -> ());
       `Ok ()
     with Invalid_argument msg ->
       Obs.disable ();
@@ -456,7 +482,103 @@ let tune_cmd =
        ~doc:
          "Rank every candidate kernel shape for one GEMM (the paper's \
           'evaluating a number of generated micro-kernels').")
-    Term.(ret (const run $ cache_dir $ m $ n $ k $ jobs $ trace_file))
+    Term.(ret (const run $ cache_dir $ m $ n $ k $ jobs $ trace_file $ ledger_arg))
+
+(* --- report -------------------------------------------------------------- *)
+
+(* [report --check] failures exit with their own code, distinct from lint
+   --tiers' 3, the generic CLI error (123) and usage errors (124): CI can
+   tell "the performance gate tripped" from every other failure. *)
+let report_fail_exit = 4
+
+let report_cmd =
+  let ledger_arg =
+    Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE"
+           ~doc:"Run-ledger JSONL to report on (default $(b,UKRGEN_LEDGER), \
+                 else $(i,ledger.jsonl)).")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ]
+           ~doc:"Exit $(b,4) when a gated metric regressed beyond its noise \
+                 bound against the baseline window, or the measured/model \
+                 efficiency fell below the gate.")
+  in
+  let baseline =
+    Arg.(value & opt int 5 & info [ "baseline" ] ~docv:"N"
+           ~doc:"Baseline window: compare each bench's latest run against up \
+                 to $(docv) prior runs from the same host fingerprint.")
+  in
+  let mad_k =
+    Arg.(value & opt float 4.0 & info [ "mad-k" ] ~docv:"K"
+           ~doc:"Noise bound: $(docv) times the baseline window's median \
+                 absolute deviation.")
+  in
+  let min_rel =
+    Arg.(value & opt float 0.10 & info [ "min-rel" ] ~docv:"R"
+           ~doc:"Noise-bound floor as a fraction of the baseline median \
+                 (default 10%; raise on jittery shared runners).")
+  in
+  let gate =
+    Arg.(value & opt float 0.02 & info [ "efficiency" ] ~docv:"E"
+           ~doc:"Attribution gate: flag the report when measured/model GFLOPS \
+                 efficiency falls below $(docv).")
+  in
+  let bench_filter =
+    Arg.(value & opt (some string) None & info [ "bench" ] ~docv:"NAME"
+           ~doc:"Restrict verdicts and attribution to one bench (e.g. \
+                 $(i,perf-gemm)).")
+  in
+  let json_file =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the machine-readable report document to $(docv).")
+  in
+  let run ledger check baseline mad_k min_rel gate bench json =
+    let path =
+      match ledger with
+      | Some p -> p
+      | None -> Option.value ~default:"ledger.jsonl" (Ledger.env_path ())
+    in
+    if not (Sys.file_exists path) then begin
+      (* a missing ledger is a tool failure (generic 123), never the
+         regression verdict (4): CI must not read "no data" as "perf
+         regressed". cmdliner's default term error would exit 124 and
+         collide with usage errors, so exit explicitly. *)
+      Fmt.epr
+        "ukrgen: no ledger at %s (append records with bench -ledger, ukrgen \
+         tune --ledger, or $UKRGEN_LEDGER)@."
+        path;
+      Stdlib.exit Cmd.Exit.some_error
+    end
+    else begin
+      let loaded = Ledger.load ~path in
+      let r =
+        Ledger.Report.build ~baseline ~mad_k ~min_rel ~gate ?bench ~path loaded
+      in
+      Fmt.pr "%s@?" (Ledger.Report.render r);
+      (match json with
+      | Some f -> write_out (Some f) (Ledger.Report.to_json r)
+      | None -> ());
+      if check && not (Ledger.Report.ok r) then Stdlib.exit report_fail_exit
+      else `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~exits:
+         (Cmd.Exit.info report_fail_exit
+            ~doc:"with $(b,--check): a gated metric regressed beyond its \
+                  noise bound, or measured/model efficiency fell below the \
+                  gate."
+         :: Cmd.Exit.defaults)
+       ~doc:"Render the append-only run ledger: per-bench trajectory, \
+             regression verdicts against the host's baseline window, and the \
+             measured-vs-model attribution table (measured GFLOPS next to \
+             the analytical model's prediction, the cache simulator's DRAM \
+             traffic, and the traced phase breakdown).")
+    Term.(
+      ret
+        (const run $ ledger_arg $ check $ baseline $ mad_k $ min_rel $ gate
+       $ bench_filter $ json_file))
 
 (* --- trace --------------------------------------------------------------- *)
 
@@ -719,10 +841,16 @@ let serve_cmd =
            ~doc:"Warm this kit's kernel table before accepting requests \
                  (repeatable; default neon-f32).")
   in
-  let run socket workers cache warm_kits =
+  let access_log =
+    Arg.(value & opt (some string) None & info [ "access-log" ] ~docv:"FILE"
+           ~doc:"Append one JSONL line per request (timestamp, verb, status, \
+                 latency) to $(docv), size-rotated at 1 MiB to $(docv).1.")
+  in
+  let run socket workers cache warm_kits access_log =
     if workers < 1 then `Error (true, "--workers must be >= 1")
     else begin
       set_cache cache;
+      Serve.set_access_log access_log;
       (* a client vanishing mid-response must not kill the daemon *)
       Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
       try
@@ -734,11 +862,14 @@ let serve_cmd =
         let graceful = Sys.Signal_handle (fun _ -> Serve.stop t) in
         Sys.set_signal Sys.sigint graceful;
         Sys.set_signal Sys.sigterm graceful;
-        Fmt.pr "ukrgen serve: listening on %s (%d worker domain(s), cache %s)@."
+        Fmt.pr
+          "ukrgen serve: listening on %s (%d worker domain(s), cache %s, \
+           access log %s)@."
           socket workers
           (match Exo_cache.Store.ambient () with
           | Some st -> Exo_cache.Store.root st
-          | None -> "off");
+          | None -> "off")
+          (Option.value ~default:"off" (Serve.access_log_path ()));
         Serve.wait t;
         Fmt.pr "ukrgen serve: drained, bye@.";
         `Ok ()
@@ -751,7 +882,61 @@ let serve_cmd =
        ~doc:"Run the kernel-compilation daemon: warm the monomorphized \
              kernel table once, then answer GENERATE / LINT / TUNE / RUN / \
              STATS requests over a Unix-domain socket until SHUTDOWN.")
-    Term.(ret (const run $ socket_arg $ workers $ cache_dir $ warm_kits))
+    Term.(
+      ret (const run $ socket_arg $ workers $ cache_dir $ warm_kits $ access_log))
+
+(* [client STATS] pretty-printing: the daemon's flat counter lines folded
+   into an aligned per-verb table (counts, errors, latency quantiles) plus
+   a cache summary. [--raw] keeps the wire lines for scripts and CI greps. *)
+let render_stats (payload : string list) =
+  let kv =
+    List.filter_map
+      (fun line ->
+        match String.index_opt line ' ' with
+        | Some i ->
+            Some
+              ( String.sub line 0 i,
+                String.sub line (i + 1) (String.length line - i - 1) )
+        | None -> None)
+      payload
+  in
+  let find k = List.assoc_opt k kv in
+  let get k = Option.value ~default:"0" (find k) in
+  (match (find "uptime_seconds", find "requests", find "errors") with
+  | Some up, Some total, Some errs ->
+      Fmt.pr "daemon up %s s | %s request(s), %s error(s)@." up total errs
+  | _ -> ());
+  let verbs =
+    List.filter_map
+      (fun (k, _) ->
+        if String.length k > 9 && String.sub k 0 9 = "requests_" then
+          Some (String.sub k 9 (String.length k - 9))
+        else None)
+      kv
+  in
+  if verbs <> [] then begin
+    Fmt.pr "@.%-10s %10s %8s %10s %10s %10s@." "verb" "count" "errors"
+      "p50(us)" "p95(us)" "p99(us)";
+    List.iter
+      (fun v ->
+        let p50, p95, p99 =
+          match find ("latency_" ^ v ^ "_us") with
+          | Some s -> (
+              match String.split_on_char ' ' s with
+              | [ "count"; _; "p50"; a; "p95"; b; "p99"; c ] -> (a, b, c)
+              | _ -> ("-", "-", "-"))
+          | None -> ("-", "-", "-")
+        in
+        Fmt.pr "%-10s %10s %8s %10s %10s %10s@." v
+          (get ("requests_" ^ v))
+          (get ("errors_" ^ v))
+          p50 p95 p99)
+      verbs
+  end;
+  Fmt.pr "@.cache: %s hit(s), %s miss(es), %s write(s), %s corrupt (dir %s)@."
+    (get "cache_hits") (get "cache_misses") (get "cache_writes")
+    (get "cache_corrupt")
+    (Option.value ~default:"-" (find "cache_dir"))
 
 let client_cmd =
   let words =
@@ -759,14 +944,26 @@ let client_cmd =
            ~doc:"Request words, e.g. $(b,GENERATE neon-f32 8x12) or \
                  $(b,STATS).")
   in
-  let run socket words =
+  let raw =
+    Arg.(value & flag & info [ "raw" ]
+           ~doc:"Print the daemon's response lines verbatim ($(b,STATS) is \
+                 otherwise rendered as a table).")
+  in
+  let run socket raw words =
     if words = [] then
       `Error (true, "missing request (e.g. ukrgen client PING)")
     else
+      let verb = String.uppercase_ascii (List.hd words) in
       match Serve.Client.request ~socket (String.concat " " words) with
       | status, payload ->
-          Fmt.pr "%s@." status;
-          List.iter (fun l -> Fmt.pr "%s@." l) payload;
+          if (not raw) && verb = "STATS" && Serve.Client.ok status then begin
+            Fmt.pr "%s@." status;
+            render_stats payload
+          end
+          else begin
+            Fmt.pr "%s@." status;
+            List.iter (fun l -> Fmt.pr "%s@." l) payload
+          end;
           if Serve.Client.ok status then `Ok ()
           else `Error (false, "the daemon reported an error")
       | exception Unix.Unix_error (e, _, _) ->
@@ -779,7 +976,7 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:"Send one line-protocol request to a running $(b,ukrgen serve) \
              daemon and print the response.")
-    Term.(ret (const run $ socket_arg $ words))
+    Term.(ret (const run $ socket_arg $ raw $ words))
 
 let () =
   (* UKRGEN_VERBOSE=1 traces every scheduling primitive application *)
@@ -796,6 +993,6 @@ let () =
        (Cmd.group info
           [
             generate_cmd; family_cmd; variants_cmd; solo_cmd; gemm_cmd; verify_cmd;
-            lint_cmd; tune_cmd; trace_cmd; explain_cmd; run_cmd; serve_cmd;
-            client_cmd;
+            lint_cmd; tune_cmd; report_cmd; trace_cmd; explain_cmd; run_cmd;
+            serve_cmd; client_cmd;
           ]))

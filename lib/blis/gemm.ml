@@ -428,8 +428,12 @@ let blis_ba ?(alpha = 1.0) ?(beta = 1.0) ?pool ?(ws = default_workspace)
           (* O(1) dispatch: plain array indexing, in range because
              1 <= mrb <= mr, 1 <= nrb <= nr and the table length was
              checked at task entry *)
+          let sp_ukr =
+            if Obs.enabled () then Obs.begin_span "gemm.ukr" else Obs.none
+          in
           (Array.unsafe_get tbl (((mrb - 1) * nr) + nrb - 1))
             ~kc:kcb ~ac:adata ~ao ~bc:bdata ~bo ~c:tile ~co:0;
+          Obs.end_span sp_ukr;
           for j = 0 to nrb - 1 do
             for i = 0 to mrb - 1 do
               Array.unsafe_set cdata

@@ -233,7 +233,7 @@ type histogram = {
   h_name : string;
   h_cnt : int Atomic.t;
   h_tot : int Atomic.t;
-  h_bkt : int Atomic.t array;  (* bucket i: samples with exactly i+1 bits *)
+  h_bkt : int Atomic.t array;  (* bucket i: samples v with bits_of v = i *)
 }
 
 let histograms_lock = Mutex.create ()
@@ -266,6 +266,20 @@ let observe (h : histogram) (v : int) : unit =
     ignore (Atomic.fetch_and_add h.h_bkt.(min 62 (bits_of v)) 1)
   end
 
+(* the always-on variant: same cells, no master-switch gate — for metrics
+   whose contract is "always counted" (serve request latency) *)
+let observe_always (h : histogram) (v : int) : unit =
+  if v >= 0 then begin
+    ignore (Atomic.fetch_and_add h.h_cnt 1);
+    ignore (Atomic.fetch_and_add h.h_tot v);
+    ignore (Atomic.fetch_and_add h.h_bkt.(min 62 (bits_of v)) 1)
+  end
+
+let reset_histogram (h : histogram) : unit =
+  Atomic.set h.h_cnt 0;
+  Atomic.set h.h_tot 0;
+  Array.iter (fun b -> Atomic.set b 0) h.h_bkt
+
 (* ------------------------------------------------------------------ *)
 (* Pool integration                                                    *)
 
@@ -295,6 +309,43 @@ let task_scope ~(epoch : int) (task : int) (f : unit -> 'a) : 'a =
 (* Drain and reset                                                     *)
 
 type hsnap = { h_count : int; h_sum : int; h_buckets : int array }
+
+let snapshot (h : histogram) : hsnap =
+  {
+    h_count = Atomic.get h.h_cnt;
+    h_sum = Atomic.get h.h_tot;
+    h_buckets = Array.map Atomic.get h.h_bkt;
+  }
+
+(* bucket 0 holds exactly 0; bucket i >= 1 holds [2^(i-1), 2^i - 1]; the
+   top bucket absorbs everything observe clamped into it *)
+let bucket_bounds (i : int) : int * int =
+  if i <= 0 then (0, 0)
+  else if i >= 62 then (1 lsl 61, max_int)
+  else (1 lsl (i - 1), (1 lsl i) - 1)
+
+let quantile (h : hsnap) (q : float) : float =
+  if h.h_count <= 0 then 0.0
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int h.h_count))) in
+    let n = Array.length h.h_buckets in
+    let rec go i cum =
+      if i >= n then float_of_int max_int
+      else
+        let c = h.h_buckets.(i) in
+        if c > 0 && rank <= cum + c then begin
+          (* the r-th of c samples spread evenly across the bucket: the
+             estimate always lands inside the true quantile's bucket *)
+          let lo, hi = bucket_bounds i in
+          let r = rank - cum in
+          float_of_int lo
+          +. (float_of_int (hi - lo) *. (float_of_int r -. 0.5) /. float_of_int c)
+        end
+        else go (i + 1) (cum + c)
+    in
+    go 0 0
+  end
 
 type trace = {
   events : event list;
@@ -477,8 +528,7 @@ module Export = struct
 
   (* self time: each closed span's duration is charged against its parent
      via the recorded per-domain parent links — exact, no heuristics *)
-  let text_report ?(top = 20) (tr : trace) : string =
-    let b = Buffer.create 2048 in
+  let span_totals (tr : trace) : (string * (int * float * float)) list =
     let closed =
       List.filter_map
         (fun e ->
@@ -508,9 +558,13 @@ module Export = struct
         in
         Hashtbl.replace agg e.e_name (n + 1, tot +. dur, slf +. self))
       closed;
+    Hashtbl.fold (fun name row acc -> (name, row) :: acc) agg []
+    |> List.sort (fun (_, (_, a, _)) (_, (_, b, _)) -> compare b a)
+
+  let text_report ?(top = 20) (tr : trace) : string =
+    let b = Buffer.create 2048 in
     let rows =
-      Hashtbl.fold (fun name (n, tot, slf) acc -> (name, n, tot, slf) :: acc) agg []
-      |> List.sort (fun (_, _, a, _) (_, _, b, _) -> compare b a)
+      List.map (fun (name, (n, tot, slf)) -> (name, n, tot, slf)) (span_totals tr)
     in
     Buffer.add_string b "span profile (wall seconds)\n";
     Buffer.add_string b

@@ -76,6 +76,16 @@ val histogram : string -> histogram
 (** Record a non-negative integer sample (log2 buckets + count + sum). *)
 val observe : histogram -> int -> unit
 
+(** Like {!observe} but with no master-switch gate: the sample is counted
+    even while tracing is disabled. For metrics whose contract is
+    "always on" (the serve daemon's request-latency histograms) — the
+    tracing cost contract above is about {!observe}, not this. *)
+val observe_always : histogram -> int -> unit
+
+(** Zero one histogram in place (count, sum, every bucket) without
+    touching the rest of the registry. *)
+val reset_histogram : histogram -> unit
+
 (** {1 Pool integration} (called by {!Exo_par.Pool}) *)
 
 (** Open a new parallel region; returns its epoch (>= 1). *)
@@ -121,6 +131,25 @@ type trace = {
     the main domain between parallel regions. *)
 val drain : unit -> trace
 
+(** {1 Histogram snapshots and quantile estimation}
+
+    The buckets are log2: bucket [0] holds exactly the value 0, bucket
+    [i >= 1] holds samples [v] with [2^(i-1) <= v <= 2^i - 1], and the top
+    bucket absorbs everything larger. *)
+
+(** Atomic-read snapshot of one histogram without draining the trace. *)
+val snapshot : histogram -> hsnap
+
+(** [(lo, hi)] of bucket [i]: [(0, 0)], then [(2^(i-1), 2^i - 1)], clamped
+    to [(2^61, max_int)] at the top. *)
+val bucket_bounds : int -> int * int
+
+(** [quantile h q] estimates the [q]-quantile (rank [ceil (q * count)],
+    clamped to at least 1) by spreading a bucket's samples evenly across
+    its bounds — the estimate always lands inside the bucket that holds
+    the true quantile. 0 when empty. *)
+val quantile : hsnap -> float -> float
+
 (** {1 Exporters} *)
 
 module Export : sig
@@ -133,6 +162,12 @@ module Export : sig
       total minus time in child spans, via recorded parent links), top-N
       counters, histogram summaries, unclosed spans. *)
   val text_report : ?top:int -> trace -> string
+
+  (** The aggregation {!text_report} prints, as data: per-label
+      [(count, total_s, self_s)] rows sorted by descending total (self =
+      total minus child-span time via recorded parent links). Feeds the
+      ledger's per-phase attribution table. *)
+  val span_totals : trace -> (string * (int * float * float)) list
 end
 
 (** {1 Kernel provenance}

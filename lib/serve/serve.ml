@@ -21,7 +21,9 @@
       (persisted across restarts via the ambient store).
     - [RUN <m> <n> <k> [count]] — execute [count] GEMMs through the
       monomorphized table; replies with a checksum and wall seconds.
-    - [STATS] — request/cache counters and uptime.
+    - [STATS] — request/cache counters, per-verb latency quantiles, uptime.
+    - [METRICS] — Prometheus-style text exposition (counters + per-verb
+      request-latency histograms).
     - [SHUTDOWN] — graceful stop: in-flight work drains, workers join.
 
     Concurrency: [workers] domains share the listening socket; each
@@ -32,6 +34,7 @@
     interval, and exit — {!wait} then joins them and unlinks the socket. *)
 
 module Obs = Exo_obs.Obs
+module Ledger = Exo_ledger.Ledger
 module Store = Exo_cache.Store
 module Kits = Exo_ukr_gen.Kits
 module Family = Exo_ukr_gen.Family
@@ -59,8 +62,19 @@ let verb_counters =
     ("TUNE", Atomic.make 0);
     ("RUN", Atomic.make 0);
     ("STATS", Atomic.make 0);
+    ("METRICS", Atomic.make 0);
     ("SHUTDOWN", Atomic.make 0);
   ]
+
+(* per-verb error counts and request-latency histograms: always on, like
+   the verb counters (observe_always skips the Obs master switch) *)
+let verb_errors = List.map (fun (v, _) -> (v, Atomic.make 0)) verb_counters
+
+let verb_latency =
+  List.map
+    (fun (v, _) ->
+      (v, Obs.histogram ("serve.latency_us." ^ String.lowercase_ascii v)))
+    verb_counters
 
 let obs_requests = Obs.counter "serve.requests"
 let obs_errors = Obs.counter "serve.errors"
@@ -73,7 +87,21 @@ let request_counts () =
 let reset_request_counts () =
   Atomic.set req_total 0;
   Atomic.set req_errors 0;
-  List.iter (fun (_, c) -> Atomic.set c 0) verb_counters
+  List.iter (fun (_, c) -> Atomic.set c 0) verb_counters;
+  List.iter (fun (_, c) -> Atomic.set c 0) verb_errors;
+  List.iter (fun (_, h) -> Obs.reset_histogram h) verb_latency
+
+(* ------------------------------------------------------------------ *)
+(* Access log: one JSONL line per request through a size-rotated sink.  *)
+
+let access_sink : Ledger.Sink.t option Atomic.t = Atomic.make None
+
+let set_access_log ?max_bytes (path : string option) : unit =
+  Atomic.set access_sink
+    (Option.map (fun p -> Ledger.Sink.create ?max_bytes p) path)
+
+let access_log_path () =
+  Option.map Ledger.Sink.path (Atomic.get access_sink)
 
 (* ------------------------------------------------------------------ *)
 (* Request handling                                                     *)
@@ -223,6 +251,17 @@ let handle_stats () =
       Fmt.str "errors %d" errors;
     ]
     @ List.map (fun (v, c) -> Fmt.str "requests_%s %d" (String.lowercase_ascii v) c) verbs
+    @ List.map
+        (fun (v, c) ->
+          Fmt.str "errors_%s %d" (String.lowercase_ascii v) (Atomic.get c))
+        verb_errors
+    @ List.map
+        (fun (v, h) ->
+          let s = Obs.snapshot h in
+          Fmt.str "latency_%s_us count %d p50 %.0f p95 %.0f p99 %.0f"
+            (String.lowercase_ascii v) s.Obs.h_count (Obs.quantile s 0.5)
+            (Obs.quantile s 0.95) (Obs.quantile s 0.99))
+        verb_latency
     @ [
         Fmt.str "cache_hits %d" hits;
         Fmt.str "cache_misses %d" misses;
@@ -231,6 +270,59 @@ let handle_stats () =
         Fmt.str "cache_dir %s"
           (match Store.ambient () with None -> "-" | Some s -> Store.root s);
       ] )
+
+(* Prometheus text exposition: counters plus one histogram series per
+   verb. The log2 buckets map directly onto cumulative [le] bounds
+   (bucket i covers values up to 2^i - 1). *)
+let handle_metrics () =
+  let lines = ref [] in
+  let pf fmt = Fmt.kstr (fun l -> lines := l :: !lines) fmt in
+  let total, errors, verbs = request_counts () in
+  let hits, misses = Store.hit_miss_counts () in
+  let writes, corrupt = Store.write_counts () in
+  pf "# HELP ukrgen_uptime_seconds Seconds since daemon start.";
+  pf "# TYPE ukrgen_uptime_seconds gauge";
+  pf "ukrgen_uptime_seconds %.3f" (Unix.gettimeofday () -. !started);
+  pf "# TYPE ukrgen_requests_total counter";
+  pf "ukrgen_requests_total %d" total;
+  pf "# TYPE ukrgen_request_errors_total counter";
+  pf "ukrgen_request_errors_total %d" errors;
+  pf "# TYPE ukrgen_requests counter";
+  List.iter
+    (fun (v, c) ->
+      pf "ukrgen_requests{verb=%S} %d" (String.lowercase_ascii v) c)
+    verbs;
+  pf "# TYPE ukrgen_request_errors counter";
+  List.iter
+    (fun (v, c) ->
+      pf "ukrgen_request_errors{verb=%S} %d" (String.lowercase_ascii v)
+        (Atomic.get c))
+    verb_errors;
+  List.iter
+    (fun (name, v) ->
+      pf "# TYPE ukrgen_cache_%s counter" name;
+      pf "ukrgen_cache_%s %d" name v)
+    [ ("hits", hits); ("misses", misses); ("writes", writes); ("corrupt", corrupt) ];
+  pf "# TYPE ukrgen_request_latency_us histogram";
+  List.iter
+    (fun (v, h) ->
+      let verb = String.lowercase_ascii v in
+      let s = Obs.snapshot h in
+      let top = ref (-1) in
+      Array.iteri (fun i n -> if n > 0 then top := i) s.Obs.h_buckets;
+      let cum = ref 0 in
+      for i = 0 to !top do
+        cum := !cum + s.Obs.h_buckets.(i);
+        pf "ukrgen_request_latency_us_bucket{verb=%S,le=\"%d\"} %d" verb
+          (snd (Obs.bucket_bounds i))
+          !cum
+      done;
+      pf "ukrgen_request_latency_us_bucket{verb=%S,le=\"+Inf\"} %d" verb
+        s.Obs.h_count;
+      pf "ukrgen_request_latency_us_sum{verb=%S} %d" verb s.Obs.h_sum;
+      pf "ukrgen_request_latency_us_count{verb=%S} %d" verb s.Obs.h_count)
+    verb_latency;
+  ("metrics", List.rev !lines)
 
 (** Dispatch one request line. Returns the full response: status line
     followed by payload lines (the ["."] terminator is the writer's job).
@@ -249,35 +341,60 @@ let handle_request (stop : bool Atomic.t) (line : string) : string list =
   | None -> ());
   let args = if Obs.enabled () then [ ("verb", verb) ] else [] in
   let rest = match words with [] -> [] | _ :: r -> r in
-  Obs.with_span ~args "serve.request" (fun () ->
-      match
-        match (verb, rest) with
-        | "PING", _ -> ("pong", [])
-        | "GENERATE", [ kit; shape ] -> handle_generate kit shape
-        | "GENERATE", _ -> fail "usage: GENERATE <kit> <MR>x<NR>"
-        | "LINT", [ kit; shape ] -> handle_lint kit shape
-        | "LINT", _ -> fail "usage: LINT <kit> <MR>x<NR>"
-        | "TUNE", [ m; n; k ] -> handle_tune m n k
-        | "TUNE", _ -> fail "usage: TUNE <m> <n> <k>"
-        | "RUN", [ m; n; k ] -> handle_run m n k None
-        | "RUN", [ m; n; k; c ] -> handle_run m n k (Some c)
-        | "RUN", _ -> fail "usage: RUN <m> <n> <k> [count]"
-        | "STATS", _ -> handle_stats ()
-        | "SHUTDOWN", _ ->
-            Atomic.set stop true;
-            ("bye", [])
-        | "", _ -> fail "empty request"
-        | v, _ -> fail "unknown verb %S" v
-      with
-      | status, payload -> ("OK " ^ status) :: payload
-      | exception Bad_request m ->
-          Atomic.incr req_errors;
-          if Obs.enabled () then Obs.incr obs_errors;
-          [ "ERR " ^ m ]
-      | exception e ->
-          Atomic.incr req_errors;
-          if Obs.enabled () then Obs.incr obs_errors;
-          [ "ERR internal: " ^ Printexc.to_string e ])
+  let t0 = Unix.gettimeofday () in
+  let response =
+    Obs.with_span ~args "serve.request" (fun () ->
+        match
+          match (verb, rest) with
+          | "PING", _ -> ("pong", [])
+          | "GENERATE", [ kit; shape ] -> handle_generate kit shape
+          | "GENERATE", _ -> fail "usage: GENERATE <kit> <MR>x<NR>"
+          | "LINT", [ kit; shape ] -> handle_lint kit shape
+          | "LINT", _ -> fail "usage: LINT <kit> <MR>x<NR>"
+          | "TUNE", [ m; n; k ] -> handle_tune m n k
+          | "TUNE", _ -> fail "usage: TUNE <m> <n> <k>"
+          | "RUN", [ m; n; k ] -> handle_run m n k None
+          | "RUN", [ m; n; k; c ] -> handle_run m n k (Some c)
+          | "RUN", _ -> fail "usage: RUN <m> <n> <k> [count]"
+          | "STATS", _ -> handle_stats ()
+          | "METRICS", _ -> handle_metrics ()
+          | "SHUTDOWN", _ ->
+              Atomic.set stop true;
+              ("bye", [])
+          | "", _ -> fail "empty request"
+          | v, _ -> fail "unknown verb %S" v
+        with
+        | status, payload -> ("OK " ^ status) :: payload
+        | exception Bad_request m ->
+            Atomic.incr req_errors;
+            if Obs.enabled () then Obs.incr obs_errors;
+            [ "ERR " ^ m ]
+        | exception e ->
+            Atomic.incr req_errors;
+            if Obs.enabled () then Obs.incr obs_errors;
+            [ "ERR internal: " ^ Printexc.to_string e ])
+  in
+  let us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+  let failed =
+    match response with
+    | s :: _ -> String.length s >= 3 && String.sub s 0 3 = "ERR"
+    | [] -> true
+  in
+  (match List.assoc_opt verb verb_latency with
+  | Some h -> Obs.observe_always h us
+  | None -> ());
+  if failed then (
+    match List.assoc_opt verb verb_errors with
+    | Some c -> Atomic.incr c
+    | None -> ());
+  (match Atomic.get access_sink with
+  | None -> ()
+  | Some sink ->
+      Ledger.Sink.write sink
+        (Printf.sprintf
+           "{\"ts\":%.6f,\"verb\":\"%s\",\"ok\":%b,\"us\":%d,\"lines\":%d}" t0
+           (Ledger.Json.escape verb) (not failed) us (List.length response)));
+  response
 
 (* ------------------------------------------------------------------ *)
 (* The server                                                           *)

@@ -4,7 +4,8 @@
     one request per line; the response is a status line ([OK ...] /
     [ERR ...]), zero or more payload lines, and a lone ["."]. Verbs:
     [PING], [GENERATE <kit> <MR>x<NR>], [LINT <kit> <MR>x<NR>],
-    [TUNE <m> <n> <k>], [RUN <m> <n> <k> [count]], [STATS], [SHUTDOWN].
+    [TUNE <m> <n> <k>], [RUN <m> <n> <k> [count]], [STATS], [METRICS],
+    [SHUTDOWN].
 
     Requests are answered from the warm in-memory {!Exo_blis.Registry}
     table (hydrated from the ambient {!Exo_cache.Store} when configured);
@@ -44,10 +45,27 @@ val stop : t -> unit
 val wait : t -> unit
 
 (** [(total, errors, per-verb)] request counters since start or the last
-    {!reset_request_counts} — always on, process-wide. *)
+    {!reset_request_counts} — always on, process-wide. Per-verb error
+    counts and request-latency histograms (observed via
+    {!Exo_obs.Obs.observe_always}, so they count even with tracing off —
+    the one-atomic-branch contract is about tracing entry points, which
+    are untouched) ride along; [STATS] reports latency p50/p95/p99 per
+    verb and [METRICS] the full Prometheus-style exposition. *)
 val request_counts : unit -> int * int * (string * int) list
 
+(** Zero the totals, the per-verb counts and errors, and the per-verb
+    latency histograms. *)
 val reset_request_counts : unit -> unit
+
+(** [set_access_log (Some path)] makes every request append one JSONL
+    line ([ts], [verb], [ok], [us], response [lines]) through a
+    size-rotated {!Exo_ledger.Ledger.Sink} (default cap 1 MiB, rotated to
+    [path ^ ".1"]); [None] turns it off. Log-write failures are swallowed
+    — the access log must never take a request down. *)
+val set_access_log : ?max_bytes:int -> string option -> unit
+
+(** The active access-log path, if any. *)
+val access_log_path : unit -> string option
 
 module Client : sig
   (** One round-trip: connect, send the request line, read status +

@@ -443,6 +443,9 @@ let stats (h : hierarchy) : stats =
 let kernel_l1_rate (s : stats) : float =
   float_of_int s.kernel_l1_miss /. float_of_int (max 1 s.kernel_refs)
 
+let dram_traffic_bytes (machine : Exo_isa.Machine.t) (s : stats) : int =
+  (s.dram + s.dram_wb) * machine.Exo_isa.Machine.l3.Exo_isa.Machine.line_bytes
+
 let pp_stats ppf (s : stats) =
   Fmt.pf ppf
     "refs=%d (%.0f%% st) L1-miss=%.2f%% kernel-L1-miss=%.2f%% L2-miss=%d \

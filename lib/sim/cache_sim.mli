@@ -102,6 +102,11 @@ val stats : hierarchy -> stats
     "Bc sliver stays in L1" story predicts to be tiny. *)
 val kernel_l1_rate : stats -> float
 
+(** Predicted DRAM traffic in bytes under the machine's L3 line size:
+    lines fetched from memory plus dirty lines written back — the number
+    the run ledger's attribution table reports next to measured GFLOPS. *)
+val dram_traffic_bytes : Exo_isa.Machine.t -> stats -> int
+
 val pp_stats : Format.formatter -> stats -> unit
 
 (** The canonical packed-BLIS address trace of an m×n×k FP32 GEMM as

@@ -182,6 +182,85 @@ let test_metrics () =
   Obs.reset ();
   check_int "reset zeroes counters" 0 (Obs.counter_value c)
 
+(* --- histogram snapshots and quantile estimation -------------------------- *)
+
+(* The log2 bucket that owns a value: 0 for 0, else its bit length. *)
+let bucket_of v =
+  let rec go b x = if x = 0 then b else go (b + 1) (x lsr 1) in
+  go 0 v
+
+let test_bucket_bounds () =
+  check_bool "bucket 0 holds only the value 0" true (Obs.bucket_bounds 0 = (0, 0));
+  check_bool "bucket 1 = [1,1]" true (Obs.bucket_bounds 1 = (1, 1));
+  check_bool "bucket 2 = [2,3]" true (Obs.bucket_bounds 2 = (2, 3));
+  check_bool "bucket 7 = [64,127]" true (Obs.bucket_bounds 7 = (64, 127));
+  check_bool "top bucket clamps at max_int" true
+    (snd (Obs.bucket_bounds 62) = max_int);
+  (* bounds partition: hi of i is lo of i+1 minus one *)
+  for i = 1 to 60 do
+    let _, hi = Obs.bucket_bounds i and lo', _ = Obs.bucket_bounds (i + 1) in
+    check_bool "buckets tile the naturals" true (hi + 1 = lo')
+  done
+
+let test_quantile_pins () =
+  fresh ();
+  let h = Obs.histogram "test.quantile_pins" in
+  Obs.reset_histogram h;
+  (* observe_always records with tracing off — the serve latency path *)
+  check_bool "tracing stays off" false (Obs.enabled ());
+  for _ = 1 to 100 do
+    Obs.observe_always h 10
+  done;
+  let s = Obs.snapshot h in
+  check_int "always-on count" 100 s.Obs.h_count;
+  check_int "always-on sum" 1000 s.Obs.h_sum;
+  let inside q =
+    let v = Obs.quantile s q in
+    v >= 8.0 && v <= 15.0
+  in
+  check_bool "p50 inside the owning bucket [8,15]" true (inside 0.5);
+  check_bool "p95 inside the owning bucket" true (inside 0.95);
+  check_bool "p99 inside the owning bucket" true (inside 0.99);
+  (* bimodal latencies: 90 fast (~100us), 10 slow (~100ms) *)
+  Obs.reset_histogram h;
+  for _ = 1 to 90 do
+    Obs.observe_always h 100
+  done;
+  for _ = 1 to 10 do
+    Obs.observe_always h 100_000
+  done;
+  let s = Obs.snapshot h in
+  let p50 = Obs.quantile s 0.5 and p95 = Obs.quantile s 0.95 in
+  check_bool "p50 lands in the fast mode [64,127]" true
+    (p50 >= 64.0 && p50 <= 127.0);
+  check_bool "p95 lands in the slow mode [65536,131071]" true
+    (p95 >= 65536.0 && p95 <= 131071.0);
+  Obs.reset_histogram h;
+  check_int "reset_histogram zeroes in place" 0 (Obs.snapshot h).Obs.h_count;
+  check_bool "empty histogram quantile is 0" true
+    (Obs.quantile (Obs.snapshot h) 0.5 = 0.0)
+
+(* the estimator contract: the estimate always lands inside the bucket
+   that holds the true rank-based quantile, i.e. within one bucket of the
+   exact sample quantile *)
+let prop_quantile_brackets =
+  QCheck.Test.make ~count:300
+    ~name:"quantile estimate lands in the true quantile's bucket"
+    QCheck.(
+      pair (list_of_size Gen.(int_range 1 60) (int_bound 100_000)) (int_bound 99))
+    (fun (xs, qi) ->
+      let q = float_of_int (qi + 1) /. 100.0 in
+      let h = Obs.histogram "test.quantile_prop" in
+      Obs.reset_histogram h;
+      List.iter (Obs.observe_always h) xs;
+      let est = Obs.quantile (Obs.snapshot h) q in
+      let sorted = List.sort compare xs in
+      let n = List.length xs in
+      let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+      let true_q = List.nth sorted (rank - 1) in
+      let lo, hi = Obs.bucket_bounds (bucket_of true_q) in
+      est >= float_of_int lo && est <= float_of_int hi)
+
 (* --- exporters ------------------------------------------------------------ *)
 
 let test_chrome_json () =
@@ -310,6 +389,28 @@ let test_cli_exit_codes () =
     (run_cli
        [ "lint"; "--tiers"; "--table-mr"; "2"; "--table-nr"; "2"; "--jobs"; "1" ])
 
+(* [report --check] failing the regression/efficiency gate exits 4 —
+   distinct from lint's 3, the generic 123, and cmdliner's 124 — so CI
+   can tell "perf regressed" apart from "tool broke" *)
+let test_report_exit_codes () =
+  let module L = Exo_ledger.Ledger in
+  let path = Filename.temp_file "ukrgen_report" ".jsonl" in
+  let steady v =
+    L.record ~pool_jobs:1 ~bench:"unit" [ L.metric L.Higher "unit.gflops" v ]
+  in
+  L.append ~path (steady 100.0);
+  L.append ~path (steady 101.0);
+  check_int "clean ledger: report --check exits 0" 0
+    (run_cli [ "report"; "--ledger"; path; "--check" ]);
+  L.append ~path (steady 10.0);
+  check_int "regression: report --check exits 4" 4
+    (run_cli [ "report"; "--ledger"; path; "--check" ]);
+  check_int "same regression without --check still exits 0" 0
+    (run_cli [ "report"; "--ledger"; path ]);
+  Sys.remove path;
+  check_int "missing ledger exits 123" 123
+    (run_cli [ "report"; "--ledger"; path; "--check" ])
+
 let () =
   fresh ();
   Alcotest.run "obs"
@@ -332,6 +433,13 @@ let () =
         ] );
       ( "metrics",
         [ Alcotest.test_case "counters and histograms" `Quick test_metrics ] );
+      ( "quantiles",
+        [
+          Alcotest.test_case "log2 bucket bounds" `Quick test_bucket_bounds;
+          Alcotest.test_case "pinned p50/p95/p99 units" `Quick
+            test_quantile_pins;
+          QCheck_alcotest.to_alcotest prop_quantile_brackets;
+        ] );
       ( "export",
         [ Alcotest.test_case "chrome trace_event JSON" `Quick test_chrome_json ]
       );
@@ -345,5 +453,6 @@ let () =
       ( "cli",
         [
           Alcotest.test_case "ukrgen exit codes" `Quick test_cli_exit_codes;
+          Alcotest.test_case "report exit codes" `Quick test_report_exit_codes;
         ] );
     ]

@@ -81,6 +81,170 @@ let test_request_counters () =
   Alcotest.(check int) "errors" 1 errors;
   Alcotest.(check (option int)) "ping count" (Some 2) (List.assoc_opt "PING" verbs)
 
+(* --- latency histograms, STATS lines, METRICS exposition ------------------ *)
+
+let payload line =
+  match req line with [] -> Alcotest.fail "empty response" | _ :: p -> p
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let find_line ~prefix lines =
+  match List.find_opt (starts_with ~prefix) lines with
+  | Some l -> l
+  | None -> Alcotest.fail (Fmt.str "no line starting with %S" prefix)
+
+let test_stats_latency_lines () =
+  Serve.reset_request_counts ();
+  ignore (req "PING");
+  ignore (req "PING");
+  ignore (req "GENERATE");
+  (* malformed but a known verb: the per-verb error counter must move *)
+  let p = payload "STATS" in
+  Alcotest.(check string) "per-verb request count" "requests_ping 2"
+    (find_line ~prefix:"requests_ping" p);
+  Alcotest.(check string) "per-verb error count" "errors_generate 1"
+    (find_line ~prefix:"errors_generate" p);
+  Alcotest.(check string) "a healthy verb reports zero errors" "errors_ping 0"
+    (find_line ~prefix:"errors_ping" p);
+  (* latency_ping_us count 2 p50 F p95 F p99 F — quantiles in microseconds,
+     nonnegative, and monotone p50 <= p95 <= p99 *)
+  let l = find_line ~prefix:"latency_ping_us " p in
+  (match String.split_on_char ' ' l with
+  | [ _; "count"; "2"; "p50"; a; "p95"; b; "p99"; c ] ->
+      let a = float_of_string a
+      and b = float_of_string b
+      and c = float_of_string c in
+      Alcotest.(check bool) "quantiles nonnegative" true (a >= 0.0);
+      Alcotest.(check bool) "quantiles monotone" true (a <= b && b <= c)
+  | _ -> Alcotest.fail (Fmt.str "unexpected latency line %S" l))
+
+let test_metrics_exposition () =
+  Serve.reset_request_counts ();
+  ignore (req "PING");
+  ignore (req "PING");
+  ignore (req "GENERATE");
+  let p = payload "METRICS" in
+  let has affix = List.exists (starts_with ~prefix:affix) p in
+  Alcotest.(check bool) "histogram TYPE line" true
+    (List.mem "# TYPE ukrgen_request_latency_us histogram" p);
+  Alcotest.(check bool) "a ping bucket series" true
+    (has "ukrgen_request_latency_us_bucket{verb=\"ping\",le=\"");
+  Alcotest.(check bool) "+Inf closes the ping series" true
+    (List.mem "ukrgen_request_latency_us_bucket{verb=\"ping\",le=\"+Inf\"} 2" p);
+  Alcotest.(check bool) "count matches observations" true
+    (List.mem "ukrgen_request_latency_us_count{verb=\"ping\"} 2" p);
+  Alcotest.(check bool) "per-verb error counter" true
+    (List.mem "ukrgen_request_errors{verb=\"generate\"} 1" p);
+  Alcotest.(check bool) "cache counters exposed" true
+    (has "ukrgen_cache_hits ");
+  (* cumulative buckets never decrease along the le bounds *)
+  let cums =
+    List.filter_map
+      (fun l ->
+        if starts_with ~prefix:"ukrgen_request_latency_us_bucket{verb=\"ping\"" l
+        then
+          match String.rindex_opt l ' ' with
+          | Some i ->
+              Some
+                (int_of_string
+                   (String.sub l (i + 1) (String.length l - i - 1)))
+          | None -> None
+        else None)
+      p
+  in
+  Alcotest.(check bool) "cumulative series is monotone" true
+    (fst
+       (List.fold_left
+          (fun (ok, prev) n -> (ok && n >= prev, n))
+          (true, 0) cums))
+
+(* --- the JSONL access log -------------------------------------------------- *)
+
+module Ledger = Exo_ledger.Ledger
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let rec go acc =
+    match input_line ic with
+    | l -> go (l :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []
+
+let with_access_log ?max_bytes f =
+  let path = Filename.temp_file "exo-serve-access" ".jsonl" in
+  Sys.remove path;
+  Serve.set_access_log ?max_bytes (Some path);
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.set_access_log None;
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; path ^ ".1" ])
+  @@ fun () -> f path
+
+let test_access_log_lines () =
+  with_access_log @@ fun path ->
+  Alcotest.(check (option string))
+    "path queryable" (Some path)
+    (Serve.access_log_path ());
+  ignore (req "PING");
+  ignore (req "NOPE");
+  let lines = read_lines path in
+  Alcotest.(check int) "one line per request" 2 (List.length lines);
+  List.iter
+    (fun l ->
+      match Ledger.Json.parse l with
+      | Error e -> Alcotest.fail (Fmt.str "unparseable access line %S: %s" l e)
+      | Ok j ->
+          Alcotest.(check bool) "ts present" true
+            (Option.is_some Ledger.Json.(Option.bind (member "ts" j) num));
+          Alcotest.(check bool) "us present" true
+            (Option.is_some Ledger.Json.(Option.bind (member "us" j) num)))
+    lines;
+  let verb_ok l =
+    Ledger.Json.(
+      match parse l with
+      | Ok j ->
+          ( Option.bind (member "verb" j) str,
+            Option.bind (member "ok" j) bool_ )
+      | Error _ -> (None, None))
+  in
+  (match lines with
+  | [ a; b ] ->
+      Alcotest.(check (pair (option string) (option bool)))
+        "ping succeeds" (Some "PING", Some true) (verb_ok a);
+      Alcotest.(check (pair (option string) (option bool)))
+        "unknown verb logged as failed" (Some "NOPE", Some false) (verb_ok b)
+  | _ -> Alcotest.fail "expected exactly two lines")
+
+let test_access_log_rotation () =
+  with_access_log ~max_bytes:256 @@ fun path ->
+  for _ = 1 to 40 do
+    ignore (req "PING")
+  done;
+  Alcotest.(check bool) "live file present" true (Sys.file_exists path);
+  Alcotest.(check bool) "rotated file present" true
+    (Sys.file_exists (path ^ ".1"));
+  (* rotation bounds each file near max_bytes (one line of slack) and
+     every surviving line is whole — rename never tears a record *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Fmt.str "%s bounded" (Filename.basename p))
+        true
+        ((Unix.stat p).Unix.st_size <= 256 + 128);
+      List.iter
+        (fun l ->
+          match Ledger.Json.parse l with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail (Fmt.str "torn line %S: %s" l e))
+        (read_lines p))
+    [ path; path ^ ".1" ]
+
 (* --- the socket ---------------------------------------------------------- *)
 
 let temp_dir () =
@@ -144,6 +308,16 @@ let () =
           Alcotest.test_case "shutdown raises the stop flag" `Quick
             test_shutdown_sets_stop;
           Alcotest.test_case "request counters" `Quick test_request_counters;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "STATS latency and per-verb error lines" `Quick
+            test_stats_latency_lines;
+          Alcotest.test_case "METRICS Prometheus exposition" `Quick
+            test_metrics_exposition;
+          Alcotest.test_case "access log lines" `Quick test_access_log_lines;
+          Alcotest.test_case "access log rotation" `Quick
+            test_access_log_rotation;
         ] );
       ( "socket",
         [
