@@ -161,7 +161,14 @@ let run_bechamel () =
 (* numbers are only comparable across hosts with this block.            *)
 
 let meta_json () =
-  Exo_obs.Obs.Meta.json ~flambda:Config.flambda
+  let module Host = Exo_native.Host in
+  let host_cc = match Host.cc () with Some p -> p | None -> "none" in
+  let host_isa =
+    match Host.isas () with
+    | [] -> "generic"
+    | l -> String.concat "," (List.map Host.isa_name l)
+  in
+  Exo_obs.Obs.Meta.json ~flambda:Config.flambda ~host_cc ~host_isa
     ~pool_jobs:(Exo_par.Pool.default_jobs ()) ()
 
 (* ------------------------------------------------------------------ *)
@@ -486,7 +493,8 @@ let run_perf_gemm ?(smoke = false) () =
   if not reg_certified then
     failwith
       "perf-gemm: registry served a table entry without a static certificate";
-  let ba_ukr = R.table_entry table ~mr ~nr in
+  (* the Bigarray-tier entry (pre-upgrade bank): the native tier's A side *)
+  let ba_ukr = R.table_base_entry table ~mr ~nr in
   let to_ba arr =
     let b =
       Bigarray.Array1.create Bigarray.float32 Bigarray.c_layout
@@ -510,13 +518,36 @@ let run_perf_gemm ?(smoke = false) () =
         ba_ukr ~kc ~ac:ac_ba ~ao:0 ~bc:bc_ba ~bo:0 ~c ~co:0)
   in
   let ba_speedup = t_closure /. t_ba in
+  (* the serving table entry: JIT'd machine code when the native upgrade
+     certified this host, the Bigarray executor otherwise *)
+  let nat_info = table.R.t_native_info in
+  let serving_ukr = R.table_entry table ~mr ~nr in
+  let c4 = to_ba c0 in
+  serving_ukr ~kc ~ac:ac_ba ~ao:0 ~bc:bc_ba ~bo:0 ~c:c4 ~co:0;
+  Array.iteri
+    (fun i v ->
+      if not (Float.equal (Bigarray.Array1.get c4 i) v) then
+        failwith "perf-gemm: serving (native) and closure kernels disagree")
+    c1;
+  let t_native_ukr =
+    let c = to_ba c0 in
+    time_runs ~min_time (fun () ->
+        serving_ukr ~kc ~ac:ac_ba ~ao:0 ~bc:bc_ba ~bo:0 ~c ~co:0)
+  in
+  Fmt.pr "native tier        : %s (target %s, cc %s, %d/%d entries, %s)@."
+    (if nat_info.R.ni_enabled then "enabled" else "DEGRADED")
+    nat_info.R.ni_target nat_info.R.ni_cc nat_info.R.ni_entries (mr * nr)
+    nat_info.R.ni_reason;
   Fmt.pr "closure engine     : %12.1f us/call@." (t_closure *. 1e6);
   Fmt.pr "specialized lowering: %11.1f us/call@." (t_fast *. 1e6);
   Fmt.pr "monomorphized ba   : %12.1f us/call@." (t_ba *. 1e6);
+  Fmt.pr "native jit         : %12.1f us/call@." (t_native_ukr *. 1e6);
   Fmt.pr "speedup (flat)     : %12.1fx %s@." ukr_speedup
     (if ukr_speedup >= 5.0 then "(>= 5x: ok)" else "(below the 5x target!)");
   Fmt.pr "speedup (bigarray) : %12.1fx vs closure, %.1fx vs flat@." ba_speedup
     (t_fast /. t_ba);
+  Fmt.pr "speedup (native)   : %12.1fx vs bigarray (per ukr call)@."
+    (t_ba /. t_native_ukr);
   (* 2. a full paper-scale GEMM through the macro-kernel, validated exactly
      against the f32-rounded naive reference, then re-run at pool widths
      2 and 4 — C must be bit-identical at every width *)
@@ -538,10 +569,22 @@ let run_perf_gemm ?(smoke = false) () =
   (* the fallbacks-zero gate: with the complete monomorphized table no
      tile of a full f32 GEMM may reach the closure engine *)
   let fast_calls, fallback_calls = R.ukr_dispatch_counts () in
+  let native_calls_run, ba_calls_run, _ = R.ukr_tier_counts () in
   Fmt.pr "dispatch: %d monomorphized calls, %d closure fallbacks@." fast_calls
     fallback_calls;
+  Fmt.pr "tier dispatch: %d native, %d bigarray, %d fallback@." native_calls_run
+    ba_calls_run fallback_calls;
   if fallback_calls > 0 then
     failwith "perf-gemm: closure-engine fallbacks fired on the full GEMM run";
+  (* with the native tier serving, EVERY tile of the full GEMM must
+     dispatch into machine code — a Bigarray call here means a hole in the
+     upgraded bank *)
+  if nat_info.R.ni_enabled && native_calls_run = 0 then
+    failwith "perf-gemm: native tier enabled but no native dispatches fired";
+  if nat_info.R.ni_enabled && nat_info.R.ni_entries = mr * nr
+     && ba_calls_run > 0 then
+    failwith
+      "perf-gemm: fully upgraded native bank leaked Bigarray-tier dispatches";
   (* two more serial timings: the run ledger's robust statistics
      (median / MAD noise bound) want k >= 3 samples per run *)
   let serial_samples = t_serial :: List.init 2 (fun _ -> snd (run_width 1)) in
@@ -573,6 +616,35 @@ let run_perf_gemm ?(smoke = false) () =
   in
   Fmt.pr "%d^3 GEMM, flat tier: %8.2f s  (%.3f GFLOPS, bigarray %.2fx)@." dim
     t_flat (gflops_of t_flat) (t_flat /. t_serial);
+  (* the Bigarray tier on the same problem through the pre-upgrade bank:
+     the native tier's before/after A-B — the serving (native) result must
+     be bit-identical, and on a full run with the tier serving it must be
+     >= 3x faster (the issue's headline gate) *)
+  let t_ba_gemm =
+    let c = M.copy c_init in
+    let pool = Exo_par.Pool.create ~jobs:1 () in
+    let t0 = Unix.gettimeofday () in
+    G.blis_ba ~pool ~blocking ~mr ~nr ~kernels:(R.exo_bank_ba ~mr ~nr ()) a b c;
+    let t = Unix.gettimeofday () -. t0 in
+    if not (M.equal c c_serial) then
+      failwith "perf-gemm: native and Bigarray tiers disagree on the GEMM result";
+    t
+  in
+  let native_speedup = t_ba_gemm /. t_serial in
+  Fmt.pr "%d^3 GEMM, ba tier  : %8.2f s  (%.3f GFLOPS, native %.2fx, \
+          bit-identical)@."
+    dim t_ba_gemm (gflops_of t_ba_gemm) native_speedup;
+  if nat_info.R.ni_enabled && not smoke then begin
+    if nat_info.R.ni_rejected > 0 then
+      failwith "perf-gemm: native entries failed certification on a full run";
+    if nat_info.R.ni_entries <> mr * nr then
+      failwith "perf-gemm: native bank is incomplete on a full run";
+    if native_speedup < 3.0 then
+      failwith
+        (Printf.sprintf
+           "perf-gemm: native tier speedup %.2fx is below the 3x gate"
+           native_speedup)
+  end;
   (* the analytical nc/mc can exceed the whole problem (one task), which
      would make the width sweep vacuous — split BOTH n and m into >= 4
      blocks so the (jc × ic) task grid gives several domains real work *)
@@ -799,6 +871,20 @@ let run_perf_gemm ?(smoke = false) () =
     \    \"bigarray_us_per_call\": %.3f,\n\
     \    \"bigarray_speedup\": %.2f\n\
     \  },\n\
+    \  \"native\": {\n\
+    \    \"native_enabled\": %b,\n\
+    \    \"target\": %S,\n\
+    \    \"cc\": %S,\n\
+    \    \"isa\": %S,\n\
+    \    \"entries\": %d,\n\
+    \    \"rejected\": %d,\n\
+    \    \"reason\": %S,\n\
+    \    \"native_us_per_call\": %.3f,\n\
+    \    \"native_calls\": %d,\n\
+    \    \"bigarray_seconds_1job\": %.3f,\n\
+    \    \"speedup_vs_bigarray\": %.2f,\n\
+    \    \"bit_exact_vs_bigarray\": true\n\
+    \  },\n\
     \  \"tierlint\": {\n\
     \    \"proved\": %d,\n\
     \    \"total\": %d,\n\
@@ -849,7 +935,14 @@ let run_perf_gemm ?(smoke = false) () =
     \  }\n\
      }\n"
     (meta_json ()) smoke mr nr kc (t_closure *. 1e6) (t_fast *. 1e6) ukr_speedup
-    (t_ba *. 1e6) ba_speedup tk.L.tk_proved tk.L.tk_total tk.L.tk_disagreements
+    (t_ba *. 1e6) ba_speedup nat_info.R.ni_enabled nat_info.R.ni_target
+    nat_info.R.ni_cc
+    (match Exo_native.Host.isas () with
+    | [] -> "generic"
+    | l -> String.concat "," (List.map Exo_native.Host.isa_name l))
+    nat_info.R.ni_entries nat_info.R.ni_rejected nat_info.R.ni_reason
+    (t_native_ukr *. 1e6) native_calls_run t_ba_gemm native_speedup
+    tk.L.tk_proved tk.L.tk_total tk.L.tk_disagreements
     reg_certified dim blocking.Exo_blis.Analytical.mc
     blocking.Exo_blis.Analytical.kc blocking.Exo_blis.Analytical.nc t_serial
     gemm_gflops t_flat (gflops_of t_flat) (t_flat /. t_serial) fast_calls
@@ -874,6 +967,8 @@ let run_perf_gemm ?(smoke = false) () =
          (List.map gflops_of serial_samples);
        Ledger.metric ~unit_:"us" Ledger.Lower "ukr.bigarray_us_per_call"
          (t_ba *. 1e6);
+       Ledger.metric ~unit_:"s" Ledger.Info "gemm.bigarray_seconds_1job"
+         t_ba_gemm;
        Ledger.metric ~unit_:"us" Ledger.Info "ukr.specialized_us_per_call"
          (t_fast *. 1e6);
        Ledger.metric ~unit_:"GFLOPS" Ledger.Info "batch.gflops" batch_gflops;
@@ -886,6 +981,14 @@ let run_perf_gemm ?(smoke = false) () =
          model_peak;
        Ledger.metric ~unit_:"MB" Ledger.Info "attr.sim_dram_mb" sim_dram_mb;
      ]
+    @ (if nat_info.R.ni_enabled then
+         [
+           Ledger.metric ~unit_:"x" Ledger.Higher
+             "gemm.native_speedup_vs_bigarray" native_speedup;
+           Ledger.metric ~unit_:"us" Ledger.Lower "ukr.native_us_per_call"
+             (t_native_ukr *. 1e6);
+         ]
+       else [])
     @ List.map
         (fun (n, s) ->
           Ledger.metric ~unit_:"s" Ledger.Info ("attr.phase." ^ n) s)

@@ -11,6 +11,9 @@
      lint       static Fig. 12 lint of the whole family, no simulation
      run        execute a DNN workload's GEMMs through the batched
                 arena-packed macro-kernel (optionally validated)
+     native     emit (and compile, when a host cc exists) one kernel
+                bank's native-ABI C — the CI artifact
+     cache      persistent-store maintenance (gc --max-bytes)
      serve      long-lived kernel-compilation daemon over a Unix socket
      client     one line-protocol request against a running daemon
      report     render the run ledger: trajectory, regression gate,
@@ -701,6 +704,15 @@ let explain_cmd =
         (KM.solo_gflops ~dbytes:(Exo_ir.Dtype.size_bytes kit.Kits.dt) mach impl
            ~mu:mr ~nu:nr ~kc:512)
         (KM.peak mach impl);
+      (* what the native JIT tier would do with this kernel on THIS host
+         (everything above is about the modeled target machine) *)
+      List.iter
+        (fun (k, v) -> Fmt.pr "  host %-11s: %s@." k v)
+        (Exo_native.Host.describe ());
+      Fmt.pr "  native target   : %s@."
+        (match Exo_blis.Registry.native_target_for kit with
+        | Some t -> Exo_codegen.C_emit.native_target_name t
+        | None -> "none (native tier is f32-only)");
       `Ok ()
     with Exo_sched.Sched.Sched_error msg | Invalid_argument msg -> `Error (false, msg)
   in
@@ -821,6 +833,124 @@ let run_cmd =
        ~doc:"Execute a DNN workload's GEMMs through the batched arena-packed \
              macro-kernel.")
     Term.(ret (const run $ cache_dir $ model $ jobs $ limit $ check))
+
+(* --- native ------------------------------------------------------------- *)
+
+(* The CI artifact: the native-ABI C for one kernel bank, plus the shared
+   object when this host has a C compiler. The C is always written —
+   graceful degradation means a cc-less host still produces an inspectable
+   artifact. *)
+let native_cmd =
+  let kit_pos =
+    Arg.(required & pos 0 (some kit_conv) None & info [] ~docv:"KIT"
+           ~doc:"Target kit (e.g. avx2-f32).")
+  in
+  let shape_pos =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"SHAPE"
+           ~doc:"Micro-kernel shape as MRxNR (e.g. 8x12).")
+  in
+  let out_dir =
+    Arg.(value & opt string "native-artifacts" & info [ "out" ] ~docv:"DIR"
+           ~doc:"Directory the $(i,.c) (and $(i,.so), when a C compiler \
+                 exists) are written into (created if absent).")
+  in
+  let parse_shape s =
+    match String.index_opt s 'x' with
+    | Some i -> (
+        match
+          ( int_of_string_opt (String.sub s 0 i),
+            int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+        with
+        | Some mr, Some nr when mr >= 1 && nr >= 1 -> Some (mr, nr)
+        | _ -> None)
+    | None -> None
+  in
+  let run cache kit shape dir =
+    set_cache cache;
+    match parse_shape shape with
+    | None -> `Error (true, Fmt.str "SHAPE must be MRxNR (got %S)" shape)
+    | Some (mr, nr) -> (
+        try
+          match Exo_blis.Registry.native_emit ~kit ~mr ~nr () with
+          | None ->
+              `Error
+                (false,
+                 Fmt.str "kit %s is not f32: the native tier has no lowering"
+                   kit.Kits.name)
+          | Some (target, src) ->
+              if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+              let base =
+                Filename.concat dir (Fmt.str "%s_%dx%d" kit.Kits.name mr nr)
+              in
+              write_out (Some (base ^ ".c")) src;
+              Fmt.pr "target: %s@."
+                (Exo_codegen.C_emit.native_target_name target);
+              (match Exo_native.Host.cc () with
+              | None ->
+                  Fmt.pr "no C compiler on this host: skipping the .so@.";
+                  `Ok ()
+              | Some cc -> (
+                  match Exo_native.Jit.compile_c ~src with
+                  | Ok so_bytes ->
+                      let oc = open_out_bin (base ^ ".so") in
+                      output_string oc so_bytes;
+                      close_out oc;
+                      Fmt.pr "wrote %s.so (%d bytes, cc %s)@." base
+                        (String.length so_bytes) cc;
+                      `Ok ()
+                  | Error msg ->
+                      `Error (false, Fmt.str "native compilation failed: %s" msg)))
+        with Exo_sched.Sched.Sched_error m | Invalid_argument m ->
+          `Error (false, m))
+  in
+  Cmd.v
+    (Cmd.info "native"
+       ~doc:"Emit one kernel bank's native-ABI C compilation unit (and the \
+             compiled shared object when the host has a C compiler) — the CI \
+             inspection artifact for the native JIT tier.")
+    Term.(ret (const run $ cache_dir $ kit_pos $ shape_pos $ out_dir))
+
+(* --- cache -------------------------------------------------------------- *)
+
+let cache_gc_cmd =
+  let max_bytes =
+    Arg.(required & opt (some int) None & info [ "max-bytes" ] ~docv:"N"
+           ~doc:"Size budget: the most recently used entries whose cumulative \
+                 size fits $(docv) bytes are kept, the rest deleted.")
+  in
+  let run cache max_bytes =
+    set_cache cache;
+    match Exo_cache.Store.ambient () with
+    | None ->
+        `Error
+          (true,
+           "no store to sweep: pass --cache DIR or set UKRGEN_CACHE_DIR")
+    | Some st ->
+        if max_bytes < 0 then `Error (true, "--max-bytes must be >= 0")
+        else begin
+          let s = Exo_cache.Store.gc st ~max_bytes in
+          Fmt.pr
+            "gc %s: scanned %d entr%s, deleted %d, kept %d bytes, freed %d \
+             bytes@."
+            (Exo_cache.Store.root st)
+            s.Exo_cache.Store.gc_scanned
+            (if s.Exo_cache.Store.gc_scanned = 1 then "y" else "ies")
+            s.Exo_cache.Store.gc_deleted s.Exo_cache.Store.gc_kept_bytes
+            s.Exo_cache.Store.gc_freed_bytes;
+          `Ok ()
+        end
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:"LRU sweep of the persistent store: keep the most recently \
+             touched entries within a byte budget, delete the rest.")
+    Term.(ret (const run $ cache_dir $ max_bytes))
+
+let cache_cmd =
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:"Maintain the content-addressed persistent artifact store.")
+    [ cache_gc_cmd ]
 
 (* --- serve / client ------------------------------------------------------ *)
 
@@ -994,5 +1124,5 @@ let () =
           [
             generate_cmd; family_cmd; variants_cmd; solo_cmd; gemm_cmd; verify_cmd;
             lint_cmd; tune_cmd; report_cmd; trace_cmd; explain_cmd; run_cmd;
-            serve_cmd; client_cmd;
+            native_cmd; cache_cmd; serve_cmd; client_cmd;
           ]))

@@ -182,14 +182,24 @@ module Obs = Exo_obs.Obs
    exporter (Obs drops mutations while disabled). *)
 let fast_calls = Atomic.make 0
 let fallback_calls = Atomic.make 0
+let native_calls = Atomic.make 0
 let obs_fast = Obs.counter "gemm.ukr_fast_calls"
 let obs_fallback = Obs.counter "gemm.ukr_fallback_calls"
+let obs_native = Obs.counter "gemm.ukr_native_calls"
 
-let ukr_dispatch_counts () = (Atomic.get fast_calls, Atomic.get fallback_calls)
+(* (fast, fallback) with native dispatches counted as fast: the native tier
+   serves exactly the calls the Bigarray tier would have, so every existing
+   fallbacks-zero gate keeps its meaning; ukr_tier_counts splits them. *)
+let ukr_dispatch_counts () =
+  (Atomic.get fast_calls + Atomic.get native_calls, Atomic.get fallback_calls)
+
+let ukr_tier_counts () =
+  (Atomic.get native_calls, Atomic.get fast_calls, Atomic.get fallback_calls)
 
 let reset_dispatch_counts () =
   Atomic.set fast_calls 0;
-  Atomic.set fallback_calls 0
+  Atomic.set fallback_calls 0;
+  Atomic.set native_calls 0
 
 let reset_ukr_dispatch_counts = reset_dispatch_counts
 
@@ -214,18 +224,33 @@ let count_verdict certified =
     if Obs.enabled () then Obs.incr obs_unproved
   end
 
+(** Provenance of a table's native-tier upgrade (always present — a
+    degraded host records why it serves the Bigarray tier instead). *)
+type native_info = {
+  ni_enabled : bool;  (** at least one entry serves JIT'd machine code *)
+  ni_target : string;  (** ["intrinsics"] | ["portable"] | ["none"] *)
+  ni_cc : string;  (** compiler path, or ["none"] *)
+  ni_entries : int;  (** entries serving native code (certified) *)
+  ni_rejected : int;  (** eligible entries that failed certification *)
+  ni_reason : string;  (** ["ok"], or why the tier is degraded *)
+}
+
 (** The complete monomorphized table for a kernel family: one entry per
     (mr', nr') with mr' ∈ 1..mr, nr' ∈ 1..nr, flat at index
     [(mr'-1)·nr + nr'-1]. Entries the Bigarray tier certified are direct
-    monomorphized executors; the rest ([t_fast] false — only non-f32 kits
-    today) copy through the closure engine and count as fallbacks. *)
+    monomorphized executors (upgraded in place to JIT'd machine code where
+    the native tier certified); the rest ([t_fast] false — only non-f32
+    kits today) copy through the closure engine and count as fallbacks. *)
 type table = {
   t_kit : Kits.t;
   t_mr : int;
   t_nr : int;
   t_entries : C.ukr_ba array;
+  t_base : C.ukr_ba array;
   t_fast : bool array;
   t_proved : bool array;
+  t_native : bool array;
+  t_native_info : native_info;
 }
 
 let table_holes (t : table) : int =
@@ -238,12 +263,23 @@ let table_entry (t : table) ~(mr : int) ~(nr : int) : C.ukr_ba =
     invalid_arg "Registry.table_entry: shape outside the table";
   t.t_entries.(((mr - 1) * t.t_nr) + nr - 1)
 
+let table_base_entry (t : table) ~(mr : int) ~(nr : int) : C.ukr_ba =
+  if mr < 1 || mr > t.t_mr || nr < 1 || nr > t.t_nr then
+    invalid_arg "Registry.table_base_entry: shape outside the table";
+  t.t_base.(((mr - 1) * t.t_nr) + nr - 1)
+
 (* A counting wrapper per entry: one closure hop + one atomic add per tile
    call (~30k calls on the 1008³ run — noise next to the kernel work). *)
 let count_fast (u : C.ukr_ba) : C.ukr_ba =
  fun ~kc ~ac ~ao ~bc ~bo ~c ~co ->
   Atomic.incr fast_calls;
   if Obs.enabled () then Obs.incr obs_fast;
+  u ~kc ~ac ~ao ~bc ~bo ~c ~co
+
+let count_native (u : C.ukr_ba) : C.ukr_ba =
+ fun ~kc ~ac ~ao ~bc ~bo ~c ~co ->
+  Atomic.incr native_calls;
+  if Obs.enabled () then Obs.incr obs_native;
   u ~kc ~ac ~ao ~bc ~bo ~c ~co
 
 (* Hole filler: round-trip the Bigarray operands through float arrays into
@@ -348,6 +384,237 @@ let hydrate_entry (a : table_artifact) ~(kit : Kits.t) ~(mr : int) ~(nr : int)
         if a.ta_fast then None
         else Some (fallback_entry ~kit ~mr ~nr, false, false)
 
+(* ------------------------------------------------------------------ *)
+(* The native JIT tier                                                 *)
+
+module Native = Exo_native.Jit
+module Host = Exo_native.Host
+module C_emit = Exo_codegen.C_emit
+
+(* Part of the shared-object content address: bump whenever the emitted
+   ABI, the eligibility rule, or symbol naming changes meaning. *)
+let native_abi = "native-v1"
+
+(* The vector ISA a kit's intrinsics emission needs, by naming convention
+   (kit names lead with their ISA: neon-f32, avx2-f32, ...). *)
+let required_isa (kit : Kits.t) : Host.isa option =
+  let prefixed p = String.starts_with ~prefix:p kit.Kits.name in
+  if prefixed "neon-" then Some Host.Neon
+  else if prefixed "avx2-" then Some Host.Avx2
+  else if prefixed "avx512-" then Some Host.Avx512
+  else if prefixed "rvv-" then Some Host.Rvv
+  else None
+
+(** Which native lowering a kit gets on THIS host: its intrinsics when the
+    machine executes the kit's ISA, the portable autovectorizable nest
+    otherwise. [None] — no native tier — for non-f32 kits (the fixed ABI
+    is float32). *)
+let native_target_for (kit : Kits.t) : C_emit.native_target option =
+  if kit.Kits.dt <> Exo_ir.Dtype.F32 then None
+  else
+    match required_isa kit with
+    | Some isa when Host.supports isa -> Some C_emit.Nat_intrinsics
+    | _ -> Some C_emit.Nat_portable
+
+(* The shared object's content address. No source digest on purpose: every
+   part that determines the source (kit content, shape, pipeline variant,
+   target) is a key part, so a warm hit skips source generation entirely.
+   Compiler identity and tuning flags are parts too — a .so built by a
+   different compiler, or for a different -march, is a different entry. *)
+let native_key (kit : Kits.t) ~(mr : int) ~(nr : int)
+    ~(target : C_emit.native_target) : string =
+  Store.key
+    [
+      native_abi;
+      Sys.ocaml_version;
+      kit.Kits.name;
+      Kits.digest kit;
+      string_of_int kit.Kits.sched_steps;
+      string_of_int mr;
+      string_of_int nr;
+      "simple";
+      C_emit.native_target_name target;
+      Host.cc_identity ();
+      String.concat " " (Host.march_flags ());
+    ]
+
+(** The native-ABI C source for a whole kernel bank — one exported
+    [exo_ukr_<mr'>x<nr'>] per table entry. Intrinsics emission pulls each
+    scheduled proc from the kernel memo (already populated by the table
+    build); the portable lowering needs only the shapes. *)
+let native_source ~(kit : Kits.t) ~(mr : int) ~(nr : int)
+    ~(target : C_emit.native_target) () : string =
+  let kernels =
+    List.init (mr * nr) (fun idx ->
+        let mr' = (idx / nr) + 1 and nr' = (idx mod nr) + 1 in
+        let proc =
+          match target with
+          | C_emit.Nat_intrinsics ->
+              Some (exo_kernel ~kit ~mr:mr' ~nr:nr' ()).Family.proc
+          | C_emit.Nat_portable -> None
+        in
+        (mr', nr', proc))
+  in
+  let header_comment =
+    Fmt.str "native kernel bank: kit=%s table=%dx%d target=%s abi=%s\ncc=%s"
+      kit.Kits.name mr nr
+      (C_emit.native_target_name target)
+      native_abi (Host.cc_identity ())
+  in
+  C_emit.native_unit ~header_comment ~target ~kernels ()
+
+(* A bound native kernel as a ukr_ba: the same operand contract as the
+   Bigarray tier (ranges checked up front, Invalid_argument on violation)
+   in front of the raw no-alloc call. The C tile is the contiguous
+   transposed nr×mr layout every blis_ba dispatch site uses, so ldc = mr. *)
+let native_raw ~(mr : int) ~(nr : int) ~(slot : int) : C.ukr_ba =
+  let module BA1 = Bigarray.Array1 in
+  fun ~kc ~ac ~ao ~bc ~bo ~c ~co ->
+    if
+      kc < 0 || ao < 0 || bo < 0 || co < 0
+      || ao + (kc * mr) > BA1.dim ac
+      || bo + (kc * nr) > BA1.dim bc
+      || co + (nr * mr) > BA1.dim c
+    then invalid_arg "Registry.native: operands out of range";
+    Native.call ~slot ~kc ~a:ac ~ao ~b:bc ~bo ~c ~co ~ldc:mr
+
+(* Decision 12's gate: JIT'd code is certified-then-trusted, never
+   trusted-on-load. Bit-comparison against the serving Bigarray-tier entry
+   on the integer probe domain (values in [-3, 3] — exact in f32 and f64
+   alike, so accumulation order and FMA contraction cannot blur a real
+   mismatch), over kc spanning 0, the vector widths and an odd tail. *)
+let certify_native ~(mr : int) ~(nr : int) ~(base : C.ukr_ba)
+    ~(native : C.ukr_ba) : bool =
+  let module BA1 = Bigarray.Array1 in
+  try
+    List.for_all
+      (fun kc ->
+        let st = Random.State.make [| 0x9a71; mr; nr; kc |] in
+        let mk n =
+          let ba = BA1.create Bigarray.float32 Bigarray.c_layout (max 1 n) in
+          for i = 0 to n - 1 do
+            BA1.set ba i (float_of_int (Random.State.int st 7 - 3))
+          done;
+          ba
+        in
+        let a = mk (kc * mr) and b = mk (kc * nr) in
+        let c1 = mk (nr * mr) in
+        let c2 = BA1.create Bigarray.float32 Bigarray.c_layout (nr * mr) in
+        BA1.blit c1 c2;
+        base ~kc ~ac:a ~ao:0 ~bc:b ~bo:0 ~c:c1 ~co:0;
+        native ~kc ~ac:a ~ao:0 ~bc:b ~bo:0 ~c:c2 ~co:0;
+        let ok = ref true in
+        for i = 0 to (nr * mr) - 1 do
+          if not (Float.equal (BA1.get c1 i) (BA1.get c2 i)) then ok := false
+        done;
+        !ok)
+      [ 0; 1; 2; 3; 8; 17 ]
+  with _ -> false
+
+let no_native reason =
+  {
+    ni_enabled = false;
+    ni_target = "none";
+    ni_cc = "none";
+    ni_entries = 0;
+    ni_rejected = 0;
+    ni_reason = reason;
+  }
+
+(* Upgrade a freshly built table's eligible entries to JIT'd machine code:
+   one compilation unit for the whole bank (one cc run, one dlopen, one
+   dlsym per kernel), cache-first through the ambient store, then each
+   bound kernel certified against the Bigarray entry it would replace
+   before it may serve. Any failure — no compiler, compile error on both
+   targets, a certification mismatch — degrades that scope gracefully to
+   the Bigarray tier and says why in the returned info. *)
+let native_upgrade ~(kit : Kits.t) ~(mr : int) ~(nr : int)
+    ~(store : Store.t option) ~(entries : C.ukr_ba array) ~(fast : bool array)
+    ~(proved : bool array) ~(native : bool array) : native_info =
+  match native_target_for kit with
+  | None -> no_native (Fmt.str "kit %s is not f32" kit.Kits.name)
+  | Some primary -> (
+      if not (Host.enabled ()) then
+        no_native (Fmt.str "disabled (%s=0)" Host.env_native)
+      else
+        match Host.cc () with
+        | None -> no_native "no C compiler on host"
+        | Some cc_path -> (
+            (* eligibility: entries the Bigarray tier certified AND whose
+               lowered tape Tierlint proved — the proof (bounds, write-set,
+               accumulation shape) is what justifies emitting the canonical
+               nest for the shape *)
+            let idxs =
+              List.filter
+                (fun idx -> fast.(idx) && proved.(idx))
+                (List.init (mr * nr) Fun.id)
+            in
+            if idxs = [] then no_native "no eligible entries"
+            else
+              let syms =
+                List.map
+                  (fun idx ->
+                    let mr' = (idx / nr) + 1 and nr' = (idx mod nr) + 1 in
+                    C_emit.native_sym ~mr:mr' ~nr:nr')
+                  idxs
+              in
+              let try_target target =
+                match
+                  Native.get_or_compile ~store
+                    ~key:(native_key kit ~mr ~nr ~target)
+                    ~src:(fun () -> native_source ~kit ~mr ~nr ~target ())
+                    ~syms
+                with
+                | Ok (slots, _from_cache) -> Some (target, slots)
+                | Error _ -> None
+              in
+              let targets =
+                match primary with
+                | C_emit.Nat_portable -> [ C_emit.Nat_portable ]
+                | C_emit.Nat_intrinsics ->
+                    [ C_emit.Nat_intrinsics; C_emit.Nat_portable ]
+              in
+              match List.find_map try_target targets with
+              | None -> no_native "native compilation failed"
+              | Some (target, slots) ->
+                  let certified = ref 0 and rejected = ref 0 in
+                  List.iteri
+                    (fun si idx ->
+                      let mr' = (idx / nr) + 1 and nr' = (idx mod nr) + 1 in
+                      let cand =
+                        native_raw ~mr:mr' ~nr:nr' ~slot:slots.(si)
+                      in
+                      if
+                        certify_native ~mr:mr' ~nr:nr' ~base:entries.(idx)
+                          ~native:cand
+                      then begin
+                        entries.(idx) <- count_native cand;
+                        native.(idx) <- true;
+                        incr certified
+                      end
+                      else incr rejected)
+                    idxs;
+                  {
+                    ni_enabled = !certified > 0;
+                    ni_target = C_emit.native_target_name target;
+                    ni_cc = cc_path;
+                    ni_entries = !certified;
+                    ni_rejected = !rejected;
+                    ni_reason =
+                      (if !certified > 0 then "ok"
+                       else "all entries failed certification");
+                  }))
+
+(** The native-ABI artifacts for a bank without building a table: the
+    target this host would pick and the C source ([None] for non-f32
+    kits). The CLI's [ukrgen native] writes these out for inspection and
+    CI artifact upload. *)
+let native_emit ?(kit = Kits.neon_f32) ~(mr : int) ~(nr : int) () :
+    (C_emit.native_target * string) option =
+  Option.map
+    (fun target -> (target, native_source ~kit ~mr ~nr ~target ()))
+    (native_target_for kit)
+
 (* One immutable table per (kit, mr, nr) for the whole process. Entries
    are re-entrant (executors allocate their accumulator per call; the
    fallback resolves its per-domain engine at call time), so every domain
@@ -412,13 +679,23 @@ let exo_table ?(kit = Kits.neon_f32) ~(mr : int) ~(nr : int) () : table =
                 proved.(idx) <- proved';
                 u)
           in
+          (* the Bigarray-tier bank, frozen before the native upgrade: the
+             certification oracle and the A side of the bench's tier A-B *)
+          let base = Array.copy entries in
+          let native = Array.make (mr * nr) false in
+          let native_info =
+            native_upgrade ~kit ~mr ~nr ~store ~entries ~fast ~proved ~native
+          in
           {
             t_kit = kit;
             t_mr = mr;
             t_nr = nr;
             t_entries = entries;
+            t_base = base;
             t_fast = fast;
             t_proved = proved;
+            t_native = native;
+            t_native_info = native_info;
           }))
 
 (** Forget every memoized kernel and table so the next {!exo_table} call
@@ -437,3 +714,10 @@ let clear_memos_for_bench () =
 let exo_bank ?(kit = Kits.neon_f32) ~(mr : int) ~(nr : int) () :
     unit -> C.ukr_ba array =
  fun () -> (exo_table ~kit ~mr ~nr ()).t_entries
+
+(** The Bigarray-tier bank of the same table (entries as they were before
+    the native upgrade): the baseline side of the bench's native-vs-BA
+    A-B comparison. *)
+let exo_bank_ba ?(kit = Kits.neon_f32) ~(mr : int) ~(nr : int) () :
+    unit -> C.ukr_ba array =
+ fun () -> (exo_table ~kit ~mr ~nr ()).t_base

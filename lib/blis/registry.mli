@@ -64,11 +64,29 @@ val monolithic_ukr : Gemm.ukr
     re-proves under {!Exo_check.Tierlint}; cold builds persist their
     artifacts for the next process. *)
 
+(** Provenance of a table's native-tier upgrade: whether JIT'd machine
+    code is serving, through which lowering and compiler, and — on a
+    degraded host (no [cc], [UKRGEN_NATIVE=0], compile or certification
+    failure) — why the table serves the Bigarray tier instead. *)
+type native_info = {
+  ni_enabled : bool;  (** at least one entry serves JIT'd machine code *)
+  ni_target : string;  (** ["intrinsics"] | ["portable"] | ["none"] *)
+  ni_cc : string;  (** compiler path, or ["none"] *)
+  ni_entries : int;  (** entries serving native code (certified) *)
+  ni_rejected : int;  (** eligible entries that failed certification *)
+  ni_reason : string;  (** ["ok"], or why the tier is degraded *)
+}
+
 type table = {
   t_kit : Exo_ukr_gen.Kits.t;
   t_mr : int;
   t_nr : int;
   t_entries : Exo_interp.Compile.ukr_ba array;
+      (** the serving bank: native executors where the upgrade certified
+          them, Bigarray-tier executors everywhere else *)
+  t_base : Exo_interp.Compile.ukr_ba array;
+      (** the Bigarray-tier bank, frozen before the native upgrade — the
+          certification oracle and the bench's A-B baseline *)
   t_fast : bool array;
       (** per entry: certified monomorphized executor (true) or a counting
           closure-engine round-trip (false — only non-f32 kits today) *)
@@ -77,6 +95,10 @@ type table = {
           lowered tape (bounds, write-set containment and accumulation
           shape all proved). Proved entries entered service without the
           dynamic integer probe. *)
+  t_native : bool array;
+      (** per entry: serving JIT'd machine code (dlopen'd, certified
+          bit-exact against the Bigarray entry it replaced) *)
+  t_native_info : native_info;
 }
 
 (** Build (or fetch) the process-wide table for a family. *)
@@ -91,11 +113,32 @@ val table_complete : table -> bool
 (** Bounds-checked lookup (tests; the GEMM driver indexes the flat array). *)
 val table_entry : table -> mr:int -> nr:int -> Exo_interp.Compile.ukr_ba
 
+(** Same lookup into the pre-upgrade Bigarray-tier bank. *)
+val table_base_entry : table -> mr:int -> nr:int -> Exo_interp.Compile.ukr_ba
+
 (** The {!Gemm.blis_ba} [kernels] thunk: resolves the shared table
     (building on first use) and returns its flat entry array. *)
 val exo_bank :
   ?kit:Exo_ukr_gen.Kits.t -> mr:int -> nr:int -> unit ->
   unit -> Exo_interp.Compile.ukr_ba array
+
+(** The Bigarray-tier bank of the same table — the baseline side of the
+    bench's native-vs-Bigarray A-B comparison. *)
+val exo_bank_ba :
+  ?kit:Exo_ukr_gen.Kits.t -> mr:int -> nr:int -> unit ->
+  unit -> Exo_interp.Compile.ukr_ba array
+
+(** Which native lowering this host gives a kit: intrinsics when the
+    machine executes the kit's ISA, the portable autovectorizable nest
+    otherwise, [None] for non-f32 kits (the JIT ABI is float32). *)
+val native_target_for :
+  Exo_ukr_gen.Kits.t -> Exo_codegen.C_emit.native_target option
+
+(** The native-ABI C source for a whole bank, with the target this host
+    would pick — [ukrgen native]'s artifact, [None] for non-f32 kits. *)
+val native_emit :
+  ?kit:Exo_ukr_gen.Kits.t -> mr:int -> nr:int -> unit ->
+  (Exo_codegen.C_emit.native_target * string) option
 
 (** Forget every memoized kernel, table and compiled closure (calling
     domain) so the next {!exo_table} exercises the cold path — for the
@@ -109,8 +152,14 @@ val clear_memos_for_bench : unit -> unit
     the Obs counters [gemm.ukr_fast_calls] / [gemm.ukr_fallback_calls]
     when tracing is enabled. *)
 
-(** [(fast, fallback)] totals since start or the last reset. *)
+(** [(fast, fallback)] totals since start or the last reset. Native
+    dispatches count as fast — the native tier serves exactly the calls
+    the Bigarray tier would have, so the fallbacks-zero gates keep their
+    meaning; {!ukr_tier_counts} splits them. *)
 val ukr_dispatch_counts : unit -> int * int
+
+(** [(native, bigarray_fast, fallback)] — the per-tier split. *)
+val ukr_tier_counts : unit -> int * int * int
 
 (** Zero both dispatch counters, so repeated in-process bench/test phases
     measure their own dispatches instead of accumulating across tiers. *)

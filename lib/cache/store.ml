@@ -235,6 +235,56 @@ let find_or_add (t : t) ~(kind : string) ~(key : string) (compute : unit -> 'a) 
       ignore (put t ~kind ~key v);
       v
 
+type gc_stats = {
+  gc_scanned : int;
+  gc_deleted : int;
+  gc_kept_bytes : int;
+  gc_freed_bytes : int;
+}
+
+(** LRU-by-mtime sweep over every kind: keep the most recently touched
+    entries whose cumulative size fits [max_bytes], delete the rest.
+    In-flight temp files ([.wr*.tmp], not yet published) are left alone —
+    racing writers keep their atomic-publish contract. *)
+let gc (t : t) ~(max_bytes : int) : gc_stats =
+  if max_bytes < 0 then invalid_arg "Store.gc: max_bytes must be >= 0";
+  let entries = ref [] in
+  let scan_dir dir f =
+    if Sys.file_exists dir && Sys.is_directory dir then
+      Array.iter f (Sys.readdir dir)
+  in
+  scan_dir t.root (fun kind ->
+      let kdir = Filename.concat t.root kind in
+      scan_dir kdir (fun sub ->
+          let sdir = Filename.concat kdir sub in
+          scan_dir sdir (fun file ->
+              if not (String.starts_with ~prefix:".wr" file) then
+                let p = Filename.concat sdir file in
+                match Unix.stat p with
+                | { Unix.st_kind = Unix.S_REG; st_mtime; st_size; _ } ->
+                    entries := (p, st_mtime, st_size) :: !entries
+                | _ -> ()
+                | exception Unix.Unix_error _ -> ())));
+  let newest_first =
+    List.sort (fun (_, m1, _) (_, m2, _) -> compare (m2 : float) m1) !entries
+  in
+  let kept_bytes = ref 0 and deleted = ref 0 and freed = ref 0 in
+  List.iter
+    (fun (p, _, size) ->
+      if !kept_bytes + size <= max_bytes then kept_bytes := !kept_bytes + size
+      else begin
+        (try Sys.remove p with Sys_error _ -> ());
+        incr deleted;
+        freed := !freed + size
+      end)
+    newest_first;
+  {
+    gc_scanned = List.length newest_first;
+    gc_deleted = !deleted;
+    gc_kept_bytes = !kept_bytes;
+    gc_freed_bytes = !freed;
+  }
+
 (** Number of entries of [kind] on disk (tests and the bench report). *)
 let entry_count (t : t) ~(kind : string) : int =
   let dir = Filename.concat t.root kind in

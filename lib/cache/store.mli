@@ -58,6 +58,18 @@ val remove : t -> kind:string -> key:string -> unit
 (** Entries of a kind currently on disk. *)
 val entry_count : t -> kind:string -> int
 
+type gc_stats = {
+  gc_scanned : int;  (** entries examined, across every kind *)
+  gc_deleted : int;
+  gc_kept_bytes : int;
+  gc_freed_bytes : int;
+}
+
+(** [gc t ~max_bytes] — LRU sweep: keep the most recently touched entries
+    (by mtime) whose cumulative size fits the budget, delete the rest.
+    In-flight temp files are left alone. The CLI's [ukrgen cache gc]. *)
+val gc : t -> max_bytes:int -> gc_stats
+
 (** {1 Counters}
 
     Process-wide, always-on (the serve [STATS] verb and BENCH_serve.json

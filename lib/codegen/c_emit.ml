@@ -396,6 +396,106 @@ let compilation_unit ?(header_comment = "") (procs : proc list) : string =
     procs;
   Buffer.contents b
 
+(* ------------------------------------------------------------------ *)
+(* Native JIT ABI emission                                             *)
+
+type native_target = Nat_intrinsics | Nat_portable
+
+let native_target_name = function
+  | Nat_intrinsics -> "intrinsics"
+  | Nat_portable -> "portable"
+
+let native_sym ~(mr : int) ~(nr : int) : string = Fmt.str "exo_ukr_%dx%d" mr nr
+
+let native_abi_signature (sym : string) : string =
+  Fmt.str
+    "void %s(int kc, const float *restrict A, const float *restrict B, float \
+     *restrict C, int ldc)"
+    sym
+
+(* The canonical plain-C lowering of one (mr, nr) micro-kernel body under
+   the native ABI: local f32 accumulators, the [k, j, i] outer-product nest
+   of the reference kernel, one accumulate-back into C at the end. The
+   restrict qualifiers and the ivdep pragma tell the host compiler the
+   loops carry no aliasing, so it autovectorizes the i-loop for whatever
+   ISA it targets — the fallback lowering for hosts without the kit's
+   intrinsics, and the non-contiguous-C path of the intrinsics wrapper. *)
+let portable_body (b : Buffer.t) ~(mr : int) ~(nr : int) : unit =
+  let bf fmt = Fmt.kstr (Buffer.add_string b) fmt in
+  bf "  float acc[%d][%d];\n" nr mr;
+  bf "  for (int j = 0; j < %d; j++)\n" nr;
+  bf "    for (int i = 0; i < %d; i++)\n" mr;
+  bf "      acc[j][i] = 0.0f;\n";
+  bf "  for (int k = 0; k < kc; k++) {\n";
+  bf "    const float *restrict a = A + (ptrdiff_t)k * %d;\n" mr;
+  bf "    const float *restrict bp = B + (ptrdiff_t)k * %d;\n" nr;
+  bf "    for (int j = 0; j < %d; j++) {\n" nr;
+  bf "      const float bj = bp[j];\n";
+  bf "#pragma GCC ivdep\n";
+  bf "      for (int i = 0; i < %d; i++)\n" mr;
+  bf "        acc[j][i] += a[i] * bj;\n";
+  bf "    }\n";
+  bf "  }\n";
+  bf "  for (int j = 0; j < %d; j++)\n" nr;
+  bf "    for (int i = 0; i < %d; i++)\n" mr;
+  bf "      C[(ptrdiff_t)j * ldc + i] += acc[j][i];\n"
+
+(** One native-ABI compilation unit for a whole kernel bank: an exported
+    [exo_ukr_<mr>x<nr>] per kernel. Under [Nat_intrinsics] each scheduled
+    proc is emitted [static] (its intrinsics body, as {!proc_to_c} renders
+    it) behind a wrapper that calls it on the contiguous-C fast path
+    ([ldc == mr], the only layout {!Exo_blis.Gemm.blis_ba} dispatches) and
+    falls back to the portable nest otherwise; a proc the emitter rejects
+    (not fully vectorized — fringe shapes) degrades to the portable nest
+    alone. Under [Nat_portable] every kernel is the portable nest. *)
+let native_unit ?(header_comment = "") ~(target : native_target)
+    ~(kernels : (int * int * proc option) list) () : string =
+  let b = Buffer.create 8192 in
+  if header_comment <> "" then
+    String.split_on_char '\n' header_comment
+    |> List.iter (fun line -> Buffer.add_string b (Fmt.str "// %s\n" line));
+  let procs =
+    match target with
+    | Nat_portable -> []
+    | Nat_intrinsics -> List.filter_map (fun (_, _, p) -> p) kernels
+  in
+  let includes = List.sort_uniq compare (List.concat_map includes_of procs) in
+  Buffer.add_string b
+    "#include <stddef.h>\n#include <stdint.h>\n#include <stdbool.h>\n";
+  List.iter (fun h -> Buffer.add_string b (Fmt.str "#include <%s>\n" h)) includes;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun (mr, nr, proc) ->
+      let inner =
+        match (target, proc) with
+        | Nat_intrinsics, Some p -> (
+            try Some (proc_to_c p, p.p_name) with Codegen_error _ -> None)
+        | _ -> None
+      in
+      (match inner with
+      | Some (code, _) ->
+          Buffer.add_string b "static ";
+          Buffer.add_string b code;
+          Buffer.add_char b '\n'
+      | None -> ());
+      Buffer.add_string b (native_abi_signature (native_sym ~mr ~nr));
+      Buffer.add_string b "\n{\n";
+      (match inner with
+      | Some (_, pname) ->
+          Buffer.add_string b
+            (Fmt.str
+               "  if (ldc == %d) {\n\
+               \    float one = 1.0f;\n\
+               \    %s(kc, &one, A, B, &one, C);\n\
+               \    return;\n\
+               \  }\n"
+               mr pname)
+      | None -> ());
+      portable_body b ~mr ~nr;
+      Buffer.add_string b "}\n\n")
+    kernels;
+  Buffer.contents b
+
 (** Render the matching header file. *)
 let header ?(guard = "EXO_UKR_GENERATED_H") (procs : proc list) : string =
   let b = Buffer.create 1024 in

@@ -21,3 +21,33 @@ val compilation_unit : ?header_comment:string -> Exo_ir.Ir.proc list -> string
 
 (** The matching header file with prototypes. *)
 val header : ?guard:string -> Exo_ir.Ir.proc list -> string
+
+(** Lowering flavour for the native JIT tier: the kit's intrinsics (when
+    the host executes that ISA) or the canonical portable nest the host
+    compiler autovectorizes. *)
+type native_target = Nat_intrinsics | Nat_portable
+
+val native_target_name : native_target -> string
+
+(** Exported symbol of the (mr, nr) kernel: [exo_ukr_<mr>x<nr>]. *)
+val native_sym : mr:int -> nr:int -> string
+
+(** The fixed extern-"C" ABI every JIT'd kernel exports:
+    [void sym(int kc, const float *A, const float *B, float *C, int ldc)],
+    computing [C += A·B] over a [kc × mr] packed A panel, a [kc × nr]
+    packed B panel, and an [nr × mr] (transposed, leading dimension [ldc])
+    C tile. *)
+val native_abi_signature : string -> string
+
+(** One native-ABI compilation unit for a whole kernel bank — one exported
+    [exo_ukr_<mr>x<nr>] per [(mr, nr, proc)] triple. Under
+    [Nat_intrinsics], each scheduled proc is emitted [static] behind a
+    contiguous-C ([ldc = mr]) wrapper with the portable nest as the other
+    path; procs the emitter rejects (or [None]) degrade to the portable
+    nest. Under [Nat_portable] the procs are ignored. *)
+val native_unit :
+  ?header_comment:string ->
+  target:native_target ->
+  kernels:(int * int * Exo_ir.Ir.proc option) list ->
+  unit ->
+  string

@@ -1,0 +1,42 @@
+(** Host capability probe for the native JIT tier: C-compiler presence and
+    the machine's vector ISAs, detected once and consulted by the registry
+    to pick an emit target (intrinsics on a matching host, the portable
+    lowering otherwise) — and by [ukrgen explain] / {!Exo_obs.Obs.Meta} so
+    every measurement records what the host could actually execute. *)
+
+type isa = Neon | Avx2 | Avx512 | Rvv
+
+val isa_name : isa -> string
+
+(** [UKRGEN_NATIVE]: set to [0]/[false]/[no]/[off] to disable the native
+    tier (the registry then serves the Bigarray tier everywhere). *)
+val env_native : string
+
+(** [UKRGEN_CC]: an explicit compiler path or name; empty/unset falls back
+    to searching [PATH] for [cc], [gcc], [clang]. A set-but-missing value
+    masks the compiler entirely (the graceful-degradation tests use this). *)
+val env_cc : string
+
+(** The tier is not disabled by {!env_native}. *)
+val enabled : unit -> bool
+
+(** The C compiler the JIT would invoke: [None] when the tier is disabled,
+    the compiler is masked, or no candidate is executable. Re-reads the
+    environment on every call (cheap — a few [stat]s). *)
+val cc : unit -> string option
+
+(** First [--version] line of {!cc} (memoized per path), or ["none"] — a
+    content-address key part for cached shared objects. *)
+val cc_identity : unit -> string
+
+(** Vector ISAs this machine executes (from [/proc/cpuinfo], read once). *)
+val isas : unit -> isa list
+
+val supports : isa -> bool
+
+(** Host-tuning flags in the host compiler's spelling ([-march=native] on
+    x86, [-mcpu=native] on AArch64, none where unsupported). *)
+val march_flags : unit -> string list
+
+(** Key/value capability report for [ukrgen explain] and the bench meta. *)
+val describe : unit -> (string * string) list

@@ -724,7 +724,7 @@ end
 (* ------------------------------------------------------------------ *)
 
 module Meta = struct
-  let schema_version = 5
+  let schema_version = 6
 
   let git_commit () =
     try
@@ -735,14 +735,14 @@ module Meta = struct
       | _ -> "unknown"
     with _ -> "unknown"
 
-  let json ?flambda ~pool_jobs () =
+  let json ?flambda ?host_cc ?host_isa ~pool_jobs () =
     Printf.sprintf
       "\"meta\": {\n\
       \    \"schema_version\": %d,\n\
       \    \"git_commit\": %S,\n\
       \    \"host_cores\": %d,\n\
       \    \"pool_jobs\": %d,\n\
-      \    \"ocaml_version\": %S%s\n\
+      \    \"ocaml_version\": %S%s%s%s\n\
       \  }"
       schema_version (git_commit ())
       (Domain.recommended_domain_count ())
@@ -750,4 +750,10 @@ module Meta = struct
       (match flambda with
       | None -> ""
       | Some f -> Printf.sprintf ",\n    \"flambda\": %b" f)
+      (match host_cc with
+      | None -> ""
+      | Some cc -> Printf.sprintf ",\n    \"host_cc\": %S" cc)
+      (match host_isa with
+      | None -> ""
+      | Some isa -> Printf.sprintf ",\n    \"host_isa\": %S" isa)
 end

@@ -248,9 +248,13 @@ module Meta : sig
 
   (** The ["meta": {...}] object (no trailing comma/newline). [pool_jobs]
       comes from the caller ({!Exo_par.Pool.default_jobs} — this library
-      sits below [exo_par]); [flambda] likewise (compiler-libs [Config]) —
-      omitted from the JSON when not passed. *)
-  val json : ?flambda:bool -> pool_jobs:int -> unit -> string
+      sits below [exo_par]); [flambda] likewise (compiler-libs [Config]),
+      as do [host_cc] / [host_isa] (the native tier's capability probe,
+      [Exo_native.Host] — this library sits below it too) — each omitted
+      from the JSON when not passed. *)
+  val json :
+    ?flambda:bool -> ?host_cc:string -> ?host_isa:string -> pool_jobs:int ->
+    unit -> string
 end
 
 (** Wall-clock microseconds (for callers timing sub-phases by hand). *)

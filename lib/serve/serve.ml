@@ -230,12 +230,14 @@ let handle_run m n k count =
       0.0 problems
   in
   let fast, fallback = R.ukr_dispatch_counts () in
+  let native, _, _ = R.ukr_tier_counts () in
   ( Fmt.str "ran %d problem%s" count (if count = 1 then "" else "s"),
     [
       Fmt.str "checksum %.17g" checksum;
       Fmt.str "seconds %.6f" dt;
       Fmt.str "fast_calls %d" fast;
       Fmt.str "fallback_calls %d" fallback;
+      Fmt.str "native_calls %d" native;
     ] )
 
 let started = ref (Unix.gettimeofday ())
@@ -244,6 +246,7 @@ let handle_stats () =
   let total, errors, verbs = request_counts () in
   let hits, misses = Store.hit_miss_counts () in
   let writes, corrupt = Store.write_counts () in
+  let tier_native, tier_ba, tier_fallback = R.ukr_tier_counts () in
   ( "stats",
     [
       Fmt.str "uptime_seconds %.3f" (Unix.gettimeofday () -. !started);
@@ -263,6 +266,9 @@ let handle_stats () =
             (Obs.quantile s 0.95) (Obs.quantile s 0.99))
         verb_latency
     @ [
+        Fmt.str "tier_native_calls %d" tier_native;
+        Fmt.str "tier_ba_calls %d" tier_ba;
+        Fmt.str "tier_fallback_calls %d" tier_fallback;
         Fmt.str "cache_hits %d" hits;
         Fmt.str "cache_misses %d" misses;
         Fmt.str "cache_writes %d" writes;
@@ -303,6 +309,11 @@ let handle_metrics () =
       pf "# TYPE ukrgen_cache_%s counter" name;
       pf "ukrgen_cache_%s %d" name v)
     [ ("hits", hits); ("misses", misses); ("writes", writes); ("corrupt", corrupt) ];
+  (let native, ba, fallback = R.ukr_tier_counts () in
+   pf "# TYPE ukrgen_tier_calls counter";
+   List.iter
+     (fun (tier, v) -> pf "ukrgen_tier_calls{tier=%S} %d" tier v)
+     [ ("native", native); ("bigarray", ba); ("fallback", fallback) ]);
   pf "# TYPE ukrgen_request_latency_us histogram";
   List.iter
     (fun (v, h) ->

@@ -174,6 +174,46 @@ let test_two_processes_first_writer_wins () =
     "both processes see the first writer's value" (Some "child")
     (Store.get st ~kind:"p" ~key)
 
+let test_gc_lru_sweep () =
+  with_temp_store @@ fun st ->
+  (* five same-sized entries with staggered mtimes, entry i older than
+     entry i+1 — the sweep must keep exactly the newest ones that fit *)
+  let keyed = List.init 5 (fun i -> (i, Store.key [ "abi-v1"; "gc"; string_of_int i ])) in
+  let now = Unix.time () in
+  List.iter
+    (fun (i, key) ->
+      Alcotest.(check bool) "published" true
+        (Store.put st ~kind:"g" ~key (String.make 64 'x'));
+      let t = now -. float_of_int (3600 * (5 - i)) in
+      Unix.utimes (Store.path st ~kind:"g" ~key) t t)
+    keyed;
+  let size = (Unix.stat (Store.path st ~kind:"g" ~key:(snd (List.hd keyed)))).Unix.st_size in
+  (* an unpublished in-flight temp file must survive any sweep *)
+  let tmp = Filename.concat (Filename.dirname (Store.path st ~kind:"g" ~key:(snd (List.hd keyed)))) ".wr0.tmp" in
+  let oc = open_out tmp in
+  output_string oc "in-flight";
+  close_out oc;
+  let s = Store.gc st ~max_bytes:(2 * size) in
+  Alcotest.(check int) "scanned all entries (temp file excluded)" 5 s.Store.gc_scanned;
+  Alcotest.(check int) "deleted the three oldest" 3 s.Store.gc_deleted;
+  Alcotest.(check int) "kept two entries' bytes" (2 * size) s.Store.gc_kept_bytes;
+  Alcotest.(check int) "freed three entries' bytes" (3 * size) s.Store.gc_freed_bytes;
+  List.iter
+    (fun (i, key) ->
+      Alcotest.(check bool)
+        (Fmt.str "entry %d %s" i (if i >= 3 then "survives" else "swept"))
+        (i >= 3)
+        (Store.get st ~kind:"g" ~key <> None))
+    keyed;
+  Alcotest.(check bool) "in-flight temp file untouched" true (Sys.file_exists tmp);
+  (* a zero budget empties the store *)
+  let s0 = Store.gc st ~max_bytes:0 in
+  Alcotest.(check int) "zero budget sweeps the rest" 2 s0.Store.gc_deleted;
+  Alcotest.(check int) "nothing kept" 0 s0.Store.gc_kept_bytes;
+  Alcotest.check_raises "negative budget rejected"
+    (Invalid_argument "Store.gc: max_bytes must be >= 0") (fun () ->
+      ignore (Store.gc st ~max_bytes:(-1)))
+
 let test_kit_digest_stable_and_sensitive () =
   let d1 = K.digest K.neon_f32 and d2 = K.digest K.neon_f32 in
   Alcotest.(check string) "digest is stable" d1 d2;
@@ -316,6 +356,8 @@ let () =
             test_two_processes_first_writer_wins;
           Alcotest.test_case "concurrent domains converge (widths 1/2/4)"
             `Quick test_concurrent_domains_first_writer_wins;
+          Alcotest.test_case "gc: LRU sweep within a byte budget" `Quick
+            test_gc_lru_sweep;
         ] );
       ( "keying",
         [

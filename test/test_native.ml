@@ -1,0 +1,308 @@
+(* The native JIT execution tier: Exo_native.{Host,Jit} and the registry's
+   table upgrade (Registry.native_info / t_native / table dispatch).
+
+   The load-bearing contracts pinned here:
+
+   1. Host probe — the capability census is well-formed and the env
+      switches ([UKRGEN_NATIVE], [UKRGEN_CC]) mask the tier per process,
+      re-read on every call (no rebuild needed to toggle).
+
+   2. Differential correctness — on every f32 kit whose bank compiles on
+      this host, the serving table (native where certified) is bit-exact
+      against the Bigarray tier on random tiles, and a full fringe-laden
+      GEMM agrees across all four execution paths: native bank, Bigarray
+      bank, compiled-closure engine, and the binary32 naive reference.
+
+   3. Cache robustness — a corrupted cached [.so] reads as a miss and is
+      recompiled; the rebuilt table serves native code again and computes
+      the same tiles.
+
+   4. Graceful degradation — with the tier disabled or the compiler
+      masked, the table still builds complete, serves the Bigarray tier
+      (zero native dispatches), and the GEMM stays exact.
+
+   Every case that needs a compiler skips (with a visible reason) on
+   cc-less hosts rather than failing — the tier itself must degrade, so
+   its tests must too. *)
+
+module Store = Exo_cache.Store
+module R = Exo_blis.Registry
+module K = Exo_ukr_gen.Kits
+module Host = Exo_native.Host
+module Jit = Exo_native.Jit
+module M = Exo_blis.Matrix
+module G = Exo_blis.Gemm
+
+let temp_dir () =
+  let f = Filename.temp_file "exo-native-test" "" in
+  Sys.remove f;
+  f
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+(* ambient-store + registry-memo scope: every case builds its tables from
+   scratch into its own store and leaves no memoized table behind (a table
+   built under one env setting must not leak into the next case) *)
+let with_fresh_tables f =
+  let dir = temp_dir () in
+  Store.set_ambient (Some dir);
+  R.clear_memos_for_bench ();
+  Fun.protect
+    ~finally:(fun () ->
+      Store.set_ambient None;
+      R.clear_memos_for_bench ();
+      rm_rf dir)
+    (fun () -> f dir)
+
+(* [Unix.putenv] cannot unset, so restoration writes the value the reader
+   treats as "unset": [UKRGEN_NATIVE=1] (any non-off value) re-enables,
+   [UKRGEN_CC=] (empty) falls back to the PATH search. *)
+let with_env var value f =
+  let restore = match Sys.getenv_opt var with Some v -> v
+    | None -> if var = Host.env_native then "1" else ""
+  in
+  Unix.putenv var value;
+  Fun.protect ~finally:(fun () -> Unix.putenv var restore) (fun () -> f ())
+
+let f32_kits = List.filter (fun k -> k.K.dt = Exo_ir.Dtype.F32) K.all
+
+let skip reason = Printf.printf "      [skipped: %s]\n%!" reason
+
+(* run one table entry on a deterministic random tile (same scheme as the
+   registry's certification probes, different seeds) *)
+let exec (u : Exo_interp.Compile.ukr_ba) ~mr ~nr ~kc ~seed =
+  let st = Random.State.make [| mr; nr; kc; seed |] in
+  let mk n =
+    let b = Bigarray.Array1.create Bigarray.float32 Bigarray.c_layout n in
+    for i = 0 to n - 1 do
+      Bigarray.Array1.set b i (float_of_int (Random.State.int st 7 - 3))
+    done;
+    b
+  in
+  let ac = mk (kc * mr) and bc = mk (kc * nr) in
+  let c = mk (mr * nr) in
+  u ~kc ~ac ~ao:0 ~bc ~bo:0 ~c ~co:0;
+  Array.init (mr * nr) (Bigarray.Array1.get c)
+
+(* --- host probe ---------------------------------------------------------- *)
+
+let test_host_probe () =
+  let d = Host.describe () in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Fmt.str "describe carries %s" k)
+        true (List.mem_assoc k d))
+    [ "native_tier"; "cc"; "cc_identity"; "isa"; "tuning_flags" ];
+  let isas = Host.isas () in
+  Alcotest.(check bool) "census has no duplicates" true
+    (List.length (List.sort_uniq compare isas) = List.length isas);
+  List.iter (fun i -> Alcotest.(check bool) "supports agrees with census"
+      true (Host.supports i)) isas;
+  (match Host.cc () with
+  | None -> ()
+  | Some p ->
+      Alcotest.(check bool) "resolved cc is executable" true (Sys.file_exists p);
+      Alcotest.(check bool) "cc identity is non-empty" true
+        (String.length (Host.cc_identity ()) > 0));
+  List.iter
+    (fun fl ->
+      Alcotest.(check bool) "tuning flags are -m options" true
+        (String.length fl > 2 && String.sub fl 0 2 = "-m"))
+    (Host.march_flags ())
+
+let test_env_switches () =
+  with_env Host.env_native "0" (fun () ->
+      Alcotest.(check bool) "UKRGEN_NATIVE=0 disables" false (Host.enabled ());
+      Alcotest.(check bool) "disabled tier resolves no cc" true
+        (Host.cc () = None));
+  Alcotest.(check bool) "re-enabled after scope" true (Host.enabled ());
+  with_env Host.env_cc "/nonexistent/cc-for-test" (fun () ->
+      Alcotest.(check bool) "UKRGEN_CC pointing nowhere masks cc" true
+        (Host.cc () = None))
+
+(* --- differential correctness -------------------------------------------- *)
+
+let test_differential kit () =
+  with_fresh_tables @@ fun _dir ->
+  let mr, nr = (4, 6) in
+  let t = R.exo_table ~kit ~mr ~nr () in
+  let ni = t.R.t_native_info in
+  if ni.R.ni_entries = 0 then
+    skip (Fmt.str "native tier unavailable (%s)" ni.R.ni_reason)
+  else begin
+    Alcotest.(check string) (kit.K.name ^ ": upgrade healthy") "ok"
+      ni.R.ni_reason;
+    Alcotest.(check int) (kit.K.name ^ ": no entry failed certification") 0
+      ni.R.ni_rejected;
+    (* tile level: the serving (native) entry vs the frozen Bigarray bank,
+       random shapes and depths including the kc = 0 no-op *)
+    let q =
+      QCheck2.Test.make ~count:80
+        ~name:(kit.K.name ^ ": native tile = bigarray tile")
+        QCheck2.Gen.(
+          pair
+            (pair (int_range 1 mr) (int_range 1 nr))
+            (pair (int_bound 33) (int_bound 1000)))
+        (fun ((mr', nr'), (kc, seed)) ->
+          exec (R.table_entry t ~mr:mr' ~nr:nr') ~mr:mr' ~nr:nr' ~kc ~seed
+          = exec (R.table_base_entry t ~mr:mr' ~nr:nr') ~mr:mr' ~nr:nr' ~kc
+              ~seed)
+    in
+    QCheck2.Test.check_exn q;
+    (* whole-GEMM level, fringes in both m and n: native bank = bigarray
+       bank = compiled-closure engine = binary32 naive reference *)
+    let m, n, k = (3 * mr + 2, 2 * nr + 3, 37) in
+    let a = M.init m k (fun i j -> float_of_int (((i + (2 * j)) mod 7) - 3)) in
+    let b = M.init k n (fun i j -> float_of_int ((((3 * i) + j) mod 5) - 2)) in
+    let blocking =
+      Exo_blis.Analytical.compute Exo_isa.Machine.carmel ~mr ~nr ~dtype_bytes:4
+    in
+    let run kernels =
+      let c = M.create m n in
+      G.blis_ba ~blocking ~mr ~nr ~kernels a b c;
+      c
+    in
+    R.reset_dispatch_counts ();
+    let c_native = run (R.exo_bank ~kit ~mr ~nr ()) in
+    let native_calls, _, fallback = R.ukr_tier_counts () in
+    Alcotest.(check bool) (kit.K.name ^ ": native entries dispatched") true
+      (native_calls > 0);
+    Alcotest.(check int) (kit.K.name ^ ": no fallbacks") 0 fallback;
+    let c_ba = run (R.exo_bank_ba ~kit ~mr ~nr ()) in
+    let c_closure = M.create m n in
+    G.blis ~blocking ~mr ~nr ~ukr:(R.exo_ukr ~kit ()) a b c_closure;
+    let c_naive = M.create m n in
+    G.naive_f32 a b c_naive;
+    Alcotest.(check bool) (kit.K.name ^ ": native = bigarray") true
+      (M.equal c_native c_ba);
+    Alcotest.(check bool) (kit.K.name ^ ": native = closures") true
+      (M.equal c_native c_closure);
+    Alcotest.(check bool) (kit.K.name ^ ": native = naive f32") true
+      (M.equal c_native c_naive)
+  end
+
+(* --- cached .so robustness ------------------------------------------------ *)
+
+let test_corrupted_so_recompiles () =
+  with_fresh_tables @@ fun dir ->
+  let kit = K.avx2_f32 in
+  let t1 = R.exo_table ~kit ~mr:4 ~nr:4 () in
+  if t1.R.t_native_info.R.ni_entries = 0 then
+    skip
+      (Fmt.str "native tier unavailable (%s)" t1.R.t_native_info.R.ni_reason)
+  else begin
+    let so_dir = Filename.concat dir Jit.so_kind in
+    Alcotest.(check bool) "a shared object was cached" true
+      (Sys.file_exists so_dir);
+    (* truncate every cached .so, then force a cold rebuild: the table
+       must detect the damage, recompile, and serve native again *)
+    let rec wreck path =
+      if Sys.is_directory path then
+        Array.iter (fun f -> wreck (Filename.concat path f)) (Sys.readdir path)
+      else Unix.truncate path ((Unix.stat path).Unix.st_size / 2)
+    in
+    wreck so_dir;
+    R.clear_memos_for_bench ();
+    Store.reset_counts ();
+    let compiles_before, _, _, _ = Jit.counts () in
+    let t2 = R.exo_table ~kit ~mr:4 ~nr:4 () in
+    let compiles_after, _, _, _ = Jit.counts () in
+    let _, corrupt = Store.write_counts () in
+    Alcotest.(check bool) "corruption detected as a miss" true (corrupt > 0);
+    Alcotest.(check bool) "bank recompiled" true
+      (compiles_after > compiles_before);
+    Alcotest.(check int) "native tier restored"
+      t1.R.t_native_info.R.ni_entries t2.R.t_native_info.R.ni_entries;
+    Alcotest.(check (array (float 0.0))) "same tile after recompilation"
+      (exec (R.table_entry t1 ~mr:3 ~nr:4) ~mr:3 ~nr:4 ~kc:17 ~seed:7)
+      (exec (R.table_entry t2 ~mr:3 ~nr:4) ~mr:3 ~nr:4 ~kc:17 ~seed:7)
+  end
+
+(* --- graceful degradation ------------------------------------------------- *)
+
+(* the table must still build, serve the Bigarray tier for every call, and
+   stay exact — the native tier is an upgrade, never a dependency *)
+let check_degraded ~name ~reason_fragment () =
+  let kit = K.avx2_f32 in
+  let mr, nr = (4, 4) in
+  let t = R.exo_table ~kit ~mr ~nr () in
+  let ni = t.R.t_native_info in
+  Alcotest.(check bool) (name ^ ": tier reports disabled") false ni.R.ni_enabled;
+  Alcotest.(check int) (name ^ ": no native entries") 0 ni.R.ni_entries;
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool)
+    (Fmt.str "%s: reason %S mentions %S" name ni.R.ni_reason reason_fragment)
+    true
+    (contains ni.R.ni_reason reason_fragment);
+  Alcotest.(check bool) (name ^ ": no native flags") true
+    (Array.for_all not t.R.t_native);
+  Alcotest.(check bool) (name ^ ": table still complete") true
+    (R.table_complete t);
+  let m, n, k = (14, 10, 23) in
+  let a = M.init m k (fun i j -> float_of_int (((i + j) mod 5) - 2)) in
+  let b = M.init k n (fun i j -> float_of_int ((((2 * i) + j) mod 5) - 2)) in
+  let c = M.create m n in
+  let blocking =
+    Exo_blis.Analytical.compute Exo_isa.Machine.carmel ~mr ~nr ~dtype_bytes:4
+  in
+  R.reset_dispatch_counts ();
+  G.blis_ba ~blocking ~mr ~nr ~kernels:(R.exo_bank ~kit ~mr ~nr ()) a b c;
+  let native_calls, ba_calls, _ = R.ukr_tier_counts () in
+  Alcotest.(check int) (name ^ ": zero native dispatches") 0 native_calls;
+  Alcotest.(check bool) (name ^ ": bigarray tier served") true (ba_calls > 0);
+  let c_ref = M.create m n in
+  G.naive_f32 a b c_ref;
+  Alcotest.(check bool) (name ^ ": GEMM exact") true (M.equal c c_ref)
+
+let test_degrades_without_tier () =
+  with_fresh_tables @@ fun _dir ->
+  with_env Host.env_native "0"
+    (check_degraded ~name:"UKRGEN_NATIVE=0" ~reason_fragment:"disabled")
+
+let test_degrades_without_cc () =
+  with_fresh_tables @@ fun _dir ->
+  with_env Host.env_cc "/nonexistent/cc-for-test"
+    (check_degraded ~name:"UKRGEN_CC=/nonexistent"
+       ~reason_fragment:"no C compiler")
+
+let () =
+  Alcotest.run "native"
+    [
+      ( "host",
+        [
+          Alcotest.test_case "capability probe is well-formed" `Quick
+            test_host_probe;
+          Alcotest.test_case "env switches mask the tier per process" `Quick
+            test_env_switches;
+        ] );
+      ( "differential",
+        List.map
+          (fun kit ->
+            Alcotest.test_case
+              (kit.K.name ^ ": native = bigarray = closures = naive")
+              `Quick (test_differential kit))
+          f32_kits );
+      ( "robustness",
+        [
+          Alcotest.test_case "corrupted cached .so recompiles" `Quick
+            test_corrupted_so_recompiles;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "UKRGEN_NATIVE=0: bigarray tier serves" `Quick
+            test_degrades_without_tier;
+          Alcotest.test_case "masked cc: bigarray tier serves" `Quick
+            test_degrades_without_cc;
+        ] );
+    ]
